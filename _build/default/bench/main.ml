@@ -1,0 +1,540 @@
+(* The benchmark harness: one Bechamel test per experiment in DESIGN.md
+   section 4, preceded by the experiment report that regenerates the
+   paper's reproducible artifacts (Figures 3-4 and use cases 1-4 carry no
+   measured numbers in the paper, so the report prints the qualitative
+   rows - who wins, what SQL is generated, where behavior crosses over -
+   and the micro-benchmarks quantify them).
+
+   Run with:  dune exec bench/main.exe            (report + benchmarks)
+              dune exec bench/main.exe -- report  (report only)
+              dune exec bench/main.exe -- bench   (benchmarks only)      *)
+
+open Core
+open Core.Xdm
+module R = Relational
+module FC = Fixtures.Customer_profile
+module FE = Fixtures.Employees
+
+let uc local = Qname.make ~uri:FE.usecases_ns local
+
+(* ------------------------------------------------------------------ *)
+(* Shared workload setups (built once, reused by report and benches)    *)
+(* ------------------------------------------------------------------ *)
+
+let profile_env_small = lazy (FC.make ~customers:10 ())
+let profile_env_mid = lazy (FC.make ~customers:50 ())
+
+let employees_chain =
+  lazy
+    (let env = FE.make ~employees:32 ~fanout:1 () in
+     let sess = Aldsp.Dataspace.session env.FE.ds in
+     Xqse.Session.load_library sess FE.uc2_chain_source;
+     (* the expression-oriented (recursive XQuery) baseline of DESIGN.md
+        ablation 2 *)
+     Xqse.Session.load_library sess
+       {|
+declare namespace ens1 = "urn:employees";
+declare namespace uc = "urn:usecases";
+declare function uc:chainRec($id as xs:integer?) as element(ens1:Employee)* {
+  for $e in ens1:getByEmployeeID($id)
+  return ($e,
+    if (fn:string($e/ManagerID) eq '') then ()
+    else uc:chainRec(xs:integer($e/ManagerID)))
+};
+|};
+     env)
+
+let employees_etl = lazy (
+  let env = FE.make ~employees:50 () in
+  Xqse.Session.load_library (Aldsp.Dataspace.session env.FE.ds) FE.uc3_etl_source;
+  env)
+
+let employees_repl = lazy (
+  let env = FE.make ~employees:5 () in
+  FE.load_all_use_cases env;
+  env)
+
+let getprofile env =
+  Aldsp.Dataspace.call env.FC.ds
+    (Qname.make ~uri:FC.profile_ns "getProfile")
+    []
+
+let submit_rename ?(policy = Aldsp.Occ.Updated_values) env cid name =
+  let dg = FC.get_profile_by_id env cid in
+  Sdo.set_leaf dg 1 [ ("LAST_NAME", 1) ] name;
+  Aldsp.Dataspace.submit env.FC.ds env.FC.svc ~policy dg
+
+(* a join workload for the optimizer ablation (Figure-3-shaped
+   cross-database equi-join), compiled once with and once without the
+   optimizer over the same dataspace *)
+let join_query =
+  "for $c in customer:CUSTOMER() for $cc in credit_card:CREDIT_CARD() \
+   where $c/CID eq $cc/CID return <hit>{fn:data($cc/CCID)}</hit>"
+
+let join_sessions n =
+  let env = FC.make ~customers:n ~max_cards:2 () in
+  let sess = Aldsp.Dataspace.session env.FC.ds in
+  let engine = Xqse.Session.engine sess in
+  Xquery.Engine.set_optimizing engine true;
+  let compiled_on = Xqse.Session.compile sess join_query in
+  Xquery.Engine.set_optimizing engine false;
+  let compiled_off = Xqse.Session.compile sess join_query in
+  Xquery.Engine.set_optimizing engine true;
+  (compiled_on, compiled_off)
+
+(* XQSE statement-dispatch overhead: a tight while loop vs the
+   equivalent declarative expressions *)
+let dispatch_session = lazy (
+  let sess = Xqse.Session.create () in
+  let xqse_loop =
+    Xqse.Session.compile sess
+      {| {
+        declare $sum := 0, $i := 1;
+        while ($i le 1000) {
+          set $sum := $sum + $i;
+          set $i := $i + 1;
+        }
+        return value $sum;
+      } |}
+  in
+  let xquery_sum = Xqse.Session.compile sess "sum(1 to 1000)" in
+  let xquery_flwor = Xqse.Session.compile sess
+      "sum(for $i in 1 to 1000 return $i)" in
+  (xqse_loop, xquery_sum, xquery_flwor))
+
+(* XUF snapshot sweep: one update statement replacing N values *)
+let snapshot_program n =
+  Printf.sprintf
+    {|declare variable $doc := <doc>{for $i in 1 to %d return <v>0</v>}</doc>;
+{
+  for $v in $doc/v return replace value of node $v with 1;
+  return value count($doc/v[. eq '1']);
+}|}
+    n
+
+(* ------------------------------------------------------------------ *)
+(* Timing helper for the report (median of repeated wall-clock runs)   *)
+(* ------------------------------------------------------------------ *)
+
+let time_ms ?(repeat = 5) f =
+  let times =
+    List.init repeat (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let sorted = List.sort compare times in
+  List.nth sorted (repeat / 2)
+
+(* ------------------------------------------------------------------ *)
+(* The experiment report                                                *)
+(* ------------------------------------------------------------------ *)
+
+let section title =
+  Printf.printf "\n================ %s ================\n" title
+
+let report () =
+  Printf.printf "XQSE/ALDSP reproduction - experiment report\n";
+  Printf.printf "(paper: ICDE 2008, Borkar et al.; see EXPERIMENTS.md)\n";
+
+  section "F3-read: Figure 3 getProfile() scaling";
+  Printf.printf "%-12s %-10s %-14s %-12s\n" "customers" "profiles" "ws calls" "median ms";
+  List.iter
+    (fun n ->
+      let env = FC.make ~customers:n () in
+      Webservice.reset_call_count env.FC.ws;
+      let ms = time_ms (fun () -> getprofile env) in
+      Printf.printf "%-12d %-10d %-14d %-12.2f\n" n (n + 1)
+        (Webservice.call_count env.FC.ws / 5)
+        ms)
+    [ 10; 50; 200 ];
+
+  section "F3-byid: getProfileById - optimizer on vs off";
+  List.iter
+    (fun n ->
+      let on = FC.make ~customers:n () in
+      let off = FC.make ~customers:n ~optimize:false () in
+      let t_on = time_ms (fun () -> FC.get_profile_by_id on "C1") in
+      let t_off = time_ms (fun () -> FC.get_profile_by_id off "C1") in
+      Printf.printf "N=%-4d  optimized %.2f ms   unoptimized %.2f ms   ratio %.2fx\n"
+        n t_on t_off (t_off /. t_on))
+    [ 10; 50 ];
+
+  section "F4-sdo: the Figure 4 disconnected update";
+  let env = Lazy.force profile_env_small in
+  let dg = FC.get_profile_by_id env "007" in
+  Sdo.set_leaf dg 1 [ ("LAST_NAME", 1) ] "Carey";
+  Printf.printf "datagraph wire form (change summary):\n  %s\n"
+    (Sdo.serialize dg);
+  let r = Aldsp.Dataspace.submit env.FC.ds env.FC.svc ~policy:Aldsp.Occ.Read_values dg in
+  Printf.printf "decomposed statements (%d, committed=%b):\n"
+    r.Aldsp.Dataspace.sr_statements r.Aldsp.Dataspace.sr_committed;
+  List.iter (fun s -> Printf.printf "  %s\n" s) r.Aldsp.Dataspace.sr_sql;
+  ignore (submit_rename env "007" "Carrey");
+
+  section "OCC: optimistic concurrency policies";
+  Printf.printf "%-18s %-28s %-10s\n" "policy" "concurrent writer touched" "outcome";
+  List.iter
+    (fun (policy, touched_col) ->
+      let env = FC.make ~customers:2 () in
+      let dg = FC.get_profile_by_id env "007" in
+      Sdo.set_leaf dg 1 [ ("LAST_NAME", 1) ] "Carey";
+      ignore
+        (R.Database.exec env.FC.db1
+           (R.Database.Update
+              { table = "CUSTOMER";
+                set = [ (touched_col, R.Value.Text "intruder") ];
+                where = R.Pred.eq "CID" (R.Value.Text "007") }));
+      let r = Aldsp.Dataspace.submit env.FC.ds env.FC.svc ~policy dg in
+      Printf.printf "%-18s %-28s %-10s\n"
+        (Aldsp.Occ.to_string policy)
+        touched_col
+        (if r.Aldsp.Dataspace.sr_committed then "committed" else "conflict"))
+    [
+      (Aldsp.Occ.Read_values, "FIRST_NAME");
+      (Aldsp.Occ.Updated_values, "FIRST_NAME");
+      (Aldsp.Occ.Updated_values, "LAST_NAME");
+      (Aldsp.Occ.Chosen [ "CID" ], "FIRST_NAME");
+    ];
+
+  section "XA: two-phase commit across db1 and db2";
+  let env = FC.make ~customers:2 () in
+  let dg = FC.get_profile_by_id env "007" in
+  Sdo.set_leaf dg 1 [ ("LAST_NAME", 1) ] "Carey";
+  Sdo.set_leaf dg 1 (Sdo.path_of_string "CreditCards/CREDIT_CARD[1]/BRAND") "AMEX";
+  R.Database.set_fail_on_prepare env.FC.db2 true;
+  let r = Aldsp.Dataspace.submit env.FC.ds env.FC.svc dg in
+  Printf.printf "prepare failure in db2 -> committed=%b (%s)\n"
+    r.Aldsp.Dataspace.sr_committed
+    (Option.value ~default:"-" r.Aldsp.Dataspace.sr_reason);
+  let row = Option.get (R.Table.find_pk env.FC.customer [ R.Value.Text "007" ]) in
+  Printf.printf "db1 rolled back -> LAST_NAME still %s\n"
+    (R.Value.to_string (R.Table.get row env.FC.customer "LAST_NAME"));
+
+  section "UC1: user-defined delete (XQSE over generated methods)";
+  let env1 = FE.make ~employees:8 () in
+  Xqse.Session.load_library (Aldsp.Dataspace.session env1.FE.ds) FE.uc1_delete_source;
+  ignore (Aldsp.Dataspace.call env1.FE.ds (uc "deleteByEmployeeID") [ Item.int 8 ]);
+  Printf.printf "deleteByEmployeeID(8): EMPLOYEE rows 8 -> %d; last SQL: %s\n"
+    (R.Table.row_count env1.FE.employee)
+    (List.nth (R.Database.sql_log env1.FE.hr)
+       (R.Database.log_size env1.FE.hr - 1));
+
+  section "UC2: management chain - procedural vs recursive-declarative";
+  let env2 = Lazy.force employees_chain in
+  let chain_len =
+    List.length
+      (Aldsp.Dataspace.call env2.FE.ds (uc "getManagementChain") [ Item.int 32 ])
+  in
+  let t_xqse =
+    time_ms (fun () ->
+        Aldsp.Dataspace.call env2.FE.ds (uc "getManagementChain") [ Item.int 32 ])
+  in
+  let t_rec =
+    time_ms (fun () ->
+        Aldsp.Dataspace.call env2.FE.ds (uc "chainRec") [ Item.int 32 ])
+  in
+  Printf.printf "chain depth %d: XQSE while-loop %.2f ms, recursive XQuery %.2f ms (ratio %.2f)\n"
+    chain_len t_xqse t_rec (t_xqse /. t_rec);
+
+  section "UC3: lightweight ETL (iterate + transform + insert)";
+  let env3 = Lazy.force employees_etl in
+  let t_etl =
+    time_ms ~repeat:3 (fun () ->
+        R.Table.clear env3.FE.emp2;
+        Aldsp.Dataspace.call env3.FE.ds (uc "copyAllToEMP2") [])
+  in
+  Printf.printf "copied %d employees in %.2f ms (%d INSERTs logged in backup)\n"
+    (R.Table.row_count env3.FE.emp2)
+    t_etl
+    (List.length
+       (List.filter
+          (fun s -> String.length s > 6 && String.sub s 0 6 = "INSERT")
+          (R.Database.sql_log env3.FE.backup)));
+
+  section "UC4: replicating create under injected faults";
+  let env4 = Lazy.force employees_repl in
+  let next_id = ref 1000 in
+  let attempt () =
+    incr next_id;
+    let emp =
+      List.hd
+        (Xml_parse.parse_fragment
+           (Printf.sprintf
+              {|<e:Employee xmlns:e="urn:employees"><EmployeeID>%d</EmployeeID><Name>B M</Name><DeptNo>10</DeptNo><ManagerID>1</ManagerID><Salary>1</Salary></e:Employee>|}
+              !next_id))
+    in
+    match Aldsp.Dataspace.call env4.FE.ds (uc "create") [ [ Item.Node emp ] ] with
+    | _ -> `Ok
+    | exception Item.Error { code; _ } -> `Failed code.Qname.local
+  in
+  List.iter
+    (fun rate ->
+      R.Database.set_fail_statements_after env4.FE.backup None;
+      let failures = ref 0 and oks = ref 0 and secondary = ref 0 in
+      for i = 1 to 20 do
+        (if rate > 0 && i mod rate = 0 then
+           R.Database.set_fail_statements_after env4.FE.backup (Some 0));
+        (match attempt () with
+        | `Ok -> incr oks
+        | `Failed "SECONDARY_CREATE_FAILURE" -> incr failures; incr secondary
+        | `Failed _ -> incr failures)
+      done;
+      Printf.printf
+        "backup fault every %-2s: %2d ok, %2d failed (all wrapped as SECONDARY: %b)\n"
+        (if rate = 0 then "-" else string_of_int rate)
+        !oks !failures
+        (!failures = !secondary))
+    [ 0; 4 ];
+
+  section "OPT: optimizer ablation on the Figure-3-shaped join";
+  Printf.printf "%-8s %-16s %-18s %-10s\n" "rows" "hash join (ms)" "nested loop (ms)" "speedup";
+  List.iter
+    (fun n ->
+      let compiled_on, compiled_off = join_sessions n in
+      let t_on = time_ms ~repeat:3 (fun () -> Xqse.Session.run compiled_on) in
+      let t_off = time_ms ~repeat:3 (fun () -> Xqse.Session.run compiled_off) in
+      Printf.printf "%-8d %-16.2f %-18.2f %-10.2f\n" n t_on t_off (t_off /. t_on))
+    [ 25; 100; 200 ];
+
+  section "IDX: foreign-key index ablation on navigation functions";
+  Printf.printf "%-8s %-18s %-18s %-10s\n" "orders" "indexed (ms)" "unindexed (ms)" "speedup";
+  List.iter
+    (fun n ->
+      let env = FC.make ~customers:n ~max_orders:4 () in
+      let nav () =
+        Xqse.Session.eval
+          (Aldsp.Dataspace.session env.FC.ds)
+          "count(for $c in customer:CUSTOMER() return customer:getORDERS($c))"
+      in
+      let t_indexed = time_ms ~repeat:3 nav in
+      R.Table.drop_indexes env.FC.orders;
+      let t_scan = time_ms ~repeat:3 nav in
+      R.Table.create_index env.FC.orders [ "CID" ];
+      Printf.printf "%-8d %-18.2f %-18.2f %-10.2f\n"
+        (R.Table.row_count env.FC.orders)
+        t_indexed t_scan (t_scan /. t_indexed))
+    [ 50; 200 ];
+
+  section "OVH: XQSE statement dispatch vs declarative evaluation";
+  let xqse_loop, xquery_sum, xquery_flwor = Lazy.force dispatch_session in
+  let t_loop = time_ms (fun () -> Xqse.Session.run xqse_loop) in
+  let t_sum = time_ms (fun () -> Xqse.Session.run xquery_sum) in
+  let t_flwor = time_ms (fun () -> Xqse.Session.run xquery_flwor) in
+  Printf.printf
+    "sum of 1..1000: XQSE while %.3f ms, fn:sum %.3f ms, FLWOR sum %.3f ms\n"
+    t_loop t_sum t_flwor;
+  Printf.printf "statement overhead vs fn:sum: %.1fx; vs FLWOR: %.1fx\n"
+    (t_loop /. t_sum) (t_loop /. t_flwor);
+
+  section "XUF: snapshot size sweep (one update statement, N replaces)";
+  List.iter
+    (fun n ->
+      let sess = Xqse.Session.create () in
+      let compiled = Xqse.Session.compile sess (snapshot_program n) in
+      let t = time_ms ~repeat:3 (fun () -> Xqse.Session.run compiled) in
+      Printf.printf "N=%-5d  %.2f ms per snapshot\n" n t)
+    [ 1; 10; 100; 1000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment             *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let fig3_read =
+    [
+      Test.make ~name:"fig3/getProfile/N=10"
+        (Staged.stage (fun () -> getprofile (Lazy.force profile_env_small)));
+      Test.make ~name:"fig3/getProfile/N=50"
+        (Staged.stage (fun () -> getprofile (Lazy.force profile_env_mid)));
+      Test.make ~name:"fig3/getProfileById/N=50"
+        (Staged.stage (fun () ->
+             FC.get_profile_by_id (Lazy.force profile_env_mid) "C7"));
+    ]
+  in
+  let fig4 =
+    let flip = ref false in
+    [
+      Test.make ~name:"fig4/sdo_update_roundtrip"
+        (Staged.stage (fun () ->
+             let env = Lazy.force profile_env_small in
+             flip := not !flip;
+             submit_rename env "007" (if !flip then "Carey" else "Carrey")));
+      Test.make ~name:"fig4/parse_figure3_source"
+        (Staged.stage (fun () ->
+             Xqse.Parse.parse_program
+               (Xquery.Context.default_static ())
+               FC.profile_source));
+    ]
+  in
+  let uc2 =
+    let env = Lazy.force employees_chain in
+    [
+      Test.make ~name:"uc2/mgmt_chain/xqse_while"
+        (Staged.stage (fun () ->
+             Aldsp.Dataspace.call env.FE.ds (uc "getManagementChain")
+               [ Item.int 32 ]));
+      Test.make ~name:"uc2/mgmt_chain/xquery_recursive"
+        (Staged.stage (fun () ->
+             Aldsp.Dataspace.call env.FE.ds (uc "chainRec") [ Item.int 32 ]));
+    ]
+  in
+  let uc3 =
+    let env = Lazy.force employees_etl in
+    [
+      Test.make ~name:"uc3/etl_copy/N=50"
+        (Staged.stage (fun () ->
+             R.Table.clear env.FE.emp2;
+             Aldsp.Dataspace.call env.FE.ds (uc "copyAllToEMP2") []));
+    ]
+  in
+  let uc4 =
+    let env = Lazy.force employees_repl in
+    let id = ref 100000 in
+    [
+      Test.make ~name:"uc4/replicated_create"
+        (Staged.stage (fun () ->
+             incr id;
+             let emp =
+               List.hd
+                 (Xml_parse.parse_fragment
+                    (Printf.sprintf
+                       {|<e:Employee xmlns:e="urn:employees"><EmployeeID>%d</EmployeeID><Name>A B</Name><DeptNo>10</DeptNo><ManagerID>1</ManagerID><Salary>1</Salary></e:Employee>|}
+                       !id))
+             in
+             Aldsp.Dataspace.call env.FE.ds (uc "create") [ [ Item.Node emp ] ]));
+    ]
+  in
+  let occ =
+    let flip = ref false in
+    let mk_occ name policy =
+      Test.make ~name
+        (Staged.stage (fun () ->
+             let env = Lazy.force profile_env_small in
+             flip := not !flip;
+             submit_rename ~policy env "C1" (if !flip then "A" else "B")))
+    in
+    [
+      mk_occ "occ/read_values" Aldsp.Occ.Read_values;
+      mk_occ "occ/updated_values" Aldsp.Occ.Updated_values;
+      mk_occ "occ/chosen_subset" (Aldsp.Occ.Chosen [ "CID" ]);
+    ]
+  in
+  let xa =
+    let schema =
+      {
+        R.Table.tbl_name = "T";
+        columns = [ { R.Table.col_name = "ID"; col_type = R.Value.T_int; nullable = false } ];
+        primary_key = [ "ID" ];
+        foreign_keys = [];
+      }
+    in
+    let a = R.Database.create "xa_a" in
+    ignore (R.Database.add_table a schema);
+    let b = R.Database.create "xa_b" in
+    ignore (R.Database.add_table b schema);
+    let i = ref 0 in
+    [
+      Test.make ~name:"xa/two_phase_commit"
+        (Staged.stage (fun () ->
+             incr i;
+             match
+               R.Xa.run [ a; b ] (fun () ->
+                   ignore (R.Database.exec a
+                       (R.Database.Insert { table = "T"; columns = [ "ID" ]; values = [ R.Value.Int !i ] }));
+                   ignore (R.Database.exec b
+                       (R.Database.Insert { table = "T"; columns = [ "ID" ]; values = [ R.Value.Int !i ] }));
+                   ignore (R.Database.exec a
+                       (R.Database.Delete { table = "T"; where = R.Pred.eq "ID" (R.Value.Int !i) }));
+                   ignore (R.Database.exec b
+                       (R.Database.Delete { table = "T"; where = R.Pred.eq "ID" (R.Value.Int !i) })))
+             with
+             | Ok () -> ()
+             | Error m -> failwith m));
+    ]
+  in
+  let opt =
+    let compiled_on_100, compiled_off_100 = join_sessions 100 in
+    [
+      Test.make ~name:"opt/join_optimized/N=100"
+        (Staged.stage (fun () -> Xqse.Session.run compiled_on_100));
+      Test.make ~name:"opt/join_nested_loop/N=100"
+        (Staged.stage (fun () -> Xqse.Session.run compiled_off_100));
+    ]
+  in
+  let idx =
+    let env_i = FC.make ~customers:100 ~max_orders:4 () in
+    let env_s = FC.make ~customers:100 ~max_orders:4 () in
+    R.Table.drop_indexes env_s.FC.orders;
+    let nav env () =
+      Xqse.Session.eval
+        (Aldsp.Dataspace.session env.FC.ds)
+        "count(for $c in customer:CUSTOMER() return customer:getORDERS($c))"
+    in
+    [
+      Test.make ~name:"idx/nav_indexed/N=100" (Staged.stage (nav env_i));
+      Test.make ~name:"idx/nav_scan/N=100" (Staged.stage (nav env_s));
+    ]
+  in
+  let ovh =
+    let xqse_loop, xquery_sum, xquery_flwor = Lazy.force dispatch_session in
+    [
+      Test.make ~name:"ovh/xqse_while_1000"
+        (Staged.stage (fun () -> Xqse.Session.run xqse_loop));
+      Test.make ~name:"ovh/fn_sum_1000"
+        (Staged.stage (fun () -> Xqse.Session.run xquery_sum));
+      Test.make ~name:"ovh/flwor_sum_1000"
+        (Staged.stage (fun () -> Xqse.Session.run xquery_flwor));
+    ]
+  in
+  let xuf =
+    List.map
+      (fun n ->
+        let sess = Xqse.Session.create () in
+        let compiled = Xqse.Session.compile sess (snapshot_program n) in
+        Test.make
+          ~name:(Printf.sprintf "xuf/snapshot/N=%d" n)
+          (Staged.stage (fun () -> Xqse.Session.run compiled)))
+      [ 1; 100 ]
+  in
+  fig3_read @ fig4 @ uc2 @ uc3 @ uc4 @ occ @ xa @ opt @ idx @ ovh @ xuf
+
+let run_benchmarks () =
+  let open Bechamel in
+  let open Toolkit in
+  Printf.printf "\n================ Bechamel micro-benchmarks ================\n";
+  Printf.printf "%-36s %16s\n%!" "benchmark" "time/run";
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] ->
+            let human =
+              if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+              else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+              else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+              else Printf.sprintf "%8.0f ns" ns
+            in
+            Printf.printf "%-36s %16s\n%!" name human
+          | _ -> Printf.printf "%-36s %16s\n%!" name "n/a")
+        analyzed)
+    (bechamel_tests ())
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  (match mode with
+  | "report" -> report ()
+  | "bench" -> run_benchmarks ()
+  | _ ->
+    report ();
+    run_benchmarks ());
+  Printf.printf "\ndone.\n"

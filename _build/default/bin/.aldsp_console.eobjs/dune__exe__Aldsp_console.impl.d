@@ -1,0 +1,1 @@
+bin/aldsp_console.ml: Aldsp Arg Buffer Cmd Cmdliner Core Fixtures In_channel List Printf Relational String Term Xdm Xqse Xquery

@@ -1,0 +1,1 @@
+bin/aldsp_console.mli:

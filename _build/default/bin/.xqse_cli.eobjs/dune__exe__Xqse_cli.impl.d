@@ -1,0 +1,1 @@
+bin/xqse_cli.ml: Arg Buffer Cmd Cmdliner Core In_channel List Manpage Printf String Term Xdm Xqse Xquery

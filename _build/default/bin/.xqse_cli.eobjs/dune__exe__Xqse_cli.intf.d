@@ -1,0 +1,1 @@
+bin/xqse_cli.mli:

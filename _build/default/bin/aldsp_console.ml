@@ -1,0 +1,109 @@
+(* aldsp-console — explore the demo dataspace (the paper's customer-
+   profile scenario plus the employees scenario) from a prompt.
+
+     aldsp-console --catalog                 # the design view (Figure 1)
+     aldsp-console -q 'profile:getProfile()' # one query
+     aldsp-console                           # interactive (';;' submits) *)
+
+open Core
+
+let build_dataspace () =
+  (* one dataspace hosting both worked scenarios: the customer-profile
+     sources live in their own env; employees are registered alongside *)
+  let env = Fixtures.Customer_profile.make ~customers:5 () in
+  let ds = env.Fixtures.Customer_profile.ds in
+  let hr = Relational.Database.create "hr" in
+  ignore (Relational.Database.add_table hr Fixtures.Employees.employee_schema);
+  let tbl = Relational.Database.table hr "EMPLOYEE" in
+  List.iteri
+    (fun i name ->
+      Relational.Table.insert tbl
+        [|
+          Relational.Value.Int (i + 1);
+          Text name;
+          Int (10 * (1 + (i mod 3)));
+          (if i = 0 then Relational.Value.Null else Relational.Value.Int ((i / 2) + 1));
+          Float (50000. +. (1000. *. float_of_int i));
+        |])
+    [ "Dana Wilson"; "Mona Davis"; "Bob Lee"; "Carol Thomas"; "Nils Walker" ];
+  ignore (Aldsp.Dataspace.register_database ds hr);
+  let sess = Aldsp.Dataspace.session ds in
+  Xqse.Session.declare_namespace sess "ens1" Fixtures.Employees.employees_ns;
+  Xqse.Session.declare_namespace sess "uc" Fixtures.Employees.usecases_ns;
+  Xqse.Session.load_library sess Fixtures.Employees.service_source;
+  Xqse.Session.load_library sess Fixtures.Employees.uc2_chain_source;
+  ds
+
+let eval_and_print ds src =
+  match Xqse.Session.eval (Aldsp.Dataspace.session ds) src with
+  | result -> print_endline (Xdm.Xml_serialize.seq_to_string result)
+  | exception Xdm.Item.Error { code; message; _ } ->
+    Printf.printf "error %s: %s\n" (Xdm.Qname.to_string code) message
+  | exception Xquery.Parser.Syntax_error { line; col; message } ->
+    Printf.printf "syntax error at %d:%d: %s\n" line col message
+
+let interactive ds =
+  Printf.printf
+    "ALDSP demo dataspace. End input with ';;'. Try: catalog:services()/@name\n";
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    print_string (if Buffer.length buf = 0 then "aldsp> " else "    -> ");
+    flush stdout;
+    match In_channel.input_line In_channel.stdin with
+    | None -> print_newline ()
+    | Some line ->
+      let trimmed = String.trim line in
+      let done_ =
+        String.length trimmed >= 2
+        && String.sub trimmed (String.length trimmed - 2) 2 = ";;"
+      in
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n';
+      if done_ then begin
+        let src = String.trim (Buffer.contents buf) in
+        let src = String.sub src 0 (String.length src - 2) in
+        Buffer.clear buf;
+        if String.trim src <> "" then eval_and_print ds src;
+        loop ()
+      end
+      else loop ()
+  in
+  loop ()
+
+let main catalog queries lineage =
+  let ds = build_dataspace () in
+  if catalog then print_string (Aldsp.Dataspace.describe ds);
+  (match lineage with
+  | Some name -> (
+    match Aldsp.Dataspace.find_service ds name with
+    | None -> Printf.printf "no such service: %s\n" name
+    | Some svc -> (
+      match Aldsp.Dataspace.lineage_of ds svc with
+      | Ok blk -> print_string (Aldsp.Lineage.describe blk)
+      | Error m -> Printf.printf "lineage error: %s\n" m))
+  | None -> ());
+  List.iter (eval_and_print ds) queries;
+  if (not catalog) && queries = [] && lineage = None then interactive ds;
+  `Ok ()
+
+open Cmdliner
+
+let catalog =
+  let doc = "Print the design view of every data service." in
+  Arg.(value & flag & info [ "catalog" ] ~doc)
+
+let queries =
+  let doc = "Evaluate $(docv) against the demo dataspace." in
+  Arg.(value & opt_all string [] & info [ "q"; "query" ] ~docv:"QUERY" ~doc)
+
+let lineage =
+  let doc = "Print the update lineage of the named service." in
+  Arg.(value & opt (some string) None & info [ "lineage" ] ~docv:"SERVICE" ~doc)
+
+let cmd =
+  let doc = "explore the demo ALDSP dataspace" in
+  Cmd.v
+    (Cmd.info "aldsp-console" ~version:"1.0.0" ~doc)
+    Term.(ret (const main $ catalog $ queries $ lineage))
+
+let () = exit (Cmd.eval cmd)

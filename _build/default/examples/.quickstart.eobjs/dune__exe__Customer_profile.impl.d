@@ -1,0 +1,1 @@
+examples/customer_profile.ml: Aldsp Core Fixtures List Printexc Printf Relational Sdo String Xdm

@@ -1,0 +1,1 @@
+examples/etl_copy.ml: Aldsp Array Core Fixtures List Printf Relational String Xdm Xqse

@@ -1,0 +1,1 @@
+examples/management_chain.ml: Aldsp Core Fixtures List Printf String Xdm Xqse

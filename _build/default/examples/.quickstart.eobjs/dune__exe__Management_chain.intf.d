@@ -1,0 +1,1 @@
+examples/management_chain.mli:

@@ -1,0 +1,1 @@
+examples/order_workflow.ml: Aldsp Core List Printf Relational String Xdm Xqse

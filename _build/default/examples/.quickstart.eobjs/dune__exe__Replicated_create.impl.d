@@ -1,0 +1,1 @@
+examples/replicated_create.ml: Aldsp Core Fixtures List Printf Relational String Xdm Xqse

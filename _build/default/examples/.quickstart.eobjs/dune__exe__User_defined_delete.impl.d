@@ -1,0 +1,1 @@
+examples/user_defined_delete.ml: Aldsp Core Fixtures List Printf Relational String Xdm Xqse

@@ -1,0 +1,1 @@
+examples/user_defined_delete.mli:

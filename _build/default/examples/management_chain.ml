@@ -1,0 +1,57 @@
+(* Use case 2 (paper section III.D.2): imperative computation.
+
+   Some computations are easier to express procedurally: the management
+   chain of an employee walks the manager hierarchy with a while loop.
+   Because the procedure is declared readonly ("declare xqse function"),
+   it is also callable from plain XQuery.
+
+   Run with:  dune exec examples/management_chain.exe *)
+
+open Core
+module F = Fixtures.Employees
+
+let () =
+  let env = F.make ~employees:20 ~fanout:3 () in
+  let ds = env.F.ds in
+  let sess = Aldsp.Dataspace.session ds in
+  Xqse.Session.load_library sess F.uc2_chain_source;
+
+  print_endline "--- the XQSE source ---";
+  print_endline (String.trim F.uc2_chain_source);
+
+  print_endline "\n--- chains, called as a procedure ---";
+  List.iter
+    (fun id ->
+      let chain =
+        Aldsp.Dataspace.call ds
+          (Xdm.Qname.make ~uri:F.usecases_ns "getManagementChain")
+          [ Xdm.Item.int id ]
+      in
+      let names =
+        List.map
+          (fun item ->
+            match item with
+            | Xdm.Item.Node n ->
+              Xdm.Node.string_value
+                (List.find
+                   (fun c ->
+                     match Xdm.Node.name c with
+                     | Some q -> q.Xdm.Qname.local = "Name"
+                     | None -> false)
+                   (Xdm.Node.children n))
+            | Xdm.Item.Atomic _ -> "?")
+          chain
+      in
+      Printf.printf "employee %2d: %s\n" id (String.concat " -> " names))
+    [ 20; 13; 7; 1 ];
+
+  print_endline "\n--- the same function used from XQuery ---";
+  let q =
+    {|for $e in ens1:getAll()
+  let $depth := count(uc:getManagementChain(xs:integer($e/EmployeeID)))
+  order by $depth descending, xs:integer($e/EmployeeID)
+  return <depth id="{$e/EmployeeID}">{$depth}</depth>|}
+  in
+  print_endline q;
+  let result = Xqse.Session.eval sess q in
+  Printf.printf "=> %s\n" (Xdm.Xml_serialize.seq_to_string result)

@@ -1,0 +1,157 @@
+(* A complete data-services workflow written in XQSE — the kind of
+   service-layer logic the paper's introduction motivates: an order
+   placement procedure that validates stock, writes two tables, handles
+   failures with try/catch, and exposes read-only reporting functions
+   callable from plain XQuery.
+
+   Run with:  dune exec examples/order_workflow.exe *)
+
+open Core
+module R = Relational
+
+let col name col_type nullable = { R.Table.col_name = name; col_type; nullable }
+
+let product_schema =
+  {
+    R.Table.tbl_name = "PRODUCT";
+    columns =
+      [
+        col "SKU" R.Value.T_text false;
+        col "NAME" R.Value.T_text false;
+        col "PRICE" R.Value.T_float false;
+        col "STOCK" R.Value.T_int false;
+      ];
+    primary_key = [ "SKU" ];
+    foreign_keys = [];
+  }
+
+let order_schema =
+  {
+    R.Table.tbl_name = "SALES_ORDER";
+    columns =
+      [
+        col "OID" R.Value.T_int false;
+        col "SKU" R.Value.T_text false;
+        col "QTY" R.Value.T_int false;
+        col "AMOUNT" R.Value.T_float false;
+      ];
+    primary_key = [ "OID" ];
+    foreign_keys =
+      [
+        {
+          R.Table.fk_columns = [ "SKU" ];
+          fk_ref_table = "PRODUCT";
+          fk_ref_columns = [ "SKU" ];
+        };
+      ];
+  }
+
+let workflow_source =
+  {|
+declare namespace product = "ld:shop/PRODUCT";
+declare namespace sales_order = "ld:shop/SALES_ORDER";
+declare namespace shop = "urn:shop";
+
+(: look one product up; read-only, usable from anywhere :)
+declare function shop:product($sku as xs:string) as element(PRODUCT)? {
+  (for $p in product:PRODUCT() where $p/SKU eq $sku return $p)[1]
+};
+
+(: the order-placement procedure: validates, writes both tables,
+   classifies failures :)
+declare procedure shop:placeOrder($oid as xs:integer,
+                                  $sku as xs:string,
+                                  $qty as xs:integer) as element(Receipt) {
+  (: block declarations come first, per the paper's grammar (III.B.5) :)
+  declare $p := shop:product($sku);
+  declare $stock as xs:integer :=
+    if (fn:empty($p)) then 0 else xs:integer($p/STOCK);
+  declare $amount as xs:double :=
+    (if (fn:empty($p)) then 0e0 else xs:double($p/PRICE)) * $qty;
+  if ($qty le 0) then
+    fn:error(xs:QName("BAD_QUANTITY"), "quantity must be positive");
+  if (fn:empty($p)) then
+    fn:error(xs:QName("NO_SUCH_PRODUCT"), $sku);
+  if ($stock lt $qty) then
+    fn:error(xs:QName("OUT_OF_STOCK"),
+             fn:concat($sku, ": ", $stock, " left, ", $qty, " requested"));
+  try {
+    sales_order:createSALES_ORDER(
+      <SALES_ORDER>
+        <OID>{$oid}</OID><SKU>{$sku}</SKU>
+        <QTY>{$qty}</QTY><AMOUNT>{$amount}</AMOUNT>
+      </SALES_ORDER>);
+    product:updatePRODUCT(
+      <PRODUCT>
+        <SKU>{$sku}</SKU><NAME>{fn:data($p/NAME)}</NAME>
+        <PRICE>{fn:data($p/PRICE)}</PRICE><STOCK>{$stock - $qty}</STOCK>
+      </PRODUCT>);
+  } catch (* into $e, $m) {
+    fn:error(xs:QName("ORDER_FAILED"), fn:concat($e, ": ", $m));
+  };
+  return value
+    <Receipt oid="{$oid}">
+      <Item>{fn:data($p/NAME)}</Item>
+      <Qty>{$qty}</Qty>
+      <Total>{$amount}</Total>
+    </Receipt>;
+};
+
+(: reporting: a readonly procedure, so it composes with XQuery below :)
+declare xqse function shop:revenue() as xs:double {
+  declare $total as xs:double := 0;
+  iterate $o over sales_order:SALES_ORDER() {
+    set $total := $total + xs:double($o/AMOUNT);
+  }
+  return value $total;
+};
+|}
+
+let () =
+  let db = R.Database.create "shop" in
+  let products = R.Database.add_table db product_schema in
+  let (_ : R.Table.t) = R.Database.add_table db order_schema in
+  R.Table.insert products [| R.Value.Text "KB-1"; Text "Keyboard"; Float 49.0; Int 10 |];
+  R.Table.insert products [| R.Value.Text "MS-2"; Text "Mouse"; Float 19.0; Int 3 |];
+  let ds = Aldsp.Dataspace.create () in
+  ignore (Aldsp.Dataspace.register_database ds db);
+  let sess = Aldsp.Dataspace.session ds in
+  Xqse.Session.declare_namespace sess "shop" "urn:shop";
+  Xqse.Session.load_library sess workflow_source;
+
+  print_endline "--- the XQSE service layer ---";
+  print_endline (String.trim workflow_source);
+
+  let place oid sku qty =
+    match
+      Xqse.Session.eval sess
+        (Printf.sprintf "{ return value shop:placeOrder(%d, '%s', %d); }" oid sku qty)
+    with
+    | receipt ->
+      Printf.printf "placed: %s\n" (Xdm.Xml_serialize.seq_to_string receipt)
+    | exception Xdm.Item.Error { code; message; _ } ->
+      Printf.printf "rejected [%s]: %s\n" (Xdm.Qname.to_string code) message
+  in
+  print_endline "\n--- placing orders ---";
+  place 1 "KB-1" 2;
+  place 2 "MS-2" 1;
+  place 3 "MS-2" 5 (* only 2 left *);
+  place 4 "USB-9" 1 (* unknown *);
+  place 5 "KB-1" (-1) (* invalid *);
+
+  print_endline "\n--- stock after the workflow ---";
+  List.iter
+    (fun row ->
+      Printf.printf "  %-6s stock=%s\n"
+        (R.Value.to_string (R.Table.get row products "SKU"))
+        (R.Value.to_string (R.Table.get row products "STOCK")))
+    (R.Table.scan products);
+
+  print_endline "\n--- reporting from plain XQuery (readonly procedure) ---";
+  Printf.printf "revenue: %s\n"
+    (Xqse.Session.eval_to_string sess "shop:revenue()");
+  Printf.printf "orders over $20: %s\n"
+    (Xqse.Session.eval_to_string sess
+       "count(sales_order:SALES_ORDER()[xs:double(AMOUNT) gt 20])");
+  Printf.printf "\nSQL issued to the shop database:\n";
+  List.iter (fun s -> Printf.printf "  %s\n" s) (R.Database.sql_log db)

@@ -1,0 +1,126 @@
+(* Quickstart: the XQSE language in five minutes.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Core
+
+let run title src =
+  Printf.printf "--- %s ---\n%s\n" title (String.trim src);
+  let session = Xqse.Session.create () in
+  Xqse.Session.set_trace session (fun m -> Printf.printf "  [trace] %s\n" m);
+  (match Xqse.Session.eval session src with
+  | result -> Printf.printf "=> %s\n\n" (Xdm.Xml_serialize.seq_to_string result)
+  | exception Xdm.Item.Error { code; message; _ } ->
+    Printf.printf "=> error %s: %s\n\n" (Xdm.Qname.to_string code) message)
+
+let () =
+  (* 1. the time-worn greeting (paper section III.B.7) *)
+  run "hello, world" {| { return value "Hello, World"; } |};
+
+  (* 2. plain XQuery still works: a query body may be an expression *)
+  run "xquery body"
+    {| for $i in 1 to 5 where $i mod 2 eq 1 return $i * $i |};
+
+  (* 3. blocks, assignable variables and while (paper III.B.10) *)
+  run "while loop"
+    {|
+{
+  declare $y, $x := 3;
+  while ($x lt 100) {
+    set $y := ($y, $x);
+    set $x := $x * 2;
+  }
+  return value $y;
+}
+|};
+
+  (* 4. iterate over a sequence with a positional variable *)
+  run "iterate"
+    {|
+{
+  declare $weighted := 0;
+  iterate $v at $i over (10, 20, 30) {
+    set $weighted := $weighted + $v * $i;
+  }
+  return value $weighted;
+}
+|};
+
+  (* 5. try/catch with error variables (paper III.B.13) *)
+  run "try/catch"
+    {|
+{
+  declare $x, $y := 0;
+  try {
+    set $x := $y div 0;
+    return value $x;
+  } catch (*:* into $e, $m) {
+    fn:trace($e, $m);
+    return value "Error";
+  }
+}
+|};
+
+  (* 6. procedures: readonly procedures are callable from XQuery *)
+  run "readonly procedure (an 'XQSE function')"
+    {|
+declare xqse function local:fib($n as xs:integer) as xs:integer {
+  declare $a := 0, $b := 1, $i := 0;
+  while ($i lt $n) {
+    declare $t := $a + $b;
+    set $a := $b;
+    set $b := $t;
+    set $i := $i + 1;
+  }
+  return value $a;
+};
+for $n in 1 to 10 return local:fib($n)
+|};
+
+  (* 7. the update statement: one XQuery-Update snapshot per statement
+     (paper III.C.14 — the roadmap feature, implemented here) *)
+  run "update statement over XUF"
+    {|
+declare variable $doc :=
+  <inventory><item sku="a1"><qty>10</qty></item></inventory>;
+{
+  replace value of node $doc/item[@sku eq 'a1']/qty with 9;
+  insert node <item sku="b2"><qty>5</qty></item> into $doc;
+  return value $doc;
+}
+|};
+
+  (* 8. typeswitch dispatches on dynamic types *)
+  run "typeswitch"
+    {|
+for $v in (42, 'text', <node/>, 3.14)
+return typeswitch ($v)
+       case xs:integer return "int"
+       case xs:string  return "string"
+       case element()  return "element"
+       default $d      return concat("other: ", string($d))
+|};
+
+  (* 9. dates and durations: temporal arithmetic for order-style data *)
+  run "durations"
+    {|
+let $orders := (<o placed="2007-11-28"/>, <o placed="2007-12-08"/>)
+for $o in $orders
+let $age := current-date() - xs:date($o/@placed)
+where $age gt xs:dayTimeDuration('P7D')
+return concat('overdue by ', days-from-duration($age) - 7, ' day(s)')
+|};
+
+  (* 10. sessions: declarations persist; modules organize them *)
+  print_endline "--- sessions and modules ---";
+  let session = Xqse.Session.create () in
+  Xqse.Session.register_module session "urn:geometry"
+    {|
+declare namespace g = "urn:geometry";
+declare function g:area($w as xs:double, $h as xs:double) as xs:double {
+  $w * $h
+};
+|};
+  Printf.printf "=> %s\n"
+    (Xqse.Session.eval_to_string session
+       {|import module namespace g = "urn:geometry"; g:area(6, 7)|})

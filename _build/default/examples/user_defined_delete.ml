@@ -1,0 +1,46 @@
+(* Use case 1 (paper section III.D.1): user-defined update.
+
+   ALDSP auto-generates create/update/delete methods taking full data
+   service objects. This XQSE procedure augments them with a delete that
+   takes just an employee id: it looks the employee up and calls the
+   generated delete method on the resulting object.
+
+   Run with:  dune exec examples/user_defined_delete.exe *)
+
+open Core
+module F = Fixtures.Employees
+module R = Relational
+
+let () =
+  let env = F.make ~employees:8 () in
+  let ds = env.F.ds in
+  Xqse.Session.load_library (Aldsp.Dataspace.session ds) F.uc1_delete_source;
+
+  print_endline "--- the XQSE source ---";
+  print_endline (String.trim F.uc1_delete_source);
+
+  print_endline "\n--- the generated methods of the physical service ---";
+  (match Aldsp.Dataspace.find_service ds "hr/EMPLOYEE" with
+  | Some svc -> print_string (Aldsp.Data_service.describe svc)
+  | None -> print_endline "service not found");
+
+  let delete id =
+    Aldsp.Dataspace.call ds
+      (Xdm.Qname.make ~uri:F.usecases_ns "deleteByEmployeeID")
+      [ Xdm.Item.int id ]
+  in
+  Printf.printf "\nEMPLOYEE has %d rows\n" (R.Table.row_count env.F.employee);
+  ignore (delete 8);
+  Printf.printf "after deleteByEmployeeID(8): %d rows\n"
+    (R.Table.row_count env.F.employee);
+  print_endline "SQL issued:";
+  List.iter
+    (fun s -> Printf.printf "  %s\n" s)
+    (List.filteri
+       (fun i _ -> i >= R.Database.log_size env.F.hr - 1)
+       (R.Database.sql_log env.F.hr));
+
+  print_endline "\n--- deleting a missing employee raises the custom error ---";
+  (try ignore (delete 8)
+   with Xdm.Item.Error { code; message; _ } ->
+     Printf.printf "caught %s: %s\n" (Xdm.Qname.to_string code) message)

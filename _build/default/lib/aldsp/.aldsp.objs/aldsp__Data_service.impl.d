@@ -1,0 +1,1 @@
+lib/aldsp/data_service.ml: Buffer List Printf Qname Schema String Xdm

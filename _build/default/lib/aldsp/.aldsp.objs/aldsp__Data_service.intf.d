@@ -1,0 +1,1 @@
+lib/aldsp/data_service.mli: Qname Schema Xdm

@@ -1,0 +1,1 @@
+lib/aldsp/dataspace.ml: Data_service Decompose Hashtbl Item Lineage List Logs Node Occ Option Printf Qname Relational Rowxml Schema Sdo Seqtype String Webservice Xdm Xml_parse Xqse Xquery

@@ -1,0 +1,1 @@
+lib/aldsp/dataspace.mli: Data_service Item Lineage Occ Qname Relational Schema Sdo Webservice Xdm Xqse

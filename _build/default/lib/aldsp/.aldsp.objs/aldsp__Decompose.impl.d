@@ -1,0 +1,1 @@
+lib/aldsp/decompose.ml: Lineage List Node Occ Printf Qname Relational Sdo String Xdm

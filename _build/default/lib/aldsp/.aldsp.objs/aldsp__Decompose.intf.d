@@ -1,0 +1,1 @@
+lib/aldsp/decompose.mli: Lineage Occ Relational Sdo Xdm

@@ -1,0 +1,1 @@
+lib/aldsp/lineage.ml: Buffer List Option Printf Qname String Xdm Xquery

@@ -1,0 +1,1 @@
+lib/aldsp/lineage.mli: Xdm Xquery

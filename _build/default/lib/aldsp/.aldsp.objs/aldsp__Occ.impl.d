@@ -1,0 +1,1 @@
+lib/aldsp/occ.ml: List Relational String

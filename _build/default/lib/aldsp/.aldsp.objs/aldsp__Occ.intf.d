@@ -1,0 +1,1 @@
+lib/aldsp/occ.mli: Relational

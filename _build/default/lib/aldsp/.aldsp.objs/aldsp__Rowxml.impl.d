@@ -1,0 +1,1 @@
+lib/aldsp/rowxml.ml: Array List Node Printf Qname Relational Schema Xdm

@@ -1,0 +1,1 @@
+lib/aldsp/rowxml.mli: Node Qname Relational Schema Xdm

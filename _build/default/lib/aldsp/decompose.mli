@@ -1,0 +1,75 @@
+(** Update decomposition (paper section II.C).
+
+    Turns an SDO change summary into per-source SQL statements using the
+    primary read function's lineage, conditions them per the optimistic
+    concurrency policy, and executes them atomically across the affected
+    databases with XA two-phase commit.
+
+    Unaffected sources see no statements at all; unchanged columns are
+    not written. *)
+
+type step = { step_db : string; step_dml : Relational.Database.dml }
+
+type plan = step list
+
+exception Not_updatable of string
+(** Raised while planning when a change touches a computed (opaque) leaf
+    or an element the lineage cannot map to a source row. *)
+
+val plan :
+  lookup_table:(db:string -> table:string -> Relational.Table.t) ->
+  policy:Occ.policy ->
+  lineage:Lineage.block ->
+  Sdo.t ->
+  plan
+(** Build the statement plan for a submitted datagraph. Raises
+    {!Not_updatable} on unmappable changes; an empty change summary
+    yields an empty plan. *)
+
+val plan_to_strings : plan -> string list
+(** The generated SQL, with its target database: ["db1: UPDATE …"]. *)
+
+(** {1 Whole-object planners}
+
+    Used by the auto-generated create/update/delete methods of logical
+    data services (paper section III.D.1: "ALDSP 3.0 will automatically
+    generate create, update, and delete methods … for logical data
+    services whose read logic it can introspect and reverse-engineer"). *)
+
+val plan_create_object :
+  lookup_table:(db:string -> table:string -> Relational.Table.t) ->
+  lineage:Lineage.block ->
+  Xdm.Node.t ->
+  plan
+(** INSERTs for the object's root row and, recursively, its nested rows
+    (parent-link columns filled from the enclosing row when absent). *)
+
+val plan_delete_object :
+  lookup_table:(db:string -> table:string -> Relational.Table.t) ->
+  policy:Occ.policy ->
+  lineage:Lineage.block ->
+  Xdm.Node.t ->
+  plan
+(** DELETEs, children before parents, conditioned per the policy. *)
+
+val plan_replace_object :
+  lookup_table:(db:string -> table:string -> Relational.Table.t) ->
+  lineage:Lineage.block ->
+  Xdm.Node.t ->
+  plan
+(** Field-wise UPDATE by primary key of every mapped row of the object
+    (all mapped non-key columns are written, absent elements as NULL).
+    Rows added to or removed from the instance are not reconciled — use
+    the SDO change-summary path for structural changes. *)
+
+type outcome = {
+  committed : bool;
+  statements : int;  (** statements executed (0 when rolled back) *)
+  reason : string option;  (** rollback reason *)
+}
+
+val execute : db_of:(string -> Relational.Database.t) -> plan -> outcome
+(** Run the plan inside one XA transaction across the involved databases.
+    A conditioned UPDATE/DELETE that affects no row is an optimistic-
+    concurrency conflict: the transaction aborts and every source rolls
+    back. *)

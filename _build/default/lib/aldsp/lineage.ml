@@ -1,0 +1,320 @@
+open Xdm
+module A = Xquery.Ast
+
+type field = { f_elem : string; f_column : string }
+
+type child = {
+  c_wrapper : string option;
+  c_block : block;
+  c_link : (string * string) list;
+}
+
+and block = {
+  b_row_elem : string;
+  b_db : string;
+  b_table : string;
+  b_fields : field list;
+  b_opaque : string list;
+  b_children : child list;
+  b_layout : string list;
+}
+
+type source_fn =
+  | Read_fn of { db : string; table : string }
+  | Nav_fn of {
+      db : string;
+      table : string;
+      parent_table : string;
+      link : (string * string) list;
+    }
+  | Logical_fn of block
+
+exception Unanalyzable of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Unanalyzable s)) fmt
+
+let find_field blk elem = List.find_opt (fun f -> f.f_elem = elem) blk.b_fields
+
+let find_child blk name =
+  List.find_opt
+    (fun c ->
+      match c.c_wrapper with
+      | Some w -> w = name
+      | None -> c.c_block.b_row_elem = name)
+    blk.b_children
+
+(* What a loop variable's rows look like: physical rows expose their
+   columns directly (element name = column name); logical rows map
+   through the inner service's lineage block. *)
+type row_desc =
+  | Phys of { p_db : string; p_table : string }
+  | Composed of block
+
+let desc_db = function Phys p -> p.p_db | Composed b -> b.b_db
+let desc_table = function Phys p -> p.p_table | Composed b -> b.b_table
+
+let desc_field desc elem =
+  match desc with
+  | Phys _ -> Some elem (* element names are column names *)
+  | Composed blk -> Option.map (fun f -> f.f_column) (find_field blk elem)
+
+let desc_is_opaque desc elem =
+  match desc with
+  | Phys _ -> false
+  | Composed blk -> List.mem elem blk.b_opaque
+
+(* $v/E — also accepts fn:data($v/E) and $v/E/text(); returns the leaf
+   element name *)
+let rec elem_of_expr var e =
+  match e with
+  | A.Call (q, [ inner ]) when q.Qname.uri = Qname.fn_ns && q.Qname.local = "data"
+    -> elem_of_expr var inner
+  | A.Path (A.Var v, A.Step (A.Child, A.Name_test el, []))
+    when Qname.equal v var -> Some el.Qname.local
+  | A.Path
+      ( A.Path (A.Var v, A.Step (A.Child, A.Name_test el, [])),
+        A.Step (A.Child, A.Kind_text, []) )
+    when Qname.equal v var -> Some el.Qname.local
+  | _ -> None
+
+(* $v/Step1/Step2… — the element-name path of a nested-row source *)
+let path_of_expr var e =
+  let rec go acc e =
+    match e with
+    | A.Var v when Qname.equal v var -> Some acc
+    | A.Path (inner, A.Step (A.Child, A.Name_test el, [])) ->
+      go (el.Qname.local :: acc) inner
+    | _ -> None
+  in
+  go [] e
+
+(* a join condition between two loop variables, in element terms:
+   (child element, parent element) *)
+let join_link ~parent_var ~child_var cond =
+  let sides l r =
+    match (elem_of_expr parent_var l, elem_of_expr child_var r) with
+    | Some pel, Some cel -> Some (cel, pel)
+    | _ -> None
+  in
+  match cond with
+  | A.Value_cmp (A.Eq, l, r) | A.General_cmp (A.Eq, l, r) -> (
+    match sides l r with Some link -> Some link | None -> sides r l)
+  | _ -> None
+
+(* walk a path of element names through a composed block's children:
+   ["Orders"; "ORDERS"] -> the ORDERS child *)
+let child_of_path blk names =
+  let rec go blk = function
+    | [] -> None
+    | [ name ] -> find_child blk name
+    | name :: rest -> (
+      match find_child blk name with
+      | Some c -> (
+        match c.c_wrapper with
+        | Some _ -> (
+          match rest with
+          | row_name :: rest' when row_name = c.c_block.b_row_elem ->
+            if rest' = [] then Some c else go c.c_block rest'
+          | _ -> None)
+        | None -> go c.c_block rest)
+      | None -> None)
+  in
+  go blk names
+
+let rec analyze_block ~resolve ~outer (clauses, ret) =
+  (* expect: for $v in <source> (where join)? return <ctor> *)
+  let binding, rest_clauses =
+    match clauses with
+    | A.For_clause [ b ] :: rest -> (b, rest)
+    | _ -> fail "expected a single-variable for clause"
+  in
+  let var = binding.A.for_var in
+  (* resolve the binding source into a row descriptor + correlation *)
+  let desc, link =
+    match binding.A.for_expr with
+    | A.Call (fname, args) -> (
+      match resolve fname with
+      | Some (Read_fn { db; table }) -> (
+        let desc = Phys { p_db = db; p_table = table } in
+        match (args, outer) with
+        | [], None -> (desc, [])
+        | [], Some (outer_var, _outer_desc) ->
+          (desc, correlation ~rest_clauses ~outer ~outer_var ~var ~desc)
+        | _ ->
+          fail "read function %s must be called with no arguments"
+            (Qname.to_string fname))
+      | Some (Nav_fn { db; table; parent_table; link }) -> (
+        match (args, outer) with
+        | [ A.Var arg ], Some (outer_var, outer_desc)
+          when Qname.equal arg outer_var ->
+          if desc_table outer_desc <> parent_table then
+            fail "navigation function %s expects a %s row, not %s"
+              (Qname.to_string fname) parent_table (desc_table outer_desc);
+          (Phys { p_db = db; p_table = table }, link)
+        | _ ->
+          fail "navigation function %s must be called on the outer row \
+                variable"
+            (Qname.to_string fname))
+      | Some (Logical_fn blk) -> (
+        let desc = Composed blk in
+        match (args, outer) with
+        | [], None -> (desc, [])
+        | [], Some (outer_var, _) ->
+          (desc, correlation ~rest_clauses ~outer ~outer_var ~var ~desc)
+        | _ ->
+          fail "logical read function %s must be called with no arguments"
+            (Qname.to_string fname))
+      | None ->
+        fail "%s is not a data-service read function" (Qname.to_string fname))
+    | path_expr -> (
+      (* nested rows of a composed outer row: for $o in $p/Orders/ORDERS *)
+      match outer with
+      | Some (outer_var, Composed outer_blk) -> (
+        match path_of_expr outer_var path_expr with
+        | Some names -> (
+          match child_of_path outer_blk names with
+          | Some c -> (Composed c.c_block, c.c_link)
+          | None ->
+            fail "path %s does not lead to a nested row block of %s"
+              (String.concat "/" names) outer_blk.b_row_elem)
+        | None -> fail "for clause source is not a data-service function call")
+      | _ -> fail "for clause source is not a data-service function call")
+  in
+  let name, contents =
+    match ret with
+    | A.Elem_ctor (name, _attrs, contents) -> (name, contents)
+    | _ -> fail "return clause is not an element constructor"
+  in
+  let fields = ref [] in
+  let opaque = ref [] in
+  let children = ref [] in
+  let layout = ref [] in
+  let note name = layout := name :: !layout in
+  let add_leaf leaf_name content_exprs =
+    match content_exprs with
+    | [ A.Content_expr e ] -> (
+      match elem_of_expr var e with
+      | Some el -> (
+        match desc_field desc el with
+        | Some col ->
+          note leaf_name;
+          fields := { f_elem = leaf_name; f_column = col } :: !fields
+        | None ->
+          ignore (desc_is_opaque desc el);
+          note leaf_name;
+          opaque := leaf_name :: !opaque)
+      | None -> (
+        match e with
+        | A.Flwor (cls, ret) -> (
+          match analyze_nested ~resolve ~outer:(var, desc) (cls, ret) with
+          | Some (blk, link) ->
+            note leaf_name;
+            children :=
+              { c_wrapper = Some leaf_name; c_block = blk; c_link = link }
+              :: !children
+          | None ->
+            note leaf_name;
+            opaque := leaf_name :: !opaque)
+        | _ ->
+          note leaf_name;
+          opaque := leaf_name :: !opaque))
+    | _ ->
+      note leaf_name;
+      opaque := leaf_name :: !opaque
+  in
+  List.iter
+    (fun content ->
+      match content with
+      | A.Content_node (A.Elem_ctor (leaf, _, cts)) ->
+        add_leaf leaf.Qname.local cts
+      | A.Content_expr (A.Flwor (cls, ret)) -> (
+        match analyze_nested ~resolve ~outer:(var, desc) (cls, ret) with
+        | Some (blk, link) ->
+          note blk.b_row_elem;
+          children :=
+            { c_wrapper = None; c_block = blk; c_link = link } :: !children
+        | None ->
+          (* unanalyzable inline FLWOR (e.g. a web-service call): keep
+             the constructed element name as the opaque leaf when the
+             return clause reveals it *)
+          let name =
+            match ret with
+            | A.Elem_ctor (n, _, _) -> n.Qname.local
+            | _ -> "(anonymous)"
+          in
+          note name;
+          opaque := name :: !opaque)
+      | A.Content_text _ -> ()
+      | A.Content_expr _ | A.Content_node _ ->
+        note "(anonymous)";
+        opaque := "(anonymous)" :: !opaque)
+    contents;
+  ( {
+      b_row_elem = name.Qname.local;
+      b_db = desc_db desc;
+      b_table = desc_table desc;
+      b_fields = List.rev !fields;
+      b_opaque = List.rev !opaque;
+      b_children = List.rev !children;
+      b_layout = List.rev !layout;
+    },
+    link )
+
+(* a where equi-join correlating the nested var with the outer var,
+   with both sides mapped from element names to source columns *)
+and correlation ~rest_clauses ~outer ~outer_var ~var ~desc =
+  let outer_desc =
+    match outer with Some (_, d) -> d | None -> assert false
+  in
+  let link =
+    List.find_map
+      (function
+        | A.Where_clause cond ->
+          join_link ~parent_var:outer_var ~child_var:var cond
+        | _ -> None)
+      rest_clauses
+  in
+  match link with
+  | Some (cel, pel) -> (
+    match (desc_field desc cel, desc_field outer_desc pel) with
+    | Some ccol, Some pcol -> [ (ccol, pcol) ]
+    | _ -> fail "join predicate uses elements not mapped to source columns")
+  | None -> fail "nested block has no join predicate correlating it"
+
+and analyze_nested ~resolve ~outer (cls, ret) =
+  match analyze_block ~resolve ~outer:(Some outer) (cls, ret) with
+  | blk, link -> Some (blk, link)
+  | exception Unanalyzable _ -> None
+
+let analyze ~resolve body =
+  match body with
+  | A.Flwor (clauses, ret) -> (
+    match analyze_block ~resolve ~outer:None (clauses, ret) with
+    | blk, _ -> Ok blk
+    | exception Unanalyzable msg -> Error msg)
+  | _ -> Error "primary read function body is not a FLWOR expression"
+
+let rec describe_indent indent blk =
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf "%s<%s> <- %s.%s\n" indent blk.b_row_elem blk.b_db
+    blk.b_table;
+  List.iter
+    (fun f -> Printf.bprintf buf "%s  %s <- %s\n" indent f.f_elem f.f_column)
+    blk.b_fields;
+  List.iter
+    (fun o -> Printf.bprintf buf "%s  %s <- (computed, read-only)\n" indent o)
+    blk.b_opaque;
+  List.iter
+    (fun c ->
+      (match c.c_wrapper with
+      | Some w -> Printf.bprintf buf "%s  <%s> wrapper:\n" indent w
+      | None -> ());
+      Printf.bprintf buf "%s  join: %s\n" indent
+        (String.concat ", "
+           (List.map (fun (cc, pc) -> Printf.sprintf "%s = parent.%s" cc pc)
+              c.c_link));
+      Buffer.add_string buf (describe_indent (indent ^ "    ") c.c_block))
+    blk.b_children;
+  Buffer.contents buf
+
+let describe blk = describe_indent "" blk

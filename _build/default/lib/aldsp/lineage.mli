@@ -1,0 +1,71 @@
+(** Lineage analysis (paper section II.C).
+
+    To propagate client changes back to just the affected sources, ALDSP
+    analyzes the data service's designated primary read function:
+    primary-key information, join predicates and the query result shape
+    together determine which element of the result shape came from which
+    column of which table, and how nested row blocks correlate with
+    their parents.
+
+    The analyzer recognizes the composition patterns of Figure 3:
+
+    - a FLWOR over a physical read function whose return clause is an
+      element constructor;
+    - leaf elements of the form [<F>{fn:data($v/COL)}</F>] (or
+      [$v/COL] / [$v/COL/text()]);
+    - nested blocks via navigation functions
+      ([for $o in cus:getORDER($c) …]) or equi-join where clauses
+      ([for $cc in cre:CREDIT_CARD() where $c/CID eq $cc/CID …]),
+      optionally under a wrapper element ([<Orders>{…}</Orders>]);
+    - anything else (e.g. web-service calls) becomes an {e opaque} leaf:
+      readable, but rejected if a client tries to update it. *)
+
+type field = { f_elem : string; f_column : string }
+
+type child = {
+  c_wrapper : string option;
+      (** intermediate element (e.g. ["Orders"]), [None] for inline rows *)
+  c_block : block;
+  c_link : (string * string) list;  (** child column = parent column *)
+}
+
+and block = {
+  b_row_elem : string;  (** constructed element name for one row *)
+  b_db : string;
+  b_table : string;
+  b_fields : field list;
+  b_opaque : string list;  (** computed leaves — not updatable *)
+  b_children : child list;
+  b_layout : string list;
+      (** element names in constructed order (fields, opaque leaves and
+          child wrappers/rows interleaved) — used for shape inference *)
+}
+
+type source_fn =
+  | Read_fn of { db : string; table : string }
+      (** a physical read function, e.g. [cus:CUSTOMER()] *)
+  | Nav_fn of {
+      db : string;
+      table : string;
+      parent_table : string;
+      link : (string * string) list;  (** child column = parent column *)
+    }
+      (** a navigation function, e.g. [cus:getORDER($customer)] *)
+  | Logical_fn of block
+      (** the read function of another logical data service whose own
+          lineage is [block] — higher-level services compose through it
+          (paper section II.A: methods are "used when creating other,
+          higher-level logical data services") *)
+
+val analyze :
+  resolve:(Xdm.Qname.t -> source_fn option) ->
+  Xquery.Ast.expr ->
+  (block, string) result
+(** Analyze a primary read function body (the un-optimized AST). *)
+
+val describe : block -> string
+(** Indented dump of the lineage tree (for tests and docs). *)
+
+val find_field : block -> string -> field option
+val find_child : block -> string -> child option
+(** Look up a child by wrapper name or row element name. *)

@@ -1,0 +1,21 @@
+type policy = Read_values | Updated_values | Chosen of string list
+
+let to_string = function
+  | Read_values -> "read-values"
+  | Updated_values -> "updated-values"
+  | Chosen cols -> "chosen(" ^ String.concat "," cols ^ ")"
+
+let cond_for read_values col =
+  match List.assoc_opt col read_values with
+  | Some Relational.Value.Null -> Some (Relational.Pred.Is_null col)
+  | Some v -> Some (Relational.Pred.eq col v)
+  | None -> None
+
+let condition policy ~read_values ~changed_columns =
+  let cols =
+    match policy with
+    | Read_values -> List.map fst read_values
+    | Updated_values -> changed_columns
+    | Chosen cols -> cols
+  in
+  Relational.Pred.conj (List.filter_map (cond_for read_values) cols)

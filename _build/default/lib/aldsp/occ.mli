@@ -1,0 +1,24 @@
+(** Optimistic concurrency policies (paper section II.C).
+
+    ALDSP conditions the SQL UPDATE/DELETE statements it generates so
+    that they only apply when the source row still looks the way the
+    client read it. The three supported choices: *)
+
+type policy =
+  | Read_values  (** every value that was read must be unchanged *)
+  | Updated_values  (** only the values being updated must be unchanged *)
+  | Chosen of string list
+      (** a chosen column subset (e.g. a version or timestamp column)
+          must be unchanged *)
+
+val to_string : policy -> string
+
+val condition :
+  policy ->
+  read_values:(string * Relational.Value.t) list ->
+  changed_columns:string list ->
+  Relational.Pred.t
+(** Build the where-clause conjunct expressing "sameness" for a row,
+    given the original (read-time) column values and the set of columns
+    being written. Primary-key equality is added separately by the
+    decomposer. *)

@@ -1,0 +1,1 @@
+lib/fixtures/customer_profile.ml: Aldsp Atomic Char Det Item Node Printf Qname Relational Schema String Webservice Xdm Xqse

@@ -1,0 +1,1 @@
+lib/fixtures/customer_profile.mli: Aldsp Relational Sdo Webservice

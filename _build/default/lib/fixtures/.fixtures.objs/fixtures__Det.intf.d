@@ -1,0 +1,1 @@
+lib/fixtures/det.mli:

@@ -1,0 +1,1 @@
+lib/fixtures/employees.ml: Aldsp Array Det List Relational Xdm Xqse

@@ -1,0 +1,1 @@
+lib/fixtures/employees.mli: Aldsp Relational

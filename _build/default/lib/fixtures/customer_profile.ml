@@ -1,0 +1,261 @@
+module R = Relational
+open Xdm
+
+type env = {
+  ds : Aldsp.Dataspace.t;
+  svc : Aldsp.Data_service.t;
+  db1 : R.Database.t;
+  db2 : R.Database.t;
+  ws : Webservice.t;
+  customer : R.Table.t;
+  orders : R.Table.t;
+  credit_card : R.Table.t;
+}
+
+let profile_ns = "ld:CustomerProfile"
+
+let col name col_type nullable = { R.Table.col_name = name; col_type; nullable }
+
+let customer_schema =
+  {
+    R.Table.tbl_name = "CUSTOMER";
+    columns =
+      [
+        col "CID" R.Value.T_text false;
+        col "FIRST_NAME" R.Value.T_text false;
+        col "LAST_NAME" R.Value.T_text false;
+        col "SSN" R.Value.T_text true;
+      ];
+    primary_key = [ "CID" ];
+    foreign_keys = [];
+  }
+
+let orders_schema =
+  {
+    R.Table.tbl_name = "ORDERS";
+    columns =
+      [
+        col "OID" R.Value.T_int false;
+        col "CID" R.Value.T_text false;
+        col "ORDER_DATE" R.Value.T_date true;
+        col "TOTAL_ORDER_AMOUNT" R.Value.T_float true;
+        col "STATUS" R.Value.T_text true;
+      ];
+    primary_key = [ "OID" ];
+    foreign_keys =
+      [
+        {
+          R.Table.fk_columns = [ "CID" ];
+          fk_ref_table = "CUSTOMER";
+          fk_ref_columns = [ "CID" ];
+        };
+      ];
+  }
+
+let credit_card_schema =
+  {
+    R.Table.tbl_name = "CREDIT_CARD";
+    columns =
+      [
+        col "CCID" R.Value.T_int false;
+        col "CID" R.Value.T_text false;
+        col "CC_TYPE" R.Value.T_text true;
+        col "CC_BRAND" R.Value.T_text true;
+        col "CC_NUMBER" R.Value.T_text true;
+        col "EXP_DATE" R.Value.T_date true;
+      ];
+    primary_key = [ "CCID" ];
+    foreign_keys = [];
+  }
+
+let profile_source =
+  {|
+declare namespace ns1 = "ld:CustomerProfile";
+declare namespace cus = "ld:db1/CUSTOMER";
+declare namespace cre = "ld:db2/CREDIT_CARD";
+declare namespace crs = "urn:creditrating";
+
+declare function ns1:getProfile() as element(ns1:CustomerProfile)* {
+  for $CUSTOMER in cus:CUSTOMER()
+  return <ns1:CustomerProfile>
+    <CID>{fn:data($CUSTOMER/CID)}</CID>
+    <LAST_NAME>{fn:data($CUSTOMER/LAST_NAME)}</LAST_NAME>
+    <FIRST_NAME>{fn:data($CUSTOMER/FIRST_NAME)}</FIRST_NAME>
+    <Orders>{
+      for $ORDER in cus:getORDERS($CUSTOMER)
+      return <ORDERS>
+        <OID>{fn:data($ORDER/OID)}</OID>
+        <CID>{fn:data($ORDER/CID)}</CID>
+        <ORDER_DATE>{fn:data($ORDER/ORDER_DATE)}</ORDER_DATE>
+        <TOTAL>{fn:data($ORDER/TOTAL_ORDER_AMOUNT)}</TOTAL>
+        <STATUS>{fn:data($ORDER/STATUS)}</STATUS>
+      </ORDERS>
+    }</Orders>
+    <CreditCards>{
+      for $CREDIT_CARD in cre:CREDIT_CARD()
+      where $CUSTOMER/CID eq $CREDIT_CARD/CID
+      return <CREDIT_CARD>
+        <CCID>{fn:data($CREDIT_CARD/CCID)}</CCID>
+        <CID>{fn:data($CREDIT_CARD/CID)}</CID>
+        <TYPE>{fn:data($CREDIT_CARD/CC_TYPE)}</TYPE>
+        <BRAND>{fn:data($CREDIT_CARD/CC_BRAND)}</BRAND>
+        <NUMBER>{fn:data($CREDIT_CARD/CC_NUMBER)}</NUMBER>
+        <EXP_DATE>{fn:data($CREDIT_CARD/EXP_DATE)}</EXP_DATE>
+      </CREDIT_CARD>
+    }</CreditCards>
+    {
+      for $resp in crs:getCreditRating(<crs:getCreditRating>
+          <crs:lastName>{fn:data($CUSTOMER/LAST_NAME)}</crs:lastName>
+          <crs:ssn>{fn:data($CUSTOMER/SSN)}</crs:ssn>
+        </crs:getCreditRating>)
+      return <CreditRating>{fn:data($resp/crs:value)}</CreditRating>
+    }
+  </ns1:CustomerProfile>
+};
+
+declare function ns1:getProfileById($cid as xs:string) as element(ns1:CustomerProfile)* {
+  for $CustomerProfile in ns1:getProfile()
+  where $cid eq $CustomerProfile/CID
+  return $CustomerProfile
+};
+|}
+
+let crs = Qname.make ~prefix:"crs" ~uri:"urn:creditrating"
+
+let credit_rating_service () =
+  let ws =
+    Webservice.create ~name:"CreditRatingService" ~namespace:"urn:creditrating"
+  in
+  Webservice.add_operation ws
+    {
+      Webservice.op_name = "getCreditRating";
+      op_input = crs "getCreditRating";
+      op_output = crs "getCreditRatingResponse";
+      op_doc = "credit rating lookup by last name and SSN";
+      op_handler =
+        (fun req ->
+          (* deterministic rating derived from the request content *)
+          let s = Node.string_value req in
+          let h = String.fold_left (fun acc c -> ((acc * 31) + Char.code c) land 0xFFFF) 7 s in
+          let rating = 500 + (h mod 350) in
+          Node.element
+            (crs "getCreditRatingResponse")
+            [ Node.element (crs "value") [ Node.text (string_of_int rating) ] ]);
+    };
+  ws
+
+let make ?(customers = 3) ?(max_orders = 3) ?(max_cards = 2) ?(seed = 42)
+    ?(optimize = true) () =
+  let rng = Det.make seed in
+  let db1 = R.Database.create "db1" in
+  let customer = R.Database.add_table db1 customer_schema in
+  let orders = R.Database.add_table db1 orders_schema in
+  let db2 = R.Database.create "db2" in
+  let credit_card = R.Database.add_table db2 credit_card_schema in
+  (* the Figure 4 protagonist *)
+  R.Table.insert customer
+    [| R.Value.Text "007"; Text "James"; Text "Carrey"; Text "111-22-3333" |];
+  R.Table.insert orders
+    [| R.Value.Int 900001; Text "007"; Date "2007-11-01"; Float 42.5; Text "OPEN" |];
+  R.Table.insert credit_card
+    [| R.Value.Int 900001; Text "007"; Text "CREDIT"; Text "VISA";
+       Text "4111-1111"; Date "2009-01-01" |];
+  let oid = ref 0 and ccid = ref 0 in
+  for i = 1 to customers do
+    let cid = Printf.sprintf "C%d" i in
+    let full = Det.name rng in
+    let first, last =
+      match String.index_opt full ' ' with
+      | Some j ->
+        (String.sub full 0 j, String.sub full (j + 1) (String.length full - j - 1))
+      | None -> (full, "Doe")
+    in
+    R.Table.insert customer
+      [| R.Value.Text cid; Text first; Text last;
+         Text (Printf.sprintf "%03d-%02d-%04d" (Det.int rng 1000) (Det.int rng 100) (Det.int rng 10000)) |];
+    let n_orders = Det.zipf_bucket rng ~max:max_orders in
+    for _ = 1 to n_orders do
+      incr oid;
+      R.Table.insert orders
+        [| R.Value.Int !oid; Text cid;
+           Date (Printf.sprintf "2007-%02d-%02d" (1 + Det.int rng 12) (1 + Det.int rng 28));
+           Float (Det.float rng 500.);
+           Text (Det.pick rng [ "OPEN"; "SHIPPED"; "CLOSED" ]) |]
+    done;
+    let n_cards = Det.int rng (max_cards + 1) in
+    for _ = 1 to n_cards do
+      incr ccid;
+      R.Table.insert credit_card
+        [| R.Value.Int !ccid; Text cid;
+           Text (Det.pick rng [ "CREDIT"; "DEBIT" ]);
+           Text (Det.pick rng [ "VISA"; "MASTERCARD"; "AMEX" ]);
+           Text (Printf.sprintf "4%03d-%04d" (Det.int rng 1000) (Det.int rng 10000));
+           Date (Printf.sprintf "20%02d-%02d-01" (8 + Det.int rng 5) (1 + Det.int rng 12)) |]
+    done
+  done;
+  let ws = credit_rating_service () in
+  let ds = Aldsp.Dataspace.create ~optimize () in
+  ignore (Aldsp.Dataspace.register_database ds db1);
+  ignore (Aldsp.Dataspace.register_database ds db2);
+  ignore (Aldsp.Dataspace.register_web_service ds ws);
+  Xqse.Session.declare_namespace (Aldsp.Dataspace.session ds) "crs"
+    "urn:creditrating";
+  Xqse.Session.declare_namespace (Aldsp.Dataspace.session ds) "profile"
+    profile_ns;
+  let svc =
+    Aldsp.Dataspace.create_entity_service ds ~name:"CustomerProfile"
+      ~namespace:profile_ns
+      ~shape:
+        {
+          Schema.name = Qname.make ~uri:profile_ns "CustomerProfile";
+          type_def =
+            Schema.complex
+              [
+                Schema.particle (Qname.local "CID") (Schema.simple (Qname.xs "string"));
+                Schema.particle (Qname.local "LAST_NAME") (Schema.simple (Qname.xs "string"));
+                Schema.particle (Qname.local "FIRST_NAME") (Schema.simple (Qname.xs "string"));
+                Schema.particle (Qname.local "Orders")
+                  (Schema.complex
+                     [
+                       Schema.particle ~min:0 ~max:None (Qname.local "ORDERS")
+                         (Schema.complex
+                            [
+                              Schema.particle (Qname.local "OID") (Schema.simple (Qname.xs "integer"));
+                              Schema.particle (Qname.local "CID") (Schema.simple (Qname.xs "string"));
+                              Schema.particle ~min:0 (Qname.local "ORDER_DATE") (Schema.simple (Qname.xs "date"));
+                              Schema.particle ~min:0 (Qname.local "TOTAL") (Schema.simple (Qname.xs "double"));
+                              Schema.particle ~min:0 (Qname.local "STATUS") (Schema.simple (Qname.xs "string"));
+                            ]);
+                     ]);
+                Schema.particle (Qname.local "CreditCards")
+                  (Schema.complex
+                     [
+                       Schema.particle ~min:0 ~max:None (Qname.local "CREDIT_CARD")
+                         (Schema.complex
+                            [
+                              Schema.particle (Qname.local "CCID") (Schema.simple (Qname.xs "integer"));
+                              Schema.particle (Qname.local "CID") (Schema.simple (Qname.xs "string"));
+                              Schema.particle ~min:0 (Qname.local "TYPE") (Schema.simple (Qname.xs "string"));
+                              Schema.particle ~min:0 (Qname.local "BRAND") (Schema.simple (Qname.xs "string"));
+                              Schema.particle ~min:0 (Qname.local "NUMBER") (Schema.simple (Qname.xs "string"));
+                              Schema.particle ~min:0 (Qname.local "EXP_DATE") (Schema.simple (Qname.xs "date"));
+                            ]);
+                     ]);
+                Schema.particle ~min:0 (Qname.local "CreditRating")
+                  (Schema.simple (Qname.xs "integer"));
+              ];
+        }
+      ~methods:
+        [
+          ("getProfile", Aldsp.Data_service.Read_function);
+          ("getProfileById", Aldsp.Data_service.Read_function);
+        ]
+      ~dependencies:
+        [ "db1/CUSTOMER"; "db1/ORDERS"; "db2/CREDIT_CARD"; "CreditRatingService" ]
+      profile_source
+  in
+  { ds; svc; db1; db2; ws; customer; orders; credit_card }
+
+let get_profile_by_id env cid =
+  Aldsp.Dataspace.get env.ds env.svc ~meth:"getProfileById"
+    [ [ Item.Atomic (Atomic.String cid) ] ]

@@ -1,0 +1,38 @@
+(** The Figure 1-4 scenario: a CustomerProfile logical entity data
+    service over two relational databases (CUSTOMER+ORDERS in [db1],
+    CREDIT_CARD in [db2]) and a credit-rating web service, with the
+    primary read method of Figure 3. *)
+
+type env = {
+  ds : Aldsp.Dataspace.t;
+  svc : Aldsp.Data_service.t;  (** the CustomerProfile logical service *)
+  db1 : Relational.Database.t;
+  db2 : Relational.Database.t;
+  ws : Webservice.t;
+  customer : Relational.Table.t;
+  orders : Relational.Table.t;
+  credit_card : Relational.Table.t;
+}
+
+val make :
+  ?customers:int ->
+  ?max_orders:int ->
+  ?max_cards:int ->
+  ?seed:int ->
+  ?optimize:bool ->
+  unit ->
+  env
+(** Build the dataspace with deterministic synthetic data. Customer ids
+    are ["C1"…"Cn"] (and customer ["007" James Carrey] is always
+    present as the Figure 4 protagonist); order counts follow a skewed
+    (Zipf-ish) distribution up to [max_orders] (default 3). *)
+
+val profile_source : string
+(** The XQuery source of the service's read methods — the Figure 3
+    text. *)
+
+val profile_ns : string
+(** Namespace of the CustomerProfile methods. *)
+
+val get_profile_by_id : env -> string -> Sdo.t
+(** Convenience: run [getProfileById] and wrap the result. *)

@@ -1,0 +1,33 @@
+type t = { mutable state : int }
+
+let make seed = { state = (seed lor 1) land 0x3FFFFFFF }
+
+let next t =
+  t.state <- ((t.state * 1103515245) + 12345) land 0x3FFFFFFF;
+  t.state
+
+let int t bound = if bound <= 0 then 0 else next t mod bound
+let pick t xs = List.nth xs (int t (List.length xs))
+let float t bound = float_of_int (int t 1_000_000) /. 1_000_000. *. bound
+
+let first_names =
+  [ "Alice"; "Bob"; "Carol"; "Dana"; "Erin"; "Frank"; "Grace"; "Heidi";
+    "Ivan"; "Judy"; "Ken"; "Lena"; "Mona"; "Nils"; "Olga"; "Pete" ]
+
+let last_names =
+  [ "Smith"; "Jones"; "Brown"; "Garcia"; "Miller"; "Davis"; "Wilson";
+    "Moore"; "Taylor"; "Thomas"; "Lee"; "Clark"; "Walker"; "Hall" ]
+
+let name t = pick t first_names ^ " " ^ pick t last_names
+
+let zipf_bucket t ~max =
+  (* P(k) ∝ 1/k over 1..max, via inverse-ish sampling on a small table *)
+  let max = Stdlib.max 1 max in
+  let weights = List.init max (fun i -> 1. /. float_of_int (i + 1)) in
+  let total = List.fold_left ( +. ) 0. weights in
+  let x = float t total in
+  let rec go k acc = function
+    | [] -> max
+    | w :: rest -> if acc +. w >= x then k else go (k + 1) (acc +. w) rest
+  in
+  go 1 0. weights

@@ -1,0 +1,19 @@
+(** Deterministic pseudo-random generation for fixtures, benches and
+    property tests (no [Random]: runs are reproducible by construction). *)
+
+type t
+
+val make : int -> t
+(** Seeded linear congruential generator. *)
+
+val int : t -> int -> int
+(** [int t bound] in [0, bound). *)
+
+val pick : t -> 'a list -> 'a
+val float : t -> float -> float
+val name : t -> string
+(** A pronounceable two-part name ("Dana Smith"-style). *)
+
+val zipf_bucket : t -> max:int -> int
+(** A skewed integer in [1, max]: small values are much more likely
+    (approximate Zipf for order-count distributions). *)

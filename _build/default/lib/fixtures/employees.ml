@@ -1,0 +1,255 @@
+module R = Relational
+
+type env = {
+  ds : Aldsp.Dataspace.t;
+  hr : R.Database.t;
+  backup : R.Database.t;
+  employee : R.Table.t;
+  emp2 : R.Table.t;
+  svc : Aldsp.Data_service.t;
+}
+
+let employees_ns = "urn:employees"
+let usecases_ns = "urn:usecases"
+
+let col name col_type nullable = { R.Table.col_name = name; col_type; nullable }
+
+let employee_schema =
+  {
+    R.Table.tbl_name = "EMPLOYEE";
+    columns =
+      [
+        col "EMP_ID" R.Value.T_int false;
+        col "NAME" R.Value.T_text false;
+        col "DEPT_NO" R.Value.T_int true;
+        col "MGR_ID" R.Value.T_int true;
+        col "SALARY" R.Value.T_float true;
+      ];
+    primary_key = [ "EMP_ID" ];
+    foreign_keys = [];
+  }
+
+let emp2_schema =
+  {
+    R.Table.tbl_name = "EMP2";
+    columns =
+      [
+        col "EMP_ID" R.Value.T_int false;
+        col "FIRST_NAME" R.Value.T_text true;
+        col "LAST_NAME" R.Value.T_text true;
+        col "MGR_NAME" R.Value.T_text true;
+        col "DEPT" R.Value.T_int true;
+      ];
+    primary_key = [ "EMP_ID" ];
+    foreign_keys = [];
+  }
+
+let service_source =
+  {|
+declare namespace ens1 = "urn:employees";
+declare namespace emp = "ld:hr/EMPLOYEE";
+
+declare function ens1:getAll() as element(ens1:Employee)* {
+  for $E in emp:EMPLOYEE()
+  return <ens1:Employee>
+    <EmployeeID>{fn:data($E/EMP_ID)}</EmployeeID>
+    <Name>{fn:data($E/NAME)}</Name>
+    <DeptNo>{fn:data($E/DEPT_NO)}</DeptNo>
+    <ManagerID>{fn:data($E/MGR_ID)}</ManagerID>
+    <Salary>{fn:data($E/SALARY)}</Salary>
+  </ens1:Employee>
+};
+
+declare function ens1:getByEmployeeID($id as xs:anyAtomicType?) as element(ens1:Employee)* {
+  for $e in ens1:getAll()
+  where $e/EmployeeID = $id
+  return $e
+};
+|}
+
+let uc1_delete_source =
+  {|
+declare namespace emp = "ld:hr/EMPLOYEE";
+declare namespace uc = "urn:usecases";
+
+(: use case 1: augment the generated methods with a delete that takes
+   just the employee id :)
+declare procedure uc:deleteByEmployeeID($id as xs:integer) {
+  declare $victim := (for $e in emp:EMPLOYEE() where $e/EMP_ID = $id return $e);
+  if (fn:empty($victim)) then
+    fn:error(xs:QName("NO_SUCH_EMPLOYEE"),
+             fn:concat("no employee with id ", $id));
+  emp:deleteEMPLOYEE($victim);
+};
+|}
+
+let uc2_chain_source =
+  {|
+declare namespace ens1 = "urn:employees";
+declare namespace uc = "urn:usecases";
+
+(: use case 2: imperative computation of the management chain; readonly,
+   so callable as a data service function from XQuery as well :)
+declare xqse function uc:getManagementChain($id as xs:integer)
+    as element(ens1:Employee)* {
+  declare $chain as element(ens1:Employee)*;
+  declare $current := ens1:getByEmployeeID($id);
+  while (fn:exists($current)) {
+    set $chain := ($chain, $current);
+    if (fn:string($current/ManagerID) eq '') then set $current := ()
+    else set $current := ens1:getByEmployeeID(xs:integer($current/ManagerID));
+  }
+  return value $chain;
+};
+|}
+
+let uc3_etl_source =
+  {|
+declare namespace ens1 = "urn:employees";
+declare namespace emp2 = "ld:backup/EMP2";
+declare namespace uc = "urn:usecases";
+
+(: data transformation function :)
+declare function uc:transformToEMP2($emp as element(ens1:Employee)?)
+    as element(EMP2)? {
+  for $emp1 in $emp return <EMP2>
+    <EMP_ID>{fn:data($emp1/EmployeeID)}</EMP_ID>
+    <FIRST_NAME>{fn:tokenize(fn:data($emp1/Name), ' ')[1]}</FIRST_NAME>
+    <LAST_NAME>{fn:tokenize(fn:data($emp1/Name), ' ')[2]}</LAST_NAME>
+    <MGR_NAME>{fn:data(ens1:getByEmployeeID($emp1/ManagerID)/Name)}</MGR_NAME>
+    <DEPT>{fn:data($emp1/DeptNo)}</DEPT>
+  </EMP2>
+};
+
+(: etl lite procedure :)
+declare procedure uc:copyAllToEMP2() as xs:integer {
+  declare $backupCnt as xs:integer := 0;
+  declare $emp2 as element(EMP2)?;
+  iterate $emp1 over ens1:getAll() {
+    set $emp2 := uc:transformToEMP2($emp1);
+    emp2:createEMP2($emp2);
+    set $backupCnt := $backupCnt + 1;
+  }
+  return value ($backupCnt);
+};
+|}
+
+let uc4_replicate_source =
+  {|
+declare namespace ens1 = "urn:employees";
+declare namespace emp = "ld:hr/EMPLOYEE";
+declare namespace emp2 = "ld:backup/EMP2";
+declare namespace uc = "urn:usecases";
+
+declare function uc:toEMPLOYEE($e as element(ens1:Employee)) as element(EMPLOYEE) {
+  <EMPLOYEE>
+    <EMP_ID>{fn:data($e/EmployeeID)}</EMP_ID>
+    <NAME>{fn:data($e/Name)}</NAME>
+    <DEPT_NO>{fn:data($e/DeptNo)}</DEPT_NO>
+    {for $m in $e/ManagerID[. != ''] return <MGR_ID>{fn:data($m)}</MGR_ID>}
+    <SALARY>{fn:data($e/Salary)}</SALARY>
+  </EMPLOYEE>
+};
+
+(: replicating create method: create the objects in both sources,
+   wrapping each source's failures in a distinguishable error :)
+declare procedure uc:create($newEmps as element(ens1:Employee)*)
+    as element(uc:ReplicatedEmployee_KEY)* {
+  declare $keys as element(uc:ReplicatedEmployee_KEY)*;
+  iterate $newEmp over $newEmps {
+    declare $newEmp2 as element(EMP2)? := uc:transformToEMP2($newEmp);
+    try { emp:createEMPLOYEE(uc:toEMPLOYEE($newEmp)); }
+    catch (* into $err, $msg) {
+      fn:error(xs:QName("PRIMARY_CREATE_FAILURE"),
+        fn:concat("Primary create failed due to: ", $err, " ", $msg));
+    };
+    try { emp2:createEMP2($newEmp2); }
+    catch (* into $err, $msg) {
+      fn:error(xs:QName("SECONDARY_CREATE_FAILURE"),
+        fn:concat("Backup create failed due to: ", $err, " ", $msg));
+    };
+    set $keys := ($keys,
+      <uc:ReplicatedEmployee_KEY>{fn:data($newEmp/EmployeeID)}</uc:ReplicatedEmployee_KEY>);
+  }
+  return value $keys;
+};
+|}
+
+let make ?(employees = 12) ?(fanout = 4) ?(seed = 7) () =
+  let rng = Det.make seed in
+  let hr = R.Database.create "hr" in
+  let employee = R.Database.add_table hr employee_schema in
+  let backup = R.Database.create "backup" in
+  let emp2 = R.Database.add_table backup emp2_schema in
+  let reports = Array.make (employees + 1) 0 in
+  for i = 1 to employees do
+    let mgr =
+      if i = 1 then R.Value.Null
+      else begin
+        (* a uniformly chosen earlier employee with spare fanout
+           (fanout 1 therefore yields a single deep chain) *)
+        let eligible =
+          List.filter
+            (fun c -> reports.(c) < fanout)
+            (List.init (i - 1) (fun k -> k + 1))
+        in
+        let m =
+          match eligible with
+          | [] -> 1 + Det.int rng (i - 1)
+          | cs -> Det.pick rng cs
+        in
+        reports.(m) <- reports.(m) + 1;
+        R.Value.Int m
+      end
+    in
+    R.Table.insert employee
+      [|
+        R.Value.Int i;
+        Text (Det.name rng);
+        Int (10 * (1 + Det.int rng 4));
+        mgr;
+        Float (40000. +. Det.float rng 80000.);
+      |]
+  done;
+  let ds = Aldsp.Dataspace.create () in
+  ignore (Aldsp.Dataspace.register_database ds hr);
+  ignore (Aldsp.Dataspace.register_database ds backup);
+  let sess = Aldsp.Dataspace.session ds in
+  Xqse.Session.declare_namespace sess "ens1" employees_ns;
+  Xqse.Session.declare_namespace sess "uc" usecases_ns;
+  let svc =
+    Aldsp.Dataspace.create_entity_service ds ~name:"Employee"
+      ~namespace:employees_ns
+      ~shape:
+        {
+          Xdm.Schema.name = Xdm.Qname.make ~uri:employees_ns "Employee";
+          type_def =
+            Xdm.Schema.complex
+              [
+                Xdm.Schema.particle (Xdm.Qname.local "EmployeeID")
+                  (Xdm.Schema.simple (Xdm.Qname.xs "integer"));
+                Xdm.Schema.particle (Xdm.Qname.local "Name")
+                  (Xdm.Schema.simple (Xdm.Qname.xs "string"));
+                Xdm.Schema.particle ~min:0 (Xdm.Qname.local "DeptNo")
+                  (Xdm.Schema.simple (Xdm.Qname.xs "integer"));
+                Xdm.Schema.particle ~min:0 (Xdm.Qname.local "ManagerID")
+                  (Xdm.Schema.simple (Xdm.Qname.xs "string"));
+                Xdm.Schema.particle ~min:0 (Xdm.Qname.local "Salary")
+                  (Xdm.Schema.simple (Xdm.Qname.xs "double"));
+              ];
+        }
+      ~methods:
+        [
+          ("getAll", Aldsp.Data_service.Read_function);
+          ("getByEmployeeID", Aldsp.Data_service.Read_function);
+        ]
+      ~dependencies:[ "hr/EMPLOYEE" ] service_source
+  in
+  { ds; hr; backup; employee; emp2; svc }
+
+let load_all_use_cases env =
+  let sess = Aldsp.Dataspace.session env.ds in
+  Xqse.Session.load_library sess uc1_delete_source;
+  Xqse.Session.load_library sess uc2_chain_source;
+  Xqse.Session.load_library sess uc3_etl_source;
+  Xqse.Session.load_library sess uc4_replicate_source

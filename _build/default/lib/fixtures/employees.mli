@@ -1,0 +1,55 @@
+(** The employees scenario behind the paper's four XQSE use cases
+    (section III.D): an HR database with an EMPLOYEE table organized in
+    a management hierarchy, a second "backup" database with the
+    differently-shaped EMP2 table, and the Employee logical data
+    service with [getAll] / [getByEmployeeID] read methods. *)
+
+type env = {
+  ds : Aldsp.Dataspace.t;
+  hr : Relational.Database.t;
+  backup : Relational.Database.t;
+  employee : Relational.Table.t;  (** EMPLOYEE in [hr] *)
+  emp2 : Relational.Table.t;  (** EMP2 in [backup] *)
+  svc : Aldsp.Data_service.t;  (** the Employee logical service *)
+}
+
+val employees_ns : string
+(** Namespace of the Employee logical service ([urn:employees]). *)
+
+val usecases_ns : string
+(** Namespace the use-case procedures are declared in ([urn:usecases]). *)
+
+val employee_schema : Relational.Table.schema
+val emp2_schema : Relational.Table.schema
+
+val service_source : string
+(** The Employee logical service's read methods ([getAll],
+    [getByEmployeeID]). *)
+
+val make : ?employees:int -> ?fanout:int -> ?seed:int -> unit -> env
+(** Deterministic management tree: employee 1 is the top (no manager);
+    every other employee's manager is an earlier employee, at most
+    [fanout] direct reports each (default 4). *)
+
+(** Paper use-case sources (section III.D), loadable with
+    [Xqse.Session.load_library] — {!make} does NOT load them, so tests
+    exercise deployment separately. *)
+
+val uc1_delete_source : string
+(** Use case 1: user-defined delete by employee id. Declares
+    [uc:deleteByEmployeeID($id)]. *)
+
+val uc2_chain_source : string
+(** Use case 2: imperative management-chain computation. Declares the
+    readonly [uc:getManagementChain($id)] — callable from XQuery. *)
+
+val uc3_etl_source : string
+(** Use case 3: transform-and-copy "lightweight ETL". Declares the
+    [uc:transformToEMP2($e)] helper function and the
+    [uc:copyAllToEMP2()] procedure returning the copied count. *)
+
+val uc4_replicate_source : string
+(** Use case 4: replicating create across both sources with try/catch
+    error wrapping. Declares [uc:create($newEmps)]. *)
+
+val load_all_use_cases : env -> unit

@@ -1,0 +1,1 @@
+lib/relational/database.mli: Pred Table Value

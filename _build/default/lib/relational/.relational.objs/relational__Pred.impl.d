@@ -1,0 +1,1 @@
+lib/relational/pred.ml: Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/relational/pred.mli: Format Value

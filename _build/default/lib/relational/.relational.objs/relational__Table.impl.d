@@ -1,0 +1,1 @@
+lib/relational/table.ml: Array Hashtbl List Pred Printf String Value

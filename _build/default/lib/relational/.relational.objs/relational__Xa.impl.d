@@ -1,0 +1,1 @@
+lib/relational/xa.ml: Database List Printf

@@ -1,0 +1,1 @@
+lib/relational/xa.mli: Database

@@ -1,0 +1,191 @@
+type dml =
+  | Insert of { table : string; columns : string list; values : Value.t list }
+  | Update of { table : string; set : (string * Value.t) list; where : Pred.t }
+  | Delete of { table : string; where : Pred.t }
+
+let dml_to_sql = function
+  | Insert { table; columns; values } ->
+    Printf.sprintf "INSERT INTO %s (%s) VALUES (%s)" table
+      (String.concat ", " columns)
+      (String.concat ", " (List.map Value.sql_literal values))
+  | Update { table; set; where } ->
+    Printf.sprintf "UPDATE %s SET %s WHERE %s" table
+      (String.concat ", "
+         (List.map
+            (fun (c, v) -> Printf.sprintf "%s = %s" c (Value.sql_literal v))
+            set))
+      (Pred.to_sql where)
+  | Delete { table; where } ->
+    Printf.sprintf "DELETE FROM %s WHERE %s" table (Pred.to_sql where)
+
+exception Db_error of string
+
+type t = {
+  db_name : string;
+  tbls : (string, Table.t) Hashtbl.t;
+  mutable order : string list;  (* table creation order *)
+  mutable log : string list;  (* newest first *)
+  mutable tx : (unit -> unit) list option;  (* undo actions, newest first *)
+  mutable fail_prepare : bool;
+  mutable fail_after : int option;
+}
+
+let create name =
+  {
+    db_name = name;
+    tbls = Hashtbl.create 8;
+    order = [];
+    log = [];
+    tx = None;
+    fail_prepare = false;
+    fail_after = None;
+  }
+
+let name t = t.db_name
+
+let add_table t schema =
+  if Hashtbl.mem t.tbls schema.Table.tbl_name then
+    raise (Db_error (Printf.sprintf "table %s already exists" schema.Table.tbl_name));
+  let table = Table.create schema in
+  Hashtbl.replace t.tbls schema.Table.tbl_name table;
+  t.order <- t.order @ [ schema.Table.tbl_name ];
+  table
+
+let table t name =
+  match Hashtbl.find_opt t.tbls name with
+  | Some tbl -> tbl
+  | None -> raise (Db_error (Printf.sprintf "%s: unknown table %s" t.db_name name))
+
+let tables t = List.map (fun n -> Hashtbl.find t.tbls n) t.order
+let catalog t = List.map Table.schema (tables t)
+let sql_log t = List.rev t.log
+let clear_log t = t.log <- []
+let log_size t = List.length t.log
+
+let record_undo t undo =
+  match t.tx with Some us -> t.tx <- Some (undo :: us) | None -> ()
+
+let tick_failure t =
+  match t.fail_after with
+  | Some 0 ->
+    t.fail_after <- None;
+    raise (Db_error (Printf.sprintf "%s: injected statement failure" t.db_name))
+  | Some n ->
+    t.fail_after <- Some (n - 1)
+  | None -> ()
+
+(* FK checks: inserts must reference existing rows; deletes must not be
+   referenced. *)
+let check_fk_insert t tbl row =
+  List.iter
+    (fun fk ->
+      let ref_tbl = table t fk.Table.fk_ref_table in
+      let vals = List.map (fun c -> Table.get row tbl c) fk.Table.fk_columns in
+      if not (List.exists (Value.equal Value.Null) vals) then begin
+        let pred =
+          Pred.conj (List.map2 Pred.eq fk.Table.fk_ref_columns vals)
+        in
+        if Table.select ref_tbl pred = [] then
+          raise
+            (Db_error
+               (Printf.sprintf
+                  "%s: foreign key violation on %s(%s) -> %s(%s)" t.db_name
+                  (Table.name tbl)
+                  (String.concat "," fk.Table.fk_columns)
+                  fk.Table.fk_ref_table
+                  (String.concat "," fk.Table.fk_ref_columns)))
+      end)
+    (Table.schema tbl).Table.foreign_keys
+
+let check_fk_delete t tbl rows =
+  (* any other table referencing this one must not point at these rows *)
+  Hashtbl.iter
+    (fun _ other ->
+      List.iter
+        (fun fk ->
+          if fk.Table.fk_ref_table = Table.name tbl then
+            List.iter
+              (fun row ->
+                let vals =
+                  List.map (fun c -> Table.get row tbl c) fk.Table.fk_ref_columns
+                in
+                let pred =
+                  Pred.conj (List.map2 Pred.eq fk.Table.fk_columns vals)
+                in
+                if Table.select other pred <> [] then
+                  raise
+                    (Db_error
+                       (Printf.sprintf
+                          "%s: cannot delete from %s: row referenced by %s"
+                          t.db_name (Table.name tbl) (Table.name other))))
+              rows)
+        (Table.schema other).Table.foreign_keys)
+    t.tbls
+
+let exec t dml =
+  tick_failure t;
+  let sql = dml_to_sql dml in
+  let affected =
+    try
+      match dml with
+      | Insert { table = tn; columns; values } ->
+        let tbl = table t tn in
+        if List.length columns <> List.length values then
+          raise (Db_error (Printf.sprintf "%s: INSERT arity mismatch" tn));
+        let row = Table.insert_named tbl (List.combine columns values) in
+        check_fk_insert t tbl row;
+        let pk = Table.pk_of_row tbl row in
+        record_undo t (fun () ->
+            ignore
+              (Table.delete_rows tbl
+                 (Pred.conj
+                    (List.map2 Pred.eq (Table.schema tbl).Table.primary_key pk))));
+        1
+      | Update { table = tn; set; where } ->
+        let tbl = table t tn in
+        let olds, news = Table.update_rows tbl where set in
+        record_undo t (fun () ->
+            List.iter
+              (fun row -> ignore (Table.delete_rows tbl
+                 (Pred.conj
+                    (List.map2 Pred.eq (Table.schema tbl).Table.primary_key
+                       (Table.pk_of_row tbl row)))))
+              news;
+            List.iter (fun row -> Table.insert tbl row) olds);
+        List.length news
+      | Delete { table = tn; where } ->
+        let tbl = table t tn in
+        let victims = Table.select tbl where in
+        check_fk_delete t tbl victims;
+        let removed = Table.delete_rows tbl where in
+        record_undo t (fun () ->
+            List.iter (fun row -> Table.insert tbl row) removed);
+        List.length removed
+    with Table.Constraint_violation msg -> raise (Db_error msg)
+  in
+  t.log <- sql :: t.log;
+  affected
+
+let select t tn pred = Table.select (table t tn) pred
+let in_tx t = t.tx <> None
+
+let begin_tx t =
+  if in_tx t then raise (Db_error (t.db_name ^ ": transaction already open"));
+  t.tx <- Some []
+
+let commit t =
+  match t.tx with
+  | None -> raise (Db_error (t.db_name ^ ": no open transaction"))
+  | Some _ -> t.tx <- None
+
+let rollback t =
+  match t.tx with
+  | None -> raise (Db_error (t.db_name ^ ": no open transaction"))
+  | Some undos ->
+    t.tx <- None;
+    List.iter (fun undo -> undo ()) undos;
+    t.log <- Printf.sprintf "ROLLBACK -- %s" t.db_name :: t.log
+
+let set_fail_on_prepare t b = t.fail_prepare <- b
+let fail_on_prepare t = t.fail_prepare
+let set_fail_statements_after t n = t.fail_after <- n

@@ -1,0 +1,57 @@
+(** A named database: tables, DML execution with SQL logging, local
+    transactions with undo, foreign-key enforcement, and the failure-
+    injection hooks used by the XA tests and benches. *)
+
+type dml =
+  | Insert of { table : string; columns : string list; values : Value.t list }
+  | Update of { table : string; set : (string * Value.t) list; where : Pred.t }
+  | Delete of { table : string; where : Pred.t }
+
+val dml_to_sql : dml -> string
+
+exception Db_error of string
+
+type t
+
+val create : string -> t
+val name : t -> string
+val add_table : t -> Table.schema -> Table.t
+val table : t -> string -> Table.t
+(** @raise Db_error for unknown tables. *)
+
+val tables : t -> Table.t list
+val catalog : t -> Table.schema list
+(** Schemas, for introspection. *)
+
+(** {1 DML} *)
+
+val exec : t -> dml -> int
+(** Execute one statement: returns the number of affected rows, appends
+    the SQL text to the log, records undo when inside a transaction, and
+    enforces foreign keys.
+    @raise Db_error (wrapping constraint violations) on failure. *)
+
+val select : t -> string -> Pred.t -> Table.row list
+(** Query rows (not logged — reads are served to the engine directly). *)
+
+val sql_log : t -> string list
+(** All SQL statements executed so far, oldest first. *)
+
+val clear_log : t -> unit
+val log_size : t -> int
+
+(** {1 Transactions} *)
+
+val begin_tx : t -> unit
+(** @raise Db_error if a transaction is already open. *)
+
+val commit : t -> unit
+val rollback : t -> unit
+val in_tx : t -> bool
+
+(** {1 Failure injection (for XA and fault tests)} *)
+
+val set_fail_on_prepare : t -> bool -> unit
+val fail_on_prepare : t -> bool
+val set_fail_statements_after : t -> int option -> unit
+(** [Some n]: the [n+1]-th subsequent {!exec} raises [Db_error]. *)

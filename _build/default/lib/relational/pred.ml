@@ -1,0 +1,65 @@
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of op * string * Value.t
+  | In of string * Value.t list
+  | Is_null of string
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let eq col v = Cmp (Eq, col, v)
+
+let conj = function
+  | [] -> True
+  | p :: rest -> List.fold_left (fun acc q -> And (acc, q)) p rest
+
+let rec eval ~get p =
+  match p with
+  | True -> true
+  | False -> false
+  | Cmp (op, col, v) -> (
+    let actual = get col in
+    match (actual, v) with
+    | Value.Null, _ | _, Value.Null -> false
+    | _ ->
+      let c = Value.compare actual v in
+      (match op with
+      | Eq -> c = 0
+      | Ne -> c <> 0
+      | Lt -> c < 0
+      | Le -> c <= 0
+      | Gt -> c > 0
+      | Ge -> c >= 0))
+  | In (col, vs) ->
+    let actual = get col in
+    actual <> Value.Null && List.exists (Value.equal actual) vs
+  | Is_null col -> get col = Value.Null
+  | And (a, b) -> eval ~get a && eval ~get b
+  | Or (a, b) -> eval ~get a || eval ~get b
+  | Not a -> not (eval ~get a)
+
+let op_sql = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec to_sql = function
+  | True -> "1=1"
+  | False -> "1=0"
+  | Cmp (op, col, v) ->
+    Printf.sprintf "%s %s %s" col (op_sql op) (Value.sql_literal v)
+  | In (col, vs) ->
+    Printf.sprintf "%s IN (%s)" col
+      (String.concat ", " (List.map Value.sql_literal vs))
+  | Is_null col -> col ^ " IS NULL"
+  | And (a, b) -> Printf.sprintf "(%s AND %s)" (to_sql a) (to_sql b)
+  | Or (a, b) -> Printf.sprintf "(%s OR %s)" (to_sql a) (to_sql b)
+  | Not a -> Printf.sprintf "NOT (%s)" (to_sql a)
+
+let pp ppf p = Format.pp_print_string ppf (to_sql p)

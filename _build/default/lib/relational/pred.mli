@@ -1,0 +1,24 @@
+(** Row predicates: the [WHERE] clauses of generated statements. *)
+
+type op = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | True
+  | False
+  | Cmp of op * string * Value.t  (** column op literal *)
+  | In of string * Value.t list
+  | Is_null of string
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+val eq : string -> Value.t -> t
+val conj : t list -> t
+(** Conjunction of a list ([True] when empty). *)
+
+val eval : get:(string -> Value.t) -> t -> bool
+(** Evaluate against a row accessor. SQL three-valued logic is
+    approximated: comparisons with [Null] are false (use {!Is_null}). *)
+
+val to_sql : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,270 @@
+type column = { col_name : string; col_type : Value.col_type; nullable : bool }
+
+type foreign_key = {
+  fk_columns : string list;
+  fk_ref_table : string;
+  fk_ref_columns : string list;
+}
+
+type schema = {
+  tbl_name : string;
+  columns : column list;
+  primary_key : string list;
+  foreign_keys : foreign_key list;
+}
+
+type row = Value.t array
+
+exception Constraint_violation of string
+
+type t = {
+  schema : schema;
+  indices : (string, int) Hashtbl.t;
+  rows : (Value.t list, row) Hashtbl.t;
+  (* secondary hash indexes: column list -> (key values -> pk list) *)
+  mutable sec_indexes : (string list * (Value.t list, Value.t list list) Hashtbl.t) list;
+}
+
+let create schema =
+  if schema.primary_key = [] then
+    invalid_arg
+      (Printf.sprintf "table %s must have a primary key" schema.tbl_name);
+  let indices = Hashtbl.create 8 in
+  List.iteri
+    (fun i c -> Hashtbl.replace indices c.col_name i)
+    schema.columns;
+  List.iter
+    (fun k ->
+      if not (Hashtbl.mem indices k) then
+        invalid_arg
+          (Printf.sprintf "table %s: unknown primary key column %s"
+             schema.tbl_name k))
+    schema.primary_key;
+  { schema; indices; rows = Hashtbl.create 64; sec_indexes = [] }
+
+let schema t = t.schema
+let name t = t.schema.tbl_name
+
+let col_index t col =
+  match Hashtbl.find_opt t.indices col with
+  | Some i -> i
+  | None -> raise Not_found
+
+let get row t col = row.(col_index t col)
+let pk_of_row t row = List.map (fun k -> get row t k) t.schema.primary_key
+let row_count t = Hashtbl.length t.rows
+
+let check_row t row =
+  if Array.length row <> List.length t.schema.columns then
+    raise
+      (Constraint_violation
+         (Printf.sprintf "%s: row arity %d does not match schema arity %d"
+            t.schema.tbl_name (Array.length row)
+            (List.length t.schema.columns)));
+  List.iteri
+    (fun i c ->
+      let v = row.(i) in
+      if v = Value.Null && not c.nullable then
+        raise
+          (Constraint_violation
+             (Printf.sprintf "%s.%s: NULL in non-nullable column"
+                t.schema.tbl_name c.col_name));
+      if not (Value.matches_type v c.col_type) then
+        raise
+          (Constraint_violation
+             (Printf.sprintf "%s.%s: value %s does not match type %s"
+                t.schema.tbl_name c.col_name (Value.sql_literal v)
+                (Value.type_name c.col_type))))
+    t.schema.columns
+
+(* ---- secondary index maintenance ---- *)
+
+let index_key t cols row = List.map (fun c -> get row t c) cols
+
+let index_add t row =
+  let pk = pk_of_row t row in
+  List.iter
+    (fun (cols, tbl) ->
+      let key = index_key t cols row in
+      Hashtbl.replace tbl key
+        (pk :: (match Hashtbl.find_opt tbl key with Some l -> l | None -> [])))
+    t.sec_indexes
+
+let index_remove t row =
+  let pk = pk_of_row t row in
+  List.iter
+    (fun (cols, tbl) ->
+      let key = index_key t cols row in
+      match Hashtbl.find_opt tbl key with
+      | Some l -> (
+        match List.filter (fun p -> p <> pk) l with
+        | [] -> Hashtbl.remove tbl key
+        | l' -> Hashtbl.replace tbl key l')
+      | None -> ())
+    t.sec_indexes
+
+let create_index t cols =
+  List.iter
+    (fun c ->
+      if not (Hashtbl.mem t.indices c) then
+        invalid_arg (Printf.sprintf "%s: unknown index column %s" t.schema.tbl_name c))
+    cols;
+  if not (List.exists (fun (cs, _) -> cs = cols) t.sec_indexes) then begin
+    let tbl = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun pk row ->
+        let key = List.map (fun c -> get row t c) cols in
+        Hashtbl.replace tbl key
+          (pk :: (match Hashtbl.find_opt tbl key with Some l -> l | None -> [])))
+      t.rows;
+    t.sec_indexes <- (cols, tbl) :: t.sec_indexes
+  end
+
+let drop_indexes t = t.sec_indexes <- []
+let indexed_columns t = List.map fst t.sec_indexes
+
+let insert t row =
+  check_row t row;
+  let pk = pk_of_row t row in
+  if List.exists (Value.equal Value.Null) pk then
+    raise
+      (Constraint_violation
+         (Printf.sprintf "%s: NULL in primary key" t.schema.tbl_name));
+  if Hashtbl.mem t.rows pk then
+    raise
+      (Constraint_violation
+         (Printf.sprintf "%s: duplicate primary key (%s)" t.schema.tbl_name
+            (String.concat ", " (List.map Value.to_string pk))));
+  Hashtbl.replace t.rows pk row;
+  index_add t row
+
+let insert_named t pairs =
+  let row =
+    Array.of_list
+      (List.map
+         (fun c ->
+           match List.assoc_opt c.col_name pairs with
+           | Some v -> v
+           | None -> Value.Null)
+         t.schema.columns)
+  in
+  List.iter
+    (fun (col, _) ->
+      if not (Hashtbl.mem t.indices col) then
+        raise
+          (Constraint_violation
+             (Printf.sprintf "%s: unknown column %s" t.schema.tbl_name col)))
+    pairs;
+  insert t row;
+  row
+
+let find_pk t pk = Hashtbl.find_opt t.rows pk
+
+let scan t =
+  let all = Hashtbl.fold (fun _ row acc -> row :: acc) t.rows [] in
+  List.sort
+    (fun a b -> compare (pk_of_row t a) (pk_of_row t b))
+    all
+
+(* columns constrained by equality in a conjunctive prefix of the
+   predicate *)
+let rec eq_bindings = function
+  | Pred.Cmp (Pred.Eq, col, v) -> [ (col, v) ]
+  | Pred.And (a, b) -> eq_bindings a @ eq_bindings b
+  | _ -> []
+
+let select t pred =
+  let eqs = eq_bindings pred in
+  let candidates =
+    List.find_map
+      (fun (cols, tbl) ->
+        match
+          List.fold_left
+            (fun acc c ->
+              match (acc, List.assoc_opt c eqs) with
+              | Some key, Some v -> Some (v :: key)
+              | _ -> None)
+            (Some []) (List.rev cols)
+        with
+        | Some key -> (
+          match Hashtbl.find_opt tbl key with
+          | Some pks -> Some (List.filter_map (Hashtbl.find_opt t.rows) pks)
+          | None -> Some [])
+        | None -> None)
+      t.sec_indexes
+  in
+  match candidates with
+  | Some rows ->
+    List.filter (fun row -> Pred.eval ~get:(fun c -> get row t c) pred)
+      (List.sort (fun a b -> compare (pk_of_row t a) (pk_of_row t b)) rows)
+  | None ->
+    List.filter (fun row -> Pred.eval ~get:(fun c -> get row t c) pred) (scan t)
+
+let update_rows t pred set =
+  (* validate set columns *)
+  List.iter
+    (fun (col, _) ->
+      if not (Hashtbl.mem t.indices col) then
+        raise
+          (Constraint_violation
+             (Printf.sprintf "%s: unknown column %s" t.schema.tbl_name col)))
+    set;
+  let matching = select t pred in
+  let olds = List.map Array.copy matching in
+  let news =
+    List.map
+      (fun row ->
+        let updated = Array.copy row in
+        List.iter (fun (col, v) -> updated.(col_index t col) <- v) set;
+        check_row t updated;
+        updated)
+      matching
+  in
+  (* validate the re-keying up front so a collision leaves the table
+     untouched *)
+  let old_pks = List.map (pk_of_row t) matching in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun row ->
+      let pk = pk_of_row t row in
+      if List.exists (Value.equal Value.Null) pk then
+        raise
+          (Constraint_violation
+             (Printf.sprintf "%s: NULL in primary key" t.schema.tbl_name));
+      if Hashtbl.mem seen pk then
+        raise
+          (Constraint_violation
+             (Printf.sprintf "%s: duplicate primary key after update"
+                t.schema.tbl_name));
+      Hashtbl.add seen pk ();
+      if (not (List.mem pk old_pks)) && Hashtbl.mem t.rows pk then
+        raise
+          (Constraint_violation
+             (Printf.sprintf "%s: primary key update collides with row (%s)"
+                t.schema.tbl_name
+                (String.concat ", " (List.map Value.to_string pk)))))
+    news;
+  List.iter
+    (fun row ->
+      index_remove t row;
+      Hashtbl.remove t.rows (pk_of_row t row))
+    matching;
+  List.iter
+    (fun row ->
+      Hashtbl.replace t.rows (pk_of_row t row) row;
+      index_add t row)
+    news;
+  (olds, news)
+
+let delete_rows t pred =
+  let matching = select t pred in
+  List.iter
+    (fun row ->
+      index_remove t row;
+      Hashtbl.remove t.rows (pk_of_row t row))
+    matching;
+  matching
+
+let clear t =
+  Hashtbl.reset t.rows;
+  List.iter (fun (_, tbl) -> Hashtbl.reset tbl) t.sec_indexes

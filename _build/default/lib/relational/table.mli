@@ -1,0 +1,70 @@
+(** Tables: schemas with primary/foreign keys and the in-memory row
+    store. Constraint and type checking happen here; transactional undo
+    and SQL logging live in {!Database}. *)
+
+type column = { col_name : string; col_type : Value.col_type; nullable : bool }
+
+type foreign_key = {
+  fk_columns : string list;
+  fk_ref_table : string;
+  fk_ref_columns : string list;
+}
+
+type schema = {
+  tbl_name : string;
+  columns : column list;
+  primary_key : string list;  (** nonempty *)
+  foreign_keys : foreign_key list;
+}
+
+type row = Value.t array
+(** One value per schema column, in order. *)
+
+type t
+
+exception Constraint_violation of string
+
+val create : schema -> t
+val schema : t -> schema
+val name : t -> string
+val col_index : t -> string -> int
+(** @raise Not_found for unknown columns. *)
+
+val get : row -> t -> string -> Value.t
+val pk_of_row : t -> row -> Value.t list
+val row_count : t -> int
+
+val insert : t -> row -> unit
+(** @raise Constraint_violation on duplicate key, type mismatch, or NULL
+    in a non-nullable column. *)
+
+val insert_named : t -> (string * Value.t) list -> row
+(** Build a row from column/value pairs (missing nullable columns become
+    [Null]) and insert it; returns the stored row. *)
+
+val find_pk : t -> Value.t list -> row option
+val scan : t -> row list
+(** All rows, in primary-key order (deterministic). *)
+
+val select : t -> Pred.t -> row list
+val update_rows : t -> Pred.t -> (string * Value.t) list -> row list * row list
+(** [update_rows t where set] applies [set] to matching rows in place;
+    returns [(old_copies, new_rows)].
+    @raise Constraint_violation if a primary-key column is modified to a
+    conflicting value or types mismatch. *)
+
+val delete_rows : t -> Pred.t -> row list
+(** Remove matching rows; returns the removed rows. *)
+
+val clear : t -> unit
+
+(** {1 Secondary indexes} *)
+
+val create_index : t -> string list -> unit
+(** Build (or keep) a hash index over the column list; {!select} uses it
+    when the predicate constrains all indexed columns by equality, and
+    all mutation paths maintain it.
+    @raise Invalid_argument on unknown columns. *)
+
+val drop_indexes : t -> unit
+val indexed_columns : t -> string list list

@@ -1,0 +1,107 @@
+type t =
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+  | Date of string
+  | Null
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | Text x, Text y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | Date x, Date y -> String.equal x y
+  | Null, Null -> true
+  | _ -> false
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Text _ -> 3
+  | Date _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Text x, Text y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Date x, Date y -> String.compare x y
+  | a, b -> Int.compare (rank a) (rank b)
+
+let to_string = function
+  | Int i -> string_of_int i
+  | Float f -> if Float.is_integer f then Printf.sprintf "%.0f" f else string_of_float f
+  | Text s -> s
+  | Bool b -> if b then "true" else "false"
+  | Date d -> d
+  | Null -> ""
+
+let sql_literal = function
+  | Int i -> string_of_int i
+  | Float f -> string_of_float f
+  | Text s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+  | Bool b -> if b then "TRUE" else "FALSE"
+  | Date d -> "DATE '" ^ d ^ "'"
+  | Null -> "NULL"
+
+let pp ppf v = Format.pp_print_string ppf (sql_literal v)
+
+type col_type = T_int | T_float | T_text | T_bool | T_date
+
+let type_of = function
+  | Int _ -> Some T_int
+  | Float _ -> Some T_float
+  | Text _ -> Some T_text
+  | Bool _ -> Some T_bool
+  | Date _ -> Some T_date
+  | Null -> None
+
+let type_name = function
+  | T_int -> "INTEGER"
+  | T_float -> "DOUBLE"
+  | T_text -> "VARCHAR"
+  | T_bool -> "BOOLEAN"
+  | T_date -> "DATE"
+
+let matches_type v ty =
+  match (v, ty) with
+  | Null, _ -> true
+  | Int _, T_int -> true
+  | Int _, T_float -> true
+  | Float _, T_float -> true
+  | Text _, T_text -> true
+  | Bool _, T_bool -> true
+  | Date _, T_date -> true
+  | _ -> false
+
+let of_string ty s =
+  match ty with
+  | T_int -> (
+    match int_of_string_opt (String.trim s) with
+    | Some i -> Int i
+    | None -> failwith (Printf.sprintf "invalid INTEGER literal %S" s))
+  | T_float -> (
+    match float_of_string_opt (String.trim s) with
+    | Some f -> Float f
+    | None -> failwith (Printf.sprintf "invalid DOUBLE literal %S" s))
+  | T_text -> Text s
+  | T_bool -> (
+    match String.lowercase_ascii (String.trim s) with
+    | "true" | "1" -> Bool true
+    | "false" | "0" -> Bool false
+    | _ -> failwith (Printf.sprintf "invalid BOOLEAN literal %S" s))
+  | T_date -> Date (String.trim s)

@@ -1,0 +1,35 @@
+(** SQL values for the relational substrate. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Text of string
+  | Bool of bool
+  | Date of string  (** [YYYY-MM-DD] *)
+  | Null
+
+val equal : t -> t -> bool
+(** SQL-style equality except that it is total: [Null] equals [Null]. *)
+
+val compare : t -> t -> int
+(** Total order with [Null] first; mixed types compare by constructor. *)
+
+val to_string : t -> string
+(** Plain rendering (no quoting); [Null] is the empty string. *)
+
+val sql_literal : t -> string
+(** SQL literal rendering: strings quoted and escaped, [NULL] keyword. *)
+
+val pp : Format.formatter -> t -> unit
+
+type col_type = T_int | T_float | T_text | T_bool | T_date
+
+val type_of : t -> col_type option
+(** [None] for [Null]. *)
+
+val type_name : col_type -> string
+val matches_type : t -> col_type -> bool
+(** [Null] matches every type (nullability is checked separately). *)
+
+val of_string : col_type -> string -> t
+(** Parse a string into a typed value. @raise Failure on bad input. *)

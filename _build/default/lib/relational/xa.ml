@@ -1,0 +1,67 @@
+type outcome = Committed | Aborted of string
+
+type trace_event =
+  | Begin of string
+  | Prepare_ok of string
+  | Prepare_failed of string
+  | Commit of string
+  | Rollback of string
+
+let run_traced participants work =
+  let trace = ref [] in
+  let emit e = trace := e :: !trace in
+  let rollback_all () =
+    List.iter
+      (fun db ->
+        if Database.in_tx db then begin
+          Database.rollback db;
+          emit (Rollback (Database.name db))
+        end)
+      participants
+  in
+  let result =
+    try
+      List.iter
+        (fun db ->
+          Database.begin_tx db;
+          emit (Begin (Database.name db)))
+        participants;
+      let v = work () in
+      (* phase 1: prepare *)
+      let prepare_failure =
+        List.find_map
+          (fun db ->
+            if Database.fail_on_prepare db then begin
+              emit (Prepare_failed (Database.name db));
+              Some (Printf.sprintf "%s failed to prepare" (Database.name db))
+            end
+            else begin
+              emit (Prepare_ok (Database.name db));
+              None
+            end)
+          participants
+      in
+      match prepare_failure with
+      | Some reason ->
+        rollback_all ();
+        Error reason
+      | None ->
+        (* phase 2: commit *)
+        List.iter
+          (fun db ->
+            Database.commit db;
+            emit (Commit (Database.name db)))
+          participants;
+        Ok v
+    with
+    | Database.Db_error msg ->
+      rollback_all ();
+      Error msg
+    | e ->
+      rollback_all ();
+      raise e
+  in
+  (result, List.rev !trace)
+
+let run participants work = fst (run_traced participants work)
+

@@ -1,0 +1,29 @@
+(** XA-style two-phase commit across several databases.
+
+    ALDSP runs an update call as one atomic transaction across all
+    affected relational sources when they can participate in 2PC (paper
+    section II.C). The coordinator begins a local transaction on every
+    participant, runs the work, then prepares each participant (which may
+    fail via injection) and commits all or rolls back all. *)
+
+type outcome =
+  | Committed
+  | Aborted of string  (** rollback reason *)
+
+val run : Database.t list -> (unit -> 'a) -> ('a, string) result
+(** [run participants work] — on success every participant is committed
+    and [Ok result] returned; on any failure (exception from [work], a
+    statement failure, or a prepare failure) every participant is rolled
+    back and [Error reason] returned. *)
+
+type trace_event =
+  | Begin of string
+  | Prepare_ok of string
+  | Prepare_failed of string
+  | Commit of string
+  | Rollback of string
+
+val run_traced :
+  Database.t list -> (unit -> 'a) -> ('a, string) result * trace_event list
+(** Like {!run} but also returns the coordinator's event trace (for tests
+    and the XA bench). *)

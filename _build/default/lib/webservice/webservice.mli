@@ -1,0 +1,58 @@
+(** Simulated document-style web services.
+
+    Stands in for the WSDL-described functional sources of ALDSP (e.g.
+    the credit-rating service of Figures 2-3): operations with typed
+    XML input/output, invoked in-process, with call counting, simulated
+    latency accounting and fault injection for the error-handling use
+    cases. *)
+
+open Xdm
+
+type operation = {
+  op_name : string;
+  op_input : Qname.t;  (** expected root element of the request *)
+  op_output : Qname.t;  (** root element of the response *)
+  op_doc : string;  (** human-readable description (WSDL documentation) *)
+  op_handler : Node.t -> Node.t;
+}
+
+type t
+
+val create : name:string -> namespace:string -> t
+val name : t -> string
+val namespace : t -> string
+val add_operation : t -> operation -> unit
+val operations : t -> operation list
+(** In registration order — the introspectable "WSDL" of the service. *)
+
+val find_operation : t -> string -> operation option
+
+exception Fault of { service : string; operation : string; message : string }
+
+val invoke : t -> string -> Node.t -> Node.t
+(** Call an operation with a request element. Validates the request root
+    element name, counts the call, applies fault injection.
+    @raise Fault on unknown operations, wrong request elements, injected
+    faults, and handler-raised faults. *)
+
+(** {1 Accounting and fault injection} *)
+
+val call_count : t -> int
+val reset_call_count : t -> unit
+
+val set_latency : t -> float -> unit
+(** Simulated per-call latency in milliseconds, accumulated in
+    {!total_latency} (no real sleeping). *)
+
+val total_latency : t -> float
+
+val inject_fault_next : t -> message:string -> unit
+(** The next {!invoke} raises {!Fault}. *)
+
+val set_fail_every : t -> int option -> unit
+(** [Some n]: every [n]-th call faults (deterministic fault rate for the
+    replication bench). [None] disables. *)
+
+val wsdl_summary : t -> string
+(** A WSDL-like textual description of the service (used by the examples
+    to show what introspection sees). *)

@@ -1,0 +1,1 @@
+lib/xdm/atomic.ml: Bool Buffer Float Format Int Printf Qname Scanf String

@@ -1,0 +1,1 @@
+lib/xdm/node.ml: Atomic Buffer Format List Option Qname String

@@ -1,0 +1,1 @@
+lib/xdm/node.mli: Atomic Format Qname

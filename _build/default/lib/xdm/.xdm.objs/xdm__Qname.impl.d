@@ -1,0 +1,1 @@
+lib/xdm/qname.ml: Format Hashtbl String

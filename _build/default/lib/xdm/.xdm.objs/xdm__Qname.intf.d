@@ -1,0 +1,1 @@
+lib/xdm/qname.mli: Format

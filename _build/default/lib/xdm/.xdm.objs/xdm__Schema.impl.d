@@ -1,0 +1,1 @@
+lib/xdm/schema.ml: Atomic List Node Printf Qname String

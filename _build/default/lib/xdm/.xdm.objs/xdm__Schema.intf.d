@@ -1,0 +1,1 @@
+lib/xdm/schema.mli: Node Qname

@@ -1,0 +1,1 @@
+lib/xdm/seqtype.ml: Atomic Format Item List Node Printf Qname

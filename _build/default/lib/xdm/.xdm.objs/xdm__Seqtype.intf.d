@@ -1,0 +1,1 @@
+lib/xdm/seqtype.mli: Format Item Qname

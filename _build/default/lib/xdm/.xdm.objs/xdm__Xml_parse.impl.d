@@ -1,0 +1,1 @@
+lib/xdm/xml_parse.ml: Buffer Char List Node Printf Qname String

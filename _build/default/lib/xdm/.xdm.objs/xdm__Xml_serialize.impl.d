@@ -1,0 +1,1 @@
+lib/xdm/xml_serialize.ml: Atomic Buffer Item List Node Option Qname String

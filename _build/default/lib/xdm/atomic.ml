@@ -1,0 +1,720 @@
+(* Durations: months and seconds never both carry opposite signs; the
+   [kind] records the declared xs type so sequence-type matching and
+   casting stay honest. *)
+type duration_kind = Dur_any | Dur_ym | Dur_dt
+
+type duration = { d_months : int; d_seconds : float; d_kind : duration_kind }
+
+type t =
+  | String of string
+  | Untyped of string
+  | Boolean of bool
+  | Integer of int
+  | Decimal of float
+  | Double of float
+  | QName of Qname.t
+  | AnyUri of string
+  | Date of string
+  | DateTime of string
+  | Time of string
+  | Duration of duration
+
+exception Cast_error of string
+
+let type_name = function
+  | String _ -> Qname.xs "string"
+  | Untyped _ -> Qname.xs "untypedAtomic"
+  | Boolean _ -> Qname.xs "boolean"
+  | Integer _ -> Qname.xs "integer"
+  | Decimal _ -> Qname.xs "decimal"
+  | Double _ -> Qname.xs "double"
+  | QName _ -> Qname.xs "QName"
+  | AnyUri _ -> Qname.xs "anyURI"
+  | Date _ -> Qname.xs "date"
+  | DateTime _ -> Qname.xs "dateTime"
+  | Time _ -> Qname.xs "time"
+  | Duration { d_kind = Dur_any; _ } -> Qname.xs "duration"
+  | Duration { d_kind = Dur_ym; _ } -> Qname.xs "yearMonthDuration"
+  | Duration { d_kind = Dur_dt; _ } -> Qname.xs "dayTimeDuration"
+
+(* Decimal formatting per F&O: minimal digits, no point when integral. *)
+let string_of_decimal f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else begin
+    (* strip trailing zeros from a fixed representation *)
+    let s = Printf.sprintf "%.12f" f in
+    let s =
+      let n = String.length s in
+      let rec last i = if i > 0 && s.[i] = '0' then last (i - 1) else i in
+      let i = last (n - 1) in
+      let i = if s.[i] = '.' then i - 1 else i in
+      String.sub s 0 (i + 1)
+    in
+    s
+  end
+
+let string_of_double f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "INF"
+  else if f = Float.neg_infinity then "-INF"
+  else
+    let a = Float.abs f in
+    if a >= 0.000001 && a < 1000000. then string_of_decimal f
+    else if f = 0. then "0"
+    else begin
+      (* exponent notation mantissaEexp with minimal mantissa digits *)
+      let s = Printf.sprintf "%.12E" f in
+      match String.index_opt s 'E' with
+      | None -> s
+      | Some i ->
+        let mant = String.sub s 0 i in
+        let exp = int_of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+        let mant =
+          let n = String.length mant in
+          let rec last j = if j > 0 && mant.[j] = '0' then last (j - 1) else j in
+          let j = last (n - 1) in
+          let j = if mant.[j] = '.' then j + 1 else j in
+          (* keep at least one fraction digit, per canonical form *)
+          String.sub mant 0 (j + 1)
+        in
+        let mant = if String.contains mant '.' then mant else mant ^ ".0" in
+        Printf.sprintf "%sE%d" mant exp
+    end
+
+(* ---- duration lexical forms ---- *)
+
+let duration_to_string { d_months; d_seconds; _ } =
+  if d_months = 0 && d_seconds = 0. then "PT0S"
+  else begin
+    let neg = d_months < 0 || d_seconds < 0. in
+    let m = abs d_months and total = Float.abs d_seconds in
+    let buf = Buffer.create 16 in
+    if neg then Buffer.add_char buf '-';
+    Buffer.add_char buf 'P';
+    let years = m / 12 and months = m mod 12 in
+    if years > 0 then Buffer.add_string buf (string_of_int years ^ "Y");
+    if months > 0 then Buffer.add_string buf (string_of_int months ^ "M");
+    let days = int_of_float (total /. 86400.) in
+    let rem = total -. (float_of_int days *. 86400.) in
+    let hours = int_of_float (rem /. 3600.) in
+    let rem = rem -. (float_of_int hours *. 3600.) in
+    let mins = int_of_float (rem /. 60.) in
+    let secs = rem -. (float_of_int mins *. 60.) in
+    if days > 0 then Buffer.add_string buf (string_of_int days ^ "D");
+    if hours > 0 || mins > 0 || secs > 0. then begin
+      Buffer.add_char buf 'T';
+      if hours > 0 then Buffer.add_string buf (string_of_int hours ^ "H");
+      if mins > 0 then Buffer.add_string buf (string_of_int mins ^ "M");
+      if secs > 0. then Buffer.add_string buf (string_of_decimal secs ^ "S")
+    end;
+    Buffer.contents buf
+  end
+
+let to_string = function
+  | String s | Untyped s | AnyUri s -> s
+  | Boolean b -> if b then "true" else "false"
+  | Integer i -> string_of_int i
+  | Decimal f -> string_of_decimal f
+  | Double f -> string_of_double f
+  | QName q -> Qname.to_string q
+  | Date s | DateTime s | Time s -> s
+  | Duration d -> duration_to_string d
+
+let of_bool b = Boolean b
+let of_int i = Integer i
+let of_string s = String s
+
+let trim s =
+  let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_ws s.[!i] do incr i done;
+  while !j >= !i && is_ws s.[!j] do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+let parse_integer s =
+  let s = trim s in
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> raise (Cast_error (Printf.sprintf "invalid xs:integer literal %S" s))
+
+let parse_float ~ty s =
+  let s = trim s in
+  match s with
+  | "INF" -> Float.infinity
+  | "-INF" -> Float.neg_infinity
+  | "NaN" -> Float.nan
+  | _ -> (
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> raise (Cast_error (Printf.sprintf "invalid %s literal %S" ty s)))
+
+let parse_decimal s =
+  let s = trim s in
+  (* xs:decimal forbids exponents and the INF/NaN specials *)
+  if String.exists (fun c -> c = 'e' || c = 'E') s then
+    raise (Cast_error (Printf.sprintf "invalid xs:decimal literal %S" s));
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> raise (Cast_error (Printf.sprintf "invalid xs:decimal literal %S" s))
+
+let parse_boolean s =
+  match trim s with
+  | "true" | "1" -> true
+  | "false" | "0" -> false
+  | s -> raise (Cast_error (Printf.sprintf "invalid xs:boolean literal %S" s))
+
+let is_digit c = c >= '0' && c <= '9'
+
+let looks_like_date s =
+  (* YYYY-MM-DD with optional timezone; loose validation *)
+  String.length s >= 10
+  && is_digit s.[0] && is_digit s.[1] && is_digit s.[2] && is_digit s.[3]
+  && s.[4] = '-' && is_digit s.[5] && is_digit s.[6] && s.[7] = '-'
+  && is_digit s.[8] && is_digit s.[9]
+
+let looks_like_time s =
+  String.length s >= 8
+  && is_digit s.[0] && is_digit s.[1] && s.[2] = ':'
+  && is_digit s.[3] && is_digit s.[4] && s.[5] = ':'
+
+let looks_like_datetime s =
+  looks_like_date s && String.length s > 10 && s.[10] = 'T'
+  && looks_like_time (String.sub s 11 (String.length s - 11))
+
+let parse_date s =
+  let s = trim s in
+  if looks_like_date s && not (String.contains s 'T') then s
+  else raise (Cast_error (Printf.sprintf "invalid xs:date literal %S" s))
+
+let parse_datetime s =
+  let s = trim s in
+  if looks_like_datetime s then s
+  else raise (Cast_error (Printf.sprintf "invalid xs:dateTime literal %S" s))
+
+let parse_time s =
+  let s = trim s in
+  if looks_like_time s then s
+  else raise (Cast_error (Printf.sprintf "invalid xs:time literal %S" s))
+
+(* ---- duration parsing ---- *)
+
+let parse_duration kind s0 =
+  let s = trim s0 in
+  let bad () =
+    raise (Cast_error (Printf.sprintf "invalid duration literal %S" s0))
+  in
+  let neg, s =
+    if s <> "" && s.[0] = '-' then (true, String.sub s 1 (String.length s - 1))
+    else (false, s)
+  in
+  if String.length s < 2 || s.[0] <> 'P' then bad ();
+  let months = ref 0 and seconds = ref 0. in
+  let in_time = ref false in
+  let saw_field = ref false in
+  let i = ref 1 in
+  let n = String.length s in
+  while !i < n do
+    if s.[!i] = 'T' then begin
+      in_time := true;
+      incr i;
+      if !i >= n then bad ()
+    end
+    else begin
+      let start = !i in
+      while !i < n && (is_digit s.[!i] || s.[!i] = '.') do incr i done;
+      if !i = start || !i >= n then bad ();
+      let num = String.sub s start (!i - start) in
+      let value =
+        match float_of_string_opt num with Some f -> f | None -> bad ()
+      in
+      let field = s.[!i] in
+      incr i;
+      saw_field := true;
+      (match (field, !in_time) with
+      | 'Y', false -> months := !months + (int_of_float value * 12)
+      | 'M', false -> months := !months + int_of_float value
+      | 'D', false -> seconds := !seconds +. (value *. 86400.)
+      | 'H', true -> seconds := !seconds +. (value *. 3600.)
+      | 'M', true -> seconds := !seconds +. (value *. 60.)
+      | 'S', true -> seconds := !seconds +. value
+      | _ -> bad ())
+    end
+  done;
+  if not !saw_field then bad ();
+  let months = if neg then - !months else !months
+  and seconds = if neg then -. !seconds else !seconds in
+  (match kind with
+  | Dur_ym -> if seconds <> 0. then bad ()
+  | Dur_dt -> if months <> 0 then bad ()
+  | Dur_any -> ());
+  { d_months = months; d_seconds = seconds; d_kind = kind }
+
+(* ---- civil-date arithmetic (Hinnant's algorithms) ---- *)
+
+let days_from_civil y m d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let civil_from_days z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let d = doy - (((153 * mp) + 2) / 5) + 1 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  ((if m <= 2 then y + 1 else y), m, d)
+
+let parse_ymd s =
+  try Scanf.sscanf (String.sub s 0 10) "%4d-%2d-%2d" (fun y m d -> (y, m, d))
+  with _ -> raise (Cast_error (Printf.sprintf "invalid date %S" s))
+
+let format_ymd (y, m, d) = Printf.sprintf "%04d-%02d-%02d" y m d
+
+let last_day_of_month y m =
+  let y', m' = if m = 12 then (y + 1, 1) else (y, m + 1) in
+  civil_from_days (days_from_civil y' m' 1 - 1) |> fun (_, _, d) -> d
+
+let add_months (y, m, d) n =
+  let total = (y * 12) + (m - 1) + n in
+  let y' = if total >= 0 then total / 12 else (total - 11) / 12 in
+  let m' = total - (y' * 12) + 1 in
+  (y', m', min d (last_day_of_month y' m'))
+
+(* seconds within the day from "HH:MM:SS(.fff)?"; timezone suffixes are
+   ignored (all values are treated as being in one timezone) *)
+let parse_hms s =
+  try Scanf.sscanf s "%2d:%2d:%f" (fun h m sec ->
+      (float_of_int ((h * 3600) + (m * 60)) +. sec))
+  with _ -> raise (Cast_error (Printf.sprintf "invalid time %S" s))
+
+let format_hms secs =
+  let h = int_of_float (secs /. 3600.) in
+  let rem = secs -. (float_of_int h *. 3600.) in
+  let m = int_of_float (rem /. 60.) in
+  let s = rem -. (float_of_int m *. 60.) in
+  if Float.is_integer s then Printf.sprintf "%02d:%02d:%02.0f" h m s
+  else Printf.sprintf "%02d:%02d:%06.3f" h m s
+
+let datetime_to_seconds s =
+  let y, m, d = parse_ymd s in
+  let tod =
+    if String.length s > 11 then parse_hms (String.sub s 11 (String.length s - 11))
+    else 0.
+  in
+  (float_of_int (days_from_civil y m d) *. 86400.) +. tod
+
+let seconds_to_datetime f =
+  let day = int_of_float (Float.floor (f /. 86400.)) in
+  let tod = f -. (float_of_int day *. 86400.) in
+  format_ymd (civil_from_days day) ^ "T" ^ format_hms tod
+
+(* date/dateTime/time ± duration, with month arithmetic first *)
+let shift_datetime ~is_date s (dur : duration) sign =
+  let y, m, d = parse_ymd s in
+  let y, m, d = add_months (y, m, d) (sign * dur.d_months) in
+  let tod =
+    if (not is_date) && String.length s > 11 then
+      parse_hms (String.sub s 11 (String.length s - 11))
+    else 0.
+  in
+  let total =
+    (float_of_int (days_from_civil y m d) *. 86400.)
+    +. tod
+    +. (float_of_int sign *. dur.d_seconds)
+  in
+  if is_date then
+    format_ymd (civil_from_days (int_of_float (Float.floor (total /. 86400.))))
+  else seconds_to_datetime total
+
+let shift_time s (dur : duration) sign =
+  if dur.d_months <> 0 then
+    raise (Cast_error "cannot add a year-month duration to xs:time");
+  let tod = parse_hms s +. (float_of_int sign *. dur.d_seconds) in
+  let tod = Float.rem tod 86400. in
+  let tod = if tod < 0. then tod +. 86400. else tod in
+  format_hms tod
+
+let cast_to v ty =
+  if ty.Qname.uri <> Qname.xs_ns then
+    raise (Cast_error ("unknown cast target type " ^ Qname.to_string ty));
+  let fail () =
+    raise
+      (Cast_error
+         (Printf.sprintf "cannot cast %s to xs:%s"
+            (Qname.to_string (type_name v))
+            ty.Qname.local))
+  in
+  let s = to_string v in
+  match ty.Qname.local with
+  | "string" -> String s
+  | "untypedAtomic" -> Untyped s
+  | "anyURI" -> AnyUri (trim s)
+  | "boolean" -> (
+    match v with
+    | Boolean _ -> v
+    | Integer i -> Boolean (i <> 0)
+    | Decimal f | Double f -> Boolean (not (f = 0. || Float.is_nan f))
+    | String _ | Untyped _ -> Boolean (parse_boolean s)
+    | _ -> fail ())
+  | "integer" | "int" | "long" | "short" | "byte" -> (
+    match v with
+    | Integer _ -> v
+    | Decimal f | Double f ->
+      if Float.is_nan f || Float.abs f = Float.infinity then fail ()
+      else Integer (int_of_float (Float.of_int (int_of_float f)))
+    | Boolean b -> Integer (if b then 1 else 0)
+    | String _ | Untyped _ -> Integer (parse_integer s)
+    | _ -> fail ())
+  | "decimal" -> (
+    match v with
+    | Decimal _ -> v
+    | Integer i -> Decimal (float_of_int i)
+    | Double f ->
+      if Float.is_nan f || Float.abs f = Float.infinity then fail ()
+      else Decimal f
+    | Boolean b -> Decimal (if b then 1. else 0.)
+    | String _ | Untyped _ -> Decimal (parse_decimal s)
+    | _ -> fail ())
+  | "double" | "float" -> (
+    match v with
+    | Double _ -> v
+    | Integer i -> Double (float_of_int i)
+    | Decimal f -> Double f
+    | Boolean b -> Double (if b then 1. else 0.)
+    | String _ | Untyped _ -> Double (parse_float ~ty:"xs:double" s)
+    | _ -> fail ())
+  | "QName" -> (
+    match v with
+    | QName _ -> v
+    | String _ | Untyped _ ->
+      (* unprefixed only: prefixed casts need in-scope namespaces, which
+         the evaluator layer handles before calling here *)
+      let s = trim s in
+      if String.contains s ':' then fail () else QName (Qname.local s)
+    | _ -> fail ())
+  | "date" -> (
+    match v with
+    | Date _ -> v
+    | DateTime dt -> Date (String.sub dt 0 10)
+    | String _ | Untyped _ -> Date (parse_date s)
+    | _ -> fail ())
+  | "dateTime" -> (
+    match v with
+    | DateTime _ -> v
+    | Date d -> DateTime (d ^ "T00:00:00")
+    | String _ | Untyped _ -> DateTime (parse_datetime s)
+    | _ -> fail ())
+  | "time" -> (
+    match v with
+    | Time _ -> v
+    | DateTime dt when String.length dt > 11 ->
+      Time (String.sub dt 11 (String.length dt - 11))
+    | String _ | Untyped _ -> Time (parse_time s)
+    | _ -> fail ())
+  | "duration" -> (
+    match v with
+    | Duration d -> Duration { d with d_kind = Dur_any }
+    | String _ | Untyped _ -> Duration (parse_duration Dur_any s)
+    | _ -> fail ())
+  | "yearMonthDuration" -> (
+    match v with
+    | Duration d -> Duration { d_months = d.d_months; d_seconds = 0.; d_kind = Dur_ym }
+    | String _ | Untyped _ -> Duration (parse_duration Dur_ym s)
+    | _ -> fail ())
+  | "dayTimeDuration" -> (
+    match v with
+    | Duration d -> Duration { d_months = 0; d_seconds = d.d_seconds; d_kind = Dur_dt }
+    | String _ | Untyped _ -> Duration (parse_duration Dur_dt s)
+    | _ -> fail ())
+  | _ -> raise (Cast_error ("unknown cast target type xs:" ^ ty.Qname.local))
+
+let can_cast_to v ty =
+  match cast_to v ty with _ -> true | exception Cast_error _ -> false
+
+let derives_from actual expected =
+  Qname.equal actual expected
+  || (expected.Qname.uri = Qname.xs_ns
+     &&
+     match expected.Qname.local with
+     | "anyAtomicType" -> true
+     | "decimal" -> Qname.equal actual (Qname.xs "integer")
+     | "duration" ->
+       Qname.equal actual (Qname.xs "yearMonthDuration")
+       || Qname.equal actual (Qname.xs "dayTimeDuration")
+     | "string" -> false
+     | _ -> false)
+
+let is_numeric = function
+  | Integer _ | Decimal _ | Double _ -> true
+  | _ -> false
+
+let is_nan = function Double f -> Float.is_nan f | _ -> false
+
+let to_double = function
+  | Integer i -> float_of_int i
+  | Decimal f | Double f -> f
+  | Untyped s -> parse_float ~ty:"xs:double" s
+  | v ->
+    raise
+      (Cast_error
+         ("expected a numeric value, got " ^ Qname.to_string (type_name v)))
+
+(* Numeric tower rank for binary promotion. *)
+type rank = Rint | Rdec | Rdbl
+
+let rank = function
+  | Integer _ -> Some Rint
+  | Decimal _ -> Some Rdec
+  | Double _ -> Some Rdbl
+  | Untyped _ -> Some Rdbl
+  | _ -> None
+
+let join_rank a b =
+  match (a, b) with
+  | Rdbl, _ | _, Rdbl -> Rdbl
+  | Rdec, _ | _, Rdec -> Rdec
+  | Rint, Rint -> Rint
+
+(* a total order exists within one duration dimension; mixed durations
+   only support equality *)
+let compare_duration x y =
+  if x.d_seconds = 0. && y.d_seconds = 0. then compare x.d_months y.d_months
+  else if x.d_months = 0 && y.d_months = 0 then
+    Float.compare x.d_seconds y.d_seconds
+  else if x.d_months = y.d_months && x.d_seconds = y.d_seconds then 0
+  else raise (Cast_error "mixed durations support only equality comparison")
+
+let compare_values a b =
+  let cmp_float x y =
+    if Float.is_nan x || Float.is_nan y then
+      raise (Cast_error "NaN is not comparable")
+    else Float.compare x y
+  in
+  match (a, b) with
+  | (Integer _ | Decimal _ | Double _ | Untyped _), _
+    when is_numeric b || (match b with Untyped _ -> is_numeric a | _ -> false)
+    -> (
+    match (rank a, rank b) with
+    | Some _, Some _ -> cmp_float (to_double a) (to_double b)
+    | _ -> raise (Cast_error "not comparable"))
+  | Integer x, Integer y -> compare x y
+  | (String x | Untyped x), (String y | Untyped y) -> String.compare x y
+  | (String x | Untyped x), AnyUri y | AnyUri x, (String y | Untyped y) ->
+    String.compare x y
+  | AnyUri x, AnyUri y -> String.compare x y
+  | Boolean x, Boolean y -> Bool.compare x y
+  | Untyped x, Boolean y -> Bool.compare (parse_boolean x) y
+  | Boolean x, Untyped y -> Bool.compare x (parse_boolean y)
+  | Date x, Date y | DateTime x, DateTime y | Time x, Time y ->
+    String.compare x y
+  | Untyped x, Date y -> String.compare (parse_date x) y
+  | Date x, Untyped y -> String.compare x (parse_date y)
+  | Untyped x, DateTime y -> String.compare (parse_datetime x) y
+  | DateTime x, Untyped y -> String.compare x (parse_datetime y)
+  | Duration x, Duration y -> compare_duration x y
+  | Untyped x, Duration y ->
+    compare_duration (parse_duration y.d_kind x) y
+  | Duration x, Untyped y ->
+    compare_duration x (parse_duration x.d_kind y)
+  | QName x, QName y ->
+    if Qname.equal x y then 0
+    else raise (Cast_error "QNames support only equality comparison")
+  | _ ->
+    raise
+      (Cast_error
+         (Printf.sprintf "cannot compare %s with %s"
+            (Qname.to_string (type_name a))
+            (Qname.to_string (type_name b))))
+
+let equal_values a b =
+  match (a, b) with
+  | QName x, QName y -> Qname.equal x y
+  | Double x, _ when Float.is_nan x -> false
+  | _, Double y when Float.is_nan y -> false
+  | _ -> ( match compare_values a b with 0 -> true | _ -> false)
+
+type arith_op = Add | Sub | Mul | Div | Idiv | Mod
+
+(* temporal arithmetic: dates/times/durations; [None] when the operand
+   pair is not temporal (the numeric tower handles it) *)
+let temporal_arith op a b =
+  let dur_kind d = if d.d_months <> 0 then Dur_ym else Dur_dt in
+  let norm d = { d with d_kind = dur_kind d } in
+  match (op, a, b) with
+  | Add, Date s, Duration d | Add, Duration d, Date s ->
+    Some (Date (shift_datetime ~is_date:true s d 1))
+  | Sub, Date s, Duration d -> Some (Date (shift_datetime ~is_date:true s d (-1)))
+  | Add, DateTime s, Duration d | Add, Duration d, DateTime s ->
+    Some (DateTime (shift_datetime ~is_date:false s d 1))
+  | Sub, DateTime s, Duration d ->
+    Some (DateTime (shift_datetime ~is_date:false s d (-1)))
+  | Add, Time s, Duration d | Add, Duration d, Time s ->
+    Some (Time (shift_time s d 1))
+  | Sub, Time s, Duration d -> Some (Time (shift_time s d (-1)))
+  | Sub, Date x, Date y ->
+    let dx, dy = (parse_ymd x, parse_ymd y) in
+    let days (yy, mm, dd) = days_from_civil yy mm dd in
+    Some
+      (Duration
+         {
+           d_months = 0;
+           d_seconds = float_of_int (days dx - days dy) *. 86400.;
+           d_kind = Dur_dt;
+         })
+  | Sub, DateTime x, DateTime y ->
+    Some
+      (Duration
+         {
+           d_months = 0;
+           d_seconds = datetime_to_seconds x -. datetime_to_seconds y;
+           d_kind = Dur_dt;
+         })
+  | Sub, Time x, Time y ->
+    Some
+      (Duration
+         { d_months = 0; d_seconds = parse_hms x -. parse_hms y; d_kind = Dur_dt })
+  | (Add | Sub), Duration x, Duration y ->
+    let sign = if op = Add then 1 else -1 in
+    let r =
+      {
+        d_months = x.d_months + (sign * y.d_months);
+        d_seconds = x.d_seconds +. (float_of_int sign *. y.d_seconds);
+        d_kind = Dur_any;
+      }
+    in
+    Some (Duration (norm r))
+  | Mul, Duration d, (Integer _ | Decimal _ | Double _)
+  | Mul, (Integer _ | Decimal _ | Double _), Duration d ->
+    let f =
+      match (a, b) with
+      | Duration _, Integer i | Integer i, Duration _ -> float_of_int i
+      | Duration _, (Decimal f | Double f) | (Decimal f | Double f), Duration _
+        -> f
+      | _ -> 1.
+    in
+    Some
+      (Duration
+         (norm
+            {
+              d_months = int_of_float (Float.round (float_of_int d.d_months *. f));
+              d_seconds = d.d_seconds *. f;
+              d_kind = Dur_any;
+            }))
+  | Div, Duration d, (Integer _ | Decimal _ | Double _) ->
+    let f =
+      match b with
+      | Integer i -> float_of_int i
+      | Decimal f | Double f -> f
+      | _ -> 1.
+    in
+    if f = 0. then raise (Cast_error "division of a duration by zero")
+    else
+      Some
+        (Duration
+           (norm
+              {
+                d_months =
+                  int_of_float (Float.round (float_of_int d.d_months /. f));
+                d_seconds = d.d_seconds /. f;
+                d_kind = Dur_any;
+              }))
+  | Div, Duration x, Duration y ->
+    if x.d_months = 0 && y.d_months = 0 then
+      if y.d_seconds = 0. then raise (Cast_error "division of a duration by zero")
+      else Some (Decimal (x.d_seconds /. y.d_seconds))
+    else if x.d_seconds = 0. && y.d_seconds = 0. then
+      if y.d_months = 0 then raise (Cast_error "division of a duration by zero")
+      else Some (Decimal (float_of_int x.d_months /. float_of_int y.d_months))
+    else raise (Cast_error "cannot divide mixed durations")
+  | _, (Date _ | DateTime _ | Time _ | Duration _), _
+  | _, _, (Date _ | DateTime _ | Time _ | Duration _) ->
+    raise
+      (Cast_error
+         (Printf.sprintf "operator is not defined for %s and %s"
+            (Qname.to_string (type_name a))
+            (Qname.to_string (type_name b))))
+  | _ -> None
+
+let arith op a b =
+  match temporal_arith op a b with
+  | Some r -> r
+  | None ->
+  let ra =
+    match rank a with
+    | Some r -> r
+    | None ->
+      raise
+        (Cast_error
+           ("arithmetic on non-numeric operand "
+          ^ Qname.to_string (type_name a)))
+  and rb =
+    match rank b with
+    | Some r -> r
+    | None ->
+      raise
+        (Cast_error
+           ("arithmetic on non-numeric operand "
+          ^ Qname.to_string (type_name b)))
+  in
+  let r = join_rank ra rb in
+  let fa = to_double a and fb = to_double b in
+  match op with
+  | Idiv ->
+    if fb = 0. then raise (Cast_error "integer division by zero")
+    else Integer (int_of_float (Float.trunc (fa /. fb)))
+  | Mod -> (
+    match r with
+    | Rint ->
+      let ia = int_of_float fa and ib = int_of_float fb in
+      if ib = 0 then raise (Cast_error "integer mod by zero")
+      else Integer (Int.rem ia ib)
+    | Rdec ->
+      if fb = 0. then raise (Cast_error "decimal mod by zero")
+      else Decimal (Float.rem fa fb)
+    | Rdbl -> Double (Float.rem fa fb))
+  | Div -> (
+    match r with
+    | Rint | Rdec ->
+      if fb = 0. then raise (Cast_error "division by zero")
+      else Decimal (fa /. fb)
+    | Rdbl -> Double (fa /. fb))
+  | Add | Sub | Mul -> (
+    let f =
+      match op with
+      | Add -> fa +. fb
+      | Sub -> fa -. fb
+      | Mul -> fa *. fb
+      | Div | Idiv | Mod -> assert false
+    in
+    match r with
+    | Rint -> Integer (int_of_float f)
+    | Rdec -> Decimal f
+    | Rdbl -> Double f)
+
+let negate = function
+  | Integer i -> Integer (-i)
+  | Decimal f -> Decimal (-.f)
+  | Double f -> Double (-.f)
+  | Untyped s -> Double (-.parse_float ~ty:"xs:double" s)
+  | v ->
+    raise
+      (Cast_error
+         ("unary minus on non-numeric operand " ^ Qname.to_string (type_name v)))
+
+let deep_equal a b =
+  match (a, b) with
+  | Double x, Double y when Float.is_nan x && Float.is_nan y -> true
+  | _ -> ( match equal_values a b with e -> e | exception Cast_error _ -> false)
+
+let pp ppf v =
+  Format.fprintf ppf "%s(%s)" (Qname.to_string (type_name v)) (to_string v)

@@ -1,0 +1,95 @@
+(** Atomic values of the XQuery Data Model.
+
+    The supported types are the ones exercised by ALDSP-style data
+    services: strings, untyped atomics, booleans, the numeric tower
+    (integer / decimal / double), QNames, URIs and the date/time types
+    (kept in canonical lexical form). *)
+
+(** Which xs duration type a value was declared as: [xs:duration],
+    [xs:yearMonthDuration] or [xs:dayTimeDuration]. *)
+type duration_kind = Dur_any | Dur_ym | Dur_dt
+
+type duration = {
+  d_months : int;  (** year-month component, in months *)
+  d_seconds : float;  (** day-time component, in seconds *)
+  d_kind : duration_kind;
+}
+
+type t =
+  | String of string
+  | Untyped of string  (** [xs:untypedAtomic] *)
+  | Boolean of bool
+  | Integer of int  (** [xs:integer], machine precision *)
+  | Decimal of float  (** [xs:decimal], approximated by a float *)
+  | Double of float
+  | QName of Qname.t
+  | AnyUri of string
+  | Date of string  (** canonical [YYYY-MM-DD] *)
+  | DateTime of string
+  | Time of string
+  | Duration of duration
+
+exception Cast_error of string
+(** Raised by {!cast_to} and the arithmetic helpers on invalid lexical
+    forms or forbidden conversions; callers map it to [err:FORG0001]. *)
+
+val type_name : t -> Qname.t
+(** The [xs:*] type QName of a value. *)
+
+val to_string : t -> string
+(** The string value, using the XQuery functions-and-operators rules for
+    formatting numbers (no trailing [.0] on integral decimals, exponent
+    notation for large/small doubles, [INF]/[-INF]/[NaN]). *)
+
+val of_bool : bool -> t
+val of_int : int -> t
+val of_string : string -> t
+
+val cast_to : t -> Qname.t -> t
+(** [cast_to v ty] casts [v] to the [xs:*] type named [ty] following the
+    XQuery casting table. @raise Cast_error on failure. *)
+
+val can_cast_to : t -> Qname.t -> bool
+(** The [castable as] predicate. *)
+
+val derives_from : Qname.t -> Qname.t -> bool
+(** [derives_from actual expected] is the atomic-type hierarchy test used
+    by sequence-type matching: e.g. [xs:integer] derives from
+    [xs:decimal] and every type derives from [xs:anyAtomicType]. *)
+
+val is_numeric : t -> bool
+val is_nan : t -> bool
+
+val to_double : t -> float
+(** Numeric value as a float. @raise Cast_error on non-numbers. *)
+
+val compare_values : t -> t -> int
+(** Value comparison after untyped-to-string coercion; numeric types are
+    compared on the numeric tower, strings by code point.
+    @raise Cast_error on incomparable types (e.g. integer vs date). *)
+
+val equal_values : t -> t -> bool
+(** [compare_values a b = 0], with NaN unequal to everything. *)
+
+type arith_op = Add | Sub | Mul | Div | Idiv | Mod
+
+val arith : arith_op -> t -> t -> t
+(** Arithmetic with XQuery numeric promotion (integer op integer stays
+    integer except [Div], untyped operands are cast to double), plus
+    temporal arithmetic: date/dateTime/time ± duration (year-month
+    components applied first, with end-of-month clamping), date − date
+    and dateTime − dateTime (→ [xs:dayTimeDuration]), duration ±
+    duration, duration × ÷ number, and duration ÷ duration (→
+    [xs:decimal]).
+    @raise Cast_error on undefined operand combinations or division by
+    zero. *)
+
+val negate : t -> t
+(** Unary minus. @raise Cast_error on non-numeric operands. *)
+
+val deep_equal : t -> t -> bool
+(** Equality used by [fn:deep-equal]: like {!equal_values} but NaN equals
+    NaN and incomparable types are unequal instead of an error. *)
+
+val pp : Format.formatter -> t -> unit
+(** Debug printer: [xs:integer(42)]. *)

@@ -1,0 +1,28 @@
+type t = { prefix : string option; uri : string; local : string }
+
+let make ?prefix ~uri local = { prefix; uri; local }
+let local n = { prefix = None; uri = ""; local = n }
+let equal a b = String.equal a.uri b.uri && String.equal a.local b.local
+
+let compare a b =
+  match String.compare a.uri b.uri with
+  | 0 -> String.compare a.local b.local
+  | c -> c
+
+let hash a = Hashtbl.hash (a.uri, a.local)
+
+let to_string q =
+  match q.prefix with
+  | Some p -> p ^ ":" ^ q.local
+  | None -> if q.uri = "" then q.local else "{" ^ q.uri ^ "}" ^ q.local
+
+let pp ppf q = Format.pp_print_string ppf (to_string q)
+let xs_ns = "http://www.w3.org/2001/XMLSchema"
+let fn_ns = "http://www.w3.org/2005/xpath-functions"
+let err_ns = "http://www.w3.org/2005/xqt-errors"
+let xml_ns = "http://www.w3.org/XML/1998/namespace"
+let xmlns_ns = "http://www.w3.org/2000/xmlns/"
+let local_default_ns = "http://www.w3.org/2005/xquery-local-functions"
+let xs n = { prefix = Some "xs"; uri = xs_ns; local = n }
+let fn n = { prefix = Some "fn"; uri = fn_ns; local = n }
+let err n = { prefix = Some "err"; uri = err_ns; local = n }

@@ -1,0 +1,60 @@
+(** Expanded qualified names.
+
+    A QName is identified by its namespace URI and local part; the prefix is
+    retained only for serialization and error messages and is ignored by
+    {!equal}, {!compare} and {!hash}. *)
+
+type t = {
+  prefix : string option;  (** lexical prefix, if any (not significant) *)
+  uri : string;  (** namespace URI; [""] means "no namespace" *)
+  local : string;  (** local part *)
+}
+
+val make : ?prefix:string -> uri:string -> string -> t
+(** [make ?prefix ~uri local] builds a QName. *)
+
+val local : string -> t
+(** [local n] is a QName in no namespace. *)
+
+val equal : t -> t -> bool
+(** URI/local equality; prefixes are ignored. *)
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val to_string : t -> string
+(** Lexical form [prefix:local] when a prefix is present, else the local
+    part, or Clark notation [{uri}local] when a URI but no prefix is
+    present. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Well-known namespace URIs. *)
+
+val xs_ns : string
+(** XML Schema datatypes namespace. *)
+
+val fn_ns : string
+(** XPath/XQuery functions-and-operators namespace. *)
+
+val err_ns : string
+(** XQuery error namespace. *)
+
+val xml_ns : string
+(** The reserved [xml] prefix namespace. *)
+
+val xmlns_ns : string
+(** The reserved [xmlns] attribute namespace. *)
+
+val local_default_ns : string
+(** XQuery [local:] prefix namespace for local function declarations. *)
+
+val xs : string -> t
+(** [xs n] is the QName [xs:n] in {!xs_ns}. *)
+
+val fn : string -> t
+(** [fn n] is the QName [fn:n] in {!fn_ns}. *)
+
+val err : string -> t
+(** [err n] is the QName [err:n] in {!err_ns}. *)

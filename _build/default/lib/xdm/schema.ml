@@ -1,0 +1,157 @@
+type simple_type = Qname.t
+
+type particle = {
+  elem_name : Qname.t;
+  elem_type : type_def;
+  min_occurs : int;
+  max_occurs : int option;
+}
+
+and type_def = Simple of simple_type | Complex of complex_type
+
+and complex_type = {
+  attributes : (Qname.t * simple_type) list;
+  children : particle list;
+  mixed : bool;
+}
+
+type element_decl = { name : Qname.t; type_def : type_def }
+type t = { target_ns : string; elements : element_decl list }
+
+let make ~target_ns elements = { target_ns; elements }
+let simple q = Simple q
+
+let complex ?(attributes = []) ?(mixed = false) children =
+  Complex { attributes; children; mixed }
+
+let particle ?(min = 1) ?(max = Some 1) name type_def =
+  { elem_name = name; elem_type = type_def; min_occurs = min; max_occurs = max }
+
+let find_element schema qn =
+  List.find_opt (fun d -> Qname.equal d.name qn) schema.elements
+
+type violation = { path : string; message : string }
+
+let check_simple_value ty s =
+  let open Atomic in
+  match
+    (try Some (cast_to (Untyped s) ty) with Cast_error _ | Invalid_argument _ -> None)
+  with
+  | Some _ -> true
+  | None -> false
+
+let validate schema node =
+  let violations = ref [] in
+  let bad path message = violations := { path; message } :: !violations in
+  let rec check_element path decl_name type_def el =
+    let elname = match Node.name el with Some q -> q | None -> Qname.local "?" in
+    if not (Qname.equal elname decl_name) then
+      bad path
+        (Printf.sprintf "expected element %s, found %s"
+           (Qname.to_string decl_name) (Qname.to_string elname))
+    else
+      match type_def with
+      | Simple ty ->
+        let s = Node.string_value el in
+        if not (check_simple_value ty s) then
+          bad path
+            (Printf.sprintf "value %S is not a valid %s" s (Qname.to_string ty))
+      | Complex ct ->
+        List.iter
+          (fun (an, aty) ->
+            match Node.attribute_value el an with
+            | None -> ()
+            | Some v ->
+              if not (check_simple_value aty v) then
+                bad
+                  (path ^ "/@" ^ Qname.to_string an)
+                  (Printf.sprintf "attribute value %S is not a valid %s" v
+                     (Qname.to_string aty)))
+          ct.attributes;
+        let child_elems =
+          List.filter (fun c -> Node.kind c = Node.Element) (Node.children el)
+        in
+        if not ct.mixed then begin
+          let has_text =
+            List.exists
+              (fun c ->
+                Node.kind c = Node.Text
+                && String.exists (fun ch -> not (ch = ' ' || ch = '\n' || ch = '\t' || ch = '\r'))
+                     (Node.text_content c))
+              (Node.children el)
+          in
+          if has_text && ct.children <> [] then
+            bad path "unexpected text content in element-only element"
+        end;
+        check_sequence path ct.children child_elems
+  and check_sequence path particles elems =
+    match particles with
+    | [] ->
+      List.iter
+        (fun e ->
+          bad path
+            (Printf.sprintf "unexpected element %s"
+               (match Node.name e with
+               | Some q -> Qname.to_string q
+               | None -> "?")))
+        elems
+    | p :: rest ->
+      let matches_p e =
+        match Node.name e with
+        | Some q -> Qname.equal q p.elem_name
+        | None -> false
+      in
+      let rec take n acc = function
+        | e :: more when matches_p e && (match p.max_occurs with None -> true | Some m -> n < m) ->
+          take (n + 1) (e :: acc) more
+        | more -> (n, List.rev acc, more)
+      in
+      let count, matched, remaining = take 0 [] elems in
+      if count < p.min_occurs then
+        bad path
+          (Printf.sprintf "element %s occurs %d time(s), minimum is %d"
+             (Qname.to_string p.elem_name) count p.min_occurs);
+      List.iteri
+        (fun i e ->
+          check_element
+            (path ^ "/" ^ Qname.to_string p.elem_name
+            ^ if count > 1 then Printf.sprintf "[%d]" (i + 1) else "")
+            p.elem_name p.elem_type e)
+        matched;
+      check_sequence path rest remaining
+  in
+  (match Node.name node with
+  | None -> bad "/" "not an element node"
+  | Some qn -> (
+    match find_element schema qn with
+    | None ->
+      bad "/"
+        (Printf.sprintf "no global element declaration for %s"
+           (Qname.to_string qn))
+    | Some decl ->
+      check_element ("/" ^ Qname.to_string qn) decl.name decl.type_def node));
+  match List.rev !violations with [] -> Ok () | vs -> Error vs
+
+let leaf_paths schema root =
+  match find_element schema root with
+  | None -> []
+  | Some decl ->
+    let acc = ref [] in
+    let rec go depth path type_def =
+      if depth > 16 then ()
+      else
+        match type_def with
+        | Simple ty -> acc := (List.rev path, ty) :: !acc
+        | Complex ct ->
+          List.iter
+            (fun p ->
+              go (depth + 1) (p.elem_name.Qname.local :: path) p.elem_type)
+            ct.children
+    in
+    (match decl.type_def with
+    | Simple ty -> acc := ([], ty) :: !acc
+    | Complex ct ->
+      List.iter
+        (fun p -> go 1 [ p.elem_name.Qname.local ] p.elem_type)
+        ct.children);
+    List.rev !acc

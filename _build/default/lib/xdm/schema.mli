@@ -1,0 +1,58 @@
+(** An XML Schema subset sufficient for data-service "shapes":
+    global element declarations, complex types as ordered sequences of
+    child-element particles (with occurrence bounds), simple types from
+    the [xs:*] set, and attribute uses. *)
+
+type simple_type = Qname.t
+(** An [xs:*] datatype name. *)
+
+type particle = {
+  elem_name : Qname.t;
+  elem_type : type_def;
+  min_occurs : int;
+  max_occurs : int option;  (** [None] = unbounded *)
+}
+
+and type_def =
+  | Simple of simple_type
+  | Complex of complex_type
+
+and complex_type = {
+  attributes : (Qname.t * simple_type) list;
+  children : particle list;  (** sequence content model *)
+  mixed : bool;
+}
+
+type element_decl = { name : Qname.t; type_def : type_def }
+
+type t = { target_ns : string; elements : element_decl list }
+(** A schema: a target namespace plus global element declarations. *)
+
+val make : target_ns:string -> element_decl list -> t
+
+val simple : Qname.t -> type_def
+(** [simple (Qname.xs "string")] *)
+
+val complex :
+  ?attributes:(Qname.t * simple_type) list ->
+  ?mixed:bool ->
+  particle list ->
+  type_def
+
+val particle :
+  ?min:int -> ?max:int option -> Qname.t -> type_def -> particle
+(** Defaults: [min = 1], [max = Some 1]. *)
+
+val find_element : t -> Qname.t -> element_decl option
+
+type violation = { path : string; message : string }
+
+val validate : t -> Node.t -> (unit, violation list) result
+(** Validate an element node against the schema's global declaration of
+    its name. Checks the content model (order + occurrence), attribute
+    presence, and simple-type lexical validity of leaf values. *)
+
+val leaf_paths : t -> Qname.t -> (string list * simple_type) list
+(** All leaf element paths (as lists of local names, excluding the root)
+    under a global element declaration, with their simple types — used by
+    lineage analysis. Recursion is cut off at depth 16. *)

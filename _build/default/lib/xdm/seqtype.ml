@@ -1,0 +1,128 @@
+type occurrence = One | Opt | Star | Plus
+
+type item_type =
+  | Any_item
+  | Atomic_type of Qname.t
+  | Any_node
+  | Element_type of Qname.t option
+  | Attribute_type of Qname.t option
+  | Document_type
+  | Text_type
+  | Comment_type
+  | Pi_type
+
+type t = Empty_sequence | Typed of item_type * occurrence
+
+let make it occ = Typed (it, occ)
+let any = Typed (Any_item, Star)
+let one_element qn = Typed (Element_type (Some qn), One)
+
+let item_matches it item =
+  match (it, item) with
+  | Any_item, _ -> true
+  | Atomic_type ty, Item.Atomic a -> Atomic.derives_from (Atomic.type_name a) ty
+  | Atomic_type _, Item.Node _ -> false
+  | Any_node, Item.Node _ -> true
+  | Any_node, Item.Atomic _ -> false
+  | Element_type name, Item.Node n -> (
+    Node.kind n = Node.Element
+    &&
+    match name with
+    | None -> true
+    | Some qn -> ( match Node.name n with Some nn -> Qname.equal nn qn | None -> false))
+  | Attribute_type name, Item.Node n -> (
+    Node.kind n = Node.Attribute
+    &&
+    match name with
+    | None -> true
+    | Some qn -> ( match Node.name n with Some nn -> Qname.equal nn qn | None -> false))
+  | Document_type, Item.Node n -> Node.kind n = Node.Document
+  | Text_type, Item.Node n -> Node.kind n = Node.Text
+  | Comment_type, Item.Node n -> Node.kind n = Node.Comment
+  | Pi_type, Item.Node n -> Node.kind n = Node.Processing_instruction
+  | (Element_type _ | Attribute_type _ | Document_type | Text_type
+    | Comment_type | Pi_type), Item.Atomic _ -> false
+
+let occurrence_ok occ n =
+  match occ with
+  | One -> n = 1
+  | Opt -> n <= 1
+  | Star -> true
+  | Plus -> n >= 1
+
+let matches ty seq =
+  match ty with
+  | Empty_sequence -> seq = []
+  | Typed (it, occ) ->
+    occurrence_ok occ (List.length seq)
+    && List.for_all (fun item -> item_matches it item) seq
+
+let occ_string = function One -> "" | Opt -> "?" | Star -> "*" | Plus -> "+"
+
+let item_type_string = function
+  | Any_item -> "item()"
+  | Atomic_type q -> Qname.to_string q
+  | Any_node -> "node()"
+  | Element_type None -> "element()"
+  | Element_type (Some q) -> "element(" ^ Qname.to_string q ^ ")"
+  | Attribute_type None -> "attribute()"
+  | Attribute_type (Some q) -> "attribute(" ^ Qname.to_string q ^ ")"
+  | Document_type -> "document-node()"
+  | Text_type -> "text()"
+  | Comment_type -> "comment()"
+  | Pi_type -> "processing-instruction()"
+
+let to_string = function
+  | Empty_sequence -> "empty-sequence()"
+  | Typed (it, occ) -> item_type_string it ^ occ_string occ
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Function-conversion-rules light: promote untyped atomics to a required
+   atomic type, and numerics up the tower. *)
+let coerce_item it item =
+  match (it, item) with
+  | Atomic_type ty, Item.Atomic (Atomic.Untyped _ as a)
+    when ty.Qname.uri = Qname.xs_ns ->
+    if item_matches it item then Some item
+    else (
+      try Some (Item.Atomic (Atomic.cast_to a ty))
+      with Atomic.Cast_error _ -> None)
+  | Atomic_type ty, Item.Atomic (Atomic.Integer _ as a)
+    when Qname.equal ty (Qname.xs "double") || Qname.equal ty (Qname.xs "decimal")
+    -> Some (Item.Atomic (Atomic.cast_to a ty))
+  | Atomic_type ty, Item.Atomic (Atomic.Decimal _ as a)
+    when Qname.equal ty (Qname.xs "double") ->
+    Some (Item.Atomic (Atomic.cast_to a ty))
+  | _ -> if item_matches it item then Some item else None
+
+let check ~what ty seq =
+  match ty with
+  | Empty_sequence ->
+    if seq = [] then seq
+    else
+      Item.type_error
+        (Printf.sprintf "%s: expected empty-sequence(), got %d item(s)" what
+           (List.length seq))
+  | Typed (it, occ) ->
+    if not (occurrence_ok occ (List.length seq)) then
+      Item.type_error
+        (Printf.sprintf "%s: cardinality of value (%d) does not match %s" what
+           (List.length seq) (to_string ty))
+    else
+      (* atomize node items first when an atomic type is required *)
+      let seq =
+        match it with
+        | Atomic_type _ ->
+          List.map (fun a -> Item.Atomic a) (Item.atomize seq)
+        | _ -> seq
+      in
+      List.map
+        (fun item ->
+          match coerce_item it item with
+          | Some item -> item
+          | None ->
+            Item.type_error
+              (Printf.sprintf "%s: item does not match required type %s" what
+                 (to_string ty)))
+        seq

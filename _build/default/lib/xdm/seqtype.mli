@@ -1,0 +1,42 @@
+(** Sequence types ([element(ns:Name)?], [xs:integer*], …) and the
+    SequenceType matching rules used by typed variables, function
+    signatures and [instance of]. *)
+
+type occurrence =
+  | One  (** exactly one *)
+  | Opt  (** [?] zero or one *)
+  | Star  (** [*] zero or more *)
+  | Plus  (** [+] one or more *)
+
+type item_type =
+  | Any_item  (** [item()] *)
+  | Atomic_type of Qname.t  (** [xs:integer], [xs:anyAtomicType], … *)
+  | Any_node  (** [node()] *)
+  | Element_type of Qname.t option  (** [element()], [element(n)] *)
+  | Attribute_type of Qname.t option
+  | Document_type
+  | Text_type
+  | Comment_type
+  | Pi_type
+
+type t = Empty_sequence  (** [empty-sequence()] *) | Typed of item_type * occurrence
+
+val make : item_type -> occurrence -> t
+val any : t
+(** [item()*] — the implicit type of undeclared variables. *)
+
+val one_element : Qname.t -> t
+(** [element(n)] *)
+
+val item_matches : item_type -> Item.t -> bool
+val matches : t -> Item.seq -> bool
+(** Full SequenceType matching (occurrence + item type). *)
+
+val check : what:string -> t -> Item.seq -> Item.seq
+(** [check ~what ty seq] returns [seq] if it matches, otherwise raises
+    [err:XPTY0004] mentioning [what]. Sequences of untyped atomics are
+    coerced to a required atomic type when possible (function conversion
+    rules light). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,153 @@
+let escape_general ~quot s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' when quot -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_text s = escape_general ~quot:false s
+let escape_attr s = escape_general ~quot:true s
+
+(* In-scope namespace bindings threaded down the tree: (prefix, uri). *)
+let in_scope_lookup scopes prefix =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt prefix scope with Some u -> Some u | None -> go rest)
+  in
+  go scopes
+
+(* Pick a lexical name for a QName, adding declarations when needed. *)
+let lexical_name ~is_attr scopes new_decls qn =
+  let uri = qn.Qname.uri in
+  if uri = "" then
+    (* no-namespace names must not be captured by a default namespace *)
+    (if (not is_attr) && in_scope_lookup (!new_decls :: scopes) "" <> None
+        && in_scope_lookup (!new_decls :: scopes) "" <> Some "" then
+       new_decls := ("", "") :: !new_decls;
+     qn.Qname.local)
+  else if uri = Qname.xml_ns then "xml:" ^ qn.Qname.local
+  else
+    let preferred = match qn.Qname.prefix with Some p -> p | None -> "" in
+    let scopes_all = !new_decls :: scopes in
+    match in_scope_lookup scopes_all preferred with
+    | Some u when u = uri && not (is_attr && preferred = "") ->
+      if preferred = "" then qn.Qname.local
+      else preferred ^ ":" ^ qn.Qname.local
+    | _ ->
+      (* need a declaration; attributes need a non-empty prefix *)
+      let prefix =
+        if preferred <> "" && (in_scope_lookup [ !new_decls ] preferred = None
+                               || in_scope_lookup [ !new_decls ] preferred = Some uri)
+        then preferred
+        else if (not is_attr) && preferred = "" then ""
+        else begin
+          (* synthesize ns1, ns2, ... *)
+          let rec pick i =
+            let p = "ns" ^ string_of_int i in
+            match in_scope_lookup scopes_all p with
+            | None -> p
+            | Some u when u = uri -> p
+            | Some _ -> pick (i + 1)
+          in
+          pick 1
+        end
+      in
+      (match in_scope_lookup [ !new_decls ] prefix with
+      | Some u when u = uri -> ()
+      | _ -> new_decls := (prefix, uri) :: !new_decls);
+      if prefix = "" then qn.Qname.local else prefix ^ ":" ^ qn.Qname.local
+
+let rec write ~indent ~depth scopes buf n =
+  match Node.kind n with
+  | Node.Text -> Buffer.add_string buf (escape_text (Node.text_content n))
+  | Node.Comment ->
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf (Node.text_content n);
+    Buffer.add_string buf "-->"
+  | Node.Processing_instruction ->
+    let target =
+      match Node.name n with Some q -> q.Qname.local | None -> ""
+    in
+    Buffer.add_string buf ("<?" ^ target ^ " " ^ Node.text_content n ^ "?>")
+  | Node.Attribute ->
+    let qn = Option.get (Node.name n) in
+    Buffer.add_string buf
+      (Qname.to_string qn ^ "=\"" ^ escape_attr (Node.text_content n) ^ "\"")
+  | Node.Document ->
+    List.iter (write ~indent ~depth scopes buf) (Node.children n)
+  | Node.Element ->
+    let qn = Option.get (Node.name n) in
+    let new_decls = ref [] in
+    let lex = lexical_name ~is_attr:false scopes new_decls qn in
+    let attr_strs =
+      List.map
+        (fun a ->
+          let an = Option.get (Node.name a) in
+          let alex = lexical_name ~is_attr:true scopes new_decls an in
+          alex ^ "=\"" ^ escape_attr (Node.text_content a) ^ "\"")
+        (Node.attributes n)
+    in
+    let ns_strs =
+      List.rev_map
+        (fun (p, u) ->
+          if p = "" then "xmlns=\"" ^ escape_attr u ^ "\""
+          else "xmlns:" ^ p ^ "=\"" ^ escape_attr u ^ "\"")
+        !new_decls
+    in
+    Buffer.add_char buf '<';
+    Buffer.add_string buf lex;
+    List.iter
+      (fun s ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf s)
+      (ns_strs @ attr_strs);
+    let children = Node.children n in
+    if children = [] then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      let scopes' = !new_decls :: scopes in
+      let elements_only =
+        List.for_all (fun c -> Node.kind c <> Node.Text) children
+      in
+      if indent && elements_only && children <> [] then begin
+        List.iter
+          (fun c ->
+            Buffer.add_char buf '\n';
+            Buffer.add_string buf (String.make ((depth + 1) * 2) ' ');
+            write ~indent ~depth:(depth + 1) scopes' buf c)
+          children;
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (depth * 2) ' ')
+      end
+      else List.iter (write ~indent ~depth:(depth + 1) scopes' buf) children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf lex;
+      Buffer.add_char buf '>'
+    end
+
+let to_string ?(indent = false) n =
+  let buf = Buffer.create 256 in
+  write ~indent ~depth:0 [ [ ("xml", Qname.xml_ns) ] ] buf n;
+  Buffer.contents buf
+
+let seq_to_string ?(indent = false) seq =
+  let buf = Buffer.create 256 in
+  let rec go prev_atomic = function
+    | [] -> ()
+    | Item.Atomic a :: rest ->
+      if prev_atomic then Buffer.add_char buf ' ';
+      Buffer.add_string buf (escape_text (Atomic.to_string a));
+      go true rest
+    | Item.Node n :: rest ->
+      write ~indent ~depth:0 [ [ ("xml", Qname.xml_ns) ] ] buf n;
+      go false rest
+  in
+  go false seq;
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** XML serialization of {!Node.t} trees.
+
+    Namespace declarations are synthesized from the QNames in the tree:
+    each element declares the prefixes its own name and attribute names
+    need that are not already in scope. *)
+
+val to_string : ?indent:bool -> Node.t -> string
+(** Serialize one node. Documents serialize their children; attribute
+    nodes serialize as [name="value"]. [indent] pretty-prints
+    element-only content (default [false]). *)
+
+val seq_to_string : ?indent:bool -> Item.seq -> string
+(** Serialize a sequence per the XQuery serialization rules: adjacent
+    atomic values are separated by single spaces, nodes serialized in
+    place. *)
+
+val escape_text : string -> string
+(** Escape ampersand, less-than and greater-than for character data. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, less-than and double-quote for attribute values. *)

@@ -1,0 +1,1 @@
+lib/xqse/interp.ml: Atomic Hashtbl Item List Printf Qname Seqtype Stmt Xdm Xquery

@@ -1,0 +1,1 @@
+lib/xqse/interp.mli: Item Qname Seqtype Stmt Xdm Xquery

@@ -1,0 +1,1 @@
+lib/xqse/parse.ml: List Printf Stmt Xquery

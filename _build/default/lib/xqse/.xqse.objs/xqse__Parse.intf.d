@@ -1,0 +1,1 @@
+lib/xqse/parse.mli: Stmt Xquery

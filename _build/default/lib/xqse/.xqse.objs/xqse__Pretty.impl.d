@@ -1,0 +1,1 @@
+lib/xqse/pretty.ml: Buffer List Printf Qname Seqtype Stmt String Xdm Xquery

@@ -1,0 +1,1 @@
+lib/xqse/pretty.mli: Stmt

@@ -1,0 +1,1 @@
+lib/xqse/session.ml: Hashtbl Interp Item List Option Parse Printf Qname Seqtype Stmt Xdm Xml_serialize Xquery

@@ -1,0 +1,1 @@
+lib/xqse/session.mli: Interp Item Qname Seqtype Xdm Xquery

@@ -1,0 +1,1 @@
+lib/xqse/stmt.ml: Qname Seqtype String Xdm Xquery

@@ -1,0 +1,325 @@
+open Xdm
+module Qmap = Xquery.Context.Qmap
+
+exception Break_outside_loop
+exception Continue_outside_loop
+
+type procedure = {
+  p_name : Qname.t;
+  p_params : (Qname.t * Seqtype.t option) list;
+  p_return : Seqtype.t option;
+  p_readonly : bool;
+  p_impl : impl;
+}
+
+and impl = P_block of Stmt.block | P_external of (Item.seq list -> Item.seq)
+
+type runtime = {
+  reg : Xquery.Context.registry;
+  procs : (string * string * int, procedure) Hashtbl.t;
+      (* keyed by (uri, local, arity) — prefixes are not significant *)
+  parent : runtime option;
+  mutable trace : string -> unit;
+}
+
+let create_runtime ?(trace = fun _ -> ()) ?parent reg =
+  { reg; procs = Hashtbl.create 16; parent; trace }
+
+let registry rt = rt.reg
+let set_trace rt f = rt.trace <- f
+
+let rec find_procedure rt (name : Qname.t) arity =
+  match Hashtbl.find_opt rt.procs (name.Qname.uri, name.Qname.local, arity) with
+  | Some p -> Some p
+  | None -> (
+    match rt.parent with
+    | Some parent -> find_procedure parent name arity
+    | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Execution state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A frame holds the assignable block variables of one block (value ref
+   plus declared type). The paper specifies that only block-declared
+   variables may be assigned. *)
+type frame = (Qname.t * (Item.seq ref * Seqtype.t option)) list ref
+
+type state = {
+  rt : runtime;
+  frames : frame list;  (* innermost first *)
+  bindings : Item.seq Qmap.t;  (* read-only: params, iterate vars *)
+}
+
+type outcome =
+  | Normal
+  | Returned of Item.seq
+  | Broke
+  | Continued
+
+let push_frame st = { st with frames = ref [] :: st.frames }
+
+let declare_var st ?ty name v =
+  match st.frames with
+  | [] -> invalid_arg "Interp.declare_var: no frame"
+  | frame :: _ -> frame := (name, (ref v, ty)) :: !frame
+
+let find_entry st name =
+  let rec go = function
+    | [] -> None
+    | frame :: rest -> (
+      match List.find_opt (fun (n, _) -> Qname.equal n name) !frame with
+      | Some (_, entry) -> Some entry
+      | None -> go rest)
+  in
+  go st.frames
+
+(* Snapshot of all variables in scope, for expression evaluation. *)
+let scope_vars st =
+  let m = st.bindings in
+  (* outer frames first so inner frames win *)
+  List.fold_left
+    (fun m frame ->
+      List.fold_left (fun m (n, (r, _)) -> Qmap.add n !r m) m (List.rev !frame))
+    m (List.rev st.frames)
+
+let eval_ctx st =
+  let ctx = Xquery.Context.make_dynamic ~trace:st.rt.trace st.rt.reg in
+  let globals = Xquery.Context.globals st.rt.reg in
+  let vars =
+    Qmap.union (fun _ _inner v -> Some v) globals (scope_vars st)
+  in
+  Xquery.Context.with_vars ctx vars
+
+let eval_expr st e = Xquery.Eval.eval (eval_ctx st) e
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec exec_value_stmt st (v : Stmt.value_stmt) : Item.seq =
+  match v with
+  | Stmt.V_expr (Xquery.Ast.Call (name, args) as e) -> (
+    (* a call resolves to a procedure when one is declared, else it is an
+       ordinary expression (paper III.B.8) *)
+    match find_procedure st.rt name (List.length args) with
+    | Some proc ->
+      let arg_vals = List.map (eval_expr st) args in
+      run_procedure st.rt proc arg_vals
+    | None -> eval_expr st e)
+  | Stmt.V_expr e -> eval_expr st e
+  | Stmt.V_proc_block block -> (
+    (* in-place procedure: fresh assignable scope; enclosing variables
+       remain visible read-only *)
+    let st' = { st with frames = []; bindings = scope_vars st } in
+    match exec_block_stmts (push_frame st') block with
+    | Returned v -> v
+    | Normal -> []
+    | Broke -> raise Break_outside_loop
+    | Continued -> raise Continue_outside_loop)
+
+and exec_stmt st (s : Stmt.statement) : outcome =
+  match s with
+  | Stmt.Block b -> exec_block_stmts (push_frame st) b
+  | Stmt.Set (name, v) -> (
+    match find_entry st name with
+    | None ->
+      Item.raise_error (Qname.err "XQSE0001")
+        (Printf.sprintf
+           "cannot assign to $%s: only block-declared variables may be \
+            assigned"
+           (Qname.to_string name))
+    | Some (r, ty) ->
+      (* on error the variable keeps its previous value (III.B.6) *)
+      let value = exec_value_stmt st v in
+      let value =
+        match ty with
+        | Some ty ->
+          Seqtype.check ~what:(Printf.sprintf "$%s" (Qname.to_string name)) ty
+            value
+        | None -> value
+      in
+      r := value;
+      Normal)
+  | Stmt.Return_value v -> Returned (exec_value_stmt st v)
+  | Stmt.Expr_stmt v ->
+    ignore (exec_value_stmt st v);
+    Normal
+  | Stmt.While (test, body) ->
+    let rec loop () =
+      if Item.effective_boolean_value (eval_expr st test) then
+        match exec_block_stmts (push_frame st) body with
+        | Normal | Continued -> loop ()
+        | Broke -> Normal
+        | Returned v -> Returned v
+      else Normal
+    in
+    loop ()
+  | Stmt.Iterate { var; pos; source; body } ->
+    let binding_seq = exec_value_stmt st source in
+    let rec loop i = function
+      | [] -> Normal
+      | item :: rest -> (
+        let bindings = Qmap.add var [ item ] st.bindings in
+        let bindings =
+          match pos with
+          | Some pv -> Qmap.add pv [ Item.Atomic (Atomic.Integer i) ] bindings
+          | None -> bindings
+        in
+        let st' = { st with bindings } in
+        match exec_block_stmts (push_frame st') body with
+        | Normal | Continued -> loop (i + 1) rest
+        | Broke -> Normal
+        | Returned v -> Returned v)
+    in
+    loop 1 binding_seq
+  | Stmt.If (cond, then_, else_) ->
+    if Item.effective_boolean_value (eval_expr st cond) then
+      exec_stmt st then_
+    else (
+      match else_ with Some s -> exec_stmt st s | None -> Normal)
+  | Stmt.Try (body, clauses) -> (
+    match exec_block_stmts (push_frame st) body with
+    | outcome -> outcome
+    | exception Item.Error { code; message; items } -> (
+      match
+        List.find_opt
+          (fun c -> Stmt.nametest_matches c.Stmt.cc_test code)
+          clauses
+      with
+      | None -> raise (Item.Error { code; message; items })
+      | Some clause ->
+        (* bind up to three variables: error QName, message, diagnostics
+           (paper III.B.13) *)
+        let values =
+          [
+            [ Item.Atomic (Atomic.QName code) ];
+            [ Item.Atomic (Atomic.String message) ];
+            items;
+          ]
+        in
+        let bindings =
+          List.fold_left2
+            (fun m v value -> Qmap.add v value m)
+            st.bindings clause.Stmt.cc_vars
+            (List.filteri
+               (fun i _ -> i < List.length clause.Stmt.cc_vars)
+               values)
+        in
+        exec_block_stmts (push_frame { st with bindings }) clause.Stmt.cc_body))
+  | Stmt.Continue -> Continued
+  | Stmt.Break -> Broke
+  | Stmt.Update e ->
+    (* one snapshot: evaluate the updating expression, then apply its
+       pending update list (paper III.C.14) *)
+    let pul = Xquery.Eval.eval_updating (eval_ctx st) e in
+    Xquery.Update.apply pul;
+    Normal
+
+and exec_block_stmts st (b : Stmt.block) : outcome =
+  (* execute declarations in order, then statements in order (III.B.5) *)
+  List.iter
+    (fun d ->
+      let v =
+        match d.Stmt.bd_init with
+        | Some init -> exec_value_stmt st init
+        | None -> []
+        (* the paper's own while example reads a declared-but-
+           uninitialized variable, so uninitialized variables hold the
+           empty sequence here; see DESIGN.md *)
+      in
+      let v =
+        match d.Stmt.bd_type with
+        | Some ty when d.Stmt.bd_init <> None ->
+          Seqtype.check
+            ~what:(Printf.sprintf "$%s" (Qname.to_string d.Stmt.bd_var))
+            ty v
+        | _ -> v
+      in
+      declare_var st ?ty:d.Stmt.bd_type d.Stmt.bd_var v)
+    b.Stmt.decls;
+  let rec go = function
+    | [] -> Normal
+    | s :: rest -> (
+      match exec_stmt st s with Normal -> go rest | out -> out)
+  in
+  go b.Stmt.stmts
+
+and run_procedure rt proc arg_vals : Item.seq =
+  let what = Qname.to_string proc.p_name in
+  if List.length arg_vals <> List.length proc.p_params then
+    Item.type_error
+      (Printf.sprintf "procedure %s expects %d argument(s), got %d" what
+         (List.length proc.p_params) (List.length arg_vals));
+  let checked =
+    List.map2
+      (fun (pname, pty) v ->
+        let v =
+          match pty with
+          | Some ty ->
+            Seqtype.check
+              ~what:
+                (Printf.sprintf "argument $%s of %s" (Qname.to_string pname)
+                   what)
+              ty v
+          | None -> v
+        in
+        (pname, v))
+      proc.p_params arg_vals
+  in
+  let result =
+    match proc.p_impl with
+    | P_external f -> f (List.map snd checked)
+    | P_block body -> (
+      let bindings =
+        List.fold_left
+          (fun m (n, v) -> Qmap.add n v m)
+          Qmap.empty checked
+      in
+      let st = { rt; frames = []; bindings } in
+      match exec_block_stmts (push_frame st) body with
+      | Returned v -> v
+      | Normal -> []
+      | Broke -> raise Break_outside_loop
+      | Continued -> raise Continue_outside_loop)
+  in
+  match proc.p_return with
+  | Some ty ->
+    Seqtype.check ~what:(Printf.sprintf "result of %s" what) ty result
+  | None -> result
+
+let call_procedure rt name arg_vals =
+  match find_procedure rt name (List.length arg_vals) with
+  | Some proc -> run_procedure rt proc arg_vals
+  | None ->
+    Item.raise_error (Qname.err "XPST0017")
+      (Printf.sprintf "unknown procedure %s/%d" (Qname.to_string name)
+         (List.length arg_vals))
+
+let declare_procedure rt proc =
+  let key =
+    (proc.p_name.Qname.uri, proc.p_name.Qname.local, List.length proc.p_params)
+  in
+  if Hashtbl.mem rt.procs key then
+    Item.raise_error (Qname.err "XQST0034")
+      (Printf.sprintf "procedure %s/%d is already declared"
+         (Qname.to_string proc.p_name)
+         (List.length proc.p_params));
+  Hashtbl.add rt.procs key proc;
+  if proc.p_readonly then
+    (* a readonly procedure is callable as a function from XQuery *)
+    Xquery.Context.register_external rt.reg ~side_effects:false
+      proc.p_name
+      (List.length proc.p_params)
+      (fun args -> run_procedure rt proc args)
+
+let exec_block rt ?(vars = []) block =
+  let bindings =
+    List.fold_left (fun m (n, v) -> Qmap.add n v m) Qmap.empty vars
+  in
+  let st = { rt; frames = []; bindings } in
+  match exec_block_stmts (push_frame st) block with
+  | Returned v -> v
+  | Normal -> []
+  | Broke -> raise Break_outside_loop
+  | Continued -> raise Continue_outside_loop

@@ -1,0 +1,59 @@
+(** The XQSE interpreter: statement execution per the paper's extended
+    processing model (section III.B.1).
+
+    Statements execute in order; side effects (external procedure calls,
+    applied pending-update lists, variable assignments) are visible to
+    every subsequent statement and expression. Expressions are evaluated
+    by the unmodified XQuery evaluator over a read-only snapshot of the
+    variables in scope. *)
+
+open Xdm
+
+type procedure = {
+  p_name : Qname.t;
+  p_params : (Qname.t * Seqtype.t option) list;
+  p_return : Seqtype.t option;
+  p_readonly : bool;
+  p_impl : impl;
+}
+
+and impl =
+  | P_block of Stmt.block
+  | P_external of (Item.seq list -> Item.seq)
+      (** host procedure — the ALDSP-provided create/update/delete, etc. *)
+
+type runtime
+(** Shared execution environment: the function registry (shared with the
+    XQuery engine), the procedure table, and the trace sink. *)
+
+val create_runtime :
+  ?trace:(string -> unit) ->
+  ?parent:runtime ->
+  Xquery.Context.registry ->
+  runtime
+(** [parent] makes another runtime's procedures visible (used to layer a
+    per-program runtime over a session runtime). *)
+
+val registry : runtime -> Xquery.Context.registry
+val set_trace : runtime -> (string -> unit) -> unit
+
+val declare_procedure : runtime -> procedure -> unit
+(** Add a procedure. Readonly procedures are additionally registered as
+    functions in the registry so XQuery expressions can call them (paper
+    section III.A).
+    @raise Xdm.Item.Error [err:XQST0034] on duplicates. *)
+
+val find_procedure : runtime -> Qname.t -> int -> procedure option
+
+val call_procedure : runtime -> Qname.t -> Item.seq list -> Item.seq
+(** Execute a procedure with evaluated arguments; the result is the value
+    of its [return value] statement, or the empty sequence. *)
+
+val exec_block :
+  runtime -> ?vars:(Qname.t * Item.seq) list -> Stmt.block -> Item.seq
+(** Execute a block as a query body: the result is the value of the
+    [return value] statement that stops execution, or the empty
+    sequence (paper III.B.5). [vars] are external read-only bindings. *)
+
+exception Break_outside_loop
+exception Continue_outside_loop

@@ -1,0 +1,145 @@
+open Xdm
+module XP = Xquery.Pretty
+
+let pad n = String.make n ' '
+
+let nametest = function
+  | Stmt.Nt_name q -> Qname.to_string q
+  | Stmt.Nt_any -> "*"
+  | Stmt.Nt_ns uri -> Printf.sprintf "{%s}:*" uri
+  | Stmt.Nt_local l -> "*:" ^ l
+
+let rec value_stmt ind = function
+  | Stmt.V_expr e -> XP.expr e
+  | Stmt.V_proc_block b -> "procedure " ^ block_str ind b
+
+and block_str ind (b : Stmt.block) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "{\n";
+  List.iter
+    (fun d ->
+      Buffer.add_string buf
+        (Printf.sprintf "%sdeclare $%s%s%s;\n" (pad (ind + 2))
+           (Qname.to_string d.Stmt.bd_var)
+           (match d.Stmt.bd_type with
+           | Some t -> " as " ^ Seqtype.to_string t
+           | None -> "")
+           (match d.Stmt.bd_init with
+           | Some v -> " := " ^ value_stmt (ind + 2) v
+           | None -> "")))
+    b.Stmt.decls;
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (pad (ind + 2));
+      Buffer.add_string buf (statement_str (ind + 2) s);
+      Buffer.add_string buf "\n")
+    b.Stmt.stmts;
+  Buffer.add_string buf (pad ind);
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+and statement_str ind (s : Stmt.statement) =
+  match s with
+  | Stmt.Block b -> block_str ind b
+  | Stmt.Set (v, vs) ->
+    Printf.sprintf "set $%s := %s;" (Qname.to_string v) (value_stmt ind vs)
+  | Stmt.Return_value vs ->
+    Printf.sprintf "return value %s;" (value_stmt ind vs)
+  | Stmt.Expr_stmt vs -> value_stmt ind vs ^ ";"
+  | Stmt.While (test, b) ->
+    Printf.sprintf "while (%s) %s" (XP.expr test) (block_str ind b)
+  | Stmt.Iterate { var; pos; source; body } ->
+    Printf.sprintf "iterate $%s%s over %s %s" (Qname.to_string var)
+      (match pos with Some p -> " at $" ^ Qname.to_string p | None -> "")
+      (value_stmt ind source) (block_str ind body)
+  | Stmt.If (c, t, e) ->
+    Printf.sprintf "if (%s) then %s%s;" (XP.expr c)
+      (statement_nosemi ind t)
+      (match e with
+      | Some s -> " else " ^ statement_nosemi ind s
+      | None -> "")
+  | Stmt.Try (b, clauses) ->
+    Printf.sprintf "try %s%s" (block_str ind b)
+      (String.concat ""
+         (List.map
+            (fun c ->
+              Printf.sprintf " catch (%s%s) %s" (nametest c.Stmt.cc_test)
+                (match c.Stmt.cc_vars with
+                | [] -> ""
+                | vs ->
+                  " into "
+                  ^ String.concat ", "
+                      (List.map (fun v -> "$" ^ Qname.to_string v) vs))
+                (block_str ind c.Stmt.cc_body))
+            clauses))
+  | Stmt.Continue -> "continue();"
+  | Stmt.Break -> "break();"
+  | Stmt.Update e -> XP.expr e ^ ";"
+
+and statement_nosemi ind s =
+  let str = statement_str ind s in
+  if String.length str > 0 && str.[String.length str - 1] = ';' then
+    String.sub str 0 (String.length str - 1)
+  else str
+
+let statement ?(indent = 0) s = statement_str indent s
+let block ?(indent = 0) b = block_str indent b
+
+let program (p : Stmt.program) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (prefix, uri) ->
+      Buffer.add_string buf
+        (Printf.sprintf "import module %s\"%s\";\n"
+           (match prefix with
+           | Some pr -> Printf.sprintf "namespace %s = " pr
+           | None -> "")
+           uri))
+    p.Stmt.prog_imports;
+  List.iter
+    (fun vd ->
+      Buffer.add_string buf
+        (Printf.sprintf "declare variable $%s%s%s;\n"
+           (Qname.to_string vd.Xquery.Ast.vd_name)
+           (match vd.Xquery.Ast.vd_type with
+           | Some t -> " as " ^ Seqtype.to_string t
+           | None -> "")
+           (match vd.Xquery.Ast.vd_value with
+           | Some e -> " := " ^ XP.expr e
+           | None -> " external")))
+    p.Stmt.prog_variables;
+  List.iter
+    (fun fd ->
+      Buffer.add_string buf (XP.function_decl fd);
+      Buffer.add_char buf '\n')
+    p.Stmt.prog_functions;
+  List.iter
+    (fun pd ->
+      Buffer.add_string buf
+        (Printf.sprintf "declare %sprocedure %s(%s)%s %s;\n"
+           (if pd.Stmt.pd_readonly then "readonly " else "")
+           (Qname.to_string pd.Stmt.pd_name)
+           (String.concat ", "
+              (List.map
+                 (fun (v, ty) ->
+                   Printf.sprintf "$%s%s" (Qname.to_string v)
+                     (match ty with
+                     | Some t -> " as " ^ Seqtype.to_string t
+                     | None -> ""))
+                 pd.Stmt.pd_params))
+           (match pd.Stmt.pd_return with
+           | Some t -> " as " ^ Seqtype.to_string t
+           | None -> "")
+           (match pd.Stmt.pd_body with
+           | Some b -> block_str 0 b
+           | None -> "external")))
+    p.Stmt.prog_procs;
+  (match p.Stmt.prog_body with
+  | Some (Stmt.Q_expr e) ->
+    Buffer.add_string buf (XP.expr e);
+    Buffer.add_char buf '\n'
+  | Some (Stmt.Q_block b) ->
+    Buffer.add_string buf (block_str 0 b);
+    Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.contents buf

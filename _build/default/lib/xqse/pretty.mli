@@ -1,0 +1,6 @@
+(** Pretty-printer for XQSE programs (statements delegate expression
+    printing to {!Xquery.Pretty}). Used by the CLI's [--ast] mode. *)
+
+val statement : ?indent:int -> Stmt.statement -> string
+val block : ?indent:int -> Stmt.block -> string
+val program : Stmt.program -> string

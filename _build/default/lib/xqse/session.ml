@@ -1,0 +1,280 @@
+open Xdm
+module Ctx = Xquery.Context
+
+type t = {
+  eng : Xquery.Engine.t;
+  rt : Interp.runtime;
+  mutable trace : string -> unit;
+  modules : (string, string) Hashtbl.t;  (* module uri -> source *)
+  loaded_modules : (string, unit) Hashtbl.t;
+}
+
+let create ?(optimize = true) () =
+  let eng = Xquery.Engine.create ~optimize () in
+  let rt = Interp.create_runtime (Xquery.Engine.registry eng) in
+  {
+    eng;
+    rt;
+    trace = (fun _ -> ());
+    modules = Hashtbl.create 8;
+    loaded_modules = Hashtbl.create 8;
+  }
+
+let engine s = s.eng
+let runtime s = s.rt
+let declare_namespace s prefix uri = Xquery.Engine.declare_namespace s.eng prefix uri
+
+let set_trace s f =
+  s.trace <- f;
+  Interp.set_trace s.rt f
+
+let register_function s ?side_effects name arity impl =
+  Xquery.Engine.register_external s.eng ?side_effects name arity impl
+
+let register_procedure s ?(readonly = false) ?params ?return name arity impl =
+  let params =
+    match params with
+    | Some ps -> ps
+    | None -> List.init arity (fun i -> (Qname.local (Printf.sprintf "p%d" i), None))
+  in
+  Interp.declare_procedure s.rt
+    {
+      Interp.p_name = name;
+      p_params = params;
+      p_return = return;
+      p_readonly = readonly;
+      p_impl = Interp.P_external impl;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Statement-level optimization: optimize the XQuery expressions inside
+   statements (the paper's point: declarative fragments keep their
+   optimizations). *)
+
+let rec optimize_value_stmt = function
+  | Stmt.V_expr e -> Stmt.V_expr (Xquery.Optimizer.optimize e)
+  | Stmt.V_proc_block b -> Stmt.V_proc_block (optimize_block b)
+
+and optimize_block (b : Stmt.block) =
+  {
+    Stmt.decls =
+      List.map
+        (fun d ->
+          { d with Stmt.bd_init = Option.map optimize_value_stmt d.Stmt.bd_init })
+        b.Stmt.decls;
+    stmts = List.map optimize_stmt b.Stmt.stmts;
+  }
+
+and optimize_stmt (s : Stmt.statement) =
+  match s with
+  | Stmt.Block b -> Stmt.Block (optimize_block b)
+  | Stmt.Set (v, vs) -> Stmt.Set (v, optimize_value_stmt vs)
+  | Stmt.Return_value vs -> Stmt.Return_value (optimize_value_stmt vs)
+  | Stmt.Expr_stmt vs -> Stmt.Expr_stmt (optimize_value_stmt vs)
+  | Stmt.While (e, b) ->
+    Stmt.While (Xquery.Optimizer.optimize e, optimize_block b)
+  | Stmt.Iterate { var; pos; source; body } ->
+    Stmt.Iterate
+      { var; pos; source = optimize_value_stmt source; body = optimize_block body }
+  | Stmt.If (c, t, e) ->
+    Stmt.If
+      ( Xquery.Optimizer.optimize c,
+        optimize_stmt t,
+        Option.map optimize_stmt e )
+  | Stmt.Try (b, clauses) ->
+    Stmt.Try
+      ( optimize_block b,
+        List.map
+          (fun c -> { c with Stmt.cc_body = optimize_block c.Stmt.cc_body })
+          clauses )
+  | Stmt.Continue | Stmt.Break -> s
+  | Stmt.Update e -> Stmt.Update (Xquery.Optimizer.optimize e)
+
+(* ------------------------------------------------------------------ *)
+
+type compiled = {
+  c_session : t;
+  c_registry : Ctx.registry;
+  c_runtime : Interp.runtime;
+  c_vars : Xquery.Ast.var_decl list;
+  c_body : Stmt.query_body option;
+}
+
+let install_declarations s reg rt (prog : Stmt.program) =
+  let optimize = Xquery.Engine.optimizing s.eng in
+  List.iter
+    (fun decl ->
+      let decl =
+        if optimize then Xquery.Optimizer.optimize_decl decl else decl
+      in
+      Ctx.register reg
+        {
+          Ctx.fn_name = decl.Xquery.Ast.fd_name;
+          fn_arity = List.length decl.Xquery.Ast.fd_params;
+          fn_params = List.map snd decl.Xquery.Ast.fd_params;
+          fn_return = decl.Xquery.Ast.fd_return;
+          fn_impl = Ctx.User decl;
+          fn_side_effects = false;
+        })
+    prog.Stmt.prog_functions;
+  List.iter
+    (fun pd ->
+      let body =
+        match pd.Stmt.pd_body with
+        | Some b ->
+          Interp.P_block (if optimize then optimize_block b else b)
+        | None ->
+          Item.raise_error (Qname.err "XPST0017")
+            (Printf.sprintf
+               "external procedure %s must be registered by the host"
+               (Qname.to_string pd.Stmt.pd_name))
+      in
+      Interp.declare_procedure rt
+        {
+          Interp.p_name = pd.Stmt.pd_name;
+          p_params = pd.Stmt.pd_params;
+          p_return = pd.Stmt.pd_return;
+          p_readonly = pd.Stmt.pd_readonly;
+          p_impl = body;
+        })
+    prog.Stmt.prog_procs
+
+let fresh_static s =
+  let st = Xquery.Engine.static s.eng in
+  {
+    Ctx.namespaces = st.Ctx.namespaces;
+    default_elem_ns = st.Ctx.default_elem_ns;
+    default_fun_ns = st.Ctx.default_fun_ns;
+  }
+
+(* resolve [import module] declarations against the registered module
+   library; each module loads once per session (recursively) *)
+let rec resolve_imports s prog =
+  List.iter
+    (fun (_prefix, uri) ->
+      if not (Hashtbl.mem s.loaded_modules uri) then
+        match Hashtbl.find_opt s.modules uri with
+        | Some src ->
+          Hashtbl.replace s.loaded_modules uri ();
+          load_library s src
+        | None ->
+          Item.raise_error (Qname.err "XQST0059")
+            (Printf.sprintf "no module registered for namespace %S" uri))
+    prog.Stmt.prog_imports
+
+and load_library s src =
+  let prog = Parse.parse_program (fresh_static s) src in
+  (match prog.Stmt.prog_body with
+  | Some _ ->
+    Item.raise_error (Qname.err "XQSE0002")
+      "a library program must not have a query body"
+  | None -> ());
+  resolve_imports s prog;
+  install_declarations s (Xquery.Engine.registry s.eng) s.rt prog;
+  (* library variable declarations evaluate now and persist as globals *)
+  if prog.Stmt.prog_variables <> [] then begin
+    let reg = Xquery.Engine.registry s.eng in
+    let ctx = Ctx.make_dynamic ~trace:s.trace reg in
+    let ctx = Ctx.with_vars ctx (Ctx.globals reg) in
+    let ctx =
+      List.fold_left
+        (fun ctx vd ->
+          let v =
+            match vd.Xquery.Ast.vd_value with
+            | Some e -> Xquery.Eval.eval ctx e
+            | None ->
+              Item.raise_error (Qname.err "XPDY0002")
+                (Printf.sprintf
+                   "library variable $%s must have a value"
+                   (Qname.to_string vd.Xquery.Ast.vd_name))
+          in
+          let v =
+            match vd.Xquery.Ast.vd_type with
+            | Some ty ->
+              Seqtype.check
+                ~what:(Printf.sprintf "$%s" (Qname.to_string vd.Xquery.Ast.vd_name))
+                ty v
+            | None -> v
+          in
+          Ctx.bind ctx vd.Xquery.Ast.vd_name v)
+        ctx prog.Stmt.prog_variables
+    in
+    Ctx.set_globals reg (Ctx.fields ctx).Ctx.vars
+  end
+
+let register_module s uri src = Hashtbl.replace s.modules uri src
+
+let compile s src =
+  let prog = Parse.parse_program (fresh_static s) src in
+  resolve_imports s prog;
+  let reg = Ctx.copy_registry (Xquery.Engine.registry s.eng) in
+  let rt = Interp.create_runtime ~trace:s.trace ~parent:s.rt reg in
+  install_declarations s reg rt prog;
+  let body =
+    if Xquery.Engine.optimizing s.eng then
+      Option.map
+        (function
+          | Stmt.Q_expr e -> Stmt.Q_expr (Xquery.Optimizer.optimize e)
+          | Stmt.Q_block b -> Stmt.Q_block (optimize_block b))
+        prog.Stmt.prog_body
+    else prog.Stmt.prog_body
+  in
+  {
+    c_session = s;
+    c_registry = reg;
+    c_runtime = rt;
+    c_vars = prog.Stmt.prog_variables;
+    c_body = body;
+  }
+
+
+let run ?(vars = []) c =
+  (* evaluate module variable declarations in order, over the session's
+     persistent globals *)
+  let ctx = Ctx.make_dynamic ~trace:c.c_session.trace c.c_registry in
+  let ctx = Ctx.with_vars ctx (Ctx.globals c.c_registry) in
+  let ctx = Ctx.bind_many ctx vars in
+  let ctx =
+    List.fold_left
+      (fun ctx vd ->
+        let v =
+          match vd.Xquery.Ast.vd_value with
+          | Some e -> Xquery.Eval.eval ctx e
+          | None -> (
+            match Ctx.lookup_var ctx vd.Xquery.Ast.vd_name with
+            | Some v -> v
+            | None ->
+              Item.raise_error (Qname.err "XPDY0002")
+                (Printf.sprintf
+                   "external variable $%s was not supplied a value"
+                   (Qname.to_string vd.Xquery.Ast.vd_name)))
+        in
+        let v =
+          match vd.Xquery.Ast.vd_type with
+          | Some ty ->
+            Seqtype.check
+              ~what:
+                (Printf.sprintf "$%s" (Qname.to_string vd.Xquery.Ast.vd_name))
+              ty v
+          | None -> v
+        in
+        Ctx.bind ctx vd.Xquery.Ast.vd_name v)
+      ctx c.c_vars
+  in
+  Ctx.set_globals c.c_registry (Ctx.fields ctx).Ctx.vars;
+  match c.c_body with
+  | None -> []
+  | Some (Stmt.Q_expr e) -> Xquery.Eval.eval ctx e
+  | Some (Stmt.Q_block b) -> Interp.exec_block c.c_runtime ~vars b
+
+let eval ?vars s src = run ?vars (compile s src)
+
+let eval_to_string ?vars s src =
+  Xml_serialize.seq_to_string (eval ?vars s src)
+
+let call s name args =
+  match Interp.find_procedure s.rt name (List.length args) with
+  | Some _ -> Interp.call_procedure s.rt name args
+  | None ->
+    let ctx = Ctx.make_dynamic ~trace:s.trace (Xquery.Engine.registry s.eng) in
+    Xquery.Eval.call ctx name args

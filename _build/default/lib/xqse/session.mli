@@ -1,0 +1,67 @@
+(** XQSE sessions: the top-level API for compiling and running XQSE
+    programs.
+
+    A session owns an XQuery engine (static context + function registry)
+    and an XQSE procedure runtime. Hosts (the ALDSP dataspace) register
+    external functions and procedures into the session; each program
+    compiles against a copy so its own declarations do not leak. *)
+
+open Xdm
+
+type t
+
+val create : ?optimize:bool -> unit -> t
+val engine : t -> Xquery.Engine.t
+val runtime : t -> Interp.runtime
+val declare_namespace : t -> string -> string -> unit
+val set_trace : t -> (string -> unit) -> unit
+(** Where [fn:trace] output goes for subsequently compiled programs. *)
+
+val register_function :
+  t -> ?side_effects:bool -> Qname.t -> int -> (Item.seq list -> Item.seq) -> unit
+(** Register a host function (callable from XQuery expressions). *)
+
+val register_procedure :
+  t ->
+  ?readonly:bool ->
+  ?params:(Qname.t * Seqtype.t option) list ->
+  ?return:Seqtype.t ->
+  Qname.t ->
+  int ->
+  (Item.seq list -> Item.seq) ->
+  unit
+(** Register an external host procedure — e.g. the ALDSP-provided
+    create/update/delete procedures of a physical data service. *)
+
+val register_module : t -> string -> string -> unit
+(** [register_module s uri source] adds an XQSE library program to the
+    session's module library. A program whose prolog contains
+    [import module namespace p = "uri"] causes the module to be loaded
+    (once per session, recursively) before the program runs — this is
+    how ALDSP data services reference one another. *)
+
+val load_library : t -> string -> unit
+(** Parse an XQSE program containing only declarations and install its
+    functions and procedures permanently into the session (how ALDSP
+    deploys data-service methods).
+    @raise Xdm.Item.Error if the program has a query body. *)
+
+type compiled
+
+val compile : t -> string -> compiled
+(** Parse an XQSE program and register its declarations against copies of
+    the session registry/runtime. *)
+
+val run : ?vars:(Qname.t * Item.seq) list -> compiled -> Item.seq
+(** Execute a compiled program: evaluate its global variables, then its
+    query body (expression or block). Programs without a body return the
+    empty sequence. *)
+
+val eval : ?vars:(Qname.t * Item.seq) list -> t -> string -> Item.seq
+(** [compile] + [run]. *)
+
+val eval_to_string : ?vars:(Qname.t * Item.seq) list -> t -> string -> string
+
+val call : t -> Qname.t -> Item.seq list -> Item.seq
+(** Call a session procedure or function by name with evaluated
+    arguments (procedures take precedence). *)

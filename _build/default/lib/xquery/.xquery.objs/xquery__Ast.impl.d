@@ -1,0 +1,1 @@
+lib/xquery/ast.ml: Atomic List Qname Seqtype Set Xdm

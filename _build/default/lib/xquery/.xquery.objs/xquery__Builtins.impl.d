@@ -1,0 +1,1 @@
+lib/xquery/builtins.ml: Atomic Buffer Char Context Float Hashtbl Item List Node Printf Qname Re String Xdm Xml_serialize

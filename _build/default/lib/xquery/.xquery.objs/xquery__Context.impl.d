@@ -1,0 +1,1 @@
+lib/xquery/context.ml: Ast Hashtbl Item List Map Node Printf Qname Seqtype Update Xdm

@@ -1,0 +1,1 @@
+lib/xquery/context.mli: Ast Hashtbl Item Map Node Qname Seqtype Update Xdm

@@ -1,0 +1,1 @@
+lib/xquery/engine.ml: Ast Builtins Context Eval Item List Node Optimizer Parser Printf Qname Seqtype Xdm Xml_serialize

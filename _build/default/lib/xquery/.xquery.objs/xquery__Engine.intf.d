@@ -1,0 +1,1 @@
+lib/xquery/engine.mli: Context Item Node Qname Xdm

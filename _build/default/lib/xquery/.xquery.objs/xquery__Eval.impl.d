@@ -1,0 +1,1 @@
+lib/xquery/eval.ml: Ast Atomic Context Float Hashtbl Item List Node Printf Qname Seqtype String Update Xdm

@@ -1,0 +1,1 @@
+lib/xquery/optimizer.ml: Ast Atomic List Qname Xdm

@@ -1,0 +1,1 @@
+lib/xquery/parser.ml: Ast Atomic Buffer Char Context Item Lexer List Printf Qname Seqtype String Xdm

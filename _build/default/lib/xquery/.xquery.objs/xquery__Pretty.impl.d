@@ -1,0 +1,1 @@
+lib/xquery/pretty.ml: Ast Atomic Buffer List Printf Qname Seqtype String Xdm Xml_serialize

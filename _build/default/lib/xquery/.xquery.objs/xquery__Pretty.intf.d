@@ -1,0 +1,1 @@
+lib/xquery/pretty.mli: Ast Xdm

@@ -1,0 +1,1 @@
+lib/xquery/update.ml: Format Hashtbl Item List Node Printf Qname Xdm

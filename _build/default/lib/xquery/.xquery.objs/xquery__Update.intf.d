@@ -1,0 +1,1 @@
+lib/xquery/update.mli: Format Node Qname Xdm

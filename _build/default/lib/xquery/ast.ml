@@ -1,0 +1,344 @@
+(** Abstract syntax of the XQuery subset (QNames already resolved against
+    the in-scope namespaces at parse time), including the XQuery Update
+    Facility subset and the internal nodes introduced by the optimizer. *)
+
+open Xdm
+
+type axis =
+  | Child
+  | Descendant
+  | Attribute_axis
+  | Self
+  | Descendant_or_self
+  | Parent
+  | Following_sibling
+  | Preceding_sibling
+  | Ancestor
+  | Ancestor_or_self
+  | Following
+  | Preceding
+
+type nodetest =
+  | Name_test of Qname.t
+  | Any_name  (** [*] *)
+  | Ns_wildcard of string  (** [p:*], URI resolved *)
+  | Local_wildcard of string  (** [*:local] *)
+  | Kind_node
+  | Kind_text
+  | Kind_comment
+  | Kind_pi of string option
+  | Kind_element of Qname.t option
+  | Kind_attribute of Qname.t option
+  | Kind_document
+
+type comp_op = Eq | Ne | Lt | Le | Gt | Ge
+type quantifier = Some_q | Every_q
+type insert_pos = Into | Into_first | Into_last | Before | After
+
+type expr =
+  | Literal of Atomic.t
+  | Var of Qname.t
+  | Context_item
+  | Seq_expr of expr list  (** comma operator; [Seq_expr []] is [()] *)
+  | Range of expr * expr
+  | Arith of Atomic.arith_op * expr * expr
+  | Neg of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | General_cmp of comp_op * expr * expr
+  | Value_cmp of comp_op * expr * expr
+  | Node_is of expr * expr
+  | Node_before of expr * expr
+  | Node_after of expr * expr
+  | Union of expr * expr
+  | Intersect of expr * expr
+  | Except of expr * expr
+  | Instance_of of expr * Seqtype.t
+  | Treat_as of expr * Seqtype.t
+  | Castable_as of expr * Qname.t * bool  (** [bool]: optional ([?]) *)
+  | Cast_as of expr * Qname.t * bool
+  | If_expr of expr * expr * expr
+  | Typeswitch of expr * case_clause list * (Qname.t option * expr)
+      (** operand, cases, default (with optional variable) *)
+  | Flwor of clause list * expr
+  | Quantified of quantifier * in_binding list * expr
+  | Path of expr * expr  (** [e1/e2] with document-order semantics *)
+  | Root_expr  (** leading [/] *)
+  | Step of axis * nodetest * expr list
+  | Filter of expr * expr list  (** primary expression with predicates *)
+  | Call of Qname.t * expr list
+  | Elem_ctor of Qname.t * (Qname.t * attr_content list) list * content list
+  | Comp_elem of name_spec * expr
+  | Comp_attr of name_spec * expr
+  | Comp_text of expr
+  | Comp_doc of expr
+  | Comp_comment of expr
+  | Comp_pi of name_spec * expr
+  (* XQuery Update Facility subset *)
+  | Insert of insert_pos * expr * expr  (** source, target *)
+  | Delete of expr
+  | Replace of { value_of : bool; target : expr; source : expr }
+  | Rename of expr * name_spec
+  | Transform of (Qname.t * expr) list * expr * expr
+      (** [copy $v := e modify e return e] *)
+
+and case_clause = {
+  case_var : Qname.t option;
+  case_type : Seqtype.t;
+  case_return : expr;
+}
+
+and name_spec = Static_name of Qname.t | Dynamic_name of expr
+
+and attr_content = Attr_str of string | Attr_expr of expr
+
+and content =
+  | Content_text of string
+  | Content_expr of expr  (** enclosed [{...}] *)
+  | Content_node of expr  (** nested constructor, comment or PI *)
+
+and in_binding = Qname.t * Seqtype.t option * expr
+
+and clause =
+  | For_clause of for_binding list
+  | Let_clause of let_binding list
+  | Where_clause of expr
+  | Order_clause of bool * order_spec list  (** [bool]: stable *)
+  | Join_clause of join
+      (** optimizer-introduced hash join: binds [var] to the items of
+          [source] whose [build_key] equals the outer tuple's
+          [probe_key] *)
+
+and for_binding = {
+  for_var : Qname.t;
+  for_pos : Qname.t option;
+  for_type : Seqtype.t option;
+  for_expr : expr;
+}
+
+and let_binding = {
+  let_var : Qname.t;
+  let_type : Seqtype.t option;
+  let_expr : expr;
+}
+
+and order_spec = { key : expr; descending : bool; empty_least : bool }
+
+and join = {
+  join_var : Qname.t;
+  join_type : Seqtype.t option;
+  join_source : expr;
+  join_build_key : expr;  (** evaluated with [join_var] bound *)
+  join_probe_key : expr;  (** evaluated in the outer tuple context *)
+}
+
+type function_decl = {
+  fd_name : Qname.t;
+  fd_params : (Qname.t * Seqtype.t option) list;
+  fd_return : Seqtype.t option;
+  fd_body : expr option;  (** [None] for [external] *)
+}
+
+type var_decl = {
+  vd_name : Qname.t;
+  vd_type : Seqtype.t option;
+  vd_value : expr option;  (** [None] for [external] *)
+}
+
+type prolog_item =
+  | P_function of function_decl
+  | P_variable of var_decl
+  | P_import of { prefix : string option; uri : string }
+      (** [import module namespace p = "uri"] — resolved by the host
+          (sessions resolve against their registered module library) *)
+
+type module_ = { prolog : prolog_item list; body : expr }
+
+(** {1 AST traversal helpers} *)
+
+let fold_subexprs : 'a. ('a -> expr -> 'a) -> 'a -> expr -> 'a =
+ fun f acc e ->
+  let on = f in
+  match e with
+  | Literal _ | Var _ | Context_item | Root_expr -> acc
+  | Seq_expr es -> List.fold_left on acc es
+  | Range (a, b)
+  | Arith (_, a, b)
+  | And (a, b)
+  | Or (a, b)
+  | General_cmp (_, a, b)
+  | Value_cmp (_, a, b)
+  | Node_is (a, b)
+  | Node_before (a, b)
+  | Node_after (a, b)
+  | Union (a, b)
+  | Intersect (a, b)
+  | Except (a, b)
+  | Path (a, b) -> on (on acc a) b
+  | Neg a
+  | Instance_of (a, _)
+  | Treat_as (a, _)
+  | Castable_as (a, _, _)
+  | Cast_as (a, _, _)
+  | Comp_text a
+  | Comp_doc a
+  | Comp_comment a
+  | Delete a -> on acc a
+  | If_expr (c, t, e2) -> on (on (on acc c) t) e2
+  | Typeswitch (operand, cases, (_, default)) ->
+    let acc = on acc operand in
+    let acc = List.fold_left (fun acc c -> on acc c.case_return) acc cases in
+    on acc default
+  | Flwor (clauses, ret) ->
+    let acc =
+      List.fold_left
+        (fun acc c ->
+          match c with
+          | For_clause bs ->
+            List.fold_left (fun acc b -> on acc b.for_expr) acc bs
+          | Let_clause bs ->
+            List.fold_left (fun acc b -> on acc b.let_expr) acc bs
+          | Where_clause e -> on acc e
+          | Order_clause (_, specs) ->
+            List.fold_left (fun acc s -> on acc s.key) acc specs
+          | Join_clause j ->
+            on (on (on acc j.join_source) j.join_build_key) j.join_probe_key)
+        acc clauses
+    in
+    on acc ret
+  | Quantified (_, bindings, body) ->
+    let acc = List.fold_left (fun acc (_, _, e) -> on acc e) acc bindings in
+    on acc body
+  | Step (_, _, preds) -> List.fold_left on acc preds
+  | Filter (p, preds) -> List.fold_left on (on acc p) preds
+  | Call (_, args) -> List.fold_left on acc args
+  | Elem_ctor (_, attrs, contents) ->
+    let acc =
+      List.fold_left
+        (fun acc (_, parts) ->
+          List.fold_left
+            (fun acc part ->
+              match part with Attr_str _ -> acc | Attr_expr e -> on acc e)
+            acc parts)
+        acc attrs
+    in
+    List.fold_left
+      (fun acc c ->
+        match c with
+        | Content_text _ -> acc
+        | Content_expr e | Content_node e -> on acc e)
+      acc contents
+  | Comp_elem (ns, e) | Comp_attr (ns, e) | Comp_pi (ns, e) ->
+    let acc = match ns with Static_name _ -> acc | Dynamic_name ne -> on acc ne in
+    on acc e
+  | Insert (_, s, t) -> on (on acc s) t
+  | Replace { target; source; _ } -> on (on acc target) source
+  | Rename (t, ns) ->
+    let acc = on acc t in
+    (match ns with Static_name _ -> acc | Dynamic_name ne -> on acc ne)
+  | Transform (copies, modify, ret) ->
+    let acc = List.fold_left (fun acc (_, e) -> on acc e) acc copies in
+    on (on acc modify) ret
+
+(** [free_vars e] is the set of variable QNames referenced by [e] that are
+    not bound within it. *)
+let free_vars e =
+  let module S = Set.Make (struct
+    type t = Qname.t
+
+    let compare = Qname.compare
+  end) in
+  let rec go bound e =
+    match e with
+    | Var q -> if S.mem q bound then S.empty else S.singleton q
+    | Flwor (clauses, ret) ->
+      let rec clause_vars bound acc = function
+        | [] -> S.union acc (go bound ret)
+        | For_clause bs :: rest ->
+          let acc, bound =
+            List.fold_left
+              (fun (acc, bound) b ->
+                let acc = S.union acc (go bound b.for_expr) in
+                let bound = S.add b.for_var bound in
+                let bound =
+                  match b.for_pos with Some p -> S.add p bound | None -> bound
+                in
+                (acc, bound))
+              (acc, bound) bs
+          in
+          clause_vars bound acc rest
+        | Let_clause bs :: rest ->
+          let acc, bound =
+            List.fold_left
+              (fun (acc, bound) b ->
+                (S.union acc (go bound b.let_expr), S.add b.let_var bound))
+              (acc, bound) bs
+          in
+          clause_vars bound acc rest
+        | Where_clause e :: rest -> clause_vars bound (S.union acc (go bound e)) rest
+        | Order_clause (_, specs) :: rest ->
+          let acc =
+            List.fold_left (fun acc s -> S.union acc (go bound s.key)) acc specs
+          in
+          clause_vars bound acc rest
+        | Join_clause j :: rest ->
+          let acc = S.union acc (go bound j.join_source) in
+          let acc = S.union acc (go bound j.join_probe_key) in
+          let bound = S.add j.join_var bound in
+          let acc = S.union acc (go bound j.join_build_key) in
+          clause_vars bound acc rest
+      in
+      clause_vars bound S.empty clauses
+    | Quantified (_, bindings, body) ->
+      let acc, bound =
+        List.fold_left
+          (fun (acc, bound) (v, _, e) ->
+            (S.union acc (go bound e), S.add v bound))
+          (S.empty, bound) bindings
+      in
+      S.union acc (go bound body)
+    | Transform (copies, modify, ret) ->
+      let acc, bound =
+        List.fold_left
+          (fun (acc, bound) (v, e) ->
+            (S.union acc (go bound e), S.add v bound))
+          (S.empty, bound) copies
+      in
+      S.union acc (S.union (go bound modify) (go bound ret))
+    | Typeswitch (operand, cases, (dvar, default)) ->
+      let acc = go bound operand in
+      let acc =
+        List.fold_left
+          (fun acc c ->
+            let bound' =
+              match c.case_var with Some v -> S.add v bound | None -> bound
+            in
+            S.union acc (go bound' c.case_return))
+          acc cases
+      in
+      let bound' =
+        match dvar with Some v -> S.add v bound | None -> bound
+      in
+      S.union acc (go bound' default)
+    | e -> fold_subexprs (fun acc sub -> S.union acc (go bound sub)) S.empty e
+  in
+  let s = go S.empty e in
+  S.elements s
+
+(** [uses_context e] over-approximates whether [e] depends on the dynamic
+    context item / position / size at its top level. *)
+let rec uses_context = function
+  | Context_item | Root_expr | Step _ -> true
+  | Call (q, args) ->
+    (args = []
+    && q.Xdm.Qname.uri = Xdm.Qname.fn_ns
+    && List.mem q.Xdm.Qname.local [ "position"; "last"; "string"; "data"; "number"; "name"; "local-name"; "root"; "normalize-space" ])
+    || List.exists uses_context args
+  | Flwor (clauses, _ret) as e ->
+    (* clauses bind their own focus only in predicates; the return clause
+       keeps the outer focus, so recurse fully *)
+    ignore clauses;
+    fold_subexprs (fun acc sub -> acc || uses_context sub) false e
+  | Path (a, _) -> uses_context a
+  | Filter (p, _) -> uses_context p
+  | e -> fold_subexprs (fun acc sub -> acc || uses_context sub) false e

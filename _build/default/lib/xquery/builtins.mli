@@ -1,0 +1,14 @@
+(** The [fn:*] / [xs:*] builtin function library.
+
+    Implements the functions-and-operators subset the paper's examples
+    and ALDSP-style services rely on: accessors, string functions
+    (including the regex family via [re]), numerics, sequence functions,
+    aggregates, node functions, context functions, [fn:error] and
+    [fn:trace], plus the [xs:TYPE(...)] constructor functions. *)
+
+val register_all : Context.registry -> unit
+(** Register every builtin into a registry. Idempotent per registry only
+    if called once — re-registering raises [err:XQST0034]. *)
+
+val standard_registry : unit -> Context.registry
+(** A fresh registry with all builtins registered. *)

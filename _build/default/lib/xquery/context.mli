@@ -1,0 +1,124 @@
+(** Static and dynamic evaluation contexts and the function registry.
+
+    The registry is shared between the XQuery engine and the XQSE
+    interpreter: XQSE readonly procedures are registered here as
+    functions, and data-service methods are registered as external
+    functions by the ALDSP layer. *)
+
+open Xdm
+
+module Qmap : Map.S with type key = Qname.t
+
+(** {1 Static context} *)
+
+type static = {
+  mutable namespaces : (string * string) list;  (** prefix → URI *)
+  mutable default_elem_ns : string;
+  mutable default_fun_ns : string;
+}
+
+val default_static : unit -> static
+(** Fresh static context with the [xs], [fn], [err], [local] and [xml]
+    prefixes predeclared and [fn] as the default function namespace. *)
+
+val declare_ns : static -> string -> string -> unit
+val lookup_ns : static -> string -> string option
+
+val resolve_qname : static -> element:bool -> string option * string -> Qname.t
+(** Resolve a lexical QName. Unprefixed names use the default element
+    namespace when [element] is [true] and no namespace otherwise.
+    @raise Xdm.Item.Error [err:XPST0081] on an undeclared prefix. *)
+
+val resolve_fname : static -> string option * string -> Qname.t
+(** Resolve a function name (unprefixed names use the default function
+    namespace). *)
+
+(** {1 Functions} *)
+
+type dynamic
+
+type func_impl =
+  | Builtin of (dynamic -> Item.seq list -> Item.seq)
+  | User of Ast.function_decl
+  | External of (Item.seq list -> Item.seq)
+      (** may have side effects; used for data-service calls *)
+
+type func = {
+  fn_name : Qname.t;
+  fn_arity : int;
+  fn_params : Seqtype.t option list;
+  fn_return : Seqtype.t option;
+  fn_impl : func_impl;
+  fn_side_effects : bool;
+      (** [true] blocks use inside pure XQuery expressions when the
+          engine runs in pure mode *)
+}
+
+type registry
+
+val create_registry : unit -> registry
+
+val copy_registry : registry -> registry
+(** Shallow copy: further registrations do not affect the original. *)
+
+val register : registry -> func -> unit
+(** @raise Xdm.Item.Error [err:XQST0034] on duplicate name/arity. *)
+
+val register_builtin :
+  registry ->
+  ?side_effects:bool ->
+  Qname.t ->
+  int ->
+  (dynamic -> Item.seq list -> Item.seq) ->
+  unit
+
+val register_external :
+  registry ->
+  ?side_effects:bool ->
+  ?params:Seqtype.t option list ->
+  ?return:Seqtype.t ->
+  Qname.t ->
+  int ->
+  (Item.seq list -> Item.seq) ->
+  unit
+
+val find : registry -> Qname.t -> int -> func option
+val fold : registry -> init:'a -> f:('a -> func -> 'a) -> 'a
+
+val set_globals : registry -> Item.seq Qmap.t -> unit
+(** Install the module-level variable bindings that user-defined function
+    bodies observe. *)
+
+val globals : registry -> Item.seq Qmap.t
+
+(** {1 Dynamic context} *)
+
+type dynamic_fields = {
+  registry : registry;
+  vars : Item.seq Qmap.t;
+  ctx_item : Item.t option;
+  ctx_pos : int;
+  ctx_size : int;
+  pul : Update.t ref;  (** accumulates updating-expression primitives *)
+  updating_ok : bool;  (** whether updating expressions are allowed *)
+  docs : (string, Node.t) Hashtbl.t;  (** fn:doc registry *)
+  collections : (string, Node.t list) Hashtbl.t;  (** fn:collection *)
+  trace : string -> unit;
+  depth : int;  (** recursion guard *)
+}
+
+val fields : dynamic -> dynamic_fields
+val make_dynamic : ?trace:(string -> unit) -> registry -> dynamic
+val with_vars : dynamic -> Item.seq Qmap.t -> dynamic
+val bind : dynamic -> Qname.t -> Item.seq -> dynamic
+val bind_many : dynamic -> (Qname.t * Item.seq) list -> dynamic
+val lookup_var : dynamic -> Qname.t -> Item.seq option
+val with_focus : dynamic -> Item.t -> pos:int -> size:int -> dynamic
+val no_focus : dynamic -> dynamic
+val with_updating : dynamic -> bool -> dynamic
+val deeper : dynamic -> dynamic
+(** @raise Xdm.Item.Error when recursion exceeds the engine limit. *)
+
+val register_doc : dynamic -> string -> Node.t -> unit
+val register_collection : dynamic -> string -> Node.t list -> unit
+(** The empty URI names the default collection. *)

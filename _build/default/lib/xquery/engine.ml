@@ -1,0 +1,128 @@
+open Xdm
+
+type t = {
+  st : Context.static;
+  reg : Context.registry;
+  mutable optimize : bool;
+  docs : (string * Node.t) list ref;
+  colls : (string * Node.t list) list ref;
+}
+
+let create ?(optimize = true) () =
+  {
+    st = Context.default_static ();
+    reg = Builtins.standard_registry ();
+    optimize;
+    docs = ref [];
+    colls = ref [];
+  }
+
+let with_registry ?(optimize = true) st reg =
+  { st; reg; optimize; docs = ref []; colls = ref [] }
+
+let static t = t.st
+let registry t = t.reg
+let optimizing t = t.optimize
+let set_optimizing t b = t.optimize <- b
+let declare_namespace t prefix uri = Context.declare_ns t.st prefix uri
+
+let register_external t ?side_effects name arity impl =
+  Context.register_external t.reg ?side_effects name arity impl
+
+let register_doc t uri node = t.docs := (uri, node) :: !(t.docs)
+let register_collection t uri nodes = t.colls := (uri, nodes) :: !(t.colls)
+
+type compiled = {
+  c_engine : t;
+  c_registry : Context.registry;
+  c_vars : Ast.var_decl list;  (* in declaration order *)
+  c_body : Ast.expr;
+}
+
+let compile t src =
+  (* parse against a copy of the static context so per-query namespace
+     declarations do not leak into the engine *)
+  let st =
+    {
+      Context.namespaces = t.st.Context.namespaces;
+      default_elem_ns = t.st.Context.default_elem_ns;
+      default_fun_ns = t.st.Context.default_fun_ns;
+    }
+  in
+  let m = Parser.parse_module st src in
+  let reg = Context.copy_registry t.reg in
+  let vars = ref [] in
+  List.iter
+    (fun item ->
+      match item with
+      | Ast.P_function decl ->
+        let decl =
+          if t.optimize then Optimizer.optimize_decl decl else decl
+        in
+        Context.register reg
+          {
+            Context.fn_name = decl.Ast.fd_name;
+            fn_arity = List.length decl.Ast.fd_params;
+            fn_params = List.map snd decl.Ast.fd_params;
+            fn_return = decl.Ast.fd_return;
+            fn_impl = Context.User decl;
+            fn_side_effects = false;
+          }
+      | Ast.P_variable vd -> vars := vd :: !vars
+      | Ast.P_import _ ->
+        (* module resolution is a session-level concern (Xqse.Session);
+           the prefix was already declared by the parser *)
+        ())
+    m.Ast.prolog;
+  let body = if t.optimize then Optimizer.optimize m.Ast.body else m.Ast.body in
+  { c_engine = t; c_registry = reg; c_vars = List.rev !vars; c_body = body }
+
+let run ?context_item ?(vars = []) ?(trace = fun _ -> ()) c =
+  let ctx = Context.make_dynamic ~trace c.c_registry in
+  List.iter
+    (fun (uri, doc) -> Context.register_doc ctx uri doc)
+    (List.rev !(c.c_engine.docs));
+  List.iter
+    (fun (uri, nodes) -> Context.register_collection ctx uri nodes)
+    (List.rev !(c.c_engine.colls));
+  let ctx = Context.bind_many ctx vars in
+  (* evaluate module variable declarations in order *)
+  let ctx =
+    List.fold_left
+      (fun ctx vd ->
+        let v =
+          match vd.Ast.vd_value with
+          | Some e -> Eval.eval ctx e
+          | None -> (
+            match Context.lookup_var ctx vd.Ast.vd_name with
+            | Some v -> v
+            | None ->
+              Item.raise_error (Qname.err "XPDY0002")
+                (Printf.sprintf
+                   "external variable $%s was not supplied a value"
+                   (Qname.to_string vd.Ast.vd_name)))
+        in
+        let v =
+          match vd.Ast.vd_type with
+          | Some ty ->
+            Seqtype.check
+              ~what:(Printf.sprintf "$%s" (Qname.to_string vd.Ast.vd_name))
+              ty v
+          | None -> v
+        in
+        Context.bind ctx vd.Ast.vd_name v)
+      ctx c.c_vars
+  in
+  Context.set_globals c.c_registry (Context.fields ctx).Context.vars;
+  let ctx =
+    match context_item with
+    | Some item -> Context.with_focus ctx item ~pos:1 ~size:1
+    | None -> ctx
+  in
+  Eval.eval ctx c.c_body
+
+let eval_string ?context_item ?vars ?trace t src =
+  run ?context_item ?vars ?trace (compile t src)
+
+let eval_to_string ?context_item ?vars t src =
+  Xml_serialize.seq_to_string (eval_string ?context_item ?vars t src)

@@ -1,0 +1,72 @@
+(** High-level XQuery engine facade.
+
+    An engine owns a static context (namespaces) and a base function
+    registry (builtins plus whatever external functions the host — e.g.
+    the ALDSP dataspace — registers). Each query evaluation works on a
+    copy of the registry, so per-query prolog declarations do not leak
+    between queries. *)
+
+open Xdm
+
+type t
+
+val create : ?optimize:bool -> unit -> t
+(** [optimize] (default [true]) runs the rewrite optimizer over every
+    compiled function body and query body. *)
+
+val with_registry : ?optimize:bool -> Context.static -> Context.registry -> t
+(** Build an engine around an existing static context and registry
+    (shared with other components, e.g. the XQSE interpreter). *)
+
+val static : t -> Context.static
+val registry : t -> Context.registry
+val optimizing : t -> bool
+val set_optimizing : t -> bool -> unit
+
+val declare_namespace : t -> string -> string -> unit
+
+val register_external :
+  t ->
+  ?side_effects:bool ->
+  Qname.t ->
+  int ->
+  (Item.seq list -> Item.seq) ->
+  unit
+(** Register a host function into the engine's base registry. *)
+
+val register_doc : t -> string -> Node.t -> unit
+(** Make a document available to [fn:doc]. *)
+
+val register_collection : t -> string -> Node.t list -> unit
+(** Make nodes available to [fn:collection]; the empty URI names the
+    default collection. *)
+
+type compiled
+
+val compile : t -> string -> compiled
+(** Parse a query (prolog + body), register its functions into a copy of
+    the base registry, optimize.
+    @raise Parser.Syntax_error / Lexer.Lex_error on bad syntax,
+    Xdm.Item.Error on static errors. *)
+
+val run :
+  ?context_item:Item.t ->
+  ?vars:(Qname.t * Item.seq) list ->
+  ?trace:(string -> unit) ->
+  compiled ->
+  Item.seq
+(** Evaluate a compiled query: global variable declarations are evaluated
+    first (external ones must be supplied through [vars]), then the body. *)
+
+val eval_string :
+  ?context_item:Item.t ->
+  ?vars:(Qname.t * Item.seq) list ->
+  ?trace:(string -> unit) ->
+  t ->
+  string ->
+  Item.seq
+(** [compile] + [run]. *)
+
+val eval_to_string :
+  ?context_item:Item.t -> ?vars:(Qname.t * Item.seq) list -> t -> string -> string
+(** Evaluate and serialize the result sequence. *)

@@ -1,0 +1,840 @@
+open Xdm
+module Qmap = Context.Qmap
+
+let err code msg = Item.raise_error (Qname.err code) msg
+
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Map Atomic.Cast_error to the right err:* code for the operation. *)
+let arith_error msg =
+  if contains_substring msg "zero" then err "FOAR0001" msg
+  else err "XPTY0004" msg
+
+let numeric_of_untyped a =
+  match a with
+  | Atomic.Untyped s -> (
+    try Atomic.Double (float_of_string (String.trim s))
+    with _ -> (
+      match s with
+      | "INF" -> Atomic.Double Float.infinity
+      | "-INF" -> Atomic.Double Float.neg_infinity
+      | "NaN" -> Atomic.Double Float.nan
+      | _ ->
+        err "FORG0001"
+          (Printf.sprintf "cannot cast untyped value %S to xs:double" s)))
+  | a -> a
+
+(* ------------------------------------------------------------------ *)
+(* Axes and node tests                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let axis_nodes axis node =
+  match axis with
+  | Ast.Child -> Node.children node
+  | Ast.Descendant -> Node.descendants node
+  | Ast.Attribute_axis -> Node.attributes node
+  | Ast.Self -> [ node ]
+  | Ast.Descendant_or_self -> Node.descendant_or_self node
+  | Ast.Parent -> ( match Node.parent node with Some p -> [ p ] | None -> [])
+  | Ast.Following_sibling -> Node.following_siblings node
+  | Ast.Preceding_sibling -> Node.preceding_siblings node
+  | Ast.Ancestor -> Node.ancestors node
+  | Ast.Ancestor_or_self -> node :: Node.ancestors node
+  | Ast.Following ->
+    (* nodes after this node in document order, excluding descendants *)
+    let rec collect n acc =
+      match Node.parent n with
+      | None -> acc
+      | Some p ->
+        let acc =
+          List.fold_left
+            (fun acc sib -> acc @ Node.descendant_or_self sib)
+            acc (Node.following_siblings n)
+        in
+        collect p acc
+    in
+    collect node []
+  | Ast.Preceding ->
+    let ancestors = Node.ancestors node in
+    let rec collect n acc =
+      match Node.parent n with
+      | None -> acc
+      | Some p ->
+        let acc =
+          List.fold_left
+            (fun acc sib -> acc @ Node.descendant_or_self sib)
+            acc
+            (List.rev (Node.preceding_siblings n))
+        in
+        collect p acc
+    in
+    let all = collect node [] in
+    List.filter
+      (fun n -> not (List.exists (fun a -> Node.is_same a n) ancestors))
+      (List.sort Node.doc_order all)
+
+let nodetest_matches ~axis nt node =
+  let principal_element = axis <> Ast.Attribute_axis in
+  let name_ok f =
+    match Node.name node with Some qn -> f qn | None -> false
+  in
+  let kind_ok =
+    if principal_element then Node.kind node = Node.Element
+    else Node.kind node = Node.Attribute
+  in
+  match nt with
+  | Ast.Name_test qn -> kind_ok && name_ok (Qname.equal qn)
+  | Ast.Any_name -> kind_ok
+  | Ast.Ns_wildcard uri -> kind_ok && name_ok (fun n -> n.Qname.uri = uri)
+  | Ast.Local_wildcard local ->
+    kind_ok && name_ok (fun n -> n.Qname.local = local)
+  | Ast.Kind_node -> true
+  | Ast.Kind_text -> Node.kind node = Node.Text
+  | Ast.Kind_comment -> Node.kind node = Node.Comment
+  | Ast.Kind_pi target -> (
+    Node.kind node = Node.Processing_instruction
+    &&
+    match target with
+    | None -> true
+    | Some t -> name_ok (fun n -> n.Qname.local = t))
+  | Ast.Kind_element name -> (
+    Node.kind node = Node.Element
+    && match name with None -> true | Some qn -> name_ok (Qname.equal qn))
+  | Ast.Kind_attribute name -> (
+    Node.kind node = Node.Attribute
+    && match name with None -> true | Some qn -> name_ok (Qname.equal qn))
+  | Ast.Kind_document -> Node.kind node = Node.Document
+
+let reverse_axis = function
+  | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self | Ast.Preceding_sibling
+  | Ast.Preceding -> true
+  | Ast.Child | Ast.Descendant | Ast.Attribute_axis | Ast.Self
+  | Ast.Descendant_or_self | Ast.Following_sibling | Ast.Following -> false
+
+(* ------------------------------------------------------------------ *)
+(* Comparisons                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let apply_op op c =
+  match op with
+  | Ast.Eq -> c = 0
+  | Ast.Ne -> c <> 0
+  | Ast.Lt -> c < 0
+  | Ast.Le -> c <= 0
+  | Ast.Gt -> c > 0
+  | Ast.Ge -> c >= 0
+
+let value_compare_atoms op a b =
+  (* value comparison: untyped operands are treated as strings *)
+  let norm = function Atomic.Untyped s -> Atomic.String s | a -> a in
+  let a = norm a and b = norm b in
+  if (Atomic.is_nan a || Atomic.is_nan b) && (op = Ast.Eq || op = Ast.Lt || op = Ast.Le || op = Ast.Gt || op = Ast.Ge)
+  then false
+  else if (Atomic.is_nan a || Atomic.is_nan b) && op = Ast.Ne then true
+  else
+    match Atomic.compare_values a b with
+    | c -> apply_op op c
+    | exception Atomic.Cast_error msg -> err "XPTY0004" msg
+
+let general_pair_compare op a b =
+  (* general comparison: untyped is cast to the other operand's type
+     (numeric → double, untyped/untyped → string) *)
+  let a, b =
+    match (a, b) with
+    | Atomic.Untyped _, Atomic.Untyped _ -> (a, b) (* compared as strings *)
+    | Atomic.Untyped _, other when Atomic.is_numeric other ->
+      (numeric_of_untyped a, b)
+    | other, Atomic.Untyped _ when Atomic.is_numeric other ->
+      (a, numeric_of_untyped b)
+    | Atomic.Untyped s, Atomic.Boolean _ -> (Atomic.String s, b)
+    | Atomic.Boolean _, Atomic.Untyped s -> (a, Atomic.String s)
+    | _ -> (a, b)
+  in
+  if Atomic.is_nan a || Atomic.is_nan b then op = Ast.Ne
+  else
+    match Atomic.compare_values a b with
+    | c -> apply_op op c
+    | exception Atomic.Cast_error msg -> err "XPTY0004" msg
+
+(* ------------------------------------------------------------------ *)
+(* The evaluator                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval ctx (e : Ast.expr) : Item.seq =
+  match e with
+  | Ast.Literal a -> [ Item.Atomic a ]
+  | Ast.Var q -> (
+    match Context.lookup_var ctx q with
+    | Some v -> v
+    | None ->
+      Item.raise_error (Qname.err "XPST0008")
+        (Printf.sprintf "undefined variable $%s" (Qname.to_string q)))
+  | Ast.Context_item -> (
+    match (Context.fields ctx).ctx_item with
+    | Some item -> [ item ]
+    | None -> err "XPDY0002" "the context item is not defined")
+  | Ast.Seq_expr es -> List.concat_map (eval ctx) es
+  | Ast.Range (a, b) -> (
+    let ia = Item.one_atom_opt (eval ctx a)
+    and ib = Item.one_atom_opt (eval ctx b) in
+    match (ia, ib) with
+    | None, _ | _, None -> []
+    | Some ia, Some ib -> (
+      let to_int v =
+        match v with
+        | Atomic.Integer i -> i
+        | a -> (
+          try
+            match Atomic.cast_to a (Qname.xs "integer") with
+            | Atomic.Integer i -> i
+            | _ -> err "XPTY0004" "range bounds must be integers"
+          with Atomic.Cast_error m -> err "XPTY0004" m)
+      in
+      let lo = to_int ia and hi = to_int ib in
+      if lo > hi then []
+      else List.init (hi - lo + 1) (fun i -> Item.Atomic (Atomic.Integer (lo + i)))))
+  | Ast.Arith (op, a, b) -> (
+    let va = Item.one_atom_opt (eval ctx a)
+    and vb = Item.one_atom_opt (eval ctx b) in
+    match (va, vb) with
+    | None, _ | _, None -> []
+    | Some va, Some vb -> (
+      let va = numeric_of_untyped va and vb = numeric_of_untyped vb in
+      try [ Item.Atomic (Atomic.arith op va vb) ]
+      with Atomic.Cast_error msg -> arith_error msg))
+  | Ast.Neg a -> (
+    match Item.one_atom_opt (eval ctx a) with
+    | None -> []
+    | Some v -> (
+      try [ Item.Atomic (Atomic.negate (numeric_of_untyped v)) ]
+      with Atomic.Cast_error msg -> err "XPTY0004" msg))
+  | Ast.And (a, b) ->
+    Item.bool
+      (Item.effective_boolean_value (eval ctx a)
+      && Item.effective_boolean_value (eval ctx b))
+  | Ast.Or (a, b) ->
+    Item.bool
+      (Item.effective_boolean_value (eval ctx a)
+      || Item.effective_boolean_value (eval ctx b))
+  | Ast.General_cmp (op, a, b) ->
+    let va = Item.atomize (eval ctx a) and vb = Item.atomize (eval ctx b) in
+    Item.bool
+      (List.exists
+         (fun x -> List.exists (fun y -> general_pair_compare op x y) vb)
+         va)
+  | Ast.Value_cmp (op, a, b) -> (
+    let va = Item.one_atom_opt (eval ctx a)
+    and vb = Item.one_atom_opt (eval ctx b) in
+    match (va, vb) with
+    | None, _ | _, None -> []
+    | Some x, Some y -> Item.bool (value_compare_atoms op x y))
+  | Ast.Node_is (a, b) -> node_comparison ctx a b (fun x y -> Node.is_same x y)
+  | Ast.Node_before (a, b) ->
+    node_comparison ctx a b (fun x y -> Node.doc_order x y < 0)
+  | Ast.Node_after (a, b) ->
+    node_comparison ctx a b (fun x y -> Node.doc_order x y > 0)
+  | Ast.Union (a, b) -> Item.doc_sort (eval ctx a @ eval ctx b)
+  | Ast.Intersect (a, b) ->
+    let nb = Item.nodes_only (eval ctx b) in
+    Item.doc_sort
+      (List.filter
+         (function
+           | Item.Node n -> List.exists (Node.is_same n) nb
+           | Item.Atomic _ -> Item.type_error "intersect requires nodes")
+         (eval ctx a))
+  | Ast.Except (a, b) ->
+    let nb = Item.nodes_only (eval ctx b) in
+    Item.doc_sort
+      (List.filter
+         (function
+           | Item.Node n -> not (List.exists (Node.is_same n) nb)
+           | Item.Atomic _ -> Item.type_error "except requires nodes")
+         (eval ctx a))
+  | Ast.Instance_of (a, ty) -> Item.bool (Seqtype.matches ty (eval ctx a))
+  | Ast.Treat_as (a, ty) ->
+    let v = eval ctx a in
+    if Seqtype.matches ty v then v
+    else
+      Item.raise_error (Qname.err "XPDY0050")
+        (Printf.sprintf "treat as %s failed" (Seqtype.to_string ty))
+  | Ast.Castable_as (a, ty, opt) -> (
+    match Item.atomize (eval ctx a) with
+    | [] -> Item.bool opt
+    | [ v ] -> Item.bool (Atomic.can_cast_to v ty)
+    | _ -> Item.bool false)
+  | Ast.Cast_as (a, ty, opt) -> (
+    match Item.atomize (eval ctx a) with
+    | [] ->
+      if opt then []
+      else err "XPTY0004" "cast of an empty sequence to a non-optional type"
+    | [ v ] -> (
+      try [ Item.Atomic (Atomic.cast_to v ty) ]
+      with Atomic.Cast_error msg -> err "FORG0001" msg)
+    | _ -> err "XPTY0004" "cast of a sequence of more than one item")
+  | Ast.If_expr (c, t, e2) ->
+    if Item.effective_boolean_value (eval ctx c) then eval ctx t
+    else eval ctx e2
+  | Ast.Typeswitch (operand, cases, (dvar, default)) -> (
+    let v = eval ctx operand in
+    match
+      List.find_opt (fun c -> Seqtype.matches c.Ast.case_type v) cases
+    with
+    | Some c ->
+      let ctx =
+        match c.Ast.case_var with
+        | Some var -> Context.bind ctx var v
+        | None -> ctx
+      in
+      eval ctx c.Ast.case_return
+    | None ->
+      let ctx =
+        match dvar with Some var -> Context.bind ctx var v | None -> ctx
+      in
+      eval ctx default)
+  | Ast.Flwor (clauses, ret) -> eval_flwor ctx clauses ret
+  | Ast.Quantified (quant, bindings, body) ->
+    let rec go ctx = function
+      | [] -> Item.effective_boolean_value (eval ctx body)
+      | (v, ty, src) :: rest ->
+        let items = eval ctx src in
+        let items =
+          match ty with
+          | Some t ->
+            List.map
+              (fun i ->
+                match Seqtype.check ~what:(Qname.to_string v) t [ i ] with
+                | [ i' ] -> i'
+                | _ -> i)
+              items
+          | None -> items
+        in
+        let test item = go (Context.bind ctx v [ item ]) rest in
+        (match quant with
+        | Ast.Some_q -> List.exists test items
+        | Ast.Every_q -> List.for_all test items)
+    in
+    Item.bool (go ctx bindings)
+  | Ast.Path (a, b) ->
+    let left = eval ctx a in
+    let size = List.length left in
+    let results =
+      List.concat
+        (List.mapi
+           (fun i item ->
+             eval (Context.with_focus ctx item ~pos:(i + 1) ~size) b)
+           left)
+    in
+    let all_nodes =
+      List.for_all (function Item.Node _ -> true | _ -> false) results
+    in
+    let all_atomic =
+      List.for_all (function Item.Atomic _ -> true | _ -> false) results
+    in
+    if all_nodes then Item.doc_sort results
+    else if all_atomic then results
+    else
+      Item.raise_error (Qname.err "XPTY0018")
+        "path result mixes nodes and atomic values"
+  | Ast.Root_expr -> (
+    match (Context.fields ctx).ctx_item with
+    | Some (Item.Node n) -> [ Item.Node (Node.root n) ]
+    | Some (Item.Atomic _) ->
+      err "XPTY0020" "the context item is not a node"
+    | None -> err "XPDY0002" "the context item is not defined")
+  | Ast.Step (axis, nt, preds) -> (
+    match (Context.fields ctx).ctx_item with
+    | Some (Item.Node n) ->
+      let candidates = axis_nodes axis n in
+      let matched =
+        List.filter (fun c -> nodetest_matches ~axis nt c) candidates
+      in
+      (* candidates arrive in axis order (reverse axes: nearest first),
+         which is what positional predicates must see; the step result
+         itself is returned in document order *)
+      let filtered =
+        apply_predicates ctx preds (List.map (fun n -> Item.Node n) matched)
+      in
+      if reverse_axis axis then Item.doc_sort filtered else filtered
+    | Some (Item.Atomic _) -> err "XPTY0020" "the context item is not a node"
+    | None -> err "XPDY0002" "the context item is not defined")
+  | Ast.Filter (prim, preds) ->
+    let base = eval ctx prim in
+    apply_predicates ctx preds base
+  | Ast.Call (name, args) ->
+    let arg_vals = List.map (eval ctx) args in
+    call ctx name arg_vals
+  | Ast.Elem_ctor (name, attrs, contents) ->
+    [ Item.Node (construct_element ctx name attrs contents) ]
+  | Ast.Comp_elem (name_spec, content) ->
+    let name = eval_name_spec ctx ~element:true name_spec in
+    let items = eval ctx content in
+    let el = Node.element name [] in
+    attach_content el items;
+    merge_text_children el;
+    [ Item.Node el ]
+  | Ast.Comp_attr (name_spec, content) ->
+    let name = eval_name_spec ctx ~element:false name_spec in
+    let v =
+      String.concat " "
+        (List.map Atomic.to_string (Item.atomize (eval ctx content)))
+    in
+    [ Item.Node (Node.attribute name v) ]
+  | Ast.Comp_text content -> (
+    match Item.atomize (eval ctx content) with
+    | [] -> []
+    | atoms ->
+      [ Item.Node
+          (Node.text (String.concat " " (List.map Atomic.to_string atoms))) ])
+  | Ast.Comp_doc content ->
+    let items = eval ctx content in
+    let holder = Node.element (Qname.local "holder") [] in
+    attach_content holder items;
+    let children = Node.children holder in
+    List.iter Node.detach children;
+    [ Item.Node (Node.document children) ]
+  | Ast.Comp_comment content ->
+    let s =
+      String.concat " "
+        (List.map Atomic.to_string (Item.atomize (eval ctx content)))
+    in
+    [ Item.Node (Node.comment s) ]
+  | Ast.Comp_pi (name_spec, content) ->
+    let name = eval_name_spec ctx ~element:false name_spec in
+    let s =
+      String.concat " "
+        (List.map Atomic.to_string (Item.atomize (eval ctx content)))
+    in
+    [ Item.Node (Node.processing_instruction name.Qname.local s) ]
+  (* ---- XQuery Update Facility subset ---- *)
+  | Ast.Insert (pos, source, target) ->
+    check_updating ctx;
+    let sources =
+      List.map Node.deep_copy (Item.nodes_only (eval ctx source))
+    in
+    let attrs, others =
+      List.partition (fun n -> Node.kind n = Node.Attribute) sources
+    in
+    let target_node = Item.one_node (eval ctx target) in
+    let fields = Context.fields ctx in
+    (match pos with
+    | Ast.Into ->
+      if attrs <> [] then
+        fields.pul := Update.Insert_attributes (target_node, attrs) :: !(fields.pul);
+      if others <> [] then
+        fields.pul := Update.Insert_into (target_node, others) :: !(fields.pul)
+    | Ast.Into_first ->
+      fields.pul := Update.Insert_first (target_node, others) :: !(fields.pul)
+    | Ast.Into_last ->
+      fields.pul := Update.Insert_last (target_node, others) :: !(fields.pul)
+    | Ast.Before ->
+      fields.pul := Update.Insert_before (target_node, others) :: !(fields.pul)
+    | Ast.After ->
+      fields.pul := Update.Insert_after (target_node, others) :: !(fields.pul));
+    []
+  | Ast.Delete target ->
+    check_updating ctx;
+    let nodes = Item.nodes_only (eval ctx target) in
+    let fields = Context.fields ctx in
+    List.iter
+      (fun n -> fields.pul := Update.Delete_node n :: !(fields.pul))
+      nodes;
+    []
+  | Ast.Replace { value_of; target; source } ->
+    check_updating ctx;
+    let target_node = Item.one_node (eval ctx target) in
+    let fields = Context.fields ctx in
+    if value_of then begin
+      let s =
+        String.concat " "
+          (List.map Atomic.to_string (Item.atomize (eval ctx source)))
+      in
+      fields.pul := Update.Replace_value (target_node, s) :: !(fields.pul)
+    end
+    else begin
+      let sources =
+        List.map Node.deep_copy (Item.nodes_only (eval ctx source))
+      in
+      fields.pul := Update.Replace_node (target_node, sources) :: !(fields.pul)
+    end;
+    []
+  | Ast.Rename (target, name_spec) ->
+    check_updating ctx;
+    let target_node = Item.one_node (eval ctx target) in
+    let name = eval_name_spec ctx ~element:true name_spec in
+    let fields = Context.fields ctx in
+    fields.pul := Update.Rename_node (target_node, name) :: !(fields.pul);
+    []
+  | Ast.Transform (copies, modify, ret) ->
+    (* copy … modify … return: a self-contained snapshot; does not
+       require updating_ok because it only modifies fresh copies *)
+    let ctx', _copies =
+      List.fold_left
+        (fun (ctx, acc) (v, e) ->
+          let n = Item.one_node (eval ctx e) in
+          let copy = Node.deep_copy n in
+          (Context.bind ctx v [ Item.Node copy ], copy :: acc))
+        (ctx, []) copies
+    in
+    let inner_pul = ref [] in
+    let fields' = Context.fields ctx' in
+    let mod_ctx =
+      Context.with_updating
+        (Context.with_vars ctx' fields'.vars)
+        true
+    in
+    (* swap in a fresh PUL for the snapshot *)
+    let mod_fields = Context.fields mod_ctx in
+    let saved = !(mod_fields.pul) in
+    mod_fields.pul := [];
+    let result = eval mod_ctx modify in
+    if result <> [] then
+      err "XUST0001" "the modify clause must be an updating expression";
+    inner_pul := List.rev !(mod_fields.pul);
+    mod_fields.pul := saved;
+    Update.apply !inner_pul;
+    eval ctx' ret
+
+and node_comparison ctx a b pred =
+  let na = eval ctx a and nb = eval ctx b in
+  match (na, nb) with
+  | [], _ | _, [] -> []
+  | [ Item.Node x ], [ Item.Node y ] -> Item.bool (pred x y)
+  | _ -> Item.type_error "node comparison requires single nodes"
+
+and check_updating ctx =
+  if not (Context.fields ctx).updating_ok then
+    err "XUST0001"
+      "updating expressions are only allowed in an update statement"
+
+and eval_name_spec ctx ~element = function
+  | Ast.Static_name qn -> qn
+  | Ast.Dynamic_name e -> (
+    match Item.one_atom (eval ctx e) with
+    | Atomic.QName q -> q
+    | Atomic.String s | Atomic.Untyped s ->
+      if String.contains s ':' then
+        err "XQDY0074" (Printf.sprintf "cannot resolve prefixed name %S" s)
+      else Qname.local s
+    | a ->
+      ignore element;
+      err "XPTY0004"
+        (Printf.sprintf "invalid name value of type %s"
+           (Qname.to_string (Atomic.type_name a))))
+
+(* Predicates: numeric singleton = positional test, otherwise EBV. *)
+and apply_predicates ctx preds items =
+  List.fold_left
+    (fun items pred ->
+      let size = List.length items in
+      List.filteri
+        (fun i item ->
+          let fctx = Context.with_focus ctx item ~pos:(i + 1) ~size in
+          let v = eval fctx pred in
+          match v with
+          | [ Item.Atomic a ] when Atomic.is_numeric a ->
+            Float.equal (Atomic.to_double a) (float_of_int (i + 1))
+          | v -> Item.effective_boolean_value v)
+        items)
+    items preds
+
+(* FLWOR: tuples are variable environments. *)
+and eval_flwor ctx clauses ret =
+  let tuples = eval_clauses ctx [ (Context.fields ctx).vars ] clauses in
+  List.concat_map
+    (fun vars -> eval (Context.with_vars ctx vars) ret)
+    tuples
+
+and eval_clauses ctx tuples = function
+  | [] -> tuples
+  | Ast.For_clause bindings :: rest ->
+    let tuples =
+      List.fold_left
+        (fun tuples b ->
+          List.concat_map
+            (fun vars ->
+              let items = eval (Context.with_vars ctx vars) b.Ast.for_expr in
+              let items =
+                match b.Ast.for_type with
+                | Some ty ->
+                  List.concat_map
+                    (fun i ->
+                      Seqtype.check
+                        ~what:(Printf.sprintf "$%s" (Qname.to_string b.Ast.for_var))
+                        ty [ i ])
+                    items
+                | None -> items
+              in
+              List.mapi
+                (fun i item ->
+                  let vars = Qmap.add b.Ast.for_var [ item ] vars in
+                  match b.Ast.for_pos with
+                  | Some pv ->
+                    Qmap.add pv [ Item.Atomic (Atomic.Integer (i + 1)) ] vars
+                  | None -> vars)
+                items)
+            tuples)
+        tuples bindings
+    in
+    eval_clauses ctx tuples rest
+  | Ast.Let_clause bindings :: rest ->
+    let tuples =
+      List.fold_left
+        (fun tuples b ->
+          List.map
+            (fun vars ->
+              let v = eval (Context.with_vars ctx vars) b.Ast.let_expr in
+              let v =
+                match b.Ast.let_type with
+                | Some ty ->
+                  Seqtype.check
+                    ~what:(Printf.sprintf "$%s" (Qname.to_string b.Ast.let_var))
+                    ty v
+                | None -> v
+              in
+              Qmap.add b.Ast.let_var v vars)
+            tuples)
+        tuples bindings
+    in
+    eval_clauses ctx tuples rest
+  | Ast.Where_clause cond :: rest ->
+    let tuples =
+      List.filter
+        (fun vars ->
+          Item.effective_boolean_value (eval (Context.with_vars ctx vars) cond))
+        tuples
+    in
+    eval_clauses ctx tuples rest
+  | Ast.Order_clause (_stable, specs) :: rest ->
+    let keyed =
+      List.map
+        (fun vars ->
+          let keys =
+            List.map
+              (fun spec ->
+                ( Item.one_atom_opt (eval (Context.with_vars ctx vars) spec.Ast.key),
+                  spec ))
+              specs
+          in
+          (vars, keys))
+        tuples
+    in
+    let cmp_key (a, spec) (b, _) =
+      let c =
+        match (a, b) with
+        | None, None -> 0
+        | None, Some _ -> if spec.Ast.empty_least then -1 else 1
+        | Some _, None -> if spec.Ast.empty_least then 1 else -1
+        | Some x, Some y -> (
+          let x = match x with Atomic.Untyped s -> Atomic.String s | x -> x in
+          let y = match y with Atomic.Untyped s -> Atomic.String s | y -> y in
+          match (Atomic.is_nan x, Atomic.is_nan y) with
+          | true, true -> 0
+          | true, false -> if spec.Ast.empty_least then -1 else 1
+          | false, true -> if spec.Ast.empty_least then 1 else -1
+          | false, false -> (
+            try Atomic.compare_values x y
+            with Atomic.Cast_error msg -> err "XPTY0004" msg))
+      in
+      if spec.Ast.descending then -c else c
+    in
+    let rec cmp_keys ka kb =
+      match (ka, kb) with
+      | [], [] -> 0
+      | a :: ka, b :: kb -> (
+        match cmp_key a b with 0 -> cmp_keys ka kb | c -> c)
+      | _ -> 0
+    in
+    let sorted =
+      List.stable_sort (fun (_, ka) (_, kb) -> cmp_keys ka kb) keyed
+    in
+    eval_clauses ctx (List.map fst sorted) rest
+  | Ast.Join_clause j :: rest ->
+    (* build side: hash join_source items by join_build_key *)
+    let table = Hashtbl.create 64 in
+    let source_items = eval ctx j.Ast.join_source in
+    List.iter
+      (fun item ->
+        let kctx = Context.bind ctx j.Ast.join_var [ item ] in
+        match Item.one_atom_opt (eval kctx j.Ast.join_build_key) with
+        | Some a ->
+          let key = Atomic.to_string a in
+          Hashtbl.replace table key
+            (match Hashtbl.find_opt table key with
+            | Some items -> item :: items
+            | None -> [ item ])
+        | None -> ())
+      source_items;
+    let tuples =
+      List.concat_map
+        (fun vars ->
+          let pctx = Context.with_vars ctx vars in
+          match Item.one_atom_opt (eval pctx j.Ast.join_probe_key) with
+          | Some a -> (
+            match Hashtbl.find_opt table (Atomic.to_string a) with
+            | Some matches ->
+              List.rev_map
+                (fun item -> Qmap.add j.Ast.join_var [ item ] vars)
+                matches
+            | None -> [])
+          | None -> [])
+        tuples
+    in
+    eval_clauses ctx tuples rest
+
+(* Adjacent text nodes merge into one in constructed content (XQuery
+   3.7.1.3). *)
+and merge_text_children el =
+  let children = Node.children el in
+  let rec has_adjacent = function
+    | a :: (b :: _ as rest) ->
+      (Node.kind a = Node.Text && Node.kind b = Node.Text)
+      || has_adjacent rest
+    | _ -> false
+  in
+  if has_adjacent children then begin
+    let rec merged = function
+      | a :: b :: rest when Node.kind a = Node.Text && Node.kind b = Node.Text
+        ->
+        merged (Node.text (Node.text_content a ^ Node.text_content b) :: rest)
+      | c :: rest -> c :: merged rest
+      | [] -> []
+    in
+    let nc = merged children in
+    List.iter Node.detach children;
+    List.iter (Node.append_child el) nc
+  end
+
+(* Element construction. *)
+and construct_element ctx name attrs contents =
+  let el = Node.element name [] in
+  List.iter
+    (fun (an, parts) ->
+      let v =
+        String.concat ""
+          (List.map
+             (function
+               | Ast.Attr_str s -> s
+               | Ast.Attr_expr e ->
+                 String.concat " "
+                   (List.map Atomic.to_string (Item.atomize (eval ctx e))))
+             parts)
+      in
+      Node.set_attribute el an v)
+    attrs;
+  List.iter
+    (fun part ->
+      match part with
+      | Ast.Content_text s -> Node.append_child el (Node.text s)
+      | Ast.Content_node e | Ast.Content_expr e ->
+        attach_content el (eval ctx e))
+    contents;
+  merge_text_children el;
+  el
+
+(* Attach a sequence as element content per the construction rules:
+   adjacent atomics become a space-separated text node; nodes are
+   deep-copied; attribute nodes become attributes; document nodes are
+   spliced. *)
+and attach_content el items =
+  let flush_atoms atoms =
+    if atoms <> [] then
+      Node.append_child el
+        (Node.text (String.concat " " (List.rev_map Atomic.to_string atoms)))
+  in
+  let rec go atoms = function
+    | [] -> flush_atoms atoms
+    | Item.Atomic a :: rest -> go (a :: atoms) rest
+    | Item.Node n :: rest -> (
+      flush_atoms atoms;
+      match Node.kind n with
+      | Node.Attribute -> (
+        match Node.name n with
+        | Some an -> (
+          if Node.children el <> [] then
+            err "XQTY0024"
+              "attribute nodes must precede other element content";
+          match Node.attribute_value el an with
+          | Some _ ->
+            err "XQDY0025"
+              (Printf.sprintf "duplicate attribute %S" (Qname.to_string an))
+          | None ->
+            Node.set_attribute el an (Node.string_value n);
+            go [] rest)
+        | None -> go [] rest)
+      | Node.Document ->
+        List.iter
+          (fun c -> Node.append_child el (Node.deep_copy c))
+          (Node.children n);
+        go [] rest
+      | _ ->
+        Node.append_child el (Node.deep_copy n);
+        go [] rest)
+  in
+  (* reversed-atom accumulation keeps order: we reverse on flush *)
+  go [] items
+
+and call ctx name arg_vals =
+  let fields = Context.fields ctx in
+  let arity = List.length arg_vals in
+  match Context.find fields.registry name arity with
+  | None ->
+    Item.raise_error (Qname.err "XPST0017")
+      (Printf.sprintf "unknown function %s/%d" (Qname.to_string name) arity)
+  | Some f -> (
+    match f.Context.fn_impl with
+    | Context.Builtin impl -> impl ctx arg_vals
+    | Context.External impl -> impl arg_vals
+    | Context.User decl ->
+      let ctx = Context.deeper ctx in
+      let params = decl.Ast.fd_params in
+      let checked =
+        List.map2
+          (fun (pname, pty) v ->
+            let v =
+              match pty with
+              | Some ty ->
+                Seqtype.check
+                  ~what:(Printf.sprintf "argument $%s of %s"
+                           (Qname.to_string pname) (Qname.to_string name))
+                  ty v
+              | None -> v
+            in
+            (pname, v))
+          params arg_vals
+      in
+      let base = Context.globals fields.registry in
+      let vars =
+        List.fold_left (fun m (n, v) -> Qmap.add n v m) base checked
+      in
+      let body =
+        match decl.Ast.fd_body with
+        | Some b -> b
+        | None ->
+          Item.raise_error (Qname.err "XPST0017")
+            (Printf.sprintf "external function %s has no implementation"
+               (Qname.to_string name))
+      in
+      let fctx = Context.no_focus (Context.with_vars ctx vars) in
+      let result = eval fctx body in
+      (match decl.Ast.fd_return with
+      | Some ty ->
+        Seqtype.check
+          ~what:(Printf.sprintf "result of %s" (Qname.to_string name))
+          ty result
+      | None -> result))
+
+let eval_updating ctx e =
+  let fields = Context.fields ctx in
+  let saved = !(fields.pul) in
+  fields.pul := [];
+  let uctx = Context.with_updating ctx true in
+  let result = eval uctx e in
+  let pul = List.rev !(fields.pul) in
+  fields.pul := saved;
+  if result <> [] then
+    err "XUST0001"
+      "an update statement requires an updating expression (it returned a value)";
+  pul

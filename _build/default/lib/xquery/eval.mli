@@ -1,0 +1,24 @@
+(** The XQuery evaluator.
+
+    [eval] is pure except for calls to registered external functions
+    (data-service reads) and the accumulation of update primitives from
+    XUF expressions into the dynamic context's pending update list. *)
+
+open Xdm
+
+val eval : Context.dynamic -> Ast.expr -> Item.seq
+(** Evaluate an expression.
+    @raise Xdm.Item.Error for all dynamic and type errors. *)
+
+val call : Context.dynamic -> Qname.t -> Item.seq list -> Item.seq
+(** Call a function from the registry by name with evaluated arguments
+    (applies parameter and return sequence-type checks for user
+    functions).
+    @raise Xdm.Item.Error [err:XPST0017] if unknown. *)
+
+val eval_updating : Context.dynamic -> Ast.expr -> Update.t
+(** Evaluate an expression as an updating expression: returns the pending
+    update list it produced (the caller decides when to {!Update.apply}
+    it).
+    @raise Xdm.Item.Error [err:XUST0001]-style when the expression also
+    returns a non-empty value. *)

@@ -1,0 +1,22 @@
+(** AST rewrite optimizer.
+
+    Reproduces (at small scale) the ALDSP claim that the declarative
+    fragments of an XQSE program keep their query optimizations
+    (paper section IV, citing the VLDB'06 query-processing paper).
+
+    Passes, applied to fixpoint (bounded):
+    - constant folding of arithmetic, comparisons and [if] on literals;
+    - inlining of [let] bindings that are literals or variable aliases;
+    - elimination of [where true()] clauses and always-true conditions;
+    - conversion of equi-join [where] clauses between two [for] clauses
+      into a hash {!Ast.Join_clause};
+    - pushdown of single-variable [where] predicates into the binding
+      [for] expression as a filter predicate (when position-free). *)
+
+val optimize : Ast.expr -> Ast.expr
+
+val optimize_decl : Ast.function_decl -> Ast.function_decl
+
+type stats = { folded : int; inlined : int; joins : int; pushed : int }
+
+val optimize_with_stats : Ast.expr -> Ast.expr * stats

@@ -1,0 +1,276 @@
+open Xdm
+
+(* print a QName in re-parseable form: restore the standard prefixes for
+   well-known namespaces when the original prefix was lost *)
+let qn (q : Qname.t) =
+  match q.Qname.prefix with
+  | Some _ -> Qname.to_string q
+  | None ->
+    if q.Qname.uri = "" then q.Qname.local
+    else if q.Qname.uri = Qname.fn_ns then "fn:" ^ q.Qname.local
+    else if q.Qname.uri = Qname.xs_ns then "xs:" ^ q.Qname.local
+    else if q.Qname.uri = Qname.err_ns then "err:" ^ q.Qname.local
+    else if q.Qname.uri = Qname.local_default_ns then "local:" ^ q.Qname.local
+    else Qname.to_string q
+
+let seqtype = Seqtype.to_string
+
+let axis_name = function
+  | Ast.Child -> "child"
+  | Ast.Descendant -> "descendant"
+  | Ast.Attribute_axis -> "attribute"
+  | Ast.Self -> "self"
+  | Ast.Descendant_or_self -> "descendant-or-self"
+  | Ast.Parent -> "parent"
+  | Ast.Following_sibling -> "following-sibling"
+  | Ast.Preceding_sibling -> "preceding-sibling"
+  | Ast.Ancestor -> "ancestor"
+  | Ast.Ancestor_or_self -> "ancestor-or-self"
+  | Ast.Following -> "following"
+  | Ast.Preceding -> "preceding"
+
+let nodetest = function
+  | Ast.Name_test q -> qn q
+  | Ast.Any_name -> "*"
+  | Ast.Ns_wildcard uri -> Printf.sprintf "{%s}:*" uri
+  | Ast.Local_wildcard l -> "*:" ^ l
+  | Ast.Kind_node -> "node()"
+  | Ast.Kind_text -> "text()"
+  | Ast.Kind_comment -> "comment()"
+  | Ast.Kind_pi None -> "processing-instruction()"
+  | Ast.Kind_pi (Some t) -> Printf.sprintf "processing-instruction(%s)" t
+  | Ast.Kind_element None -> "element()"
+  | Ast.Kind_element (Some q) -> Printf.sprintf "element(%s)" (qn q)
+  | Ast.Kind_attribute None -> "attribute()"
+  | Ast.Kind_attribute (Some q) ->
+    Printf.sprintf "attribute(%s)" (qn q)
+  | Ast.Kind_document -> "document-node()"
+
+let comp_op = function
+  | Ast.Eq -> ("eq", "=")
+  | Ast.Ne -> ("ne", "!=")
+  | Ast.Lt -> ("lt", "<")
+  | Ast.Le -> ("le", "<=")
+  | Ast.Gt -> ("gt", ">")
+  | Ast.Ge -> ("ge", ">=")
+
+let arith_op = function
+  | Atomic.Add -> "+"
+  | Atomic.Sub -> "-"
+  | Atomic.Mul -> "*"
+  | Atomic.Div -> "div"
+  | Atomic.Idiv -> "idiv"
+  | Atomic.Mod -> "mod"
+
+let literal = function
+  | Atomic.String s ->
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c -> if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  | Atomic.Integer i -> string_of_int i
+  | Atomic.Decimal _ as a -> Atomic.to_string a
+  | Atomic.Double f -> Printf.sprintf "xs:double(\"%s\")" (Atomic.to_string (Atomic.Double f))
+  | Atomic.Boolean b -> if b then "fn:true()" else "fn:false()"
+  | a ->
+    Printf.sprintf "%s(\"%s\")"
+      (qn (Atomic.type_name a))
+      (Atomic.to_string a)
+
+let rec expr (e : Ast.expr) : string =
+  match e with
+  | Ast.Literal a -> literal a
+  | Ast.Var q -> "$" ^ qn q
+  | Ast.Context_item -> "."
+  | Ast.Seq_expr es -> "(" ^ String.concat ", " (List.map expr es) ^ ")"
+  | Ast.Range (a, b) -> bin a "to" b
+  | Ast.Arith (op, a, b) -> bin a (arith_op op) b
+  | Ast.Neg a -> "(-" ^ expr a ^ ")"
+  | Ast.And (a, b) -> bin a "and" b
+  | Ast.Or (a, b) -> bin a "or" b
+  | Ast.General_cmp (op, a, b) -> bin a (snd (comp_op op)) b
+  | Ast.Value_cmp (op, a, b) -> bin a (fst (comp_op op)) b
+  | Ast.Node_is (a, b) -> bin a "is" b
+  | Ast.Node_before (a, b) -> bin a "<<" b
+  | Ast.Node_after (a, b) -> bin a ">>" b
+  | Ast.Union (a, b) -> bin a "union" b
+  | Ast.Intersect (a, b) -> bin a "intersect" b
+  | Ast.Except (a, b) -> bin a "except" b
+  | Ast.Instance_of (a, t) -> "(" ^ expr a ^ " instance of " ^ seqtype t ^ ")"
+  | Ast.Treat_as (a, t) -> "(" ^ expr a ^ " treat as " ^ seqtype t ^ ")"
+  | Ast.Castable_as (a, q, opt) ->
+    Printf.sprintf "(%s castable as %s%s)" (expr a) (qn q)
+      (if opt then "?" else "")
+  | Ast.Cast_as (a, q, opt) ->
+    Printf.sprintf "(%s cast as %s%s)" (expr a) (qn q)
+      (if opt then "?" else "")
+  | Ast.If_expr (c, t, f) ->
+    Printf.sprintf "if (%s) then %s else %s" (expr c) (expr t) (expr f)
+  | Ast.Typeswitch (operand, cases, (dvar, default)) ->
+    let case c =
+      Printf.sprintf "case %s%s return %s"
+        (match c.Ast.case_var with
+        | Some v -> "$" ^ qn v ^ " as "
+        | None -> "")
+        (seqtype c.Ast.case_type) (expr c.Ast.case_return)
+    in
+    Printf.sprintf "typeswitch (%s) %s default %sreturn %s" (expr operand)
+      (String.concat " " (List.map case cases))
+      (match dvar with Some v -> "$" ^ qn v ^ " " | None -> "")
+      (expr default)
+  | Ast.Flwor (clauses, ret) ->
+    String.concat " " (List.map clause clauses) ^ " return " ^ expr ret
+  | Ast.Quantified (q, bindings, body) ->
+    Printf.sprintf "%s %s satisfies %s"
+      (match q with Ast.Some_q -> "some" | Ast.Every_q -> "every")
+      (String.concat ", "
+         (List.map
+            (fun (v, ty, e) ->
+              Printf.sprintf "$%s%s in %s" (qn v)
+                (match ty with Some t -> " as " ^ seqtype t | None -> "")
+                (expr e))
+            bindings))
+      (expr body)
+  | Ast.Path (a, b) -> path_operand a ^ "/" ^ expr b
+  | Ast.Root_expr -> "fn:root(self::node())"
+  | Ast.Step (axis, nt, preds) ->
+    axis_name axis ^ "::" ^ nodetest nt ^ predicates preds
+  | Ast.Filter (prim, preds) -> "(" ^ expr prim ^ ")" ^ predicates preds
+  | Ast.Call (q, args) ->
+    qn q ^ "(" ^ String.concat ", " (List.map expr args) ^ ")"
+  | Ast.Elem_ctor (name, attrs, contents) ->
+    let attr (an, parts) =
+      Printf.sprintf " %s=\"%s\"" (qn an)
+        (String.concat ""
+           (List.map
+              (function
+                | Ast.Attr_str s -> Xml_serialize.escape_attr s
+                | Ast.Attr_expr e -> "{" ^ expr e ^ "}")
+              parts))
+    in
+    let content = function
+      | Ast.Content_text s -> Xml_serialize.escape_text s
+      | Ast.Content_expr e -> "{" ^ expr e ^ "}"
+      | Ast.Content_node e -> expr e
+    in
+    let n = qn name in
+    if contents = [] then
+      Printf.sprintf "<%s%s/>" n (String.concat "" (List.map attr attrs))
+    else
+      Printf.sprintf "<%s%s>%s</%s>" n
+        (String.concat "" (List.map attr attrs))
+        (String.concat "" (List.map content contents))
+        n
+  | Ast.Comp_elem (ns, e) -> computed "element" ns e
+  | Ast.Comp_attr (ns, e) -> computed "attribute" ns e
+  | Ast.Comp_text e -> "text { " ^ expr e ^ " }"
+  | Ast.Comp_doc e -> "document { " ^ expr e ^ " }"
+  | Ast.Comp_comment e -> "comment { " ^ expr e ^ " }"
+  | Ast.Comp_pi (ns, e) -> computed "processing-instruction" ns e
+  | Ast.Insert (pos, src, tgt) ->
+    Printf.sprintf "insert nodes %s %s %s" (expr src)
+      (match pos with
+      | Ast.Into -> "into"
+      | Ast.Into_first -> "as first into"
+      | Ast.Into_last -> "as last into"
+      | Ast.Before -> "before"
+      | Ast.After -> "after")
+      (expr tgt)
+  | Ast.Delete t -> "delete nodes " ^ expr t
+  | Ast.Replace { value_of; target; source } ->
+    Printf.sprintf "replace %snode %s with %s"
+      (if value_of then "value of " else "")
+      (expr target) (expr source)
+  | Ast.Rename (t, ns) ->
+    Printf.sprintf "rename node %s as %s" (expr t)
+      (match ns with
+      | Ast.Static_name q -> qn q
+      | Ast.Dynamic_name e -> "{ " ^ expr e ^ " }")
+  | Ast.Transform (copies, modify, ret) ->
+    Printf.sprintf "copy %s modify %s return %s"
+      (String.concat ", "
+         (List.map
+            (fun (v, e) -> Printf.sprintf "$%s := %s" (qn v) (expr e))
+            copies))
+      (expr modify) (expr ret)
+
+and bin a op b = "(" ^ expr a ^ " " ^ op ^ " " ^ expr b ^ ")"
+
+and path_operand = function
+  | Ast.Root_expr -> "fn:root(self::node())"
+  | (Ast.Path _ | Ast.Step _ | Ast.Var _ | Ast.Context_item | Ast.Filter _) as e
+    -> expr e
+  | e -> "(" ^ expr e ^ ")"
+
+and predicates preds =
+  String.concat "" (List.map (fun p -> "[" ^ expr p ^ "]") preds)
+
+and computed kw ns e =
+  match ns with
+  | Ast.Static_name q ->
+    Printf.sprintf "%s %s { %s }" kw (qn q) (expr e)
+  | Ast.Dynamic_name n ->
+    Printf.sprintf "%s { %s } { %s }" kw (expr n) (expr e)
+
+and clause = function
+  | Ast.For_clause bs ->
+    "for "
+    ^ String.concat ", "
+        (List.map
+           (fun b ->
+             Printf.sprintf "$%s%s%s in %s"
+               (qn b.Ast.for_var)
+               (match b.Ast.for_type with
+               | Some t -> " as " ^ seqtype t
+               | None -> "")
+               (match b.Ast.for_pos with
+               | Some p -> " at $" ^ qn p
+               | None -> "")
+               (expr b.Ast.for_expr))
+           bs)
+  | Ast.Let_clause bs ->
+    "let "
+    ^ String.concat ", "
+        (List.map
+           (fun b ->
+             Printf.sprintf "$%s%s := %s"
+               (qn b.Ast.let_var)
+               (match b.Ast.let_type with
+               | Some t -> " as " ^ seqtype t
+               | None -> "")
+               (expr b.Ast.let_expr))
+           bs)
+  | Ast.Where_clause e -> "where " ^ expr e
+  | Ast.Order_clause (stable, specs) ->
+    (if stable then "stable order by " else "order by ")
+    ^ String.concat ", "
+        (List.map
+           (fun sp ->
+             expr sp.Ast.key
+             ^ (if sp.Ast.descending then " descending" else "")
+             ^ if sp.Ast.empty_least then "" else " empty greatest")
+           specs)
+  | Ast.Join_clause j ->
+    (* internal node: print as the equivalent for + where *)
+    Printf.sprintf "for $%s in %s where %s eq %s (: hash join :)"
+      (qn j.Ast.join_var)
+      (expr j.Ast.join_source)
+      (expr j.Ast.join_probe_key)
+      (expr j.Ast.join_build_key)
+
+let function_decl (d : Ast.function_decl) =
+  Printf.sprintf "declare function %s(%s)%s %s;"
+    (qn d.Ast.fd_name)
+    (String.concat ", "
+       (List.map
+          (fun (v, ty) ->
+            Printf.sprintf "$%s%s" (qn v)
+              (match ty with Some t -> " as " ^ seqtype t | None -> ""))
+          d.Ast.fd_params))
+    (match d.Ast.fd_return with Some t -> " as " ^ seqtype t | None -> "")
+    (match d.Ast.fd_body with
+    | Some b -> "{ " ^ expr b ^ " }"
+    | None -> "external")

@@ -1,0 +1,10 @@
+(** Pretty-printer for XQuery ASTs.
+
+    Produces surface syntax that re-parses to an equivalent AST (modulo
+    namespace prefixes, which print in Clark form when the QName lost its
+    prefix). Used by the CLI's [--ast] mode, by optimizer tests to assert
+    on rewritten query shapes, and for debugging. *)
+
+val expr : Ast.expr -> string
+val seqtype : Xdm.Seqtype.t -> string
+val function_decl : Ast.function_decl -> string

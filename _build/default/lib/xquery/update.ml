@@ -1,0 +1,100 @@
+open Xdm
+
+type primitive =
+  | Insert_into of Node.t * Node.t list
+  | Insert_first of Node.t * Node.t list
+  | Insert_last of Node.t * Node.t list
+  | Insert_before of Node.t * Node.t list
+  | Insert_after of Node.t * Node.t list
+  | Insert_attributes of Node.t * Node.t list
+  | Delete_node of Node.t
+  | Replace_node of Node.t * Node.t list
+  | Replace_value of Node.t * string
+  | Rename_node of Node.t * Qname.t
+
+type t = primitive list
+
+let dup_check code what targets =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      let id = Node.id n in
+      if Hashtbl.mem tbl id then
+        Item.raise_error (Qname.err code)
+          (Printf.sprintf "two %s primitives target the same node" what);
+      Hashtbl.add tbl id ())
+    targets
+
+let apply (pul : t) =
+  (* XUF 3.2.2 ordering: inserts (into/first/last/attributes), then
+     insert before/after, then replaces, then renames, then replace
+     value, then deletes. *)
+  dup_check "XUDY0016" "replace-node"
+    (List.filter_map (function Replace_node (n, _) -> Some n | _ -> None) pul);
+  dup_check "XUDY0017" "replace-value"
+    (List.filter_map (function Replace_value (n, _) -> Some n | _ -> None) pul);
+  dup_check "XUDY0015" "rename"
+    (List.filter_map (function Rename_node (n, _) -> Some n | _ -> None) pul);
+  let phase p =
+    List.iter
+      (fun prim ->
+        match (p, prim) with
+        | 0, Insert_into (t, ns) | 0, Insert_last (t, ns) ->
+          Node.insert_children t ~pos:`Last ns
+        | 0, Insert_first (t, ns) -> Node.insert_children t ~pos:`First ns
+        | 0, Insert_attributes (t, attrs) ->
+          List.iter
+            (fun a ->
+              match Node.name a with
+              | Some qn -> Node.set_attribute t qn (Node.string_value a)
+              | None -> ())
+            attrs
+        | 1, Insert_before (t, ns) -> Node.insert_sibling t ~pos:`Before ns
+        | 1, Insert_after (t, ns) -> Node.insert_sibling t ~pos:`After ns
+        | 2, Replace_node (t, ns) ->
+          (match Node.kind t with
+          | Node.Attribute ->
+            let parent = Node.parent t in
+            (match parent with
+            | Some p ->
+              Node.detach t;
+              List.iter
+                (fun a ->
+                  match Node.name a with
+                  | Some qn -> Node.set_attribute p qn (Node.string_value a)
+                  | None -> ())
+                ns
+            | None -> ())
+          | _ ->
+            Node.insert_sibling t ~pos:`After ns;
+            Node.detach t)
+        | 3, Rename_node (t, qn) -> Node.rename t qn
+        | 4, Replace_value (t, s) -> (
+          match Node.kind t with
+          | Node.Element -> Node.replace_children_with_text t s
+          | Node.Attribute | Node.Text | Node.Comment
+          | Node.Processing_instruction -> Node.set_text t s
+          | Node.Document ->
+            Item.raise_error (Qname.err "XUTY0008")
+              "replace value of a document node")
+        | 5, Delete_node t -> Node.detach t
+        | _ -> ())
+      pul
+  in
+  for p = 0 to 5 do phase p done
+
+let pp_primitive ppf = function
+  | Insert_into (t, ns) ->
+    Format.fprintf ppf "insert-into(%a, %d nodes)" Node.pp t (List.length ns)
+  | Insert_first (t, _) -> Format.fprintf ppf "insert-first(%a)" Node.pp t
+  | Insert_last (t, _) -> Format.fprintf ppf "insert-last(%a)" Node.pp t
+  | Insert_before (t, _) -> Format.fprintf ppf "insert-before(%a)" Node.pp t
+  | Insert_after (t, _) -> Format.fprintf ppf "insert-after(%a)" Node.pp t
+  | Insert_attributes (t, _) ->
+    Format.fprintf ppf "insert-attributes(%a)" Node.pp t
+  | Delete_node t -> Format.fprintf ppf "delete(%a)" Node.pp t
+  | Replace_node (t, _) -> Format.fprintf ppf "replace-node(%a)" Node.pp t
+  | Replace_value (t, s) ->
+    Format.fprintf ppf "replace-value(%a, %S)" Node.pp t s
+  | Rename_node (t, q) ->
+    Format.fprintf ppf "rename(%a, %s)" Node.pp t (Qname.to_string q)

@@ -1,0 +1,31 @@
+(** Pending update lists (XQuery Update Facility subset).
+
+    Updating expressions produce update primitives; nothing is modified
+    until {!apply} runs, which checks compatibility and applies the
+    primitives in the order prescribed by the XUF specification. The
+    XQSE update statement is one snapshot: evaluate, then {!apply}. *)
+
+open Xdm
+
+type primitive =
+  | Insert_into of Node.t * Node.t list  (** target, sources *)
+  | Insert_first of Node.t * Node.t list
+  | Insert_last of Node.t * Node.t list
+  | Insert_before of Node.t * Node.t list
+  | Insert_after of Node.t * Node.t list
+  | Insert_attributes of Node.t * Node.t list
+  | Delete_node of Node.t
+  | Replace_node of Node.t * Node.t list
+  | Replace_value of Node.t * string
+  | Rename_node of Node.t * Qname.t
+
+type t = primitive list
+(** In evaluation order (oldest first). *)
+
+val apply : t -> unit
+(** Apply a pending update list.
+    @raise Xdm.Item.Error [err:XUDY0017] when two [Replace_value] target
+    the same node, [err:XUDY0016] for duplicate [Replace_node],
+    [err:XUDY0015] for duplicate [Rename_node]. *)
+
+val pp_primitive : Format.formatter -> primitive -> unit

@@ -1,0 +1,1 @@
+test/suite_aldsp.ml: Alcotest Aldsp Core Fixtures Gen Item List Option QCheck Qname Relational Schema Sdo String Util Webservice Xml_parse Xml_serialize Xqse

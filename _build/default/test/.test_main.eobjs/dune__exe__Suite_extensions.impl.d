@@ -1,0 +1,1 @@
+test/suite_extensions.ml: Alcotest Aldsp Core Fixtures Hashtbl Item List Node Option Printf QCheck Qname Relational Schema Sdo String Util Xml_parse Xml_serialize Xqse Xquery

@@ -1,0 +1,1 @@
+test/suite_functions.ml: Alcotest Core List Util

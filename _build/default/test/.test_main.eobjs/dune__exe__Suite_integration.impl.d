@@ -1,0 +1,1 @@
+test/suite_integration.ml: Alcotest Aldsp Atomic Core Fixtures Item List Node Option Printf Qname Relational Schema Sdo String Util Webservice Xml_parse Xml_serialize Xqse

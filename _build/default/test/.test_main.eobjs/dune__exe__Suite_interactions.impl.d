@@ -1,0 +1,1 @@
+test/suite_interactions.ml: Aldsp Core Fixtures Item List Qname Relational Util Xml_serialize Xqse Xquery

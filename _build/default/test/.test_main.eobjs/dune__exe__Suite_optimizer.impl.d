@@ -1,0 +1,1 @@
+test/suite_optimizer.ml: Alcotest Core List Printf QCheck String Util Xdm Xquery

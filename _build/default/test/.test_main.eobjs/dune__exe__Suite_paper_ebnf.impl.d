@@ -1,0 +1,1 @@
+test/suite_paper_ebnf.ml: Alcotest Core Fixtures Util Xqse Xquery

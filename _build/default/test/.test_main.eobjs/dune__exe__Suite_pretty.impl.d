@@ -1,0 +1,1 @@
+test/suite_pretty.ml: Alcotest Core List Printf QCheck String Util Xdm Xqse Xquery

@@ -1,0 +1,1 @@
+test/suite_relational.ml: Alcotest Core Database List Pred QCheck Table Util Value Xa

@@ -1,0 +1,1 @@
+test/suite_robustness.ml: Alcotest Aldsp Array Char Core Fixtures Hashtbl List Printf QCheck Relational Sdo String Util Xquery

@@ -1,0 +1,1 @@
+test/suite_sdo.ml: Alcotest Core List Node QCheck Qname Sdo String Util Webservice Xml_parse

@@ -1,0 +1,1 @@
+test/suite_semantics.ml: Util

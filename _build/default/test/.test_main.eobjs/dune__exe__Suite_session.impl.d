@@ -1,0 +1,1 @@
+test/suite_session.ml: Alcotest Core List Printf QCheck Util Xdm Xqse

@@ -1,0 +1,1 @@
+test/suite_sqlgen.ml: Alcotest Aldsp Core Fixtures List Relational Sdo Util Xdm

@@ -1,0 +1,1 @@
+test/suite_temporal.ml: Printf QCheck Util

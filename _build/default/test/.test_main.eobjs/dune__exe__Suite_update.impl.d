@@ -1,0 +1,1 @@
+test/suite_update.ml: Core Item List Node Qname Util Xdm Xml_parse Xml_serialize Xquery

@@ -1,0 +1,1 @@
+test/suite_xdm.ml: Atomic Core Item List Node Option QCheck Qname Util

@@ -1,0 +1,1 @@
+test/suite_xml.ml: Alcotest Atomic Core Item List Node Option QCheck Qname Schema Seqtype Util Xml_parse Xml_serialize

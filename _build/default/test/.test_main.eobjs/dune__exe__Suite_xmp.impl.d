@@ -1,0 +1,1 @@
+test/suite_xmp.ml: Core Util Xdm Xquery

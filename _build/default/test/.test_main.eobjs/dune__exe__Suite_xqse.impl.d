@@ -1,0 +1,1 @@
+test/suite_xqse.ml: Core List Util Xdm Xqse

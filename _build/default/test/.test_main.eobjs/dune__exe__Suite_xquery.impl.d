@@ -1,0 +1,1 @@
+test/suite_xquery.ml: Core List Util

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Core QCheck QCheck_alcotest Xdm Xqse Xquery

@@ -1,0 +1,20 @@
+  $ xqse -e '1 + 2 * 3'
+  $ xqse -e '{ return value "Hello, World"; }'
+  $ echo 'for $i in 1 to 4 return $i * $i' | xqse -
+  $ xqse -e 'declare xqse function local:fact($n as xs:integer) as xs:integer {
+  >   declare $acc := 1, $i := 1;
+  >   while ($i le $n) { set $acc := $acc * $i; set $i := $i + 1; }
+  >   return value $acc;
+  > };
+  > local:fact(6)'
+  $ cat > defs.xqse <<'XQ'
+  > declare readonly procedure local:triple($x as xs:integer) as xs:integer {
+  >   return value 3 * $x;
+  > };
+  > XQ
+  $ xqse --lib defs.xqse -e 'local:triple(14)'
+  $ xqse --ast -e '{ declare $x := 1; set $x := $x + 1; return value $x; }'
+  $ xqse -e '1 div 0'
+  $ xqse -e 'for $x in'
+  $ xqse --trace -e 'trace(2 + 2, "sum")'
+  $ printf 'declare variable $k := 10;;;\n$k * $k;;\n' | xqse -i

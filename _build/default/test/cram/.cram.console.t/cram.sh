@@ -1,0 +1,5 @@
+  $ aldsp-console --catalog | grep "^data service"
+  $ aldsp-console -q "count(profile:getProfile())"
+  $ aldsp-console -q "string-join(uc:getManagementChain(5)/Name, ' -> ')"
+  $ aldsp-console --lineage CustomerProfile | head -5
+  $ aldsp-console -q "no:such()"

@@ -1,0 +1,67 @@
+The CLI evaluates expressions:
+
+  $ xqse -e '1 + 2 * 3'
+  7
+
+  $ xqse -e '{ return value "Hello, World"; }'
+  Hello, World
+
+Programs arrive on stdin:
+
+  $ echo 'for $i in 1 to 4 return $i * $i' | xqse -
+  1 4 9 16
+
+Full XQSE programs with declarations:
+
+  $ xqse -e 'declare xqse function local:fact($n as xs:integer) as xs:integer {
+  >   declare $acc := 1, $i := 1;
+  >   while ($i le $n) { set $acc := $acc * $i; set $i := $i + 1; }
+  >   return value $acc;
+  > };
+  > local:fact(6)'
+  720
+
+Library files load before the main program:
+
+  $ cat > defs.xqse <<'XQ'
+  > declare readonly procedure local:triple($x as xs:integer) as xs:integer {
+  >   return value 3 * $x;
+  > };
+  > XQ
+  $ xqse --lib defs.xqse -e 'local:triple(14)'
+  42
+
+The --ast flag parses and prints the program back:
+
+  $ xqse --ast -e '{ declare $x := 1; set $x := $x + 1; return value $x; }'
+  {
+    declare $x := 1;
+    set $x := ($x + 1);
+    return value $x;
+  }
+
+Dynamic errors report their code:
+
+  $ xqse -e '1 div 0'
+  xqse: dynamic error err:FOAR0001: division by zero
+  [124]
+
+Syntax errors report position:
+
+  $ xqse -e 'for $x in'
+  xqse: syntax error at 1:10: unexpected end of input
+  [124]
+
+fn:trace goes to stderr with --trace:
+
+  $ xqse --trace -e 'trace(2 + 2, "sum")'
+  trace: sum: 4
+  4
+
+The interactive session persists declarations:
+
+  $ printf 'declare variable $k := 10;;;\n$k * $k;;\n' | xqse -i
+  XQSE interactive session. End input with ';;'. Declarations persist.
+  xqse> declared.
+  xqse> 100
+  xqse> 

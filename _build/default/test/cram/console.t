@@ -1,0 +1,31 @@
+The console's catalog shows the design view of every service:
+
+  $ aldsp-console --catalog | grep "^data service"
+  data service db1/CUSTOMER  [entity, physical (relational db1.CUSTOMER)]
+  data service db1/ORDERS  [entity, physical (relational db1.ORDERS)]
+  data service db2/CREDIT_CARD  [entity, physical (relational db2.CREDIT_CARD)]
+  data service CreditRatingService  [library, physical (web service CreditRatingService)]
+  data service CustomerProfile  [entity, logical]
+  data service hr/EMPLOYEE  [entity, physical (relational hr.EMPLOYEE)]
+
+Ad-hoc queries run against the dataspace:
+
+  $ aldsp-console -q "count(profile:getProfile())"
+  6
+
+  $ aldsp-console -q "string-join(uc:getManagementChain(5)/Name, ' -> ')"
+  Nils Walker -&gt; Bob Lee -&gt; Mona Davis -&gt; Dana Wilson
+
+The lineage view explains update decomposition:
+
+  $ aldsp-console --lineage CustomerProfile | head -5
+  <CustomerProfile> <- db1.CUSTOMER
+    CID <- CID
+    LAST_NAME <- LAST_NAME
+    FIRST_NAME <- FIRST_NAME
+    CreditRating <- (computed, read-only)
+
+Errors are reported, not fatal:
+
+  $ aldsp-console -q "no:such()"
+  syntax error at 1:8: undeclared namespace prefix "no"

@@ -1,0 +1,146 @@
+(* The rewrite optimizer: each pass, the stats counters, and the
+   semantic-preservation property (optimized and unoptimized evaluation
+   agree). *)
+
+open Util
+open Core
+
+let parse src = Xquery.Parser.parse_expression (Xquery.Context.default_static ()) src
+
+let stats src =
+  let _, st = Xquery.Optimizer.optimize_with_stats (parse src) in
+  st
+
+let pass_tests =
+  [
+    case "constant folding of arithmetic" (fun () ->
+        check_bool "folded" true ((stats "1 + 2 * 3").Xquery.Optimizer.folded > 0);
+        check_bool "result" true
+          (Xquery.Optimizer.optimize (parse "1 + 2 * 3")
+          = Xquery.Ast.Literal (Xdm.Atomic.Integer 7)));
+    case "constant folding of comparisons" (fun () ->
+        check_bool "folded" true
+          (Xquery.Optimizer.optimize (parse "1 lt 2")
+          = Xquery.Ast.Literal (Xdm.Atomic.Boolean true)));
+    case "if on constant condition selects branch" (fun () ->
+        check_bool "then" true
+          (Xquery.Optimizer.optimize (parse "if (1 lt 2) then 'a' else 'b'")
+          = Xquery.Ast.Literal (Xdm.Atomic.String "a")));
+    case "division by zero is not folded away" (fun () ->
+        (* folding must not turn a dynamic error into a value *)
+        match Xquery.Optimizer.optimize (parse "1 idiv 0") with
+        | Xquery.Ast.Literal _ -> Alcotest.fail "folded an erroring expression"
+        | _ -> ());
+    case "let inlining of literals" (fun () ->
+        check_bool "inlined" true
+          ((stats "let $x := 1 return $x + $x").Xquery.Optimizer.inlined > 0));
+    case "let alias inlining" (fun () ->
+        check_bool "inlined" true
+          ((stats "for $a in (1,2) let $b := $a return $b * 2").Xquery.Optimizer.inlined
+          > 0));
+    case "computed lets are kept" (fun () ->
+        check_int "inlined" 0
+          (stats "let $x := <a/> return ($x, $x)").Xquery.Optimizer.inlined);
+    case "where-to-predicate pushdown" (fun () ->
+        check_bool "pushed" true
+          ((stats "for $x in (1 to 10) where $x mod 2 eq 0 return $x").Xquery.Optimizer.pushed
+          > 0));
+    case "pushdown skipped when where uses two variables" (fun () ->
+        check_int "pushed" 0
+          (stats
+             "for $x in (1 to 3) for $y in (1 to 3) where $x + $y eq 4 return 1")
+            .Xquery.Optimizer.pushed);
+    case "equi-join detection" (fun () ->
+        check_bool "joins" true
+          ((stats
+              "for $a in (<r><k>1</k></r>, <r><k>2</k></r>)
+               for $b in (<s><k>2</k></s>)
+               where $a/k eq $b/k
+               return ($a, $b)")
+             .Xquery.Optimizer.joins
+          > 0));
+    case "join not detected for non-equality" (fun () ->
+        check_int "joins" 0
+          (stats
+             "for $a in (<r><k>1</k></r>)
+              for $b in (<s><k>2</k></s>)
+              where $a/k lt $b/k
+              return 1")
+            .Xquery.Optimizer.joins);
+    case "join not detected when inner source depends on outer" (fun () ->
+        check_int "joins" 0
+          (stats
+             "for $a in (<r><k>1</k></r>)
+              for $b in $a/k
+              where $a/k eq $b
+              return 1")
+            .Xquery.Optimizer.joins);
+  ]
+
+(* Equivalence: a library of expressions covering every construct the
+   optimizer rewrites, evaluated with and without optimization. *)
+let equivalence_exprs =
+  [
+    "1 + 2 * 3 - 4 idiv 2";
+    "let $x := 5 return $x * $x";
+    "let $x := 'a' let $y := $x return concat($y, $x)";
+    "for $i in 1 to 20 where $i mod 3 eq 0 return $i";
+    "for $i in 1 to 10 where $i gt 2 and $i lt 8 return $i";
+    "for $x in (1 to 5) let $y := $x return (if ($y lt 3) then 'lo' else 'hi')";
+    "for $a in (<r><k>1</k><v>a</v></r>, <r><k>2</k><v>b</v></r>)
+     for $b in (<s><k>2</k><w>B</w></s>, <s><k>1</k><w>A</w></s>)
+     where $a/k eq $b/k
+     order by $a/k
+     return concat($a/v, $b/w)";
+    "for $a in (<r><k>1</k></r>, <r><k>1</k></r>)
+     for $b in (<s><k>1</k></s>, <s><k>1</k></s>)
+     where $a/k eq $b/k
+     return 'x'";
+    "count(for $x in 1 to 50 where true() return $x)";
+    "for $x in (3, 1, 2) order by $x descending return $x * 10";
+    "some $x in (1 to 10) satisfies $x * $x eq 49";
+    "<out>{for $i in 1 to 3 where $i ne 2 return <i>{$i}</i>}</out>";
+    "for $x in (1 to 5) where $x eq 3 return $x + (let $pad := 0 return $pad)";
+  ]
+
+let equivalence_tests =
+  List.map
+    (fun src ->
+      case ("optimized = unoptimized: " ^ String.sub src 0 (min 40 (String.length src)))
+        (fun () -> check_string src (xq_noopt src) (xq src)))
+    equivalence_exprs
+
+let prop_tests =
+  [
+    (* randomized FLWOR queries over a small data space *)
+    prop "random where/order FLWORs agree with and without optimization"
+      ~count:60
+      QCheck.(triple (int_range 1 10) (int_range 0 3) bool)
+      (fun (n, m, desc) ->
+        let src =
+          Printf.sprintf
+            "for $x in 1 to %d let $y := $x mod 4 where $y ge %d order by $x %s return $x * 2 + $y"
+            n m
+            (if desc then "descending" else "")
+        in
+        xq src = xq_noopt src);
+    prop "random join queries agree" ~count:40
+      QCheck.(pair (int_range 1 6) (int_range 1 6))
+      (fun (n, m) ->
+        let seq k =
+          String.concat ", "
+            (List.init k (fun i -> Printf.sprintf "<r><k>%d</k></r>" (i mod 3)))
+        in
+        let src =
+          Printf.sprintf
+            "for $a in (%s) for $b in (%s) where $a/k eq $b/k return string($a/k)"
+            (seq n) (seq m)
+        in
+        xq src = xq_noopt src);
+  ]
+
+let suites =
+  [
+    ("optimizer.passes", pass_tests);
+    ("optimizer.equivalence", equivalence_tests @ prop_tests);
+  ]

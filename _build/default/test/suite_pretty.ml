@@ -1,0 +1,133 @@
+(* The pretty-printer: printed programs re-parse and evaluate to the
+   same results — plus session module-import behavior. *)
+
+open Util
+open Core
+
+let reprint_xq src =
+  let e = Xquery.Parser.parse_expression (Xquery.Context.default_static ()) src in
+  Xquery.Pretty.expr e
+
+(* evaluate source and its pretty-printed form; both must agree *)
+let roundtrip_exprs =
+  [
+    "1 + 2 * 3";
+    "(1, 2, 3)[. mod 2 eq 1]";
+    "for $x at $i in ('a','b','c') where $i gt 1 order by $x descending return concat($i, $x)";
+    "let $d := <a p='1'><b>x</b><b>y</b></a> return string-join($d/b/text(), '|')";
+    "if (2 gt 1) then 'y' else 'n'";
+    "typeswitch (5) case $i as xs:integer return $i * 2 default return 0";
+    "some $x in (1 to 5) satisfies $x idiv 2 eq 2";
+    "<out a=\"{1+1}\">text {2+3} tail</out>";
+    "element dyn { attribute k { 'v' }, text { 'body' } }";
+    "count((<r><k>1</k></r>, <r><k>2</k></r>)[k eq '1'])";
+    "(1 to 10)[. gt 3][2]";
+    "copy $c := <a><b>1</b></a> modify replace value of node $c/b with 2 return string($c/b)";
+    "'x' castable as xs:integer";
+    "xs:integer('7') instance of xs:decimal";
+    "-(3 + 4)";
+    "sum(for $i in 1 to 4 return $i) div count((1, 2))";
+  ]
+
+let roundtrip_tests =
+  List.map
+    (fun src ->
+      case ("print . parse = id (semantically): " ^ String.sub src 0 (min 38 (String.length src)))
+        (fun () ->
+          let printed = reprint_xq src in
+          check_string printed (xq src) (xq printed)))
+    roundtrip_exprs
+
+let xqse_roundtrip_sources =
+  [
+    {| { return value "hi"; } |};
+    {| { declare $x as xs:integer := 0; while ($x lt 5) { set $x := $x + 2; } return value $x; } |};
+    {| { declare $s := (); iterate $v at $i over (5, 6) { set $s := ($s, $v * $i); } return value $s; } |};
+    {| { try { fn:error(xs:QName("E"), "m"); } catch (E into $c, $m) { return value $m; } } |};
+    {| { declare $r := 0; if (1 lt 2) then set $r := 1 else set $r := 2; return value $r; } |};
+    {| declare readonly procedure local:f($n as xs:integer) as xs:integer { return value $n + 1; };
+       { return value local:f(41); } |};
+    {| declare variable $d := <a><b>0</b></a>;
+       { replace value of node $d/b with 9; return value string($d/b); } |};
+  ]
+
+let xqse_roundtrip_tests =
+  List.mapi
+    (fun i src ->
+      case (Printf.sprintf "xqse print . parse roundtrip #%d" i) (fun () ->
+          let prog =
+            Xqse.Parse.parse_program (Xquery.Context.default_static ()) src
+          in
+          let printed = Xqse.Pretty.program prog in
+          check_string printed (xqse src) (xqse printed)))
+    xqse_roundtrip_sources
+
+let prop_roundtrip =
+  [
+    prop "random arithmetic prints and re-evaluates identically" ~count:80
+      QCheck.(triple (int_range 1 50) (int_range 1 50) (int_range 0 3))
+      (fun (a, b, op) ->
+        let ops = [ "+"; "-"; "*"; "idiv" ] in
+        let src = Printf.sprintf "(%d %s %d) + %d" a (List.nth ops op) b a in
+        xq (reprint_xq src) = xq src);
+  ]
+
+let module_tests =
+  [
+    case "import module loads a registered library" (fun () ->
+        let s = Xqse.Session.create () in
+        Xqse.Session.register_module s "urn:math"
+          {|declare namespace m = "urn:math";
+            declare function m:square($x as xs:integer) as xs:integer { $x * $x };|};
+        check_string "call" "49"
+          (Xqse.Session.eval_to_string s
+             {|import module namespace m = "urn:math"; m:square(7)|}));
+    case "modules load once per session" (fun () ->
+        let s = Xqse.Session.create () in
+        Xqse.Session.register_module s "urn:once"
+          {|declare namespace o = "urn:once";
+            declare function o:f() { 1 };|};
+        ignore (Xqse.Session.eval s {|import module namespace o = "urn:once"; o:f()|});
+        (* a second import must not re-register (which would raise
+           XQST0034 on the duplicate function) *)
+        check_string "second import" "1"
+          (Xqse.Session.eval_to_string s
+             {|import module namespace o = "urn:once"; o:f()|}));
+    case "modules may import modules" (fun () ->
+        let s = Xqse.Session.create () in
+        Xqse.Session.register_module s "urn:base"
+          {|declare namespace b = "urn:base";
+            declare function b:one() { 1 };|};
+        Xqse.Session.register_module s "urn:mid"
+          {|import module namespace b = "urn:base";
+            declare namespace mid = "urn:mid";
+            declare function mid:two() { b:one() + 1 };|};
+        check_string "chained" "2"
+          (Xqse.Session.eval_to_string s
+             {|import module namespace mid = "urn:mid"; mid:two()|}));
+    case "importing an unregistered module fails with XQST0059" (fun () ->
+        let s = Xqse.Session.create () in
+        match Xqse.Session.eval s {|import module namespace x = "urn:nope"; 1|} with
+        | _ -> Alcotest.fail "expected XQST0059"
+        | exception Xdm.Item.Error { code; _ } ->
+          check_string "code" "XQST0059" code.Xdm.Qname.local);
+    case "module may contain XQSE procedures" (fun () ->
+        let s = Xqse.Session.create () in
+        Xqse.Session.register_module s "urn:procs"
+          {|declare namespace p = "urn:procs";
+            declare readonly procedure p:triple($x as xs:integer) as xs:integer {
+              declare $r := 0;
+              iterate $i over 1 to 3 { set $r := $r + $x; }
+              return value $r;
+            };|};
+        check_string "proc" "15"
+          (Xqse.Session.eval_to_string s
+             {|import module namespace p = "urn:procs"; p:triple(5)|}));
+  ]
+
+let suites =
+  [
+    ("pretty.roundtrip", roundtrip_tests @ prop_roundtrip);
+    ("pretty.xqse-roundtrip", xqse_roundtrip_tests);
+    ("modules", module_tests);
+  ]

@@ -1,0 +1,171 @@
+(* A targeted matrix of XQuery semantic corners: the casting table,
+   atomization, focus rules, axis semantics, constructor details and
+   general-comparison coercion — the cases conformance suites poke at. *)
+
+open Util
+
+let casting_matrix =
+  [
+    (* string <-> numerics *)
+    q "string->integer trims" "42" "xs:integer('  42  ')";
+    q "integer->string" "42" "xs:string(42)";
+    q "string->decimal" "1.5" "string(xs:decimal('1.5'))";
+    q "decimal->integer truncates" "1" "xs:integer(1.9)";
+    q "negative decimal->integer truncates toward zero" "-1" "xs:integer(-1.9)";
+    q "double->integer" "3" "xs:integer(3.7e0)";
+    q_err "INF->integer fails" "FORG0001" "xs:integer(xs:double('INF'))";
+    q_err "NaN->integer fails" "FORG0001" "xs:integer(number('x'))";
+    q "boolean->integer" "1 0" "(xs:integer(true()), xs:integer(false()))";
+    q "integer->boolean" "true false" "(xs:boolean(7), xs:boolean(0))";
+    q "double NaN->boolean is false" "false" "xs:boolean(number('x'))";
+    q_err "string 'yes'->boolean fails" "FORG0001" "xs:boolean('yes')";
+    q "untyped follows string rules" "5" "xs:integer(data(<a>5</a>))";
+    q "anyURI from string trims" "urn:x" "string(xs:anyURI(' urn:x '))";
+    q "untypedAtomic round trips anything" "1.25"
+      "string(xs:untypedAtomic(1.25))";
+    q "dateTime->date drops time" "2007-12-12"
+      "string(xs:date(xs:dateTime('2007-12-12T10:30:00')))";
+    q "date->dateTime adds midnight" "2007-12-12T00:00:00"
+      "string(xs:dateTime(xs:date('2007-12-12')))";
+    q "dateTime->time keeps time" "10:30:00"
+      "string(xs:time(xs:dateTime('2007-12-12T10:30:00')))";
+    q_err "date->integer undefined" "FORG0001"
+      "xs:integer(xs:date('2007-01-01'))";
+    q_err "integer->date undefined" "FORG0001" "xs:date(20070101)";
+    q "identity casts" "true true true"
+      "(xs:integer(1) instance of xs:integer,
+        xs:string('a') instance of xs:string,
+        xs:boolean(true()) instance of xs:boolean)";
+  ]
+
+let atomization_tests =
+  [
+    q "data of element with mixed content concatenates" "a1b"
+      "string(data(<e>a<i>1</i>b</e>))";
+    q "atomization in arithmetic" "3" "<a>1</a> + <b>2</b>";
+    q "atomization in function args" "2" "string-length(<a>hi</a>)";
+    q "attributes atomize to their value" "5"
+      "(<e n='5'/>)/@n + 0";
+    q "comment takes no typed value" "0" "count(data((<a><!--x--></a>)/comment()))";
+    q "document node atomizes to full text" "abc"
+      "string(data(document { <r>a<x>b</x>c</r> }))";
+    q "empty element atomizes to empty string" "0"
+      "string-length(data(<e/>))";
+  ]
+
+let focus_tests =
+  [
+    q "predicate focus is the candidate item" "2 4"
+      "(1 to 4)[. mod 2 eq 0]";
+    q "position resets per predicate" "1"
+      "count((1 to 10)[. gt 5][position() eq 1])";
+    q "last() in nested predicate" "10"
+      "(1 to 10)[position() eq last()]";
+    q "path steps rebind focus" "b"
+      "local-name((<r><a/><b/></r>)/*[2])";
+    q "FLWOR does not change focus" "outer"
+      "string((<o>outer</o>)[(for $i in (1) return string(.)) eq 'outer'])";
+    q "predicate over attribute axis" "1"
+      "count((<e a='1' b='2'/>)/@*[. eq '1'])";
+    q_err "context size without focus" "XPDY0002" "last()";
+  ]
+
+let axis_semantics =
+  [
+    q "self on attribute" "1" "count((<e a='1'/>)/@a/self::node())";
+    q "parent of attribute is the element" "e"
+      "local-name((<e a='1'/>)/@a/..)";
+    q "descendant excludes self" "2" "count((<a><b><c/></b></a>)/descendant::*)";
+    q "descendant-or-self includes self" "3"
+      "count((<a><b><c/></b></a>)/descendant-or-self::*)";
+    q "ancestor-or-self from leaf" "3"
+      "count((<a><b><c/></b></a>)//c/ancestor-or-self::*)";
+    q "following axis skips descendants" "c d"
+      "string-join(for $n in (<r><a><b/></a><c><d/></c></r>)//a/following::* return local-name($n), ' ')";
+    q "preceding axis excludes ancestors" "a b"
+      "string-join(for $n in (<r><a><b/></a><c/></r>)//c/preceding::* return local-name($n), ' ')";
+    q "attribute axis only finds attributes" "0"
+      "count((<e><a/></e>)/@a)";
+    q "child axis never finds attributes" "0"
+      "count((<e a='1'/>)/a)";
+    q "kind test on axis" "1" "count((<e>t<!--c--></e>)/child::comment())";
+    q "reverse axis positional semantics" "b"
+      "local-name((<a><b><c/></b></a>)//c/ancestor::*[1])";
+    q "union across axes in doc order" "a b"
+      "string-join(for $n in (let $r := <r><a/><b/><c/></r> return ($r/c/preceding-sibling::* | $r/b)) return local-name($n), ' ')";
+  ]
+
+let comparison_coercion =
+  [
+    q "untyped = integer compares numerically" "true" "data(<a>07</a>) = 7";
+    q "untyped = string compares textually" "false" "data(<a>07</a>) = '7'";
+    q "untyped = untyped compares textually" "false"
+      "data(<a>07</a>) = data(<b>7</b>)";
+    q "untyped = boolean coerces to boolean-ish string" "true"
+      "data(<a>true</a>) = 'true'";
+    q "numeric promotion in general comparison" "true" "1 = 1.0";
+    q "general comparison over two sequences" "true"
+      "(1, 2, 3) = (3, 4, 5)";
+    q "general < is existential both sides" "true" "(5, 1) < (2)";
+    q "value comparisons require singletons" "true"
+      "(1, 2)[1] eq 1";
+    q "eq between doubles and decimals" "true" "1.5e0 eq 1.5";
+    q "string comparison is codepoint" "true" "'B' lt 'a'";
+  ]
+
+let constructor_corners =
+  [
+    q "attribute value normalizes sequence with spaces" "<a x=\"1 2 3\"/>"
+      "<a x='{1, 2, 3}'/>";
+    q "constructed attributes stringify dates" "2007-12-12"
+      "string((<e d='{current-date()}'/>)/@d)";
+    q "adjacent atomics in content get one space" "<s>1 2</s>"
+      "<s>{1}{' '}{2}</s>";
+    q "consecutive enclosed exprs no space between nodes" "<s><a/><b/></s>"
+      "<s>{<a/>}{<b/>}</s>";
+    q "copied nodes lose their parent" "true"
+      "empty((<w>{(<o><i/></o>)/i}</w>)/i/parent::o)";
+    q "constructed element has no parent" "1"
+      "count((<a/>)/ancestor-or-self::*)";
+    q "computed element over constructed content" "<x><y>1</y></x>"
+      "element x { element y { 1 } }";
+    q "text nodes merge in construction" "1"
+      "count((<t>{'a'}{'b'}</t>)/text())";
+    q "document constructor wraps children" "true"
+      "(document { <r/> }) instance of document-node()";
+    q "nested doc order after construction" "a b c"
+      "string-join(for $n in (<r><a/><b/><c/></r>)/* return local-name($n), ' ')";
+  ]
+
+let flwor_semantics =
+  [
+    q "let evaluates once (node identity)" "true"
+      "let $n := <a/> return $n is $n";
+    q "for re-evaluates per binding" "false"
+      "let $s := (for $i in (1, 2) return <a/>) return $s[1] is $s[2]";
+    q "order by with untyped keys compares as strings" "10 9"
+      "for $x in (<v>9</v>, <v>10</v>) order by $x return string($x)";
+    q "order by with numeric keys compares numerically" "9 10"
+      "for $x in (<v>9</v>, <v>10</v>) order by xs:integer($x) return string($x)";
+    q "where evaluated per tuple" "9"
+      "sum(for $x in 1 to 5 for $y in 1 to 5 where $x eq $y and $x gt 3 return $x)";
+    q "positional var tracks binding order not values" "1 2 3"
+      "for $x at $i in ('c', 'b', 'a') return $i";
+    q "quantifier binds fresh variables" "true"
+      "let $x := 99 return (some $x in (1, 2) satisfies $x eq 2) and $x eq 99";
+    q "nested FLWOR over outer variable" "1 2 2 4"
+      "for $x in (1, 2) return (for $y in (1, 2) return $x * $y)";
+    q "empty for short-circuits return" "0"
+      "count(for $x in () return error(xs:QName('NEVER')))";
+  ]
+
+let suites =
+  [
+    ("semantics.casting", casting_matrix);
+    ("semantics.atomization", atomization_tests);
+    ("semantics.focus", focus_tests);
+    ("semantics.axes", axis_semantics);
+    ("semantics.comparison", comparison_coercion);
+    ("semantics.constructors", constructor_corners);
+    ("semantics.flwor", flwor_semantics);
+  ]

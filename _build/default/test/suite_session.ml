@@ -1,0 +1,135 @@
+(* Session persistence: library variables, globals across programs, and
+   optimizer equivalence at the XQSE statement level. *)
+
+open Util
+open Core
+
+let persistence_tests =
+  [
+    case "library variables persist as globals" (fun () ->
+        let s = Xqse.Session.create () in
+        Xqse.Session.load_library s "declare variable $base := 100;";
+        check_string "read" "101" (Xqse.Session.eval_to_string s "$base + 1");
+        check_string "again" "200" (Xqse.Session.eval_to_string s "$base * 2"));
+    case "library variables may depend on library functions" (fun () ->
+        let s = Xqse.Session.create () in
+        Xqse.Session.load_library s
+          {|declare function local:five() { 5 };
+            declare variable $ten := local:five() * 2;|};
+        check_string "value" "10" (Xqse.Session.eval_to_string s "$ten"));
+    case "later libraries see earlier globals" (fun () ->
+        let s = Xqse.Session.create () in
+        Xqse.Session.load_library s "declare variable $a := 3;";
+        Xqse.Session.load_library s "declare variable $b := $a * 3;";
+        check_string "chained" "9" (Xqse.Session.eval_to_string s "$b"));
+    case "XQSE procedures read session globals" (fun () ->
+        let s = Xqse.Session.create () in
+        Xqse.Session.load_library s
+          {|declare variable $rate := 2;
+            declare readonly procedure local:scale($x as xs:integer) as xs:integer {
+              return value $x * $rate;
+            };|};
+        check_string "uses global" "14" (Xqse.Session.eval_to_string s "local:scale(7)"));
+    case "per-program declarations do not leak into the session" (fun () ->
+        let s = Xqse.Session.create () in
+        ignore
+          (Xqse.Session.eval s
+             "declare function local:tmp() { 1 }; local:tmp()");
+        match Xqse.Session.eval s "local:tmp()" with
+        | _ -> Alcotest.fail "expected XPST0017"
+        | exception Xdm.Item.Error { code; _ } ->
+          check_string "code" "XPST0017" code.Xdm.Qname.local);
+    case "external library variable is rejected" (fun () ->
+        let s = Xqse.Session.create () in
+        match Xqse.Session.load_library s "declare variable $x external;" with
+        | () -> Alcotest.fail "expected error"
+        | exception Xdm.Item.Error { code; _ } ->
+          check_string "code" "XPDY0002" code.Xdm.Qname.local);
+    case "program-level variables override nothing permanently" (fun () ->
+        let s = Xqse.Session.create () in
+        Xqse.Session.load_library s "declare variable $v := 1;";
+        check_string "shadowed inside program" "2"
+          (Xqse.Session.eval_to_string s "declare variable $w := $v + 1; $w");
+        check_string "original survives" "1" (Xqse.Session.eval_to_string s "$v"));
+  ]
+
+(* XQSE programs evaluated with and without the optimizer must agree —
+   exercises the statement-level optimization path of Session. *)
+let xqse_equivalence_programs =
+  [
+    {| {
+      declare $sum := 0;
+      iterate $x over (for $i in 1 to 20 where $i mod 3 eq 0 return $i) {
+        set $sum := $sum + $x;
+      }
+      return value $sum;
+    } |};
+    {| {
+      declare $hits := 0;
+      iterate $a over (<r><k>1</k></r>, <r><k>2</k></r>, <r><k>3</k></r>) {
+        declare $matches := (for $b in (<s><k>2</k></s>, <s><k>3</k></s>)
+                             where $a/k eq $b/k return $b);
+        set $hits := $hits + count($matches);
+      }
+      return value $hits;
+    } |};
+    {| {
+      declare $r := "";
+      if (1 + 1 eq 2) then set $r := concat("a", "b") else set $r := "no";
+      while (string-length($r) lt 6) { set $r := concat($r, "c"); }
+      return value $r;
+    } |};
+    {|
+declare function local:gen($n as xs:integer) as element(v)* {
+  for $i in 1 to $n return <v>{$i}</v>
+};
+{
+  declare $total := 0;
+  iterate $v over local:gen(10) {
+    if (xs:integer($v) mod 2 eq 0) then continue();
+    set $total := $total + xs:integer($v);
+  }
+  return value $total;
+} |};
+  ]
+
+let equivalence_tests =
+  List.mapi
+    (fun i src ->
+      case (Printf.sprintf "optimized session = unoptimized session #%d" i)
+        (fun () ->
+          let on = Xqse.Session.create ~optimize:true () in
+          let off = Xqse.Session.create ~optimize:false () in
+          check_string "agree"
+            (Xqse.Session.eval_to_string off src)
+            (Xqse.Session.eval_to_string on src)))
+    xqse_equivalence_programs
+  @ [
+      prop "random XQSE accumulator loops agree across optimizer settings"
+        ~count:40
+        QCheck.(triple (int_range 1 30) (int_range 1 5) (int_range 0 4))
+        (fun (n, step, threshold) ->
+          let src =
+            Printf.sprintf
+              {| {
+                declare $acc := 0, $i := 0;
+                while ($i lt %d) {
+                  set $i := $i + %d;
+                  if ($i mod 5 lt %d) then continue();
+                  set $acc := $acc + $i;
+                }
+                return value $acc;
+              } |}
+              n step threshold
+          in
+          let on = Xqse.Session.create ~optimize:true () in
+          let off = Xqse.Session.create ~optimize:false () in
+          Xqse.Session.eval_to_string on src
+          = Xqse.Session.eval_to_string off src);
+    ]
+
+let suites =
+  [
+    ("session.persistence", persistence_tests);
+    ("session.opt-equivalence", equivalence_tests);
+  ]

@@ -1,0 +1,115 @@
+(* Golden SQL: the exact statements decomposition generates for each
+   change kind, under a fixed fixture — pins the update-plan shapes the
+   paper's section II.C describes. *)
+
+open Util
+open Core
+module R = Relational
+module F = Fixtures.Customer_profile
+
+let plan_for ?(policy = Aldsp.Occ.Updated_values) mutate =
+  let env = F.make ~customers:1 () in
+  let dg = F.get_profile_by_id env "007" in
+  mutate env dg;
+  (* plan without executing: use the planner directly *)
+  let dg = Sdo.parse (Sdo.serialize dg) in
+  match Aldsp.Dataspace.lineage_of env.F.ds env.F.svc with
+  | Error m -> Alcotest.fail m
+  | Ok lineage ->
+    Aldsp.Decompose.plan_to_strings
+      (Aldsp.Decompose.plan
+         ~lookup_table:(fun ~db ~table ->
+           R.Database.table (Aldsp.Dataspace.database env.F.ds db) table)
+         ~policy ~lineage dg)
+
+let golden name expected ?policy mutate =
+  case name (fun () ->
+      Alcotest.(check (list string)) name expected (plan_for ?policy mutate))
+
+let tests =
+  [
+    golden "root leaf update, updated-values policy"
+      [
+        "db1: UPDATE CUSTOMER SET LAST_NAME = 'Carey' WHERE (CID = '007' AND \
+         LAST_NAME = 'Carrey')";
+      ]
+      (fun _env dg -> Sdo.set_leaf dg 1 [ ("LAST_NAME", 1) ] "Carey");
+    golden "root leaf update, read-values policy"
+      [
+        "db1: UPDATE CUSTOMER SET LAST_NAME = 'Carey' WHERE (CID = '007' AND \
+         ((CID = '007' AND LAST_NAME = 'Carrey') AND FIRST_NAME = 'James'))";
+      ]
+      ~policy:Aldsp.Occ.Read_values
+      (fun _env dg -> Sdo.set_leaf dg 1 [ ("LAST_NAME", 1) ] "Carey");
+    golden "root leaf update, chosen-subset policy"
+      [
+        "db1: UPDATE CUSTOMER SET LAST_NAME = 'Carey' WHERE (CID = '007' AND \
+         CID = '007')";
+      ]
+      ~policy:(Aldsp.Occ.Chosen [ "CID" ])
+      (fun _env dg -> Sdo.set_leaf dg 1 [ ("LAST_NAME", 1) ] "Carey");
+    golden "two leaves of one row collapse into one SET list"
+      [
+        "db1: UPDATE CUSTOMER SET LAST_NAME = 'Carey', FIRST_NAME = 'Jim' \
+         WHERE (CID = '007' AND (LAST_NAME = 'Carrey' AND FIRST_NAME = \
+         'James'))";
+      ]
+      (fun _env dg ->
+        Sdo.set_leaf dg 1 [ ("LAST_NAME", 1) ] "Carey";
+        Sdo.set_leaf dg 1 [ ("FIRST_NAME", 1) ] "Jim");
+    golden "nested leaf routes to the child table with renamed column"
+      [
+        "db1: UPDATE ORDERS SET TOTAL_ORDER_AMOUNT = 7.5 WHERE (OID = 900001 \
+         AND TOTAL_ORDER_AMOUNT = 42.5)";
+      ]
+      (fun _env dg ->
+        Sdo.set_leaf dg 1 (Sdo.path_of_string "Orders/ORDERS[1]/TOTAL") "7.5");
+    golden "element delete conditions on the old row"
+      [ "db1: DELETE FROM ORDERS WHERE (OID = 900001 AND 1=1)" ]
+      (fun _env dg ->
+        Sdo.delete_element dg 1 (Sdo.path_of_string "Orders/ORDERS[1]"));
+    golden "element insert fills the parent link column"
+      [
+        "db1: INSERT INTO ORDERS (CID, OID, STATUS) VALUES ('007', 5555, \
+         'NEW')";
+      ]
+      (fun _env dg ->
+        Sdo.insert_element dg 1 [ ("Orders", 1) ]
+          (List.hd
+             (Xdm.Xml_parse.parse_fragment
+                "<ORDERS><OID>5555</OID><STATUS>NEW</STATUS></ORDERS>")));
+    golden "object delete removes children before the root"
+      [
+        "db1: DELETE FROM ORDERS WHERE (OID = 900001 AND 1=1)";
+        "db2: DELETE FROM CREDIT_CARD WHERE (CCID = 900001 AND 1=1)";
+        "db1: DELETE FROM CUSTOMER WHERE (CID = '007' AND 1=1)";
+      ]
+      (fun _env dg -> Sdo.delete_object dg 1);
+    golden "object create inserts root first, then nested rows"
+      [
+        "db1: INSERT INTO CUSTOMER (CID, LAST_NAME, FIRST_NAME) VALUES \
+         ('N1', 'Nu', 'Na')";
+        "db1: INSERT INTO ORDERS (OID, CID, STATUS) VALUES (7777, 'N1', \
+         'OPEN')";
+      ]
+      (fun _env dg ->
+        Sdo.add_object dg
+          (List.hd
+             (Xdm.Xml_parse.parse_fragment
+                {|<p:CustomerProfile xmlns:p="ld:CustomerProfile"><CID>N1</CID><LAST_NAME>Nu</LAST_NAME><FIRST_NAME>Na</FIRST_NAME><Orders><ORDERS><OID>7777</OID><CID>N1</CID><STATUS>OPEN</STATUS></ORDERS></Orders><CreditCards/></p:CustomerProfile>|})));
+    golden "cross-database change emits one statement per source"
+      [
+        "db1: UPDATE CUSTOMER SET LAST_NAME = 'Carey' WHERE (CID = '007' AND \
+         LAST_NAME = 'Carrey')";
+        "db2: UPDATE CREDIT_CARD SET CC_BRAND = 'AMEX' WHERE (CCID = 900001 \
+         AND CC_BRAND = 'VISA')";
+      ]
+      (fun _env dg ->
+        Sdo.set_leaf dg 1 [ ("LAST_NAME", 1) ] "Carey";
+        Sdo.set_leaf dg 1
+          (Sdo.path_of_string "CreditCards/CREDIT_CARD[1]/BRAND")
+          "AMEX");
+    golden "no changes, no SQL" [] (fun _env _dg -> ());
+  ]
+
+let suites = [ ("sqlgen.golden", tests) ]

@@ -1,0 +1,157 @@
+(* Dates, times and durations: casting, comparison, arithmetic and the
+   component-extraction functions. *)
+
+open Util
+
+let duration_cast_tests =
+  [
+    q "parse full duration" "P1Y2M3DT4H5M6S"
+      "string(xs:duration('P1Y2M3DT4H5M6S'))";
+    q "canonical form normalizes" "P1Y1M" "string(xs:yearMonthDuration('P13M'))";
+    q "dayTime canonicalization" "P1DT1M" "string(xs:dayTimeDuration('PT1441M'))";
+    q "zero duration" "PT0S" "string(xs:dayTimeDuration('PT0S'))";
+    q "negative duration" "-P2DT12H" "string(xs:dayTimeDuration('-P2DT12H'))";
+    q "fractional seconds" "PT1.5S" "string(xs:dayTimeDuration('PT1.5S'))";
+    q "cast duration to yearMonth keeps months" "P1Y2M"
+      "string(xs:yearMonthDuration(xs:duration('P1Y2M3D')))";
+    q "cast duration to dayTime keeps days" "P3D"
+      "string(xs:dayTimeDuration(xs:duration('P1Y2M3D')))";
+    q_err "yearMonthDuration rejects day fields" "FORG0001"
+      "xs:yearMonthDuration('P1D')";
+    q_err "dayTimeDuration rejects month fields" "FORG0001"
+      "xs:dayTimeDuration('P1M')";
+    q_err "garbage duration" "FORG0001" "xs:duration('1 year')";
+    q "duration type hierarchy" "true true"
+      "(xs:dayTimeDuration('P1D') instance of xs:duration,
+        xs:yearMonthDuration('P1Y') instance of xs:duration)";
+  ]
+
+let duration_compare_tests =
+  [
+    q "dayTime comparison" "true"
+      "xs:dayTimeDuration('P1D') lt xs:dayTimeDuration('PT25H')";
+    q "yearMonth comparison" "true"
+      "xs:yearMonthDuration('P11M') lt xs:yearMonthDuration('P1Y')";
+    q "equal mixed durations" "true"
+      "xs:duration('P1Y1D') eq xs:duration('P12M1D')";
+    q_err "ordering mixed durations is an error" "XPTY0004"
+      "xs:duration('P1Y') lt xs:duration('P400D')";
+  ]
+
+let date_arith_tests =
+  [
+    q "date + dayTimeDuration" "2007-12-15"
+      "string(xs:date('2007-12-12') + xs:dayTimeDuration('P3D'))";
+    q "date + yearMonthDuration" "2008-02-12"
+      "string(xs:date('2007-12-12') + xs:yearMonthDuration('P2M'))";
+    q "end-of-month clamping" "2007-02-28"
+      "string(xs:date('2007-01-31') + xs:yearMonthDuration('P1M'))";
+    q "leap-year clamping" "2008-02-29"
+      "string(xs:date('2008-01-31') + xs:yearMonthDuration('P1M'))";
+    q "date - duration" "2007-11-30"
+      "string(xs:date('2007-12-02') - xs:dayTimeDuration('P2D'))";
+    q "date crossing a year boundary" "2008-01-01"
+      "string(xs:date('2007-12-31') + xs:dayTimeDuration('P1D'))";
+    q "date - date" "P30D"
+      "string(xs:date('2007-12-31') - xs:date('2007-12-01'))";
+    q "date differences can be negative" "-P1D"
+      "string(xs:date('2007-12-01') - xs:date('2007-12-02'))";
+    q "dateTime + hours crosses midnight" "2007-12-13T01:30:00"
+      "string(xs:dateTime('2007-12-12T23:30:00') + xs:dayTimeDuration('PT2H'))";
+    q "dateTime - dateTime" "PT1H30M"
+      "string(xs:dateTime('2007-12-12T12:30:00') - xs:dateTime('2007-12-12T11:00:00'))";
+    q "time + duration wraps" "00:30:00"
+      "string(xs:time('23:30:00') + xs:dayTimeDuration('PT1H'))";
+    q "time - time" "PT2H" "string(xs:time('14:00:00') - xs:time('12:00:00'))";
+    q "duration + duration" "P3DT1H"
+      "string(xs:dayTimeDuration('P2DT23H') + xs:dayTimeDuration('PT2H'))";
+    q "duration * number" "P2DT12H"
+      "string(xs:dayTimeDuration('P1DT6H') * 2)";
+    q "duration div number" "PT12H" "string(xs:dayTimeDuration('P1D') div 2)";
+    q "duration div duration" "1.5"
+      "string(xs:dayTimeDuration('PT3H') div xs:dayTimeDuration('PT2H'))";
+    q_err "date + date is undefined" "XPTY0004"
+      "xs:date('2007-01-01') + xs:date('2007-01-02')";
+    q_err "duration div zero" "FOAR0001"
+      "xs:dayTimeDuration('P1D') div 0";
+    q "yearMonthDuration arithmetic" "P2Y"
+      "string(xs:yearMonthDuration('P18M') + xs:yearMonthDuration('P6M'))";
+  ]
+
+let component_tests =
+  [
+    q "year/month/day from date" "2007 12 12"
+      "(year-from-date(current-date()), month-from-date(current-date()), day-from-date(current-date()))";
+    q "components of dateTime" "2007 12 12"
+      "(year-from-dateTime(current-dateTime()), month-from-dateTime(current-dateTime()), day-from-dateTime(current-dateTime()))";
+    q "hours/minutes from time" "14 30"
+      "(hours-from-time(xs:time('14:30:15')), minutes-from-time(xs:time('14:30:15')))";
+    q "seconds-from-time is decimal" "15.5"
+      "string(seconds-from-time(xs:time('14:30:15.5')))";
+    q "duration components" "1 2 3 4 5 6"
+      "(years-from-duration(xs:duration('P1Y2M3DT4H5M6S')),
+        months-from-duration(xs:duration('P1Y2M3DT4H5M6S')),
+        days-from-duration(xs:duration('P1Y2M3DT4H5M6S')),
+        hours-from-duration(xs:duration('P1Y2M3DT4H5M6S')),
+        minutes-from-duration(xs:duration('P1Y2M3DT4H5M6S')),
+        seconds-from-duration(xs:duration('P1Y2M3DT4H5M6S')))";
+    q "components of empty are empty" "0" "count(year-from-date(()))";
+  ]
+
+let temporal_query_tests =
+  [
+    q "order ages in the data-service style" "31 16 1"
+      "for $o in (<O><D>2007-11-30</D></O>, <O><D>2007-12-15</D></O>, <O><D>2007-12-30</D></O>)
+       return days-from-duration(xs:date('2007-12-31') - xs:date($o/D))";
+    q "filter by date window" "2"
+      "count(for $d in (xs:date('2007-11-01'), xs:date('2007-12-05'), xs:date('2007-12-20'))
+             where $d gt xs:date('2007-12-01') return $d)";
+    q "sort by date" "2007-01-01 2007-06-15 2007-12-31"
+      "for $d in (xs:date('2007-12-31'), xs:date('2007-01-01'), xs:date('2007-06-15'))
+       order by $d return string($d)";
+    case "durations work in XQSE statements" (fun () ->
+        check_string "xqse" "P10D"
+          (xqse
+             {| {
+               declare $total := xs:dayTimeDuration('PT0S');
+               iterate $d over (xs:dayTimeDuration('P3D'), xs:dayTimeDuration('P7D')) {
+                 set $total := $total + $d;
+               }
+               return value string($total);
+             } |}));
+  ]
+
+let prop_tests =
+  [
+    prop "date plus N days minus N days is the identity"
+      QCheck.(pair (int_range 0 3000) (int_range (-2000) 2000))
+      (fun (offset, delta) ->
+        let base =
+          Printf.sprintf
+            "xs:date('2000-01-01') + xs:dayTimeDuration('P%dD')" offset
+        in
+        let src =
+          Printf.sprintf
+            "string((%s + xs:dayTimeDuration('P%dD')) - xs:dayTimeDuration('P%dD')) eq string(%s)"
+            base (abs delta) (abs delta) base
+        in
+        xq src = "true");
+    prop "date difference inverts date addition"
+      QCheck.(int_range 1 1000)
+      (fun days ->
+        let src =
+          Printf.sprintf
+            "days-from-duration((xs:date('2005-03-01') + xs:dayTimeDuration('P%dD')) - xs:date('2005-03-01'))"
+            days
+        in
+        xq src = string_of_int days);
+  ]
+
+let suites =
+  [
+    ("temporal.duration-cast", duration_cast_tests);
+    ("temporal.duration-compare", duration_compare_tests);
+    ("temporal.arith", date_arith_tests);
+    ("temporal.components", component_tests);
+    ("temporal.queries", temporal_query_tests @ prop_tests);
+  ]

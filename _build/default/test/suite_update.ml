@@ -1,0 +1,143 @@
+(* The XQuery Update Facility subset: transform expressions (pure
+   XQuery), update statements (XQSE snapshots), and pending-update-list
+   semantics. *)
+
+open Util
+open Core
+
+let transform_tests =
+  [
+    q "replace value of" "<a><b>9</b></a>"
+      "copy $c := <a><b>1</b></a> modify replace value of node $c/b with 9 return $c";
+    q "replace node" "<a><c/></a>"
+      "copy $c := <a><b/></a> modify replace node $c/b with <c/> return $c";
+    q "replace attribute value" "<a x=\"2\"/>"
+      "copy $c := <a x='1'/> modify replace value of node $c/@x with 2 return $c";
+    q "insert into appends" "<a><b/><c/></a>"
+      "copy $c := <a><b/></a> modify insert node <c/> into $c return $c";
+    q "insert as first" "<a><c/><b/></a>"
+      "copy $c := <a><b/></a> modify insert node <c/> as first into $c return $c";
+    q "insert as last" "<a><b/><c/></a>"
+      "copy $c := <a><b/></a> modify insert node <c/> as last into $c return $c";
+    q "insert before" "<a><c/><b/></a>"
+      "copy $c := <a><b/></a> modify insert node <c/> before $c/b return $c";
+    q "insert after" "<a><b/><c/></a>"
+      "copy $c := <a><b/></a> modify insert node <c/> after $c/b return $c";
+    q "insert attribute node" "<a x=\"1\"/>"
+      "copy $c := <a/> modify insert node attribute x { 1 } into $c return $c";
+    q "insert multiple nodes" "<a><b/><x/><y/></a>"
+      "copy $c := <a><b/></a> modify insert nodes (<x/>, <y/>) into $c return $c";
+    q "delete node" "<a><c/></a>"
+      "copy $c := <a><b/><c/></a> modify delete node $c/b return $c";
+    q "delete nodes plural" "<a/>"
+      "copy $c := <a><b/><b/></a> modify delete nodes $c/b return $c";
+    q "rename node" "<z>1</z>"
+      "copy $c := <a>1</a> modify rename node $c as z return $c";
+    q "rename with computed name" "<n5/>"
+      "copy $c := <a/> modify rename node $c as { concat('n', 5) } return $c";
+    q "copy is deep: source unchanged" "<a><b>1</b></a>"
+      "let $orig := <a><b>1</b></a>
+       let $new := (copy $c := $orig modify replace value of node $c/b with 2 return $c)
+       return $orig";
+    q "multiple copy variables" "<p><q>2</q></p>"
+      "copy $x := <p><q>1</q></p>, $y := <z/> modify replace value of node $x/q with 2 return $x";
+    q "snapshot semantics: modifications invisible during modify" "<a><b>1</b><c>1</c></a>"
+      "copy $c := <a><b>1</b></a>
+       modify insert node <c>{string($c/b)}</c> into $c
+       return $c";
+    q "compound modify with comma" "<a><b>2</b><c/></a>"
+      "copy $c := <a><b>1</b></a>
+       modify (replace value of node $c/b with 2, insert node <c/> into $c)
+       return $c";
+    q_err "updating expression outside snapshot" "XUST0001"
+      "delete node <a/>";
+    q_err "two replaces of the same node" "XUDY0017"
+      "copy $c := <a><b>1</b></a>
+       modify (replace value of node $c/b with 2, replace value of node $c/b with 3)
+       return $c";
+    q_err "modify clause must be updating" "XUST0001"
+      "copy $c := <a/> modify 42 return $c";
+  ]
+
+let update_statement_tests =
+  [
+    s "update statement applies and is visible" "<a><b>2</b></a>"
+      "declare variable $d := <a><b>1</b></a>;
+       { replace value of node $d/b with 2;
+         return value $d; }";
+    s "consecutive statements see prior effects" "3"
+      "declare variable $d := <a><b>1</b></a>;
+       { replace value of node $d/b with 2;
+         replace value of node $d/b with xs:integer($d/b) + 1;
+         return value xs:integer($d/b); }";
+    s "insert statement" "2"
+      "declare variable $d := <a><b/></a>;
+       { insert node <b/> into $d;
+         return value count($d/b); }";
+    s "delete statement" "0"
+      "declare variable $d := <a><b/></a>;
+       { delete node $d/b;
+         return value count($d/b); }";
+    s "rename statement" "z"
+      "declare variable $d := <a><b/></a>;
+       { rename node $d/b as z;
+         return value local-name($d/*); }";
+    s "snapshot: one statement, one application" "1|2"
+      "declare variable $d := <a><b>1</b></a>;
+       { declare $before := string($d/b);
+         replace value of node $d/b with 2;
+         return value concat($before, '|', string($d/b)); }";
+  ]
+
+let pul_tests =
+  let open Xdm in
+  [
+    case "apply ordering: inserts before deletes" (fun () ->
+        (* delete b and insert c in one snapshot: both happen *)
+        let doc = Xml_parse.parse "<a><b/></a>" in
+        let a = List.hd (Node.children doc) in
+        let b = List.hd (Node.children a) in
+        Xquery.Update.apply
+          [
+            Xquery.Update.Delete_node b;
+            Xquery.Update.Insert_into (a, [ Node.element (Qname.local "c") [] ]);
+          ];
+        check_string "result" "<a><c/></a>" (Xml_serialize.to_string a));
+    case "replace then rename different nodes" (fun () ->
+        let a = Xml_parse.parse_fragment "<a><b>1</b><c/></a>" |> List.hd in
+        let b = List.hd (Node.children a) in
+        let c = List.nth (Node.children a) 1 in
+        Xquery.Update.apply
+          [
+            Xquery.Update.Replace_value (b, "9");
+            Xquery.Update.Rename_node (c, Qname.local "d");
+          ];
+        check_string "result" "<a><b>9</b><d/></a>" (Xml_serialize.to_string a));
+    case "duplicate rename rejected" (fun () ->
+        let a = Xml_parse.parse_fragment "<a/>" |> List.hd in
+        check_bool "raises" true
+          (match
+             Xquery.Update.apply
+               [
+                 Xquery.Update.Rename_node (a, Qname.local "x");
+                 Xquery.Update.Rename_node (a, Qname.local "y");
+               ]
+           with
+          | () -> false
+          | exception Item.Error { code; _ } -> code.Qname.local = "XUDY0015"));
+    case "insert attributes primitive" (fun () ->
+        let a = Xml_parse.parse_fragment "<a/>" |> List.hd in
+        Xquery.Update.apply
+          [
+            Xquery.Update.Insert_attributes
+              (a, [ Node.attribute (Qname.local "k") "v" ]);
+          ];
+        check_bool "attr" true (Node.attribute_value a (Qname.local "k") = Some "v"));
+  ]
+
+let suites =
+  [
+    ("xuf.transform", transform_tests);
+    ("xuf.update-statement", update_statement_tests);
+    ("xuf.pul", pul_tests);
+  ]

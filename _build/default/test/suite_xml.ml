@@ -1,0 +1,268 @@
+(* XML parsing, serialization, round trips, and the schema subset. *)
+
+open Core.Xdm
+open Util
+
+let parse_one src =
+  match Node.children (Xml_parse.parse src) with
+  | [ root ] -> root
+  | _ -> Alcotest.fail "expected one root element"
+
+let roundtrip src = Xml_serialize.to_string (parse_one src)
+
+let rt name src = case name (fun () -> check_string src src (roundtrip src))
+
+let parse_tests =
+  [
+    rt "simple element" "<a/>";
+    rt "nested with text" "<a><b>hi</b><c/></a>";
+    rt "attributes" {|<a x="1" y="two"/>|};
+    rt "escapes in text" "<a>1 &lt; 2 &amp; 3 &gt; 2</a>";
+    rt "escapes in attribute" {|<a x="say &quot;hi&quot; &amp; bye"/>|};
+    case "predefined entities decode" (fun () ->
+        check_string "sv" "<&>'\""
+          (Node.string_value (parse_one "<a>&lt;&amp;&gt;&apos;&quot;</a>")));
+    case "numeric character references" (fun () ->
+        check_string "sv" "AB" (Node.string_value (parse_one "<a>&#65;&#x42;</a>")));
+    case "CDATA is literal text" (fun () ->
+        check_string "sv" "<not-a-tag/>"
+          (Node.string_value (parse_one "<a><![CDATA[<not-a-tag/>]]></a>")));
+    case "comments survive parsing" (fun () ->
+        let root = parse_one "<a><!-- note --><b/></a>" in
+        check_int "children" 2 (List.length (Node.children root));
+        check_bool "kind" true
+          (Node.kind (List.hd (Node.children root)) = Node.Comment));
+    case "processing instruction" (fun () ->
+        let root = parse_one "<a><?target data?></a>" in
+        match Node.children root with
+        | [ pi ] ->
+          check_bool "kind" true (Node.kind pi = Node.Processing_instruction);
+          check_string "data" "data" (Node.text_content pi)
+        | _ -> Alcotest.fail "expected one PI child");
+    case "xml declaration and doctype are skipped" (fun () ->
+        let root =
+          parse_one "<?xml version=\"1.0\"?><!DOCTYPE a><a><b/></a>"
+        in
+        check_int "children" 1 (List.length (Node.children root)));
+    case "default namespace applies to element and children" (fun () ->
+        let root = parse_one {|<a xmlns="urn:x"><b/></a>|} in
+        check_bool "root ns" true
+          ((Option.get (Node.name root)).Qname.uri = "urn:x");
+        check_bool "child ns" true
+          ((Option.get (Node.name (List.hd (Node.children root)))).Qname.uri
+          = "urn:x"));
+    case "prefixed namespaces resolve" (fun () ->
+        let root = parse_one {|<p:a xmlns:p="urn:p"><p:b/></p:a>|} in
+        check_bool "ns" true ((Option.get (Node.name root)).Qname.uri = "urn:p"));
+    case "unprefixed attributes have no namespace" (fun () ->
+        let root = parse_one {|<a xmlns="urn:x" b="1"/>|} in
+        check_bool "attr" true
+          (Node.attribute_value root (Qname.local "b") = Some "1"));
+    case "inner scope shadows outer prefix" (fun () ->
+        let root =
+          parse_one {|<p:a xmlns:p="urn:1"><p:b xmlns:p="urn:2"/></p:a>|}
+        in
+        let b = List.hd (Node.children root) in
+        check_string "inner" "urn:2" (Option.get (Node.name b)).Qname.uri);
+    case "undeclared prefix is an error" (fun () ->
+        check_bool "raises" true
+          (match Xml_parse.parse "<p:a/>" with
+          | _ -> false
+          | exception Xml_parse.Parse_error _ -> true));
+    case "mismatched end tag is an error" (fun () ->
+        check_bool "raises" true
+          (match Xml_parse.parse "<a></b>" with
+          | _ -> false
+          | exception Xml_parse.Parse_error _ -> true));
+    case "trailing garbage is an error" (fun () ->
+        check_bool "raises" true
+          (match Xml_parse.parse "<a/><b/>" with
+          | _ -> false
+          | exception Xml_parse.Parse_error _ -> true));
+    case "parse error reports position" (fun () ->
+        match Xml_parse.parse "<a>\n  <b>\n</a>" with
+        | _ -> Alcotest.fail "expected parse error"
+        | exception Xml_parse.Parse_error { line; _ } ->
+          check_bool "line" true (line >= 2));
+    case "parse_fragment returns multiple roots" (fun () ->
+        check_int "frag" 3
+          (List.length (Xml_parse.parse_fragment "<a/>text<b/>")));
+    case "serializer escapes content" (fun () ->
+        let el = Node.element (Qname.local "a") [ Node.text "a<b&c" ] in
+        check_string "esc" "<a>a&lt;b&amp;c</a>" (Xml_serialize.to_string el));
+    case "serializer synthesizes namespace declarations" (fun () ->
+        let el = Node.element (Qname.make ~prefix:"p" ~uri:"urn:p" "a") [] in
+        check_string "ns" {|<p:a xmlns:p="urn:p"/>|} (Xml_serialize.to_string el));
+    case "serializer invents prefixes when absent" (fun () ->
+        let el = Node.element (Qname.make ~uri:"urn:q" "a") [] in
+        check_string "ns" {|<a xmlns="urn:q"/>|} (Xml_serialize.to_string el));
+    case "nested same-namespace declared once" (fun () ->
+        let child = Node.element (Qname.make ~prefix:"p" ~uri:"urn:p" "b") [] in
+        let el = Node.element (Qname.make ~prefix:"p" ~uri:"urn:p" "a") [ child ] in
+        check_string "ns" {|<p:a xmlns:p="urn:p"><p:b/></p:a>|}
+          (Xml_serialize.to_string el));
+    case "indent pretty-prints element-only content" (fun () ->
+        let el =
+          Node.element (Qname.local "a") [ Node.element (Qname.local "b") [] ]
+        in
+        check_string "indent" "<a>\n  <b/>\n</a>"
+          (Xml_serialize.to_string ~indent:true el));
+    case "seq_to_string separates atomics with spaces" (fun () ->
+        check_string "seq" "1 2"
+          (Xml_serialize.seq_to_string
+             [ Item.Atomic (Atomic.Integer 1); Item.Atomic (Atomic.Integer 2) ]));
+    prop "parse . serialize roundtrip on generated trees"
+      ~count:100
+      (let leaf =
+         QCheck.Gen.oneof
+           [
+             QCheck.Gen.map (fun s -> `Text s)
+               (QCheck.Gen.string_size ~gen:(QCheck.Gen.char_range 'a' 'z')
+                  (QCheck.Gen.int_range 0 8));
+             QCheck.Gen.return `Empty;
+           ]
+       in
+       let gen =
+         QCheck.Gen.sized_size (QCheck.Gen.int_range 1 15) @@
+         QCheck.Gen.fix (fun self n ->
+             if n <= 1 then leaf
+             else
+               QCheck.Gen.oneof
+                 [
+                   leaf;
+                   QCheck.Gen.map2
+                     (fun name kids -> `Elem (name, kids))
+                     (QCheck.Gen.string_size
+                        ~gen:(QCheck.Gen.char_range 'a' 'z')
+                        (QCheck.Gen.int_range 1 6))
+                     (QCheck.Gen.list_size (QCheck.Gen.int_range 0 3)
+                        (self (n / 2)));
+                 ])
+       in
+       QCheck.make gen)
+      (fun tree ->
+        let rec build = function
+          | `Text s -> Node.text s
+          | `Empty -> Node.element (Qname.local "e") []
+          | `Elem (name, kids) ->
+            Node.element (Qname.local name) (List.map build kids)
+        in
+        let node =
+          match build tree with
+          | n when Node.kind n = Node.Element -> n
+          | n -> Node.element (Qname.local "wrap") [ n ]
+        in
+        let reparsed = parse_one (Xml_serialize.to_string node) in
+        (* text runs may merge across serialization; compare string values
+           and structure via deep_equal after normalizing adjacent text *)
+        Node.string_value reparsed = Node.string_value node);
+  ]
+
+let schema_tests =
+  let person_schema =
+    Schema.make ~target_ns:""
+      [
+        {
+          Schema.name = Qname.local "person";
+          type_def =
+            Schema.complex
+              ~attributes:[ (Qname.local "id", Qname.xs "integer") ]
+              [
+                Schema.particle (Qname.local "name") (Schema.simple (Qname.xs "string"));
+                Schema.particle ~min:0 (Qname.local "age") (Schema.simple (Qname.xs "integer"));
+                Schema.particle ~min:0 ~max:None (Qname.local "email")
+                  (Schema.simple (Qname.xs "string"));
+              ];
+        };
+      ]
+  in
+  let validate src =
+    Schema.validate person_schema (parse_one src)
+  in
+  [
+    case "valid instance" (fun () ->
+        check_bool "ok" true
+          (validate {|<person id="1"><name>n</name><age>30</age></person>|} = Ok ()));
+    case "optional elements may be absent" (fun () ->
+        check_bool "ok" true (validate "<person><name>n</name></person>" = Ok ()));
+    case "repeated unbounded element" (fun () ->
+        check_bool "ok" true
+          (validate
+             "<person><name>n</name><email>a</email><email>b</email></person>"
+          = Ok ()));
+    case "missing required element" (fun () ->
+        check_bool "err" true (validate "<person><age>30</age></person>" <> Ok ()));
+    case "wrong order rejected" (fun () ->
+        check_bool "err" true
+          (validate "<person><age>30</age><name>n</name></person>" <> Ok ()));
+    case "bad simple type value" (fun () ->
+        check_bool "err" true
+          (validate "<person><name>n</name><age>old</age></person>" <> Ok ()));
+    case "bad attribute value" (fun () ->
+        check_bool "err" true
+          (validate {|<person id="x"><name>n</name></person>|} <> Ok ()));
+    case "unexpected element" (fun () ->
+        check_bool "err" true
+          (validate "<person><name>n</name><shoe>44</shoe></person>" <> Ok ()));
+    case "unknown root element" (fun () ->
+        check_bool "err" true (validate "<animal/>" <> Ok ()));
+    case "leaf_paths enumerates simple leaves" (fun () ->
+        let paths = Schema.leaf_paths person_schema (Qname.local "person") in
+        check_int "leaves" 3 (List.length paths));
+  ]
+
+let seqtype_tests =
+  [
+    case "matches occurrence indicators" (fun () ->
+        let one_int = Seqtype.Typed (Seqtype.Atomic_type (Qname.xs "integer"), Seqtype.One) in
+        check_bool "one ok" true
+          (Seqtype.matches one_int [ Item.Atomic (Atomic.Integer 1) ]);
+        check_bool "empty not one" false (Seqtype.matches one_int []);
+        let star = Seqtype.Typed (Seqtype.Atomic_type (Qname.xs "integer"), Seqtype.Star) in
+        check_bool "star empty" true (Seqtype.matches star []);
+        let plus = Seqtype.Typed (Seqtype.Atomic_type (Qname.xs "integer"), Seqtype.Plus) in
+        check_bool "plus empty" false (Seqtype.matches plus []));
+    case "element test by name" (fun () ->
+        let t = Seqtype.one_element (Qname.local "a") in
+        check_bool "match" true
+          (Seqtype.matches t [ Item.Node (Node.element (Qname.local "a") []) ]);
+        check_bool "wrong name" false
+          (Seqtype.matches t [ Item.Node (Node.element (Qname.local "b") []) ]));
+    case "integer matches decimal by derivation" (fun () ->
+        let t = Seqtype.Typed (Seqtype.Atomic_type (Qname.xs "decimal"), Seqtype.One) in
+        check_bool "derives" true
+          (Seqtype.matches t [ Item.Atomic (Atomic.Integer 1) ]));
+    case "empty-sequence only matches empty" (fun () ->
+        check_bool "empty" true (Seqtype.matches Seqtype.Empty_sequence []);
+        check_bool "nonempty" false
+          (Seqtype.matches Seqtype.Empty_sequence [ Item.Atomic (Atomic.Integer 1) ]));
+    case "check coerces untyped to required atomic type" (fun () ->
+        let t = Seqtype.Typed (Seqtype.Atomic_type (Qname.xs "integer"), Seqtype.One) in
+        check_bool "coerced" true
+          (Seqtype.check ~what:"t" t [ Item.Atomic (Atomic.Untyped "5") ]
+          = [ Item.Atomic (Atomic.Integer 5) ]));
+    case "check atomizes nodes for atomic targets" (fun () ->
+        let t = Seqtype.Typed (Seqtype.Atomic_type (Qname.xs "integer"), Seqtype.One) in
+        let el = Node.element (Qname.local "e") [ Node.text "7" ] in
+        check_bool "atomized" true
+          (Seqtype.check ~what:"t" t [ Item.Node el ]
+          = [ Item.Atomic (Atomic.Integer 7) ]));
+    case "check rejects wrong cardinality" (fun () ->
+        let t = Seqtype.Typed (Seqtype.Atomic_type (Qname.xs "integer"), Seqtype.One) in
+        check_bool "raises" true
+          (match Seqtype.check ~what:"t" t [] with
+          | _ -> false
+          | exception Item.Error { code; _ } -> code.Qname.local = "XPTY0004"));
+    case "to_string forms" (fun () ->
+        check_string "str" "element(a)?"
+          (Seqtype.to_string
+             (Seqtype.Typed (Seqtype.Element_type (Some (Qname.local "a")), Seqtype.Opt)));
+        check_string "str" "item()*" (Seqtype.to_string Seqtype.any));
+  ]
+
+let suites =
+  [
+    ("xml.parse+serialize", parse_tests);
+    ("xml.schema", schema_tests);
+    ("xml.seqtype", seqtype_tests);
+  ]

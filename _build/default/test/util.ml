@@ -1,0 +1,67 @@
+(* Shared helpers for the test suites. *)
+
+open Core
+
+let xq ?context_item ?vars src =
+  let engine = Xquery.Engine.create () in
+  Xdm.Xml_serialize.seq_to_string
+    (Xquery.Engine.eval_string ?context_item ?vars engine src)
+
+let xq_noopt src =
+  let engine = Xquery.Engine.create ~optimize:false () in
+  Xdm.Xml_serialize.seq_to_string (Xquery.Engine.eval_string engine src)
+
+let xqse ?vars src =
+  let session = Xqse.Session.create () in
+  Xqse.Session.eval_to_string ?vars session src
+
+(* a test case asserting the serialized result of a query *)
+let q name expected src =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) src expected (xq src))
+
+(* the same, evaluated through the XQSE session *)
+let s name expected src =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check string) src expected (xqse src))
+
+(* expect a dynamic/static error whose code has this local name *)
+let q_err name code src =
+  Alcotest.test_case name `Quick (fun () ->
+      match xq src with
+      | result ->
+        Alcotest.failf "expected error %s, got result %s" code result
+      | exception Xdm.Item.Error { code = actual; _ } ->
+        Alcotest.(check string) src code actual.Xdm.Qname.local)
+
+let s_err name code src =
+  Alcotest.test_case name `Quick (fun () ->
+      match xqse src with
+      | result ->
+        Alcotest.failf "expected error %s, got result %s" code result
+      | exception Xdm.Item.Error { code = actual; _ } ->
+        Alcotest.(check string) src code actual.Xdm.Qname.local)
+
+(* expect a syntax error *)
+let q_syntax name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match xq src with
+      | result -> Alcotest.failf "expected a syntax error, got %s" result
+      | exception (Xquery.Parser.Syntax_error _ | Xquery.Lexer.Lex_error _) ->
+        ())
+
+let s_syntax name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match xqse src with
+      | result -> Alcotest.failf "expected a syntax error, got %s" result
+      | exception (Xquery.Parser.Syntax_error _ | Xquery.Lexer.Lex_error _) ->
+        ())
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let prop name ?(count = 200) arbitrary f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arbitrary f)
