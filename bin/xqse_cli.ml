@@ -11,12 +11,23 @@ let read_file path =
   if path = "-" then In_channel.input_all In_channel.stdin
   else In_channel.with_open_text path In_channel.input_all
 
-let run_program ~optimize ~trace ~ast ~libs source =
+let run_program ~optimize ~trace ~ast ~explain ~libs source =
   if ast then
     (* parse (no execution) and dump the program back as surface syntax *)
     print_string
       (Xqse.Pretty.program
          (Xqse.Parse.parse_program (Xquery.Context.default_static ()) source))
+  else if explain then begin
+    (* optimize (no execution) and report the rewritten program plus what
+       the optimizer did to it *)
+    let session = Xqse.Session.create ~optimize () in
+    List.iter (fun lib -> Xqse.Session.load_library session (read_file lib)) libs;
+    let ex = Xqse.Session.explain session source in
+    print_string ex.Xqse.Session.ex_program;
+    List.iter (fun l -> Printf.printf "rewrite: %s\n" l) ex.Xqse.Session.ex_log;
+    Printf.printf "stats: %s\n"
+      (Xquery.Optimizer.stats_to_string ex.Xqse.Session.ex_stats)
+  end
   else begin
     let session = Xqse.Session.create ~optimize () in
     if trace then
@@ -82,7 +93,7 @@ let repl ~optimize ~trace () =
   in
   loop ()
 
-let main expr files libs optimize trace ast interactive =
+let main expr files libs optimize trace ast explain interactive =
   if interactive then begin
     repl ~optimize ~trace ();
     `Ok ()
@@ -95,7 +106,7 @@ let main expr files libs optimize trace ast interactive =
   if sources = [] then `Error (true, "nothing to run: pass a file or -e EXPR")
   else
     try
-      List.iter (run_program ~optimize ~trace ~ast ~libs) sources;
+      List.iter (run_program ~optimize ~trace ~ast ~explain ~libs) sources;
       `Ok ()
     with
     | Xdm.Item.Error { code; message; _ } ->
@@ -124,7 +135,12 @@ let libs =
   Arg.(value & opt_all string [] & info [ "lib" ] ~docv:"LIB" ~doc)
 
 let optimize =
-  let doc = "Disable the rewrite optimizer." in
+  let doc =
+    "Disable the rewrite optimizer: programs run exactly as written, with \
+     no constant folding, let inlining, join detection or predicate \
+     pushdown. Useful to isolate optimizer bugs — an optimized and an \
+     unoptimized run of the same program must produce the same result."
+  in
   Arg.(value & flag & info [ "no-optimize" ] ~doc)
   |> Term.app (Term.const not)
 
@@ -135,6 +151,13 @@ let trace =
 let ast =
   let doc = "Parse only; print the program back as surface syntax." in
   Arg.(value & flag & info [ "ast" ] ~doc)
+
+let explain =
+  let doc =
+    "Optimize only (no execution); print the rewritten program, one \
+     $(b,rewrite:) line per optimizer rewrite, and a $(b,stats:) summary."
+  in
+  Arg.(value & flag & info [ "explain" ] ~doc)
 
 let interactive =
   let doc = "Start an interactive session (end each input with ';;')." in
@@ -156,6 +179,8 @@ let cmd =
   Cmd.v
     (Cmd.info "xqse" ~version:"1.0.0" ~doc ~man)
     Term.(
-      ret (const main $ expr $ files $ libs $ optimize $ trace $ ast $ interactive))
+      ret (
+        const main $ expr $ files $ libs $ optimize $ trace $ ast $ explain
+        $ interactive))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,160 @@
+(* Deterministic generator of well-formed XQuery programs for
+   differential testing of the rewrite optimizer (optimized and
+   unoptimized evaluation must agree item-for-item).
+
+   The grammar is deliberately skewed toward the optimizer's attack
+   surface: FLWOR nests, [let] bindings to literals and variable aliases
+   (the inlining pass), single- and two-variable [where] clauses (the
+   pushdown and join passes), quantified expressions, and a *tiny*
+   variable pool so that shadowing — and therefore variable capture — is
+   frequent. Every expression is integer-valued, so generated programs
+   never raise type errors and results compare exactly. *)
+
+(* the whole point: few names => frequent rebinding *)
+let pool = [ "x"; "y"; "z" ]
+
+(* scope entries: variable name and whether it is known to be a single
+   integer ([`Atom], usable as an arithmetic/comparison operand) or an
+   arbitrary-length integer sequence ([`Seq]) *)
+type entry = string * [ `Atom | `Seq ]
+
+let rand_int t lo hi = lo + Det.int t (hi - lo + 1)
+
+let atoms_of scope = List.filter (fun (_, k) -> k = `Atom) scope
+let seqs_of scope = List.filter (fun (_, k) -> k = `Seq) scope
+
+(* A single integer. *)
+let rec atom t depth (scope : entry list) =
+  let avs = atoms_of scope in
+  let choices =
+    [ `Lit; `Lit ]
+    @ (if avs <> [] then [ `Var; `Var; `Var ] else [])
+    @ (if depth > 0 then [ `Arith; `Arith; `If; `Count; `Let ] else [])
+  in
+  match Det.pick t choices with
+  | `Lit -> string_of_int (rand_int t 0 9)
+  | `Var -> "$" ^ fst (Det.pick t avs)
+  | `Arith ->
+    let op = Det.pick t [ "+"; "-"; "*" ] in
+    Printf.sprintf "(%s %s %s)" (atom t (depth - 1) scope) op
+      (atom t (depth - 1) scope)
+  | `If ->
+    Printf.sprintf "(if (%s) then %s else %s)"
+      (cond t (depth - 1) scope)
+      (atom t (depth - 1) scope)
+      (atom t (depth - 1) scope)
+  | `Count -> Printf.sprintf "count((%s))" (seq t (depth - 1) scope)
+  | `Let ->
+    let v = Det.pick t pool in
+    Printf.sprintf "(let $%s := %s return %s)" v
+      (atom t (depth - 1) scope)
+      (atom t (depth - 1) ((v, `Atom) :: scope))
+
+(* A boolean, used only in where/if/satisfies position. *)
+and cond t depth scope =
+  let choices =
+    [ `Cmp; `Cmp; `Cmp ]
+    @ (if depth > 0 then [ `And; `Or; `Quant ] else [ `Bool ])
+  in
+  match Det.pick t choices with
+  | `Bool -> Det.pick t [ "true()"; "false()" ]
+  | `Cmp ->
+    let op = Det.pick t [ "eq"; "ne"; "lt"; "le"; "gt"; "ge" ] in
+    Printf.sprintf "%s %s %s" (atom t depth scope) op (atom t depth scope)
+  | `And ->
+    Printf.sprintf "(%s) and (%s)"
+      (cond t (depth - 1) scope)
+      (cond t (depth - 1) scope)
+  | `Or ->
+    Printf.sprintf "(%s) or (%s)"
+      (cond t (depth - 1) scope)
+      (cond t (depth - 1) scope)
+  | `Quant ->
+    let q = Det.pick t [ "some"; "every" ] in
+    let v = Det.pick t pool in
+    Printf.sprintf "(%s $%s in (%s) satisfies %s)" q v
+      (seq t (depth - 1) scope)
+      (cond t (depth - 1) ((v, `Atom) :: scope))
+
+(* A sequence of integers (possibly empty, possibly one). *)
+and seq t depth scope =
+  let svs = seqs_of scope in
+  let choices =
+    [ `Atom; `Atom; `Range ]
+    @ (if svs <> [] then [ `Var ] else [])
+    @ (if depth > 0 then [ `Pair; `Flwor; `Flwor ] else [])
+  in
+  match Det.pick t choices with
+  | `Atom -> atom t depth scope
+  | `Var -> "$" ^ fst (Det.pick t svs)
+  | `Range ->
+    (* literal bounds keep generated sequences small *)
+    let lo = rand_int t 0 5 in
+    Printf.sprintf "(%d to %d)" lo (lo + rand_int t 0 4)
+  | `Pair ->
+    Printf.sprintf "(%s, %s)" (seq t (depth - 1) scope) (seq t (depth - 1) scope)
+  | `Flwor -> "(" ^ flwor t (depth - 1) scope ^ ")"
+
+(* A FLWOR, following the XQuery 1.0 grammar: 1-3 for/let clauses, then
+   an optional single where, an optional order by, and the return. *)
+and flwor t depth scope =
+  let b = Buffer.create 64 in
+  let n_clauses = 1 + Det.int t 3 in
+  let rec clauses i scope =
+    if i >= n_clauses then scope
+    else begin
+      match Det.pick t [ `For; `For; `Let; `Let ] with
+      | `For ->
+        let v = Det.pick t pool in
+        let posv =
+          if Det.int t 4 = 0 then
+            match List.filter (fun p -> p <> v) pool with
+            | [] -> None
+            | ps -> Some (Det.pick t ps)
+          else None
+        in
+        Buffer.add_string b
+          (Printf.sprintf "for $%s%s in (%s) " v
+             (match posv with Some p -> " at $" ^ p | None -> "")
+             (seq t (depth - 1) scope));
+        let scope = (v, `Atom) :: scope in
+        let scope =
+          match posv with Some p -> (p, `Atom) :: scope | None -> scope
+        in
+        clauses (i + 1) scope
+      | `Let ->
+        let v = Det.pick t pool in
+        let value =
+          (* skew toward the inliner's triggers: literals and aliases *)
+          match Det.pick t [ `Lit; `Alias; `Alias; `Expr; `SeqExpr ] with
+          | `Lit -> (string_of_int (rand_int t 0 9), `Atom)
+          | `Alias -> (
+            match scope with
+            | [] -> (string_of_int (rand_int t 0 9), `Atom)
+            | _ ->
+              let v', k = Det.pick t scope in
+              ("$" ^ v', k))
+          | `Expr -> (atom t (depth - 1) scope, `Atom)
+          | `SeqExpr -> ("(" ^ seq t (depth - 1) scope ^ ")", `Seq)
+        in
+        Buffer.add_string b
+          (Printf.sprintf "let $%s := %s " v (fst value));
+        clauses (i + 1) ((v, snd value) :: scope)
+    end
+  in
+  let scope' = clauses 0 scope in
+  if Det.int t 2 = 0 then
+    Buffer.add_string b
+      (Printf.sprintf "where %s " (cond t (depth - 1) scope'));
+  if Det.int t 3 = 0 && atoms_of scope' <> [] then
+    Buffer.add_string b
+      (Printf.sprintf "order by %s%s "
+         (atom t (if depth > 0 then depth - 1 else 0) scope')
+         (if Det.int t 2 = 0 then " descending" else ""));
+  Buffer.add_string b ("return " ^ seq t (depth - 1) scope');
+  Buffer.contents b
+
+let expr t = flwor t 3 []
+
+let corpus ?(seed = 1) n =
+  List.init n (fun i -> expr (Det.make ((seed * 65599) + (i * 2654435761))))

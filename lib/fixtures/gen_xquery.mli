@@ -1,0 +1,14 @@
+(** Deterministic generator of well-formed, integer-valued XQuery
+    FLWOR/let/quantified programs, skewed toward the rewrite optimizer's
+    attack surface (alias/literal lets, shadowing from a tiny variable
+    pool, equi-join and single-variable wheres). Used by the
+    differential test suite: optimized and unoptimized evaluation of
+    every generated program must agree item-for-item. *)
+
+val expr : Det.t -> string
+(** One generated program, driven entirely by the given deterministic
+    stream. *)
+
+val corpus : ?seed:int -> int -> string list
+(** [corpus ~seed n]: [n] programs; the same [seed] always yields the
+    same corpus. *)

@@ -49,46 +49,52 @@ let register_procedure s ?(readonly = false) ?params ?return name arity impl =
 (* ------------------------------------------------------------------ *)
 (* Statement-level optimization: optimize the XQuery expressions inside
    statements (the paper's point: declarative fragments keep their
-   optimizations). *)
+   optimizations). [opt] is the expression-level rewriter — the plain
+   optimizer during compilation, a stats/log-collecting wrapper for
+   {!explain}. *)
 
-let rec optimize_value_stmt = function
-  | Stmt.V_expr e -> Stmt.V_expr (Xquery.Optimizer.optimize e)
-  | Stmt.V_proc_block b -> Stmt.V_proc_block (optimize_block b)
+let rec optimize_value_stmt opt = function
+  | Stmt.V_expr e -> Stmt.V_expr (opt e)
+  | Stmt.V_proc_block b -> Stmt.V_proc_block (optimize_block opt b)
 
-and optimize_block (b : Stmt.block) =
+and optimize_block opt (b : Stmt.block) =
   {
     Stmt.decls =
       List.map
         (fun d ->
-          { d with Stmt.bd_init = Option.map optimize_value_stmt d.Stmt.bd_init })
+          {
+            d with
+            Stmt.bd_init = Option.map (optimize_value_stmt opt) d.Stmt.bd_init;
+          })
         b.Stmt.decls;
-    stmts = List.map optimize_stmt b.Stmt.stmts;
+    stmts = List.map (optimize_stmt opt) b.Stmt.stmts;
   }
 
-and optimize_stmt (s : Stmt.statement) =
+and optimize_stmt opt (s : Stmt.statement) =
   match s with
-  | Stmt.Block b -> Stmt.Block (optimize_block b)
-  | Stmt.Set (v, vs) -> Stmt.Set (v, optimize_value_stmt vs)
-  | Stmt.Return_value vs -> Stmt.Return_value (optimize_value_stmt vs)
-  | Stmt.Expr_stmt vs -> Stmt.Expr_stmt (optimize_value_stmt vs)
-  | Stmt.While (e, b) ->
-    Stmt.While (Xquery.Optimizer.optimize e, optimize_block b)
+  | Stmt.Block b -> Stmt.Block (optimize_block opt b)
+  | Stmt.Set (v, vs) -> Stmt.Set (v, optimize_value_stmt opt vs)
+  | Stmt.Return_value vs -> Stmt.Return_value (optimize_value_stmt opt vs)
+  | Stmt.Expr_stmt vs -> Stmt.Expr_stmt (optimize_value_stmt opt vs)
+  | Stmt.While (e, b) -> Stmt.While (opt e, optimize_block opt b)
   | Stmt.Iterate { var; pos; source; body } ->
     Stmt.Iterate
-      { var; pos; source = optimize_value_stmt source; body = optimize_block body }
+      {
+        var;
+        pos;
+        source = optimize_value_stmt opt source;
+        body = optimize_block opt body;
+      }
   | Stmt.If (c, t, e) ->
-    Stmt.If
-      ( Xquery.Optimizer.optimize c,
-        optimize_stmt t,
-        Option.map optimize_stmt e )
+    Stmt.If (opt c, optimize_stmt opt t, Option.map (optimize_stmt opt) e)
   | Stmt.Try (b, clauses) ->
     Stmt.Try
-      ( optimize_block b,
+      ( optimize_block opt b,
         List.map
-          (fun c -> { c with Stmt.cc_body = optimize_block c.Stmt.cc_body })
+          (fun c -> { c with Stmt.cc_body = optimize_block opt c.Stmt.cc_body })
           clauses )
   | Stmt.Continue | Stmt.Break -> s
-  | Stmt.Update e -> Stmt.Update (Xquery.Optimizer.optimize e)
+  | Stmt.Update e -> Stmt.Update (opt e)
 
 (* ------------------------------------------------------------------ *)
 
@@ -102,10 +108,12 @@ type compiled = {
 
 let install_declarations s reg rt (prog : Stmt.program) =
   let optimize = Xquery.Engine.optimizing s.eng in
+  let log = Xquery.Engine.optimizer_log s.eng in
+  let opt = Xquery.Optimizer.optimize ?log in
   List.iter
     (fun decl ->
       let decl =
-        if optimize then Xquery.Optimizer.optimize_decl decl else decl
+        if optimize then Xquery.Optimizer.optimize_decl ?log decl else decl
       in
       Ctx.register reg
         {
@@ -122,7 +130,7 @@ let install_declarations s reg rt (prog : Stmt.program) =
       let body =
         match pd.Stmt.pd_body with
         | Some b ->
-          Interp.P_block (if optimize then optimize_block b else b)
+          Interp.P_block (if optimize then optimize_block opt b else b)
         | None ->
           Item.raise_error (Qname.err "XPST0017")
             (Printf.sprintf
@@ -211,12 +219,16 @@ let compile s src =
   let rt = Interp.create_runtime ~trace:s.trace ~parent:s.rt reg in
   install_declarations s reg rt prog;
   let body =
-    if Xquery.Engine.optimizing s.eng then
+    if Xquery.Engine.optimizing s.eng then begin
+      let opt =
+        Xquery.Optimizer.optimize ?log:(Xquery.Engine.optimizer_log s.eng)
+      in
       Option.map
         (function
-          | Stmt.Q_expr e -> Stmt.Q_expr (Xquery.Optimizer.optimize e)
-          | Stmt.Q_block b -> Stmt.Q_block (optimize_block b))
+          | Stmt.Q_expr e -> Stmt.Q_expr (opt e)
+          | Stmt.Q_block b -> Stmt.Q_block (optimize_block opt b))
         prog.Stmt.prog_body
+    end
     else prog.Stmt.prog_body
   in
   {
@@ -271,6 +283,52 @@ let eval ?vars s src = run ?vars (compile s src)
 
 let eval_to_string ?vars s src =
   Xml_serialize.seq_to_string (eval ?vars s src)
+
+(* ------------------------------------------------------------------ *)
+(* Explain: optimize a program while recording what the optimizer did,
+   without touching the session's registries. Mirrors [compile] /
+   [install_declarations]: function and procedure bodies plus the query
+   body are optimized; variable declarations are left as written. *)
+
+type explain = {
+  ex_program : string;
+  ex_stats : Xquery.Optimizer.stats;
+  ex_log : string list;
+}
+
+let explain s src =
+  let prog = Parse.parse_program (fresh_static s) src in
+  let log = ref [] in
+  let total = ref Xquery.Optimizer.zero_stats in
+  let opt e =
+    let e', st =
+      Xquery.Optimizer.optimize_with_stats ~log:(fun m -> log := m :: !log) e
+    in
+    total := Xquery.Optimizer.add_stats !total st;
+    e'
+  in
+  let prog =
+    {
+      prog with
+      Stmt.prog_functions =
+        List.map
+          (fun fd ->
+            { fd with Xquery.Ast.fd_body = Option.map opt fd.Xquery.Ast.fd_body })
+          prog.Stmt.prog_functions;
+      prog_procs =
+        List.map
+          (fun pd ->
+            { pd with Stmt.pd_body = Option.map (optimize_block opt) pd.Stmt.pd_body })
+          prog.Stmt.prog_procs;
+      prog_body =
+        Option.map
+          (function
+            | Stmt.Q_expr e -> Stmt.Q_expr (opt e)
+            | Stmt.Q_block b -> Stmt.Q_block (optimize_block opt b))
+          prog.Stmt.prog_body;
+    }
+  in
+  { ex_program = Pretty.program prog; ex_stats = !total; ex_log = List.rev !log }
 
 let call s name args =
   match Interp.find_procedure s.rt name (List.length args) with

@@ -65,3 +65,17 @@ val eval_to_string : ?vars:(Qname.t * Item.seq) list -> t -> string -> string
 val call : t -> Qname.t -> Item.seq list -> Item.seq
 (** Call a session procedure or function by name with evaluated
     arguments (procedures take precedence). *)
+
+type explain = {
+  ex_program : string;  (** the optimized program, pretty-printed *)
+  ex_stats : Xquery.Optimizer.stats;
+      (** total rewrite counts across all optimized bodies *)
+  ex_log : string list;
+      (** one line per rewrite plus per-iteration summaries, in order *)
+}
+
+val explain : t -> string -> explain
+(** Parse a program and run the optimizer over its function bodies,
+    procedure bodies and query body (like {!compile} would), recording
+    every rewrite. Does not execute anything and does not install
+    declarations into the session. *)

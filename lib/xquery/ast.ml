@@ -240,105 +240,99 @@ let fold_subexprs : 'a. ('a -> expr -> 'a) -> 'a -> expr -> 'a =
     let acc = List.fold_left (fun acc (_, e) -> on acc e) acc copies in
     on (on acc modify) ret
 
-(** [free_vars e] is the set of variable QNames referenced by [e] that are
-    not bound within it. *)
-let free_vars e =
-  let module S = Set.Make (struct
-    type t = Qname.t
-
-    let compare = Qname.compare
-  end) in
-  let rec go bound e =
-    match e with
-    | Var q -> if S.mem q bound then S.empty else S.singleton q
-    | Flwor (clauses, ret) ->
-      let rec clause_vars bound acc = function
-        | [] -> S.union acc (go bound ret)
-        | For_clause bs :: rest ->
-          let acc, bound =
-            List.fold_left
-              (fun (acc, bound) b ->
-                let acc = S.union acc (go bound b.for_expr) in
-                let bound = S.add b.for_var bound in
-                let bound =
-                  match b.for_pos with Some p -> S.add p bound | None -> bound
-                in
-                (acc, bound))
-              (acc, bound) bs
-          in
-          clause_vars bound acc rest
-        | Let_clause bs :: rest ->
-          let acc, bound =
-            List.fold_left
-              (fun (acc, bound) b ->
-                (S.union acc (go bound b.let_expr), S.add b.let_var bound))
-              (acc, bound) bs
-          in
-          clause_vars bound acc rest
-        | Where_clause e :: rest -> clause_vars bound (S.union acc (go bound e)) rest
-        | Order_clause (_, specs) :: rest ->
-          let acc =
-            List.fold_left (fun acc s -> S.union acc (go bound s.key)) acc specs
-          in
-          clause_vars bound acc rest
-        | Join_clause j :: rest ->
-          let acc = S.union acc (go bound j.join_source) in
-          let acc = S.union acc (go bound j.join_probe_key) in
-          let bound = S.add j.join_var bound in
-          let acc = S.union acc (go bound j.join_build_key) in
-          clause_vars bound acc rest
-      in
-      clause_vars bound S.empty clauses
-    | Quantified (_, bindings, body) ->
-      let acc, bound =
-        List.fold_left
-          (fun (acc, bound) (v, _, e) ->
-            (S.union acc (go bound e), S.add v bound))
-          (S.empty, bound) bindings
-      in
-      S.union acc (go bound body)
-    | Transform (copies, modify, ret) ->
-      let acc, bound =
-        List.fold_left
-          (fun (acc, bound) (v, e) ->
-            (S.union acc (go bound e), S.add v bound))
-          (S.empty, bound) copies
-      in
-      S.union acc (S.union (go bound modify) (go bound ret))
-    | Typeswitch (operand, cases, (dvar, default)) ->
-      let acc = go bound operand in
-      let acc =
-        List.fold_left
-          (fun acc c ->
-            let bound' =
-              match c.case_var with Some v -> S.add v bound | None -> bound
-            in
-            S.union acc (go bound' c.case_return))
-          acc cases
-      in
-      let bound' =
-        match dvar with Some v -> S.add v bound | None -> bound
-      in
-      S.union acc (go bound' default)
-    | e -> fold_subexprs (fun acc sub -> S.union acc (go bound sub)) S.empty e
+(** [map_subexprs f e] rebuilds [e] with [f] applied to every immediate
+    subexpression (a purely structural, scope-oblivious map; for
+    binder-aware traversals see {!Binders}). *)
+let map_subexprs (f : expr -> expr) (e : expr) : expr =
+  let map_name_spec = function
+    | Static_name q -> Static_name q
+    | Dynamic_name e -> Dynamic_name (f e)
   in
-  let s = go S.empty e in
-  S.elements s
-
-(** [uses_context e] over-approximates whether [e] depends on the dynamic
-    context item / position / size at its top level. *)
-let rec uses_context = function
-  | Context_item | Root_expr | Step _ -> true
-  | Call (q, args) ->
-    (args = []
-    && q.Xdm.Qname.uri = Xdm.Qname.fn_ns
-    && List.mem q.Xdm.Qname.local [ "position"; "last"; "string"; "data"; "number"; "name"; "local-name"; "root"; "normalize-space" ])
-    || List.exists uses_context args
-  | Flwor (clauses, _ret) as e ->
-    (* clauses bind their own focus only in predicates; the return clause
-       keeps the outer focus, so recurse fully *)
-    ignore clauses;
-    fold_subexprs (fun acc sub -> acc || uses_context sub) false e
-  | Path (a, _) -> uses_context a
-  | Filter (p, _) -> uses_context p
-  | e -> fold_subexprs (fun acc sub -> acc || uses_context sub) false e
+  match e with
+  | Literal _ | Var _ | Context_item | Root_expr -> e
+  | Seq_expr es -> Seq_expr (List.map f es)
+  | Range (a, b) -> Range (f a, f b)
+  | Arith (op, a, b) -> Arith (op, f a, f b)
+  | Neg a -> Neg (f a)
+  | And (a, b) -> And (f a, f b)
+  | Or (a, b) -> Or (f a, f b)
+  | General_cmp (op, a, b) -> General_cmp (op, f a, f b)
+  | Value_cmp (op, a, b) -> Value_cmp (op, f a, f b)
+  | Node_is (a, b) -> Node_is (f a, f b)
+  | Node_before (a, b) -> Node_before (f a, f b)
+  | Node_after (a, b) -> Node_after (f a, f b)
+  | Union (a, b) -> Union (f a, f b)
+  | Intersect (a, b) -> Intersect (f a, f b)
+  | Except (a, b) -> Except (f a, f b)
+  | Instance_of (a, t) -> Instance_of (f a, t)
+  | Treat_as (a, t) -> Treat_as (f a, t)
+  | Castable_as (a, t, o) -> Castable_as (f a, t, o)
+  | Cast_as (a, t, o) -> Cast_as (f a, t, o)
+  | If_expr (c, t, e2) -> If_expr (f c, f t, f e2)
+  | Typeswitch (operand, cases, (dvar, default)) ->
+    Typeswitch
+      ( f operand,
+        List.map (fun c -> { c with case_return = f c.case_return }) cases,
+        (dvar, f default) )
+  | Flwor (clauses, ret) ->
+    let clauses =
+      List.map
+        (function
+          | For_clause bs ->
+            For_clause
+              (List.map (fun b -> { b with for_expr = f b.for_expr }) bs)
+          | Let_clause bs ->
+            Let_clause
+              (List.map (fun b -> { b with let_expr = f b.let_expr }) bs)
+          | Where_clause e -> Where_clause (f e)
+          | Order_clause (s, specs) ->
+            Order_clause
+              (s, List.map (fun sp -> { sp with key = f sp.key }) specs)
+          | Join_clause j ->
+            Join_clause
+              {
+                j with
+                join_source = f j.join_source;
+                join_build_key = f j.join_build_key;
+                join_probe_key = f j.join_probe_key;
+              })
+        clauses
+    in
+    Flwor (clauses, f ret)
+  | Quantified (q, bs, body) ->
+    Quantified (q, List.map (fun (v, t, e) -> (v, t, f e)) bs, f body)
+  | Path (a, b) -> Path (f a, f b)
+  | Step (ax, nt, preds) -> Step (ax, nt, List.map f preds)
+  | Filter (p, preds) -> Filter (f p, List.map f preds)
+  | Call (n, args) -> Call (n, List.map f args)
+  | Elem_ctor (n, attrs, contents) ->
+    Elem_ctor
+      ( n,
+        List.map
+          (fun (an, parts) ->
+            ( an,
+              List.map
+                (function
+                  | Attr_str s -> Attr_str s
+                  | Attr_expr e -> Attr_expr (f e))
+                parts ))
+          attrs,
+        List.map
+          (function
+            | Content_text s -> Content_text s
+            | Content_expr e -> Content_expr (f e)
+            | Content_node e -> Content_node (f e))
+          contents )
+  | Comp_elem (ns, e) -> Comp_elem (map_name_spec ns, f e)
+  | Comp_attr (ns, e) -> Comp_attr (map_name_spec ns, f e)
+  | Comp_text e -> Comp_text (f e)
+  | Comp_doc e -> Comp_doc (f e)
+  | Comp_comment e -> Comp_comment (f e)
+  | Comp_pi (ns, e) -> Comp_pi (map_name_spec ns, f e)
+  | Insert (p, s, t) -> Insert (p, f s, f t)
+  | Delete t -> Delete (f t)
+  | Replace { value_of; target; source } ->
+    Replace { value_of; target = f target; source = f source }
+  | Rename (t, ns) -> Rename (f t, map_name_spec ns)
+  | Transform (cs, m, r) ->
+    Transform (List.map (fun (v, e) -> (v, f e)) cs, f m, f r)

@@ -1,0 +1,360 @@
+(** Binder-aware AST traversals.
+
+    This module is the single place that knows the variable-scoping rules
+    of every binding construct in the AST:
+
+    - {!Ast.Flwor}: clauses bind sequentially. A [for] binding's variable
+      (and positional variable) scope over the remaining bindings of the
+      same clause, the remaining clauses and the return expression; [let]
+      likewise; a {!Ast.Join_clause} binds its variable over its build key
+      and the remainder of the FLWOR.
+    - {!Ast.Quantified}: each [in] binding scopes over the remaining
+      bindings and the satisfies body.
+    - {!Ast.Typeswitch}: a case (or default) variable scopes over that
+      branch's return expression only.
+    - {!Ast.Transform}: each [copy] binding scopes over the remaining
+      copies, the modify and the return expressions.
+
+    Every optimizer pass that needs scope information (inlining, join
+    detection, predicate pushdown) is built on these traversals, so a
+    scoping rule is written — and fixed — exactly once. *)
+
+open Xdm
+
+module Vset = Set.Make (struct
+  type t = Qname.t
+
+  let compare = Qname.compare
+end)
+
+(** [fold_scoped f bound acc e] folds [f] over every immediate
+    subexpression of [e]; each call receives [bound] extended with the
+    variables that [e]'s own binders place in scope at that
+    subexpression. *)
+let fold_scoped :
+    'a. (Vset.t -> 'a -> Ast.expr -> 'a) -> Vset.t -> 'a -> Ast.expr -> 'a =
+ fun f bound acc e ->
+  let open Ast in
+  match e with
+  | Flwor (clauses, ret) ->
+    let bound, acc =
+      List.fold_left
+        (fun (bound, acc) c ->
+          match c with
+          | For_clause bs ->
+            List.fold_left
+              (fun (bound, acc) b ->
+                let acc = f bound acc b.for_expr in
+                let bound = Vset.add b.for_var bound in
+                let bound =
+                  match b.for_pos with
+                  | Some p -> Vset.add p bound
+                  | None -> bound
+                in
+                (bound, acc))
+              (bound, acc) bs
+          | Let_clause bs ->
+            List.fold_left
+              (fun (bound, acc) b ->
+                (Vset.add b.let_var bound, f bound acc b.let_expr))
+              (bound, acc) bs
+          | Where_clause e -> (bound, f bound acc e)
+          | Order_clause (_, specs) ->
+            ( bound,
+              List.fold_left (fun acc sp -> f bound acc sp.key) acc specs )
+          | Join_clause j ->
+            let acc = f bound acc j.join_source in
+            let acc = f bound acc j.join_probe_key in
+            let bound = Vset.add j.join_var bound in
+            let acc = f bound acc j.join_build_key in
+            (bound, acc))
+        (bound, acc) clauses
+    in
+    f bound acc ret
+  | Quantified (_, bindings, body) ->
+    let bound, acc =
+      List.fold_left
+        (fun (bound, acc) (v, _, e) -> (Vset.add v bound, f bound acc e))
+        (bound, acc) bindings
+    in
+    f bound acc body
+  | Typeswitch (operand, cases, (dvar, default)) ->
+    let acc = f bound acc operand in
+    let acc =
+      List.fold_left
+        (fun acc c ->
+          let bound =
+            match c.case_var with Some v -> Vset.add v bound | None -> bound
+          in
+          f bound acc c.case_return)
+        acc cases
+    in
+    let bound =
+      match dvar with Some v -> Vset.add v bound | None -> bound
+    in
+    f bound acc default
+  | Transform (copies, modify, ret) ->
+    let bound, acc =
+      List.fold_left
+        (fun (bound, acc) (v, e) -> (Vset.add v bound, f bound acc e))
+        (bound, acc) copies
+    in
+    f bound (f bound acc modify) ret
+  | e -> Ast.fold_subexprs (fun acc sub -> f bound acc sub) acc e
+
+(** [free_var_set e] is the set of variables referenced by [e] that are
+    not bound within it. *)
+let free_var_set e =
+  let rec go bound acc e =
+    match e with
+    | Ast.Var q -> if Vset.mem q bound then acc else Vset.add q acc
+    | e -> fold_scoped go bound acc e
+  in
+  go Vset.empty Vset.empty e
+
+(** [free_vars e] is {!free_var_set} as a sorted list. *)
+let free_vars e = Vset.elements (free_var_set e)
+
+let is_free v e = Vset.mem v (free_var_set e)
+
+(** [all_vars e] is every variable name that occurs in [e] at all —
+    referenced or bound. Used as an avoid-set when picking fresh names. *)
+let all_vars e =
+  let rec go bound acc e =
+    let acc = Vset.union bound acc in
+    match e with
+    | Ast.Var q -> Vset.add q acc
+    | e -> fold_scoped go Vset.empty acc e
+  in
+  go Vset.empty Vset.empty e
+
+(** [fresh ~avoid q] is a variable named after [q] (same namespace) that
+    does not collide with anything in [avoid]. *)
+let fresh ~avoid (q : Qname.t) =
+  let rec pick n =
+    let cand = { q with Qname.local = Printf.sprintf "%s_%d" q.Qname.local n } in
+    if Vset.mem cand avoid then pick (n + 1) else cand
+  in
+  pick 1
+
+(** [uses_context e] over-approximates whether [e] depends on the dynamic
+    context item / position / size at its top level (subexpressions that
+    establish their own focus — predicates, path steps — are excluded). *)
+let rec uses_context = function
+  | Ast.Context_item | Ast.Root_expr | Ast.Step _ -> true
+  | Ast.Call (q, args) ->
+    (args = []
+    && q.Qname.uri = Qname.fn_ns
+    && List.mem q.Qname.local
+         [ "position"; "last"; "string"; "data"; "number"; "name";
+           "local-name"; "root"; "normalize-space" ])
+    || List.exists uses_context args
+  | Ast.Path (a, _) -> uses_context a
+  | Ast.Filter (p, _) -> uses_context p
+  | e -> Ast.fold_subexprs (fun acc sub -> acc || uses_context sub) false e
+
+(** [occurs_in_shifted_focus v e]: does [v] occur free in a subexpression
+    of [e] that is evaluated under a different focus than [e] itself — a
+    predicate of a filter or step, or the right-hand side of a path?
+    Substituting [Context_item] for such an occurrence would rebind it to
+    the inner focus, so rewrites that move a variable into context-item
+    position must refuse. *)
+let rec occurs_in_shifted_focus v e =
+  match e with
+  | Ast.Path (a, b) -> is_free v b || occurs_in_shifted_focus v a
+  | Ast.Filter (p, preds) ->
+    List.exists (is_free v) preds || occurs_in_shifted_focus v p
+  | Ast.Step (_, _, preds) -> List.exists (is_free v) preds
+  | e ->
+    fold_scoped
+      (fun bound found sub ->
+        found || ((not (Vset.mem v bound)) && occurs_in_shifted_focus v sub))
+      Vset.empty false e
+
+(* ------------------------------------------------------------------ *)
+(* Capture-avoiding substitution                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** [subst v replacement e] replaces every free occurrence of [$v] in [e]
+    with [replacement]. The substitution is capture-avoiding: when a
+    binder in [e] binds a variable that occurs free in [replacement] (and
+    [$v] is still free below it), that binder — and its bound occurrences —
+    are alpha-renamed to a fresh name first, so the replacement's free
+    variables keep referring to the outer scope. *)
+let rec subst v replacement e =
+  let repl_fv = free_var_set replacement in
+  let rec go e =
+    match e with
+    | Ast.Var q when Qname.equal q v -> replacement
+    | Ast.Flwor (clauses, ret) ->
+      let clauses, ret = go_clauses clauses ret in
+      Ast.Flwor (clauses, ret)
+    | Ast.Quantified (q, bindings, body) ->
+      let bindings, body = go_quant q bindings body in
+      Ast.Quantified (q, bindings, body)
+    | Ast.Typeswitch (operand, cases, (dvar, default)) ->
+      let operand = go operand in
+      let cases =
+        List.map
+          (fun c ->
+            match c.Ast.case_var with
+            | None -> { c with Ast.case_return = go c.Ast.case_return }
+            | Some cv -> (
+              match enter cv c.Ast.case_return with
+              | `Shadowed -> c
+              | `Continue (cv', scope) ->
+                { c with Ast.case_var = Some cv'; case_return = go scope }))
+          cases
+      in
+      let default_branch =
+        match dvar with
+        | None -> (None, go default)
+        | Some dv -> (
+          match enter dv default with
+          | `Shadowed -> (Some dv, default)
+          | `Continue (dv', scope) -> (Some dv', go scope))
+      in
+      Ast.Typeswitch (operand, cases, default_branch)
+    | Ast.Transform (copies, modify, ret) ->
+      let copies, modify, ret = go_transform copies modify ret in
+      Ast.Transform (copies, modify, ret)
+    | e -> Ast.map_subexprs go e
+  (* Process binder [x] whose scope is [scope]: stop if [x] shadows [v];
+     alpha-rename [x] if it would capture a free variable of the
+     replacement; otherwise continue unchanged. *)
+  and enter x scope =
+    if Qname.equal x v then `Shadowed
+    else if Vset.mem x repl_fv && is_free v scope then begin
+      let avoid =
+        Vset.add v (Vset.union (all_vars scope) (Vset.union repl_fv (all_vars replacement)))
+      in
+      let x' = fresh ~avoid x in
+      `Continue (x', subst x (Ast.Var x') scope)
+    end
+    else `Continue (x, scope)
+  and go_clauses clauses ret =
+    match clauses with
+    | [] -> ([], go ret)
+    | Ast.For_clause bs :: rest ->
+      let bs, rest, ret = go_for bs rest ret in
+      (Ast.For_clause bs :: rest, ret)
+    | Ast.Let_clause bs :: rest ->
+      let bs, rest, ret = go_let bs rest ret in
+      (Ast.Let_clause bs :: rest, ret)
+    | Ast.Where_clause e :: rest ->
+      let rest, ret = go_clauses rest ret in
+      (Ast.Where_clause (go e) :: rest, ret)
+    | Ast.Order_clause (s, specs) :: rest ->
+      let specs =
+        List.map (fun sp -> { sp with Ast.key = go sp.Ast.key }) specs
+      in
+      let rest, ret = go_clauses rest ret in
+      (Ast.Order_clause (s, specs) :: rest, ret)
+    | Ast.Join_clause j :: rest ->
+      let j =
+        {
+          j with
+          Ast.join_source = go j.Ast.join_source;
+          join_probe_key = go j.Ast.join_probe_key;
+        }
+      in
+      (* join_var scopes over the build key and the remainder; carry the
+         build key through the traversal as a leading where clause so an
+         alpha-rename reaches it too *)
+      let wrap bk rest ret = Ast.Flwor (Ast.Where_clause bk :: rest, ret) in
+      let unwrap = function
+        | Ast.Flwor (Ast.Where_clause bk :: rest, ret) -> (bk, rest, ret)
+        | _ -> assert false
+      in
+      (match enter j.Ast.join_var (wrap j.Ast.join_build_key rest ret) with
+      | `Shadowed -> (Ast.Join_clause j :: rest, ret)
+      | `Continue (jv', scope) ->
+        let bk, rest, ret = unwrap scope in
+        let rest, ret = go_clauses (Ast.Where_clause bk :: rest) ret in
+        let bk, rest =
+          match rest with
+          | Ast.Where_clause bk :: rest -> (bk, rest)
+          | _ -> assert false
+        in
+        ( Ast.Join_clause { j with Ast.join_var = jv'; join_build_key = bk }
+          :: rest,
+          ret ))
+  and go_for bs rest ret =
+    match bs with
+    | [] ->
+      let rest, ret = go_clauses rest ret in
+      ([], rest, ret)
+    | b :: bs -> (
+      let b = { b with Ast.for_expr = go b.Ast.for_expr } in
+      let wrap bs rest ret = Ast.Flwor (Ast.For_clause bs :: rest, ret) in
+      let unwrap = function
+        | Ast.Flwor (Ast.For_clause bs :: rest, ret) -> (bs, rest, ret)
+        | _ -> assert false
+      in
+      match enter b.Ast.for_var (wrap bs rest ret) with
+      | `Shadowed -> (b :: bs, rest, ret)
+      | `Continue (v', scope) -> (
+        let bs, rest, ret = unwrap scope in
+        let b = { b with Ast.for_var = v' } in
+        match b.Ast.for_pos with
+        | None ->
+          let bs, rest, ret = go_for bs rest ret in
+          (b :: bs, rest, ret)
+        | Some p -> (
+          match enter p (wrap bs rest ret) with
+          | `Shadowed -> (b :: bs, rest, ret)
+          | `Continue (p', scope) ->
+            let bs, rest, ret = unwrap scope in
+            let b = { b with Ast.for_pos = Some p' } in
+            let bs, rest, ret = go_for bs rest ret in
+            (b :: bs, rest, ret))))
+  and go_let bs rest ret =
+    match bs with
+    | [] ->
+      let rest, ret = go_clauses rest ret in
+      ([], rest, ret)
+    | b :: bs -> (
+      let b = { b with Ast.let_expr = go b.Ast.let_expr } in
+      match enter b.Ast.let_var (Ast.Flwor (Ast.Let_clause bs :: rest, ret)) with
+      | `Shadowed -> (b :: bs, rest, ret)
+      | `Continue (v', scope) ->
+        let bs, rest, ret =
+          match scope with
+          | Ast.Flwor (Ast.Let_clause bs :: rest, ret) -> (bs, rest, ret)
+          | _ -> assert false
+        in
+        let b = { b with Ast.let_var = v' } in
+        let bs, rest, ret = go_let bs rest ret in
+        (b :: bs, rest, ret))
+  and go_quant q bindings body =
+    match bindings with
+    | [] -> ([], go body)
+    | (x, t, src) :: bs -> (
+      let src = go src in
+      match enter x (Ast.Quantified (q, bs, body)) with
+      | `Shadowed -> ((x, t, src) :: bs, body)
+      | `Continue (x', scope) ->
+        let bs, body =
+          match scope with
+          | Ast.Quantified (_, bs, body) -> (bs, body)
+          | _ -> assert false
+        in
+        let bs, body = go_quant q bs body in
+        ((x', t, src) :: bs, body))
+  and go_transform copies modify ret =
+    match copies with
+    | [] -> ([], go modify, go ret)
+    | (x, src) :: cs -> (
+      let src = go src in
+      match enter x (Ast.Transform (cs, modify, ret)) with
+      | `Shadowed -> ((x, src) :: cs, modify, ret)
+      | `Continue (x', scope) ->
+        let cs, modify, ret =
+          match scope with
+          | Ast.Transform (cs, m, r) -> (cs, m, r)
+          | _ -> assert false
+        in
+        let cs, modify, ret = go_transform cs modify ret in
+        ((x', src) :: cs, modify, ret))
+  in
+  go e

@@ -1,0 +1,52 @@
+(** Binder-aware AST traversals: the one place that knows the
+    variable-scoping rules of every binding construct ({!Ast.Flwor}
+    for/let/positional/join bindings, {!Ast.Quantified},
+    {!Ast.Typeswitch}, {!Ast.Transform}).
+
+    The optimizer's rewrite passes are built on these traversals so that
+    scope analysis is implemented — and fixed — exactly once. *)
+
+open Xdm
+
+module Vset : Set.S with type elt = Qname.t
+
+val fold_scoped :
+  (Vset.t -> 'a -> Ast.expr -> 'a) -> Vset.t -> 'a -> Ast.expr -> 'a
+(** [fold_scoped f bound acc e] folds [f] over every immediate
+    subexpression of [e]; each call receives [bound] extended with the
+    variables that [e]'s own binders place in scope at that
+    subexpression. *)
+
+val free_var_set : Ast.expr -> Vset.t
+(** The set of variables referenced by [e] that are not bound within it. *)
+
+val free_vars : Ast.expr -> Qname.t list
+(** {!free_var_set} as a sorted list. *)
+
+val is_free : Qname.t -> Ast.expr -> bool
+(** [is_free v e] iff [$v] occurs free in [e]. *)
+
+val all_vars : Ast.expr -> Vset.t
+(** Every variable name occurring in [e], referenced or bound — the
+    avoid-set for {!fresh}. *)
+
+val fresh : avoid:Vset.t -> Qname.t -> Qname.t
+(** [fresh ~avoid q] is a variant of [q] (same namespace, suffixed local
+    name) not present in [avoid]. *)
+
+val uses_context : Ast.expr -> bool
+(** Over-approximates whether [e] depends on the dynamic context
+    item/position/size at its top level. *)
+
+val occurs_in_shifted_focus : Qname.t -> Ast.expr -> bool
+(** Does [$v] occur free inside a subexpression of [e] evaluated under a
+    different focus (a filter/step predicate, a path right-hand side)?
+    Rewrites that substitute [Context_item] for [$v] must refuse when
+    this holds. *)
+
+val subst : Qname.t -> Ast.expr -> Ast.expr -> Ast.expr
+(** [subst v replacement e]: capture-avoiding substitution of
+    [replacement] for every free occurrence of [$v] in [e]. Binders that
+    would capture a free variable of [replacement] are alpha-renamed to a
+    {!fresh} name first; binders of [$v] itself shadow the substitution
+    as usual. *)

@@ -4,6 +4,7 @@ type t = {
   st : Context.static;
   reg : Context.registry;
   mutable optimize : bool;
+  mutable opt_log : (string -> unit) option;
   docs : (string * Node.t) list ref;
   colls : (string * Node.t list) list ref;
 }
@@ -13,17 +14,20 @@ let create ?(optimize = true) () =
     st = Context.default_static ();
     reg = Builtins.standard_registry ();
     optimize;
+    opt_log = None;
     docs = ref [];
     colls = ref [];
   }
 
 let with_registry ?(optimize = true) st reg =
-  { st; reg; optimize; docs = ref []; colls = ref [] }
+  { st; reg; optimize; opt_log = None; docs = ref []; colls = ref [] }
 
 let static t = t.st
 let registry t = t.reg
 let optimizing t = t.optimize
 let set_optimizing t b = t.optimize <- b
+let set_optimizer_log t f = t.opt_log <- Some f
+let optimizer_log t = t.opt_log
 let declare_namespace t prefix uri = Context.declare_ns t.st prefix uri
 
 let register_external t ?side_effects name arity impl =
@@ -57,7 +61,8 @@ let compile t src =
       match item with
       | Ast.P_function decl ->
         let decl =
-          if t.optimize then Optimizer.optimize_decl decl else decl
+          if t.optimize then Optimizer.optimize_decl ?log:t.opt_log decl
+          else decl
         in
         Context.register reg
           {
@@ -74,7 +79,10 @@ let compile t src =
            the prefix was already declared by the parser *)
         ())
     m.Ast.prolog;
-  let body = if t.optimize then Optimizer.optimize m.Ast.body else m.Ast.body in
+  let body =
+    if t.optimize then Optimizer.optimize ?log:t.opt_log m.Ast.body
+    else m.Ast.body
+  in
   { c_engine = t; c_registry = reg; c_vars = List.rev !vars; c_body = body }
 
 let run ?context_item ?(vars = []) ?(trace = fun _ -> ()) c =

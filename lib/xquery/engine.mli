@@ -23,6 +23,15 @@ val registry : t -> Context.registry
 val optimizing : t -> bool
 val set_optimizing : t -> bool -> unit
 
+val set_optimizer_log : t -> (string -> unit) -> unit
+(** Attach a rewrite-log hook: every optimizer rewrite performed while
+    compiling (constant folds, let inlinings, join detections, predicate
+    pushdowns) is reported as one line — the engine's "explain" output. *)
+
+val optimizer_log : t -> (string -> unit) option
+(** The hook installed by {!set_optimizer_log}, if any (used by hosts —
+    e.g. XQSE sessions — that run the optimizer themselves). *)
+
 val declare_namespace : t -> string -> string -> unit
 
 val register_external :

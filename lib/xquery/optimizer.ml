@@ -4,208 +4,26 @@ type stats = { folded : int; inlined : int; joins : int; pushed : int }
 
 let zero_stats = { folded = 0; inlined = 0; joins = 0; pushed = 0 }
 
-(* Bottom-up structural map over immediate subexpressions. *)
-let map_sub (f : Ast.expr -> Ast.expr) (e : Ast.expr) : Ast.expr =
-  let open Ast in
-  let map_name_spec = function
-    | Static_name q -> Static_name q
-    | Dynamic_name e -> Dynamic_name (f e)
-  in
-  match e with
-  | Literal _ | Var _ | Context_item | Root_expr -> e
-  | Seq_expr es -> Seq_expr (List.map f es)
-  | Range (a, b) -> Range (f a, f b)
-  | Arith (op, a, b) -> Arith (op, f a, f b)
-  | Neg a -> Neg (f a)
-  | And (a, b) -> And (f a, f b)
-  | Or (a, b) -> Or (f a, f b)
-  | General_cmp (op, a, b) -> General_cmp (op, f a, f b)
-  | Value_cmp (op, a, b) -> Value_cmp (op, f a, f b)
-  | Node_is (a, b) -> Node_is (f a, f b)
-  | Node_before (a, b) -> Node_before (f a, f b)
-  | Node_after (a, b) -> Node_after (f a, f b)
-  | Union (a, b) -> Union (f a, f b)
-  | Intersect (a, b) -> Intersect (f a, f b)
-  | Except (a, b) -> Except (f a, f b)
-  | Instance_of (a, t) -> Instance_of (f a, t)
-  | Treat_as (a, t) -> Treat_as (f a, t)
-  | Castable_as (a, t, o) -> Castable_as (f a, t, o)
-  | Cast_as (a, t, o) -> Cast_as (f a, t, o)
-  | If_expr (c, t, e2) -> If_expr (f c, f t, f e2)
-  | Typeswitch (operand, cases, (dvar, default)) ->
-    Typeswitch
-      ( f operand,
-        List.map (fun c -> { c with case_return = f c.case_return }) cases,
-        (dvar, f default) )
-  | Flwor (clauses, ret) ->
-    let clauses =
-      List.map
-        (function
-          | For_clause bs ->
-            For_clause
-              (List.map (fun b -> { b with for_expr = f b.for_expr }) bs)
-          | Let_clause bs ->
-            Let_clause
-              (List.map (fun b -> { b with let_expr = f b.let_expr }) bs)
-          | Where_clause e -> Where_clause (f e)
-          | Order_clause (s, specs) ->
-            Order_clause
-              (s, List.map (fun sp -> { sp with key = f sp.key }) specs)
-          | Join_clause j ->
-            Join_clause
-              {
-                j with
-                join_source = f j.join_source;
-                join_build_key = f j.join_build_key;
-                join_probe_key = f j.join_probe_key;
-              })
-        clauses
-    in
-    Flwor (clauses, f ret)
-  | Quantified (q, bs, body) ->
-    Quantified (q, List.map (fun (v, t, e) -> (v, t, f e)) bs, f body)
-  | Path (a, b) -> Path (f a, f b)
-  | Step (ax, nt, preds) -> Step (ax, nt, List.map f preds)
-  | Filter (p, preds) -> Filter (f p, List.map f preds)
-  | Call (n, args) -> Call (n, List.map f args)
-  | Elem_ctor (n, attrs, contents) ->
-    Elem_ctor
-      ( n,
-        List.map
-          (fun (an, parts) ->
-            ( an,
-              List.map
-                (function
-                  | Attr_str s -> Attr_str s
-                  | Attr_expr e -> Attr_expr (f e))
-                parts ))
-          attrs,
-        List.map
-          (function
-            | Content_text s -> Content_text s
-            | Content_expr e -> Content_expr (f e)
-            | Content_node e -> Content_node (f e))
-          contents )
-  | Comp_elem (ns, e) -> Comp_elem (map_name_spec ns, f e)
-  | Comp_attr (ns, e) -> Comp_attr (map_name_spec ns, f e)
-  | Comp_text e -> Comp_text (f e)
-  | Comp_doc e -> Comp_doc (f e)
-  | Comp_comment e -> Comp_comment (f e)
-  | Comp_pi (ns, e) -> Comp_pi (map_name_spec ns, f e)
-  | Insert (p, s, t) -> Insert (p, f s, f t)
-  | Delete t -> Delete (f t)
-  | Replace { value_of; target; source } ->
-    Replace { value_of; target = f target; source = f source }
-  | Rename (t, ns) -> Rename (f t, map_name_spec ns)
-  | Transform (cs, m, r) ->
-    Transform (List.map (fun (v, e) -> (v, f e)) cs, f m, f r)
+let add_stats a b =
+  {
+    folded = a.folded + b.folded;
+    inlined = a.inlined + b.inlined;
+    joins = a.joins + b.joins;
+    pushed = a.pushed + b.pushed;
+  }
 
-(* Substitute [Var v := replacement], stopping under rebindings of [v]. *)
-let rec subst v replacement (e : Ast.expr) : Ast.expr =
-  let open Ast in
-  match e with
-  | Var q when Qname.equal q v -> replacement
-  | Flwor (clauses, ret) ->
-    let rec go acc shadowed = function
-      | [] ->
-        let ret = if shadowed then ret else subst v replacement ret in
-        Flwor (List.rev acc, ret)
-      | c :: rest ->
-        if shadowed then go (c :: acc) true rest
-        else
-          let c', now_shadowed =
-            match c with
-            | For_clause bs ->
-              let bs', sh =
-                List.fold_left
-                  (fun (bs, sh) b ->
-                    let b' =
-                      if sh then b
-                      else { b with for_expr = subst v replacement b.for_expr }
-                    in
-                    let sh' =
-                      sh || Qname.equal b.for_var v
-                      || (match b.for_pos with
-                         | Some p -> Qname.equal p v
-                         | None -> false)
-                    in
-                    (b' :: bs, sh'))
-                  ([], false) bs
-              in
-              (For_clause (List.rev bs'), sh)
-            | Let_clause bs ->
-              let bs', sh =
-                List.fold_left
-                  (fun (bs, sh) b ->
-                    let b' =
-                      if sh then b
-                      else { b with let_expr = subst v replacement b.let_expr }
-                    in
-                    (b' :: bs, sh || Qname.equal b.let_var v))
-                  ([], false) bs
-              in
-              (Let_clause (List.rev bs'), sh)
-            | Where_clause e -> (Where_clause (subst v replacement e), false)
-            | Order_clause (s, specs) ->
-              ( Order_clause
-                  ( s,
-                    List.map
-                      (fun sp -> { sp with key = subst v replacement sp.key })
-                      specs ),
-                false )
-            | Join_clause j ->
-              ( Join_clause
-                  {
-                    j with
-                    join_source = subst v replacement j.join_source;
-                    join_probe_key = subst v replacement j.join_probe_key;
-                    join_build_key =
-                      (if Qname.equal j.join_var v then j.join_build_key
-                       else subst v replacement j.join_build_key);
-                  },
-                Qname.equal j.join_var v )
-          in
-          go (c' :: acc) now_shadowed rest
-    in
-    go [] false clauses
-  | Quantified (q, bs, body) ->
-    let bs', shadowed =
-      List.fold_left
-        (fun (bs, sh) (bv, t, be) ->
-          let be' = if sh then be else subst v replacement be in
-          ((bv, t, be') :: bs, sh || Qname.equal bv v))
-        ([], false) bs
-    in
-    let body = if shadowed then body else subst v replacement body in
-    Quantified (q, List.rev bs', body)
-  | Transform (cs, m, r) ->
-    let cs', shadowed =
-      List.fold_left
-        (fun (cs, sh) (cv, ce) ->
-          let ce' = if sh then ce else subst v replacement ce in
-          ((cv, ce') :: cs, sh || Qname.equal cv v))
-        ([], false) cs
-    in
-    if shadowed then Transform (List.rev cs', m, r)
-    else
-      Transform (List.rev cs', subst v replacement m, subst v replacement r)
-  | Typeswitch (operand, cases, (dvar, default)) ->
-    let operand = subst v replacement operand in
-    let cases =
-      List.map
-        (fun c ->
-          match c.case_var with
-          | Some cv when Qname.equal cv v -> c
-          | _ -> { c with case_return = subst v replacement c.case_return })
-        cases
-    in
-    let default =
-      match dvar with
-      | Some dv when Qname.equal dv v -> default
-      | _ -> subst v replacement default
-    in
-    Typeswitch (operand, cases, (dvar, default))
-  | e -> map_sub (subst v replacement) e
+let stats_to_string s =
+  Printf.sprintf "folded=%d inlined=%d joins=%d pushed=%d" s.folded s.inlined
+    s.joins s.pushed
+
+(* A pass reports each rewrite through [note]: it bumps that pass's
+   counter (the fixpoint driver keys off the counters) and appends a line
+   to the rewrite log when one is attached. *)
+type note = string Lazy.t -> unit
+
+let brief e =
+  let s = Pretty.expr e in
+  if String.length s <= 60 then s else String.sub s 0 57 ^ "..."
 
 (* ------------------------------------------------------------------ *)
 (* Passes                                                               *)
@@ -213,7 +31,7 @@ let rec subst v replacement (e : Ast.expr) : Ast.expr =
 
 let is_literal = function Ast.Literal _ -> true | _ -> false
 
-let fold_constants stats e =
+let fold_constants (note : note) e =
   let open Ast in
   let try_arith op a b =
     try Some (Literal (Atomic.arith op a b)) with Atomic.Cast_error _ -> None
@@ -222,18 +40,22 @@ let fold_constants stats e =
   | Arith (op, Literal a, Literal b) -> (
     match try_arith op a b with
     | Some e' ->
-      incr stats;
+      note (lazy (Printf.sprintf "fold_constants: %s => %s" (brief e) (brief e')));
       e'
     | None -> e)
   | Neg (Literal a) -> (
-    try
-      incr stats;
-      Literal (Atomic.negate a)
-    with Atomic.Cast_error _ -> e)
+    (* compute first: a non-numeric literal must keep its dynamic error *)
+    match Atomic.negate a with
+    | v ->
+      note (lazy (Printf.sprintf "fold_constants: %s folded" (brief e)));
+      Literal v
+    | exception Atomic.Cast_error _ -> e)
   | Value_cmp (op, Literal a, Literal b) -> (
+    (* incomparable literals (e.g. integer vs string) keep their dynamic
+       type error instead of folding *)
     match Atomic.compare_values a b with
     | c ->
-      incr stats;
+      note (lazy (Printf.sprintf "fold_constants: %s folded" (brief e)));
       let r =
         match op with
         | Eq -> c = 0
@@ -246,92 +68,81 @@ let fold_constants stats e =
       Literal (Atomic.Boolean r)
     | exception Atomic.Cast_error _ -> e)
   | If_expr (Literal (Atomic.Boolean true), t, _) ->
-    incr stats;
+    note (lazy (Printf.sprintf "fold_constants: if true() => %s" (brief t)));
     t
   | If_expr (Literal (Atomic.Boolean false), _, f) ->
-    incr stats;
+    note (lazy (Printf.sprintf "fold_constants: if false() => %s" (brief f)));
     f
+  (* and/or: evaluation short-circuits on the first operand, so dropping
+     the *second* operand after a literal first operand never skips an
+     evaluation the unoptimized program would have performed. The kept
+     operand still goes through fn:boolean — and/or return the EBV, not
+     the operand value. *)
   | And (Literal (Atomic.Boolean true), b) ->
-    incr stats;
-    b
+    note (lazy (Printf.sprintf "fold_constants: true() and _ => boolean(%s)" (brief b)));
+    Call (Qname.fn "boolean", [ b ])
   | And (Literal (Atomic.Boolean false), _) ->
-    incr stats;
+    note (lazy "fold_constants: false() and _ => false()");
     Literal (Atomic.Boolean false)
   | Or (Literal (Atomic.Boolean false), b) ->
-    incr stats;
-    b
+    note (lazy (Printf.sprintf "fold_constants: false() or _ => boolean(%s)" (brief b)));
+    Call (Qname.fn "boolean", [ b ])
   | Or (Literal (Atomic.Boolean true), _) ->
-    incr stats;
+    note (lazy "fold_constants: true() or _ => true()");
     Literal (Atomic.Boolean true)
   | Call (q, [ arg ])
     when q.Qname.uri = Qname.fn_ns && q.Qname.local = "boolean" && is_literal arg
     -> (
     match arg with
     | Literal (Atomic.Boolean _) ->
-      incr stats;
+      note (lazy "fold_constants: fn:boolean on boolean literal");
       arg
     | _ -> e)
   | e -> e
 
-(* Inline lets bound to literals or variable aliases. *)
-let inline_lets stats e =
+(* Inline lets bound to literals or variable aliases. The scope of a let
+   binding is the remaining bindings of its clause, the remaining clauses
+   and the return expression — exactly what [Binders.subst] sees when we
+   hand it the tail FLWOR, so shadowing and capture are handled there. *)
+let inline_lets (note : note) e =
   let open Ast in
   match e with
   | Flwor (clauses, ret) ->
-    let rec go = function
+    let trivial b =
+      match b.let_expr with
+      | Literal _ | Var _ -> b.let_type = None
+      | _ -> false
+    in
+    let rec go clauses ret =
+      match clauses with
       | [] -> ([], ret)
       | Let_clause bs :: rest ->
-        let trivial, kept =
-          List.partition
-            (fun b -> match b.let_expr with
-               | Literal _ | Var _ -> b.let_type = None
-               | _ -> false)
-            bs
+        let rec go_bindings bs rest ret kept =
+          match bs with
+          | [] -> (
+            let rest, ret = go rest ret in
+            match List.rev kept with
+            | [] -> (rest, ret)
+            | ks -> (Let_clause ks :: rest, ret))
+          | b :: bs when trivial b -> (
+            note
+              (lazy
+                (Printf.sprintf "inline_lets: $%s := %s"
+                   (Qname.to_string b.let_var) (brief b.let_expr)));
+            match
+              Binders.subst b.let_var b.let_expr
+                (Flwor (Let_clause bs :: rest, ret))
+            with
+            | Flwor (Let_clause bs :: rest, ret) -> go_bindings bs rest ret kept
+            | _ -> assert false)
+          | b :: bs -> go_bindings bs rest ret (b :: kept)
         in
-        if trivial = [] then
-          let rest', ret' = go rest in
-          (Let_clause bs :: rest', ret')
-        else begin
-          let rest', ret' = go rest in
-          let apply_subst (cls, r) b =
-            incr stats;
-            let s e = subst b.let_var b.let_expr e in
-            let cls =
-              List.map
-                (function
-                  | For_clause bs ->
-                    For_clause
-                      (List.map (fun fb -> { fb with for_expr = s fb.for_expr }) bs)
-                  | Let_clause bs ->
-                    Let_clause
-                      (List.map (fun lb -> { lb with let_expr = s lb.let_expr }) bs)
-                  | Where_clause e -> Where_clause (s e)
-                  | Order_clause (st, specs) ->
-                    Order_clause
-                      (st, List.map (fun sp -> { sp with key = s sp.key }) specs)
-                  | Join_clause j ->
-                    Join_clause
-                      {
-                        j with
-                        join_source = s j.join_source;
-                        join_build_key = s j.join_build_key;
-                        join_probe_key = s j.join_probe_key;
-                      })
-                cls
-            in
-            (cls, s r)
-          in
-          let rest'', ret'' =
-            List.fold_left apply_subst (rest', ret') trivial
-          in
-          if kept = [] then (rest'', ret'')
-          else (Let_clause kept :: rest'', ret'')
-        end
+        go_bindings bs rest ret []
       | c :: rest ->
-        let rest', ret' = go rest in
-        (c :: rest', ret')
+        let rest, ret = go rest ret in
+        (c :: rest, ret)
     in
-    let clauses', ret' = go clauses in
+    let clauses', ret' = go clauses ret in
     if clauses' = [] then ret' else Flwor (clauses', ret')
   | e -> e
 
@@ -362,13 +173,22 @@ let normalize_wheres e =
 (* Does [e] reference only the variable [v] (and no context / other free
    vars / positional functions)? *)
 let key_over_var v e =
-  let fv = Ast.free_vars e in
-  (match fv with [ x ] -> Qname.equal x v | _ -> false)
-  && not (Ast.uses_context e)
+  (match Binders.free_vars e with
+  | [ x ] -> Qname.equal x v
+  | _ -> false)
+  && not (Binders.uses_context e)
 
 (* Detect equi-joins: for $a in E1 ... for $b in E2 ... where K1($a) eq
-   K2($b) — rewrite the second for + where into a hash join clause. *)
-let detect_joins stats e =
+   K2($b) — rewrite the second for + where into a hash join clause.
+
+   The rewrite moves the where's key expressions to the for's position:
+   the probe key runs before the clauses that used to precede the where,
+   and the build key binds the for variable at its original spot. Both
+   moves are sound only if no intervening clause rebinds a key variable —
+   [bound_between] tracks every binder introduced between the for and the
+   where (for/let/join variables and positional variables) and the
+   rewrite is refused when a key variable appears in it. *)
+let detect_joins (note : note) e =
   let open Ast in
   match e with
   | Flwor (clauses, ret) ->
@@ -378,7 +198,7 @@ let detect_joins stats e =
       | (For_clause [ b ] as c) :: rest when b.for_pos = None -> (
         (* look for a where equi-join on b.for_var in the remainder,
            with the other side bound earlier *)
-        let rec find_where seen_rev bound_after = function
+        let rec find_where seen_rev bound_between = function
           | Where_clause cond :: rest2 -> (
             let sides =
               match cond with
@@ -387,32 +207,33 @@ let detect_joins stats e =
             in
             match sides with
             | Some (l, r) ->
+              let rebound x = List.exists (Qname.equal x) bound_between in
               let try_match build probe =
-                if
-                  key_over_var b.for_var build
-                  && (match free_vars probe with
-                     | [ x ] ->
-                       (not (Qname.equal x b.for_var))
-                       && List.exists (Qname.equal x) bound
-                       && not (List.exists (Qname.equal x) bound_after)
-                     | _ -> false)
-                  && not (uses_context probe)
-                  (* the joined source must not depend on outer vars *)
-                  && free_vars b.for_expr = []
-                then Some ()
-                else None
+                key_over_var b.for_var build
+                (* the where's reference must still mean the join's for
+                   variable: refuse if an intervening clause rebound it *)
+                && (not (rebound b.for_var))
+                && (match Binders.free_vars probe with
+                   | [ x ] ->
+                     (not (Qname.equal x b.for_var))
+                     && List.exists (Qname.equal x) bound
+                     && not (rebound x)
+                   | _ -> false)
+                && (not (Binders.uses_context probe))
+                (* the joined source must not depend on outer vars *)
+                && Binders.free_vars b.for_expr = []
               in
               let result =
-                match try_match l r with
-                | Some () -> Some (l, r)
-                | None -> (
-                  match try_match r l with
-                  | Some () -> Some (r, l)
-                  | None -> None)
+                if try_match l r then Some (l, r)
+                else if try_match r l then Some (r, l)
+                else None
               in
               (match result with
               | Some (build, probe) ->
-                incr stats;
+                note
+                  (lazy
+                    (Printf.sprintf "detect_joins: $%s keyed on %s = %s"
+                       (Qname.to_string b.for_var) (brief build) (brief probe)));
                 let join =
                   Join_clause
                     {
@@ -429,18 +250,24 @@ let detect_joins stats e =
                   @ List.rev seen_rev
                   @ rest2)
               | None ->
-                find_where (Where_clause cond :: seen_rev) bound_after rest2)
+                find_where (Where_clause cond :: seen_rev) bound_between rest2)
             | None ->
-              find_where (Where_clause cond :: seen_rev) bound_after rest2)
+              find_where (Where_clause cond :: seen_rev) bound_between rest2)
           | (For_clause bs as c2) :: rest2 ->
-            find_where (c2 :: seen_rev)
-              (List.map (fun b -> b.for_var) bs @ bound_after)
-              rest2
+            let vars =
+              List.concat_map
+                (fun b ->
+                  b.for_var :: (match b.for_pos with Some p -> [ p ] | None -> []))
+                bs
+            in
+            find_where (c2 :: seen_rev) (vars @ bound_between) rest2
           | (Let_clause bs as c2) :: rest2 ->
             find_where (c2 :: seen_rev)
-              (List.map (fun b -> b.let_var) bs @ bound_after)
+              (List.map (fun b -> b.let_var) bs @ bound_between)
               rest2
-          | c2 :: rest2 -> find_where (c2 :: seen_rev) bound_after rest2
+          | (Join_clause j as c2) :: rest2 ->
+            find_where (c2 :: seen_rev) (j.join_var :: bound_between) rest2
+          | c2 :: rest2 -> find_where (c2 :: seen_rev) bound_between rest2
           | [] -> None
         in
         match find_where [] [] rest with
@@ -461,8 +288,10 @@ let detect_joins stats e =
   | e -> e
 
 (* Push single-variable wheres into the binding for-expression as a
-   predicate. *)
-let pushdown_predicates stats e =
+   predicate. Refused when the variable occurs in a focus-shifting
+   position of the condition (a predicate or a path tail): substituting
+   [Context_item] there would rebind it to the inner focus. *)
+let pushdown_predicates (note : note) e =
   let open Ast in
   match e with
   | Flwor (clauses, ret) ->
@@ -470,17 +299,20 @@ let pushdown_predicates stats e =
       | (For_clause [ b ] as c) :: rest when b.for_pos = None -> (
         (* find an immediately-reachable where over only b.for_var *)
         let rec take_where seen_rev = function
-          | Where_clause cond :: rest2 when key_over_var b.for_var cond ->
+          | Where_clause cond :: rest2
+            when key_over_var b.for_var cond
+                 && not (Binders.occurs_in_shifted_focus b.for_var cond) ->
             Some (cond, List.rev seen_rev @ rest2)
           | (Where_clause _ as w) :: rest2 -> take_where (w :: seen_rev) rest2
-          | rest2 ->
-            ignore rest2;
-            None
+          | _ -> None
         in
         match take_where [] rest with
         | Some (cond, rest') ->
-          incr stats;
-          let pred = subst b.for_var Context_item cond in
+          note
+            (lazy
+              (Printf.sprintf "pushdown_predicates: $%s where %s"
+                 (Qname.to_string b.for_var) (brief cond)));
+          let pred = Binders.subst b.for_var Context_item cond in
           let b' = { b with for_expr = Filter (b.for_expr, [ pred ]) } in
           For_clause [ b' ] :: go rest'
         | None -> c :: go rest)
@@ -492,37 +324,55 @@ let pushdown_predicates stats e =
 
 (* ------------------------------------------------------------------ *)
 
-let optimize_with_stats e =
+let optimize_with_stats ?log e =
   let folded = ref 0
   and inlined = ref 0
   and joins = ref 0
   and pushed = ref 0 in
+  let note counter msg =
+    incr counter;
+    match log with None -> () | Some f -> f (Lazy.force msg)
+  in
+  let iteration = ref 0 in
   let rec pass e =
-    let e = map_sub pass e in
-    let e = fold_constants folded e in
+    let e = Ast.map_subexprs pass e in
+    let e = fold_constants (note folded) e in
     let e = normalize_wheres e in
-    let e = inline_lets inlined e in
-    let e = detect_joins joins e in
-    let e = pushdown_predicates pushed e in
+    let e = inline_lets (note inlined) e in
+    let e = detect_joins (note joins) e in
+    let e = pushdown_predicates (note pushed) e in
     e
   in
   let rec fix n e =
     if n = 0 then e
     else
       let before = (!folded, !inlined, !joins, !pushed) in
+      incr iteration;
       let e' = pass e in
       if (!folded, !inlined, !joins, !pushed) = before then e'
-      else fix (n - 1) e'
+      else begin
+        (match log with
+        | None -> ()
+        | Some f ->
+          f
+            (Printf.sprintf "pass %d: %s" !iteration
+               (stats_to_string
+                  {
+                    folded = !folded;
+                    inlined = !inlined;
+                    joins = !joins;
+                    pushed = !pushed;
+                  })));
+        fix (n - 1) e'
+      end
   in
   let e' = fix 4 e in
   ( e',
     { folded = !folded; inlined = !inlined; joins = !joins; pushed = !pushed } )
 
-let optimize e = fst (optimize_with_stats e)
+let optimize ?log e = fst (optimize_with_stats ?log e)
 
-let optimize_decl (d : Ast.function_decl) =
+let optimize_decl ?log (d : Ast.function_decl) =
   match d.Ast.fd_body with
   | None -> d
-  | Some body -> { d with Ast.fd_body = Some (optimize body) }
-
-let _ = zero_stats
+  | Some body -> { d with Ast.fd_body = Some (optimize ?log body) }

@@ -13,10 +13,18 @@
     - pushdown of single-variable [where] predicates into the binding
       [for] expression as a filter predicate (when position-free). *)
 
-val optimize : Ast.expr -> Ast.expr
+val optimize : ?log:(string -> unit) -> Ast.expr -> Ast.expr
+(** [log], when given, receives one line per individual rewrite (which
+    pass fired and on what) and a per-iteration counter summary — the
+    optimizer's "explain" output. *)
 
-val optimize_decl : Ast.function_decl -> Ast.function_decl
+val optimize_decl :
+  ?log:(string -> unit) -> Ast.function_decl -> Ast.function_decl
 
 type stats = { folded : int; inlined : int; joins : int; pushed : int }
 
-val optimize_with_stats : Ast.expr -> Ast.expr * stats
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+val stats_to_string : stats -> string
+
+val optimize_with_stats : ?log:(string -> unit) -> Ast.expr -> Ast.expr * stats

@@ -40,6 +40,31 @@ The --ast flag parses and prints the program back:
     return value $x;
   }
 
+--no-optimize runs the program exactly as written; both modes must agree
+(this query once returned "1 2" optimized — a let-inlining capture bug):
+
+  $ echo 'let $x := 99 return (let $y := $x for $x in (1,2) return $y)' | xqse -
+  99 99
+
+  $ echo 'let $x := 99 return (let $y := $x for $x in (1,2) return $y)' | xqse --no-optimize -
+  99 99
+
+--explain optimizes without executing and reports every rewrite:
+
+  $ xqse --explain -e 'let $x := 1 return for $a in (1,2,3) where $a ge $x return $a * 2'
+  for $a in ((1, 2, 3))[(. ge 1)] return ($a * 2)
+  rewrite: inline_lets: $x := 1
+  rewrite: pushdown_predicates: $a where ($a ge 1)
+  rewrite: pass 1: folded=0 inlined=1 joins=0 pushed=1
+  stats: folded=0 inlined=1 joins=0 pushed=1
+
+  $ xqse --explain -e '1 + 2 * 3'
+  7
+  rewrite: fold_constants: (2 * 3) => 6
+  rewrite: fold_constants: (1 + 6) => 7
+  rewrite: pass 1: folded=2 inlined=0 joins=0 pushed=0
+  stats: folded=2 inlined=0 joins=0 pushed=0
+
 Dynamic errors report their code:
 
   $ xqse -e '1 div 0'

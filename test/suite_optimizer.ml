@@ -139,8 +139,100 @@ let prop_tests =
         xq src = xq_noopt src);
   ]
 
+(* Soundness regressions: capture-avoiding substitution, join detection
+   across shadowing [let] clauses, and constant-folding edge cases. *)
+
+let agree name src = case name (fun () -> check_string src (xq_noopt src) (xq src))
+
+let trace_run ~optimize src =
+  let engine = Xquery.Engine.create ~optimize () in
+  let msgs = ref [] in
+  let result =
+    Xdm.Xml_serialize.seq_to_string
+      (Xquery.Engine.eval_string ~trace:(fun m -> msgs := m :: !msgs) engine src)
+  in
+  (result, List.rev !msgs)
+
+let soundness_tests =
+  [
+    case "let inlining is capture-avoiding (issue repro)" (fun () ->
+        let src =
+          "let $x := 99 return (let $y := $x for $x in (1,2) return $y)"
+        in
+        check_string "optimized result" "99 99" (xq src);
+        check_string "agrees with unoptimized" (xq_noopt src) (xq src));
+    agree "alias inlining avoids capture under quantifiers"
+      "for $x in (7,8) let $y := $x return some $x in (1 to 3) satisfies $x eq $y";
+    agree "alias inlining avoids capture by positional variables"
+      "for $x in (5,6) let $y := $x return (for $i at $x in ('a','b') return $y)";
+    agree "alias inlining avoids capture by a later let in the same FLWOR"
+      "for $x in (3,4) let $y := $x let $x := 0 return $y";
+    case "join skipped when a let shadows the probe key variable" (fun () ->
+        let src =
+          "for $a in (<r><k>1</k></r>, <r><k>2</k></r>)
+           for $b in (<s><k>2</k></s>, <s><k>3</k></s>)
+           let $a := <r><k>3</k></r>
+           where $a/k eq $b/k
+           return string($b/k)"
+        in
+        check_int "joins" 0 (stats src).Xquery.Optimizer.joins;
+        check_string src (xq_noopt src) (xq src));
+    case "join skipped when a let shadows the build key variable" (fun () ->
+        let src =
+          "for $a in (<r><k>1</k></r>, <r><k>2</k></r>)
+           for $b in (<s><k>9</k></s>)
+           let $b := <s><k>2</k></s>
+           where $a/k eq $b/k
+           return string($a/k)"
+        in
+        check_int "joins" 0 (stats src).Xquery.Optimizer.joins;
+        check_string src (xq_noopt src) (xq src));
+    case "value comparison on incomparable literals is not folded" (fun () ->
+        let src = "1 eq 'x'" in
+        check_int "folded" 0 (stats src).Xquery.Optimizer.folded;
+        (match Xquery.Optimizer.optimize (parse src) with
+        | Xquery.Ast.Literal _ -> Alcotest.fail "folded an erroring comparison"
+        | _ -> ());
+        (* both modes must still raise the dynamic type error *)
+        List.iter
+          (fun run ->
+            match run src with
+            | (_ : string) -> Alcotest.fail "expected XPTY0004"
+            | exception Xdm.Item.Error { code; _ } ->
+              check_string "code" "XPTY0004" code.Xdm.Qname.local)
+          [ xq; xq_noopt ])
+    ;
+    case "unary minus on a non-numeric literal is not folded" (fun () ->
+        let src = "-'a'" in
+        check_int "folded" 0 (stats src).Xquery.Optimizer.folded;
+        match Xquery.Optimizer.optimize (parse src) with
+        | Xquery.Ast.Literal _ -> Alcotest.fail "folded an erroring negation"
+        | _ -> ());
+    case "and-fold keeps short-circuit trace behaviour" (fun () ->
+        (* the second operand is never evaluated in either mode *)
+        let src = "(1 eq 2) and trace(true(), 'boom')" in
+        let r_opt, t_opt = trace_run ~optimize:true src in
+        let r_no, t_no = trace_run ~optimize:false src in
+        check_string "result" r_no r_opt;
+        check_int "no trace either way" 0 (List.length t_opt + List.length t_no));
+    case "and-fold keeps the traced second operand when it must run" (fun () ->
+        let src = "(1 eq 1) and trace(true(), 'side')" in
+        let r_opt, t_opt = trace_run ~optimize:true src in
+        let r_no, t_no = trace_run ~optimize:false src in
+        check_string "result" r_no r_opt;
+        check_int "trace fires once optimized" (List.length t_no)
+          (List.length t_opt));
+    case "and-fold preserves the EBV of a non-boolean operand" (fun () ->
+        let src = "(1 eq 1) and 1" in
+        check_string "true and 1 is true" (xq_noopt src) (xq src));
+    case "or-fold preserves the EBV of a non-boolean operand" (fun () ->
+        let src = "(1 eq 2) or 'nonempty'" in
+        check_string "false or string is true" (xq_noopt src) (xq src));
+  ]
+
 let suites =
   [
     ("optimizer.passes", pass_tests);
     ("optimizer.equivalence", equivalence_tests @ prop_tests);
+    ("optimizer.soundness", soundness_tests);
   ]
