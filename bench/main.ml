@@ -133,6 +133,45 @@ let time_ms ?(repeat = 5) f =
 let section title =
   Printf.printf "\n================ %s ================\n" title
 
+(* machine-readable companion to the printed report: named metrics
+   recorded as the sections run, written as BENCH_report.json *)
+let metrics : (string * float) list ref = ref []
+let record name v = metrics := (name, v) :: !metrics
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let write_json_report counters =
+  let oc = open_out "BENCH_report.json" in
+  let entry fmt (n, v) = Printf.sprintf ("    \"%s\": " ^^ fmt) (json_escape n) v in
+  Printf.fprintf oc "{\n  \"schema\": \"xqse-bench-report/1\",\n";
+  Printf.fprintf oc "  \"metrics\": {\n%s\n  },\n"
+    (String.concat ",\n" (List.map (entry "%.3f") (List.rev !metrics)));
+  Printf.fprintf oc "  \"counters\": {\n%s\n  }\n}\n"
+    (String.concat ",\n" (List.map (entry "%d") counters));
+  close_out oc;
+  Printf.printf "\nwrote BENCH_report.json (%d metrics, %d counters)\n"
+    (List.length !metrics) (List.length counters)
+
+(* the instrumented Figure 3/4 workload whose counters go into the JSON
+   report: one full read plus one submit, on a session-wide handle *)
+let instrumented_counters () =
+  let instr = Instr.create () in
+  Instr.preregister instr;
+  Instr.enable instr;
+  let env = FC.make ~customers:10 ~instr () in
+  ignore (getprofile env);
+  ignore
+    (Xqse.Session.eval
+       (Aldsp.Dataspace.session env.FC.ds)
+       "{ declare $n := count(profile:getProfile()); return value $n; }");
+  ignore (submit_rename env "007" "Carey");
+  (Instr.stats instr).Instr.counters
+
 let report () =
   Printf.printf "XQSE/ALDSP reproduction - experiment report\n";
   Printf.printf "(paper: ICDE 2008, Borkar et al.; see EXPERIMENTS.md)\n";
@@ -144,6 +183,7 @@ let report () =
       let env = FC.make ~customers:n () in
       Webservice.reset_call_count env.FC.ws;
       let ms = time_ms (fun () -> getprofile env) in
+      record (Printf.sprintf "f3.getProfile.N=%d.ms" n) ms;
       Printf.printf "%-12d %-10d %-14d %-12.2f\n" n (n + 1)
         (Webservice.call_count env.FC.ws / 5)
         ms)
@@ -156,6 +196,7 @@ let report () =
       let off = FC.make ~customers:n ~optimize:false () in
       let t_on = time_ms (fun () -> FC.get_profile_by_id on "C1") in
       let t_off = time_ms (fun () -> FC.get_profile_by_id off "C1") in
+      record (Printf.sprintf "f3.byid.N=%d.optimizer_ratio" n) (t_off /. t_on);
       Printf.printf "N=%-4d  optimized %.2f ms   unoptimized %.2f ms   ratio %.2fx\n"
         n t_on t_off (t_off /. t_on))
     [ 10; 50 ];
@@ -234,6 +275,8 @@ let report () =
     time_ms (fun () ->
         Aldsp.Dataspace.call env2.FE.ds (uc "chainRec") [ Item.int 32 ])
   in
+  record "uc2.chain.xqse_while.ms" t_xqse;
+  record "uc2.chain.recursive.ms" t_rec;
   Printf.printf "chain depth %d: XQSE while-loop %.2f ms, recursive XQuery %.2f ms (ratio %.2f)\n"
     chain_len t_xqse t_rec (t_xqse /. t_rec);
 
@@ -294,6 +337,7 @@ let report () =
       let compiled_on, compiled_off = join_sessions n in
       let t_on = time_ms ~repeat:3 (fun () -> Xqse.Session.run compiled_on) in
       let t_off = time_ms ~repeat:3 (fun () -> Xqse.Session.run compiled_off) in
+      record (Printf.sprintf "opt.join.N=%d.speedup" n) (t_off /. t_on);
       Printf.printf "%-8d %-16.2f %-18.2f %-10.2f\n" n t_on t_off (t_off /. t_on))
     [ 25; 100; 200 ];
 
@@ -324,6 +368,8 @@ let report () =
   Printf.printf
     "sum of 1..1000: XQSE while %.3f ms, fn:sum %.3f ms, FLWOR sum %.3f ms\n"
     t_loop t_sum t_flwor;
+  record "ovh.dispatch_vs_sum.ratio" (t_loop /. t_sum);
+  record "ovh.dispatch_vs_flwor.ratio" (t_loop /. t_flwor);
   Printf.printf "statement overhead vs fn:sum: %.1fx; vs FLWOR: %.1fx\n"
     (t_loop /. t_sum) (t_loop /. t_flwor);
 
@@ -333,8 +379,11 @@ let report () =
       let sess = Xqse.Session.create () in
       let compiled = Xqse.Session.compile sess (snapshot_program n) in
       let t = time_ms ~repeat:3 (fun () -> Xqse.Session.run compiled) in
+      record (Printf.sprintf "xuf.snapshot.N=%d.ms" n) t;
       Printf.printf "N=%-5d  %.2f ms per snapshot\n" n t)
-    [ 1; 10; 100; 1000 ]
+    [ 1; 10; 100; 1000 ];
+
+  write_json_report (instrumented_counters ())
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment             *)

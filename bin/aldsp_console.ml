@@ -9,8 +9,13 @@ open Core
 
 let build_dataspace () =
   (* one dataspace hosting both worked scenarios: the customer-profile
-     sources live in their own env; employees are registered alongside *)
-  let env = Fixtures.Customer_profile.make ~customers:5 () in
+     sources live in their own env; employees are registered alongside.
+     Instrumentation is always recording, so the `stats` command can show
+     cumulative counters at any point. *)
+  let instr = Instr.create () in
+  Instr.preregister instr;
+  Instr.enable instr;
+  let env = Fixtures.Customer_profile.make ~customers:5 ~instr () in
   let ds = env.Fixtures.Customer_profile.ds in
   let hr = Relational.Database.create "hr" in
   ignore (Relational.Database.add_table hr Fixtures.Employees.employee_schema);
@@ -35,12 +40,17 @@ let build_dataspace () =
   ds
 
 let eval_and_print ds src =
-  match Xqse.Session.eval (Aldsp.Dataspace.session ds) src with
-  | result -> print_endline (Xdm.Xml_serialize.seq_to_string result)
-  | exception Xdm.Item.Error { code; message; _ } ->
-    Printf.printf "error %s: %s\n" (Xdm.Qname.to_string code) message
-  | exception Xquery.Parser.Syntax_error { line; col; message } ->
-    Printf.printf "syntax error at %d:%d: %s\n" line col message
+  if String.trim src = "stats" then
+    (* cumulative counters for the whole console session *)
+    print_string
+      (Instr.render ~times:false (Instr.stats (Aldsp.Dataspace.instr ds)))
+  else
+    match Xqse.Session.eval (Aldsp.Dataspace.session ds) src with
+    | result -> print_endline (Xdm.Xml_serialize.seq_to_string result)
+    | exception Xdm.Item.Error { code; message; _ } ->
+      Printf.printf "error %s: %s\n" (Xdm.Qname.to_string code) message
+    | exception Xquery.Parser.Syntax_error { line; col; message } ->
+      Printf.printf "syntax error at %d:%d: %s\n" line col message
 
 let interactive ds =
   Printf.printf

@@ -11,7 +11,25 @@ let read_file path =
   if path = "-" then In_channel.input_all In_channel.stdin
   else In_channel.with_open_text path In_channel.input_all
 
-let run_program ~optimize ~trace ~ast ~explain ~libs source =
+(* One instrumentation handle per invocation: --trace attaches a stderr
+   sink (text or JSON lines), --stats just records counters. Without
+   either flag the shared disabled handle keeps the hot paths free. *)
+let make_instr ~stats ~trace =
+  if not stats && trace = None then Instr.disabled
+  else begin
+    let sink =
+      match trace with
+      | Some `Text -> Instr.Text (fun l -> Printf.eprintf "%s\n%!" l)
+      | Some `Json -> Instr.Json (fun l -> Printf.eprintf "%s\n%!" l)
+      | None -> Instr.Null
+    in
+    let i = Instr.create ~sink () in
+    Instr.preregister i;
+    Instr.enable i;
+    i
+  end
+
+let run_program ~optimize ~stats ~trace ~ast ~explain ~libs source =
   if ast then
     (* parse (no execution) and dump the program back as surface syntax *)
     print_string
@@ -29,21 +47,22 @@ let run_program ~optimize ~trace ~ast ~explain ~libs source =
       (Xquery.Optimizer.stats_to_string ex.Xqse.Session.ex_stats)
   end
   else begin
-    let session = Xqse.Session.create ~optimize () in
-    if trace then
-      Xqse.Session.set_trace session (fun m -> Printf.eprintf "trace: %s\n%!" m);
+    let instr = make_instr ~stats ~trace in
+    let session = Xqse.Session.create ~optimize ~instr () in
     List.iter (fun lib -> Xqse.Session.load_library session (read_file lib)) libs;
-    let result = Xqse.Session.eval session source in
-    print_endline (Xdm.Xml_serialize.seq_to_string result)
+    let result = Xqse.Session.exec session source in
+    print_endline (Xdm.Xml_serialize.seq_to_string result.Xqse.Session.r_value);
+    if stats then print_string (Instr.render result.Xqse.Session.r_stats)
   end
 
 (* A line-oriented REPL: input accumulates until a line ends with ';;'.
    Declaration-only programs install into the session and persist;
    programs with a body evaluate against everything loaded so far. *)
-let repl ~optimize ~trace () =
-  let session = Xqse.Session.create ~optimize () in
-  if trace then
-    Xqse.Session.set_trace session (fun m -> Printf.eprintf "trace: %s\n%!" m);
+let repl ~optimize ~stats ~trace () =
+  (* always record counters in a REPL so the [stats] command has data
+     even without --stats; --stats additionally prints per-query deltas *)
+  let instr = make_instr ~stats:true ~trace in
+  let session = Xqse.Session.create ~optimize ~instr () in
   Printf.printf
     "XQSE interactive session. End input with ';;'. Declarations persist.\n";
   let buf = Buffer.create 256 in
@@ -68,24 +87,31 @@ let repl ~optimize ~trace () =
         in
         Buffer.clear buf;
         if String.trim src <> "" then begin
-          (try
-             let prog =
-               Xqse.Parse.parse_program (Xquery.Context.default_static ()) src
-             in
-             if prog.Xqse.Stmt.prog_body = None then begin
-               Xqse.Session.load_library session src;
-               Printf.printf "declared.\n"
-             end
-             else
-               print_endline
-                 (Xdm.Xml_serialize.seq_to_string (Xqse.Session.eval session src))
-           with
-          | Xdm.Item.Error { code; message; _ } ->
-            Printf.printf "error %s: %s\n" (Xdm.Qname.to_string code) message
-          | Xquery.Parser.Syntax_error { line; col; message } ->
-            Printf.printf "syntax error at %d:%d: %s\n" line col message
-          | Xquery.Lexer.Lex_error { pos; message } ->
-            Printf.printf "lexical error at offset %d: %s\n" pos message)
+          if String.trim src = "stats" then
+            (* cumulative session counters, not one query's delta *)
+            print_string (Instr.render (Instr.stats instr))
+          else
+            (try
+               let prog =
+                 Xqse.Parse.parse_program (Xquery.Context.default_static ()) src
+               in
+               if prog.Xqse.Stmt.prog_body = None then begin
+                 Xqse.Session.load_library session src;
+                 Printf.printf "declared.\n"
+               end
+               else begin
+                 let r = Xqse.Session.exec session src in
+                 print_endline
+                   (Xdm.Xml_serialize.seq_to_string r.Xqse.Session.r_value);
+                 if stats then print_string (Instr.render r.Xqse.Session.r_stats)
+               end
+             with
+            | Xdm.Item.Error { code; message; _ } ->
+              Printf.printf "error %s: %s\n" (Xdm.Qname.to_string code) message
+            | Xquery.Parser.Syntax_error { line; col; message } ->
+              Printf.printf "syntax error at %d:%d: %s\n" line col message
+            | Xquery.Lexer.Lex_error { pos; message } ->
+              Printf.printf "lexical error at offset %d: %s\n" pos message)
         end;
         loop ()
       end
@@ -93,9 +119,9 @@ let repl ~optimize ~trace () =
   in
   loop ()
 
-let main expr files libs optimize trace ast explain interactive =
+let main expr files libs optimize stats trace ast explain interactive =
   if interactive then begin
-    repl ~optimize ~trace ();
+    repl ~optimize ~stats ~trace ();
     `Ok ()
   end
   else
@@ -106,7 +132,7 @@ let main expr files libs optimize trace ast explain interactive =
   if sources = [] then `Error (true, "nothing to run: pass a file or -e EXPR")
   else
     try
-      List.iter (run_program ~optimize ~trace ~ast ~explain ~libs) sources;
+      List.iter (run_program ~optimize ~stats ~trace ~ast ~explain ~libs) sources;
       `Ok ()
     with
     | Xdm.Item.Error { code; message; _ } ->
@@ -144,9 +170,27 @@ let optimize =
   Arg.(value & flag & info [ "no-optimize" ] ~doc)
   |> Term.app (Term.const not)
 
+let stats =
+  let doc =
+    "Record execution counters (queries compiled, optimizer rewrites per \
+     pass, SQL statements, rows scanned/fetched, web-service calls, XQSE \
+     statements) and print the counter table after the result."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
 let trace =
-  let doc = "Print fn:trace output to stderr." in
-  Arg.(value & flag & info [ "trace" ] ~doc)
+  let doc =
+    "Stream the execution trace to stderr: hierarchical spans (compile, \
+     run, per-query) plus fn:trace output and, together with the \
+     optimizer, one note per rewrite. $(docv) is $(b,text) (indented \
+     lines, the default) or $(b,json) (one JSON object per line)."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some `Text)
+        (some (enum [ ("text", `Text); ("json", `Json) ]))
+        None
+    & info [ "trace" ] ~docv:"FMT" ~doc)
 
 let ast =
   let doc = "Parse only; print the program back as surface syntax." in
@@ -155,7 +199,8 @@ let ast =
 let explain =
   let doc =
     "Optimize only (no execution); print the rewritten program, one \
-     $(b,rewrite:) line per optimizer rewrite, and a $(b,stats:) summary."
+     $(b,rewrite:) line per optimizer rewrite ([name]-prefixed with the \
+     enclosing declaration), and a $(b,stats:) summary."
   in
   Arg.(value & flag & info [ "explain" ] ~doc)
 
@@ -180,7 +225,7 @@ let cmd =
     (Cmd.info "xqse" ~version:"1.0.0" ~doc ~man)
     Term.(
       ret (
-        const main $ expr $ files $ libs $ optimize $ trace $ ast $ explain
-        $ interactive))
+        const main $ expr $ files $ libs $ optimize $ stats $ trace $ ast
+        $ explain $ interactive))
 
 let () = exit (Cmd.eval cmd)

@@ -80,10 +80,10 @@ let catalog_xml svcs =
            (methods @ deps)))
     svcs
 
-let create ?(optimize = true) () =
+let create ?(optimize = true) ?(instr = Instr.disabled) () =
   let t =
     {
-      sess = Xqse.Session.create ~optimize ();
+      sess = Xqse.Session.create ~optimize ~instr ();
       svcs = [];
       dbs = Hashtbl.create 4;
       source_fns = Hashtbl.create 32;
@@ -101,6 +101,7 @@ let create ?(optimize = true) () =
   t
 
 let session t = t.sess
+let instr t = Xqse.Session.instr t.sess
 let services t = t.svcs
 let find_service t name = List.find_opt (fun s -> s.Data_service.ds_name = name) t.svcs
 let database t name =
@@ -134,6 +135,7 @@ let register_database t db =
   let db_name = R.Database.name db in
   if Hashtbl.mem t.dbs db_name then
     invalid_arg (Printf.sprintf "database %s is already registered" db_name);
+  R.Database.set_instr db (instr t);
   Hashtbl.replace t.dbs db_name db;
   let new_services =
     List.map
@@ -386,6 +388,7 @@ let register_database t db =
 (* ------------------------------------------------------------------ *)
 
 let register_web_service t ws =
+  Webservice.set_instr ws (instr t);
   let ns = Webservice.namespace ws in
   let svc =
     Data_service.make ~name:(Webservice.name ws) ~namespace:ns
@@ -741,6 +744,10 @@ let set_override t svc o =
   | None -> Hashtbl.remove t.overrides svc.Data_service.ds_name
 
 let default_submit t svc policy dg =
+  Instr.span (instr t) "submit"
+    ~attrs:[ ("service", svc.Data_service.ds_name) ]
+  @@ fun () ->
+  Instr.bump (instr t) Instr.K.sdo_submits;
   (* wire round trip: client serializes, server parses (Figure 4) *)
   let dg = Sdo.parse (Sdo.serialize dg) in
   Log.debug (fun m ->
@@ -760,8 +767,10 @@ let default_submit t svc policy dg =
         ~policy ~lineage dg
     in
     let sql = Decompose.plan_to_strings plan in
+    Instr.bump (instr t) ~n:(List.length sql) Instr.K.sql_generated;
     List.iter (fun stmt -> Log.debug (fun m -> m "plan: %s" stmt)) sql;
     let outcome = Decompose.execute ~db_of:(fun n -> database t n) plan in
+    Instr.bump (instr t) ~n:outcome.Decompose.statements Instr.K.sdo_statements;
     (match outcome.Decompose.reason with
     | Some reason when not outcome.Decompose.committed ->
       Log.info (fun m ->

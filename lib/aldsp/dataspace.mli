@@ -8,8 +8,19 @@ open Xdm
 
 type t
 
-val create : ?optimize:bool -> unit -> t
+val create : ?optimize:bool -> ?instr:Instr.t -> unit -> t
+(** [instr] (default {!Instr.disabled}) is shared with the XQSE session
+    and propagated to every database and web service at registration:
+    submits run in a [submit] span and report [sdo.submits],
+    [sql.generated] (planned statements) and [sdo.statements] (executed
+    ones); the sources report [sql.executed], [rows.scanned]/[.fetched]
+    and [ws.calls]/[ws.faults]. *)
+
 val session : t -> Xqse.Session.t
+
+val instr : t -> Instr.t
+(** The handle given to {!create}. *)
+
 val services : t -> Data_service.t list
 val find_service : t -> string -> Data_service.t option
 val database : t -> string -> Relational.Database.t

@@ -13,8 +13,11 @@
     - {!Aldsp} — the data services platform: introspection, logical
       services, lineage, update decomposition, optimistic concurrency
     - {!Fixtures} — the paper's worked scenarios (customer profile,
-      employees) shared by examples, tests and benches *)
+      employees) shared by examples, tests and benches
+    - {!Instr} — execution instrumentation (spans, counters, per-query
+      stats) shared by every layer *)
 
+module Instr = Instr
 module Xdm = Xdm
 module Xquery = Xquery
 module Xqse = Xqse

@@ -20,6 +20,7 @@ val make :
   ?max_cards:int ->
   ?seed:int ->
   ?optimize:bool ->
+  ?instr:Instr.t ->
   unit ->
   env
 (** Build the dataspace with deterministic synthetic data. Customer ids

@@ -5,10 +5,13 @@
    The grammar is deliberately skewed toward the optimizer's attack
    surface: FLWOR nests, [let] bindings to literals and variable aliases
    (the inlining pass), single- and two-variable [where] clauses (the
-   pushdown and join passes), quantified expressions, and a *tiny*
-   variable pool so that shadowing — and therefore variable capture — is
-   frequent. Every expression is integer-valued, so generated programs
-   never raise type errors and results compare exactly. *)
+   pushdown and join passes), typeswitch expressions (whose case
+   variables are binding sites substitution must respect), equi-join
+   shaped for/for/where programs (so [detect_joins] fires on generated
+   input), quantified expressions, and a *tiny* variable pool so that
+   shadowing — and therefore variable capture — is frequent. Every
+   expression is integer-valued, so generated programs never raise type
+   errors and results compare exactly. *)
 
 (* the whole point: few names => frequent rebinding *)
 let pool = [ "x"; "y"; "z" ]
@@ -29,11 +32,24 @@ let rec atom t depth (scope : entry list) =
   let choices =
     [ `Lit; `Lit ]
     @ (if avs <> [] then [ `Var; `Var; `Var ] else [])
-    @ (if depth > 0 then [ `Arith; `Arith; `If; `Count; `Let ] else [])
+    @ (if depth > 0 then [ `Arith; `Arith; `If; `Count; `Let; `Switch ] else [])
   in
   match Det.pick t choices with
   | `Lit -> string_of_int (rand_int t 0 9)
   | `Var -> "$" ^ fst (Det.pick t avs)
+  | `Switch ->
+    (* integer-valued in every branch; the case variables are binding
+       sites, so typeswitch participates in the capture-avoidance
+       differential coverage *)
+    let v = Det.pick t pool in
+    Printf.sprintf
+      "(typeswitch ((%s)) case $%s as xs:integer return %s case $%s as \
+       xs:integer+ return count($%s) default return %s)"
+      (seq t (depth - 1) scope)
+      v
+      (atom t (depth - 1) ((v, `Atom) :: scope))
+      v v
+      (atom t (depth - 1) scope)
   | `Arith ->
     let op = Det.pick t [ "+"; "-"; "*" ] in
     Printf.sprintf "(%s %s %s)" (atom t (depth - 1) scope) op
@@ -96,8 +112,28 @@ and seq t depth scope =
   | `Flwor -> "(" ^ flwor t (depth - 1) scope ^ ")"
 
 (* A FLWOR, following the XQuery 1.0 grammar: 1-3 for/let clauses, then
-   an optional single where, an optional order by, and the return. *)
+   an optional single where, an optional order by, and the return. One
+   time in four (when depth remains) it is join-shaped instead. *)
 and flwor t depth scope =
+  if depth > 0 && Det.int t 4 = 0 then join_flwor t depth scope
+  else general_flwor t depth scope
+
+(* The exact shape [detect_joins] rewrites into a hash Join_clause: two
+   single-variable for clauses, the second over a source with no free
+   variables, and a where that is a bare [$a eq $b] comparison. *)
+and join_flwor t depth scope =
+  let a = Det.pick t pool in
+  let b = Det.pick t (List.filter (fun v -> v <> a) pool) in
+  let scope' = (b, `Atom) :: (a, `Atom) :: scope in
+  Printf.sprintf "for $%s in (%s) for $%s in (%s) where $%s eq $%s return %s"
+    a
+    (seq t (depth - 1) scope)
+    b
+    (seq t (depth - 1) [])
+    a b
+    (seq t (depth - 1) scope')
+
+and general_flwor t depth scope =
   let b = Buffer.create 64 in
   let n_clauses = 1 + Det.int t 3 in
   let rec clauses i scope =

@@ -1,9 +1,11 @@
 (** Deterministic generator of well-formed, integer-valued XQuery
-    FLWOR/let/quantified programs, skewed toward the rewrite optimizer's
-    attack surface (alias/literal lets, shadowing from a tiny variable
-    pool, equi-join and single-variable wheres). Used by the
-    differential test suite: optimized and unoptimized evaluation of
-    every generated program must agree item-for-item. *)
+    FLWOR/let/quantified/typeswitch programs, skewed toward the rewrite
+    optimizer's attack surface (alias/literal lets, shadowing from a
+    tiny variable pool, typeswitch case binders, single-variable wheres,
+    and join-shaped [for/for/where $a eq $b] programs that the
+    [detect_joins] pass rewrites). Used by the differential test suite:
+    optimized and unoptimized evaluation of every generated program must
+    agree item-for-item. *)
 
 val expr : Det.t -> string
 (** One generated program, driven entirely by the given deterministic

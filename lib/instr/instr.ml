@@ -1,0 +1,263 @@
+type sink =
+  | Null
+  | Text of (string -> unit)
+  | Json of (string -> unit)
+
+type open_span = {
+  sp_id : int;
+  sp_parent : int;
+  sp_depth : int;
+  sp_name : string;
+  sp_attrs : (string * string) list;
+  sp_start : float;  (* absolute ms *)
+}
+
+type t = {
+  mutable on : bool;
+  mutable sink : sink;
+  counters : (string, int ref) Hashtbl.t;
+  mutable counter_order : string list;  (* reverse first-seen *)
+  timers : (string, float ref) Hashtbl.t;
+  mutable timer_order : string list;  (* reverse first-seen *)
+  mutable next_span : int;
+  mutable stack : open_span list;  (* innermost first *)
+  epoch : float;  (* absolute ms at creation; span start times are relative *)
+  locked : bool;  (* the shared [disabled] handle must stay off *)
+}
+
+let now_ms () = Unix.gettimeofday () *. 1000.
+
+let make ~locked sink =
+  {
+    on = false;
+    sink;
+    counters = Hashtbl.create 32;
+    counter_order = [];
+    timers = Hashtbl.create 16;
+    timer_order = [];
+    next_span = 0;
+    stack = [];
+    epoch = now_ms ();
+    locked;
+  }
+
+let create ?(sink = Null) () = make ~locked:false sink
+let disabled = make ~locked:true Null
+
+let enable t =
+  if t.locked then
+    invalid_arg "Instr.enable: the shared disabled handle cannot be enabled";
+  t.on <- true
+
+let disable t = t.on <- false
+let enabled t = t.on
+let set_sink t sink = t.sink <- sink
+let sink t = t.sink
+let noting t = t.on && (match t.sink with Null -> false | Text _ | Json _ -> true)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.counters name r;
+    t.counter_order <- name :: t.counter_order;
+    r
+
+let timer t name =
+  match Hashtbl.find_opt t.timers name with
+  | Some r -> r
+  | None ->
+    let r = ref 0. in
+    Hashtbl.replace t.timers name r;
+    t.timer_order <- name :: t.timer_order;
+    r
+
+let bump t ?(n = 1) name =
+  if t.on then begin
+    let r = counter t name in
+    r := !r + n
+  end
+
+(* ---- emission ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let depth t = List.length t.stack
+
+let note t msg =
+  if t.on then
+    match t.sink with
+    | Null -> ()
+    | Text out -> out (String.make (2 * depth t) ' ' ^ msg)
+    | Json out ->
+      out
+        (Printf.sprintf {|{"type":"note","depth":%d,"text":"%s"}|} (depth t)
+           (json_escape msg))
+
+let emit_span t sp dur =
+  match t.sink with
+  | Null -> ()
+  | Text out ->
+    let attrs =
+      match sp.sp_attrs with
+      | [] -> ""
+      | l ->
+        " " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+    in
+    out
+      (Printf.sprintf "%s%s%s (%.3fms)"
+         (String.make (2 * sp.sp_depth) ' ')
+         sp.sp_name attrs dur)
+  | Json out ->
+    let attrs =
+      String.concat ","
+        (List.map
+           (fun (k, v) ->
+             Printf.sprintf {|"%s":"%s"|} (json_escape k) (json_escape v))
+           sp.sp_attrs)
+    in
+    out
+      (Printf.sprintf
+         {|{"type":"span","id":%d,"parent":%d,"depth":%d,"name":"%s","attrs":{%s},"start_ms":%.3f,"dur_ms":%.3f}|}
+         sp.sp_id sp.sp_parent sp.sp_depth (json_escape sp.sp_name) attrs
+         (sp.sp_start -. t.epoch) dur)
+
+let span t ?(attrs = []) name f =
+  if not t.on then f ()
+  else begin
+    t.next_span <- t.next_span + 1;
+    let sp =
+      {
+        sp_id = t.next_span;
+        sp_parent = (match t.stack with [] -> 0 | s :: _ -> s.sp_id);
+        sp_depth = List.length t.stack;
+        sp_name = name;
+        sp_attrs = attrs;
+        sp_start = now_ms ();
+      }
+    in
+    t.stack <- sp :: t.stack;
+    let finish () =
+      let dur = now_ms () -. sp.sp_start in
+      (t.stack <- (match t.stack with _ :: rest -> rest | [] -> []));
+      let r = timer t name in
+      r := !r +. dur;
+      emit_span t sp dur
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+(* ---- snapshots ---- *)
+
+type stats = {
+  counters : (string * int) list;
+  timers : (string * float) list;
+}
+
+let stats (t : t) =
+  {
+    counters =
+      List.rev_map (fun n -> (n, !(Hashtbl.find t.counters n))) t.counter_order;
+    timers =
+      List.rev_map (fun n -> (n, !(Hashtbl.find t.timers n))) t.timer_order;
+  }
+
+let since t (before : stats) =
+  let cur = stats t in
+  {
+    counters =
+      List.map
+        (fun (n, v) ->
+          (n, v - (match List.assoc_opt n before.counters with
+                   | Some b -> b
+                   | None -> 0)))
+        cur.counters;
+    timers =
+      List.map
+        (fun (n, v) ->
+          (n, v -. (match List.assoc_opt n before.timers with
+                    | Some b -> b
+                    | None -> 0.)))
+        cur.timers;
+  }
+
+let reset (t : t) =
+  Hashtbl.iter (fun _ r -> r := 0) t.counters;
+  Hashtbl.iter (fun _ r -> r := 0.) t.timers
+
+let render ?(times = true) (s : stats) =
+  let rows =
+    List.map (fun (n, v) -> (n, string_of_int v)) s.counters
+    @
+    if times then
+      List.map
+        (fun (n, v) -> ("time." ^ n ^ ".ms", Printf.sprintf "%.3f" v))
+        s.timers
+    else []
+  in
+  let width =
+    List.fold_left (fun w (n, _) -> max w (String.length n)) 0 rows
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (n, v) -> Printf.bprintf buf "%-*s %10s\n" width n v)
+    rows;
+  Buffer.contents buf
+
+module K = struct
+  let queries_compiled = "queries.compiled"
+  let optimizer_folded = "optimizer.folded"
+  let optimizer_inlined = "optimizer.inlined"
+  let optimizer_joins = "optimizer.joins"
+  let optimizer_pushed = "optimizer.pushed"
+  let sql_generated = "sql.generated"
+  let sql_executed = "sql.executed"
+  let rows_scanned = "rows.scanned"
+  let rows_fetched = "rows.fetched"
+  let ws_calls = "ws.calls"
+  let ws_faults = "ws.faults"
+  let xqse_statements = "xqse.statements"
+  let sdo_submits = "sdo.submits"
+  let sdo_statements = "sdo.statements"
+end
+
+let preregister t =
+  List.iter
+    (fun k -> ignore (counter t k))
+    [
+      K.queries_compiled;
+      K.optimizer_folded;
+      K.optimizer_inlined;
+      K.optimizer_joins;
+      K.optimizer_pushed;
+      K.sql_generated;
+      K.sql_executed;
+      K.rows_scanned;
+      K.rows_fetched;
+      K.ws_calls;
+      K.ws_faults;
+      K.xqse_statements;
+      K.sdo_submits;
+      K.sdo_statements;
+    ]

@@ -1,0 +1,101 @@
+(** Execution instrumentation: named counters, accumulated timers and
+    hierarchical trace spans behind one mutable handle.
+
+    Every engine component (optimizer, relational substrate, web-service
+    client, XQSE interpreter, SDO decomposition) holds a reference to a
+    handle and reports into it; the handle is created once per session
+    and shared, so turning instrumentation on or swapping the sink
+    affects components that were wired long before. A disabled handle is
+    free on hot paths: every reporting entry point is guarded by a single
+    mutable boolean and allocates nothing when it is off. *)
+
+type sink =
+  | Null  (** discard everything (the default) *)
+  | Text of (string -> unit)
+      (** human-readable lines: spans indented by depth, completion
+          order (a child closes — and prints — before its parent) *)
+  | Json of (string -> unit)
+      (** JSON-lines: one object per span or note; nesting is encoded in
+          the [id]/[parent]/[depth] fields *)
+
+type t
+
+val create : ?sink:sink -> unit -> t
+(** A fresh handle, {e disabled}; call {!enable} to start recording.
+    [sink] (default [Null]) is where spans and notes go. *)
+
+val disabled : t
+(** The shared always-off handle — the default for components that were
+    never given one. Calling {!enable} on it raises [Invalid_argument];
+    create your own handle instead. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+val set_sink : t -> sink -> unit
+val sink : t -> sink
+
+val noting : t -> bool
+(** [true] when notes/spans would actually be emitted (enabled and the
+    sink is not [Null]) — use to avoid building log strings nobody will
+    see. *)
+
+(** {1 Reporting} *)
+
+val bump : t -> ?n:int -> string -> unit
+(** Add [n] (default 1) to a named counter. No-op when disabled. *)
+
+val note : t -> string -> unit
+(** Emit a free-form line into the trace at the current span depth. *)
+
+val span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] inside a named span: the duration is
+    accumulated into the timer named [name] and the span is emitted to
+    the sink when [f] returns (or raises — spans close on exceptions).
+    When disabled this is exactly [f ()]. *)
+
+(** {1 Snapshots} *)
+
+type stats = {
+  counters : (string * int) list;  (** first-registered order *)
+  timers : (string * float) list;  (** accumulated milliseconds *)
+}
+
+val stats : t -> stats
+(** Current counter and timer values. *)
+
+val since : t -> stats -> stats
+(** [since t before] is the delta between now and an earlier
+    {!stats} snapshot — the per-query cost of whatever ran in between. *)
+
+val reset : t -> unit
+(** Zero every counter and timer (registrations are kept). *)
+
+val render : ?times:bool -> stats -> string
+(** An aligned two-column table, one counter per line, followed (unless
+    [times] is [false]) by [time.<span>.ms] lines for each timer. *)
+
+(** {1 Well-known counters}
+
+    Any string names a counter, but the engine reports under these keys;
+    {!preregister} registers all of them so a stats table over an idle
+    handle still lists every key (with value 0) in a stable order. *)
+
+module K : sig
+  val queries_compiled : string
+  val optimizer_folded : string
+  val optimizer_inlined : string
+  val optimizer_joins : string
+  val optimizer_pushed : string
+  val sql_generated : string
+  val sql_executed : string
+  val rows_scanned : string
+  val rows_fetched : string
+  val ws_calls : string
+  val ws_faults : string
+  val xqse_statements : string
+  val sdo_submits : string
+  val sdo_statements : string
+end
+
+val preregister : t -> unit

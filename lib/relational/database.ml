@@ -28,6 +28,7 @@ type t = {
   mutable tx : (unit -> unit) list option;  (* undo actions, newest first *)
   mutable fail_prepare : bool;
   mutable fail_after : int option;
+  mutable instr : Instr.t;
 }
 
 let create name =
@@ -39,14 +40,20 @@ let create name =
     tx = None;
     fail_prepare = false;
     fail_after = None;
+    instr = Instr.disabled;
   }
 
 let name t = t.db_name
+
+let set_instr t i =
+  t.instr <- i;
+  Hashtbl.iter (fun _ tbl -> Table.set_instr tbl i) t.tbls
 
 let add_table t schema =
   if Hashtbl.mem t.tbls schema.Table.tbl_name then
     raise (Db_error (Printf.sprintf "table %s already exists" schema.Table.tbl_name));
   let table = Table.create schema in
+  Table.set_instr table t.instr;
   Hashtbl.replace t.tbls schema.Table.tbl_name table;
   t.order <- t.order @ [ schema.Table.tbl_name ];
   table
@@ -124,6 +131,7 @@ let check_fk_delete t tbl rows =
 
 let exec t dml =
   tick_failure t;
+  Instr.bump t.instr Instr.K.sql_executed;
   let sql = dml_to_sql dml in
   let affected =
     try

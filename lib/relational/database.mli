@@ -15,6 +15,12 @@ type t
 
 val create : string -> t
 val name : t -> string
+
+val set_instr : t -> Instr.t -> unit
+(** Attach an instrumentation handle (default {!Instr.disabled}) and
+    propagate it to every table, current and future: {!exec} reports
+    [sql.executed], tables report [rows.scanned]/[rows.fetched]. *)
+
 val add_table : t -> Table.schema -> Table.t
 val table : t -> string -> Table.t
 (** @raise Db_error for unknown tables. *)

@@ -23,6 +23,7 @@ type t = {
   rows : (Value.t list, row) Hashtbl.t;
   (* secondary hash indexes: column list -> (key values -> pk list) *)
   mutable sec_indexes : (string list * (Value.t list, Value.t list list) Hashtbl.t) list;
+  mutable instr : Instr.t;
 }
 
 let create schema =
@@ -40,10 +41,17 @@ let create schema =
           (Printf.sprintf "table %s: unknown primary key column %s"
              schema.tbl_name k))
     schema.primary_key;
-  { schema; indices; rows = Hashtbl.create 64; sec_indexes = [] }
+  {
+    schema;
+    indices;
+    rows = Hashtbl.create 64;
+    sec_indexes = [];
+    instr = Instr.disabled;
+  }
 
 let schema t = t.schema
 let name t = t.schema.tbl_name
+let set_instr t i = t.instr <- i
 
 let col_index t col =
   match Hashtbl.find_opt t.indices col with
@@ -160,11 +168,17 @@ let insert_named t pairs =
 
 let find_pk t pk = Hashtbl.find_opt t.rows pk
 
-let scan t =
+let scan_rows t =
   let all = Hashtbl.fold (fun _ row acc -> row :: acc) t.rows [] in
   List.sort
     (fun a b -> compare (pk_of_row t a) (pk_of_row t b))
     all
+
+let scan t =
+  let rows = scan_rows t in
+  Instr.bump t.instr ~n:(List.length rows) Instr.K.rows_scanned;
+  Instr.bump t.instr ~n:(List.length rows) Instr.K.rows_fetched;
+  rows
 
 (* columns constrained by equality in a conjunctive prefix of the
    predicate *)
@@ -193,12 +207,21 @@ let select t pred =
         | None -> None)
       t.sec_indexes
   in
-  match candidates with
-  | Some rows ->
-    List.filter (fun row -> Pred.eval ~get:(fun c -> get row t c) pred)
-      (List.sort (fun a b -> compare (pk_of_row t a) (pk_of_row t b)) rows)
-  | None ->
-    List.filter (fun row -> Pred.eval ~get:(fun c -> get row t c) pred) (scan t)
+  let result =
+    match candidates with
+    | Some rows ->
+      (* index probe: only the candidate rows are examined *)
+      Instr.bump t.instr ~n:(List.length rows) Instr.K.rows_scanned;
+      List.filter (fun row -> Pred.eval ~get:(fun c -> get row t c) pred)
+        (List.sort (fun a b -> compare (pk_of_row t a) (pk_of_row t b)) rows)
+    | None ->
+      Instr.bump t.instr ~n:(Hashtbl.length t.rows) Instr.K.rows_scanned;
+      List.filter
+        (fun row -> Pred.eval ~get:(fun c -> get row t c) pred)
+        (scan_rows t)
+  in
+  Instr.bump t.instr ~n:(List.length result) Instr.K.rows_fetched;
+  result
 
 let update_rows t pred set =
   (* validate set columns *)

@@ -27,6 +27,14 @@ exception Constraint_violation of string
 val create : schema -> t
 val schema : t -> schema
 val name : t -> string
+
+val set_instr : t -> Instr.t -> unit
+(** Attach an instrumentation handle (default {!Instr.disabled}):
+    {!scan} and {!select} report [rows.scanned] (rows examined — all of
+    them on a scan, only index candidates on an index probe) and
+    [rows.fetched] (rows returned). Usually propagated from
+    {!Database.set_instr}. *)
+
 val col_index : t -> string -> int
 (** @raise Not_found for unknown columns. *)
 

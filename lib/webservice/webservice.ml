@@ -19,6 +19,7 @@ type t = {
   mutable total_latency : float;
   mutable fault_next : string option;
   mutable fail_every : int option;
+  mutable instr : Instr.t;
 }
 
 let create ~name ~namespace =
@@ -31,10 +32,12 @@ let create ~name ~namespace =
     total_latency = 0.;
     fault_next = None;
     fail_every = None;
+    instr = Instr.disabled;
   }
 
 let name t = t.ws_name
 let namespace t = t.ws_ns
+let set_instr t i = t.instr <- i
 
 let add_operation t op =
   if List.exists (fun o -> o.op_name = op.op_name) t.ops then
@@ -48,10 +51,12 @@ let fault t op msg =
   raise (Fault { service = t.ws_name; operation = op; message = msg })
 
 let invoke t op_name request =
-  match find_operation t op_name with
-  | None -> fault t op_name "unknown operation"
-  | Some op ->
+  try
+    match find_operation t op_name with
+    | None -> fault t op_name "unknown operation"
+    | Some op ->
     t.calls <- t.calls + 1;
+    Instr.bump t.instr Instr.K.ws_calls;
     t.total_latency <- t.total_latency +. t.latency_ms;
     (match t.fault_next with
     | Some msg ->
@@ -82,6 +87,9 @@ let invoke t op_name request =
         (Printf.sprintf "handler returned a non-%s element"
            (Qname.to_string op.op_output)));
     response
+  with Fault _ as f ->
+    Instr.bump t.instr Instr.K.ws_faults;
+    raise f
 
 let call_count t = t.calls
 let reset_call_count t = t.calls <- 0

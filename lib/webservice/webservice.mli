@@ -21,6 +21,12 @@ type t
 val create : name:string -> namespace:string -> t
 val name : t -> string
 val namespace : t -> string
+
+val set_instr : t -> Instr.t -> unit
+(** Attach an instrumentation handle (default {!Instr.disabled}):
+    {!invoke} reports [ws.calls], and every raised {!Fault} — including
+    injected and handler faults — reports [ws.faults]. *)
+
 val add_operation : t -> operation -> unit
 val operations : t -> operation list
 (** In registration order — the introspectable "WSDL" of the service. *)

@@ -20,13 +20,21 @@ type runtime = {
       (* keyed by (uri, local, arity) — prefixes are not significant *)
   parent : runtime option;
   mutable trace : string -> unit;
+  instr : Instr.t;
 }
 
-let create_runtime ?(trace = fun _ -> ()) ?parent reg =
-  { reg; procs = Hashtbl.create 16; parent; trace }
+let create_runtime ?(trace = fun _ -> ()) ?instr ?parent reg =
+  let instr =
+    match (instr, parent) with
+    | Some i, _ -> i
+    | None, Some p -> p.instr
+    | None, None -> Instr.disabled
+  in
+  { reg; procs = Hashtbl.create 16; parent; trace; instr }
 
 let registry rt = rt.reg
 let set_trace rt f = rt.trace <- f
+let instr rt = rt.instr
 
 let rec find_procedure rt (name : Qname.t) arity =
   match Hashtbl.find_opt rt.procs (name.Qname.uri, name.Qname.local, arity) with
@@ -119,6 +127,7 @@ let rec exec_value_stmt st (v : Stmt.value_stmt) : Item.seq =
     | Continued -> raise Continue_outside_loop)
 
 and exec_stmt st (s : Stmt.statement) : outcome =
+  Instr.bump st.rt.instr Instr.K.xqse_statements;
   match s with
   | Stmt.Block b -> exec_block_stmts (push_frame st) b
   | Stmt.Set (name, v) -> (

@@ -28,14 +28,18 @@ type runtime
 
 val create_runtime :
   ?trace:(string -> unit) ->
+  ?instr:Instr.t ->
   ?parent:runtime ->
   Xquery.Context.registry ->
   runtime
 (** [parent] makes another runtime's procedures visible (used to layer a
-    per-program runtime over a session runtime). *)
+    per-program runtime over a session runtime). [instr] defaults to the
+    parent's handle (or {!Instr.disabled} without a parent); every
+    executed statement bumps the [xqse.statements] counter on it. *)
 
 val registry : runtime -> Xquery.Context.registry
 val set_trace : runtime -> (string -> unit) -> unit
+val instr : runtime -> Instr.t
 
 val declare_procedure : runtime -> procedure -> unit
 (** Add a procedure. Readonly procedures are additionally registered as

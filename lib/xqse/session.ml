@@ -9,19 +9,23 @@ type t = {
   loaded_modules : (string, unit) Hashtbl.t;
 }
 
-let create ?(optimize = true) () =
-  let eng = Xquery.Engine.create ~optimize () in
-  let rt = Interp.create_runtime (Xquery.Engine.registry eng) in
+let create ?(optimize = true) ?(instr = Instr.disabled) () =
+  let eng = Xquery.Engine.create ~optimize ~instr () in
+  (* default fn:trace destination: a note in the instrumentation trace
+     (a no-op while the handle is disabled) *)
+  let trace m = Instr.note instr ("trace: " ^ m) in
+  let rt = Interp.create_runtime ~trace ~instr (Xquery.Engine.registry eng) in
   {
     eng;
     rt;
-    trace = (fun _ -> ());
+    trace;
     modules = Hashtbl.create 8;
     loaded_modules = Hashtbl.create 8;
   }
 
 let engine s = s.eng
 let runtime s = s.rt
+let instr s = Xquery.Engine.instr s.eng
 let declare_namespace s prefix uri = Xquery.Engine.declare_namespace s.eng prefix uri
 
 let set_trace s f =
@@ -107,13 +111,19 @@ type compiled = {
 }
 
 let install_declarations s reg rt (prog : Stmt.program) =
-  let optimize = Xquery.Engine.optimizing s.eng in
-  let log = Xquery.Engine.optimizer_log s.eng in
-  let opt = Xquery.Optimizer.optimize ?log in
+  (* [Engine.optimize_expr] is the identity when optimization is off;
+     [where] attributes every rewrite note to its enclosing declaration *)
+  let opt_in name e =
+    Xquery.Engine.optimize_expr s.eng ~where:(Qname.to_string name) e
+  in
   List.iter
-    (fun decl ->
+    (fun (decl : Xquery.Ast.function_decl) ->
       let decl =
-        if optimize then Xquery.Optimizer.optimize_decl ?log decl else decl
+        {
+          decl with
+          Xquery.Ast.fd_body =
+            Option.map (opt_in decl.Xquery.Ast.fd_name) decl.Xquery.Ast.fd_body;
+        }
       in
       Ctx.register reg
         {
@@ -130,7 +140,7 @@ let install_declarations s reg rt (prog : Stmt.program) =
       let body =
         match pd.Stmt.pd_body with
         | Some b ->
-          Interp.P_block (if optimize then optimize_block opt b else b)
+          Interp.P_block (optimize_block (opt_in pd.Stmt.pd_name) b)
         | None ->
           Item.raise_error (Qname.err "XPST0017")
             (Printf.sprintf
@@ -213,37 +223,46 @@ and load_library s src =
 let register_module s uri src = Hashtbl.replace s.modules uri src
 
 let compile s src =
-  let prog = Parse.parse_program (fresh_static s) src in
-  resolve_imports s prog;
-  let reg = Ctx.copy_registry (Xquery.Engine.registry s.eng) in
-  let rt = Interp.create_runtime ~trace:s.trace ~parent:s.rt reg in
-  install_declarations s reg rt prog;
-  let body =
-    if Xquery.Engine.optimizing s.eng then begin
-      let opt =
-        Xquery.Optimizer.optimize ?log:(Xquery.Engine.optimizer_log s.eng)
+  Instr.span (instr s) "compile" (fun () ->
+      Instr.bump (instr s) Instr.K.queries_compiled;
+      let prog = Parse.parse_program (fresh_static s) src in
+      resolve_imports s prog;
+      let reg = Ctx.copy_registry (Xquery.Engine.registry s.eng) in
+      let rt = Interp.create_runtime ~trace:s.trace ~parent:s.rt reg in
+      install_declarations s reg rt prog;
+      let opt e = Xquery.Engine.optimize_expr s.eng e in
+      let body =
+        Option.map
+          (function
+            | Stmt.Q_expr e -> Stmt.Q_expr (opt e)
+            | Stmt.Q_block b -> Stmt.Q_block (optimize_block opt b))
+          prog.Stmt.prog_body
       in
-      Option.map
-        (function
-          | Stmt.Q_expr e -> Stmt.Q_expr (opt e)
-          | Stmt.Q_block b -> Stmt.Q_block (optimize_block opt b))
-        prog.Stmt.prog_body
-    end
-    else prog.Stmt.prog_body
-  in
-  {
-    c_session = s;
-    c_registry = reg;
-    c_runtime = rt;
-    c_vars = prog.Stmt.prog_variables;
-    c_body = body;
-  }
+      {
+        c_session = s;
+        c_registry = reg;
+        c_runtime = rt;
+        c_vars = prog.Stmt.prog_variables;
+        c_body = body;
+      })
 
+type exec_opts = {
+  vars : (Qname.t * Item.seq) list;
+  trace : (string -> unit) option;
+}
 
-let run ?(vars = []) c =
+let default_exec_opts = { vars = []; trace = None }
+
+let run ?(opts = default_exec_opts) c =
+  let s = c.c_session in
+  Instr.span (instr s) "run" (fun () ->
+  let vars = opts.vars in
+  let trace = match opts.trace with Some f -> f | None -> s.trace in
+  (* route statement-level fn:trace of this program to the same sink *)
+  Interp.set_trace c.c_runtime trace;
   (* evaluate module variable declarations in order, over the session's
      persistent globals *)
-  let ctx = Ctx.make_dynamic ~trace:c.c_session.trace c.c_registry in
+  let ctx = Ctx.make_dynamic ~trace c.c_registry in
   let ctx = Ctx.with_vars ctx (Ctx.globals c.c_registry) in
   let ctx = Ctx.bind_many ctx vars in
   let ctx =
@@ -277,12 +296,20 @@ let run ?(vars = []) c =
   match c.c_body with
   | None -> []
   | Some (Stmt.Q_expr e) -> Xquery.Eval.eval ctx e
-  | Some (Stmt.Q_block b) -> Interp.exec_block c.c_runtime ~vars b
+  | Some (Stmt.Q_block b) -> Interp.exec_block c.c_runtime ~vars b)
 
-let eval ?vars s src = run ?vars (compile s src)
+let eval ?opts s src = run ?opts (compile s src)
 
-let eval_to_string ?vars s src =
-  Xml_serialize.seq_to_string (eval ?vars s src)
+let eval_to_string ?opts s src =
+  Xml_serialize.seq_to_string (eval ?opts s src)
+
+type exec_result = { r_value : Item.seq; r_stats : Instr.stats }
+
+let exec ?(opts = default_exec_opts) s src =
+  let i = instr s in
+  let before = Instr.stats i in
+  let v = Instr.span i "query" (fun () -> run ~opts (compile s src)) in
+  { r_value = v; r_stats = Instr.since i before }
 
 (* ------------------------------------------------------------------ *)
 (* Explain: optimize a program while recording what the optimizer did,
@@ -300,25 +327,49 @@ let explain s src =
   let prog = Parse.parse_program (fresh_static s) src in
   let log = ref [] in
   let total = ref Xquery.Optimizer.zero_stats in
-  let opt e =
+  (* [where] (the enclosing function/procedure) prefixes each rewrite
+     line, so multi-declaration programs attribute every rewrite; the
+     query body stays unprefixed *)
+  let opt_in where e =
     let e', st =
-      Xquery.Optimizer.optimize_with_stats ~log:(fun m -> log := m :: !log) e
+      Xquery.Optimizer.optimize_with_stats
+        ~log:(fun m ->
+          log :=
+            (match where with
+            | Some w -> Printf.sprintf "[%s] %s" w m
+            | None -> m)
+            :: !log)
+        e
     in
     total := Xquery.Optimizer.add_stats !total st;
     e'
   in
+  let opt e = opt_in None e in
   let prog =
     {
       prog with
       Stmt.prog_functions =
         List.map
           (fun fd ->
-            { fd with Xquery.Ast.fd_body = Option.map opt fd.Xquery.Ast.fd_body })
+            {
+              fd with
+              Xquery.Ast.fd_body =
+                Option.map
+                  (opt_in (Some (Qname.to_string fd.Xquery.Ast.fd_name)))
+                  fd.Xquery.Ast.fd_body;
+            })
           prog.Stmt.prog_functions;
       prog_procs =
         List.map
           (fun pd ->
-            { pd with Stmt.pd_body = Option.map (optimize_block opt) pd.Stmt.pd_body })
+            {
+              pd with
+              Stmt.pd_body =
+                Option.map
+                  (optimize_block
+                     (opt_in (Some (Qname.to_string pd.Stmt.pd_name))))
+                  pd.Stmt.pd_body;
+            })
           prog.Stmt.prog_procs;
       prog_body =
         Option.map

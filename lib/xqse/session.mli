@@ -10,12 +10,23 @@ open Xdm
 
 type t
 
-val create : ?optimize:bool -> unit -> t
+val create : ?optimize:bool -> ?instr:Instr.t -> unit -> t
+(** [instr] (default {!Instr.disabled}) is the session's instrumentation
+    handle, shared with its engine, its XQSE runtime, and every program
+    compiled in it. The handle identity is fixed at creation — enable it
+    or swap its sink at any time and already-wired components report
+    into it. *)
+
 val engine : t -> Xquery.Engine.t
 val runtime : t -> Interp.runtime
+
+val instr : t -> Instr.t
+(** The handle given to {!create}. *)
+
 val declare_namespace : t -> string -> string -> unit
 val set_trace : t -> (string -> unit) -> unit
-(** Where [fn:trace] output goes for subsequently compiled programs. *)
+(** Where [fn:trace] output goes for subsequently compiled programs
+    (default: a note in the instrumentation trace). *)
 
 val register_function :
   t -> ?side_effects:bool -> Qname.t -> int -> (Item.seq list -> Item.seq) -> unit
@@ -52,15 +63,37 @@ val compile : t -> string -> compiled
 (** Parse an XQSE program and register its declarations against copies of
     the session registry/runtime. *)
 
-val run : ?vars:(Qname.t * Item.seq) list -> compiled -> Item.seq
+type exec_opts = {
+  vars : (Qname.t * Item.seq) list;  (** external variable bindings *)
+  trace : (string -> unit) option;
+      (** per-call [fn:trace] destination; [None] uses the session
+          default (see {!set_trace}) *)
+}
+
+val default_exec_opts : exec_opts
+(** No variables, session-default trace. Build custom options as
+    [{ default_exec_opts with vars = ... }]. *)
+
+val run : ?opts:exec_opts -> compiled -> Item.seq
 (** Execute a compiled program: evaluate its global variables, then its
     query body (expression or block). Programs without a body return the
     empty sequence. *)
 
-val eval : ?vars:(Qname.t * Item.seq) list -> t -> string -> Item.seq
+val eval : ?opts:exec_opts -> t -> string -> Item.seq
 (** [compile] + [run]. *)
 
-val eval_to_string : ?vars:(Qname.t * Item.seq) list -> t -> string -> string
+val eval_to_string : ?opts:exec_opts -> t -> string -> string
+
+type exec_result = {
+  r_value : Item.seq;
+  r_stats : Instr.stats;  (** counters/timers this execution added *)
+}
+
+val exec : ?opts:exec_opts -> t -> string -> exec_result
+(** [compile] + [run] inside a [query] span, returning the result
+    together with the instrumentation delta it caused — the one code
+    path the CLI and the console share. With a disabled handle,
+    [r_stats] is empty. *)
 
 val call : t -> Qname.t -> Item.seq list -> Item.seq
 (** Call a session procedure or function by name with evaluated

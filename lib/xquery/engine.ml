@@ -4,30 +4,30 @@ type t = {
   st : Context.static;
   reg : Context.registry;
   mutable optimize : bool;
-  mutable opt_log : (string -> unit) option;
+  mutable instr : Instr.t;
   docs : (string * Node.t) list ref;
   colls : (string * Node.t list) list ref;
 }
 
-let create ?(optimize = true) () =
+let create ?(optimize = true) ?(instr = Instr.disabled) () =
   {
     st = Context.default_static ();
     reg = Builtins.standard_registry ();
     optimize;
-    opt_log = None;
+    instr;
     docs = ref [];
     colls = ref [];
   }
 
-let with_registry ?(optimize = true) st reg =
-  { st; reg; optimize; opt_log = None; docs = ref []; colls = ref [] }
+let with_registry ?(optimize = true) ?(instr = Instr.disabled) st reg =
+  { st; reg; optimize; instr; docs = ref []; colls = ref [] }
 
 let static t = t.st
 let registry t = t.reg
 let optimizing t = t.optimize
 let set_optimizing t b = t.optimize <- b
-let set_optimizer_log t f = t.opt_log <- Some f
-let optimizer_log t = t.opt_log
+let instr t = t.instr
+let set_instr t i = t.instr <- i
 let declare_namespace t prefix uri = Context.declare_ns t.st prefix uri
 
 let register_external t ?side_effects name arity impl =
@@ -35,6 +35,33 @@ let register_external t ?side_effects name arity impl =
 
 let register_doc t uri node = t.docs := (uri, node) :: !(t.docs)
 let register_collection t uri nodes = t.colls := (uri, nodes) :: !(t.colls)
+
+(* Optimize one expression, reporting into the instrumentation handle:
+   the per-pass rewrite counters always, and one note per rewrite when a
+   sink is attached ([where] names the enclosing declaration). The log
+   closure is only built when notes will actually be emitted, so the
+   optimizer never forces its lazy log strings under a [Null] sink. *)
+let optimize_expr t ?where e =
+  if not t.optimize then e
+  else begin
+    let i = t.instr in
+    let log =
+      if Instr.noting i then
+        Some
+          (fun m ->
+            Instr.note i
+              (match where with
+              | Some w -> Printf.sprintf "[%s] %s" w m
+              | None -> m))
+      else None
+    in
+    let e', st = Optimizer.optimize_with_stats ?log e in
+    Instr.bump i ~n:st.Optimizer.folded Instr.K.optimizer_folded;
+    Instr.bump i ~n:st.Optimizer.inlined Instr.K.optimizer_inlined;
+    Instr.bump i ~n:st.Optimizer.joins Instr.K.optimizer_joins;
+    Instr.bump i ~n:st.Optimizer.pushed Instr.K.optimizer_pushed;
+    e'
+  end
 
 type compiled = {
   c_engine : t;
@@ -44,93 +71,112 @@ type compiled = {
 }
 
 let compile t src =
-  (* parse against a copy of the static context so per-query namespace
-     declarations do not leak into the engine *)
-  let st =
-    {
-      Context.namespaces = t.st.Context.namespaces;
-      default_elem_ns = t.st.Context.default_elem_ns;
-      default_fun_ns = t.st.Context.default_fun_ns;
-    }
-  in
-  let m = Parser.parse_module st src in
-  let reg = Context.copy_registry t.reg in
-  let vars = ref [] in
-  List.iter
-    (fun item ->
-      match item with
-      | Ast.P_function decl ->
-        let decl =
-          if t.optimize then Optimizer.optimize_decl ?log:t.opt_log decl
-          else decl
-        in
-        Context.register reg
-          {
-            Context.fn_name = decl.Ast.fd_name;
-            fn_arity = List.length decl.Ast.fd_params;
-            fn_params = List.map snd decl.Ast.fd_params;
-            fn_return = decl.Ast.fd_return;
-            fn_impl = Context.User decl;
-            fn_side_effects = false;
-          }
-      | Ast.P_variable vd -> vars := vd :: !vars
-      | Ast.P_import _ ->
-        (* module resolution is a session-level concern (Xqse.Session);
-           the prefix was already declared by the parser *)
-        ())
-    m.Ast.prolog;
-  let body =
-    if t.optimize then Optimizer.optimize ?log:t.opt_log m.Ast.body
-    else m.Ast.body
-  in
-  { c_engine = t; c_registry = reg; c_vars = List.rev !vars; c_body = body }
+  Instr.span t.instr "compile" (fun () ->
+      Instr.bump t.instr Instr.K.queries_compiled;
+      (* parse against a copy of the static context so per-query namespace
+         declarations do not leak into the engine *)
+      let st =
+        {
+          Context.namespaces = t.st.Context.namespaces;
+          default_elem_ns = t.st.Context.default_elem_ns;
+          default_fun_ns = t.st.Context.default_fun_ns;
+        }
+      in
+      let m = Parser.parse_module st src in
+      let reg = Context.copy_registry t.reg in
+      let vars = ref [] in
+      List.iter
+        (fun item ->
+          match item with
+          | Ast.P_function decl ->
+            let decl =
+              {
+                decl with
+                Ast.fd_body =
+                  Option.map
+                    (optimize_expr t
+                       ~where:(Qname.to_string decl.Ast.fd_name))
+                    decl.Ast.fd_body;
+              }
+            in
+            Context.register reg
+              {
+                Context.fn_name = decl.Ast.fd_name;
+                fn_arity = List.length decl.Ast.fd_params;
+                fn_params = List.map snd decl.Ast.fd_params;
+                fn_return = decl.Ast.fd_return;
+                fn_impl = Context.User decl;
+                fn_side_effects = false;
+              }
+          | Ast.P_variable vd -> vars := vd :: !vars
+          | Ast.P_import _ ->
+            (* module resolution is a session-level concern (Xqse.Session);
+               the prefix was already declared by the parser *)
+            ())
+        m.Ast.prolog;
+      let body = optimize_expr t m.Ast.body in
+      { c_engine = t; c_registry = reg; c_vars = List.rev !vars; c_body = body })
 
-let run ?context_item ?(vars = []) ?(trace = fun _ -> ()) c =
-  let ctx = Context.make_dynamic ~trace c.c_registry in
-  List.iter
-    (fun (uri, doc) -> Context.register_doc ctx uri doc)
-    (List.rev !(c.c_engine.docs));
-  List.iter
-    (fun (uri, nodes) -> Context.register_collection ctx uri nodes)
-    (List.rev !(c.c_engine.colls));
-  let ctx = Context.bind_many ctx vars in
-  (* evaluate module variable declarations in order *)
-  let ctx =
-    List.fold_left
-      (fun ctx vd ->
-        let v =
-          match vd.Ast.vd_value with
-          | Some e -> Eval.eval ctx e
-          | None -> (
-            match Context.lookup_var ctx vd.Ast.vd_name with
-            | Some v -> v
-            | None ->
-              Item.raise_error (Qname.err "XPDY0002")
-                (Printf.sprintf
-                   "external variable $%s was not supplied a value"
-                   (Qname.to_string vd.Ast.vd_name)))
-        in
-        let v =
-          match vd.Ast.vd_type with
-          | Some ty ->
-            Seqtype.check
-              ~what:(Printf.sprintf "$%s" (Qname.to_string vd.Ast.vd_name))
-              ty v
-          | None -> v
-        in
-        Context.bind ctx vd.Ast.vd_name v)
-      ctx c.c_vars
-  in
-  Context.set_globals c.c_registry (Context.fields ctx).Context.vars;
-  let ctx =
-    match context_item with
-    | Some item -> Context.with_focus ctx item ~pos:1 ~size:1
-    | None -> ctx
-  in
-  Eval.eval ctx c.c_body
+type run_opts = {
+  context_item : Item.t option;
+  vars : (Qname.t * Item.seq) list;
+  trace : (string -> unit) option;
+}
 
-let eval_string ?context_item ?vars ?trace t src =
-  run ?context_item ?vars ?trace (compile t src)
+let default_run_opts = { context_item = None; vars = []; trace = None }
 
-let eval_to_string ?context_item ?vars t src =
-  Xml_serialize.seq_to_string (eval_string ?context_item ?vars t src)
+let run ?(opts = default_run_opts) c =
+  let i = c.c_engine.instr in
+  Instr.span i "run" (fun () ->
+      let trace =
+        match opts.trace with
+        | Some f -> f
+        | None -> fun m -> Instr.note i ("trace: " ^ m)
+      in
+      let ctx = Context.make_dynamic ~trace c.c_registry in
+      List.iter
+        (fun (uri, doc) -> Context.register_doc ctx uri doc)
+        (List.rev !(c.c_engine.docs));
+      List.iter
+        (fun (uri, nodes) -> Context.register_collection ctx uri nodes)
+        (List.rev !(c.c_engine.colls));
+      let ctx = Context.bind_many ctx opts.vars in
+      (* evaluate module variable declarations in order *)
+      let ctx =
+        List.fold_left
+          (fun ctx vd ->
+            let v =
+              match vd.Ast.vd_value with
+              | Some e -> Eval.eval ctx e
+              | None -> (
+                match Context.lookup_var ctx vd.Ast.vd_name with
+                | Some v -> v
+                | None ->
+                  Item.raise_error (Qname.err "XPDY0002")
+                    (Printf.sprintf
+                       "external variable $%s was not supplied a value"
+                       (Qname.to_string vd.Ast.vd_name)))
+            in
+            let v =
+              match vd.Ast.vd_type with
+              | Some ty ->
+                Seqtype.check
+                  ~what:(Printf.sprintf "$%s" (Qname.to_string vd.Ast.vd_name))
+                  ty v
+              | None -> v
+            in
+            Context.bind ctx vd.Ast.vd_name v)
+          ctx c.c_vars
+      in
+      Context.set_globals c.c_registry (Context.fields ctx).Context.vars;
+      let ctx =
+        match opts.context_item with
+        | Some item -> Context.with_focus ctx item ~pos:1 ~size:1
+        | None -> ctx
+      in
+      Eval.eval ctx c.c_body)
+
+let eval_string ?opts t src = run ?opts (compile t src)
+
+let eval_to_string ?opts t src =
+  Xml_serialize.seq_to_string (eval_string ?opts t src)

@@ -4,17 +4,26 @@
     registry (builtins plus whatever external functions the host — e.g.
     the ALDSP dataspace — registers). Each query evaluation works on a
     copy of the registry, so per-query prolog declarations do not leak
-    between queries. *)
+    between queries.
+
+    An engine also carries an instrumentation handle ({!Instr.t},
+    default {!Instr.disabled}): compilation and execution run inside
+    [compile]/[run] spans, optimizer rewrites bump the
+    [optimizer.*] counters (and emit one note per rewrite when the
+    handle has a sink), and [fn:trace] output without an explicit
+    [trace] callback flows into the same sink. *)
 
 open Xdm
 
 type t
 
-val create : ?optimize:bool -> unit -> t
+val create : ?optimize:bool -> ?instr:Instr.t -> unit -> t
 (** [optimize] (default [true]) runs the rewrite optimizer over every
-    compiled function body and query body. *)
+    compiled function body and query body. [instr] (default
+    {!Instr.disabled}) receives spans, counters and rewrite notes. *)
 
-val with_registry : ?optimize:bool -> Context.static -> Context.registry -> t
+val with_registry :
+  ?optimize:bool -> ?instr:Instr.t -> Context.static -> Context.registry -> t
 (** Build an engine around an existing static context and registry
     (shared with other components, e.g. the XQSE interpreter). *)
 
@@ -23,14 +32,15 @@ val registry : t -> Context.registry
 val optimizing : t -> bool
 val set_optimizing : t -> bool -> unit
 
-val set_optimizer_log : t -> (string -> unit) -> unit
-(** Attach a rewrite-log hook: every optimizer rewrite performed while
-    compiling (constant folds, let inlinings, join detections, predicate
-    pushdowns) is reported as one line — the engine's "explain" output. *)
+val instr : t -> Instr.t
+val set_instr : t -> Instr.t -> unit
 
-val optimizer_log : t -> (string -> unit) option
-(** The hook installed by {!set_optimizer_log}, if any (used by hosts —
-    e.g. XQSE sessions — that run the optimizer themselves). *)
+val optimize_expr : t -> ?where:string -> Ast.expr -> Ast.expr
+(** Run the optimizer over one expression (identity when optimization is
+    off), reporting pass counters and rewrite notes into the engine's
+    instrumentation handle. [where] names the enclosing declaration and
+    prefixes each note as [[where] rewrite...] — this is how explain
+    output attributes rewrites in multi-declaration programs. *)
 
 val declare_namespace : t -> string -> string -> unit
 
@@ -58,24 +68,25 @@ val compile : t -> string -> compiled
     @raise Parser.Syntax_error / Lexer.Lex_error on bad syntax,
     Xdm.Item.Error on static errors. *)
 
-val run :
-  ?context_item:Item.t ->
-  ?vars:(Qname.t * Item.seq) list ->
-  ?trace:(string -> unit) ->
-  compiled ->
-  Item.seq
-(** Evaluate a compiled query: global variable declarations are evaluated
-    first (external ones must be supplied through [vars]), then the body. *)
+type run_opts = {
+  context_item : Item.t option;
+  vars : (Qname.t * Item.seq) list;  (** external variable bindings *)
+  trace : (string -> unit) option;
+      (** where [fn:trace] output goes; [None] routes it into the
+          engine's instrumentation sink as a note *)
+}
 
-val eval_string :
-  ?context_item:Item.t ->
-  ?vars:(Qname.t * Item.seq) list ->
-  ?trace:(string -> unit) ->
-  t ->
-  string ->
-  Item.seq
+val default_run_opts : run_opts
+(** No context item, no variables, trace into the instrumentation sink.
+    Build custom options as [{ default_run_opts with vars = ... }]. *)
+
+val run : ?opts:run_opts -> compiled -> Item.seq
+(** Evaluate a compiled query: global variable declarations are evaluated
+    first (external ones must be supplied through [opts.vars]), then the
+    body. *)
+
+val eval_string : ?opts:run_opts -> t -> string -> Item.seq
 (** [compile] + [run]. *)
 
-val eval_to_string :
-  ?context_item:Item.t -> ?vars:(Qname.t * Item.seq) list -> t -> string -> string
+val eval_to_string : ?opts:run_opts -> t -> string -> string
 (** Evaluate and serialize the result sequence. *)

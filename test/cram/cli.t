@@ -77,11 +77,72 @@ Syntax errors report position:
   xqse: syntax error at 1:10: unexpected end of input
   [124]
 
-fn:trace goes to stderr with --trace:
+--explain names the enclosing declaration for every rewrite:
 
-  $ xqse --trace -e 'trace(2 + 2, "sum")'
-  trace: sum: 4
+  $ xqse --explain -e 'declare function local:dbl($n as xs:integer) as xs:integer { $n * (1 + 1) };
+  > declare procedure local:go() as xs:integer {
+  >   declare $x := 2 + 3;
+  >   return value local:dbl($x);
+  > };
+  > local:go()'
+  declare function local:dbl($n as xs:integer) as xs:integer { ($n * 2) };
+  declare procedure local:go() as xs:integer {
+    declare $x := 5;
+    return value local:dbl($x);
+  };
+  local:go()
+  rewrite: [local:dbl] fold_constants: (1 + 1) => 2
+  rewrite: [local:dbl] pass 1: folded=1 inlined=0 joins=0 pushed=0
+  rewrite: [local:go] fold_constants: (2 + 3) => 5
+  rewrite: [local:go] pass 1: folded=1 inlined=0 joins=0 pushed=0
+  stats: folded=2 inlined=0 joins=0 pushed=0
+
+--trace emits the span tree on stderr (durations vary, so they are
+masked here); fn:trace output and optimizer rewrites ride along as
+notes, indented under the span that produced them:
+
+  $ xqse --trace -e 'trace(2 + 2, "sum")' 2>&1 | sed -E 's/\([0-9.]+ms\)/(_ms)/'
+      fold_constants: (2 + 2) => 4
+      pass 1: folded=1 inlined=0 joins=0 pushed=0
+    compile (_ms)
+      trace: sum: 4
+    run (_ms)
+  query (_ms)
   4
+
+--trace=json emits one JSON object per span or note; nesting lives in
+the id/parent/depth fields:
+
+  $ xqse --trace=json -e '2 + 2' 2>&1 | sed -E 's/"(start_ms|dur_ms)":[0-9.]+/"\1":0/g'
+  {"type":"note","depth":2,"text":"fold_constants: (2 + 2) => 4"}
+  {"type":"note","depth":2,"text":"pass 1: folded=1 inlined=0 joins=0 pushed=0"}
+  {"type":"span","id":2,"parent":1,"depth":1,"name":"compile","attrs":{},"start_ms":0,"dur_ms":0}
+  {"type":"span","id":3,"parent":1,"depth":1,"name":"run","attrs":{},"start_ms":0,"dur_ms":0}
+  {"type":"span","id":1,"parent":0,"depth":0,"name":"query","attrs":{},"start_ms":0,"dur_ms":0}
+  4
+
+--stats prints the counter table after the result (span timings are
+wall-clock, masked here):
+
+  $ xqse --stats -e '1 + 2 * 3' | sed -E 's/^(time\.[a-z.]+\.ms) +[0-9.]+$/\1 _/'
+  7
+  queries.compiled           1
+  optimizer.folded           2
+  optimizer.inlined          0
+  optimizer.joins            0
+  optimizer.pushed           0
+  sql.generated              0
+  sql.executed               0
+  rows.scanned               0
+  rows.fetched               0
+  ws.calls                   0
+  ws.faults                  0
+  xqse.statements            0
+  sdo.submits                0
+  sdo.statements             0
+  time.compile.ms _
+  time.run.ms _
+  time.query.ms _
 
 The interactive session persists declarations:
 
@@ -89,4 +150,29 @@ The interactive session persists declarations:
   XQSE interactive session. End input with ';;'. Declarations persist.
   xqse> declared.
   xqse> 100
+  xqse> 
+
+The interactive session always records counters; the stats command
+prints the cumulative table (span times masked):
+
+  $ printf '2 + 3;;\nstats;;\n' | xqse -i | sed -E 's/^(time\.[a-z.]+\.ms) +[0-9.]+$/\1 _/'
+  XQSE interactive session. End input with ';;'. Declarations persist.
+  xqse> 5
+  xqse> queries.compiled           1
+  optimizer.folded           1
+  optimizer.inlined          0
+  optimizer.joins            0
+  optimizer.pushed           0
+  sql.generated              0
+  sql.executed               0
+  rows.scanned               0
+  rows.fetched               0
+  ws.calls                   0
+  ws.faults                  0
+  xqse.statements            0
+  sdo.submits                0
+  sdo.statements             0
+  time.compile.ms _
+  time.run.ms _
+  time.query.ms _
   xqse> 

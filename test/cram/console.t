@@ -16,6 +16,27 @@ Ad-hoc queries run against the dataspace:
   $ aldsp-console -q "string-join(uc:getManagementChain(5)/Name, ' -> ')"
   Nils Walker -&gt; Bob Lee -&gt; Mona Davis -&gt; Dana Wilson
 
+The stats command prints the session's cumulative execution counters
+(the web service is called once per profile, and every source row read
+is accounted):
+
+  $ aldsp-console -q 'count(profile:getProfile())' -q stats
+  6
+  queries.compiled           1
+  optimizer.folded           0
+  optimizer.inlined          0
+  optimizer.joins            0
+  optimizer.pushed           0
+  sql.generated              0
+  sql.executed               0
+  rows.scanned              62
+  rows.fetched              62
+  ws.calls                   6
+  ws.faults                  0
+  xqse.statements            0
+  sdo.submits                0
+  sdo.statements             0
+
 The lineage view explains update decomposition:
 
   $ aldsp-console --lineage CustomerProfile | head -5

@@ -102,7 +102,40 @@ let meta_tests =
           (Printf.sprintf "%d/%d programs rebind a variable"
              (List.length shadowing) (List.length progs))
           true
-          (List.length shadowing * 4 >= List.length progs))
+          (List.length shadowing * 4 >= List.length progs));
+    case "generated programs include typeswitch" (fun () ->
+        let progs = Fixtures.Gen_xquery.corpus ~seed:corpus_seed corpus_size in
+        let has_ts src =
+          let needle = "typeswitch" in
+          let nl = String.length needle and hl = String.length src in
+          let rec go i =
+            i + nl <= hl && (String.sub src i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        let n = List.length (List.filter has_ts progs) in
+        check_bool
+          (Printf.sprintf "%d/%d programs contain a typeswitch" n
+             (List.length progs))
+          true (n >= 10));
+    case "generated programs trigger join detection" (fun () ->
+        (* the whole point of the join-shaped template: detect_joins must
+           fire on generated input, not just on hand-written tests *)
+        let progs = Fixtures.Gen_xquery.corpus ~seed:corpus_seed corpus_size in
+        let joins_in src =
+          let e =
+            Xquery.Parser.parse_expression
+              (Xquery.Context.default_static ())
+              src
+          in
+          let _, st = Xquery.Optimizer.optimize_with_stats e in
+          st.Xquery.Optimizer.joins
+        in
+        let n = List.length (List.filter (fun p -> joins_in p > 0) progs) in
+        check_bool
+          (Printf.sprintf "%d/%d programs rewrite into a hash join" n
+             (List.length progs))
+          true (n >= 10));
   ]
 
 let suites =

@@ -145,7 +145,11 @@ let error_trace_tests =
         let result =
           Core.Xdm.Xml_serialize.seq_to_string
             (Core.Xquery.Engine.eval_string
-               ~trace:(fun m -> logged := m :: !logged)
+               ~opts:
+                 {
+                   Core.Xquery.Engine.default_run_opts with
+                   trace = Some (fun m -> logged := m :: !logged);
+                 }
                engine "trace((1, 2), 'label')")
         in
         check_string "value" "1 2" result;

@@ -22,7 +22,11 @@ let compiled_reuse_tests =
               (string_of_int (n * n))
               (Xml_serialize.seq_to_string
                  (Xquery.Engine.run
-                    ~vars:[ (Qname.local "n", Item.int n) ]
+                    ~opts:
+                      {
+                        Xquery.Engine.default_run_opts with
+                        vars = [ (Qname.local "n", Item.int n) ];
+                      }
                     compiled)))
           [ 2; 5; 12 ]);
     case "compiled XQSE program re-runs deterministically" (fun () ->
@@ -50,12 +54,18 @@ let compiled_reuse_tests =
                 return value $acc;
               }|}
         in
+        let with_limit n =
+          {
+            Xqse.Session.default_exec_opts with
+            vars = [ (Qname.local "limit", Item.int n) ];
+          }
+        in
         check_string "limit 3" "6"
           (Xml_serialize.seq_to_string
-             (Xqse.Session.run ~vars:[ (Qname.local "limit", Item.int 3) ] compiled));
+             (Xqse.Session.run ~opts:(with_limit 3) compiled));
         check_string "limit 10" "55"
           (Xml_serialize.seq_to_string
-             (Xqse.Session.run ~vars:[ (Qname.local "limit", Item.int 10) ] compiled)));
+             (Xqse.Session.run ~opts:(with_limit 10) compiled)));
   ]
 
 let platform_interaction_tests =

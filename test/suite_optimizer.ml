@@ -149,7 +149,13 @@ let trace_run ~optimize src =
   let msgs = ref [] in
   let result =
     Xdm.Xml_serialize.seq_to_string
-      (Xquery.Engine.eval_string ~trace:(fun m -> msgs := m :: !msgs) engine src)
+      (Xquery.Engine.eval_string
+         ~opts:
+           {
+             Xquery.Engine.default_run_opts with
+             trace = Some (fun m -> msgs := m :: !msgs);
+           }
+         engine src)
   in
   (result, List.rev !msgs)
 

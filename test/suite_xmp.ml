@@ -54,13 +54,15 @@ let reviews_xml =
   </entry>
 </reviews>|}
 
-let xmp ?vars src =
+let xmp ?(vars = []) src =
   let engine = Xquery.Engine.create () in
   Xquery.Engine.register_doc engine "bib.xml" (Xdm.Xml_parse.parse bib_xml);
   Xquery.Engine.register_doc engine "reviews.xml"
     (Xdm.Xml_parse.parse reviews_xml);
   Xdm.Xml_serialize.seq_to_string
-    (Xquery.Engine.eval_string ?vars engine src)
+    (Xquery.Engine.eval_string
+       ~opts:{ Xquery.Engine.default_run_opts with vars }
+       engine src)
 
 let qx name expected src =
   case name (fun () -> check_string src expected (xmp src))

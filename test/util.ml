@@ -2,18 +2,20 @@
 
 open Core
 
-let xq ?context_item ?vars src =
+let xq ?context_item ?(vars = []) src =
   let engine = Xquery.Engine.create () in
+  let opts = { Xquery.Engine.default_run_opts with context_item; vars } in
   Xdm.Xml_serialize.seq_to_string
-    (Xquery.Engine.eval_string ?context_item ?vars engine src)
+    (Xquery.Engine.eval_string ~opts engine src)
 
 let xq_noopt src =
   let engine = Xquery.Engine.create ~optimize:false () in
   Xdm.Xml_serialize.seq_to_string (Xquery.Engine.eval_string engine src)
 
-let xqse ?vars src =
+let xqse ?(vars = []) src =
   let session = Xqse.Session.create () in
-  Xqse.Session.eval_to_string ?vars session src
+  let opts = { Xqse.Session.default_exec_opts with vars } in
+  Xqse.Session.eval_to_string ~opts session src
 
 (* a test case asserting the serialized result of a query *)
 let q name expected src =
