@@ -32,11 +32,15 @@ let rec atom t depth (scope : entry list) =
   let choices =
     [ `Lit; `Lit ]
     @ (if avs <> [] then [ `Var; `Var; `Var ] else [])
-    @ (if depth > 0 then [ `Arith; `Arith; `If; `Count; `Let; `Switch ] else [])
+    @ (if depth > 0 then
+         [ `Arith; `Arith; `If; `Count; `Let; `Switch; `LetUse; `Copy ]
+       else [])
   in
   match Det.pick t choices with
   | `Lit -> string_of_int (rand_int t 0 9)
   | `Var -> "$" ^ fst (Det.pick t avs)
+  | `LetUse -> let_use t depth scope
+  | `Copy -> transform t depth scope
   | `Switch ->
     (* integer-valued in every branch; the case variables are binding
        sites, so typeswitch participates in the capture-avoidance
@@ -65,6 +69,58 @@ let rec atom t depth (scope : entry list) =
     Printf.sprintf "(let $%s := %s return %s)" v
       (atom t (depth - 1) scope)
       (atom t (depth - 1) ((v, `Atom) :: scope))
+
+(* A single-use computed [let]: the value is genuinely computed (not a
+   literal or alias, so only the purity-gated cost-based inliner can
+   touch it) and the body uses the variable exactly once, in a head
+   position, so the inliner fires without a size cap. The non-variable
+   parts of the body are generated against a scope with the bound name
+   removed, which is what guarantees the single use. *)
+and let_use t depth scope =
+  let v = Det.pick t pool in
+  let scope' = List.filter (fun (n, _) -> n <> v) scope in
+  let value = Printf.sprintf "count((%s))" (seq t (depth - 1) scope) in
+  let use =
+    match Det.int t 3 with
+    | 0 -> Printf.sprintf "($%s + %d)" v (rand_int t 0 9)
+    | 1 ->
+      Printf.sprintf "(if ($%s ge %d) then %s else %s)" v (rand_int t 1 5)
+        (atom t (depth - 1) scope')
+        (atom t (depth - 1) scope')
+    | _ ->
+      let w = Det.pick t (List.filter (fun p -> p <> v) pool) in
+      Printf.sprintf "count((for $%s in (1 to ($%s mod 3)) return %s))" w v
+        (seq t (depth - 1) ((w, `Atom) :: scope'))
+  in
+  Printf.sprintf "(let $%s := %s return %s)" v value use
+
+(* A transform (copy/modify/return) expression, integer-valued overall so
+   it slots in anywhere an atom does. Exercises the update-expression AST
+   nodes the purity analysis must keep the optimizer away from: a
+   transform constructs fresh nodes, so a [let] bound to one must never
+   be inlined into a multi-evaluation position or dropped. The copy
+   variable is bound to a node, so post-copy operands come from a scope
+   with that name removed. *)
+and transform t depth scope =
+  let c = Det.pick t pool in
+  let scope' = List.filter (fun (n, _) -> n <> c) scope in
+  if Det.int t 2 = 0 then
+    Printf.sprintf
+      "(copy $%s := <w><v>{%s}</v></w> modify replace value of node $%s/v \
+       with %s return xs:integer($%s/v))"
+      c
+      (atom t (depth - 1) scope)
+      c
+      (atom t (depth - 1) scope')
+      c
+  else
+    Printf.sprintf
+      "(copy $%s := <w/> modify insert node <v>{%s}</v> into $%s return \
+       (count($%s/v) + %s))"
+      c
+      (atom t (depth - 1) scope')
+      c c
+      (atom t (depth - 1) scope')
 
 (* A boolean, used only in where/if/satisfies position. *)
 and cond t depth scope =
@@ -112,11 +168,32 @@ and seq t depth scope =
   | `Flwor -> "(" ^ flwor t (depth - 1) scope ^ ")"
 
 (* A FLWOR, following the XQuery 1.0 grammar: 1-3 for/let clauses, then
-   an optional single where, an optional order by, and the return. One
-   time in four (when depth remains) it is join-shaped instead. *)
+   an optional single where, an optional order by, and the return. When
+   depth remains, one time in four it is join-shaped and one time in
+   four shifted-where-shaped instead. *)
 and flwor t depth scope =
-  if depth > 0 && Det.int t 4 = 0 then join_flwor t depth scope
+  if depth > 0 then
+    match Det.int t 8 with
+    | 0 | 1 -> join_flwor t depth scope
+    | 2 | 3 -> shifted_flwor t depth scope
+    | _ -> general_flwor t depth scope
   else general_flwor t depth scope
+
+(* The shape the focus-shift pushdown handles: a single-variable [where]
+   whose variable occurs inside a nested filter predicate (a shifted
+   focus), so the pushdown must rebind the for variable through a fresh
+   [let $v' := .] instead of bailing. The filtered source is generated
+   against an empty scope so the condition's only free variable is the
+   for variable. *)
+and shifted_flwor t depth scope =
+  let v = Det.pick t pool in
+  let op = Det.pick t [ "eq"; "ne"; "lt"; "le"; "gt"; "ge" ] in
+  Printf.sprintf "for $%s in (%s) where count((%s)[. le $%s]) %s %d return %s"
+    v
+    (seq t (depth - 1) scope)
+    (seq t (depth - 1) [])
+    v op (rand_int t 0 3)
+    (seq t (depth - 1) ((v, `Atom) :: scope))
 
 (* The exact shape [detect_joins] rewrites into a hash Join_clause: two
    single-variable for clauses, the second over a source with no free

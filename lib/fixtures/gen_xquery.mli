@@ -1,11 +1,15 @@
 (** Deterministic generator of well-formed, integer-valued XQuery
     FLWOR/let/quantified/typeswitch programs, skewed toward the rewrite
-    optimizer's attack surface (alias/literal lets, shadowing from a
-    tiny variable pool, typeswitch case binders, single-variable wheres,
-    and join-shaped [for/for/where $a eq $b] programs that the
-    [detect_joins] pass rewrites). Used by the differential test suite:
-    optimized and unoptimized evaluation of every generated program must
-    agree item-for-item. *)
+    optimizer's attack surface (alias/literal lets, single-use computed
+    lets in head position for the purity-gated inliner, shadowing from a
+    tiny variable pool, typeswitch case binders, single-variable wheres
+    — including shifted-focus ones the pushdown must rebind through a
+    fresh [let] — transform (copy/modify/return) expressions whose node
+    construction the purity analysis must fence off, and join-shaped
+    [for/for/where $a eq $b] programs that the [detect_joins] pass
+    rewrites). Used by the differential test suite: optimized and
+    unoptimized evaluation of every generated program must agree
+    item-for-item. *)
 
 val expr : Det.t -> string
 (** One generated program, driven entirely by the given deterministic

@@ -168,6 +168,26 @@ let span t ?(attrs = []) name f =
       raise e
   end
 
+(* Accumulate wall-clock into a named timer without opening a span: for
+   hot, frequently-entered phases (one optimizer pass per fixpoint
+   iteration) where a span per entry would drown the trace. *)
+let time t name f =
+  if not t.on then f ()
+  else begin
+    let start = now_ms () in
+    let finish () =
+      let r = timer t name in
+      r := !r +. (now_ms () -. start)
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
 (* ---- snapshots ---- *)
 
 type stats = {
@@ -229,8 +249,18 @@ module K = struct
   let queries_compiled = "queries.compiled"
   let optimizer_folded = "optimizer.folded"
   let optimizer_inlined = "optimizer.inlined"
+  let optimizer_inlined_pure = "optimizer.inlined.pure"
   let optimizer_joins = "optimizer.joins"
   let optimizer_pushed = "optimizer.pushed"
+  let optimizer_pushed_shifted = "optimizer.pushed.shifted"
+
+  (* per-pass optimizer timers, accumulated via [time] and rendered as
+     [time.<name>.ms] rows *)
+  let t_optimizer_fold = "optimizer.fold"
+  let t_optimizer_normalize = "optimizer.normalize"
+  let t_optimizer_inline = "optimizer.inline"
+  let t_optimizer_join = "optimizer.join"
+  let t_optimizer_push = "optimizer.push"
   let sql_generated = "sql.generated"
   let sql_executed = "sql.executed"
   let rows_scanned = "rows.scanned"
@@ -249,8 +279,10 @@ let preregister t =
       K.queries_compiled;
       K.optimizer_folded;
       K.optimizer_inlined;
+      K.optimizer_inlined_pure;
       K.optimizer_joins;
       K.optimizer_pushed;
+      K.optimizer_pushed_shifted;
       K.sql_generated;
       K.sql_executed;
       K.rows_scanned;
@@ -260,4 +292,15 @@ let preregister t =
       K.xqse_statements;
       K.sdo_submits;
       K.sdo_statements;
+    ];
+  (* the per-pass timers too, so the stats table has a stable shape even
+     for runs where a pass never fired *)
+  List.iter
+    (fun k -> ignore (timer t k))
+    [
+      K.t_optimizer_fold;
+      K.t_optimizer_normalize;
+      K.t_optimizer_inline;
+      K.t_optimizer_join;
+      K.t_optimizer_push;
     ]

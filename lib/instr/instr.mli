@@ -54,6 +54,12 @@ val span : t -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
     the sink when [f] returns (or raises — spans close on exceptions).
     When disabled this is exactly [f ()]. *)
 
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t name f] accumulates [f]'s duration into the timer named
+    [name] without opening a span — for hot, frequently-entered phases
+    (e.g. one optimizer pass per fixpoint iteration) where a span per
+    entry would drown the trace. When disabled this is exactly [f ()]. *)
+
 (** {1 Snapshots} *)
 
 type stats = {
@@ -85,8 +91,10 @@ module K : sig
   val queries_compiled : string
   val optimizer_folded : string
   val optimizer_inlined : string
+  val optimizer_inlined_pure : string
   val optimizer_joins : string
   val optimizer_pushed : string
+  val optimizer_pushed_shifted : string
   val sql_generated : string
   val sql_executed : string
   val rows_scanned : string
@@ -96,6 +104,14 @@ module K : sig
   val xqse_statements : string
   val sdo_submits : string
   val sdo_statements : string
+
+  (** per-pass optimizer timer names, accumulated via {!time} *)
+
+  val t_optimizer_fold : string
+  val t_optimizer_normalize : string
+  val t_optimizer_inline : string
+  val t_optimizer_join : string
+  val t_optimizer_push : string
 end
 
 val preregister : t -> unit

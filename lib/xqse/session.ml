@@ -112,9 +112,14 @@ type compiled = {
 
 let install_declarations s reg rt (prog : Stmt.program) =
   (* [Engine.optimize_expr] is the identity when optimization is off;
-     [where] attributes every rewrite note to its enclosing declaration *)
+     [where] attributes every rewrite note to its enclosing declaration.
+     The purity environment is built against the target registry plus
+     the program's own functions, so declaration bodies that call each
+     other (or procedures calling declared functions) analyze precisely.
+     Returned so [compile] can reuse it for the query body. *)
+  let env = Xquery.Engine.purity_env s.eng prog.Stmt.prog_functions in
   let opt_in name e =
-    Xquery.Engine.optimize_expr s.eng ~where:(Qname.to_string name) e
+    Xquery.Engine.optimize_expr s.eng ~where:(Qname.to_string name) ~env e
   in
   List.iter
     (fun (decl : Xquery.Ast.function_decl) ->
@@ -155,7 +160,8 @@ let install_declarations s reg rt (prog : Stmt.program) =
           p_readonly = pd.Stmt.pd_readonly;
           p_impl = body;
         })
-    prog.Stmt.prog_procs
+    prog.Stmt.prog_procs;
+  env
 
 let fresh_static s =
   let st = Xquery.Engine.static s.eng in
@@ -188,7 +194,9 @@ and load_library s src =
       "a library program must not have a query body"
   | None -> ());
   resolve_imports s prog;
-  install_declarations s (Xquery.Engine.registry s.eng) s.rt prog;
+  ignore
+    (install_declarations s (Xquery.Engine.registry s.eng) s.rt prog
+      : Xquery.Purity.env);
   (* library variable declarations evaluate now and persist as globals *)
   if prog.Stmt.prog_variables <> [] then begin
     let reg = Xquery.Engine.registry s.eng in
@@ -229,8 +237,8 @@ let compile s src =
       resolve_imports s prog;
       let reg = Ctx.copy_registry (Xquery.Engine.registry s.eng) in
       let rt = Interp.create_runtime ~trace:s.trace ~parent:s.rt reg in
-      install_declarations s reg rt prog;
-      let opt e = Xquery.Engine.optimize_expr s.eng e in
+      let env = install_declarations s reg rt prog in
+      let opt e = Xquery.Engine.optimize_expr s.eng ~env e in
       let body =
         Option.map
           (function
@@ -327,12 +335,14 @@ let explain s src =
   let prog = Parse.parse_program (fresh_static s) src in
   let log = ref [] in
   let total = ref Xquery.Optimizer.zero_stats in
+  (* same purity environment as a real compilation of this program *)
+  let env = Xquery.Engine.purity_env s.eng prog.Stmt.prog_functions in
   (* [where] (the enclosing function/procedure) prefixes each rewrite
      line, so multi-declaration programs attribute every rewrite; the
      query body stays unprefixed *)
   let opt_in where e =
     let e', st =
-      Xquery.Optimizer.optimize_with_stats
+      Xquery.Optimizer.optimize_with_stats ~env
         ~log:(fun m ->
           log :=
             (match where with

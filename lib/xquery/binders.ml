@@ -117,6 +117,18 @@ let free_vars e = Vset.elements (free_var_set e)
 
 let is_free v e = Vset.mem v (free_var_set e)
 
+(** [count_free v e] counts the free occurrences of [$v] in [e]. Used by
+    the inliner's cost model: a single-occurrence binding can be inlined
+    without duplicating work. *)
+let count_free v e =
+  let rec go bound acc e =
+    match e with
+    | Ast.Var q when Qname.equal q v ->
+      if Vset.mem q bound then acc else acc + 1
+    | e -> fold_scoped go bound acc e
+  in
+  go Vset.empty 0 e
+
 (** [all_vars e] is every variable name that occurs in [e] at all —
     referenced or bound. Used as an avoid-set when picking fresh names. *)
 let all_vars e =

@@ -26,6 +26,10 @@ val free_vars : Ast.expr -> Qname.t list
 val is_free : Qname.t -> Ast.expr -> bool
 (** [is_free v e] iff [$v] occurs free in [e]. *)
 
+val count_free : Qname.t -> Ast.expr -> int
+(** The number of free occurrences of [$v] in [e] — the inliner's
+    duplication test. *)
+
 val all_vars : Ast.expr -> Vset.t
 (** Every variable name occurring in [e], referenced or bound — the
     avoid-set for {!fresh}. *)

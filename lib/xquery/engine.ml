@@ -41,7 +41,7 @@ let register_collection t uri nodes = t.colls := (uri, nodes) :: !(t.colls)
    sink is attached ([where] names the enclosing declaration). The log
    closure is only built when notes will actually be emitted, so the
    optimizer never forces its lazy log strings under a [Null] sink. *)
-let optimize_expr t ?where e =
+let optimize_expr t ?where ?env e =
   if not t.optimize then e
   else begin
     let i = t.instr in
@@ -55,13 +55,24 @@ let optimize_expr t ?where e =
               | None -> m))
       else None
     in
-    let e', st = Optimizer.optimize_with_stats ?log e in
+    let e', st = Optimizer.optimize_with_stats ?log ?env ~instr:i e in
     Instr.bump i ~n:st.Optimizer.folded Instr.K.optimizer_folded;
     Instr.bump i ~n:st.Optimizer.inlined Instr.K.optimizer_inlined;
+    Instr.bump i ~n:st.Optimizer.inlined_pure Instr.K.optimizer_inlined_pure;
     Instr.bump i ~n:st.Optimizer.joins Instr.K.optimizer_joins;
     Instr.bump i ~n:st.Optimizer.pushed Instr.K.optimizer_pushed;
+    Instr.bump i ~n:st.Optimizer.pushed_shifted
+      Instr.K.optimizer_pushed_shifted;
     e'
   end
+
+(* The purity environment for a compilation: the engine's registry plus
+   the module's own not-yet-registered function declarations, so a call
+   from one declared function to another (or to itself) still analyzes
+   precisely instead of defaulting to impure. *)
+let purity_env t decls =
+  if not t.optimize then Purity.empty_env
+  else Purity.env_for ~registry:t.reg decls
 
 type compiled = {
   c_engine : t;
@@ -84,6 +95,15 @@ let compile t src =
       in
       let m = Parser.parse_module st src in
       let reg = Context.copy_registry t.reg in
+      (* collect the module's function declarations first: the purity
+         environment must see all of them (mutual recursion) before any
+         body is optimized *)
+      let decls =
+        List.filter_map
+          (function Ast.P_function d -> Some d | _ -> None)
+          m.Ast.prolog
+      in
+      let env = purity_env t decls in
       let vars = ref [] in
       List.iter
         (fun item ->
@@ -94,7 +114,7 @@ let compile t src =
                 decl with
                 Ast.fd_body =
                   Option.map
-                    (optimize_expr t
+                    (optimize_expr t ~env
                        ~where:(Qname.to_string decl.Ast.fd_name))
                     decl.Ast.fd_body;
               }
@@ -114,7 +134,7 @@ let compile t src =
                the prefix was already declared by the parser *)
             ())
         m.Ast.prolog;
-      let body = optimize_expr t m.Ast.body in
+      let body = optimize_expr t ~env m.Ast.body in
       { c_engine = t; c_registry = reg; c_vars = List.rev !vars; c_body = body })
 
 type run_opts = {

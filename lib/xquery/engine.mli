@@ -35,12 +35,19 @@ val set_optimizing : t -> bool -> unit
 val instr : t -> Instr.t
 val set_instr : t -> Instr.t -> unit
 
-val optimize_expr : t -> ?where:string -> Ast.expr -> Ast.expr
+val optimize_expr : t -> ?where:string -> ?env:Purity.env -> Ast.expr -> Ast.expr
 (** Run the optimizer over one expression (identity when optimization is
-    off), reporting pass counters and rewrite notes into the engine's
-    instrumentation handle. [where] names the enclosing declaration and
-    prefixes each note as [[where] rewrite...] — this is how explain
-    output attributes rewrites in multi-declaration programs. *)
+    off), reporting pass counters, per-pass timers and rewrite notes into
+    the engine's instrumentation handle. [where] names the enclosing
+    declaration and prefixes each note as [[where] rewrite...] — this is
+    how explain output attributes rewrites in multi-declaration programs.
+    [env] (default: builtins only) supplies the function verdicts for the
+    purity-gated rewrites; build one with {!purity_env}. *)
+
+val purity_env : t -> Ast.function_decl list -> Purity.env
+(** The purity environment for a compilation against this engine: its
+    registry plus [decls] (function declarations being compiled but not
+    yet registered). {!Purity.empty_env} when optimization is off. *)
 
 val declare_namespace : t -> string -> string -> unit
 

@@ -1,20 +1,38 @@
 open Xdm
 
-type stats = { folded : int; inlined : int; joins : int; pushed : int }
+type stats = {
+  folded : int;
+  inlined : int;  (* trivial inlines: literals and aliases *)
+  inlined_pure : int;  (* purity-gated inlines of computed lets *)
+  joins : int;
+  pushed : int;
+  pushed_shifted : int;  (* pushdowns that needed a fresh focus binding *)
+}
 
-let zero_stats = { folded = 0; inlined = 0; joins = 0; pushed = 0 }
+let zero_stats =
+  {
+    folded = 0;
+    inlined = 0;
+    inlined_pure = 0;
+    joins = 0;
+    pushed = 0;
+    pushed_shifted = 0;
+  }
 
 let add_stats a b =
   {
     folded = a.folded + b.folded;
     inlined = a.inlined + b.inlined;
+    inlined_pure = a.inlined_pure + b.inlined_pure;
     joins = a.joins + b.joins;
     pushed = a.pushed + b.pushed;
+    pushed_shifted = a.pushed_shifted + b.pushed_shifted;
   }
 
 let stats_to_string s =
-  Printf.sprintf "folded=%d inlined=%d joins=%d pushed=%d" s.folded s.inlined
-    s.joins s.pushed
+  Printf.sprintf
+    "folded=%d inlined=%d inlined_pure=%d joins=%d pushed=%d pushed_shifted=%d"
+    s.folded s.inlined s.inlined_pure s.joins s.pushed s.pushed_shifted
 
 (* A pass reports each rewrite through [note]: it bumps that pass's
    counter (the fixpoint driver keys off the counters) and appends a line
@@ -100,11 +118,95 @@ let fold_constants (note : note) e =
     | _ -> e)
   | e -> e
 
-(* Inline lets bound to literals or variable aliases. The scope of a let
-   binding is the remaining bindings of its clause, the remaining clauses
-   and the return expression — exactly what [Binders.subst] sees when we
-   hand it the tail FLWOR, so shadowing and capture are handled there. *)
-let inline_lets (note : note) e =
+(* ---- cost model for purity-gated inlining ---- *)
+
+(* AST node count: the duplication-cost estimate. *)
+let rec size e = Ast.fold_subexprs (fun acc s -> acc + size s) 1 e
+
+(* Refuse to inline a multi-node value into a position where it would be
+   re-evaluated per tuple unless it is at most this many nodes. *)
+let max_inline_size = 16
+
+let is_total env e =
+  let v = Purity.analyze env e in
+  (not v.Purity.effects) && not v.Purity.fallible
+
+(* Is the single free occurrence of [$v] in [e] the *first* thing
+   evaluated when [e] is evaluated — exactly once, under the same focus,
+   before any other subexpression that could raise, trace, or construct?
+   Inlining a pure binding into such a position preserves the evaluation
+   count, the focus, and the order in which errors surface, so even a
+   fallible or node-constructing value may move there.
+
+   For operators whose OCaml operand order is unspecified ([Arith],
+   comparisons, [Range], node comparisons, set operators: eval.ml uses
+   [let va = ... and vb = ...]), both operands are always evaluated
+   exactly once, so the occurrence side qualifies whenever the *other*
+   side is total — the reorder is then unobservable. [and]/[or]
+   short-circuit left-to-right, so only the left operand is a head
+   position there. *)
+let rec head_position env v e =
+  let open Ast in
+  let other_total e = is_total env e in
+  match e with
+  | Var x -> Qname.equal x v
+  | Arith (_, a, b)
+  | Value_cmp (_, a, b)
+  | General_cmp (_, a, b)
+  | Range (a, b)
+  | Node_is (a, b)
+  | Node_before (a, b)
+  | Node_after (a, b)
+  | Union (a, b)
+  | Intersect (a, b)
+  | Except (a, b) ->
+    (head_position env v a && other_total b)
+    || (head_position env v b && other_total a)
+  | And (a, _) | Or (a, _) -> head_position env v a
+  | Seq_expr (a :: _) -> head_position env v a
+  | If_expr (c, _, _) -> head_position env v c
+  | Typeswitch (operand, _, _) -> head_position env v operand
+  | Neg a
+  | Instance_of (a, _)
+  | Treat_as (a, _)
+  | Castable_as (a, _, _)
+  | Cast_as (a, _, _) ->
+    head_position env v a
+  | Path (a, _) -> head_position env v a
+  | Filter (p, _) -> head_position env v p
+  | Quantified (_, (_, _, src) :: _, _) -> head_position env v src
+  | Call (_, a :: _) -> head_position env v a
+  | Flwor ([], ret) -> head_position env v ret
+  | Flwor (For_clause [] :: rest, ret) | Flwor (Let_clause [] :: rest, ret)
+    ->
+    head_position env v (Flwor (rest, ret))
+  | Flwor (For_clause (b :: _) :: _, _) -> head_position env v b.for_expr
+  | Flwor (Let_clause (b :: _) :: _, _) -> head_position env v b.let_expr
+  | Flwor (Where_clause c :: _, _) -> head_position env v c
+  | _ -> false
+
+(* Inline let bindings. Three tiers, each preserving observable behavior:
+
+   - trivial (literals and aliases): always inlined — re-evaluating a
+     literal or variable lookup is free and cannot raise.
+   - pure single-use values whose occurrence is a head position: inlined
+     regardless of size or fallibility — the value is still evaluated
+     exactly once, first, under the same focus.
+   - pure *total* single-use values elsewhere: inlined when small enough
+     (the occurrence may sit under a per-tuple loop, so this trades at
+     most [max_inline_size] nodes of re-evaluation for the binding),
+     non-constructing (a constructor must keep its evaluation count —
+     node identity is observable), and not context-sensitive moving into
+     a shifted focus.
+   - pure total unused bindings are dropped outright.
+
+   Effectful values, multi-use computed values and typed bindings (the
+   declared type is checked dynamically) are always kept. The scope of a
+   let binding is the remaining bindings of its clause, the remaining
+   clauses and the return expression — exactly what [Binders.subst] sees
+   when we hand it the tail FLWOR, so shadowing and capture are handled
+   there. *)
+let inline_lets ~env (note_trivial : note) (note_pure : note) e =
   let open Ast in
   match e with
   | Flwor (clauses, ret) ->
@@ -112,6 +214,29 @@ let inline_lets (note : note) e =
       match b.let_expr with
       | Literal _ | Var _ -> b.let_type = None
       | _ -> false
+    in
+    let action b scope =
+      if b.let_type <> None then `Keep
+      else
+        let v = Purity.analyze env b.let_expr in
+        if v.Purity.effects then `Keep
+        else
+          match Binders.count_free b.let_var scope with
+          | 0 ->
+            if (not v.Purity.fallible) && not v.Purity.constructs then `Drop
+            else `Keep
+          | 1 ->
+            if head_position env b.let_var scope then `Inline
+            else if
+              (not v.Purity.fallible)
+              && (not v.Purity.constructs)
+              && size b.let_expr <= max_inline_size
+              && not
+                   (Binders.uses_context b.let_expr
+                   && Binders.occurs_in_shifted_focus b.let_var scope)
+            then `Inline
+            else `Keep
+          | _ -> `Keep
     in
     let rec go clauses ret =
       match clauses with
@@ -125,7 +250,7 @@ let inline_lets (note : note) e =
             | [] -> (rest, ret)
             | ks -> (Let_clause ks :: rest, ret))
           | b :: bs when trivial b -> (
-            note
+            note_trivial
               (lazy
                 (Printf.sprintf "inline_lets: $%s := %s"
                    (Qname.to_string b.let_var) (brief b.let_expr)));
@@ -135,7 +260,27 @@ let inline_lets (note : note) e =
             with
             | Flwor (Let_clause bs :: rest, ret) -> go_bindings bs rest ret kept
             | _ -> assert false)
-          | b :: bs -> go_bindings bs rest ret (b :: kept)
+          | b :: bs -> (
+            match action b (Flwor (Let_clause bs :: rest, ret)) with
+            | `Keep -> go_bindings bs rest ret (b :: kept)
+            | `Drop ->
+              note_pure
+                (lazy
+                  (Printf.sprintf "inline_lets: dropped unused pure $%s := %s"
+                     (Qname.to_string b.let_var) (brief b.let_expr)));
+              go_bindings bs rest ret kept
+            | `Inline -> (
+              note_pure
+                (lazy
+                  (Printf.sprintf "inline_lets: pure single-use $%s := %s"
+                     (Qname.to_string b.let_var) (brief b.let_expr)));
+              match
+                Binders.subst b.let_var b.let_expr
+                  (Flwor (Let_clause bs :: rest, ret))
+              with
+              | Flwor (Let_clause bs :: rest, ret) ->
+                go_bindings bs rest ret kept
+              | _ -> assert false))
         in
         go_bindings bs rest ret []
       | c :: rest ->
@@ -287,35 +432,89 @@ let detect_joins (note : note) e =
     | None -> e)
   | e -> e
 
-(* Push single-variable wheres into the binding for-expression as a
-   predicate. Refused when the variable occurs in a focus-shifting
-   position of the condition (a predicate or a path tail): substituting
-   [Context_item] there would rebind it to the inner focus. *)
-let pushdown_predicates (note : note) e =
+(* Push single-variable wheres into the binding for-expression as
+   predicates. Soundness gates, each matching a once-latent divergence:
+
+   - A [where] tests the effective boolean value of its condition, but a
+     filter predicate with a *numeric* singleton value is a positional
+     test. Unless the condition is provably boolean-valued, the pushed
+     predicate is wrapped in fn:boolean to keep EBV semantics.
+   - A condition pushed past an earlier, unpushable [where] runs on
+     tuples that where had filtered out. That is only invisible when the
+     condition is pure and total (it can neither raise on the extra
+     tuples nor trace them) *and* boolean-valued (its EBV inside the
+     predicate cannot raise either).
+   - A condition in which the for-variable occurs under a shifted focus
+     (a predicate, a path tail) cannot have [Context_item] substituted
+     directly — the occurrence would rebind to the inner focus. Instead
+     the outer focus is captured in a fresh let binding
+     ([let $v_1 := .]) and the variable is substituted with that.
+
+   All consecutive wheres after the for are examined, so a partially
+   pushable run is partially pushed — and logged per predicate, not per
+   clause. Pushed predicates keep their original order, so a later
+   predicate still only sees items the earlier ones accepted. *)
+let pushdown_predicates ~env (note_plain : note) (note_shifted : note) e =
   let open Ast in
   match e with
   | Flwor (clauses, ret) ->
     let rec go = function
       | (For_clause [ b ] as c) :: rest when b.for_pos = None -> (
-        (* find an immediately-reachable where over only b.for_var *)
-        let rec take_where seen_rev = function
+        let rec collect preds_rev kept_rev = function
           | Where_clause cond :: rest2
             when key_over_var b.for_var cond
-                 && not (Binders.occurs_in_shifted_focus b.for_var cond) ->
-            Some (cond, List.rev seen_rev @ rest2)
-          | (Where_clause _ as w) :: rest2 -> take_where (w :: seen_rev) rest2
-          | _ -> None
+                 && (kept_rev = []
+                    || (Purity.boolean_valued cond && is_total env cond)) ->
+            let shifted =
+              Binders.occurs_in_shifted_focus b.for_var cond
+            in
+            let pred =
+              if not shifted then Binders.subst b.for_var Context_item cond
+              else begin
+                let avoid =
+                  Binders.Vset.add b.for_var (Binders.all_vars cond)
+                in
+                let v' = Binders.fresh ~avoid b.for_var in
+                Flwor
+                  ( [
+                      Let_clause
+                        [
+                          {
+                            let_var = v';
+                            let_type = None;
+                            let_expr = Context_item;
+                          };
+                        ];
+                    ],
+                    Binders.subst b.for_var (Var v') cond )
+              end
+            in
+            let pred =
+              if Purity.boolean_valued cond then pred
+              else Call (Qname.fn "boolean", [ pred ])
+            in
+            (if shifted then
+               note_shifted
+                 (lazy
+                   (Printf.sprintf
+                      "pushdown_predicates: $%s where %s (shifted focus, \
+                       fresh binding)"
+                      (Qname.to_string b.for_var) (brief cond)))
+             else
+               note_plain
+                 (lazy
+                   (Printf.sprintf "pushdown_predicates: $%s where %s"
+                      (Qname.to_string b.for_var) (brief cond))));
+            collect (pred :: preds_rev) kept_rev rest2
+          | (Where_clause _ as w) :: rest2 ->
+            collect preds_rev (w :: kept_rev) rest2
+          | rest2 -> (List.rev preds_rev, List.rev_append kept_rev rest2)
         in
-        match take_where [] rest with
-        | Some (cond, rest') ->
-          note
-            (lazy
-              (Printf.sprintf "pushdown_predicates: $%s where %s"
-                 (Qname.to_string b.for_var) (brief cond)));
-          let pred = Binders.subst b.for_var Context_item cond in
-          let b' = { b with for_expr = Filter (b.for_expr, [ pred ]) } in
-          For_clause [ b' ] :: go rest'
-        | None -> c :: go rest)
+        match collect [] [] rest with
+        | [], _ -> c :: go rest
+        | preds, rest' ->
+          let b' = { b with for_expr = Filter (b.for_expr, preds) } in
+          For_clause [ b' ] :: go rest')
       | c :: rest -> c :: go rest
       | [] -> []
     in
@@ -324,55 +523,74 @@ let pushdown_predicates (note : note) e =
 
 (* ------------------------------------------------------------------ *)
 
-let optimize_with_stats ?log e =
+let optimize_with_stats ?log ?(env = Purity.empty_env)
+    ?(instr = Instr.disabled) e =
   let folded = ref 0
   and inlined = ref 0
+  and inlined_pure = ref 0
   and joins = ref 0
-  and pushed = ref 0 in
+  and pushed = ref 0
+  and pushed_shifted = ref 0 in
   let note counter msg =
     incr counter;
     match log with None -> () | Some f -> f (Lazy.force msg)
   in
+  let counts () =
+    (!folded, !inlined, !inlined_pure, !joins, !pushed, !pushed_shifted)
+  in
+  (* one timed bottom-up sweep of the whole tree per pass, so the stats
+     table attributes optimizer time per pass ([time.optimizer.<pass>.ms]
+     rows) rather than folding it into the compile span *)
+  let sweep timer_name passfn e =
+    Instr.time instr timer_name (fun () ->
+        let rec go e = passfn (Ast.map_subexprs go e) in
+        go e)
+  in
   let iteration = ref 0 in
-  let rec pass e =
-    let e = Ast.map_subexprs pass e in
-    let e = fold_constants (note folded) e in
-    let e = normalize_wheres e in
-    let e = inline_lets (note inlined) e in
-    let e = detect_joins (note joins) e in
-    let e = pushdown_predicates (note pushed) e in
+  let pass e =
     e
+    |> sweep Instr.K.t_optimizer_fold (fold_constants (note folded))
+    |> sweep Instr.K.t_optimizer_normalize normalize_wheres
+    |> sweep Instr.K.t_optimizer_inline
+         (inline_lets ~env (note inlined) (note inlined_pure))
+    |> sweep Instr.K.t_optimizer_join (detect_joins (note joins))
+    |> sweep Instr.K.t_optimizer_push
+         (pushdown_predicates ~env (note pushed) (note pushed_shifted))
+  in
+  let stats_now () =
+    {
+      folded = !folded;
+      inlined = !inlined;
+      inlined_pure = !inlined_pure;
+      joins = !joins;
+      pushed = !pushed;
+      pushed_shifted = !pushed_shifted;
+    }
   in
   let rec fix n e =
     if n = 0 then e
     else
-      let before = (!folded, !inlined, !joins, !pushed) in
+      let before = counts () in
       incr iteration;
       let e' = pass e in
-      if (!folded, !inlined, !joins, !pushed) = before then e'
+      if counts () = before then e'
       else begin
         (match log with
         | None -> ()
         | Some f ->
           f
             (Printf.sprintf "pass %d: %s" !iteration
-               (stats_to_string
-                  {
-                    folded = !folded;
-                    inlined = !inlined;
-                    joins = !joins;
-                    pushed = !pushed;
-                  })));
+               (stats_to_string (stats_now ()))));
         fix (n - 1) e'
       end
   in
   let e' = fix 4 e in
-  ( e',
-    { folded = !folded; inlined = !inlined; joins = !joins; pushed = !pushed } )
+  (e', stats_now ())
 
-let optimize ?log e = fst (optimize_with_stats ?log e)
+let optimize ?log ?env ?instr e =
+  fst (optimize_with_stats ?log ?env ?instr e)
 
-let optimize_decl ?log (d : Ast.function_decl) =
+let optimize_decl ?log ?env ?instr (d : Ast.function_decl) =
   match d.Ast.fd_body with
   | None -> d
-  | Some body -> { d with Ast.fd_body = Some (optimize ?log body) }
+  | Some body -> { d with Ast.fd_body = Some (optimize ?log ?env ?instr body) }

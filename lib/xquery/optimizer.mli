@@ -6,25 +6,62 @@
 
     Passes, applied to fixpoint (bounded):
     - constant folding of arithmetic, comparisons and [if] on literals;
-    - inlining of [let] bindings that are literals or variable aliases;
+    - inlining of [let] bindings: literals and aliases always, and —
+      gated by the {!Purity} analysis — pure single-use computed values
+      (unconditionally when the occurrence is a head position, under a
+      size cap otherwise) plus removal of unused pure bindings;
     - elimination of [where true()] clauses and always-true conditions;
     - conversion of equi-join [where] clauses between two [for] clauses
       into a hash {!Ast.Join_clause};
     - pushdown of single-variable [where] predicates into the binding
-      [for] expression as a filter predicate (when position-free). *)
+      [for] expression as a filter predicate. Non-boolean conditions are
+      wrapped in [fn:boolean] (a bare numeric predicate would be a
+      positional test), focus-shifted occurrences are rebound through a
+      fresh [let $v' := .], and a condition only jumps an earlier
+      unpushable [where] when it is provably pure, total and
+      boolean-valued.
 
-val optimize : ?log:(string -> unit) -> Ast.expr -> Ast.expr
+    Each pass runs as its own bottom-up sweep, timed into the [instr]
+    handle under [optimizer.fold] / [.normalize] / [.inline] / [.join] /
+    [.push]. *)
+
+val optimize :
+  ?log:(string -> unit) ->
+  ?env:Purity.env ->
+  ?instr:Instr.t ->
+  Ast.expr ->
+  Ast.expr
 (** [log], when given, receives one line per individual rewrite (which
     pass fired and on what) and a per-iteration counter summary — the
-    optimizer's "explain" output. *)
+    optimizer's "explain" output. [env] supplies function verdicts for
+    the purity-gated rewrites (default: builtins only, every other call
+    impure). [instr] receives the per-pass timers. *)
 
 val optimize_decl :
-  ?log:(string -> unit) -> Ast.function_decl -> Ast.function_decl
+  ?log:(string -> unit) ->
+  ?env:Purity.env ->
+  ?instr:Instr.t ->
+  Ast.function_decl ->
+  Ast.function_decl
 
-type stats = { folded : int; inlined : int; joins : int; pushed : int }
+type stats = {
+  folded : int;
+  inlined : int;  (** trivial inlines: literals and aliases *)
+  inlined_pure : int;
+      (** purity-gated inlines (and drops) of computed lets *)
+  joins : int;
+  pushed : int;
+  pushed_shifted : int;
+      (** pushdowns that rebound a shifted focus through a fresh let *)
+}
 
 val zero_stats : stats
 val add_stats : stats -> stats -> stats
 val stats_to_string : stats -> string
 
-val optimize_with_stats : ?log:(string -> unit) -> Ast.expr -> Ast.expr * stats
+val optimize_with_stats :
+  ?log:(string -> unit) ->
+  ?env:Purity.env ->
+  ?instr:Instr.t ->
+  Ast.expr ->
+  Ast.expr * stats

@@ -55,15 +55,42 @@ The --ast flag parses and prints the program back:
   for $a in ((1, 2, 3))[(. ge 1)] return ($a * 2)
   rewrite: inline_lets: $x := 1
   rewrite: pushdown_predicates: $a where ($a ge 1)
-  rewrite: pass 1: folded=0 inlined=1 joins=0 pushed=1
-  stats: folded=0 inlined=1 joins=0 pushed=1
+  rewrite: pass 1: folded=0 inlined=1 inlined_pure=0 joins=0 pushed=1 pushed_shifted=0
+  stats: folded=0 inlined=1 inlined_pure=0 joins=0 pushed=1 pushed_shifted=0
 
   $ xqse --explain -e '1 + 2 * 3'
   7
   rewrite: fold_constants: (2 * 3) => 6
   rewrite: fold_constants: (1 + 6) => 7
-  rewrite: pass 1: folded=2 inlined=0 joins=0 pushed=0
-  stats: folded=2 inlined=0 joins=0 pushed=0
+  rewrite: pass 1: folded=2 inlined=0 inlined_pure=0 joins=0 pushed=0 pushed_shifted=0
+  stats: folded=2 inlined=0 inlined_pure=0 joins=0 pushed=0 pushed_shifted=0
+
+The purity-gated inliner names the binding it inlined (the value is
+computed, single-use, and its occurrence is a head position):
+
+  $ xqse --explain -e 'let $x := count((1 to 5)) return $x + 1'
+  (fn:count((1 to 5)) + 1)
+  rewrite: inline_lets: pure single-use $x := fn:count((1 to 5))
+  rewrite: pass 1: folded=0 inlined=0 inlined_pure=1 joins=0 pushed=0 pushed_shifted=0
+  stats: folded=0 inlined=0 inlined_pure=1 joins=0 pushed=0 pushed_shifted=0
+
+The focus-shift pushdown logs the fresh rebinding [let] it introduced:
+
+  $ xqse --explain -e 'for $x in (1,2,3) where count((1,2)[. le $x]) eq 2 return $x'
+  for $x in ((1, 2, 3))[let $x_1 := . return (fn:count(((1, 2))[(. le $x_1)]) eq 2)] return $x
+  rewrite: pushdown_predicates: $x where (fn:count(((1, 2))[(. le $x)]) eq 2) (shifted focus, fresh binding)
+  rewrite: pass 1: folded=0 inlined=0 inlined_pure=0 joins=0 pushed=0 pushed_shifted=1
+  stats: folded=0 inlined=0 inlined_pure=0 joins=0 pushed=0 pushed_shifted=1
+
+A bare numeric where is an effective-boolean-value test; the pushdown
+wraps it in fn:boolean so it cannot become a positional predicate, and
+both modes agree (this once returned the empty sequence optimized):
+
+  $ echo 'for $x in (2,3) where $x return $x' | xqse -
+  2 3
+
+  $ echo 'for $x in (2,3) where $x return $x' | xqse --no-optimize -
+  2 3
 
 Dynamic errors report their code:
 
@@ -92,10 +119,10 @@ Syntax errors report position:
   };
   local:go()
   rewrite: [local:dbl] fold_constants: (1 + 1) => 2
-  rewrite: [local:dbl] pass 1: folded=1 inlined=0 joins=0 pushed=0
+  rewrite: [local:dbl] pass 1: folded=1 inlined=0 inlined_pure=0 joins=0 pushed=0 pushed_shifted=0
   rewrite: [local:go] fold_constants: (2 + 3) => 5
-  rewrite: [local:go] pass 1: folded=1 inlined=0 joins=0 pushed=0
-  stats: folded=2 inlined=0 joins=0 pushed=0
+  rewrite: [local:go] pass 1: folded=1 inlined=0 inlined_pure=0 joins=0 pushed=0 pushed_shifted=0
+  stats: folded=2 inlined=0 inlined_pure=0 joins=0 pushed=0 pushed_shifted=0
 
 --trace emits the span tree on stderr (durations vary, so they are
 masked here); fn:trace output and optimizer rewrites ride along as
@@ -103,7 +130,7 @@ notes, indented under the span that produced them:
 
   $ xqse --trace -e 'trace(2 + 2, "sum")' 2>&1 | sed -E 's/\([0-9.]+ms\)/(_ms)/'
       fold_constants: (2 + 2) => 4
-      pass 1: folded=1 inlined=0 joins=0 pushed=0
+      pass 1: folded=1 inlined=0 inlined_pure=0 joins=0 pushed=0 pushed_shifted=0
     compile (_ms)
       trace: sum: 4
     run (_ms)
@@ -115,7 +142,7 @@ the id/parent/depth fields:
 
   $ xqse --trace=json -e '2 + 2' 2>&1 | sed -E 's/"(start_ms|dur_ms)":[0-9.]+/"\1":0/g'
   {"type":"note","depth":2,"text":"fold_constants: (2 + 2) => 4"}
-  {"type":"note","depth":2,"text":"pass 1: folded=1 inlined=0 joins=0 pushed=0"}
+  {"type":"note","depth":2,"text":"pass 1: folded=1 inlined=0 inlined_pure=0 joins=0 pushed=0 pushed_shifted=0"}
   {"type":"span","id":2,"parent":1,"depth":1,"name":"compile","attrs":{},"start_ms":0,"dur_ms":0}
   {"type":"span","id":3,"parent":1,"depth":1,"name":"run","attrs":{},"start_ms":0,"dur_ms":0}
   {"type":"span","id":1,"parent":0,"depth":0,"name":"query","attrs":{},"start_ms":0,"dur_ms":0}
@@ -126,20 +153,27 @@ wall-clock, masked here):
 
   $ xqse --stats -e '1 + 2 * 3' | sed -E 's/^(time\.[a-z.]+\.ms) +[0-9.]+$/\1 _/'
   7
-  queries.compiled           1
-  optimizer.folded           2
-  optimizer.inlined          0
-  optimizer.joins            0
-  optimizer.pushed           0
-  sql.generated              0
-  sql.executed               0
-  rows.scanned               0
-  rows.fetched               0
-  ws.calls                   0
-  ws.faults                  0
-  xqse.statements            0
-  sdo.submits                0
-  sdo.statements             0
+  queries.compiled                     1
+  optimizer.folded                     2
+  optimizer.inlined                    0
+  optimizer.inlined.pure               0
+  optimizer.joins                      0
+  optimizer.pushed                     0
+  optimizer.pushed.shifted             0
+  sql.generated                        0
+  sql.executed                         0
+  rows.scanned                         0
+  rows.fetched                         0
+  ws.calls                             0
+  ws.faults                            0
+  xqse.statements                      0
+  sdo.submits                          0
+  sdo.statements                       0
+  time.optimizer.fold.ms _
+  time.optimizer.normalize.ms _
+  time.optimizer.inline.ms _
+  time.optimizer.join.ms _
+  time.optimizer.push.ms _
   time.compile.ms _
   time.run.ms _
   time.query.ms _
@@ -158,20 +192,27 @@ prints the cumulative table (span times masked):
   $ printf '2 + 3;;\nstats;;\n' | xqse -i | sed -E 's/^(time\.[a-z.]+\.ms) +[0-9.]+$/\1 _/'
   XQSE interactive session. End input with ';;'. Declarations persist.
   xqse> 5
-  xqse> queries.compiled           1
-  optimizer.folded           1
-  optimizer.inlined          0
-  optimizer.joins            0
-  optimizer.pushed           0
-  sql.generated              0
-  sql.executed               0
-  rows.scanned               0
-  rows.fetched               0
-  ws.calls                   0
-  ws.faults                  0
-  xqse.statements            0
-  sdo.submits                0
-  sdo.statements             0
+  xqse> queries.compiled                     1
+  optimizer.folded                     1
+  optimizer.inlined                    0
+  optimizer.inlined.pure               0
+  optimizer.joins                      0
+  optimizer.pushed                     0
+  optimizer.pushed.shifted             0
+  sql.generated                        0
+  sql.executed                         0
+  rows.scanned                         0
+  rows.fetched                         0
+  ws.calls                             0
+  ws.faults                            0
+  xqse.statements                      0
+  sdo.submits                          0
+  sdo.statements                       0
+  time.optimizer.fold.ms _
+  time.optimizer.normalize.ms _
+  time.optimizer.inline.ms _
+  time.optimizer.join.ms _
+  time.optimizer.push.ms _
   time.compile.ms _
   time.run.ms _
   time.query.ms _

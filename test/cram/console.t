@@ -22,20 +22,22 @@ is accounted):
 
   $ aldsp-console -q 'count(profile:getProfile())' -q stats
   6
-  queries.compiled           1
-  optimizer.folded           0
-  optimizer.inlined          0
-  optimizer.joins            0
-  optimizer.pushed           0
-  sql.generated              0
-  sql.executed               0
-  rows.scanned              62
-  rows.fetched              62
-  ws.calls                   6
-  ws.faults                  0
-  xqse.statements            0
-  sdo.submits                0
-  sdo.statements             0
+  queries.compiled                  1
+  optimizer.folded                  0
+  optimizer.inlined                 0
+  optimizer.inlined.pure            0
+  optimizer.joins                   0
+  optimizer.pushed                  0
+  optimizer.pushed.shifted          0
+  sql.generated                     0
+  sql.executed                      0
+  rows.scanned                     62
+  rows.fetched                     62
+  ws.calls                          6
+  ws.faults                         0
+  xqse.statements                   0
+  sdo.submits                       0
+  sdo.statements                    0
 
 The lineage view explains update decomposition:
 

@@ -3,13 +3,20 @@
    without optimization. Any divergence — different items, or an error on
    one side only — is an optimizer soundness bug. This is the tier-1
    tripwire for scope-analysis regressions: a rewrite pass that breaks
-   variable scoping fails here instead of shipping. *)
+   variable scoping fails here instead of shipping.
+
+   Programs run through two layers: the bare XQuery engine, and the XQSE
+   session (whose compile path builds the purity environment from the
+   program's own declarations before optimizing) — a session-layer
+   regression in environment threading would diverge here even if the
+   engine layer stays sound. *)
 
 open Util
 open Core
 
-let corpus_size = 250
+let corpus_size = 500
 let corpus_seed = 20260806
+let corpus = Fixtures.Gen_xquery.corpus ~seed:corpus_seed corpus_size
 
 (* evaluation outcome: serialized result, or the dynamic error code *)
 let outcome f src =
@@ -30,10 +37,29 @@ let agree name src =
           "optimizer changed program semantics:\n%s\n  unoptimized: %s\n  optimized:   %s"
           src (show unopt) (show opt))
 
+(* Session-level agreement: one shared session per mode (program
+   declarations compile against copies, so corpus programs cannot leak
+   into each other), forced lazily so suite construction stays cheap. *)
+let session_opt = lazy (Xqse.Session.create ())
+let session_noopt = lazy (Xqse.Session.create ~optimize:false ())
+
+let agree_session name src =
+  case name (fun () ->
+      let eval s src = Xqse.Session.eval_to_string (Lazy.force s) src in
+      let unopt = outcome (eval session_noopt) src in
+      let opt = outcome (eval session_opt) src in
+      if opt <> unopt then
+        Alcotest.failf
+          "optimizer changed program semantics (session layer):\n%s\n  unoptimized: %s\n  optimized:   %s"
+          src (show unopt) (show opt))
+
 let generated_tests =
+  List.mapi (fun i src -> agree (Printf.sprintf "generated %03d" i) src) corpus
+
+let generated_session_tests =
   List.mapi
-    (fun i src -> agree (Printf.sprintf "generated %03d" i) src)
-    (Fixtures.Gen_xquery.corpus ~seed:corpus_seed corpus_size)
+    (fun i src -> agree_session (Printf.sprintf "session %03d" i) src)
+    corpus
 
 (* Directed cases: known-dangerous shapes kept verbatim so a regression
    names the construct, not just a corpus index. *)
@@ -53,25 +79,59 @@ let directed =
     "for $a in (1,2) for $b in (2,3) let $b := 2 where $b eq $a return ($a, $b)";
     (* probe variable rebound between the for and the where *)
     "for $a in (1,2) for $b in (2,3) let $a := 3 where $b eq $a return ($a, $b)";
-    (* pushdown must not move a variable into a shifted focus *)
+    (* pushdown must rebind a shifted-focus variable, not capture it *)
     "for $x in (1,2,3) where count((1,2)[. le $x]) eq 2 return $x";
     (* alias chains across clauses *)
     "let $x := 5 let $y := $x let $x := 2 return ($y, $x)";
     (* inlining through a where that mentions both generations of $x *)
     "let $x := 1 return (for $y in (1,2) let $z := $x for $x in (3,4) where $x gt $z return ($x, $z))";
+    (* a bare numeric where is an effective-boolean-value test, not a
+       positional predicate: pushing it unwrapped changed 2 3 into () *)
+    "for $x in (2,3) where $x return $x";
+    (* a fallible conjunct must not jump an unpushable where: evaluated
+       eagerly on the extra tuples it raises FOAR0001 (1 idiv 0) *)
+    "for $y in (3,4) for $x in (0,1) where ($y + $x eq 9) and (1 idiv $x ge 0) \
+     return $x";
+    (* a let bound to a constructor must keep node identity: inlining it
+       would construct a fresh node per use and double the union count *)
+    "let $x := <a/> for $i in (1,2) return count($x | $x)";
+    (* a single-use computed let in head position — the shape the
+       cost-based inliner fires on — must still agree *)
+    "let $x := count((1 to 5)) return $x + 1";
+    (* a context-dependent let value must not move into a shifted focus *)
+    "for $n in (<a><b/><b/></a>)/b let $p := position() return (1,2)[. eq $p]";
   ]
 
 let directed_tests =
   List.mapi (fun i src -> agree (Printf.sprintf "directed %02d" i) src) directed
 
+let directed_session_tests =
+  List.mapi
+    (fun i src -> agree_session (Printf.sprintf "directed session %02d" i) src)
+    directed
+
+(* Rewrite statistics for one corpus program, through the same
+   entry point the engine uses. *)
+let stats_of src =
+  let e =
+    Xquery.Parser.parse_expression (Xquery.Context.default_static ()) src
+  in
+  snd (Xquery.Optimizer.optimize_with_stats e)
+
+let count_where pred l = List.length (List.filter pred l)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
 let meta_tests =
   [
     case "corpus is deterministic" (fun () ->
         check_bool "same corpus for same seed" true
-          (Fixtures.Gen_xquery.corpus ~seed:corpus_seed corpus_size
-          = Fixtures.Gen_xquery.corpus ~seed:corpus_seed corpus_size));
+          (corpus = Fixtures.Gen_xquery.corpus ~seed:corpus_seed corpus_size));
     case "corpus is large enough" (fun () ->
-        check_bool "\xe2\x89\xa5 200 generated programs" true (corpus_size >= 200));
+        check_bool "\xe2\x89\xa5 500 generated programs" true (corpus_size >= 500));
     case "generated programs exercise shadowing" (fun () ->
         (* the generator's reason to exist: rebinding must be common *)
         let occurrences needle hay =
@@ -91,52 +151,65 @@ let meta_tests =
           + occurrences (Printf.sprintf "every $%s in" v) src
           + occurrences (Printf.sprintf "at $%s" v) src
         in
-        let progs = Fixtures.Gen_xquery.corpus ~seed:corpus_seed corpus_size in
         let shadowing =
-          List.filter
+          count_where
             (fun src ->
               List.exists (fun v -> binder_count src v >= 2) [ "x"; "y"; "z" ])
-            progs
+            corpus
         in
         check_bool
-          (Printf.sprintf "%d/%d programs rebind a variable"
-             (List.length shadowing) (List.length progs))
+          (Printf.sprintf "%d/%d programs rebind a variable" shadowing
+             (List.length corpus))
           true
-          (List.length shadowing * 4 >= List.length progs));
+          (shadowing * 4 >= List.length corpus));
     case "generated programs include typeswitch" (fun () ->
-        let progs = Fixtures.Gen_xquery.corpus ~seed:corpus_seed corpus_size in
-        let has_ts src =
-          let needle = "typeswitch" in
-          let nl = String.length needle and hl = String.length src in
-          let rec go i =
-            i + nl <= hl && (String.sub src i nl = needle || go (i + 1))
-          in
-          go 0
-        in
-        let n = List.length (List.filter has_ts progs) in
+        let n = count_where (contains "typeswitch") corpus in
         check_bool
           (Printf.sprintf "%d/%d programs contain a typeswitch" n
-             (List.length progs))
+             (List.length corpus))
+          true (n >= 10));
+    case "generated programs include transform expressions" (fun () ->
+        let n = count_where (contains "copy $") corpus in
+        check_bool
+          (Printf.sprintf "%d/%d programs contain a copy/modify/return" n
+             (List.length corpus))
           true (n >= 10));
     case "generated programs trigger join detection" (fun () ->
         (* the whole point of the join-shaped template: detect_joins must
            fire on generated input, not just on hand-written tests *)
-        let progs = Fixtures.Gen_xquery.corpus ~seed:corpus_seed corpus_size in
-        let joins_in src =
-          let e =
-            Xquery.Parser.parse_expression
-              (Xquery.Context.default_static ())
-              src
-          in
-          let _, st = Xquery.Optimizer.optimize_with_stats e in
-          st.Xquery.Optimizer.joins
+        let n =
+          count_where (fun p -> (stats_of p).Xquery.Optimizer.joins > 0) corpus
         in
-        let n = List.length (List.filter (fun p -> joins_in p > 0) progs) in
         check_bool
           (Printf.sprintf "%d/%d programs rewrite into a hash join" n
-             (List.length progs))
+             (List.length corpus))
           true (n >= 10));
+    case "generated programs trigger purity-gated inlining" (fun () ->
+        (* the single-use computed-let template must actually reach the
+           cost-based inliner, so corpus agreement proves it sound *)
+        let n =
+          count_where
+            (fun p -> (stats_of p).Xquery.Optimizer.inlined_pure > 0)
+            corpus
+        in
+        check_bool
+          (Printf.sprintf "%d/%d programs fire a purity-gated inline" n
+             (List.length corpus))
+          true (n >= 20));
+    case "generated programs trigger focus-shift pushdown" (fun () ->
+        let n =
+          count_where
+            (fun p -> (stats_of p).Xquery.Optimizer.pushed_shifted > 0)
+            corpus
+        in
+        check_bool
+          (Printf.sprintf "%d/%d programs fire a focus-shifted pushdown" n
+             (List.length corpus))
+          true (n >= 20));
   ]
 
 let suites =
-  [ ("differential", meta_tests @ directed_tests @ generated_tests) ]
+  [
+    ("differential", meta_tests @ directed_tests @ generated_tests);
+    ("differential-session", directed_session_tests @ generated_session_tests);
+  ]

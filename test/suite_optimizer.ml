@@ -236,9 +236,83 @@ let soundness_tests =
         check_string "false or string is true" (xq_noopt src) (xq src));
   ]
 
+(* The purity-gated rewrites: cost-based inlining of computed lets and
+   the focus-shift/boolean-wrap pushdown paths. Each case checks both
+   that the rewrite fires (or refuses) via the stats counters and that
+   the result agrees with unoptimized evaluation. *)
+let purity_gated_tests =
+  [
+    case "bare numeric where pushes as an EBV test" (fun () ->
+        (* regression: pushing [$x] unwrapped made it a positional
+           predicate, turning 2 3 into the empty sequence *)
+        let src = "for $x in (2,3) where $x return $x" in
+        check_bool "pushed" true ((stats src).Xquery.Optimizer.pushed > 0);
+        check_string "result" "2 3" (xq src);
+        check_string "agrees" (xq_noopt src) (xq src));
+    case "fallible condition does not jump an unpushable where" (fun () ->
+        (* regression: [1 idiv $x] pushed past the kept two-variable
+           where runs on tuples the kept where would have filtered,
+           raising FOAR0001 on a program whose result is empty *)
+        let src =
+          "for $y in (3,4) for $x in (0,1) where ($y + $x eq 9) and (1 idiv \
+           $x ge 0) return $x"
+        in
+        check_int "pushed" 0 (stats src).Xquery.Optimizer.pushed;
+        check_string "result" "" (xq src);
+        check_string "agrees" (xq_noopt src) (xq src));
+    case "focus-shifted predicate pushes through a fresh let" (fun () ->
+        let src = "for $x in (1,2,3) where count((1,2)[. le $x]) eq 2 return $x" in
+        check_int "pushed_shifted" 1 (stats src).Xquery.Optimizer.pushed_shifted;
+        check_string "result" "2 3" (xq src);
+        check_string "agrees" (xq_noopt src) (xq src));
+    case "single-use computed let inlines in head position" (fun () ->
+        let src = "let $x := count((1 to 5)) return $x + 1" in
+        check_int "inlined_pure" 1 (stats src).Xquery.Optimizer.inlined_pure;
+        check_string "result" "6" (xq src));
+    case "unused total let is dropped" (fun () ->
+        let src = "let $d := current-date() return 7" in
+        check_int "inlined_pure" 1 (stats src).Xquery.Optimizer.inlined_pure;
+        check_string "result" "7" (xq src));
+    case "unused fallible let is kept" (fun () ->
+        (* dropping it would swallow its potential dynamic error *)
+        let src = "let $x := 1 idiv 0 return 7" in
+        check_int "inlined_pure" 0 (stats src).Xquery.Optimizer.inlined_pure;
+        check_string "agrees (both raise)" "FOAR0001"
+          (match xq src with
+          | _ -> "no error"
+          | exception Xdm.Item.Error { code; _ } -> code.Xdm.Qname.local));
+    case "size cap refuses a large value in non-head position" (fun () ->
+        let big = "count((1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18))" in
+        let non_head =
+          Printf.sprintf "let $x := %s return xs:integer(\"3\") + $x" big
+        in
+        check_int "kept" 0 (stats non_head).Xquery.Optimizer.inlined_pure;
+        check_string "agrees" (xq_noopt non_head) (xq non_head);
+        (* the same value in head position inlines regardless of size:
+           it is evaluated exactly once either way *)
+        let head = Printf.sprintf "let $x := %s return $x + 1" big in
+        check_int "head inlines" 1 (stats head).Xquery.Optimizer.inlined_pure;
+        check_string "result" "19" (xq head));
+    case "multi-use computed let is kept" (fun () ->
+        (* inlining would evaluate the computation once per use *)
+        let src = "let $x := count((1 to 5)) return $x + $x" in
+        let st = stats src in
+        check_int "inlined" 0 st.Xquery.Optimizer.inlined;
+        check_int "inlined_pure" 0 st.Xquery.Optimizer.inlined_pure;
+        check_string "result" "10" (xq src));
+    case "constructing let is never inlined" (fun () ->
+        (* node identity: a fresh element per use would change [$x | $x] *)
+        let src = "let $x := <a/> for $i in (1,2) return count($x | $x)" in
+        let st = stats src in
+        check_int "inlined_pure" 0 st.Xquery.Optimizer.inlined_pure;
+        check_string "result" "1 1" (xq src);
+        check_string "agrees" (xq_noopt src) (xq src));
+  ]
+
 let suites =
   [
     ("optimizer.passes", pass_tests);
+    ("optimizer.purity-gated", purity_gated_tests);
     ("optimizer.equivalence", equivalence_tests @ prop_tests);
     ("optimizer.soundness", soundness_tests);
   ]

@@ -1,0 +1,62 @@
+(* Full-corpus differential soundness check, meant for CI's nightly job
+   (the in-tree test suite runs the same corpus at its default size on
+   every push; this tool makes the size and seed cheap to crank up).
+
+   Every generated program is evaluated four ways — XQuery engine and
+   XQSE session, each with the optimizer on and off — and any
+   disagreement in outcome (serialized result, or dynamic error code) is
+   reported and fails the run.
+
+   Usage: corpus_check [SIZE] [SEED]   (defaults: 500 20260806) *)
+
+open Core
+
+let outcome f src =
+  match f src with
+  | v -> Ok v
+  | exception Xdm.Item.Error { code; _ } -> Error (Xdm.Qname.to_string code)
+
+let show = function
+  | Ok s -> Printf.sprintf "result %S" s
+  | Error c -> Printf.sprintf "error %s" c
+
+let () =
+  let size =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 500
+  in
+  let seed =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 20260806
+  in
+  let corpus = Fixtures.Gen_xquery.corpus ~seed size in
+  let engine optimize src =
+    Xquery.Engine.eval_to_string (Xquery.Engine.create ~optimize ()) src
+  in
+  let session_on = Xqse.Session.create () in
+  let session_off = Xqse.Session.create ~optimize:false () in
+  let failures = ref 0 in
+  List.iteri
+    (fun i src ->
+      let reference = outcome (engine false) src in
+      let check layer f =
+        let got = outcome f src in
+        if got <> reference then begin
+          incr failures;
+          Printf.printf
+            "DIVERGENCE at program %d (%s):\n%s\n  unoptimized engine: %s\n  %s: %s\n"
+            i layer src (show reference) layer (show got)
+        end
+      in
+      check "optimized engine" (engine true);
+      check "optimized session"
+        (Xqse.Session.eval_to_string session_on);
+      check "unoptimized session"
+        (Xqse.Session.eval_to_string session_off))
+    corpus;
+  if !failures = 0 then
+    Printf.printf "corpus check passed: %d programs, seed %d, 4 modes agree\n"
+      size seed
+  else begin
+    Printf.printf "corpus check FAILED: %d divergences over %d programs\n"
+      !failures size;
+    exit 1
+  end
