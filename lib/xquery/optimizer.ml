@@ -175,7 +175,12 @@ let rec head_position env v e =
   | Path (a, _) -> head_position env v a
   | Filter (p, _) -> head_position env v p
   | Quantified (_, (_, _, src) :: _, _) -> head_position env v src
-  | Call (_, a :: _) -> head_position env v a
+  (* like the binary operators: argument evaluation order is an
+     implementation detail of eval.ml, so the first argument is a head
+     position only when the other arguments are total and the reorder is
+     unobservable *)
+  | Call (_, a :: rest) ->
+    head_position env v a && List.for_all other_total rest
   | Flwor ([], ret) -> head_position env v ret
   | Flwor (For_clause [] :: rest, ret) | Flwor (Let_clause [] :: rest, ret)
     ->
@@ -439,11 +444,16 @@ let detect_joins (note : note) e =
      filter predicate with a *numeric* singleton value is a positional
      test. Unless the condition is provably boolean-valued, the pushed
      predicate is wrapped in fn:boolean to keep EBV semantics.
-   - A condition pushed past an earlier, unpushable [where] runs on
-     tuples that where had filtered out. That is only invisible when the
-     condition is pure and total (it can neither raise on the extra
-     tuples nor trace them) *and* boolean-valued (its EBV inside the
-     predicate cannot raise either).
+   - A condition pushed past an earlier, unpushable [where] reorders two
+     filters, and both directions must be unobservable. The condition
+     runs on tuples that where had filtered out, so it must be pure and
+     total (it can neither raise on the extra tuples nor trace them)
+     *and* boolean-valued (its EBV inside the predicate cannot raise
+     either). Dually, the jumped where now runs on *fewer* tuples — the
+     ones the pushed predicate rejects — so it too must be pure, total
+     and boolean-valued, or a raise/trace it would have performed on
+     those tuples silently disappears (e.g. `where 1 idiv $y ge 1`
+     jumped by a pushable `empty($x)` would lose its FOAR0001).
    - A condition in which the for-variable occurs under a shifted focus
      (a predicate, a path tail) cannot have [Context_item] substituted
      directly — the occurrence would rebind to the inner focus. Instead
@@ -460,11 +470,15 @@ let pushdown_predicates ~env (note_plain : note) (note_shifted : note) e =
   | Flwor (clauses, ret) ->
     let rec go = function
       | (For_clause [ b ] as c) :: rest when b.for_pos = None -> (
-        let rec collect preds_rev kept_rev = function
+        (* can a where with this condition be evaluated on more or fewer
+           tuples without anyone noticing? *)
+        let reorderable w = Purity.boolean_valued w && is_total env w in
+        (* [kept_jumpable]: every where kept so far is itself
+           reorderable, so a later pushable condition may jump them *)
+        let rec collect preds_rev kept_rev kept_jumpable = function
           | Where_clause cond :: rest2
             when key_over_var b.for_var cond
-                 && (kept_rev = []
-                    || (Purity.boolean_valued cond && is_total env cond)) ->
+                 && (kept_rev = [] || (kept_jumpable && reorderable cond)) ->
             let shifted =
               Binders.occurs_in_shifted_focus b.for_var cond
             in
@@ -505,12 +519,14 @@ let pushdown_predicates ~env (note_plain : note) (note_shifted : note) e =
                  (lazy
                    (Printf.sprintf "pushdown_predicates: $%s where %s"
                       (Qname.to_string b.for_var) (brief cond))));
-            collect (pred :: preds_rev) kept_rev rest2
-          | (Where_clause _ as w) :: rest2 ->
-            collect preds_rev (w :: kept_rev) rest2
+            collect (pred :: preds_rev) kept_rev kept_jumpable rest2
+          | (Where_clause w as c2) :: rest2 ->
+            collect preds_rev (c2 :: kept_rev)
+              (kept_jumpable && reorderable w)
+              rest2
           | rest2 -> (List.rev preds_rev, List.rev_append kept_rev rest2)
         in
-        match collect [] [] rest with
+        match collect [] [] true rest with
         | [], _ -> c :: go rest
         | preds, rest' ->
           let b' = { b with for_expr = Filter (b.for_expr, preds) } in

@@ -57,13 +57,17 @@ let join a b =
 (* ------------------------------------------------------------------ *)
 
 (* fn-namespace functions whose evaluation can neither raise nor have
-   effects (given already-evaluated arguments). Everything here either
-   ignores its arguments' values (count, empty, exists, reverse,
-   unordered) or returns a constant (true, false, current-*: the
-   reproduction pins the clock, see builtins.ml). *)
+   effects (given already-evaluated arguments), with their registered
+   arities. Everything here either ignores its arguments' values (count,
+   empty, exists, reverse, unordered) or returns a constant (true, false,
+   current-*: the reproduction pins the clock, see builtins.ml). Arities
+   the registry never installs get no verdict — an unknown-function call
+   must stay impure even if its name looks total. *)
 let fn_total =
-  [ "true"; "false"; "count"; "empty"; "exists"; "reverse"; "unordered";
-    "current-date"; "current-dateTime"; "current-time" ]
+  [ ("true", [ 0 ]); ("false", [ 0 ]); ("count", [ 1 ]); ("empty", [ 1 ]);
+    ("exists", [ 1 ]); ("reverse", [ 1 ]); ("unordered", [ 1 ]);
+    ("current-date", [ 0 ]); ("current-dateTime", [ 0 ]);
+    ("current-time", [ 0 ]) ]
 
 (* Every other fn-namespace builtin, with its registered arities. These
    are all pure but fallible: they enforce cardinality (one_atom_opt
@@ -114,12 +118,16 @@ let builtin_verdict (q : Qname.t) arity =
   if String.equal q.Qname.uri Qname.fn_ns then
     if q.Qname.local = "trace" && (arity = 1 || arity = 2) then
       Some { effects = true; fallible = true; constructs = false }
-    else if List.mem q.Qname.local fn_total && arity <= 1 then Some total
-    else
-      Option.map
-        (fun (_, arities) ->
-          if List.mem arity arities then fallible else impure)
-        (List.find_opt (fun (n, _) -> n = q.Qname.local) fn_fallible)
+    else begin
+      match List.find_opt (fun (n, _) -> n = q.Qname.local) fn_total with
+      | Some (_, arities) ->
+        if List.mem arity arities then Some total else None
+      | None ->
+        Option.map
+          (fun (_, arities) ->
+            if List.mem arity arities then fallible else impure)
+          (List.find_opt (fun (n, _) -> n = q.Qname.local) fn_fallible)
+    end
   else if String.equal q.Qname.uri Qname.xs_ns then
     if arity = 1 && List.mem q.Qname.local xs_constructors then Some fallible
     else None
@@ -261,37 +269,51 @@ let is_total env e =
 
 let env_for ~registry (decls : Ast.function_decl list) : env =
   let users = ref [] in
+  let claimed = ref Fmap.empty in
+  (* each key gets at most one body in [users]: two bodies under one key
+     would make the fixpoint below flip between their verdicts forever
+     whenever they disagree *)
   let add_user key body env =
-    users := (key, body) :: !users;
-    (* optimistic seed: no effects/constructs until the fixpoint proves
-       otherwise; always fallible (bounded recursion depth) *)
-    Fmap.add key { total with fallible = true } env
+    if Fmap.mem key !claimed then env
+    else begin
+      claimed := Fmap.add key () !claimed;
+      users := (key, body) :: !users;
+      (* optimistic seed: no effects/constructs until the fixpoint proves
+         otherwise; always fallible (bounded recursion depth) *)
+      Fmap.add key { total with fallible = true } env
+    end
   in
-  let env =
-    Context.fold registry ~init:empty_env ~f:(fun env f ->
-        let key = (f.Context.fn_name, f.Context.fn_arity) in
-        match f.Context.fn_impl with
-        | Context.Builtin _ ->
-          let v =
-            match builtin_verdict f.Context.fn_name f.Context.fn_arity with
-            | Some v when not f.Context.fn_side_effects -> v
-            | _ -> impure
-          in
-          Fmap.add key v env
-        | Context.External _ -> Fmap.add key impure env
-        | Context.User d -> (
-          match d.Ast.fd_body with
-          | Some body -> add_user key body env
-          | None -> Fmap.add key impure env))
-  in
-  let env =
+  (* decls first: on a name/arity collision with an already-registered
+     function (the registration itself will raise XQST0034 later, but
+     this environment is built before that) the decl's body is the one
+     analyzed and the registry entry is skipped *)
+  let decl_env =
     List.fold_left
       (fun env (d : Ast.function_decl) ->
         let key = (d.Ast.fd_name, List.length d.Ast.fd_params) in
         match d.Ast.fd_body with
         | Some body -> add_user key body env
         | None -> Fmap.add key impure env)
-      env decls
+      empty_env decls
+  in
+  let env =
+    Context.fold registry ~init:decl_env ~f:(fun env f ->
+        let key = (f.Context.fn_name, f.Context.fn_arity) in
+        if Fmap.mem key decl_env then env
+        else
+          match f.Context.fn_impl with
+          | Context.Builtin _ ->
+            let v =
+              match builtin_verdict f.Context.fn_name f.Context.fn_arity with
+              | Some v when not f.Context.fn_side_effects -> v
+              | _ -> impure
+            in
+            Fmap.add key v env
+          | Context.External _ -> Fmap.add key impure env
+          | Context.User d -> (
+            match d.Ast.fd_body with
+            | Some body -> add_user key body env
+            | None -> Fmap.add key impure env))
   in
   (* ascend from the optimistic seed until stable; [analyze] is monotone
      in [env] and the lattice is finite, so this terminates *)

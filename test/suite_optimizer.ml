@@ -260,6 +260,50 @@ let purity_gated_tests =
         check_int "pushed" 0 (stats src).Xquery.Optimizer.pushed;
         check_string "result" "" (xq src);
         check_string "agrees" (xq_noopt src) (xq src));
+    case "pushable condition does not jump a fallible kept where" (fun () ->
+        (* regression, dual of the previous case: [empty($x)] is itself
+           pure, total and boolean-valued, but pushing it past the kept
+           fallible [1 idiv $y ge 1] filters the $y=0 tuple out before
+           the idiv runs, turning FOAR0001 into an empty result *)
+        (* the conjunction splits into two where clauses in
+           normalize_wheres before pushdown sees them *)
+        let src =
+          "for $y in (0,1) for $x in (1) where (1 idiv $y ge 1) and \
+           empty($x) return $x"
+        in
+        check_int "pushed" 0 (stats src).Xquery.Optimizer.pushed;
+        check_string "agrees (both raise)" "FOAR0001"
+          (match xq src with
+          | _ -> "no error"
+          | exception Xdm.Item.Error { code; _ } -> code.Xdm.Qname.local));
+    case "pushable condition still jumps a total kept where" (fun () ->
+        (* partial pushdown survives when the jumped where is itself
+           pure, total and boolean-valued — skipping its evaluation on
+           rejected tuples is unobservable *)
+        let src =
+          "for $y in (1,2) for $x in (3,4) where exists(($y)) and \
+           exists($x) return $x"
+        in
+        check_bool "pushed" true ((stats src).Xquery.Optimizer.pushed > 0);
+        check_string "result" "3 4 3 4" (xq src);
+        check_string "agrees" (xq_noopt src) (xq src));
+    case "head inline into a call requires total later arguments" (fun () ->
+        (* the inlined value runs first only because eval.ml happens to
+           evaluate arguments left-to-right; refuse the inline unless
+           the later arguments are total, so nothing depends on that *)
+        let fallible_rest =
+          "let $x := xs:integer(\"3\") return concat($x, 1 idiv 0)"
+        in
+        check_int "kept" 0 (stats fallible_rest).Xquery.Optimizer.inlined_pure;
+        check_string "agrees (both raise)" "FOAR0001"
+          (match xq fallible_rest with
+          | _ -> "no error"
+          | exception Xdm.Item.Error { code; _ } -> code.Xdm.Qname.local);
+        let total_rest =
+          "let $x := xs:integer(\"3\") return concat($x, \"b\")"
+        in
+        check_int "inlined" 1 (stats total_rest).Xquery.Optimizer.inlined_pure;
+        check_string "result" "3b" (xq total_rest));
     case "focus-shifted predicate pushes through a fresh let" (fun () ->
         let src = "for $x in (1,2,3) where count((1,2)[. le $x]) eq 2 return $x" in
         check_int "pushed_shifted" 1 (stats src).Xquery.Optimizer.pushed_shifted;

@@ -96,7 +96,14 @@ let table_tests =
         check_bool "unknown name" true
           (Purity.builtin_verdict (Xdm.Qname.fn "no-such-function") 1 = None);
         check_bool "known name, wrong arity" true
-          (Purity.builtin_verdict (Xdm.Qname.fn "count") 2 = None));
+          (Purity.builtin_verdict (Xdm.Qname.fn "count") 2 = None);
+        (* regression: total names used to get a verdict at any
+           arity <= 1 — fn:true#1 and fn:exists#0 are never installed,
+           so they must stay unclassified (hence impure at call sites) *)
+        check_bool "total name, uninstalled arity (true#1)" true
+          (Purity.builtin_verdict (Xdm.Qname.fn "true") 1 = None);
+        check_bool "total name, uninstalled arity (exists#0)" true
+          (Purity.builtin_verdict (Xdm.Qname.fn "exists") 0 = None));
     case "empty env still resolves builtins" (fun () ->
         check_bool "count total via lookup" true
           (Purity.lookup Purity.empty_env (Xdm.Qname.fn "count") 1
@@ -179,6 +186,52 @@ let fixpoint_tests =
         let env = Purity.env_for ~registry:reg [] in
         check_bool "external impure" true
           (Purity.lookup env host 1 = Some Purity.impure));
+    case "a decl shadowing a registry user function takes precedence" (fun () ->
+        (* regression: on a name/arity collision both bodies stayed on
+           the fixpoint worklist — each iteration wrote the decl's
+           verdict and then the registry body's over it, so when the
+           two disagreed [env_for] flipped forever and never returned.
+           The decl's body must be the one analyzed. *)
+        let reg = Builtins.standard_registry () in
+        let impure_d =
+          List.hd
+            (decls_of
+               "declare function local:f($x as xs:integer) as xs:integer { \
+                fn:trace($x, \"f\") }; 0")
+        in
+        Context.register reg
+          {
+            Context.fn_name = impure_d.Ast.fd_name;
+            fn_arity = List.length impure_d.Ast.fd_params;
+            fn_params = List.map snd impure_d.Ast.fd_params;
+            fn_return = impure_d.Ast.fd_return;
+            fn_impl = Context.User impure_d;
+            fn_side_effects = false;
+          };
+        let decls =
+          decls_of
+            "declare function local:f($x as xs:integer) as xs:integer { $x \
+             + 1 }; 0"
+        in
+        let env = Purity.env_for ~registry:reg decls in
+        let v = verdict_of env decls "f" in
+        check_bool "decl's pure body wins" false v.Purity.effects);
+    case "redeclaring a loaded library function reports XQST0034" (fun () ->
+        (* the session path that reached the collision: the purity
+           environment is built before registration raises, so this
+           used to hang instead of erroring *)
+        let sess = Xqse.Session.create () in
+        Xqse.Session.load_library sess
+          "declare namespace lib = \"urn:lib\"; declare function lib:f($x \
+           as xs:integer) as xs:integer { fn:trace($x, \"lib\") };";
+        match
+          Xqse.Session.eval_to_string sess
+            "declare namespace lib = \"urn:lib\"; declare function lib:f($x \
+             as xs:integer) as xs:integer { $x + 1 }; lib:f(1)"
+        with
+        | result -> Alcotest.failf "expected XQST0034, got %s" result
+        | exception Xdm.Item.Error { code; _ } ->
+          check_string "duplicate function" "XQST0034" code.Xdm.Qname.local);
     case "calls to unknown functions are impure" (fun () ->
         let env = env_of "0" in
         let call = Ast.Call (Xdm.Qname.make ~uri:"urn:mystery" "f", []) in
