@@ -426,6 +426,44 @@ let report () =
       Printf.printf "N=%-5d  %.2f ms per snapshot\n" n t)
     [ 1; 10; 100; 1000 ];
 
+  section "RESIL: seeded chaos storms over read+submit (virtual clock)";
+  (* 50 seeded 8-round storms per profile — all deterministic, so these
+     rows are reproducible artifacts, not samples *)
+  Printf.printf "%-8s %-10s %-7s %-7s %-8s %-6s %-9s %-9s\n" "profile"
+    "committed" "failed" "reads!" "retries" "trips" "degraded" "injected";
+  List.iter
+    (fun profile ->
+      let name = Resilience.Plan.profile_to_string profile in
+      let committed = ref 0 and failed = ref 0 and reads = ref 0 in
+      let retries = ref 0 and trips = ref 0 in
+      let degraded = ref 0 and injected = ref 0 in
+      for seed = 1 to 50 do
+        let r = Fixtures.Chaos.run ~seed ~profile () in
+        assert (r.Fixtures.Chaos.r_violations = []);
+        committed := !committed + r.Fixtures.Chaos.r_committed;
+        failed := !failed + r.r_failed;
+        reads := !reads + r.r_read_failures;
+        retries := !retries + r.r_retries;
+        trips := !trips + r.r_trips;
+        degraded := !degraded + r.r_degraded;
+        injected := !injected + r.r_injected
+      done;
+      Printf.printf "%-8s %-10d %-7d %-7d %-8d %-6d %-9d %-9d\n" name
+        !committed !failed !reads !retries !trips !degraded !injected;
+      record (Printf.sprintf "resil.%s.committed" name) (float_of_int !committed);
+      record (Printf.sprintf "resil.%s.retries" name) (float_of_int !retries);
+      record (Printf.sprintf "resil.%s.degraded" name) (float_of_int !degraded);
+      record
+        (Printf.sprintf "resil.%s.degraded_read_rate" name)
+        (float_of_int !degraded /. float_of_int (50 * 8)))
+    [ Resilience.Plan.Calm; Resilience.Plan.Light; Resilience.Plan.Heavy ];
+  let t_storm =
+    time_ms ~repeat:3 (fun () ->
+        ignore (Fixtures.Chaos.run ~seed:7 ~profile:Resilience.Plan.Heavy ()))
+  in
+  Printf.printf "one heavy 8-round storm: %.2f ms wall\n" t_storm;
+  record "resil.storm.heavy.ms" t_storm;
+
   write_json_report (instrumented_counters ())
 
 (* ------------------------------------------------------------------ *)

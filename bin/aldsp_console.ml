@@ -3,11 +3,12 @@
 
      aldsp-console --catalog                 # the design view (Figure 1)
      aldsp-console -q 'profile:getProfile()' # one query
+     aldsp-console --chaos-seed 7 -q '...'   # under a seeded fault plan
      aldsp-console                           # interactive (';;' submits) *)
 
 open Core
 
-let build_dataspace () =
+let build_dataspace ?chaos () =
   (* one dataspace hosting both worked scenarios: the customer-profile
      sources live in their own env; employees are registered alongside.
      Instrumentation is always recording, so the `stats` command can show
@@ -15,7 +16,33 @@ let build_dataspace () =
   let instr = Instr.create () in
   Instr.preregister instr;
   Instr.enable instr;
-  let env = Fixtures.Customer_profile.make ~customers:5 ~instr () in
+  let resilience =
+    match chaos with
+    | None -> None
+    | Some (seed, profile) ->
+      (* seeded fault plan plus a demo policy set: bounded retries on
+         every source, a breaker on the credit-rating service, which
+         degrades (profile without rating) instead of failing reads *)
+      let ctl =
+        Resilience.Control.create
+          ~plan:(Resilience.Plan.make ~seed ~profile ())
+          ~instr ()
+      in
+      List.iter
+        (fun source ->
+          Resilience.Control.set_policy ctl ~source
+            (Resilience.Policy.make ~max_retries:2 ~backoff_ms:5. ~jitter_ms:2.
+               ()))
+        [ "db1"; "db2" ];
+      Resilience.Control.set_policy ctl ~source:"CreditRatingService"
+        (Resilience.Policy.make ~max_retries:2 ~backoff_ms:5. ~jitter_ms:2.
+           ~breaker:Resilience.Breaker.default_config ());
+      Resilience.Control.set_degradable ctl ~source:"CreditRatingService";
+      Printf.printf "chaos: seed %d, profile %s\n" seed
+        (Resilience.Plan.profile_to_string profile);
+      Some ctl
+  in
+  let env = Fixtures.Customer_profile.make ~customers:5 ~instr ?resilience () in
   let ds = env.Fixtures.Customer_profile.ds in
   let hr = Relational.Database.create "hr" in
   ignore (Relational.Database.add_table hr Fixtures.Employees.employee_schema);
@@ -80,8 +107,16 @@ let interactive ds =
   in
   loop ()
 
-let main catalog queries lineage =
-  let ds = build_dataspace () in
+let main catalog queries lineage chaos_seed chaos_profile =
+  let chaos =
+    match (chaos_seed, chaos_profile) with
+    | None, None -> None
+    | seed, profile ->
+      Some
+        ( Option.value seed ~default:1,
+          Option.value profile ~default:Resilience.Plan.Light )
+  in
+  let ds = build_dataspace ?chaos () in
   if catalog then print_string (Aldsp.Dataspace.describe ds);
   (match lineage with
   | Some name -> (
@@ -110,10 +145,36 @@ let lineage =
   let doc = "Print the update lineage of the named service." in
   Arg.(value & opt (some string) None & info [ "lineage" ] ~docv:"SERVICE" ~doc)
 
+let chaos_seed =
+  let doc =
+    "Run the dataspace under a deterministic fault plan seeded with $(docv): \
+     injected transients, latency spikes and down windows, with retry \
+     policies and a circuit breaker on the credit-rating service. The same \
+     seed replays the same faults."
+  in
+  Arg.(value & opt (some int) None & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
+
+let chaos_profile =
+  let profile_conv =
+    let parse s =
+      match Resilience.Plan.profile_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg (Printf.sprintf "unknown profile %S (calm|light|heavy)" s))
+    in
+    Arg.conv (parse, fun fmt p ->
+        Format.pp_print_string fmt (Resilience.Plan.profile_to_string p))
+  in
+  let doc = "Fault-plan intensity: $(b,calm), $(b,light) or $(b,heavy)." in
+  Arg.(
+    value
+    & opt (some profile_conv) None
+    & info [ "chaos-profile" ] ~docv:"PROFILE" ~doc)
+
 let cmd =
   let doc = "explore the demo ALDSP dataspace" in
   Cmd.v
     (Cmd.info "aldsp-console" ~version:"1.0.0" ~doc)
-    Term.(ret (const main $ catalog $ queries $ lineage))
+    Term.(
+      ret (const main $ catalog $ queries $ lineage $ chaos_seed $ chaos_profile))
 
 let () = exit (Cmd.eval cmd)

@@ -20,6 +20,7 @@ type submit_result = {
 
 type t = {
   sess : Xqse.Session.t;
+  resil : Resilience.Control.t;
   mutable svcs : Data_service.t list;
   dbs : (string, R.Database.t) Hashtbl.t;
   source_fns : (string * string, Lineage.source_fn) Hashtbl.t;
@@ -34,6 +35,7 @@ and override =
   t -> update_request -> default:(unit -> submit_result) -> submit_result
 
 let catalog_ns = "urn:aldsp:catalog"
+let resil_ns = "urn:aldsp:resilience"
 
 (* the dataspace catalog as queryable XML — the Figure 1 "design view"
    exposed to ad-hoc queries *)
@@ -80,10 +82,18 @@ let catalog_xml svcs =
            (methods @ deps)))
     svcs
 
-let create ?(optimize = true) ?(instr = Instr.disabled) () =
+let create ?(optimize = true) ?(instr = Instr.disabled) ?resilience () =
+  let resil =
+    match resilience with
+    | Some r ->
+      Resilience.Control.set_instr r instr;
+      r
+    | None -> Resilience.Control.create ~instr ()
+  in
   let t =
     {
       sess = Xqse.Session.create ~optimize ~instr ();
+      resil;
       svcs = [];
       dbs = Hashtbl.create 4;
       source_fns = Hashtbl.create 32;
@@ -98,10 +108,32 @@ let create ?(optimize = true) ?(instr = Instr.disabled) () =
     (Qname.make ~uri:catalog_ns "services")
     0
     (fun _ -> catalog_xml t.svcs);
+  (* the degradation report as queryable XML: which sources were served
+     degraded, when (virtual ms), and why *)
+  Xqse.Session.declare_namespace t.sess "resil" resil_ns;
+  Xqse.Session.register_function t.sess
+    (Qname.make ~uri:resil_ns "degradations")
+    0
+    (fun _ ->
+      List.map
+        (fun (d : Resilience.Control.degradation) ->
+          Item.Node
+            (Node.element
+               ~attrs:
+                 [
+                   (Qname.local "source", d.Resilience.Control.dg_source);
+                   (Qname.local "code", d.Resilience.Control.dg_code);
+                   ( Qname.local "at",
+                     Printf.sprintf "%.0f" d.Resilience.Control.dg_at );
+                 ]
+               (Qname.make ~uri:resil_ns "Degradation")
+               [ Node.text d.Resilience.Control.dg_message ]))
+        (Resilience.Control.degradations resil));
   t
 
 let session t = t.sess
 let instr t = Xqse.Session.instr t.sess
+let resilience t = t.resil
 let services t = t.svcs
 let find_service t name = List.find_opt (fun s -> s.Data_service.ds_name = name) t.svcs
 let database t name =
@@ -113,6 +145,50 @@ let describe t =
   String.concat "\n" (List.map Data_service.describe t.svcs)
 
 let lookup_table t ~db ~table = R.Database.table (database t db) table
+
+(* ------------------------------------------------------------------ *)
+(* The source-call boundary                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Every call into a registered source goes through [Control.guard]
+   here, so policies (timeout, retry, breaker) apply uniformly; guard
+   failures surface as XQSE-catchable errors with stable codes in the
+   err: namespace. *)
+
+let raise_resil_error ~source code message =
+  Item.raise_error
+    (Qname.err (Resilience.Control.code_name code))
+    (Printf.sprintf "%s: %s" source message)
+
+(* a statement-ish call (exec, ws invoke): native faults keep their
+   legacy wrapping via [on_native] *)
+let guarded t ~source ~on_native f =
+  try Resilience.Control.guard t.resil ~source f with
+  | Resilience.Control.Error { source; code; message } ->
+    raise_resil_error ~source code message
+  | e -> on_native e
+
+(* degradable sources degrade to an empty sequence plus a degradation
+   report instead of failing the read *)
+let degrade_on_error t ~source call =
+  if not (Resilience.Control.is_degradable t.resil ~source) then call ()
+  else
+    try call ()
+    with Item.Error { code; message; _ } ->
+      Log.info (fun m ->
+          m "degraded read of %s: %s %s" source (Qname.to_string code) message);
+      Resilience.Control.note_degraded t.resil ~source ~code:code.Qname.local
+        ~message;
+      []
+
+(* a query-path read: leftover injected faults get their own stable
+   code RESX0004 (source fault, no retry policy) *)
+let guarded_read t ~source f =
+  degrade_on_error t ~source (fun () ->
+      try Resilience.Control.guard t.resil ~source f with
+      | Resilience.Control.Error { source; code; message } ->
+        raise_resil_error ~source code message
+      | R.Database.Db_error msg -> Item.raise_error (Qname.err "RESX0004") msg)
 
 (* ------------------------------------------------------------------ *)
 (* Relational introspection                                            *)
@@ -136,6 +212,7 @@ let register_database t db =
   if Hashtbl.mem t.dbs db_name then
     invalid_arg (Printf.sprintf "database %s is already registered" db_name);
   R.Database.set_instr db (instr t);
+  Resilience.Control.attach t.resil (R.Database.faults db);
   Hashtbl.replace t.dbs db_name db;
   let new_services =
     List.map
@@ -153,7 +230,9 @@ let register_database t db =
         (* --- read function:  t:TABLE() as element(TABLE)* --- *)
         let read_name = fn tname in
         Xqse.Session.register_function t.sess read_name 0 (fun _ ->
-            scan_to_seq tbl);
+            guarded_read t ~source:db_name (fun () ->
+                R.Database.read_check db;
+                scan_to_seq tbl));
         Hashtbl.replace t.source_fns (read_name.Qname.uri, read_name.Qname.local)
           (Lineage.Read_fn { db = db_name; table = tname });
         Data_service.add_method svc
@@ -176,17 +255,20 @@ let register_database t db =
                 let pairs =
                   List.filter (fun (_, v) -> v <> R.Value.Null) pairs
                 in
-                (try
-                   ignore
-                     (R.Database.exec db
-                        (R.Database.Insert
-                           {
-                             table = tname;
-                             columns = List.map fst pairs;
-                             values = List.map snd pairs;
-                           }))
-                 with R.Database.Db_error msg ->
-                   Item.raise_error (Qname.make ~uri:ns "CreateError") msg);
+                ignore
+                  (guarded t ~source:db_name
+                     ~on_native:(function
+                       | R.Database.Db_error msg ->
+                         Item.raise_error (Qname.make ~uri:ns "CreateError") msg
+                       | e -> raise e)
+                     (fun () ->
+                       R.Database.exec db
+                         (R.Database.Insert
+                            {
+                              table = tname;
+                              columns = List.map fst pairs;
+                              values = List.map snd pairs;
+                            })));
                 let key_el =
                   Node.element
                     (Qname.local (tname ^ "_KEY"))
@@ -229,12 +311,15 @@ let register_database t db =
                     (fun (c, _) -> not (List.mem c schema.R.Table.primary_key))
                     pairs
                 in
-                try
-                  ignore
-                    (R.Database.exec db
-                       (R.Database.Update { table = tname; set; where }))
-                with R.Database.Db_error msg ->
-                  Item.raise_error (Qname.make ~uri:ns "UpdateError") msg)
+                ignore
+                  (guarded t ~source:db_name
+                     ~on_native:(function
+                       | R.Database.Db_error msg ->
+                         Item.raise_error (Qname.make ~uri:ns "UpdateError") msg
+                       | e -> raise e)
+                     (fun () ->
+                       R.Database.exec db
+                         (R.Database.Update { table = tname; set; where }))))
               rows;
             []);
         Data_service.add_method svc
@@ -257,12 +342,15 @@ let register_database t db =
                   with Failure msg ->
                     Item.raise_error (Qname.make ~uri:ns "DeleteError") msg
                 in
-                try
-                  ignore
-                    (R.Database.exec db
-                       (R.Database.Delete { table = tname; where }))
-                with R.Database.Db_error msg ->
-                  Item.raise_error (Qname.make ~uri:ns "DeleteError") msg)
+                ignore
+                  (guarded t ~source:db_name
+                     ~on_native:(function
+                       | R.Database.Db_error msg ->
+                         Item.raise_error (Qname.make ~uri:ns "DeleteError") msg
+                       | e -> raise e)
+                     (fun () ->
+                       R.Database.exec db
+                         (R.Database.Delete { table = tname; where }))))
               rows;
             []);
         Data_service.add_method svc
@@ -313,9 +401,11 @@ let register_database t db =
                          | None -> R.Pred.False)
                        fk.R.Table.fk_columns fk.R.Table.fk_ref_columns)
                 in
-                List.map
-                  (fun row -> Item.Node (Rowxml.row_to_xml tbl row))
-                  (R.Table.select tbl pred)
+                guarded_read t ~source:db_name (fun () ->
+                    R.Database.read_check db;
+                    List.map
+                      (fun row -> Item.Node (Rowxml.row_to_xml tbl row))
+                      (R.Table.select tbl pred))
               | _ ->
                 Item.type_error
                   (Printf.sprintf "%s expects one %s row"
@@ -354,9 +444,11 @@ let register_database t db =
                          | None -> R.Pred.False)
                        fk.R.Table.fk_columns fk.R.Table.fk_ref_columns)
                 in
-                List.map
-                  (fun row -> Item.Node (Rowxml.row_to_xml parent_tbl row))
-                  (R.Table.select parent_tbl pred)
+                guarded_read t ~source:db_name (fun () ->
+                    R.Database.read_check db;
+                    List.map
+                      (fun row -> Item.Node (Rowxml.row_to_xml parent_tbl row))
+                      (R.Table.select parent_tbl pred))
               | _ ->
                 Item.type_error
                   (Printf.sprintf "%s expects one %s row"
@@ -389,23 +481,33 @@ let register_database t db =
 
 let register_web_service t ws =
   Webservice.set_instr ws (instr t);
+  Resilience.Control.attach t.resil (Webservice.faults ws);
   let ns = Webservice.namespace ws in
+  let ws_name = Webservice.name ws in
   let svc =
-    Data_service.make ~name:(Webservice.name ws) ~namespace:ns
+    Data_service.make ~name:ws_name ~namespace:ns
       ~kind:Data_service.Library
-      ~origin:(Data_service.Physical_webservice { service = Webservice.name ws })
+      ~origin:(Data_service.Physical_webservice { service = ws_name })
   in
   List.iter
     (fun (op : Webservice.operation) ->
       let fname = Qname.make ~uri:ns op.Webservice.op_name in
       Xqse.Session.register_function t.sess fname 1 (fun args ->
           match args with
-          | [ [ Item.Node request ] ] -> (
-            try [ Item.Node (Webservice.invoke ws op.Webservice.op_name request) ]
-            with Webservice.Fault { service; operation; message } ->
-              Item.raise_error
-                (Qname.make ~uri:ns "Fault")
-                (Printf.sprintf "%s.%s: %s" service operation message))
+          | [ [ Item.Node request ] ] ->
+            degrade_on_error t ~source:ws_name (fun () ->
+                guarded t ~source:ws_name
+                  ~on_native:(function
+                    | Webservice.Fault { service; operation; message } ->
+                      Item.raise_error
+                        (Qname.make ~uri:ns "Fault")
+                        (Printf.sprintf "%s.%s: %s" service operation message)
+                    | e -> raise e)
+                  (fun () ->
+                    [
+                      Item.Node
+                        (Webservice.invoke ws op.Webservice.op_name request);
+                    ]))
           | _ ->
             Item.type_error
               (Printf.sprintf "%s expects one request element"
@@ -748,6 +850,25 @@ let default_submit t svc policy dg =
     ~attrs:[ ("service", svc.Data_service.ds_name) ]
   @@ fun () ->
   Instr.bump (instr t) Instr.K.sdo_submits;
+  (* strict admission: a submit is never served degraded. If any source
+     this service depends on has an open breaker, fail now — before any
+     statement runs anywhere — with the stable code. *)
+  let strict source =
+    try Resilience.Control.check_strict t.resil ~source
+    with Resilience.Control.Error { source; code; message } ->
+      Log.info (fun m ->
+          m "submit %s rejected strictly: %s %s" svc.Data_service.ds_name
+            source message);
+      raise_resil_error ~source code message
+  in
+  let dep_source d =
+    match String.index_opt d '/' with
+    | Some i -> String.sub d 0 i
+    | None -> d
+  in
+  List.iter strict
+    (List.sort_uniq compare
+       (List.map dep_source svc.Data_service.ds_dependencies));
   (* wire round trip: client serializes, server parses (Figure 4) *)
   let dg = Sdo.parse (Sdo.serialize dg) in
   Log.debug (fun m ->
@@ -766,6 +887,11 @@ let default_submit t svc policy dg =
         ~lookup_table:(fun ~db ~table -> lookup_table t ~db ~table)
         ~policy ~lineage dg
     in
+    (* ... and the databases the plan actually targets, which may be a
+       subset or superset of the declared dependencies *)
+    List.iter strict
+      (List.sort_uniq compare
+         (List.map (fun s -> s.Decompose.step_db) plan));
     let sql = Decompose.plan_to_strings plan in
     Instr.bump (instr t) ~n:(List.length sql) Instr.K.sql_generated;
     List.iter (fun stmt -> Log.debug (fun m -> m "plan: %s" stmt)) sql;

@@ -8,18 +8,35 @@ open Xdm
 
 type t
 
-val create : ?optimize:bool -> ?instr:Instr.t -> unit -> t
+val create :
+  ?optimize:bool -> ?instr:Instr.t -> ?resilience:Resilience.Control.t ->
+  unit -> t
 (** [instr] (default {!Instr.disabled}) is shared with the XQSE session
     and propagated to every database and web service at registration:
     submits run in a [submit] span and report [sdo.submits],
     [sql.generated] (planned statements) and [sdo.statements] (executed
     ones); the sources report [sql.executed], [rows.scanned]/[.fetched]
-    and [ws.calls]/[ws.faults]. *)
+    and [ws.calls]/[ws.faults].
+
+    [resilience] (default: a fresh control with no plan and pass-through
+    policies) governs every source call the dataspace makes; registered
+    databases and web services are attached to it, putting them on its
+    virtual clock and under its fault plan. *)
 
 val session : t -> Xqse.Session.t
 
 val instr : t -> Instr.t
 (** The handle given to {!create}. *)
+
+val resilience : t -> Resilience.Control.t
+(** The resilience control guarding this dataspace's source calls: set
+    per-source policies ({!Resilience.Control.set_policy}), mark sources
+    degradable ({!Resilience.Control.set_degradable}), install a fault
+    plan, or inspect breakers and the degradation report. Guard
+    failures surface to queries as XQSE-catchable errors with stable
+    codes: [err:RESX0001] (timeout), [err:RESX0002] (circuit open),
+    [err:RESX0003] (retries exhausted), [err:RESX0004] (unhandled
+    injected source fault on a read path). *)
 
 val services : t -> Data_service.t list
 val find_service : t -> string -> Data_service.t option
@@ -93,6 +110,11 @@ val catalog_ns : string
     [<Service>] element per data service (name, kind, origin, methods,
     dependencies) — the Figure 1 design view as queryable data. *)
 
+val resil_ns : string
+(** Namespace of the built-in resilience report: [resil:degradations()]
+    returns one [<Degradation source code at>] element per degraded
+    read, oldest first (prefix [resil] is pre-declared). *)
+
 (** {1 Client API (Figure 4)} *)
 
 val call : t -> Qname.t -> Item.seq list -> Item.seq
@@ -121,6 +143,11 @@ val submit :
     the statements executed in one XA transaction. Default policy:
     {!Occ.Updated_values}. With [validate] (default off), every
     submitted object is first checked against the service shape.
+
+    Submits are strict, never degraded: when a breaker is open for any
+    source the service depends on (or any database the plan targets),
+    the submit fails up front with [err:RESX0002] before a single
+    statement runs.
     @raise Decompose.Not_updatable when a change cannot be mapped or
     validation fails. *)
 

@@ -12,6 +12,8 @@
     - {!Sdo} — Service Data Objects datagraphs and change summaries
     - {!Aldsp} — the data services platform: introspection, logical
       services, lineage, update decomposition, optimistic concurrency
+    - {!Resilience} — source resilience: deterministic fault injection,
+      retry/backoff policies and circuit breakers
     - {!Fixtures} — the paper's worked scenarios (customer profile,
       employees) shared by examples, tests and benches
     - {!Instr} — execution instrumentation (spans, counters, per-query
@@ -25,4 +27,5 @@ module Relational = Relational
 module Webservice = Webservice
 module Sdo = Sdo
 module Aldsp = Aldsp
+module Resilience = Resilience
 module Fixtures = Fixtures

@@ -1,0 +1,138 @@
+(* Chaos harness: fan a seeded fault schedule over the CustomerProfile
+   dataspace and drive repeated read/submit rounds against it, checking
+   the atomicity invariant — no schedule may ever yield a partially
+   committed change across db1 and db2. Everything runs on the virtual
+   clock, so a report is a pure function of (seed, profile, rounds).
+
+   Shared by the resilience test suite and tools/chaos_check. *)
+
+module R = Relational
+module Ctl = Resilience.Control
+
+type report = {
+  r_seed : int;
+  r_profile : Resilience.Plan.profile;
+  r_rounds : int;
+  r_committed : int;       (* submits that committed *)
+  r_failed : int;          (* submits that aborted or raised *)
+  r_read_failures : int;   (* profile reads that raised *)
+  r_degraded : int;        (* resil.degraded *)
+  r_retries : int;         (* resil.retries *)
+  r_trips : int;           (* resil.breaker.trips *)
+  r_rejected : int;        (* resil.breaker.rejected *)
+  r_injected : int;        (* resil.faults.injected *)
+  r_violations : string list;  (* atomicity violations — must be [] *)
+}
+
+let value_at tbl pk col =
+  match R.Table.find_pk tbl pk with
+  | Some row -> R.Table.get row tbl col
+  | None -> R.Value.Null
+
+(* the two cells the storm keeps rewriting, one per database *)
+let lastname env =
+  value_at env.Customer_profile.customer [ R.Value.Text "007" ] "LAST_NAME"
+
+let brand env =
+  value_at env.Customer_profile.credit_card [ R.Value.Int 900001 ] "CC_BRAND"
+
+let policies ctl =
+  List.iter
+    (fun source ->
+      Ctl.set_policy ctl ~source
+        (Resilience.Policy.make ~max_retries:2 ~backoff_ms:5. ~jitter_ms:2. ()))
+    [ "db1"; "db2" ];
+  Ctl.set_policy ctl ~source:"CreditRatingService"
+    (Resilience.Policy.make ~max_retries:2 ~backoff_ms:5. ~jitter_ms:2.
+       ~breaker:
+         { Resilience.Breaker.failure_threshold = 4; cooldown_ms = 400. }
+       ());
+  Ctl.set_degradable ctl ~source:"CreditRatingService"
+
+let run ?(rounds = 8) ?(profile = Resilience.Plan.Heavy) ~seed () =
+  let instr = Instr.create () in
+  Instr.enable instr;
+  Instr.preregister instr;
+  let plan = Resilience.Plan.make ~seed ~profile () in
+  let ctl = Ctl.create ~plan ~instr () in
+  policies ctl;
+  let env = Customer_profile.make ~customers:2 ~seed ~instr ~resilience:ctl () in
+  let committed = ref 0 and failed = ref 0 and read_failures = ref 0 in
+  let violations = ref [] in
+  let violation r fmt =
+    Printf.ksprintf
+      (fun msg ->
+        violations :=
+          Printf.sprintf "seed %d round %d: %s" seed r msg :: !violations)
+      fmt
+  in
+  for r = 1 to rounds do
+    let ln0 = lastname env and br0 = brand env in
+    let ln1 = R.Value.Text (Printf.sprintf "Name%d" r)
+    and br1 = R.Value.Text (Printf.sprintf "BRAND%d" r) in
+    (* a fresh read each round, under the same chaos (may degrade or
+       fail; a failed read skips the round's submit) *)
+    match Customer_profile.get_profile_by_id env "007" with
+    | exception _ ->
+      incr read_failures;
+      (* reads must never move source data *)
+      if lastname env <> ln0 || brand env <> br0 then
+        violation r "a failed read changed source data"
+    | dg -> (
+      Sdo.set_leaf dg 1 [ ("LAST_NAME", 1) ]
+        (match ln1 with R.Value.Text s -> s | _ -> assert false);
+      Sdo.set_leaf dg 1
+        [ ("CreditCards", 1); ("CREDIT_CARD", 1); ("BRAND", 1) ]
+        (match br1 with R.Value.Text s -> s | _ -> assert false);
+      let outcome =
+        match
+          Aldsp.Dataspace.submit env.Customer_profile.ds
+            env.Customer_profile.svc dg
+        with
+        | res -> res.Aldsp.Dataspace.sr_committed
+        | exception _ -> false
+      in
+      let ln' = lastname env and br' = brand env in
+      if outcome then begin
+        incr committed;
+        if ln' <> ln1 || br' <> br1 then
+          violation r "committed submit did not apply both changes"
+      end
+      else begin
+        incr failed;
+        if ln' <> ln0 || br' <> br0 then
+          violation r
+            "failed submit left a partial change (db1=%s db2=%s)"
+            (R.Value.to_string ln') (R.Value.to_string br')
+      end)
+  done;
+  let stats = Instr.stats instr in
+  let c name =
+    match List.assoc_opt name stats.Instr.counters with
+    | Some v -> v
+    | None -> 0
+  in
+  {
+    r_seed = seed;
+    r_profile = profile;
+    r_rounds = rounds;
+    r_committed = !committed;
+    r_failed = !failed;
+    r_read_failures = !read_failures;
+    r_degraded = c Instr.K.resil_degraded;
+    r_retries = c Instr.K.resil_retries;
+    r_trips = c Instr.K.resil_trips;
+    r_rejected = c Instr.K.resil_rejected;
+    r_injected = c Instr.K.resil_injected;
+    r_violations = List.rev !violations;
+  }
+
+let describe r =
+  Printf.sprintf
+    "seed %d %s: %d rounds, %d committed, %d failed, %d read failures, \
+     %d degraded, %d retries, %d trips, %d rejected, %d injected, %d violations"
+    r.r_seed
+    (Resilience.Plan.profile_to_string r.r_profile)
+    r.r_rounds r.r_committed r.r_failed r.r_read_failures r.r_degraded
+    r.r_retries r.r_trips r.r_rejected r.r_injected
+    (List.length r.r_violations)

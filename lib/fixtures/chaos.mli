@@ -1,0 +1,31 @@
+(** Chaos harness over the CustomerProfile dataspace: seeded fault
+    schedules driven through repeated read/submit rounds, with the
+    cross-database atomicity invariant checked after every submit.
+    Reports are pure functions of (seed, profile, rounds) — running the
+    same seed twice yields structurally equal reports. *)
+
+type report = {
+  r_seed : int;
+  r_profile : Resilience.Plan.profile;
+  r_rounds : int;
+  r_committed : int;
+  r_failed : int;
+  r_read_failures : int;
+  r_degraded : int;
+  r_retries : int;
+  r_trips : int;
+  r_rejected : int;
+  r_injected : int;
+  r_violations : string list;  (** atomicity violations — must be [] *)
+}
+
+val run :
+  ?rounds:int -> ?profile:Resilience.Plan.profile -> seed:int -> unit -> report
+(** Build a fresh CustomerProfile environment under a fault plan
+    [(seed, profile)] with retry policies on all three sources, a
+    breaker on the credit-rating service (marked degradable), and run
+    [rounds] (default 8) read+cross-database-submit rounds under the
+    [profile] (default [Heavy]). *)
+
+val describe : report -> string
+(** One summary line, e.g. for the chaos_check tool output. *)

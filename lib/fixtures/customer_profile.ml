@@ -145,7 +145,7 @@ let credit_rating_service () =
   ws
 
 let make ?(customers = 3) ?(max_orders = 3) ?(max_cards = 2) ?(seed = 42)
-    ?(optimize = true) ?(instr = Instr.disabled) () =
+    ?(optimize = true) ?(instr = Instr.disabled) ?resilience () =
   let rng = Det.make seed in
   let db1 = R.Database.create "db1" in
   let customer = R.Database.add_table db1 customer_schema in
@@ -194,7 +194,7 @@ let make ?(customers = 3) ?(max_orders = 3) ?(max_cards = 2) ?(seed = 42)
     done
   done;
   let ws = credit_rating_service () in
-  let ds = Aldsp.Dataspace.create ~optimize ~instr () in
+  let ds = Aldsp.Dataspace.create ~optimize ~instr ?resilience () in
   ignore (Aldsp.Dataspace.register_database ds db1);
   ignore (Aldsp.Dataspace.register_database ds db2);
   ignore (Aldsp.Dataspace.register_web_service ds ws);

@@ -21,12 +21,15 @@ val make :
   ?seed:int ->
   ?optimize:bool ->
   ?instr:Instr.t ->
+  ?resilience:Resilience.Control.t ->
   unit ->
   env
 (** Build the dataspace with deterministic synthetic data. Customer ids
     are ["C1"…"Cn"] (and customer ["007" James Carrey] is always
     present as the Figure 4 protagonist); order counts follow a skewed
-    (Zipf-ish) distribution up to [max_orders] (default 3). *)
+    (Zipf-ish) distribution up to [max_orders] (default 3).
+    [resilience] is handed to {!Aldsp.Dataspace.create}, putting all
+    three sources under its clock, plan and policies. *)
 
 val profile_source : string
 (** The XQuery source of the service's read methods — the Figure 3

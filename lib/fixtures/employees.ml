@@ -175,7 +175,7 @@ declare procedure uc:create($newEmps as element(ens1:Employee)*)
 };
 |}
 
-let make ?(employees = 12) ?(fanout = 4) ?(seed = 7) () =
+let make ?(employees = 12) ?(fanout = 4) ?(seed = 7) ?instr ?resilience () =
   let rng = Det.make seed in
   let hr = R.Database.create "hr" in
   let employee = R.Database.add_table hr employee_schema in
@@ -211,7 +211,7 @@ let make ?(employees = 12) ?(fanout = 4) ?(seed = 7) () =
         Float (40000. +. Det.float rng 80000.);
       |]
   done;
-  let ds = Aldsp.Dataspace.create () in
+  let ds = Aldsp.Dataspace.create ?instr ?resilience () in
   ignore (Aldsp.Dataspace.register_database ds hr);
   ignore (Aldsp.Dataspace.register_database ds backup);
   let sess = Aldsp.Dataspace.session ds in

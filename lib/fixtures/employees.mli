@@ -26,7 +26,14 @@ val service_source : string
 (** The Employee logical service's read methods ([getAll],
     [getByEmployeeID]). *)
 
-val make : ?employees:int -> ?fanout:int -> ?seed:int -> unit -> env
+val make :
+  ?employees:int ->
+  ?fanout:int ->
+  ?seed:int ->
+  ?instr:Instr.t ->
+  ?resilience:Resilience.Control.t ->
+  unit ->
+  env
 (** Deterministic management tree: employee 1 is the top (no manager);
     every other employee's manager is an earlier employee, at most
     [fanout] direct reports each (default 4). *)

@@ -270,6 +270,16 @@ module K = struct
   let xqse_statements = "xqse.statements"
   let sdo_submits = "sdo.submits"
   let sdo_statements = "sdo.statements"
+
+  (* source resilience: retries/timeouts at the dataspace source-call
+     boundary, circuit-breaker activity, degraded reads, and the faults
+     the chaos plan actually injected into the sources *)
+  let resil_retries = "resil.retries"
+  let resil_timeouts = "resil.timeouts"
+  let resil_trips = "resil.breaker.trips"
+  let resil_rejected = "resil.breaker.rejected"
+  let resil_degraded = "resil.degraded"
+  let resil_injected = "resil.faults.injected"
 end
 
 let preregister t =
@@ -292,6 +302,12 @@ let preregister t =
       K.xqse_statements;
       K.sdo_submits;
       K.sdo_statements;
+      K.resil_retries;
+      K.resil_timeouts;
+      K.resil_trips;
+      K.resil_rejected;
+      K.resil_degraded;
+      K.resil_injected;
     ];
   (* the per-pass timers too, so the stats table has a stable shape even
      for runs where a pass never fired *)

@@ -105,6 +105,17 @@ module K : sig
   val sdo_submits : string
   val sdo_statements : string
 
+  (** source-resilience counters: retries/timeouts at the dataspace
+      source-call boundary, breaker trips and rejected calls, degraded
+      reads, and faults actually injected by the chaos plan *)
+
+  val resil_retries : string
+  val resil_timeouts : string
+  val resil_trips : string
+  val resil_rejected : string
+  val resil_degraded : string
+  val resil_injected : string
+
   (** per-pass optimizer timer names, accumulated via {!time} *)
 
   val t_optimizer_fold : string

@@ -26,8 +26,7 @@ type t = {
   mutable order : string list;  (* table creation order *)
   mutable log : string list;  (* newest first *)
   mutable tx : (unit -> unit) list option;  (* undo actions, newest first *)
-  mutable fail_prepare : bool;
-  mutable fail_after : int option;
+  faults : Resilience.Faults.t;  (* all failure injection lives here *)
   mutable instr : Instr.t;
 }
 
@@ -38,8 +37,7 @@ let create name =
     order = [];
     log = [];
     tx = None;
-    fail_prepare = false;
-    fail_after = None;
+    faults = Resilience.Faults.create ~source:name ();
     instr = Instr.disabled;
   }
 
@@ -72,14 +70,21 @@ let log_size t = List.length t.log
 let record_undo t undo =
   match t.tx with Some us -> t.tx <- Some (undo :: us) | None -> ()
 
-let tick_failure t =
-  match t.fail_after with
-  | Some 0 ->
-    t.fail_after <- None;
-    raise (Db_error (Printf.sprintf "%s: injected statement failure" t.db_name))
-  | Some n ->
-    t.fail_after <- Some (n - 1)
+let faults t = t.faults
+
+(* Consult the fault state; an injected fault surfaces as the database's
+   native [Db_error], prefixed with the db name. *)
+let consult t kind =
+  let v = Resilience.Faults.on_call t.faults kind in
+  match v.Resilience.Faults.v_fault with
+  | Some f ->
+    Instr.bump t.instr Instr.K.resil_injected;
+    raise
+      (Db_error
+         (Printf.sprintf "%s: %s" t.db_name f.Resilience.Faults.f_message))
   | None -> ()
+
+let read_check t = consult t Resilience.Faults.Read
 
 (* FK checks: inserts must reference existing rows; deletes must not be
    referenced. *)
@@ -130,7 +135,7 @@ let check_fk_delete t tbl rows =
     t.tbls
 
 let exec t dml =
-  tick_failure t;
+  consult t Resilience.Faults.Statement;
   Instr.bump t.instr Instr.K.sql_executed;
   let sql = dml_to_sql dml in
   let affected =
@@ -184,7 +189,16 @@ let begin_tx t =
 let commit t =
   match t.tx with
   | None -> raise (Db_error (t.db_name ^ ": no open transaction"))
-  | Some _ -> t.tx <- None
+  | Some _ -> (
+    (* an injected commit fault leaves the transaction open: a prepared
+       participant stays prepared and the coordinator may retry *)
+    match Resilience.Faults.on_commit t.faults with
+    | Some f ->
+      Instr.bump t.instr Instr.K.resil_injected;
+      raise
+        (Db_error
+           (Printf.sprintf "%s: %s" t.db_name f.Resilience.Faults.f_message))
+    | None -> t.tx <- None)
 
 let rollback t =
   match t.tx with
@@ -194,6 +208,13 @@ let rollback t =
     List.iter (fun undo -> undo ()) undos;
     t.log <- Printf.sprintf "ROLLBACK -- %s" t.db_name :: t.log
 
-let set_fail_on_prepare t b = t.fail_prepare <- b
-let fail_on_prepare t = t.fail_prepare
-let set_fail_statements_after t n = t.fail_after <- n
+let prepare_fault t =
+  match Resilience.Faults.on_prepare t.faults with
+  | Some f ->
+    Instr.bump t.instr Instr.K.resil_injected;
+    Some f.Resilience.Faults.f_message
+  | None -> None
+
+let set_fail_on_prepare t b = Resilience.Faults.set_fail_on_prepare t.faults b
+let fail_on_prepare t = Resilience.Faults.fail_on_prepare t.faults
+let set_fail_statements_after t n = Resilience.Faults.set_fail_after t.faults n

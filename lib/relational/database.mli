@@ -40,6 +40,12 @@ val exec : t -> dml -> int
 val select : t -> string -> Pred.t -> Table.row list
 (** Query rows (not logged — reads are served to the engine directly). *)
 
+val read_check : t -> unit
+(** Consult the fault state for a query-path read (the dataspace calls
+    this before serving a scan). Plan-scheduled transients and hard-down
+    windows fire here; the legacy ad-hoc one-shots do not.
+    @raise Db_error when an injected fault fires. *)
+
 val sql_log : t -> string list
 (** All SQL statements executed so far, oldest first. *)
 
@@ -52,10 +58,26 @@ val begin_tx : t -> unit
 (** @raise Db_error if a transaction is already open. *)
 
 val commit : t -> unit
+(** An injected commit fault raises [Db_error] but leaves the
+    transaction open: a prepared participant stays prepared, so the XA
+    coordinator can retry the commit. *)
+
 val rollback : t -> unit
 val in_tx : t -> bool
 
-(** {1 Failure injection (for XA and fault tests)} *)
+(** {1 Failure injection}
+
+    All injection state lives in a {!Resilience.Faults.t} owned by the
+    database; the legacy setters below delegate to it. *)
+
+val faults : t -> Resilience.Faults.t
+(** The database's fault handle — attach it to a
+    [Resilience.Control.t] to put the source under a chaos plan. *)
+
+val prepare_fault : t -> string option
+(** Consult the fault state for an XA prepare round (sticky flag or
+    plan schedule); [Some reason] means this participant fails to
+    prepare. Used by the XA coordinator. *)
 
 val set_fail_on_prepare : t -> bool -> unit
 val fail_on_prepare : t -> bool

@@ -27,30 +27,37 @@ let run_traced participants work =
           emit (Begin (Database.name db)))
         participants;
       let v = work () in
-      (* phase 1: prepare *)
-      let prepare_failure =
-        List.find_map
+      (* phase 1: every participant votes — all emit a Prepare_* event
+         before the coordinator decides, as a real 2PC round would *)
+      let failures =
+        List.filter_map
           (fun db ->
-            if Database.fail_on_prepare db then begin
+            match Database.prepare_fault db with
+            | Some reason ->
               emit (Prepare_failed (Database.name db));
-              Some (Printf.sprintf "%s failed to prepare" (Database.name db))
-            end
-            else begin
+              Some (Printf.sprintf "%s: %s" (Database.name db) reason)
+            | None ->
               emit (Prepare_ok (Database.name db));
-              None
-            end)
+              None)
           participants
       in
-      match prepare_failure with
-      | Some reason ->
+      match failures with
+      | reason :: _ ->
         rollback_all ();
         Error reason
-      | None ->
-        (* phase 2: commit *)
+      | [] ->
+        (* phase 2: commit. A prepared participant must eventually
+           commit, so injected commit faults are retried (the plan never
+           schedules more than two in a row). *)
         List.iter
           (fun db ->
-            Database.commit db;
-            emit (Commit (Database.name db)))
+            let rec commit_retry attempts =
+              match Database.commit db with
+              | () -> emit (Commit (Database.name db))
+              | exception Database.Db_error _ when attempts < 8 ->
+                commit_retry (attempts + 1)
+            in
+            commit_retry 0)
           participants;
         Ok v
     with

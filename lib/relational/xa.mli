@@ -26,4 +26,7 @@ type trace_event =
 val run_traced :
   Database.t list -> (unit -> 'a) -> ('a, string) result * trace_event list
 (** Like {!run} but also returns the coordinator's event trace (for tests
-    and the XA bench). *)
+    and the XA bench). Every participant votes in the prepare phase —
+    each emits a [Prepare_ok]/[Prepare_failed] event before the
+    coordinator decides — and injected commit faults are retried so a
+    fully prepared round always commits everywhere. *)

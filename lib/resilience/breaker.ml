@@ -1,0 +1,82 @@
+(* Closed / Open / Half-open circuit breaker on virtual time.
+
+   Closed counts consecutive failures; at the threshold it opens and
+   rejects calls until the cooldown elapses, then lets exactly one probe
+   through (Half_open). A successful probe closes the circuit; a failed
+   one re-opens it and restarts the cooldown. *)
+
+type state = Closed | Open | Half_open
+
+type config = { failure_threshold : int; cooldown_ms : float }
+
+let default_config = { failure_threshold = 5; cooldown_ms = 1000. }
+
+type t = {
+  cfg : config;
+  clock : Clock.t;
+  mutable state : state;
+  mutable consecutive : int;
+  mutable opened_at : float;
+  mutable trips : int;
+}
+
+let create ?(config = default_config) clock =
+  {
+    cfg = config;
+    clock;
+    state = Closed;
+    consecutive = 0;
+    opened_at = 0.;
+    trips = 0;
+  }
+
+let state t = t.state
+let trips t = t.trips
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+let allow t =
+  match t.state with
+  | Closed | Half_open -> true
+  | Open ->
+    if Clock.now t.clock >= t.opened_at +. t.cfg.cooldown_ms then begin
+      t.state <- Half_open;
+      true
+    end
+    else false
+
+(* pure peek: what [allow] would answer, without transitioning *)
+let would_allow t =
+  match t.state with
+  | Closed | Half_open -> true
+  | Open -> Clock.now t.clock >= t.opened_at +. t.cfg.cooldown_ms
+
+let on_success t =
+  t.state <- Closed;
+  t.consecutive <- 0
+
+let trip t =
+  t.state <- Open;
+  t.consecutive <- 0;
+  t.opened_at <- Clock.now t.clock;
+  t.trips <- t.trips + 1
+
+let on_failure t =
+  match t.state with
+  | Half_open ->
+    (* failed probe: straight back to Open, cooldown restarts *)
+    trip t;
+    true
+  | Open -> false
+  | Closed ->
+    t.consecutive <- t.consecutive + 1;
+    if t.consecutive >= t.cfg.failure_threshold then begin
+      trip t;
+      true
+    end
+    else false
+
+let force_open t = trip t

@@ -1,0 +1,40 @@
+(** Per-source circuit breaker (closed / open / half-open) on virtual
+    time. *)
+
+type state = Closed | Open | Half_open
+
+type config = {
+  failure_threshold : int;  (** consecutive failures before opening *)
+  cooldown_ms : float;      (** virtual ms Open before a probe is allowed *)
+}
+
+val default_config : config
+(** 5 consecutive failures, 1000ms cooldown. *)
+
+type t
+
+val create : ?config:config -> Clock.t -> t
+val state : t -> state
+val state_to_string : state -> string
+
+val allow : t -> bool
+(** Whether a call may proceed. In [Open], flips to [Half_open] and
+    allows one probe once the cooldown has elapsed. *)
+
+val would_allow : t -> bool
+(** What {!allow} would answer, without transitioning state — used for
+    strict checks (SDO submit) that must not consume the half-open
+    probe. *)
+
+val on_success : t -> unit
+(** Close the circuit and reset the failure count. *)
+
+val on_failure : t -> bool
+(** Record a failure; [true] iff this one tripped the breaker open
+    (threshold reached, or a failed half-open probe). *)
+
+val trips : t -> int
+(** How many times the breaker has opened. *)
+
+val force_open : t -> unit
+(** Trip immediately (tests and demos). *)

@@ -1,0 +1,10 @@
+(* Virtual time. Every component of the resilience layer — fault
+   schedules, latency spikes, backoff waits, breaker cooldowns — reads
+   and advances this clock instead of the wall clock, so a chaos run is
+   a pure function of its seed and replays exactly. *)
+
+type t = { mutable now : float }
+
+let create ?(start = 0.) () = { now = start }
+let now t = t.now
+let advance t ms = if ms > 0. then t.now <- t.now +. ms

@@ -1,0 +1,15 @@
+(** Virtual clock (milliseconds). The resilience layer never reads wall
+    time: injected latency, retry backoff and breaker cooldowns all
+    advance and consult this clock, making every chaos run replayable
+    from its seed. *)
+
+type t
+
+val create : ?start:float -> unit -> t
+(** A clock at [start] (default [0.]) virtual milliseconds. *)
+
+val now : t -> float
+
+val advance : t -> float -> unit
+(** Move time forward by the given milliseconds; negative or zero
+    amounts are ignored (time never goes backwards). *)

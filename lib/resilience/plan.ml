@@ -1,0 +1,167 @@
+(* Deterministic fault-injection plans.
+
+   A plan is (seed, profile). From it, [schedule_for] derives a
+   per-source schedule as a pure function of [seed lxor hash source]:
+   the same plan always injects the same faults into the same sources at
+   the same call indexes and virtual times, no matter how many sources
+   exist or in what order they are attached. *)
+
+type profile = Calm | Light | Heavy
+
+type window = { w_from : float; w_until : float }
+
+type schedule = {
+  s_source : string;
+  s_transients : int list;       (* 1-based call indexes that fault *)
+  s_spikes : (int * float) list; (* call index -> extra latency (ms) *)
+  s_windows : window list;       (* hard-down intervals in virtual time *)
+  s_prepares : int list;         (* 1-based prepare rounds that fault *)
+  s_commits : int list;          (* 1-based commit rounds that fault *)
+}
+
+type t = { seed : int; profile : profile }
+
+let make ?(seed = 1) ?(profile = Light) () = { seed; profile }
+let seed t = t.seed
+let profile t = t.profile
+
+let profile_of_string = function
+  | "calm" -> Some Calm
+  | "light" -> Some Light
+  | "heavy" -> Some Heavy
+  | _ -> None
+
+let profile_to_string = function
+  | Calm -> "calm"
+  | Light -> "light"
+  | Heavy -> "heavy"
+
+let empty ~source =
+  {
+    s_source = source;
+    s_transients = [];
+    s_spikes = [];
+    s_windows = [];
+    s_prepares = [];
+    s_commits = [];
+  }
+
+(* How far ahead a schedule extends. Chaos runs are short; anything past
+   the horizon simply behaves like a healthy source. *)
+let horizon_calls = 240
+let horizon_rounds = 60
+
+type knobs = {
+  k_transient_pct : int;
+  k_spike_pct : int;
+  k_spike_min : float;
+  k_spike_max : float;
+  k_windows : int;          (* max number of hard-down windows *)
+  k_window_pct : int;       (* chance each candidate window exists *)
+  k_window_span : float;    (* windows start within [0, span) virtual ms *)
+  k_window_min : float;
+  k_window_max : float;
+  k_prepare_pct : int;
+  k_commit_pct : int;
+}
+
+let knobs = function
+  | Calm ->
+    {
+      k_transient_pct = 1;
+      k_spike_pct = 2;
+      k_spike_min = 5.;
+      k_spike_max = 25.;
+      k_windows = 0;
+      k_window_pct = 0;
+      k_window_span = 0.;
+      k_window_min = 0.;
+      k_window_max = 0.;
+      k_prepare_pct = 1;
+      k_commit_pct = 1;
+    }
+  | Light ->
+    {
+      k_transient_pct = 6;
+      k_spike_pct = 6;
+      k_spike_min = 5.;
+      k_spike_max = 60.;
+      k_windows = 1;
+      k_window_pct = 50;
+      k_window_span = 3000.;
+      k_window_min = 150.;
+      k_window_max = 600.;
+      k_prepare_pct = 6;
+      k_commit_pct = 4;
+    }
+  | Heavy ->
+    {
+      k_transient_pct = 15;
+      k_spike_pct = 12;
+      k_spike_min = 10.;
+      k_spike_max = 200.;
+      k_windows = 2;
+      k_window_pct = 60;
+      k_window_span = 6000.;
+      k_window_min = 200.;
+      k_window_max = 900.;
+      k_prepare_pct = 15;
+      k_commit_pct = 8;
+    }
+
+let schedule_for t ~source =
+  let k = knobs t.profile in
+  let r = Rng.make (t.seed lxor Rng.hash_string source) in
+  let transients = ref [] and spikes = ref [] in
+  for call = 1 to horizon_calls do
+    if Rng.chance r k.k_transient_pct then transients := call :: !transients
+    else if Rng.chance r k.k_spike_pct then
+      spikes :=
+        (call, k.k_spike_min +. Rng.float r (k.k_spike_max -. k.k_spike_min))
+        :: !spikes
+  done;
+  let windows = ref [] in
+  for _ = 1 to k.k_windows do
+    if Rng.chance r k.k_window_pct then begin
+      let from = Rng.float r k.k_window_span in
+      let dur = k.k_window_min +. Rng.float r (k.k_window_max -. k.k_window_min) in
+      windows := { w_from = from; w_until = from +. dur } :: !windows
+    end
+  done;
+  let prepares = ref [] and commits = ref [] in
+  for round = 1 to horizon_rounds do
+    if Rng.chance r k.k_prepare_pct then prepares := round :: !prepares;
+    (* never schedule an unbounded run of commit faults: a prepared
+       participant must eventually commit, so cap consecutive commit
+       faults by skipping a round that would make three in a row *)
+    if Rng.chance r k.k_commit_pct then
+      match !commits with
+      | a :: b :: _ when a = round - 1 && b = round - 2 -> ()
+      | _ -> commits := round :: !commits
+  done;
+  {
+    s_source = source;
+    s_transients = List.rev !transients;
+    s_spikes = List.rev !spikes;
+    s_windows = List.rev !windows;
+    s_prepares = List.rev !prepares;
+    s_commits = List.rev !commits;
+  }
+
+let describe_schedule s =
+  Printf.sprintf
+    "%s: %d transients, %d spikes, %d windows, %d prepare faults, %d commit faults"
+    s.s_source
+    (List.length s.s_transients)
+    (List.length s.s_spikes)
+    (List.length s.s_windows)
+    (List.length s.s_prepares)
+    (List.length s.s_commits)
+
+let describe t ~sources =
+  Printf.sprintf "plan seed=%d profile=%s\n%s" t.seed
+    (profile_to_string t.profile)
+    (String.concat "\n"
+       (List.map
+          (fun src -> "  " ^ describe_schedule (schedule_for t ~source:src))
+          sources))

@@ -1,0 +1,44 @@
+(** Deterministic fault-injection plans: a (seed, profile) pair from
+    which every source's fault schedule is derived as a pure function of
+    the seed and the source name. Replaying the same plan over the same
+    sources injects exactly the same faults. *)
+
+type profile =
+  | Calm   (** rare transients, no hard-down windows *)
+  | Light  (** occasional transients/spikes, maybe one down window *)
+  | Heavy  (** frequent transients, long spikes, multiple down windows *)
+
+type window = { w_from : float; w_until : float }
+(** A hard-down interval in virtual milliseconds: every call landing
+    inside it faults. *)
+
+type schedule = {
+  s_source : string;
+  s_transients : int list;       (** 1-based call indexes that fault *)
+  s_spikes : (int * float) list; (** call index -> extra latency (ms) *)
+  s_windows : window list;
+  s_prepares : int list;         (** 1-based XA prepare rounds that fault *)
+  s_commits : int list;          (** 1-based XA commit rounds that fault;
+                                     never more than two consecutive, so
+                                     a prepared participant always
+                                     eventually commits *)
+}
+
+type t
+
+val make : ?seed:int -> ?profile:profile -> unit -> t
+(** Defaults: [seed 1], [profile Light]. *)
+
+val seed : t -> int
+val profile : t -> profile
+val profile_of_string : string -> profile option
+val profile_to_string : profile -> string
+
+val empty : source:string -> schedule
+(** A schedule that never faults. *)
+
+val schedule_for : t -> source:string -> schedule
+(** The deterministic schedule this plan assigns to [source]. *)
+
+val describe_schedule : schedule -> string
+val describe : t -> sources:string list -> string

@@ -1,0 +1,41 @@
+type t = {
+  timeout_ms : float option;
+  max_retries : int;
+  backoff_ms : float;
+  backoff_factor : float;
+  jitter_ms : float;
+  breaker : Breaker.config option;
+}
+
+(* the default is a transparent pass-through: no timeout, no retries, no
+   breaker — existing error surfaces are unchanged until a policy is
+   explicitly set for a source *)
+let default =
+  {
+    timeout_ms = None;
+    max_retries = 0;
+    backoff_ms = 10.;
+    backoff_factor = 2.;
+    jitter_ms = 0.;
+    breaker = None;
+  }
+
+let make ?timeout_ms ?(max_retries = 0) ?(backoff_ms = 10.)
+    ?(backoff_factor = 2.) ?(jitter_ms = 0.) ?breaker () =
+  { timeout_ms; max_retries; backoff_ms; backoff_factor; jitter_ms; breaker }
+
+let backoff t ~attempt = t.backoff_ms *. (t.backoff_factor ** float_of_int attempt)
+
+let describe t =
+  let b = Buffer.create 64 in
+  (match t.timeout_ms with
+   | Some ms -> Printf.bprintf b "timeout=%.0fms " ms
+   | None -> Buffer.add_string b "timeout=none ");
+  Printf.bprintf b "retries=%d backoff=%.0fms*%.1f jitter=%.0fms" t.max_retries
+    t.backoff_ms t.backoff_factor t.jitter_ms;
+  (match t.breaker with
+   | Some c ->
+     Printf.bprintf b " breaker=%d/%.0fms" c.Breaker.failure_threshold
+       c.Breaker.cooldown_ms
+   | None -> Buffer.add_string b " breaker=none");
+  Buffer.contents b

@@ -1,0 +1,21 @@
+(* Tiny deterministic LCG, independent of [Stdlib.Random] state so chaos
+   schedules replay regardless of what the host program does. Same
+   recurrence as the fixtures generator. *)
+
+type t = { mutable state : int }
+
+let make seed = { state = (seed lor 1) land 0x3FFFFFFF }
+
+let next t =
+  t.state <- ((t.state * 1103515245) + 12345) land 0x3FFFFFFF;
+  t.state
+
+let int t bound = if bound <= 0 then 0 else next t mod bound
+let float t bound = float_of_int (int t 1_000_000) /. 1_000_000. *. bound
+let chance t percent = int t 100 < percent
+
+(* deterministic string hash for deriving per-source streams *)
+let hash_string s =
+  let h = ref 5381 in
+  String.iter (fun c -> h := ((!h * 131) + Char.code c) land 0x3FFFFFFF) s;
+  !h

@@ -1,0 +1,20 @@
+(** Seeded linear-congruential RNG used for fault schedules and retry
+    jitter. Deliberately independent of [Stdlib.Random]: resilience
+    randomness must replay from the seed alone. *)
+
+type t
+
+val make : int -> t
+val next : t -> int
+val int : t -> int -> int
+(** [int t bound] is uniform-ish in [\[0, bound)]; [0] when [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is in [\[0, bound)]. *)
+
+val chance : t -> int -> bool
+(** [chance t p] is true with probability [p]%. *)
+
+val hash_string : string -> int
+(** Deterministic hash, for deriving a per-source seed from the plan
+    seed and the source name. *)

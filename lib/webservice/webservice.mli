@@ -36,19 +36,29 @@ val find_operation : t -> string -> operation option
 exception Fault of { service : string; operation : string; message : string }
 
 val invoke : t -> string -> Node.t -> Node.t
-(** Call an operation with a request element. Validates the request root
-    element name, counts the call, applies fault injection.
-    @raise Fault on unknown operations, wrong request elements, injected
-    faults, and handler-raised faults. *)
+(** Call an operation with a request element. Every invoke counts as a
+    call (unknown operations and validation faults included); injected
+    faults fire before the operation is resolved; simulated latency
+    accrues only when the request actually reaches the handler.
+    @raise Fault on injected faults, unknown operations, wrong request
+    elements, and handler-raised faults. *)
 
-(** {1 Accounting and fault injection} *)
+(** {1 Accounting and fault injection}
+
+    All injection state lives in a {!Resilience.Faults.t} owned by the
+    service; the legacy setters below delegate to it. *)
+
+val faults : t -> Resilience.Faults.t
+(** The service's fault handle — attach it to a [Resilience.Control.t]
+    to put the source under a chaos plan. *)
 
 val call_count : t -> int
 val reset_call_count : t -> unit
 
 val set_latency : t -> float -> unit
 (** Simulated per-call latency in milliseconds, accumulated in
-    {!total_latency} (no real sleeping). *)
+    {!total_latency} (no real sleeping) and charged to the fault
+    handle's virtual clock. *)
 
 val total_latency : t -> float
 

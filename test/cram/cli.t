@@ -169,6 +169,12 @@ wall-clock, masked here):
   xqse.statements                      0
   sdo.submits                          0
   sdo.statements                       0
+  resil.retries                        0
+  resil.timeouts                       0
+  resil.breaker.trips                  0
+  resil.breaker.rejected               0
+  resil.degraded                       0
+  resil.faults.injected                0
   time.optimizer.fold.ms _
   time.optimizer.normalize.ms _
   time.optimizer.inline.ms _
@@ -208,6 +214,12 @@ prints the cumulative table (span times masked):
   xqse.statements                      0
   sdo.submits                          0
   sdo.statements                       0
+  resil.retries                        0
+  resil.timeouts                       0
+  resil.breaker.trips                  0
+  resil.breaker.rejected               0
+  resil.degraded                       0
+  resil.faults.injected                0
   time.optimizer.fold.ms _
   time.optimizer.normalize.ms _
   time.optimizer.inline.ms _

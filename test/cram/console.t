@@ -38,6 +38,12 @@ is accounted):
   xqse.statements                   0
   sdo.submits                       0
   sdo.statements                    0
+  resil.retries                     0
+  resil.timeouts                    0
+  resil.breaker.trips               0
+  resil.breaker.rejected            0
+  resil.degraded                    0
+  resil.faults.injected             0
 
 The lineage view explains update decomposition:
 
@@ -52,3 +58,23 @@ Errors are reported, not fatal:
 
   $ aldsp-console -q "no:such()"
   syntax error at 1:8: undeclared namespace prefix "no"
+
+Chaos mode puts the dataspace under a seeded, replayable fault plan:
+injected transients are retried under each source's policy, and the
+credit-rating service degrades profile reads (profile without rating,
+plus a report) instead of failing them. The same seed always injects
+the same faults:
+
+  $ aldsp-console --chaos-seed 7 --chaos-profile heavy \
+  >   -q 'fn:count(profile:getProfile())' \
+  >   -q 'resil:degradations()/string(@code)' \
+  >   -q 'stats' | sed -n '1,3p;20,25p'
+  chaos: seed 7, profile heavy
+  6
+  RESX0003 RESX0003 RESX0003
+  resil.retries                     6
+  resil.timeouts                    0
+  resil.breaker.trips               0
+  resil.breaker.rejected            0
+  resil.degraded                    3
+  resil.faults.injected             9

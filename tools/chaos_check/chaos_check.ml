@@ -1,0 +1,54 @@
+(* Seed-parameterized chaos gate: fan RUNS seeded fault schedules over
+   the CustomerProfile submit path and fail if any schedule produces a
+   partially committed cross-database change, or if any schedule fails
+   to replay identically. Usage: chaos_check [RUNS] [BASE_SEED] [PROFILE] *)
+
+let () =
+  let runs = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 50 in
+  let base = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1 in
+  let profile =
+    if Array.length Sys.argv > 3 then
+      match Resilience.Plan.profile_of_string Sys.argv.(3) with
+      | Some p -> p
+      | None ->
+        prerr_endline ("unknown profile: " ^ Sys.argv.(3) ^ " (calm|light|heavy)");
+        exit 2
+    else Resilience.Plan.Heavy
+  in
+  Printf.printf "chaos_check: %d runs, seeds %d..%d, profile %s\n%!" runs base
+    (base + runs - 1)
+    (Resilience.Plan.profile_to_string profile);
+  let violations = ref 0 and replay_breaks = ref 0 in
+  let committed = ref 0 and failed = ref 0 and reads_failed = ref 0 in
+  let retries = ref 0 and trips = ref 0 and degraded = ref 0 and injected = ref 0 in
+  for seed = base to base + runs - 1 do
+    let r1 = Fixtures.Chaos.run ~seed ~profile () in
+    let r2 = Fixtures.Chaos.run ~seed ~profile () in
+    if r1 <> r2 then begin
+      incr replay_breaks;
+      Printf.printf "REPLAY MISMATCH seed %d:\n  1st: %s\n  2nd: %s\n" seed
+        (Fixtures.Chaos.describe r1) (Fixtures.Chaos.describe r2)
+    end;
+    List.iter (fun v -> incr violations; print_endline ("VIOLATION " ^ v))
+      r1.Fixtures.Chaos.r_violations;
+    committed := !committed + r1.r_committed;
+    failed := !failed + r1.r_failed;
+    reads_failed := !reads_failed + r1.r_read_failures;
+    retries := !retries + r1.r_retries;
+    trips := !trips + r1.r_trips;
+    degraded := !degraded + r1.r_degraded;
+    injected := !injected + r1.r_injected
+  done;
+  Printf.printf
+    "totals: %d committed, %d failed, %d read failures, %d retries, %d trips, \
+     %d degraded, %d injected\n"
+    !committed !failed !reads_failed !retries !trips !degraded !injected;
+  if !violations = 0 && !replay_breaks = 0 then begin
+    Printf.printf "chaos_check: PASS (0 partial commits, all seeds replayed)\n";
+    exit 0
+  end
+  else begin
+    Printf.printf "chaos_check: FAIL (%d violations, %d replay mismatches)\n"
+      !violations !replay_breaks;
+    exit 1
+  end
