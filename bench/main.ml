@@ -464,6 +464,51 @@ let report () =
   Printf.printf "one heavy 8-round storm: %.2f ms wall\n" t_storm;
   record "resil.storm.heavy.ms" t_storm;
 
+  section "STREAM: cursor pipeline vs forced materialization";
+  (* two headline shapes over a 5000-row scan, each run with the cursor
+     pipeline on and off: an early-exiting declarative consumer
+     (fn:head) and an XQSE iterate that breaks after its first binding.
+     Streaming should hold materialized items near zero while the
+     forced-materializing mode pays for the whole table *)
+  let stream_rows = 5000 in
+  Printf.printf "%-14s %-12s %9s %8s %13s %8s\n" "shape" "mode" "ms" "pulled"
+    "materialized" "scanned";
+  List.iter
+    (fun (shape, src) ->
+      List.iter
+        (fun streaming ->
+          let instr = Instr.create () in
+          Instr.enable instr;
+          let env = FE.make ~employees:stream_rows ~instr () in
+          let sess = Aldsp.Dataspace.session env.FE.ds in
+          Xqse.Session.set_streaming sess streaming;
+          let compiled = Xqse.Session.compile sess src in
+          let t = time_ms (fun () -> Xqse.Session.run compiled) in
+          let before = Instr.stats instr in
+          ignore (Xqse.Session.run compiled);
+          let d = Instr.since instr before in
+          let c k =
+            match List.assoc_opt k d.Instr.counters with
+            | Some n -> n
+            | None -> 0
+          in
+          let mode = if streaming then "streaming" else "materialize" in
+          Printf.printf "%-14s %-12s %9.3f %8d %13d %8d\n" shape mode t
+            (c Instr.K.stream_pulled)
+            (c Instr.K.stream_materialized)
+            (c Instr.K.rows_scanned);
+          record (Printf.sprintf "stream.%s.%s.ms" shape mode) t;
+          record
+            (Printf.sprintf "stream.%s.%s.materialized" shape mode)
+            (float_of_int (c Instr.K.stream_materialized)))
+        [ true; false ])
+    [
+      ("head-of-scan", "fn:head(employee:EMPLOYEE())/EMP_ID/text()");
+      ( "iterate-break",
+        "{ declare $n := 0; iterate $e over employee:EMPLOYEE() { set $n := \
+         $n + 1; break(); } return value $n; }" );
+    ];
+
   write_json_report (instrumented_counters ())
 
 (* ------------------------------------------------------------------ *)

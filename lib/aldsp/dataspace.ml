@@ -181,14 +181,30 @@ let degrade_on_error t ~source call =
         ~message;
       []
 
-(* a query-path read: leftover injected faults get their own stable
-   code RESX0004 (source fault, no retry policy) *)
-let guarded_read t ~source f =
-  degrade_on_error t ~source (fun () ->
-      try Resilience.Control.guard t.resil ~source f with
-      | Resilience.Control.Error { source; code; message } ->
-        raise_resil_error ~source code message
-      | R.Database.Db_error msg -> Item.raise_error (Qname.err "RESX0004") msg)
+(* A query-path read, surfaced as a cursor: the guard and the degrade
+   decision wrap the *open* — the read check plus cursor construction —
+   so exactly one guarded call happens per read invocation; row pulls
+   then stream outside the guard (they cannot fail: the cursors below
+   snapshot their rows at open). Leftover injected faults get their own
+   stable code RESX0004 (source fault, no retry policy); a degraded
+   read yields the empty cursor. *)
+let guarded_read_cur t ~source f =
+  let open_guarded () =
+    try Resilience.Control.guard t.resil ~source f with
+    | Resilience.Control.Error { source; code; message } ->
+      raise_resil_error ~source code message
+    | R.Database.Db_error msg -> Item.raise_error (Qname.err "RESX0004") msg
+  in
+  if not (Resilience.Control.is_degradable t.resil ~source) then
+    open_guarded ()
+  else
+    try open_guarded ()
+    with Item.Error { code; message; _ } ->
+      Log.info (fun m ->
+          m "degraded read of %s: %s %s" source (Qname.to_string code) message);
+      Resilience.Control.note_degraded t.resil ~source ~code:code.Qname.local
+        ~message;
+      Cursor.empty ()
 
 (* ------------------------------------------------------------------ *)
 (* Relational introspection                                            *)
@@ -196,8 +212,15 @@ let guarded_read t ~source f =
 
 let table_ns db_name table_name = Printf.sprintf "ld:%s/%s" db_name table_name
 
-let scan_to_seq tbl =
-  List.map (fun row -> Item.Node (Rowxml.row_to_xml tbl row)) (R.Table.scan tbl)
+(* one row element per pull; the row-to-XML mapping is total, so the
+   mapped cursor keeps the scan/select cursor's purity (rows are
+   snapshotted at open) and streaming consumers may abandon it early *)
+let rows_to_cursor tbl rows =
+  Cursor.map ~total:true
+    (fun row -> Item.Node (Rowxml.row_to_xml tbl row))
+    rows
+
+let scan_to_cursor tbl = rows_to_cursor tbl (R.Table.scan_cursor tbl)
 
 let one_table_arg what args =
   match args with
@@ -229,10 +252,10 @@ let register_database t db =
         let fn local = Qname.make ~uri:ns local in
         (* --- read function:  t:TABLE() as element(TABLE)* --- *)
         let read_name = fn tname in
-        Xqse.Session.register_function t.sess read_name 0 (fun _ ->
-            guarded_read t ~source:db_name (fun () ->
+        Xqse.Session.register_function_cursor t.sess read_name 0 (fun _ ->
+            guarded_read_cur t ~source:db_name (fun () ->
                 R.Database.read_check db;
-                scan_to_seq tbl));
+                scan_to_cursor tbl));
         Hashtbl.replace t.source_fns (read_name.Qname.uri, read_name.Qname.local)
           (Lineage.Read_fn { db = db_name; table = tname });
         Data_service.add_method svc
@@ -388,7 +411,7 @@ let register_database t db =
           let nav_name =
             Qname.make ~uri:(table_ns db_name parent_name) ("get" ^ child_name)
           in
-          Xqse.Session.register_function t.sess nav_name 1 (fun args ->
+          Xqse.Session.register_function_cursor t.sess nav_name 1 (fun args ->
               match args with
               | [ [ Item.Node parent_row ] ] ->
                 let pred =
@@ -401,11 +424,9 @@ let register_database t db =
                          | None -> R.Pred.False)
                        fk.R.Table.fk_columns fk.R.Table.fk_ref_columns)
                 in
-                guarded_read t ~source:db_name (fun () ->
+                guarded_read_cur t ~source:db_name (fun () ->
                     R.Database.read_check db;
-                    List.map
-                      (fun row -> Item.Node (Rowxml.row_to_xml tbl row))
-                      (R.Table.select tbl pred))
+                    rows_to_cursor tbl (R.Table.select_cursor tbl pred))
               | _ ->
                 Item.type_error
                   (Printf.sprintf "%s expects one %s row"
@@ -431,7 +452,7 @@ let register_database t db =
           let nav_back =
             Qname.make ~uri:(table_ns db_name child_name) ("get" ^ parent_name)
           in
-          Xqse.Session.register_function t.sess nav_back 1 (fun args ->
+          Xqse.Session.register_function_cursor t.sess nav_back 1 (fun args ->
               match args with
               | [ [ Item.Node child_row ] ] ->
                 let pairs = Rowxml.xml_to_pairs tbl child_row in
@@ -444,11 +465,9 @@ let register_database t db =
                          | None -> R.Pred.False)
                        fk.R.Table.fk_columns fk.R.Table.fk_ref_columns)
                 in
-                guarded_read t ~source:db_name (fun () ->
+                guarded_read_cur t ~source:db_name (fun () ->
                     R.Database.read_check db;
-                    List.map
-                      (fun row -> Item.Node (Rowxml.row_to_xml parent_tbl row))
-                      (R.Table.select parent_tbl pred))
+                    rows_to_cursor parent_tbl (R.Table.select_cursor parent_tbl pred))
               | _ ->
                 Item.type_error
                   (Printf.sprintf "%s expects one %s row"

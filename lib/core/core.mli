@@ -1,0 +1,31 @@
+(** Umbrella module for the XQSE/ALDSP reproduction: re-exports every
+    component library under one roof.
+
+    - {!Xdm} — the XQuery Data Model (nodes, atomics, sequences, XML
+      parsing/serialization, schema subset, sequence types)
+    - {!Xquery} — the XQuery 1.0 subset engine with the XUF subset and
+      the rewrite optimizer
+    - {!Xqse} — the XQuery Scripting Extension (the paper's contribution)
+    - {!Relational} — the in-memory relational substrate with SQL
+      generation and XA two-phase commit
+    - {!Webservice} — simulated document-style web services
+    - {!Sdo} — Service Data Objects datagraphs and change summaries
+    - {!Aldsp} — the data services platform: introspection, logical
+      services, lineage, update decomposition, optimistic concurrency
+    - {!Resilience} — source resilience: deterministic fault injection,
+      retry/backoff policies and circuit breakers
+    - {!Fixtures} — the paper's worked scenarios (customer profile,
+      employees) shared by examples, tests and benches
+    - {!Instr} — execution instrumentation (spans, counters, per-query
+      stats) shared by every layer *)
+
+module Instr = Instr
+module Xdm = Xdm
+module Xquery = Xquery
+module Xqse = Xqse
+module Relational = Relational
+module Webservice = Webservice
+module Sdo = Sdo
+module Aldsp = Aldsp
+module Resilience = Resilience
+module Fixtures = Fixtures

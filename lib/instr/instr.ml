@@ -280,6 +280,13 @@ module K = struct
   let resil_rejected = "resil.breaker.rejected"
   let resil_degraded = "resil.degraded"
   let resil_injected = "resil.faults.injected"
+
+  (* streaming sequence core: items pulled from live producer cursors,
+     items copied out at materialization boundaries, and abandons that
+     actually skipped a provably-pure remainder *)
+  let stream_pulled = "stream.pulled"
+  let stream_materialized = "stream.materialized"
+  let stream_early_exits = "stream.early_exits"
 end
 
 let preregister t =
@@ -308,6 +315,9 @@ let preregister t =
       K.resil_rejected;
       K.resil_degraded;
       K.resil_injected;
+      K.stream_pulled;
+      K.stream_materialized;
+      K.stream_early_exits;
     ];
   (* the per-pass timers too, so the stats table has a stable shape even
      for runs where a pass never fired *)

@@ -116,6 +116,14 @@ module K : sig
   val resil_degraded : string
   val resil_injected : string
 
+  (** streaming-core counters: items pulled from live producer cursors,
+      items copied out at materialization boundaries, and abandons that
+      skipped a provably-pure remainder *)
+
+  val stream_pulled : string
+  val stream_materialized : string
+  val stream_early_exits : string
+
   (** per-pass optimizer timer names, accumulated via {!time} *)
 
   val t_optimizer_fold : string

@@ -180,6 +180,22 @@ let scan t =
   Instr.bump t.instr ~n:(List.length rows) Instr.K.rows_fetched;
   rows
 
+(* Cursor variant: the row set is snapshotted at open (rows are
+   immutable arrays — updates replace, never mutate, so a snapshot
+   stays consistent), and [rows.scanned]/[rows.fetched] count actual
+   pulls rather than the full table size. Pulls are pure: the snapshot
+   is taken, nothing left to run can raise. *)
+let scan_cursor t =
+  let rest = ref (scan_rows t) in
+  Xdm.Cursor.make ~pure:true ~instr:t.instr (fun () ->
+      match !rest with
+      | [] -> None
+      | row :: tl ->
+        rest := tl;
+        Instr.bump t.instr Instr.K.rows_scanned;
+        Instr.bump t.instr Instr.K.rows_fetched;
+        Some row)
+
 (* columns constrained by equality in a conjunctive prefix of the
    predicate *)
 let rec eq_bindings = function
@@ -222,6 +238,62 @@ let select t pred =
   in
   Instr.bump t.instr ~n:(List.length result) Instr.K.rows_fetched;
   result
+
+(* Cursor variant of [select]: candidates are snapshotted at open (index
+   probe or full scan, same plan choice as [select]); each pull examines
+   candidates until one satisfies the predicate, bumping [rows.scanned]
+   per candidate examined and [rows.fetched] per row produced. *)
+let select_cursor t pred =
+  let eqs = eq_bindings pred in
+  let candidates =
+    List.find_map
+      (fun (cols, tbl) ->
+        match
+          List.fold_left
+            (fun acc c ->
+              match (acc, List.assoc_opt c eqs) with
+              | Some key, Some v -> Some (v :: key)
+              | _ -> None)
+            (Some []) (List.rev cols)
+        with
+        | Some key -> (
+          match Hashtbl.find_opt tbl key with
+          | Some pks -> Some (List.filter_map (Hashtbl.find_opt t.rows) pks)
+          | None -> Some [])
+        | None -> None)
+      t.sec_indexes
+  in
+  let rest =
+    ref
+      (match candidates with
+      | Some rows ->
+        List.sort (fun a b -> compare (pk_of_row t a) (pk_of_row t b)) rows
+      | None -> scan_rows t)
+  in
+  let rec pull () =
+    match !rest with
+    | [] -> None
+    | row :: tl ->
+      rest := tl;
+      Instr.bump t.instr Instr.K.rows_scanned;
+      if Pred.eval ~get:(fun c -> get row t c) pred then begin
+        Instr.bump t.instr Instr.K.rows_fetched;
+        Some row
+      end
+      else pull ()
+  in
+  (* pulls are pure only when the predicate cannot raise mid-stream,
+     i.e. every column it mentions resolves against the schema *)
+  let rec cols = function
+    | Pred.True | Pred.False -> []
+    | Pred.Cmp (_, c, _) | Pred.In (c, _) | Pred.Is_null c -> [ c ]
+    | Pred.And (a, b) | Pred.Or (a, b) -> cols a @ cols b
+    | Pred.Not a -> cols a
+  in
+  let pure =
+    List.for_all (fun c -> Hashtbl.mem t.indices c) (cols pred)
+  in
+  Xdm.Cursor.make ~pure ~instr:t.instr pull
 
 let update_rows t pred set =
   (* validate set columns *)

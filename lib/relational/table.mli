@@ -55,6 +55,17 @@ val scan : t -> row list
 (** All rows, in primary-key order (deterministic). *)
 
 val select : t -> Pred.t -> row list
+
+val scan_cursor : t -> row Xdm.Cursor.t
+(** Pull-based {!scan}: the row set is snapshotted at open and
+    [rows.scanned]/[rows.fetched] count actual pulls, so early-exit
+    consumers touch only what they read. The cursor is pure. *)
+
+val select_cursor : t -> Pred.t -> row Xdm.Cursor.t
+(** Pull-based {!select} with the same index-probe plan choice;
+    [rows.scanned] counts candidates examined per pull, [rows.fetched]
+    rows produced. *)
+
 val update_rows : t -> Pred.t -> (string * Value.t) list -> row list * row list
 (** [update_rows t where set] applies [set] to matching rows in place;
     returns [(old_copies, new_rows)].

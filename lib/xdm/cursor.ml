@@ -1,0 +1,137 @@
+(* Pull-based lazy sequences.
+
+   A cursor is a single-pass producer of items with three observable
+   operations: [next] (pull one item), [close] (release, idempotent)
+   and [abandon] (stop consuming before exhaustion).
+
+   The contract that makes streaming evaluation semantics-preserving:
+
+   - Full consumption of a cursor yields exactly the items, effects and
+     raised errors, in exactly the order, that eager evaluation of the
+     producing expression would have yielded.
+   - [pure] marks a cursor whose *remaining pulls* can neither raise
+     nor perform an observable effect (node construction local to the
+     pulled items is allowed — a never-returned node is unobservable).
+   - [abandon] therefore skips the remainder only when [pure] holds;
+     otherwise it drains the cursor, letting any pending effect run and
+     any pending error propagate, exactly as eager evaluation would
+     have. Consumers that stop early (fn:exists, fn:head, EBV,
+     positional [1], XQSE iterate+break) must go through [abandon],
+     never a bare [close], so equivalence with the materializing
+     evaluator holds by construction.
+
+   Instrumentation: producer cursors built with [make ~instr] bump
+   [stream.pulled] per item pulled and [stream.early_exits] when an
+   abandon actually skips work. Derived cursors (map/filter/chain/
+   of_list) carry a disabled handle so wrapped pulls are not counted
+   twice; their cleanup propagates the abandon to the producer. *)
+
+type state = Open | Done
+
+type 'a t = {
+  pull : unit -> 'a option;
+  pure : bool;
+  instr : Instr.t;
+  cleanup : unit -> unit;
+  mutable state : state;
+}
+
+let make ?(pure = false) ?(instr = Instr.disabled) ?(cleanup = fun () -> ())
+    pull =
+  { pull; pure; instr; cleanup; state = Open }
+
+let is_pure c = c.pure
+
+let close c =
+  if c.state = Open then begin
+    c.state <- Done;
+    c.cleanup ()
+  end
+
+let next c =
+  match c.state with
+  | Done -> None
+  | Open -> (
+    match c.pull () with
+    | Some _ as r ->
+      Instr.bump c.instr Instr.K.stream_pulled;
+      r
+    | None ->
+      close c;
+      None)
+
+let rec drain c = match next c with Some _ -> drain c | None -> ()
+
+let abandon c =
+  match c.state with
+  | Done -> ()
+  | Open ->
+    if c.pure then begin
+      Instr.bump c.instr Instr.K.stream_early_exits;
+      close c
+    end
+    else drain c
+
+let empty () = make ~pure:true (fun () -> None)
+
+let of_list items =
+  let rest = ref items in
+  make ~pure:true (fun () ->
+      match !rest with
+      | [] -> None
+      | x :: tl ->
+        rest := tl;
+        Some x)
+
+let singleton x = of_list [ x ]
+
+let to_list ?(instr = Instr.disabled) c =
+  let rec go acc n =
+    match next c with Some x -> go (x :: acc) (n + 1) | None -> (List.rev acc, n)
+  in
+  let items, n = go [] 0 in
+  if n > 0 then Instr.bump instr ~n Instr.K.stream_materialized;
+  items
+
+(* [total] asserts that [f] neither raises nor has observable effects,
+   so purity of the source carries over to the mapped cursor. *)
+let map ?(total = false) f c =
+  make ~pure:(total && c.pure)
+    ~cleanup:(fun () -> abandon c)
+    (fun () -> Option.map f (next c))
+
+let filter ?(total = false) p c =
+  let rec pull () =
+    match next c with
+    | None -> None
+    | Some x -> if p x then Some x else pull ()
+  in
+  make ~pure:(total && c.pure) ~cleanup:(fun () -> abandon c) pull
+
+(* Sequential concatenation of lazily-opened sub-cursors. The caller
+   vouches for [pure]: when set, every sub-cursor the thunks can return
+   must itself be pure and the thunks must be total. An impure chain is
+   drained by the generic [abandon] via [next], which naturally opens
+   and drains the not-yet-started components in order. *)
+let chain ?(pure = false) thunks =
+  let current = ref None and rest = ref thunks in
+  let rec pull () =
+    match !current with
+    | Some c -> (
+      match next c with
+      | Some _ as r -> r
+      | None ->
+        current := None;
+        pull ())
+    | None -> (
+      match !rest with
+      | [] -> None
+      | t :: tl ->
+        rest := tl;
+        current := Some (t ());
+        pull ())
+  in
+  make ~pure
+    ~cleanup:(fun () ->
+      match !current with Some c -> abandon c | None -> ())
+    pull

@@ -1,0 +1,58 @@
+(** Pull-based lazy sequences — the streaming core's spine.
+
+    Laws (see DESIGN.md §13): a cursor is single-pass; fully consuming
+    it yields the same items, effects and errors, in the same order, as
+    eager evaluation of its producer; {!abandon} skips the remainder
+    only when the cursor is {!is_pure} (remaining pulls raise nothing
+    and have no observable effect), otherwise it drains, so early-exit
+    consumers are equivalent to materializing ones by construction. *)
+
+type 'a t
+
+val make :
+  ?pure:bool ->
+  ?instr:Instr.t ->
+  ?cleanup:(unit -> unit) ->
+  (unit -> 'a option) ->
+  'a t
+(** [make pull] wraps a producer. [pure] asserts remaining pulls are
+    skippable (no errors, no observable effects); [instr] makes pulls
+    bump [stream.pulled] and skipped abandons bump [stream.early_exits];
+    [cleanup] runs once when the cursor closes (exhaustion, [close] or
+    [abandon]) — derived cursors use it to propagate abandonment. *)
+
+val is_pure : 'a t -> bool
+
+val next : 'a t -> 'a option
+(** Pull one item; [None] marks exhaustion and closes the cursor. *)
+
+val close : 'a t -> unit
+(** Release without draining. Idempotent. Consumers stopping early must
+    use {!abandon} instead — a bare [close] on an impure cursor would
+    skip observable work. *)
+
+val abandon : 'a t -> unit
+(** Stop consuming: skip the remainder if pure (bumping
+    [stream.early_exits]), otherwise drain it — pending effects run and
+    pending errors propagate exactly as eager evaluation would. *)
+
+val empty : unit -> 'a t
+val of_list : 'a list -> 'a t
+(** Always pure: the list is already materialized, pulls cannot fail. *)
+
+val singleton : 'a -> 'a t
+
+val to_list : ?instr:Instr.t -> 'a t -> 'a list
+(** Drain into a list; bumps [stream.materialized] on [instr] by the
+    number of items copied out. *)
+
+val map : ?total:bool -> ('a -> 'b) -> 'a t -> 'b t
+(** [total] asserts [f] neither raises nor has effects; only then does
+    the source's purity carry over. *)
+
+val filter : ?total:bool -> ('a -> bool) -> 'a t -> 'a t
+
+val chain : ?pure:bool -> (unit -> 'a t) list -> 'a t
+(** Sequential concatenation; each thunk is opened only when the
+    previous sub-cursor is exhausted. [pure] is the caller's promise
+    that every thunk is total and every sub-cursor pure. *)

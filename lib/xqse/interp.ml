@@ -21,6 +21,11 @@ type runtime = {
   parent : runtime option;
   mutable trace : string -> unit;
   instr : Instr.t;
+  mutable streaming : bool;
+  mutable purity : Xquery.Ast.expr -> bool * bool * bool;
+      (* (effects, fallible, constructs) — the compile-time purity
+         verdicts the streaming evaluator gates on; conservative
+         (all true) until the session installs a real environment *)
 }
 
 let create_runtime ?(trace = fun _ -> ()) ?instr ?parent reg =
@@ -30,11 +35,18 @@ let create_runtime ?(trace = fun _ -> ()) ?instr ?parent reg =
     | None, Some p -> p.instr
     | None, None -> Instr.disabled
   in
-  { reg; procs = Hashtbl.create 16; parent; trace; instr }
+  let streaming = match parent with Some p -> p.streaming | None -> true in
+  let purity =
+    match parent with Some p -> p.purity | None -> fun _ -> (true, true, true)
+  in
+  { reg; procs = Hashtbl.create 16; parent; trace; instr; streaming; purity }
 
 let registry rt = rt.reg
 let set_trace rt f = rt.trace <- f
 let instr rt = rt.instr
+let streaming rt = rt.streaming
+let set_streaming rt b = rt.streaming <- b
+let set_purity rt f = rt.purity <- f
 
 let rec find_procedure rt (name : Qname.t) arity =
   match Hashtbl.find_opt rt.procs (name.Qname.uri, name.Qname.local, arity) with
@@ -92,7 +104,10 @@ let scope_vars st =
     m (List.rev st.frames)
 
 let eval_ctx st =
-  let ctx = Xquery.Context.make_dynamic ~trace:st.rt.trace st.rt.reg in
+  let ctx =
+    Xquery.Context.make_dynamic ~trace:st.rt.trace ~instr:st.rt.instr
+      ~streaming:st.rt.streaming ~purity:st.rt.purity st.rt.reg
+  in
   let globals = Xquery.Context.globals st.rt.reg in
   let vars =
     Qmap.union (fun _ _inner v -> Some v) globals (scope_vars st)
@@ -100,6 +115,51 @@ let eval_ctx st =
   Xquery.Context.with_vars ctx vars
 
 let eval_expr st e = Xquery.Eval.eval (eval_ctx st) e
+
+(* Purity verdict of a statement block: a statement's verdict joins the
+   verdicts of every embedded expression ([purity] returns the
+   compile-time [(effects, fallible, constructs)] triple of one
+   expression); [update] statements are effectful by definition. Blocks
+   are always considered fallible — sequence-type checks on parameters,
+   results and [set] targets can raise regardless of the body. *)
+let block_verdict ~purity (b : Stmt.block) =
+  let effects = ref false in
+  let constructs = ref false in
+  let note e =
+    let ef, _fallible, co = purity e in
+    if ef then effects := true;
+    if co then constructs := true
+  in
+  let rec vstmt = function
+    | Stmt.V_expr e -> note e
+    | Stmt.V_proc_block b -> block b
+  and stmt = function
+    | Stmt.Block b -> block b
+    | Stmt.Set (_, v) -> vstmt v
+    | Stmt.Return_value v | Stmt.Expr_stmt v -> vstmt v
+    | Stmt.While (e, b) ->
+      note e;
+      block b
+    | Stmt.Iterate { source; body; _ } ->
+      vstmt source;
+      block body
+    | Stmt.If (c, t, e) ->
+      note c;
+      stmt t;
+      Option.iter stmt e
+    | Stmt.Try (b, clauses) ->
+      block b;
+      List.iter (fun c -> block c.Stmt.cc_body) clauses
+    | Stmt.Continue | Stmt.Break -> ()
+    | Stmt.Update e ->
+      effects := true;
+      note e
+  and block b =
+    List.iter (fun d -> Option.iter vstmt d.Stmt.bd_init) b.Stmt.decls;
+    List.iter stmt b.Stmt.stmts
+  in
+  block b;
+  (!effects, true, !constructs)
 
 (* ------------------------------------------------------------------ *)
 (* Statements                                                           *)
@@ -125,6 +185,19 @@ let rec exec_value_stmt st (v : Stmt.value_stmt) : Item.seq =
     | Normal -> []
     | Broke -> raise Break_outside_loop
     | Continued -> raise Continue_outside_loop)
+
+(* Cursor form of [exec_value_stmt], for consumers (iterate) that can
+   drive the source lazily. Procedure calls and in-place procedure
+   blocks execute statements (side effects must all happen before the
+   first pull), so they materialize; a plain expression streams through
+   [Eval.eval_cur]. *)
+and exec_value_stmt_cur st (v : Stmt.value_stmt) : Item.t Cursor.t =
+  match v with
+  | Stmt.V_expr (Xquery.Ast.Call (name, args))
+    when find_procedure st.rt name (List.length args) <> None ->
+    Cursor.of_list (exec_value_stmt st v)
+  | Stmt.V_expr e -> Xquery.Eval.eval_cur (eval_ctx st) e
+  | Stmt.V_proc_block _ -> Cursor.of_list (exec_value_stmt st v)
 
 and exec_stmt st (s : Stmt.statement) : outcome =
   Instr.bump st.rt.instr Instr.K.xqse_statements;
@@ -165,23 +238,61 @@ and exec_stmt st (s : Stmt.statement) : outcome =
     in
     loop ()
   | Stmt.Iterate { var; pos; source; body } ->
-    let binding_seq = exec_value_stmt st source in
-    let rec loop i = function
-      | [] -> Normal
-      | item :: rest -> (
-        let bindings = Qmap.add var [ item ] st.bindings in
-        let bindings =
-          match pos with
-          | Some pv -> Qmap.add pv [ Item.Atomic (Atomic.Integer i) ] bindings
-          | None -> bindings
-        in
-        let st' = { st with bindings } in
-        match exec_block_stmts (push_frame st') body with
-        | Normal | Continued -> loop (i + 1) rest
-        | Broke -> Normal
-        | Returned v -> Returned v)
+    let run_body i item =
+      let bindings = Qmap.add var [ item ] st.bindings in
+      let bindings =
+        match pos with
+        | Some pv -> Qmap.add pv [ Item.Atomic (Atomic.Integer i) ] bindings
+        | None -> bindings
+      in
+      let st' = { st with bindings } in
+      exec_block_stmts (push_frame st') body
     in
-    loop 1 binding_seq
+    (* A constructing body forbids lazy driving: node allocation order
+       decides cross-tree document order, and interleaving the body's
+       constructions with per-pull construction in the source (row
+       elements) would order them differently than the eager model,
+       which finishes the whole binding sequence first. *)
+    let _, _, body_constructs = block_verdict ~purity:st.rt.purity body in
+    let cur = exec_value_stmt_cur st source in
+    if Cursor.is_pure cur && not body_constructs then
+      (* pure source: remaining pulls cannot raise or have effects, so
+         driving one binding at a time is indistinguishable from the
+         eager loop — except that [break]/[return] abandon the rest *)
+      let rec loop i =
+        match Cursor.next cur with
+        | None -> Normal
+        | Some item -> (
+          match run_body i item with
+          | Normal | Continued -> loop (i + 1)
+          | Broke ->
+            Cursor.abandon cur;
+            Normal
+          | Returned v ->
+            Cursor.abandon cur;
+            Returned v
+          | exception e ->
+            Cursor.abandon cur;
+            raise e)
+      in
+      loop 1
+    else begin
+      (* impure source: the eager model evaluates the whole binding
+         sequence (all its effects and errors) before any body statement
+         runs — materialize to keep that ordering *)
+      let binding_seq =
+        Cursor.to_list ~instr:st.rt.instr cur
+      in
+      let rec loop i = function
+        | [] -> Normal
+        | item :: rest -> (
+          match run_body i item with
+          | Normal | Continued -> loop (i + 1) rest
+          | Broke -> Normal
+          | Returned v -> Returned v)
+      in
+      loop 1 binding_seq
+    end
   | Stmt.If (cond, then_, else_) ->
     if Item.effective_boolean_value (eval_expr st cond) then
       exec_stmt st then_
@@ -305,6 +416,16 @@ let call_procedure rt name arg_vals =
       (Printf.sprintf "unknown procedure %s/%d" (Qname.to_string name)
          (List.length arg_vals))
 
+(* Verdict of a declared procedure body, so {!Xquery.Purity} (and the
+   streaming gates behind it) can classify calls to a readonly procedure
+   precisely instead of treating them as opaque externals. *)
+let procedure_verdict reg (b : Stmt.block) =
+  let env = Xquery.Purity.env_for ~registry:reg [] in
+  block_verdict b
+    ~purity:(fun e ->
+      let v = Xquery.Purity.analyze env e in
+      (v.Xquery.Purity.effects, v.Xquery.Purity.fallible, v.Xquery.Purity.constructs))
+
 let declare_procedure rt proc =
   let key =
     (proc.p_name.Qname.uri, proc.p_name.Qname.local, List.length proc.p_params)
@@ -316,8 +437,14 @@ let declare_procedure rt proc =
          (List.length proc.p_params));
   Hashtbl.add rt.procs key proc;
   if proc.p_readonly then
-    (* a readonly procedure is callable as a function from XQuery *)
-    Xquery.Context.register_external rt.reg ~side_effects:false
+    (* a readonly procedure is callable as a function from XQuery; its
+       body's purity verdict rides along so the analyzer can classify it *)
+    let purity =
+      match proc.p_impl with
+      | P_block body -> Some (procedure_verdict rt.reg body)
+      | P_external _ -> None
+    in
+    Xquery.Context.register_external rt.reg ~side_effects:false ?purity
       proc.p_name
       (List.length proc.p_params)
       (fun args -> run_procedure rt proc args)

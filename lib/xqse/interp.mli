@@ -41,6 +41,18 @@ val registry : runtime -> Xquery.Context.registry
 val set_trace : runtime -> (string -> unit) -> unit
 val instr : runtime -> Instr.t
 
+val streaming : runtime -> bool
+val set_streaming : runtime -> bool -> unit
+(** Whether expression evaluation (and the [iterate] loop) may run
+    pull-based cursor pipelines. Defaults to the parent's setting, or
+    [true] without a parent; results are identical either way. *)
+
+val set_purity : runtime -> (Xquery.Ast.expr -> bool * bool * bool) -> unit
+(** Install the compile-time [(effects, fallible, constructs)] verdicts
+    the streaming evaluator gates on (see {!Xquery.Engine.purity_fn}).
+    Defaults to the parent's, or all-[true] (fully conservative) without
+    a parent. *)
+
 val declare_procedure : runtime -> procedure -> unit
 (** Add a procedure. Readonly procedures are additionally registered as
     functions in the registry so XQuery expressions can call them (paper

@@ -26,6 +26,12 @@ let create ?(optimize = true) ?(instr = Instr.disabled) () =
 let engine s = s.eng
 let runtime s = s.rt
 let instr s = Xquery.Engine.instr s.eng
+let streaming s = Xquery.Engine.streaming s.eng
+
+let set_streaming s b =
+  Xquery.Engine.set_streaming s.eng b;
+  Interp.set_streaming s.rt b
+
 let declare_namespace s prefix uri = Xquery.Engine.declare_namespace s.eng prefix uri
 
 let set_trace s f =
@@ -34,6 +40,9 @@ let set_trace s f =
 
 let register_function s ?side_effects name arity impl =
   Xquery.Engine.register_external s.eng ?side_effects name arity impl
+
+let register_function_cursor s ?side_effects name arity impl =
+  Xquery.Engine.register_external_cursor s.eng ?side_effects name arity impl
 
 let register_procedure s ?(readonly = false) ?params ?return name arity impl =
   let params =
@@ -108,6 +117,7 @@ type compiled = {
   c_runtime : Interp.runtime;
   c_vars : Xquery.Ast.var_decl list;
   c_body : Stmt.query_body option;
+  c_env : Xquery.Purity.env;  (* for the evaluator's streaming gates *)
 }
 
 let install_declarations s reg rt (prog : Stmt.program) =
@@ -138,6 +148,7 @@ let install_declarations s reg rt (prog : Stmt.program) =
           fn_return = decl.Xquery.Ast.fd_return;
           fn_impl = Ctx.User decl;
           fn_side_effects = false;
+          fn_purity = None;
         })
     prog.Stmt.prog_functions;
   List.iter
@@ -200,7 +211,7 @@ and load_library s src =
   (* library variable declarations evaluate now and persist as globals *)
   if prog.Stmt.prog_variables <> [] then begin
     let reg = Xquery.Engine.registry s.eng in
-    let ctx = Ctx.make_dynamic ~trace:s.trace reg in
+    let ctx = Ctx.make_dynamic ~trace:s.trace ~instr:(instr s) reg in
     let ctx = Ctx.with_vars ctx (Ctx.globals reg) in
     let ctx =
       List.fold_left
@@ -238,6 +249,9 @@ let compile s src =
       let reg = Ctx.copy_registry (Xquery.Engine.registry s.eng) in
       let rt = Interp.create_runtime ~trace:s.trace ~parent:s.rt reg in
       let env = install_declarations s reg rt prog in
+      (* statement-level expression evaluation gates streaming on the
+         same compile-time verdicts as the engine would *)
+      Interp.set_purity rt (Xquery.Engine.purity_fn env);
       let opt e = Xquery.Engine.optimize_expr s.eng ~env e in
       let body =
         Option.map
@@ -252,6 +266,7 @@ let compile s src =
         c_runtime = rt;
         c_vars = prog.Stmt.prog_variables;
         c_body = body;
+        c_env = env;
       })
 
 type exec_opts = {
@@ -266,11 +281,17 @@ let run ?(opts = default_exec_opts) c =
   Instr.span (instr s) "run" (fun () ->
   let vars = opts.vars in
   let trace = match opts.trace with Some f -> f | None -> s.trace in
-  (* route statement-level fn:trace of this program to the same sink *)
+  (* route statement-level fn:trace of this program to the same sink,
+     and pick up the engine's current streaming mode *)
   Interp.set_trace c.c_runtime trace;
+  Interp.set_streaming c.c_runtime (Xquery.Engine.streaming s.eng);
   (* evaluate module variable declarations in order, over the session's
      persistent globals *)
-  let ctx = Ctx.make_dynamic ~trace c.c_registry in
+  let ctx =
+    Ctx.make_dynamic ~trace ~instr:(instr s)
+      ~streaming:(Xquery.Engine.streaming s.eng)
+      ~purity:(Xquery.Engine.purity_fn c.c_env) c.c_registry
+  in
   let ctx = Ctx.with_vars ctx (Ctx.globals c.c_registry) in
   let ctx = Ctx.bind_many ctx vars in
   let ctx =
@@ -395,5 +416,8 @@ let call s name args =
   match Interp.find_procedure s.rt name (List.length args) with
   | Some _ -> Interp.call_procedure s.rt name args
   | None ->
-    let ctx = Ctx.make_dynamic ~trace:s.trace (Xquery.Engine.registry s.eng) in
+    let ctx =
+      Ctx.make_dynamic ~trace:s.trace ~instr:(instr s)
+        (Xquery.Engine.registry s.eng)
+    in
     Xquery.Eval.call ctx name args

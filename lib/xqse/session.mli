@@ -23,6 +23,14 @@ val runtime : t -> Interp.runtime
 val instr : t -> Instr.t
 (** The handle given to {!create}. *)
 
+val streaming : t -> bool
+val set_streaming : t -> bool -> unit
+(** Toggle the streaming (pull-based cursor) evaluator for both XQuery
+    expressions and XQSE [iterate] loops in subsequently run programs.
+    Default on; results are identical either way — turning it off forces
+    eager materialization everywhere (the differential corpus exercises
+    both modes). *)
+
 val declare_namespace : t -> string -> string -> unit
 val set_trace : t -> (string -> unit) -> unit
 (** Where [fn:trace] output goes for subsequently compiled programs
@@ -31,6 +39,17 @@ val set_trace : t -> (string -> unit) -> unit
 val register_function :
   t -> ?side_effects:bool -> Qname.t -> int -> (Item.seq list -> Item.seq) -> unit
 (** Register a host function (callable from XQuery expressions). *)
+
+val register_function_cursor :
+  t ->
+  ?side_effects:bool ->
+  Qname.t ->
+  int ->
+  (Item.seq list -> Item.t Cursor.t) ->
+  unit
+(** Register a host function that produces its result as a pull-based
+    cursor ({!Xdm.Cursor}); streaming consumers pull it lazily, eager
+    call sites materialize it. *)
 
 val register_procedure :
   t ->

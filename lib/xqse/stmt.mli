@@ -1,0 +1,76 @@
+(** Abstract syntax of XQSE statements, following the paper's EBNF
+    (section III.B and the appendix). *)
+
+open Xdm
+
+(** Name test of a try/catch clause: [err:FOO], [*], [*:*], [p:*], [*:local]. *)
+type nametest =
+  | Nt_name of Qname.t
+  | Nt_any  (** [*] and [*:*] *)
+  | Nt_ns of string  (** [p:*] with the prefix resolved to a URI *)
+  | Nt_local of string  (** [*:local] *)
+
+type statement =
+  | Block of block
+  | Set of Qname.t * value_stmt  (** [set $x := v] *)
+  | Return_value of value_stmt  (** [return value v] *)
+  | Expr_stmt of value_stmt
+      (** expression / procedure-call statement: executed for effect,
+          result discarded *)
+  | While of Xquery.Ast.expr * block
+  | Iterate of {
+      var : Qname.t;
+      pos : Qname.t option;  (** [at $p] positional variable *)
+      source : value_stmt;
+      body : block;
+    }
+  | If of Xquery.Ast.expr * statement * statement option
+  | Try of block * catch_clause list
+  | Continue
+  | Break
+  | Update of Xquery.Ast.expr
+      (** update statement: an updating expression, one snapshot *)
+
+and block = { decls : block_decl list; stmts : statement list }
+
+and block_decl = {
+  bd_var : Qname.t;
+  bd_type : Seqtype.t option;
+  bd_init : value_stmt option;
+}
+
+and value_stmt =
+  | V_expr of Xquery.Ast.expr
+      (** non-updating expression (includes function calls); a top-level
+          [Call] is resolved against procedures first at execution *)
+  | V_proc_block of block  (** in-place [procedure { ... }] *)
+
+and catch_clause = {
+  cc_test : nametest;
+  cc_vars : Qname.t list;  (** [into $code, $message, $items] — up to 3 *)
+  cc_body : block;
+}
+
+type procedure_decl = {
+  pd_name : Qname.t;
+  pd_params : (Qname.t * Seqtype.t option) list;
+  pd_return : Seqtype.t option;
+  pd_readonly : bool;
+  pd_body : block option;  (** [None] = external *)
+}
+
+type query_body = Q_expr of Xquery.Ast.expr | Q_block of block
+
+type program = {
+  prog_procs : procedure_decl list;
+  prog_functions : Xquery.Ast.function_decl list;
+  prog_variables : Xquery.Ast.var_decl list;
+  prog_imports : (string option * string) list;
+      (** [import module] prefixes and URIs, in order *)
+  prog_body : query_body option;
+      (** [None] for library programs (declarations only) *)
+}
+
+val nametest_matches : nametest -> Qname.t -> bool
+(** [nametest_matches nt q] tests an error QName against a catch
+    clause's name test. *)

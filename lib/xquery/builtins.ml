@@ -367,6 +367,10 @@ let register_all reg =
   fn "count" 1 (fun _ args -> Item.int (List.length (arg 0 args)));
   fn "empty" 1 (fun _ args -> Item.bool (arg 0 args = []));
   fn "exists" 1 (fun _ args -> Item.bool (arg 0 args <> []));
+  fn "head" 1 (fun _ args ->
+      match arg 0 args with [] -> [] | x :: _ -> [ x ]);
+  fn "tail" 1 (fun _ args ->
+      match arg 0 args with [] -> [] | _ :: tl -> tl);
   fn "distinct-values" 1 (fun _ args ->
       let atoms = Item.atomize (arg 0 args) in
       let seen = ref [] in

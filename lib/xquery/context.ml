@@ -55,6 +55,7 @@ and func_impl =
   | Builtin of (dynamic -> Item.seq list -> Item.seq)
   | User of Ast.function_decl
   | External of (Item.seq list -> Item.seq)
+  | External_cursor of (Item.seq list -> Item.t Cursor.t)
 
 and func = {
   fn_name : Qname.t;
@@ -63,6 +64,10 @@ and func = {
   fn_return : Seqtype.t option;
   fn_impl : func_impl;
   fn_side_effects : bool;
+  fn_purity : (bool * bool * bool) option;
+      (* (effects, fallible, constructs) supplied at registration for
+         externals whose body was analyzed elsewhere (XQSE read-only
+         procedures); [None] = unknown, treated as impure *)
 }
 
 and registry = {
@@ -83,6 +88,14 @@ and dynamic_fields = {
   collections : (string, Node.t list) Hashtbl.t;
   trace : string -> unit;
   depth : int;
+  instr : Instr.t;
+  streaming : bool;
+      (* false = forced-materializing mode: eval_cur degenerates to
+         eager evaluation wrapped in a pure cursor *)
+  purity : Ast.expr -> bool * bool * bool;
+      (* (effects, fallible, constructs) of an expression under the
+         compiled program's purity environment; the default is the
+         conservative (true, true, true) *)
 }
 
 let create_registry () = { table = Qmap.empty; globals = Qmap.empty }
@@ -116,10 +129,11 @@ let register_builtin r ?(side_effects = false) name arity impl =
       fn_return = None;
       fn_impl = Builtin impl;
       fn_side_effects = side_effects;
+      fn_purity = None;
     }
 
-let register_external r ?(side_effects = false) ?params ?return name arity impl
-    =
+let register_external r ?(side_effects = false) ?purity ?params ?return name
+    arity impl =
   register r
     {
       fn_name = name;
@@ -131,6 +145,23 @@ let register_external r ?(side_effects = false) ?params ?return name arity impl
       fn_return = return;
       fn_impl = External impl;
       fn_side_effects = side_effects;
+      fn_purity = purity;
+    }
+
+let register_external_cursor r ?(side_effects = false) ?purity ?params ?return
+    name arity impl =
+  register r
+    {
+      fn_name = name;
+      fn_arity = arity;
+      fn_params =
+        (match params with
+        | Some ps -> ps
+        | None -> List.init arity (fun _ -> None));
+      fn_return = return;
+      fn_impl = External_cursor impl;
+      fn_side_effects = side_effects;
+      fn_purity = purity;
     }
 
 let fold r ~init ~f =
@@ -138,7 +169,8 @@ let fold r ~init ~f =
 
 let fields d = d.f
 
-let make_dynamic ?(trace = fun _ -> ()) registry =
+let make_dynamic ?(trace = fun _ -> ()) ?(instr = Instr.disabled)
+    ?(streaming = true) ?(purity = fun _ -> (true, true, true)) registry =
   {
     f =
       {
@@ -153,8 +185,13 @@ let make_dynamic ?(trace = fun _ -> ()) registry =
         collections = Hashtbl.create 8;
         trace;
         depth = 0;
+        instr;
+        streaming;
+        purity;
       };
   }
+
+let with_streaming d b = { f = { d.f with streaming = b } }
 
 let with_vars d vars = { f = { d.f with vars } }
 let bind d name v = { f = { d.f with vars = Qmap.add name v d.f.vars } }

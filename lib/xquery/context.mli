@@ -42,6 +42,9 @@ type func_impl =
   | User of Ast.function_decl
   | External of (Item.seq list -> Item.seq)
       (** may have side effects; used for data-service calls *)
+  | External_cursor of (Item.seq list -> Item.t Cursor.t)
+      (** pull-based external: the result surfaces as a cursor so
+          streaming consumers can stop early; eager callers drain it *)
 
 type func = {
   fn_name : Qname.t;
@@ -52,6 +55,10 @@ type func = {
   fn_side_effects : bool;
       (** [true] blocks use inside pure XQuery expressions when the
           engine runs in pure mode *)
+  fn_purity : (bool * bool * bool) option;
+      (** (effects, fallible, constructs) verdict supplied at
+          registration for externals analyzed elsewhere (XQSE read-only
+          procedure bodies); [None] = unknown, treated as impure *)
 }
 
 type registry
@@ -75,11 +82,23 @@ val register_builtin :
 val register_external :
   registry ->
   ?side_effects:bool ->
+  ?purity:bool * bool * bool ->
   ?params:Seqtype.t option list ->
   ?return:Seqtype.t ->
   Qname.t ->
   int ->
   (Item.seq list -> Item.seq) ->
+  unit
+
+val register_external_cursor :
+  registry ->
+  ?side_effects:bool ->
+  ?purity:bool * bool * bool ->
+  ?params:Seqtype.t option list ->
+  ?return:Seqtype.t ->
+  Qname.t ->
+  int ->
+  (Item.seq list -> Item.t Cursor.t) ->
   unit
 
 val find : registry -> Qname.t -> int -> func option
@@ -105,10 +124,27 @@ type dynamic_fields = {
   collections : (string, Node.t list) Hashtbl.t;  (** fn:collection *)
   trace : string -> unit;
   depth : int;  (** recursion guard *)
+  instr : Instr.t;  (** streaming/materialization counters *)
+  streaming : bool;
+      (** [false] = forced-materializing mode: cursor producers
+          degenerate to eager evaluation *)
+  purity : Ast.expr -> bool * bool * bool;
+      (** (effects, fallible, constructs) under the compiled program's
+          purity environment; conservative [(true, true, true)] by
+          default *)
 }
 
 val fields : dynamic -> dynamic_fields
-val make_dynamic : ?trace:(string -> unit) -> registry -> dynamic
+
+val make_dynamic :
+  ?trace:(string -> unit) ->
+  ?instr:Instr.t ->
+  ?streaming:bool ->
+  ?purity:(Ast.expr -> bool * bool * bool) ->
+  registry ->
+  dynamic
+
+val with_streaming : dynamic -> bool -> dynamic
 val with_vars : dynamic -> Item.seq Qmap.t -> dynamic
 val bind : dynamic -> Qname.t -> Item.seq -> dynamic
 val bind_many : dynamic -> (Qname.t * Item.seq) list -> dynamic

@@ -4,34 +4,43 @@ type t = {
   st : Context.static;
   reg : Context.registry;
   mutable optimize : bool;
+  mutable streaming : bool;
   mutable instr : Instr.t;
   docs : (string * Node.t) list ref;
   colls : (string * Node.t list) list ref;
 }
 
-let create ?(optimize = true) ?(instr = Instr.disabled) () =
+let create ?(optimize = true) ?(streaming = true) ?(instr = Instr.disabled) ()
+    =
   {
     st = Context.default_static ();
     reg = Builtins.standard_registry ();
     optimize;
+    streaming;
     instr;
     docs = ref [];
     colls = ref [];
   }
 
-let with_registry ?(optimize = true) ?(instr = Instr.disabled) st reg =
-  { st; reg; optimize; instr; docs = ref []; colls = ref [] }
+let with_registry ?(optimize = true) ?(streaming = true)
+    ?(instr = Instr.disabled) st reg =
+  { st; reg; optimize; streaming; instr; docs = ref []; colls = ref [] }
 
 let static t = t.st
 let registry t = t.reg
 let optimizing t = t.optimize
 let set_optimizing t b = t.optimize <- b
+let streaming t = t.streaming
+let set_streaming t b = t.streaming <- b
 let instr t = t.instr
 let set_instr t i = t.instr <- i
 let declare_namespace t prefix uri = Context.declare_ns t.st prefix uri
 
 let register_external t ?side_effects name arity impl =
   Context.register_external t.reg ?side_effects name arity impl
+
+let register_external_cursor t ?side_effects name arity impl =
+  Context.register_external_cursor t.reg ?side_effects name arity impl
 
 let register_doc t uri node = t.docs := (uri, node) :: !(t.docs)
 let register_collection t uri nodes = t.colls := (uri, nodes) :: !(t.colls)
@@ -69,17 +78,25 @@ let optimize_expr t ?where ?env e =
 (* The purity environment for a compilation: the engine's registry plus
    the module's own not-yet-registered function declarations, so a call
    from one declared function to another (or to itself) still analyzes
-   precisely instead of defaulting to impure. *)
-let purity_env t decls =
-  if not t.optimize then Purity.empty_env
-  else Purity.env_for ~registry:t.reg decls
+   precisely instead of defaulting to impure. Built even when the
+   optimizer is off: the streaming evaluator gates on the same verdicts,
+   and must gate identically in optimized and unoptimized engines. *)
+let purity_env t decls = Purity.env_for ~registry:t.reg decls
 
 type compiled = {
   c_engine : t;
   c_registry : Context.registry;
   c_vars : Ast.var_decl list;  (* in declaration order *)
   c_body : Ast.expr;
+  c_env : Purity.env;  (* for the evaluator's streaming gates *)
 }
+
+(* The (effects, fallible, constructs) closure handed to the dynamic
+   context so the evaluator can consult the compile-time purity
+   environment without a module cycle. *)
+let purity_fn env e =
+  let v = Purity.analyze env e in
+  (v.Purity.effects, v.Purity.fallible, v.Purity.constructs)
 
 let compile t src =
   Instr.span t.instr "compile" (fun () ->
@@ -127,6 +144,7 @@ let compile t src =
                 fn_return = decl.Ast.fd_return;
                 fn_impl = Context.User decl;
                 fn_side_effects = false;
+                fn_purity = None;
               }
           | Ast.P_variable vd -> vars := vd :: !vars
           | Ast.P_import _ ->
@@ -135,7 +153,13 @@ let compile t src =
             ())
         m.Ast.prolog;
       let body = optimize_expr t ~env m.Ast.body in
-      { c_engine = t; c_registry = reg; c_vars = List.rev !vars; c_body = body })
+      {
+        c_engine = t;
+        c_registry = reg;
+        c_vars = List.rev !vars;
+        c_body = body;
+        c_env = env;
+      })
 
 type run_opts = {
   context_item : Item.t option;
@@ -153,7 +177,11 @@ let run ?(opts = default_run_opts) c =
         | Some f -> f
         | None -> fun m -> Instr.note i ("trace: " ^ m)
       in
-      let ctx = Context.make_dynamic ~trace c.c_registry in
+      let ctx =
+        Context.make_dynamic ~trace ~instr:i
+          ~streaming:c.c_engine.streaming
+          ~purity:(purity_fn c.c_env) c.c_registry
+      in
       List.iter
         (fun (uri, doc) -> Context.register_doc ctx uri doc)
         (List.rev !(c.c_engine.docs));

@@ -17,13 +17,22 @@ open Xdm
 
 type t
 
-val create : ?optimize:bool -> ?instr:Instr.t -> unit -> t
+val create :
+  ?optimize:bool -> ?streaming:bool -> ?instr:Instr.t -> unit -> t
 (** [optimize] (default [true]) runs the rewrite optimizer over every
-    compiled function body and query body. [instr] (default
+    compiled function body and query body. [streaming] (default [true])
+    lets the evaluator run pull-based cursor pipelines where the gates
+    allow it; turning it off forces eager (materializing) evaluation
+    everywhere — results are identical either way. [instr] (default
     {!Instr.disabled}) receives spans, counters and rewrite notes. *)
 
 val with_registry :
-  ?optimize:bool -> ?instr:Instr.t -> Context.static -> Context.registry -> t
+  ?optimize:bool ->
+  ?streaming:bool ->
+  ?instr:Instr.t ->
+  Context.static ->
+  Context.registry ->
+  t
 (** Build an engine around an existing static context and registry
     (shared with other components, e.g. the XQSE interpreter). *)
 
@@ -31,6 +40,12 @@ val static : t -> Context.static
 val registry : t -> Context.registry
 val optimizing : t -> bool
 val set_optimizing : t -> bool -> unit
+
+val streaming : t -> bool
+val set_streaming : t -> bool -> unit
+(** Toggle the streaming evaluator for subsequent [run]s. With streaming
+    off every [Eval.eval_cur] degenerates to eager evaluation; the
+    differential corpus exercises both modes. *)
 
 val instr : t -> Instr.t
 val set_instr : t -> Instr.t -> unit
@@ -47,7 +62,14 @@ val optimize_expr : t -> ?where:string -> ?env:Purity.env -> Ast.expr -> Ast.exp
 val purity_env : t -> Ast.function_decl list -> Purity.env
 (** The purity environment for a compilation against this engine: its
     registry plus [decls] (function declarations being compiled but not
-    yet registered). {!Purity.empty_env} when optimization is off. *)
+    yet registered). Built even when optimization is off — the streaming
+    evaluator gates on the same verdicts and must gate identically in
+    optimized and unoptimized engines. *)
+
+val purity_fn : Purity.env -> Ast.expr -> bool * bool * bool
+(** [(effects, fallible, constructs)] verdict of an expression under a
+    purity environment — the closure shape {!Context.make_dynamic}
+    expects for its [?purity] argument. *)
 
 val declare_namespace : t -> string -> string -> unit
 
@@ -59,6 +81,17 @@ val register_external :
   (Item.seq list -> Item.seq) ->
   unit
 (** Register a host function into the engine's base registry. *)
+
+val register_external_cursor :
+  t ->
+  ?side_effects:bool ->
+  Qname.t ->
+  int ->
+  (Item.seq list -> Item.t Cursor.t) ->
+  unit
+(** Register a host function whose result is produced as a pull-based
+    cursor. Streaming consumers (path steps, FLWOR, [xqse] iterate) pull
+    it lazily; eager call sites materialize it via {!Xdm.Cursor.to_list}. *)
 
 val register_doc : t -> string -> Node.t -> unit
 (** Make a document available to [fn:doc]. *)

@@ -163,6 +163,54 @@ let general_pair_compare op a b =
 (* The evaluator                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* Does [e] syntactically mention [fn:last()]? Streaming the left side
+   of a path never computes the focus size, so the step must provably
+   not observe it. User function bodies run under [Context.no_focus],
+   so a last() inside a called function cannot see the path's focus —
+   the syntactic check over the step expression is conservative but
+   sound. *)
+let rec mentions_last e =
+  (match e with
+  | Ast.Call (n, []) ->
+    String.equal n.Qname.uri Qname.fn_ns && String.equal n.Qname.local "last"
+  | _ -> false)
+  || Ast.fold_subexprs (fun acc sub -> acc || mentions_last sub) false e
+
+(* Effective boolean value over a cursor, pulling at most two items.
+   Equivalent to materializing and applying [Item.effective_boolean_value]:
+   the remainder is skipped only when the cursor is pure; otherwise
+   [Cursor.abandon] drains it so a pending error or effect surfaces
+   first, exactly as the eager evaluator (which evaluates the whole
+   operand before applying the EBV rule) behaves. *)
+let ebv_cur c =
+  match Cursor.next c with
+  | None ->
+    Cursor.close c;
+    false
+  | Some (Item.Node _) ->
+    Cursor.abandon c;
+    true
+  | Some (Item.Atomic _ as first) -> (
+    match Cursor.next c with
+    | None -> Item.effective_boolean_value [ first ]
+    | Some _ ->
+      Cursor.abandon c;
+      (* >= 2 items with an atomic head: same FORG0006 as the eager rule *)
+      Item.effective_boolean_value [ first; first ])
+
+let cursor_nonempty c =
+  match Cursor.next c with
+  | Some _ ->
+    Cursor.abandon c;
+    true
+  | None ->
+    Cursor.close c;
+    false
+
+(* Materialization boundary: drain a cursor into a list, accounting the
+   copied items on the context's [stream.materialized] counter. *)
+let materialize ctx c = Cursor.to_list ~instr:(Context.fields ctx).instr c
+
 let rec eval ctx (e : Ast.expr) : Item.seq =
   match e with
   | Ast.Literal a -> [ Item.Atomic a ]
@@ -178,24 +226,10 @@ let rec eval ctx (e : Ast.expr) : Item.seq =
     | None -> err "XPDY0002" "the context item is not defined")
   | Ast.Seq_expr es -> List.concat_map (eval ctx) es
   | Ast.Range (a, b) -> (
-    let ia = Item.one_atom_opt (eval ctx a)
-    and ib = Item.one_atom_opt (eval ctx b) in
-    match (ia, ib) with
-    | None, _ | _, None -> []
-    | Some ia, Some ib -> (
-      let to_int v =
-        match v with
-        | Atomic.Integer i -> i
-        | a -> (
-          try
-            match Atomic.cast_to a (Qname.xs "integer") with
-            | Atomic.Integer i -> i
-            | _ -> err "XPTY0004" "range bounds must be integers"
-          with Atomic.Cast_error m -> err "XPTY0004" m)
-      in
-      let lo = to_int ia and hi = to_int ib in
-      if lo > hi then []
-      else List.init (hi - lo + 1) (fun i -> Item.Atomic (Atomic.Integer (lo + i)))))
+    match range_bounds ctx a b with
+    | None -> []
+    | Some (lo, hi) ->
+      List.init (hi - lo + 1) (fun i -> Item.Atomic (Atomic.Integer (lo + i))))
   | Ast.Arith (op, a, b) -> (
     let va = Item.one_atom_opt (eval ctx a)
     and vb = Item.one_atom_opt (eval ctx b) in
@@ -212,13 +246,9 @@ let rec eval ctx (e : Ast.expr) : Item.seq =
       try [ Item.Atomic (Atomic.negate (numeric_of_untyped v)) ]
       with Atomic.Cast_error msg -> err "XPTY0004" msg))
   | Ast.And (a, b) ->
-    Item.bool
-      (Item.effective_boolean_value (eval ctx a)
-      && Item.effective_boolean_value (eval ctx b))
+    Item.bool (ebv_cur (eval_cur ctx a) && ebv_cur (eval_cur ctx b))
   | Ast.Or (a, b) ->
-    Item.bool
-      (Item.effective_boolean_value (eval ctx a)
-      || Item.effective_boolean_value (eval ctx b))
+    Item.bool (ebv_cur (eval_cur ctx a) || ebv_cur (eval_cur ctx b))
   | Ast.General_cmp (op, a, b) ->
     let va = Item.atomize (eval ctx a) and vb = Item.atomize (eval ctx b) in
     Item.bool
@@ -275,8 +305,7 @@ let rec eval ctx (e : Ast.expr) : Item.seq =
       with Atomic.Cast_error msg -> err "FORG0001" msg)
     | _ -> err "XPTY0004" "cast of a sequence of more than one item")
   | Ast.If_expr (c, t, e2) ->
-    if Item.effective_boolean_value (eval ctx c) then eval ctx t
-    else eval ctx e2
+    if ebv_cur (eval_cur ctx c) then eval ctx t else eval ctx e2
   | Ast.Typeswitch (operand, cases, (dvar, default)) -> (
     let v = eval ctx operand in
     match
@@ -294,50 +323,39 @@ let rec eval ctx (e : Ast.expr) : Item.seq =
         match dvar with Some var -> Context.bind ctx var v | None -> ctx
       in
       eval ctx default)
-  | Ast.Flwor (clauses, ret) -> eval_flwor ctx clauses ret
-  | Ast.Quantified (quant, bindings, body) ->
-    let rec go ctx = function
-      | [] -> Item.effective_boolean_value (eval ctx body)
-      | (v, ty, src) :: rest ->
-        let items = eval ctx src in
-        let items =
-          match ty with
-          | Some t ->
-            List.map
-              (fun i ->
-                match Seqtype.check ~what:(Qname.to_string v) t [ i ] with
-                | [ i' ] -> i'
-                | _ -> i)
-              items
-          | None -> items
-        in
-        let test item = go (Context.bind ctx v [ item ]) rest in
-        (match quant with
-        | Ast.Some_q -> List.exists test items
-        | Ast.Every_q -> List.for_all test items)
-    in
-    Item.bool (go ctx bindings)
-  | Ast.Path (a, b) ->
-    let left = eval ctx a in
-    let size = List.length left in
-    let results =
-      List.concat
-        (List.mapi
-           (fun i item ->
-             eval (Context.with_focus ctx item ~pos:(i + 1) ~size) b)
-           left)
-    in
-    let all_nodes =
-      List.for_all (function Item.Node _ -> true | _ -> false) results
-    in
-    let all_atomic =
-      List.for_all (function Item.Atomic _ -> true | _ -> false) results
-    in
-    if all_nodes then Item.doc_sort results
-    else if all_atomic then results
-    else
-      Item.raise_error (Qname.err "XPTY0018")
-        "path result mixes nodes and atomic values"
+  | Ast.Flwor (clauses, ret) -> (
+    match flwor_cur ctx clauses ret with
+    | Some c -> materialize ctx c
+    | None -> eval_flwor ctx clauses ret)
+  | Ast.Quantified (quant, bindings, body) -> (
+    match quantified_stream ctx quant bindings body with
+    | Some b -> Item.bool b
+    | None ->
+      let rec go ctx = function
+        | [] -> ebv_cur (eval_cur ctx body)
+        | (v, ty, src) :: rest ->
+          let items = eval ctx src in
+          let items =
+            match ty with
+            | Some t ->
+              List.map
+                (fun i ->
+                  match Seqtype.check ~what:(Qname.to_string v) t [ i ] with
+                  | [ i' ] -> i'
+                  | _ -> i)
+                items
+            | None -> items
+          in
+          let test item = go (Context.bind ctx v [ item ]) rest in
+          (match quant with
+          | Ast.Some_q -> List.exists test items
+          | Ast.Every_q -> List.for_all test items)
+      in
+      Item.bool (go ctx bindings))
+  | Ast.Path (a, b) -> (
+    match path_stream ctx a b with
+    | Some r -> r
+    | None -> path_over ctx (eval ctx a) b)
   | Ast.Root_expr -> (
     match (Context.fields ctx).ctx_item with
     | Some (Item.Node n) -> [ Item.Node (Node.root n) ]
@@ -360,12 +378,18 @@ let rec eval ctx (e : Ast.expr) : Item.seq =
       if reverse_axis axis then Item.doc_sort filtered else filtered
     | Some (Item.Atomic _) -> err "XPTY0020" "the context item is not a node"
     | None -> err "XPDY0002" "the context item is not defined")
-  | Ast.Filter (prim, preds) ->
-    let base = eval ctx prim in
-    apply_predicates ctx preds base
-  | Ast.Call (name, args) ->
-    let arg_vals = List.map (eval ctx) args in
-    call ctx name arg_vals
+  | Ast.Filter (prim, preds) -> (
+    match filter_pos_stream ctx prim preds with
+    | Some r -> r
+    | None ->
+      let base = eval ctx prim in
+      apply_predicates ctx preds base)
+  | Ast.Call (name, args) -> (
+    match streaming_call ctx name args with
+    | Some r -> r
+    | None ->
+      let arg_vals = List.map (eval ctx) args in
+      call ctx name arg_vals)
   | Ast.Elem_ctor (name, attrs, contents) ->
     [ Item.Node (construct_element ctx name attrs contents) ]
   | Ast.Comp_elem (name_spec, content) ->
@@ -602,8 +626,7 @@ and eval_clauses ctx tuples = function
   | Ast.Where_clause cond :: rest ->
     let tuples =
       List.filter
-        (fun vars ->
-          Item.effective_boolean_value (eval (Context.with_vars ctx vars) cond))
+        (fun vars -> ebv_cur (eval_cur (Context.with_vars ctx vars) cond))
         tuples
     in
     eval_clauses ctx tuples rest
@@ -787,6 +810,8 @@ and call ctx name arg_vals =
     match f.Context.fn_impl with
     | Context.Builtin impl -> impl ctx arg_vals
     | Context.External impl -> impl arg_vals
+    | Context.External_cursor impl ->
+      Cursor.to_list ~instr:fields.instr (impl arg_vals)
     | Context.User decl ->
       let ctx = Context.deeper ctx in
       let params = decl.Ast.fd_params in
@@ -825,6 +850,410 @@ and call ctx name arg_vals =
           ~what:(Printf.sprintf "result of %s" (Qname.to_string name))
           ty result
       | None -> result))
+
+and range_bounds ctx a b =
+  let ia = Item.one_atom_opt (eval ctx a)
+  and ib = Item.one_atom_opt (eval ctx b) in
+  match (ia, ib) with
+  | None, _ | _, None -> None
+  | Some ia, Some ib ->
+    let to_int v =
+      match v with
+      | Atomic.Integer i -> i
+      | a -> (
+        try
+          match Atomic.cast_to a (Qname.xs "integer") with
+          | Atomic.Integer i -> i
+          | _ -> err "XPTY0004" "range bounds must be integers"
+        with Atomic.Cast_error m -> err "XPTY0004" m)
+    in
+    let lo = to_int ia and hi = to_int ib in
+    if lo > hi then None else Some (lo, hi)
+
+(* Shared tail of path evaluation: node/atomic homogeneity check and
+   document-order sort. *)
+and path_finish results =
+  let all_nodes =
+    List.for_all (function Item.Node _ -> true | _ -> false) results
+  in
+  let all_atomic =
+    List.for_all (function Item.Atomic _ -> true | _ -> false) results
+  in
+  if all_nodes then Item.doc_sort results
+  else if all_atomic then results
+  else
+    Item.raise_error (Qname.err "XPTY0018")
+      "path result mixes nodes and atomic values"
+
+(* Eager path schedule over a pre-evaluated left sequence. *)
+and path_over ctx left b =
+  let size = List.length left in
+  path_finish
+    (List.concat
+       (List.mapi
+          (fun i item ->
+            eval (Context.with_focus ctx item ~pos:(i + 1) ~size) b)
+          left))
+
+(* Stream the left side of a path: pull one left item at a time and
+   apply the step under the correct position. Gates: the step must not
+   construct (cross-tree document order is allocation order, so
+   interleaving a constructing step with a constructing source would be
+   observable), must not have effects, must not mention fn:last() (the
+   focus size is never computed — the step sees a dummy size), and may
+   be fallible only over a pure left side (two fallible streams would
+   reorder errors relative to the eager schedule). The result is still
+   materialized and doc-sorted; the win is never holding the full left
+   sequence. *)
+and path_stream ctx a b =
+  let f = Context.fields ctx in
+  if not f.streaming then None
+  else
+    let eff, fall, cons = f.purity b in
+    if eff || cons || mentions_last b then None
+    else
+      let la = eval_cur ctx a in
+      if fall && not (Cursor.is_pure la) then
+        Some (path_over ctx (materialize ctx la) b)
+      else begin
+        let rec go i acc =
+          match Cursor.next la with
+          | None -> List.rev acc
+          | Some item ->
+            let r = eval (Context.with_focus ctx item ~pos:(i + 1) ~size:0) b in
+            go (i + 1) (List.rev_append r acc)
+        in
+        Some (path_finish (go 0 []))
+      end
+
+(* Positional [n] over a pure source pulls exactly n items. *)
+and filter_pos_stream ctx prim preds =
+  let f = Context.fields ctx in
+  if not f.streaming then None
+  else
+    match preds with
+    | [ Ast.Literal (Atomic.Integer k) ] when k >= 1 -> (
+      let c = eval_cur ctx prim in
+      if not (Cursor.is_pure c) then
+        Some (apply_predicates ctx preds (materialize ctx c))
+      else
+        let rec go i =
+          match Cursor.next c with
+          | None -> []
+          | Some x ->
+            if i = k then begin
+              Cursor.abandon c;
+              [ x ]
+            end
+            else go (i + 1)
+        in
+        Some (go 1))
+    | _ -> None
+
+(* Single-binding quantifier over a pure source: pull, test, stop on
+   the deciding item. The eager schedule materializes the (pure) source
+   first and then short-circuits the same tests in the same order, so
+   interleaving pure pulls between tests is unobservable. *)
+and quantified_stream ctx quant bindings body =
+  let f = Context.fields ctx in
+  match bindings with
+  | [ (v, None, src) ] when f.streaming ->
+    let c = eval_cur ctx src in
+    let test item = ebv_cur (eval_cur (Context.bind ctx v [ item ]) body) in
+    if Cursor.is_pure c then
+      let rec go () =
+        match Cursor.next c with
+        | None -> ( match quant with Ast.Some_q -> false | Ast.Every_q -> true)
+        | Some item -> (
+          match (quant, test item) with
+          | Ast.Some_q, true ->
+            Cursor.abandon c;
+            true
+          | Ast.Every_q, false ->
+            Cursor.abandon c;
+            false
+          | _ -> go ())
+      in
+      Some (go ())
+    else
+      (* the cursor is already open: continue on the materialized items *)
+      let items = materialize ctx c in
+      Some
+        (match quant with
+        | Ast.Some_q -> List.exists test items
+        | Ast.Every_q -> List.for_all test items)
+  | _ -> None
+
+(* Eager FLWOR schedule with the first [for] source pre-evaluated (used
+   when a streaming gate fails after the source cursor is already
+   open). *)
+and flwor_over_items ctx items b0 rest ret =
+  let base = (Context.fields ctx).vars in
+  let tuples =
+    List.mapi
+      (fun i item ->
+        let vars = Qmap.add b0.Ast.for_var [ item ] base in
+        match b0.Ast.for_pos with
+        | Some pv -> Qmap.add pv [ Item.Atomic (Atomic.Integer (i + 1)) ] vars
+        | None -> vars)
+      items
+  in
+  let tuples = eval_clauses ctx tuples rest in
+  List.concat_map (fun vars -> eval (Context.with_vars ctx vars) ret) tuples
+
+(* Stream a FLWOR: a single leading [for] binding driven one item at a
+   time, [let]/[where] stages applied per item, the return expression
+   streamed recursively. Gates: deferred stages (lets, wheres, return)
+   must neither construct (allocation-order interleaving would be
+   observable through document order) nor have effects; at most one
+   stage may be fallible, and then only over a pure source — otherwise
+   the depth-first schedule would reorder errors relative to the eager
+   breadth-first one. A where whose value is not statically boolean
+   counts as fallible (its EBV can raise FORG0006). *)
+and flwor_cur ctx clauses ret =
+  let f = Context.fields ctx in
+  if not f.streaming then None
+  else
+    match clauses with
+    | Ast.For_clause [ b0 ] :: rest
+      when b0.Ast.for_type = None
+           && List.for_all
+                (function
+                  | Ast.For_clause _ | Ast.Order_clause _ | Ast.Join_clause _
+                    ->
+                    false
+                  | Ast.Let_clause bs ->
+                    List.for_all (fun b -> b.Ast.let_type = None) bs
+                  | Ast.Where_clause _ -> true)
+                rest ->
+      let stage_verdicts =
+        List.concat_map
+          (function
+            | Ast.Let_clause bs ->
+              List.map (fun b -> f.purity b.Ast.let_expr) bs
+            | Ast.Where_clause w ->
+              let eff, fall, cons = f.purity w in
+              [ (eff, fall || not (Purity.boolean_valued w), cons) ]
+            | _ -> [])
+          rest
+        @ [ f.purity ret ]
+      in
+      if List.exists (fun (eff, _, cons) -> eff || cons) stage_verdicts then
+        None
+      else begin
+        let fallible_stages =
+          List.length (List.filter (fun (_, fall, _) -> fall) stage_verdicts)
+        in
+        let c0 = eval_cur ctx b0.Ast.for_expr in
+        if
+          fallible_stages > 1
+          || (fallible_stages = 1 && not (Cursor.is_pure c0))
+        then
+          (* the source cursor is already open: fall back to the eager
+             clause schedule over the materialized source *)
+          Some
+            (Cursor.of_list
+               (flwor_over_items ctx (materialize ctx c0) b0 rest ret))
+        else begin
+          let base = f.vars in
+          let idx = ref 0 and cur_ret = ref None in
+          let rec pull () =
+            match !cur_ret with
+            | Some rc -> (
+              match Cursor.next rc with
+              | Some _ as r -> r
+              | None ->
+                cur_ret := None;
+                pull ())
+            | None -> (
+              match Cursor.next c0 with
+              | None -> None
+              | Some item ->
+                incr idx;
+                let vars = Qmap.add b0.Ast.for_var [ item ] base in
+                let vars =
+                  match b0.Ast.for_pos with
+                  | Some pv ->
+                    Qmap.add pv [ Item.Atomic (Atomic.Integer !idx) ] vars
+                  | None -> vars
+                in
+                stages vars rest)
+          and stages vars = function
+            | [] ->
+              cur_ret := Some (eval_cur (Context.with_vars ctx vars) ret);
+              pull ()
+            | Ast.Let_clause bs :: more ->
+              let vars =
+                List.fold_left
+                  (fun vars b ->
+                    Qmap.add b.Ast.let_var
+                      (eval (Context.with_vars ctx vars) b.Ast.let_expr)
+                      vars)
+                  vars bs
+              in
+              stages vars more
+            | Ast.Where_clause w :: more ->
+              if ebv_cur (eval_cur (Context.with_vars ctx vars) w) then
+                stages vars more
+              else pull ()
+            | _ -> assert false
+          in
+          Some
+            (Cursor.make
+               ~pure:(Cursor.is_pure c0 && fallible_stages = 0)
+               ~cleanup:(fun () ->
+                 (match !cur_ret with
+                 | Some rc -> Cursor.abandon rc
+                 | None -> ());
+                 Cursor.abandon c0)
+               pull)
+        end
+      end
+    | _ -> None
+
+(* Streaming interception of sequence-cardinality builtins: resolve the
+   name first so a user override still wins, then evaluate the sequence
+   argument as a cursor and stop as early as the semantics allow. *)
+and streaming_call ctx name args =
+  let f = Context.fields ctx in
+  if not f.streaming || not (String.equal name.Qname.uri Qname.fn_ns) then None
+  else
+    let is_builtin () =
+      match Context.find f.registry name (List.length args) with
+      | Some { Context.fn_impl = Context.Builtin _; _ } -> true
+      | _ -> false
+    in
+    match (name.Qname.local, args) with
+    | "exists", [ e ] when is_builtin () ->
+      Some (Item.bool (cursor_nonempty (eval_cur ctx e)))
+    | "empty", [ e ] when is_builtin () ->
+      Some (Item.bool (not (cursor_nonempty (eval_cur ctx e))))
+    | "head", [ e ] when is_builtin () -> (
+      let c = eval_cur ctx e in
+      match Cursor.next c with
+      | Some x ->
+        Cursor.abandon c;
+        Some [ x ]
+      | None ->
+        Cursor.close c;
+        Some [])
+    | "count", [ e ] when is_builtin () ->
+      (* full drain, but O(1) retained memory *)
+      let c = eval_cur ctx e in
+      let rec go n = match Cursor.next c with Some _ -> go (n + 1) | None -> n in
+      Some (Item.int (go 0))
+    | "boolean", [ e ] when is_builtin () ->
+      Some (Item.bool (ebv_cur (eval_cur ctx e)))
+    | "not", [ e ] when is_builtin () ->
+      Some (Item.bool (not (ebv_cur (eval_cur ctx e))))
+    | "subsequence", [ e; starte ] when is_builtin () ->
+      Some (streaming_subsequence ctx e starte None)
+    | "subsequence", [ e; starte; lene ] when is_builtin () ->
+      Some (streaming_subsequence ctx e starte (Some lene))
+    | _ -> None
+
+(* fn:subsequence with the sequence argument streamed. The start/length
+   arguments are evaluated after opening the sequence cursor, matching
+   the eager left-to-right argument order; when the cursor is impure it
+   is materialized first (restoring the exact eager schedule), when pure
+   the pending pulls commute with those evaluations. Index arithmetic is
+   byte-for-byte the eager builtin's. *)
+and streaming_subsequence ctx e starte lene =
+  let c = eval_cur ctx e in
+  let pre = if Cursor.is_pure c then None else Some (materialize ctx c) in
+  let dbl e' =
+    match Item.one_atom_opt (eval ctx e') with
+    | None -> None
+    | Some a -> (
+      try Some (Atomic.to_double a)
+      with Atomic.Cast_error m -> err "XPTY0004" m)
+  in
+  let bounds =
+    match lene with
+    | None -> (
+      match dbl starte with
+      | None -> None
+      | Some s -> Some (int_of_float (Float.round s), max_int))
+    | Some le -> (
+      let sv = dbl starte in
+      let lv = dbl le in
+      match (sv, lv) with
+      | None, _ | _, None -> None
+      | Some s, Some l ->
+        let start = int_of_float (Float.round s) in
+        let stop =
+          if l = Float.infinity then max_int
+          else start + int_of_float (Float.round l)
+        in
+        Some (start, stop))
+  in
+  match bounds with
+  | None ->
+    (match pre with None -> Cursor.abandon c | Some _ -> ());
+    []
+  | Some (start, stop) -> (
+    match pre with
+    | Some items ->
+      List.filteri (fun i _ -> i + 1 >= start && i + 1 < stop) items
+    | None ->
+      let rec go i acc =
+        if i + 1 >= stop then begin
+          Cursor.abandon c;
+          List.rev acc
+        end
+        else
+          match Cursor.next c with
+          | None -> List.rev acc
+          | Some x -> go (i + 1) (if i + 1 >= start then x :: acc else acc)
+      in
+      go 0 [])
+
+(* Produce a cursor for [e]. The default arm evaluates eagerly and
+   wraps the result — an of_list cursor is always pure, since its pulls
+   cannot raise or act. Streaming arms defer work only where the laws
+   in DESIGN.md §13 guarantee a consumer cannot observe the
+   difference. *)
+and eval_cur ctx (e : Ast.expr) : Item.t Cursor.t =
+  let f = Context.fields ctx in
+  if not f.streaming then Cursor.of_list (eval ctx e)
+  else
+    match e with
+    | Ast.Seq_expr es ->
+      (* lazy sequential concatenation: components are never
+         interleaved, so deferring them is order-safe even when they
+         construct; the chain is skippable only when every component is
+         total under the purity environment *)
+      let total e' =
+        let eff, fall, _ = f.purity e' in
+        (not eff) && not fall
+      in
+      Cursor.chain
+        ~pure:(List.for_all total es)
+        (List.map (fun e' () -> eval_cur ctx e') es)
+    | Ast.Range (a, b) -> (
+      match range_bounds ctx a b with
+      | None -> Cursor.empty ()
+      | Some (lo, hi) ->
+        let i = ref lo in
+        Cursor.make ~pure:true ~instr:f.instr (fun () ->
+            if !i > hi then None
+            else begin
+              let v = !i in
+              incr i;
+              Some (Item.Atomic (Atomic.Integer v))
+            end))
+    | Ast.If_expr (c, t, e2) ->
+      if ebv_cur (eval_cur ctx c) then eval_cur ctx t else eval_cur ctx e2
+    | Ast.Call (name, args) -> (
+      match Context.find f.registry name (List.length args) with
+      | Some { Context.fn_impl = Context.External_cursor impl; _ } ->
+        impl (List.map (eval ctx) args)
+      | _ -> Cursor.of_list (eval ctx e))
+    | Ast.Flwor (clauses, ret) -> (
+      match flwor_cur ctx clauses ret with
+      | Some c -> c
+      | None -> Cursor.of_list (eval_flwor ctx clauses ret))
+    | _ -> Cursor.of_list (eval ctx e)
 
 let eval_updating ctx e =
   let fields = Context.fields ctx in

@@ -10,6 +10,14 @@ val eval : Context.dynamic -> Ast.expr -> Item.seq
 (** Evaluate an expression.
     @raise Xdm.Item.Error for all dynamic and type errors. *)
 
+val eval_cur : Context.dynamic -> Ast.expr -> Item.t Cursor.t
+(** Evaluate an expression as a pull-based cursor. Fully consuming the
+    cursor yields exactly what {!eval} returns (same items, effects and
+    errors, in the same order); consumers stopping early must use
+    {!Xdm.Cursor.abandon}. When the context is not streaming (or no
+    streaming arm applies) this degenerates to eager evaluation wrapped
+    in a pure cursor. *)
+
 val call : Context.dynamic -> Qname.t -> Item.seq list -> Item.seq
 (** Call a function from the registry by name with evaluated arguments
     (applies parameter and return sequence-type checks for user

@@ -65,7 +65,8 @@ let join a b =
    must stay impure even if its name looks total. *)
 let fn_total =
   [ ("true", [ 0 ]); ("false", [ 0 ]); ("count", [ 1 ]); ("empty", [ 1 ]);
-    ("exists", [ 1 ]); ("reverse", [ 1 ]); ("unordered", [ 1 ]);
+    ("exists", [ 1 ]); ("head", [ 1 ]); ("tail", [ 1 ]); ("reverse", [ 1 ]);
+    ("unordered", [ 1 ]);
     ("current-date", [ 0 ]); ("current-dateTime", [ 0 ]);
     ("current-time", [ 0 ]) ]
 
@@ -309,7 +310,18 @@ let env_for ~registry (decls : Ast.function_decl list) : env =
               | _ -> impure
             in
             Fmap.add key v env
-          | Context.External _ -> Fmap.add key impure env
+          | Context.External _ | Context.External_cursor _ ->
+            (* externals are opaque here, but XQSE read-only procedures
+               arrive with a verdict computed from their statement body
+               at declaration time (see Interp.declare_procedure) *)
+            let v =
+              match f.Context.fn_purity with
+              | Some (effects, fallible, constructs)
+                when not f.Context.fn_side_effects ->
+                { effects; fallible; constructs }
+              | _ -> impure
+            in
+            Fmap.add key v env
           | Context.User d -> (
             match d.Ast.fd_body with
             | Some body -> add_user key body env

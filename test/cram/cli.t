@@ -175,6 +175,9 @@ wall-clock, masked here):
   resil.breaker.rejected               0
   resil.degraded                       0
   resil.faults.injected                0
+  stream.pulled                        0
+  stream.materialized                  0
+  stream.early_exits                   0
   time.optimizer.fold.ms _
   time.optimizer.normalize.ms _
   time.optimizer.inline.ms _
@@ -220,6 +223,9 @@ prints the cumulative table (span times masked):
   resil.breaker.rejected               0
   resil.degraded                       0
   resil.faults.injected                0
+  stream.pulled                        0
+  stream.materialized                  0
+  stream.early_exits                   0
   time.optimizer.fold.ms _
   time.optimizer.normalize.ms _
   time.optimizer.inline.ms _

@@ -44,6 +44,9 @@ is accounted):
   resil.breaker.rejected            0
   resil.degraded                    0
   resil.faults.injected             0
+  stream.pulled                    62
+  stream.materialized              62
+  stream.early_exits                0
 
 The lineage view explains update decomposition:
 

@@ -35,13 +35,32 @@ let agree name src =
       if opt <> unopt then
         Alcotest.failf
           "optimizer changed program semantics:\n%s\n  unoptimized: %s\n  optimized:   %s"
-          src (show unopt) (show opt))
+          src (show unopt) (show opt);
+      (* streaming vs forced-materializing: the cursor pipeline must be
+         invisible — same items, same errors, in both optimizer modes *)
+      let mat = outcome xq_nostream src in
+      if mat <> opt then
+        Alcotest.failf
+          "streaming changed program semantics:\n%s\n  materializing: %s\n  streaming:     %s"
+          src (show mat) (show opt);
+      let mat_noopt = outcome xq_noopt_nostream src in
+      if mat_noopt <> unopt then
+        Alcotest.failf
+          "streaming changed program semantics (unoptimized):\n\
+           %s\n  materializing: %s\n  streaming:     %s"
+          src (show mat_noopt) (show unopt))
 
 (* Session-level agreement: one shared session per mode (program
    declarations compile against copies, so corpus programs cannot leak
    into each other), forced lazily so suite construction stays cheap. *)
 let session_opt = lazy (Xqse.Session.create ())
 let session_noopt = lazy (Xqse.Session.create ~optimize:false ())
+
+let session_nostream =
+  lazy
+    (let s = Xqse.Session.create () in
+     Xqse.Session.set_streaming s false;
+     s)
 
 let agree_session name src =
   case name (fun () ->
@@ -51,7 +70,13 @@ let agree_session name src =
       if opt <> unopt then
         Alcotest.failf
           "optimizer changed program semantics (session layer):\n%s\n  unoptimized: %s\n  optimized:   %s"
-          src (show unopt) (show opt))
+          src (show unopt) (show opt);
+      let mat = outcome (eval session_nostream) src in
+      if mat <> opt then
+        Alcotest.failf
+          "streaming changed program semantics (session layer):\n\
+           %s\n  materializing: %s\n  streaming:     %s"
+          src (show mat) (show opt))
 
 let generated_tests =
   List.mapi (fun i src -> agree (Printf.sprintf "generated %03d" i) src) corpus

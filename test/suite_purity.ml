@@ -207,6 +207,7 @@ let fixpoint_tests =
             fn_return = impure_d.Ast.fd_return;
             fn_impl = Context.User impure_d;
             fn_side_effects = false;
+            fn_purity = None;
           };
         let decls =
           decls_of
@@ -296,10 +297,93 @@ let adversarial_tests =
         check_string "agrees" (xq_noopt src) (xq src));
   ]
 
+(* XQSE readonly procedures register as callable functions carrying the
+   purity verdict of their statement body (Interp.declare_procedure), so
+   [env_for] classifies calls to them instead of defaulting to impure. *)
+
+let xqse_proc_verdict ?(register = fun _ -> ()) src local =
+  let s = Xqse.Session.create () in
+  register s;
+  if src <> "" then Xqse.Session.load_library s src;
+  let reg = Xquery.Engine.registry (Xqse.Session.engine s) in
+  let env = Purity.env_for ~registry:reg [] in
+  let fn =
+    Context.fold reg ~init:None ~f:(fun acc f ->
+        if acc = None && f.Context.fn_name.Xdm.Qname.local = local then Some f
+        else acc)
+  in
+  match fn with
+  | None -> Alcotest.failf "procedure %s was not registered as a function" local
+  | Some f -> (
+    match Purity.lookup env f.Context.fn_name f.Context.fn_arity with
+    | Some v -> v
+    | None -> Alcotest.failf "no verdict for %s" local)
+
+let xqse_procedure_tests =
+  [
+    case "readonly procedure with a pure body is analyzable" (fun () ->
+        let v =
+          xqse_proc_verdict
+            {|declare readonly procedure local:double($x as xs:integer) as xs:integer {
+                return value $x * 2;
+              };|}
+            "double"
+        in
+        check_bool "no effects" false v.Purity.effects;
+        check_bool "fallible (type checks can raise)" true v.Purity.fallible;
+        check_bool "no construction" false v.Purity.constructs);
+    case "constructing body is reported" (fun () ->
+        let v =
+          xqse_proc_verdict
+            {|declare readonly procedure local:wrap($x as xs:integer) {
+                return value <wrapped>{$x}</wrapped>;
+              };|}
+            "wrap"
+        in
+        check_bool "no effects" false v.Purity.effects;
+        check_bool "constructs" true v.Purity.constructs);
+    case "effectful body (fn:trace) is reported" (fun () ->
+        let v =
+          xqse_proc_verdict
+            {|declare readonly procedure local:noisy() {
+                return value fn:trace(1, "noisy");
+              };|}
+            "noisy"
+        in
+        check_bool "effects" true v.Purity.effects);
+    case "statements are walked, not just the returned expression" (fun () ->
+        (* the effectful expression hides inside a loop body statement *)
+        let v =
+          xqse_proc_verdict
+            {|declare readonly procedure local:loud($n as xs:integer) {
+                declare $i := 0;
+                while ($i lt $n) {
+                  set $i := fn:trace($i + 1, "tick");
+                }
+                return value $i;
+              };|}
+            "loud"
+        in
+        check_bool "effects" true v.Purity.effects);
+    case "host-registered external procedure stays opaque" (fun () ->
+        (* no body to analyze: calls must pessimize to impure *)
+        let v =
+          xqse_proc_verdict ""
+            ~register:(fun s ->
+              Xqse.Session.register_procedure s ~readonly:true
+                (Xdm.Qname.local "hostp") 0
+                (fun _ -> []))
+            "hostp"
+        in
+        check_bool "effects (opaque)" true v.Purity.effects;
+        check_bool "fallible (opaque)" true v.Purity.fallible);
+  ]
+
 let suites =
   [
     ("purity.table", table_tests);
     ("purity.analysis", analysis_tests);
     ("purity.fixpoint", fixpoint_tests);
     ("purity.adversarial", adversarial_tests);
+    ("purity.xqse-procedures", xqse_procedure_tests);
   ]

@@ -12,6 +12,17 @@ let xq_noopt src =
   let engine = Xquery.Engine.create ~optimize:false () in
   Xdm.Xml_serialize.seq_to_string (Xquery.Engine.eval_string engine src)
 
+(* forced-materializing mode: every cursor degenerates to eager
+   evaluation — the differential suites compare it against the default
+   streaming mode *)
+let xq_nostream src =
+  let engine = Xquery.Engine.create ~streaming:false () in
+  Xdm.Xml_serialize.seq_to_string (Xquery.Engine.eval_string engine src)
+
+let xq_noopt_nostream src =
+  let engine = Xquery.Engine.create ~optimize:false ~streaming:false () in
+  Xdm.Xml_serialize.seq_to_string (Xquery.Engine.eval_string engine src)
+
 let xqse ?(vars = []) src =
   let session = Xqse.Session.create () in
   let opts = { Xqse.Session.default_exec_opts with vars } in

@@ -2,12 +2,16 @@
    (the in-tree test suite runs the same corpus at its default size on
    every push; this tool makes the size and seed cheap to crank up).
 
-   Every generated program is evaluated four ways — XQuery engine and
-   XQSE session, each with the optimizer on and off — and any
-   disagreement in outcome (serialized result, or dynamic error code) is
-   reported and fails the run.
+   Every generated program is evaluated through the XQuery engine and
+   the XQSE session, each with the optimizer on and off, and — per MODE
+   — with the streaming cursor evaluator on and/or forced off. Any
+   disagreement in outcome (serialized result, or dynamic error code)
+   is reported and fails the run.
 
-   Usage: corpus_check [SIZE] [SEED]   (defaults: 500 20260806) *)
+   Usage: corpus_check [SIZE] [SEED] [MODE]
+     defaults: 500 20260806 both
+     MODE: streaming | materialize | both
+     (CORPUS_MODE in the environment sets the default MODE) *)
 
 open Core
 
@@ -27,34 +31,69 @@ let () =
   let seed =
     if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 20260806
   in
-  let corpus = Fixtures.Gen_xquery.corpus ~seed size in
-  let engine optimize src =
-    Xquery.Engine.eval_to_string (Xquery.Engine.create ~optimize ()) src
+  let mode =
+    if Array.length Sys.argv > 3 then Sys.argv.(3)
+    else Option.value (Sys.getenv_opt "CORPUS_MODE") ~default:"both"
   in
-  let session_on = Xqse.Session.create () in
-  let session_off = Xqse.Session.create ~optimize:false () in
+  let streaming_variants =
+    match mode with
+    | "streaming" -> [ true ]
+    | "materialize" | "materializing" -> [ false ]
+    | "both" -> [ true; false ]
+    | m ->
+      Printf.eprintf
+        "unknown mode %S (expected streaming | materialize | both)\n" m;
+      exit 2
+  in
+  let corpus = Fixtures.Gen_xquery.corpus ~seed size in
+  let engine optimize streaming src =
+    Xquery.Engine.eval_to_string
+      (Xquery.Engine.create ~optimize ~streaming ())
+      src
+  in
+  let session optimize streaming =
+    let s = Xqse.Session.create ~optimize () in
+    Xqse.Session.set_streaming s streaming;
+    s
+  in
+  let tag streaming = if streaming then "streaming" else "materializing" in
+  (* shared sessions per layer: program declarations compile against
+     copies, so corpus programs cannot leak into each other *)
+  let layers =
+    List.concat_map
+      (fun streaming ->
+        [
+          ( Printf.sprintf "optimized engine, %s" (tag streaming),
+            engine true streaming );
+          ( Printf.sprintf "unoptimized engine, %s" (tag streaming),
+            engine false streaming );
+          ( Printf.sprintf "optimized session, %s" (tag streaming),
+            Xqse.Session.eval_to_string (session true streaming) );
+          ( Printf.sprintf "unoptimized session, %s" (tag streaming),
+            Xqse.Session.eval_to_string (session false streaming) );
+        ])
+      streaming_variants
+  in
+  let reference_layer = engine false (List.hd streaming_variants) in
   let failures = ref 0 in
   List.iteri
     (fun i src ->
-      let reference = outcome (engine false) src in
-      let check layer f =
-        let got = outcome f src in
-        if got <> reference then begin
-          incr failures;
-          Printf.printf
-            "DIVERGENCE at program %d (%s):\n%s\n  unoptimized engine: %s\n  %s: %s\n"
-            i layer src (show reference) layer (show got)
-        end
-      in
-      check "optimized engine" (engine true);
-      check "optimized session"
-        (Xqse.Session.eval_to_string session_on);
-      check "unoptimized session"
-        (Xqse.Session.eval_to_string session_off))
+      let reference = outcome reference_layer src in
+      List.iter
+        (fun (layer, f) ->
+          let got = outcome f src in
+          if got <> reference then begin
+            incr failures;
+            Printf.printf
+              "DIVERGENCE at program %d (%s):\n%s\n  reference: %s\n  %s: %s\n"
+              i layer src (show reference) layer (show got)
+          end)
+        layers)
     corpus;
   if !failures = 0 then
-    Printf.printf "corpus check passed: %d programs, seed %d, 4 modes agree\n"
-      size seed
+    Printf.printf
+      "corpus check passed: %d programs, seed %d, %d modes agree\n" size seed
+      (List.length layers)
   else begin
     Printf.printf "corpus check FAILED: %d divergences over %d programs\n"
       !failures size;
