@@ -100,7 +100,7 @@ let dispatch_session = lazy (
   let xquery_sum = Xqse.Session.compile sess "sum(1 to 1000)" in
   let xquery_flwor = Xqse.Session.compile sess
       "sum(for $i in 1 to 1000 return $i)" in
-  (xqse_loop, xquery_sum, xquery_flwor))
+  (sess, xqse_loop, xquery_sum, xquery_flwor))
 
 (* XUF snapshot sweep: one update statement replacing N values *)
 let snapshot_program n =
@@ -404,7 +404,9 @@ let report () =
     [ 50; 200 ];
 
   section "OVH: XQSE statement dispatch vs declarative evaluation";
-  let xqse_loop, xquery_sum, xquery_flwor = Lazy.force dispatch_session in
+  let sess_d, xqse_loop, xquery_sum, xquery_flwor =
+    Lazy.force dispatch_session
+  in
   let t_loop = time_ms (fun () -> Xqse.Session.run xqse_loop) in
   let t_sum = time_ms (fun () -> Xqse.Session.run xquery_sum) in
   let t_flwor = time_ms (fun () -> Xqse.Session.run xquery_flwor) in
@@ -415,6 +417,57 @@ let report () =
   record "ovh.dispatch_vs_flwor.ratio" (t_loop /. t_flwor);
   Printf.printf "statement overhead vs fn:sum: %.1fx; vs FLWOR: %.1fx\n"
     (t_loop /. t_sum) (t_loop /. t_flwor);
+
+  section "PLAN: closure-compiled plans and the session plan cache";
+  (* the same while-loop/fn:sum pair with compiled plans switched off:
+     the gap between the two ratios is the interpreter tax the closure
+     compiler removes *)
+  let eng_d = Xqse.Session.engine sess_d in
+  Xquery.Engine.set_plans eng_d false;
+  let t_loop_off = time_ms (fun () -> Xqse.Session.run xqse_loop) in
+  let t_sum_off = time_ms (fun () -> Xqse.Session.run xquery_sum) in
+  Xquery.Engine.set_plans eng_d true;
+  record "plan.dispatch_vs_sum.interpreted.ratio" (t_loop_off /. t_sum_off);
+  Printf.printf
+    "dispatch ratio (XQSE while / fn:sum): compiled %.1fx, interpreted %.1fx\n"
+    (t_loop /. t_sum) (t_loop_off /. t_sum_off);
+  (* cold = fresh session (parse + compile + run); warm = the same text
+     served from the session plan cache, compile span skipped *)
+  let plan_query = "sum(for $i in 1 to 500 return $i * 2)" in
+  let t_cold =
+    time_ms (fun () ->
+        let sess = Xqse.Session.create () in
+        Xqse.Session.eval sess plan_query)
+  in
+  let i = Instr.create () in
+  Instr.enable i;
+  let sess_w = Xqse.Session.create ~instr:i () in
+  ignore (Xqse.Session.eval sess_w plan_query);
+  let before = Instr.stats i in
+  let t_warm = time_ms (fun () -> Xqse.Session.eval sess_w plan_query) in
+  let delta = Instr.since i before in
+  let counter name =
+    match List.assoc_opt name delta.Instr.counters with
+    | Some n -> n
+    | None -> 0
+  in
+  let compile_span_ms =
+    List.fold_left
+      (fun acc (name, ms) -> if name = "compile" then acc +. ms else acc)
+      0. delta.Instr.timers
+  in
+  Printf.printf
+    "eval %s: cold %.3f ms, warm %.3f ms (%.1fx); warm runs: %d cache \
+     hits, %d misses, %.3f ms in compile span\n"
+    plan_query t_cold t_warm
+    (t_cold /. t_warm)
+    (counter "plan.cache.hit")
+    (counter "plan.cache.miss")
+    compile_span_ms;
+  record "plan.cold_eval.ms" t_cold;
+  record "plan.warm_eval.ms" t_warm;
+  record "plan.warm_speedup" (t_cold /. t_warm);
+  record "plan.warm.compile_span.ms" compile_span_ms;
 
   section "XUF: snapshot size sweep (one update statement, N replaces)";
   List.iter
@@ -653,7 +706,9 @@ let bechamel_tests () =
     ]
   in
   let ovh =
-    let xqse_loop, xquery_sum, xquery_flwor = Lazy.force dispatch_session in
+    let _sess, xqse_loop, xquery_sum, xquery_flwor =
+      Lazy.force dispatch_session
+    in
     [
       Test.make ~name:"ovh/xqse_while_1000"
         (Staged.stage (fun () -> Xqse.Session.run xqse_loop));

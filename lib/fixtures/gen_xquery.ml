@@ -154,7 +154,7 @@ and seq t depth scope =
   let choices =
     [ `Atom; `Atom; `Range ]
     @ (if svs <> [] then [ `Var ] else [])
-    @ (if depth > 0 then [ `Pair; `Flwor; `Flwor ] else [])
+    @ (if depth > 0 then [ `Pair; `Flwor; `Flwor; `Subseq ] else [])
   in
   match Det.pick t choices with
   | `Atom -> atom t depth scope
@@ -166,6 +166,34 @@ and seq t depth scope =
   | `Pair ->
     Printf.sprintf "(%s, %s)" (seq t (depth - 1) scope) (seq t (depth - 1) scope)
   | `Flwor -> "(" ^ flwor t (depth - 1) scope ^ ")"
+  | `Subseq -> subseq t depth scope
+
+(* fn:subsequence over a generated source, with the start/length drawn
+   from the coercion corners of the F&O window rule: fractional values
+   (rounding is half toward +INF, so negative halves matter), zero and
+   negative starts, NaN and the infinities (every comparison false /
+   [-INF + INF] a NaN bound), and doubles far outside the int range
+   (position arithmetic must stay in xs:double — converting to int
+   would wrap). The streaming schedule and the eager builtin must keep
+   the same window on all of them; integer-valued as required, since
+   only the surviving source items appear. *)
+and subseq t depth scope =
+  let bound () =
+    match Det.int t 8 with
+    | 0 -> string_of_int (rand_int t (-3) 6)
+    | 1 -> Printf.sprintf "%d.5" (rand_int t (-2) 4)
+    | 2 -> Printf.sprintf "%d.25" (rand_int t (-2) 4)
+    | 3 -> "xs:double('NaN')"
+    | 4 -> Det.pick t [ "xs:double('INF')"; "-xs:double('INF')" ]
+    | 5 -> Det.pick t [ "1e18"; "-1e18" ]
+    | _ -> atom t (depth - 1) scope
+  in
+  if Det.int t 2 = 0 then
+    Printf.sprintf "subsequence((%s), %s)" (seq t (depth - 1) scope) (bound ())
+  else
+    Printf.sprintf "subsequence((%s), %s, %s)"
+      (seq t (depth - 1) scope)
+      (bound ()) (bound ())
 
 (* A FLWOR, following the XQuery 1.0 grammar: 1-3 for/let clauses, then
    an optional single where, an optional order by, and the return. When

@@ -247,6 +247,15 @@ let render ?(times = true) (s : stats) =
 
 module K = struct
   let queries_compiled = "queries.compiled"
+
+  (* plan cache: [queries.compiled] counts only *successful* compiles;
+     cache hits skip the compile span entirely, so hit + miss = lookups
+     and miss >= queries.compiled (a failed parse is a miss that never
+     becomes a compiled plan). [invalidate] counts cached entries
+     flushed by a registry-changing install. *)
+  let plan_cache_hit = "plan.cache.hit"
+  let plan_cache_miss = "plan.cache.miss"
+  let plan_cache_invalidate = "plan.cache.invalidate"
   let optimizer_folded = "optimizer.folded"
   let optimizer_inlined = "optimizer.inlined"
   let optimizer_inlined_pure = "optimizer.inlined.pure"
@@ -294,6 +303,9 @@ let preregister t =
     (fun k -> ignore (counter t k))
     [
       K.queries_compiled;
+      K.plan_cache_hit;
+      K.plan_cache_miss;
+      K.plan_cache_invalidate;
       K.optimizer_folded;
       K.optimizer_inlined;
       K.optimizer_inlined_pure;

@@ -89,6 +89,17 @@ val render : ?times:bool -> stats -> string
 
 module K : sig
   val queries_compiled : string
+
+  (** plan-cache counters: [queries_compiled] counts only successful
+      compiles; a cache hit skips the compile span entirely, so
+      [hit + miss] is the number of lookups and [miss >=
+      queries_compiled] (a failed parse is a miss that never becomes a
+      plan). [invalidate] counts cached entries flushed by a
+      registry-changing install. *)
+
+  val plan_cache_hit : string
+  val plan_cache_miss : string
+  val plan_cache_invalidate : string
   val optimizer_folded : string
   val optimizer_inlined : string
   val optimizer_inlined_pure : string

@@ -26,7 +26,12 @@
    of_list) carry a disabled handle so wrapped pulls are not counted
    twice; their cleanup propagates the abandon to the producer. *)
 
-type state = Open | Done
+(* [Draining] is the window during which [abandon] is flushing an impure
+   cursor's deferred effects: any reentrant or repeated [next]/[close]/
+   [abandon] during (or after) that window is a no-op, so a second
+   abandon can never re-run effects or double-bump the counters, and the
+   cursor lands in [Done] exactly once even when the drain raises. *)
+type state = Open | Draining | Done
 
 type 'a t = {
   pull : unit -> 'a option;
@@ -50,7 +55,7 @@ let close c =
 
 let next c =
   match c.state with
-  | Done -> None
+  | Done | Draining -> None
   | Open -> (
     match c.pull () with
     | Some _ as r ->
@@ -60,17 +65,31 @@ let next c =
       close c;
       None)
 
-let rec drain c = match next c with Some _ -> drain c | None -> ()
-
 let abandon c =
   match c.state with
-  | Done -> ()
+  | Done | Draining -> ()
   | Open ->
     if c.pure then begin
       Instr.bump c.instr Instr.K.stream_early_exits;
       close c
     end
-    else drain c
+    else begin
+      c.state <- Draining;
+      let rec flush () =
+        match c.pull () with
+        | Some _ ->
+          Instr.bump c.instr Instr.K.stream_pulled;
+          flush ()
+        | None -> ()
+      in
+      (try flush ()
+       with e ->
+         c.state <- Done;
+         (try c.cleanup () with _ -> ());
+         raise e);
+      c.state <- Done;
+      c.cleanup ()
+    end
 
 let empty () = make ~pure:true (fun () -> None)
 

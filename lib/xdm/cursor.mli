@@ -34,7 +34,11 @@ val close : 'a t -> unit
 val abandon : 'a t -> unit
 (** Stop consuming: skip the remainder if pure (bumping
     [stream.early_exits]), otherwise drain it — pending effects run and
-    pending errors propagate exactly as eager evaluation would. *)
+    pending errors propagate exactly as eager evaluation would.
+    Idempotent: a repeated or reentrant abandon (including abandon after
+    [close], or abandon triggered from within the drain itself) is a
+    no-op, so deferred effects run at most once and the laziness
+    counters are bumped at most once per cursor. *)
 
 val empty : unit -> 'a t
 val of_list : 'a list -> 'a t

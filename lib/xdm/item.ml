@@ -11,7 +11,12 @@ let of_atom a = [ Atomic a ]
 let of_node n = [ Node n ]
 let str s = [ Atomic (Atomic.String s) ]
 let int i = [ Atomic (Atomic.Integer i) ]
-let bool b = [ Atomic (Atomic.Boolean b) ]
+
+(* shared: boolean results are produced on every comparison, and items
+   are immutable, so both singletons can be preallocated *)
+let true_seq = [ Atomic (Atomic.Boolean true) ]
+let false_seq = [ Atomic (Atomic.Boolean false) ]
+let bool b = if b then true_seq else false_seq
 let empty = []
 
 let string_value = function

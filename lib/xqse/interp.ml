@@ -22,11 +22,41 @@ type runtime = {
   mutable trace : string -> unit;
   instr : Instr.t;
   mutable streaming : bool;
+  mutable plans : bool;
   mutable purity : Xquery.Ast.expr -> bool * bool * bool;
       (* (effects, fallible, constructs) — the compile-time purity
          verdicts the streaming evaluator gates on; conservative
          (all true) until the session installs a real environment *)
+  mutable comp : Xquery.Eval.compiler option;
+      (* lazily-built compilation unit over [reg], shared by every block
+         and procedure compiled under this runtime so user-function
+         plans compile once; dropped on [invalidate_plans] *)
+  mutable cblocks : (Stmt.block * cblock) list;
+      (* compiled procedure/program bodies, keyed on block identity *)
 }
+
+(* A frame holds the assignable block variables of one block (value ref
+   plus declared type). The paper specifies that only block-declared
+   variables may be assigned. *)
+and frame = (Qname.t * (Item.seq ref * Seqtype.t option)) list ref
+
+and state = {
+  rt : runtime;
+  frames : frame list;  (* innermost first *)
+  bindings : Item.seq Qmap.t;  (* read-only: params, iterate vars *)
+  ctx0 : Xquery.Context.dynamic;
+      (* base dynamic context, built once per block/procedure run; the
+         compiled path derives every expression's context from it
+         instead of paying [make_dynamic] per expression *)
+}
+
+and outcome =
+  | Normal
+  | Returned of Item.seq
+  | Broke
+  | Continued
+
+and cblock = state -> outcome
 
 let create_runtime ?(trace = fun _ -> ()) ?instr ?parent reg =
   let instr =
@@ -36,17 +66,53 @@ let create_runtime ?(trace = fun _ -> ()) ?instr ?parent reg =
     | None, None -> Instr.disabled
   in
   let streaming = match parent with Some p -> p.streaming | None -> true in
+  let plans = match parent with Some p -> p.plans | None -> true in
   let purity =
     match parent with Some p -> p.purity | None -> fun _ -> (true, true, true)
   in
-  { reg; procs = Hashtbl.create 16; parent; trace; instr; streaming; purity }
+  {
+    reg;
+    procs = Hashtbl.create 16;
+    parent;
+    trace;
+    instr;
+    streaming;
+    plans;
+    purity;
+    comp = None;
+    cblocks = [];
+  }
 
 let registry rt = rt.reg
 let set_trace rt f = rt.trace <- f
 let instr rt = rt.instr
 let streaming rt = rt.streaming
 let set_streaming rt b = rt.streaming <- b
+let plans rt = rt.plans
+let set_plans rt b = rt.plans <- b
 let set_purity rt f = rt.purity <- f
+
+(* Drop every compiled plan held by this runtime. The session calls this
+   whenever the registry underneath changes (function or procedure
+   registration, module/library load) — the same events that flush its
+   query-plan cache. *)
+let invalidate_plans rt =
+  rt.comp <- None;
+  rt.cblocks <- []
+
+(* The runtime's compilation unit, built on first use so it sees the
+   purity environment the session installs after runtime creation (the
+   indirection through [rt.purity] keeps later [set_purity] effective
+   for everything compiled afterwards). *)
+let compiler_of rt =
+  match rt.comp with
+  | Some cc -> cc
+  | None ->
+    let cc = Xquery.Eval.compiler ~purity:(fun e -> rt.purity e) rt.reg in
+    rt.comp <- Some cc;
+    cc
+
+let compiler = compiler_of
 
 let rec find_procedure rt (name : Qname.t) arity =
   match Hashtbl.find_opt rt.procs (name.Qname.uri, name.Qname.local, arity) with
@@ -60,22 +126,12 @@ let rec find_procedure rt (name : Qname.t) arity =
 (* Execution state                                                      *)
 (* ------------------------------------------------------------------ *)
 
-(* A frame holds the assignable block variables of one block (value ref
-   plus declared type). The paper specifies that only block-declared
-   variables may be assigned. *)
-type frame = (Qname.t * (Item.seq ref * Seqtype.t option)) list ref
-
-type state = {
-  rt : runtime;
-  frames : frame list;  (* innermost first *)
-  bindings : Item.seq Qmap.t;  (* read-only: params, iterate vars *)
-}
-
-type outcome =
-  | Normal
-  | Returned of Item.seq
-  | Broke
-  | Continued
+let make_state rt bindings =
+  let ctx0 =
+    Xquery.Context.make_dynamic ~trace:rt.trace ~instr:rt.instr
+      ~streaming:rt.streaming ~purity:rt.purity rt.reg
+  in
+  { rt; frames = []; bindings; ctx0 }
 
 let push_frame st = { st with frames = ref [] :: st.frames }
 
@@ -115,6 +171,102 @@ let eval_ctx st =
   Xquery.Context.with_vars ctx vars
 
 let eval_expr st e = Xquery.Eval.eval (eval_ctx st) e
+
+(* Compiled-path variant of [eval_ctx]: same variable snapshot, but the
+   dynamic context is derived from the per-run base instead of being
+   rebuilt from scratch for every expression. *)
+let compiled_ctx st =
+  let globals = Xquery.Context.globals st.rt.reg in
+  let vars =
+    Qmap.union (fun _ _inner v -> Some v) globals (scope_vars st)
+  in
+  Xquery.Context.with_vars st.ctx0 vars
+
+(* Compile-time image of the frame stack. Frames are fully static: only
+   a block's [declare]s create entries, and a block's declarations all
+   run before its statements, so at every program point the compiler
+   knows exactly which names each live frame holds (newest first, the
+   runtime cons order). That turns a variable reference into a
+   (frame depth, position) slot — no name comparison at run time. *)
+type scope = Qname.t list list
+
+let resolve_slot (scope : scope) name =
+  let rec frames fi = function
+    | [] -> None
+    | entries :: rest ->
+      let rec pos pi = function
+        | [] -> frames (fi + 1) rest
+        | n :: tl ->
+          if Qname.equal n name then Some (fi, pi) else pos (pi + 1) tl
+      in
+      pos 0 entries
+  in
+  frames 0 scope
+
+let slot_entry st fi pi =
+  let frame = List.nth st.frames fi in
+  snd (List.nth !frame pi)
+
+(* Fast path for tiny statement expressions — loop tests and
+   counter/accumulator updates like [$i + 1] or [$i le $n]. Variables
+   and literals combined by arithmetic or value comparison evaluate
+   directly against the execution state (no context, no scope-map
+   snapshot) through the same scalar kernels the evaluator uses, so
+   values and errors are identical. Lookup precedence mirrors
+   [eval_ctx]'s map: block frames (innermost first) over read-only
+   bindings over module globals. *)
+let rec simple_plan scope (e : Xquery.Ast.expr) :
+    (state -> Item.seq) option =
+  match e with
+  | Xquery.Ast.Literal a ->
+    let v = [ Item.Atomic a ] in
+    Some (fun _ -> v)
+  | Xquery.Ast.Var q -> (
+    match resolve_slot scope q with
+    | Some (fi, pi) ->
+      Some
+        (fun st ->
+          let r, _ = slot_entry st fi pi in
+          !r)
+    | None ->
+      (* in no frame, statically — read-only bindings, then globals *)
+      Some
+        (fun st ->
+          match Qmap.find_opt q st.bindings with
+          | Some v -> v
+          | None -> (
+            match Qmap.find_opt q (Xquery.Context.globals st.rt.reg) with
+            | Some v -> v
+            | None ->
+              Item.raise_error (Qname.err "XPST0008")
+                (Printf.sprintf "undefined variable $%s"
+                   (Qname.to_string q)))))
+  | Xquery.Ast.Arith (op, a, b) -> (
+    match (simple_plan scope a, simple_plan scope b) with
+    | Some pa, Some pb ->
+      Some
+        (fun st ->
+          let va = pa st in
+          let vb = pb st in
+          Xquery.Eval.arith_seq op va vb)
+    | _ -> None)
+  | Xquery.Ast.Value_cmp (op, a, b) -> (
+    match (simple_plan scope a, simple_plan scope b) with
+    | Some pa, Some pb ->
+      Some
+        (fun st ->
+          let va = pa st in
+          let vb = pb st in
+          Xquery.Eval.value_cmp_seq op va vb)
+    | _ -> None)
+  | _ -> None
+
+let expr_plan rt scope (e : Xquery.Ast.expr) : state -> Item.seq =
+  match simple_plan scope e with
+  | Some p -> p
+  | None ->
+    let plan = Xquery.Eval.compile (compiler_of rt) e in
+    fun st -> plan (compiled_ctx st)
 
 (* Purity verdict of a statement block: a statement's verdict joins the
    verdicts of every embedded expression ([purity] returns the
@@ -365,6 +517,271 @@ and exec_block_stmts st (b : Stmt.block) : outcome =
   in
   go b.Stmt.stmts
 
+(* ------------------------------------------------------------------ *)
+(* Compiled statements                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirror of the exec_* functions above as a compile stage: each
+   statement form is walked once, its embedded expressions are closure-
+   compiled (through {!Xquery.Eval.compile} or the [simple_plan] fast
+   path), and execution is a closure over the state. Observable behavior
+   — values, effects, errors, counter bumps, evaluation order — matches
+   the interpreted path statement for statement; the differential corpus
+   compares the two. *)
+
+and cvalue_of rt scope (v : Stmt.value_stmt) : state -> Item.seq =
+  match v with
+  | Stmt.V_expr (Xquery.Ast.Call (name, args) as e) ->
+    (* procedure-over-function resolution stays a run-time check: a
+       procedure declared after this block compiled must still win *)
+    let cargs = List.map (expr_plan rt scope) args in
+    let cplan = expr_plan rt scope e in
+    let arity = List.length args in
+    fun st -> (
+      match find_procedure st.rt name arity with
+      | Some proc ->
+        run_procedure st.rt proc (List.map (fun p -> p st) cargs)
+      | None -> cplan st)
+  | Stmt.V_expr e -> expr_plan rt scope e
+  | Stmt.V_proc_block block ->
+    (* the block body runs over a fresh (empty) frame stack *)
+    let cb = cblock_plan rt [] block in
+    fun st ->
+      let st' = { st with frames = []; bindings = scope_vars st } in
+      (match cb st' with
+      | Returned v -> v
+      | Normal -> []
+      | Broke -> raise Break_outside_loop
+      | Continued -> raise Continue_outside_loop)
+
+and cvalue_cur_of rt scope (v : Stmt.value_stmt) :
+    state -> Item.t Cursor.t =
+  match v with
+  | Stmt.V_expr (Xquery.Ast.Call (name, args) as e) ->
+    let cv = cvalue_of rt scope v in
+    let ccur = Xquery.Eval.compile_cur (compiler_of rt) e in
+    let arity = List.length args in
+    fun st ->
+      if find_procedure st.rt name arity <> None then
+        Cursor.of_list (cv st)
+      else ccur (compiled_ctx st)
+  | Stmt.V_expr e ->
+    let ccur = Xquery.Eval.compile_cur (compiler_of rt) e in
+    fun st -> ccur (compiled_ctx st)
+  | Stmt.V_proc_block _ ->
+    let cv = cvalue_of rt scope v in
+    fun st -> Cursor.of_list (cv st)
+
+and cstmt_of rt scope (s : Stmt.statement) : cblock =
+  let k : cblock =
+    match s with
+    | Stmt.Block b -> cblock_plan rt scope b
+    | Stmt.Set (name, v) -> (
+      match resolve_slot scope name with
+      | None ->
+        (* statically in no frame: the interpreted path raises before
+           evaluating the value, so don't compile in an evaluation *)
+        fun _ ->
+          Item.raise_error (Qname.err "XQSE0001")
+            (Printf.sprintf
+               "cannot assign to $%s: only block-declared variables may be \
+                assigned"
+               (Qname.to_string name))
+      | Some (fi, pi) ->
+        let cv = cvalue_of rt scope v in
+        fun st ->
+          let r, ty = slot_entry st fi pi in
+          let value = cv st in
+          let value =
+            match ty with
+            | Some ty ->
+              Seqtype.check
+                ~what:(Printf.sprintf "$%s" (Qname.to_string name))
+                ty value
+            | None -> value
+          in
+          r := value;
+          Normal)
+    | Stmt.Return_value v ->
+      let cv = cvalue_of rt scope v in
+      fun st -> Returned (cv st)
+    | Stmt.Expr_stmt v ->
+      let cv = cvalue_of rt scope v in
+      fun st ->
+        ignore (cv st);
+        Normal
+    | Stmt.While (test, body) ->
+      let ctest = expr_plan rt scope test in
+      let cbody = cblock_plan rt scope body in
+      fun st ->
+        let rec loop () =
+          if Item.effective_boolean_value (ctest st) then
+            match cbody st with
+            | Normal | Continued -> loop ()
+            | Broke -> Normal
+            | Returned v -> Returned v
+          else Normal
+        in
+        loop ()
+    | Stmt.Iterate { var; pos; source; body } ->
+      let csrc = cvalue_cur_of rt scope source in
+      (* the loop variables land in [bindings], not a frame, so the
+         body's frame image is unchanged *)
+      let cbody = cblock_plan rt scope body in
+      (* the lazy-driving verdict is fixed at compile time: the purity
+         environment is installed before anything compiles *)
+      let _, _, body_constructs = block_verdict ~purity:rt.purity body in
+      fun st ->
+        let run_body i item =
+          let bindings = Qmap.add var [ item ] st.bindings in
+          let bindings =
+            match pos with
+            | Some pv ->
+              Qmap.add pv [ Item.Atomic (Atomic.Integer i) ] bindings
+            | None -> bindings
+          in
+          cbody { st with bindings }
+        in
+        let cur = csrc st in
+        if Cursor.is_pure cur && not body_constructs then
+          let rec loop i =
+            match Cursor.next cur with
+            | None -> Normal
+            | Some item -> (
+              match run_body i item with
+              | Normal | Continued -> loop (i + 1)
+              | Broke ->
+                Cursor.abandon cur;
+                Normal
+              | Returned v ->
+                Cursor.abandon cur;
+                Returned v
+              | exception e ->
+                Cursor.abandon cur;
+                raise e)
+          in
+          loop 1
+        else begin
+          let binding_seq = Cursor.to_list ~instr:st.rt.instr cur in
+          let rec loop i = function
+            | [] -> Normal
+            | item :: rest -> (
+              match run_body i item with
+              | Normal | Continued -> loop (i + 1) rest
+              | Broke -> Normal
+              | Returned v -> Returned v)
+          in
+          loop 1 binding_seq
+        end
+    | Stmt.If (cond, then_, else_) ->
+      let ccond = expr_plan rt scope cond in
+      let cthen = cstmt_of rt scope then_ in
+      let celse = Option.map (cstmt_of rt scope) else_ in
+      fun st ->
+        if Item.effective_boolean_value (ccond st) then cthen st
+        else (match celse with Some c -> c st | None -> Normal)
+    | Stmt.Try (body, clauses) ->
+      let cbody = cblock_plan rt scope body in
+      let cclauses =
+        List.map
+          (fun c -> (c, cblock_plan rt scope c.Stmt.cc_body))
+          clauses
+      in
+      fun st -> (
+        match cbody st with
+        | outcome -> outcome
+        | exception Item.Error { code; message; items } -> (
+          match
+            List.find_opt
+              (fun (c, _) -> Stmt.nametest_matches c.Stmt.cc_test code)
+              cclauses
+          with
+          | None -> raise (Item.Error { code; message; items })
+          | Some (clause, cb) ->
+            let values =
+              [
+                [ Item.Atomic (Atomic.QName code) ];
+                [ Item.Atomic (Atomic.String message) ];
+                items;
+              ]
+            in
+            let bindings =
+              List.fold_left2
+                (fun m v value -> Qmap.add v value m)
+                st.bindings clause.Stmt.cc_vars
+                (List.filteri
+                   (fun i _ -> i < List.length clause.Stmt.cc_vars)
+                   values)
+            in
+            cb { st with bindings }))
+    | Stmt.Continue -> fun _ -> Continued
+    | Stmt.Break -> fun _ -> Broke
+    | Stmt.Update e ->
+      fun st ->
+        let pul = Xquery.Eval.eval_updating (compiled_ctx st) e in
+        Xquery.Update.apply pul;
+        Normal
+  in
+  fun st ->
+    Instr.bump st.rt.instr Instr.K.xqse_statements;
+    k st
+
+and cbody_of rt outer (b : Stmt.block) : cblock =
+  let has_frame = b.Stmt.decls <> [] in
+  (* Declarations see the frame mid-construction: each init compiles
+     against the entries declared so far (newest first — the runtime
+     cons order, so slot positions line up even for shadowing
+     redeclarations). Statements see the completed frame. *)
+  let rev_cdecls, head =
+    List.fold_left
+      (fun (acc, head) d ->
+        let scope = if has_frame then head :: outer else outer in
+        let cinit =
+          Option.map (cvalue_of rt scope) d.Stmt.bd_init
+        in
+        let cd st =
+          let v = match cinit with Some ci -> ci st | None -> [] in
+          let v =
+            match (d.Stmt.bd_type, cinit) with
+            | Some ty, Some _ ->
+              Seqtype.check
+                ~what:
+                  (Printf.sprintf "$%s" (Qname.to_string d.Stmt.bd_var))
+                ty v
+            | _ -> v
+          in
+          declare_var st ?ty:d.Stmt.bd_type d.Stmt.bd_var v
+        in
+        (cd :: acc, d.Stmt.bd_var :: head))
+      ([], []) b.Stmt.decls
+  in
+  let cdecls = List.rev rev_cdecls in
+  let scope = if has_frame then head :: outer else outer in
+  let cstmts = List.map (cstmt_of rt scope) b.Stmt.stmts in
+  fun st ->
+    List.iter (fun cd -> cd st) cdecls;
+    let rec go = function
+      | [] -> Normal
+      | cs :: rest -> (match cs st with Normal -> go rest | out -> out)
+    in
+    go cstmts
+
+and cblock_plan rt outer (b : Stmt.block) : cblock =
+  let body = cbody_of rt outer b in
+  (* a block with no declarations never touches its frame — skip it
+     (and [cbody_of] correspondingly omits the frame image) *)
+  if b.Stmt.decls = [] then body else fun st -> body (push_frame st)
+
+and cached_cblock rt (b : Stmt.block) : cblock =
+  match List.assq_opt b rt.cblocks with
+  | Some cb -> cb
+  | None ->
+    (* top-level entry: procedure bodies and program blocks start on an
+       empty frame stack (see [make_state]) *)
+    let cb = cblock_plan rt [] b in
+    rt.cblocks <- (b, cb) :: rt.cblocks;
+    cb
+
 and run_procedure rt proc arg_vals : Item.seq =
   let what = Qname.to_string proc.p_name in
   if List.length arg_vals <> List.length proc.p_params then
@@ -396,8 +813,12 @@ and run_procedure rt proc arg_vals : Item.seq =
           (fun m (n, v) -> Qmap.add n v m)
           Qmap.empty checked
       in
-      let st = { rt; frames = []; bindings } in
-      match exec_block_stmts (push_frame st) body with
+      let st = make_state rt bindings in
+      let outcome =
+        if rt.plans then (cached_cblock rt body) st
+        else exec_block_stmts (push_frame st) body
+      in
+      match outcome with
       | Returned v -> v
       | Normal -> []
       | Broke -> raise Break_outside_loop
@@ -449,13 +870,25 @@ let declare_procedure rt proc =
       (List.length proc.p_params)
       (fun args -> run_procedure rt proc args)
 
-let exec_block rt ?(vars = []) block =
-  let bindings =
-    List.fold_left (fun m (n, v) -> Qmap.add n v m) Qmap.empty vars
-  in
-  let st = { rt; frames = []; bindings } in
-  match exec_block_stmts (push_frame st) block with
+let finish = function
   | Returned v -> v
   | Normal -> []
   | Broke -> raise Break_outside_loop
   | Continued -> raise Continue_outside_loop
+
+let exec_block rt ?(vars = []) block =
+  let bindings =
+    List.fold_left (fun m (n, v) -> Qmap.add n v m) Qmap.empty vars
+  in
+  let st = make_state rt bindings in
+  finish
+    (if rt.plans then (cached_cblock rt block) st
+     else exec_block_stmts (push_frame st) block)
+
+let compile_block rt block : cblock = cblock_plan rt [] block
+
+let run_block rt ?(vars = []) (cb : cblock) =
+  let bindings =
+    List.fold_left (fun m (n, v) -> Qmap.add n v m) Qmap.empty vars
+  in
+  finish (cb (make_state rt bindings))

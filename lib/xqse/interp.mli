@@ -47,6 +47,27 @@ val set_streaming : runtime -> bool -> unit
     pull-based cursor pipelines. Defaults to the parent's setting, or
     [true] without a parent; results are identical either way. *)
 
+val plans : runtime -> bool
+val set_plans : runtime -> bool -> unit
+(** Whether blocks and procedures execute through compiled statement
+    plans (closures built once per block, expressions closure-compiled
+    through {!Xquery.Eval.compile}) instead of the tree-walking
+    interpreter. Defaults to the parent's setting, or [true] without a
+    parent; results, effects, errors and counters are identical either
+    way — the differential corpus compares the two. *)
+
+val invalidate_plans : runtime -> unit
+(** Drop every compiled plan held by this runtime (the expression
+    compiler and all compiled procedure bodies). Must be called after
+    anything is registered into the runtime's registry from outside, so
+    stale name resolutions can never be replayed. *)
+
+val compiler : runtime -> Xquery.Eval.compiler
+(** The runtime's expression-compilation unit (built on first use, over
+    the runtime's registry and purity environment). The session compiles
+    query-body expressions through it so they share compiled
+    user-function plans with statement blocks. *)
+
 val set_purity : runtime -> (Xquery.Ast.expr -> bool * bool * bool) -> unit
 (** Install the compile-time [(effects, fallible, constructs)] verdicts
     the streaming evaluator gates on (see {!Xquery.Engine.purity_fn}).
@@ -69,7 +90,22 @@ val exec_block :
   runtime -> ?vars:(Qname.t * Item.seq) list -> Stmt.block -> Item.seq
 (** Execute a block as a query body: the result is the value of the
     [return value] statement that stops execution, or the empty
-    sequence (paper III.B.5). [vars] are external read-only bindings. *)
+    sequence (paper III.B.5). [vars] are external read-only bindings.
+    Dispatches on {!plans}: compiled blocks are memoized per runtime, so
+    re-executing the same block skips compilation. *)
+
+type cblock
+(** A statement block compiled to closures, ready to run. Valid for the
+    runtime it was compiled under, until that runtime's registry or
+    purity environment changes (see {!invalidate_plans}). *)
+
+val compile_block : runtime -> Stmt.block -> cblock
+
+val run_block :
+  runtime -> ?vars:(Qname.t * Item.seq) list -> cblock -> Item.seq
+(** Run a compiled block as a query body — same contract as
+    {!exec_block}, minus the compile. The session caches the [cblock]
+    in its plan cache and forces it inside the [compile] span. *)
 
 exception Break_outside_loop
 exception Continue_outside_loop

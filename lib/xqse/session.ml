@@ -7,10 +7,44 @@ type t = {
   mutable trace : string -> unit;
   modules : (string, string) Hashtbl.t;  (* module uri -> source *)
   loaded_modules : (string, unit) Hashtbl.t;
+  mutable s_generation : int;
+      (* bumped on every session-level static-context change (procedure
+         or module registration, library load); part of the plan-cache
+         fingerprint alongside the engine's generation *)
+  cache : (string, cache_entry) Hashtbl.t;  (* program text → plan *)
 }
 
-let create ?(optimize = true) ?(instr = Instr.disabled) () =
-  let eng = Xquery.Engine.create ~optimize ~instr () in
+and compiled = {
+  c_session : t;
+  c_registry : Ctx.registry;
+  c_runtime : Interp.runtime;
+  c_vars : Xquery.Ast.var_decl list;
+  c_body : Stmt.query_body option;
+  c_env : Xquery.Purity.env;  (* for the evaluator's streaming gates *)
+  c_plan : cplan Lazy.t;
+      (* the closure-compiled body; forced inside the compile span when
+         plans are enabled so the compile/run span split stays honest *)
+}
+
+and cplan =
+  | CP_none
+  | CP_expr of Xquery.Eval.plan
+  | CP_block of Interp.cblock
+
+and cache_entry = {
+  ce_fingerprint : int * int * bool * bool * bool;
+      (* (engine generation, session generation, optimize, streaming,
+         plans) the entry was compiled under; any mismatch is a miss *)
+  ce_compiled : compiled;
+}
+
+(* Same bound and flush-wholesale policy as the engine's cache; an
+   overflow flush is not an invalidation (no context change), so it does
+   not count on [plan.cache.invalidate]. *)
+let cache_cap = 256
+
+let with_engine eng =
+  let instr = Xquery.Engine.instr eng in
   (* default fn:trace destination: a note in the instrumentation trace
      (a no-op while the handle is disabled) *)
   let trace m = Instr.note instr ("trace: " ^ m) in
@@ -21,7 +55,12 @@ let create ?(optimize = true) ?(instr = Instr.disabled) () =
     trace;
     modules = Hashtbl.create 8;
     loaded_modules = Hashtbl.create 8;
+    s_generation = 0;
+    cache = Hashtbl.create 32;
   }
+
+let create ?(optimize = true) ?(instr = Instr.disabled) () =
+  with_engine (Xquery.Engine.create ~optimize ~instr ())
 
 let engine s = s.eng
 let runtime s = s.rt
@@ -32,6 +71,19 @@ let set_streaming s b =
   Xquery.Engine.set_streaming s.eng b;
   Interp.set_streaming s.rt b
 
+(* Any session-level change to what programs compile against makes every
+   cached program plan stale: bump the generation, drop the session
+   runtime's compiled procedure bodies, and flush the cache (counting
+   the flushed entries, like the engine does). *)
+let invalidate_plans s =
+  s.s_generation <- s.s_generation + 1;
+  Interp.invalidate_plans s.rt;
+  let n = Hashtbl.length s.cache in
+  if n > 0 then begin
+    Instr.bump (instr s) ~n Instr.K.plan_cache_invalidate;
+    Hashtbl.reset s.cache
+  end
+
 let declare_namespace s prefix uri = Xquery.Engine.declare_namespace s.eng prefix uri
 
 let set_trace s f =
@@ -39,9 +91,11 @@ let set_trace s f =
   Interp.set_trace s.rt f
 
 let register_function s ?side_effects name arity impl =
+  invalidate_plans s;
   Xquery.Engine.register_external s.eng ?side_effects name arity impl
 
 let register_function_cursor s ?side_effects name arity impl =
+  invalidate_plans s;
   Xquery.Engine.register_external_cursor s.eng ?side_effects name arity impl
 
 let register_procedure s ?(readonly = false) ?params ?return name arity impl =
@@ -50,6 +104,11 @@ let register_procedure s ?(readonly = false) ?params ?return name arity impl =
     | Some ps -> ps
     | None -> List.init arity (fun i -> (Qname.local (Printf.sprintf "p%d" i), None))
   in
+  invalidate_plans s;
+  (* a readonly procedure also registers as a function in the registry
+     shared with the engine (and with sibling sessions over the same
+     engine) — their cached plans must go stale too *)
+  Xquery.Engine.invalidate_plans s.eng;
   Interp.declare_procedure s.rt
     {
       Interp.p_name = name;
@@ -110,15 +169,6 @@ and optimize_stmt opt (s : Stmt.statement) =
   | Stmt.Update e -> Stmt.Update (opt e)
 
 (* ------------------------------------------------------------------ *)
-
-type compiled = {
-  c_session : t;
-  c_registry : Ctx.registry;
-  c_runtime : Interp.runtime;
-  c_vars : Xquery.Ast.var_decl list;
-  c_body : Stmt.query_body option;
-  c_env : Xquery.Purity.env;  (* for the evaluator's streaming gates *)
-}
 
 let install_declarations s reg rt (prog : Stmt.program) =
   (* [Engine.optimize_expr] is the identity when optimization is off;
@@ -205,6 +255,13 @@ and load_library s src =
       "a library program must not have a query body"
   | None -> ());
   resolve_imports s prog;
+  (* a library installs functions straight into the engine's registry
+     (below), bypassing [Engine.register_external] — invalidate both
+     cache layers explicitly. When this runs mid-compile (an import
+     resolving lazily), the caller's fingerprint is computed after
+     compilation, so the bumped generations are what gets cached. *)
+  invalidate_plans s;
+  Xquery.Engine.invalidate_plans s.eng;
   ignore
     (install_declarations s (Xquery.Engine.registry s.eng) s.rt prog
       : Xquery.Purity.env);
@@ -239,11 +296,12 @@ and load_library s src =
     Ctx.set_globals reg (Ctx.fields ctx).Ctx.vars
   end
 
-let register_module s uri src = Hashtbl.replace s.modules uri src
+let register_module s uri src =
+  invalidate_plans s;
+  Hashtbl.replace s.modules uri src
 
 let compile s src =
   Instr.span (instr s) "compile" (fun () ->
-      Instr.bump (instr s) Instr.K.queries_compiled;
       let prog = Parse.parse_program (fresh_static s) src in
       resolve_imports s prog;
       let reg = Ctx.copy_registry (Xquery.Engine.registry s.eng) in
@@ -260,14 +318,56 @@ let compile s src =
             | Stmt.Q_block b -> Stmt.Q_block (optimize_block opt b))
           prog.Stmt.prog_body
       in
-      {
-        c_session = s;
-        c_registry = reg;
-        c_runtime = rt;
-        c_vars = prog.Stmt.prog_variables;
-        c_body = body;
-        c_env = env;
-      })
+      let c =
+        {
+          c_session = s;
+          c_registry = reg;
+          c_runtime = rt;
+          c_vars = prog.Stmt.prog_variables;
+          c_body = body;
+          c_env = env;
+          c_plan =
+            lazy
+              (match body with
+              | None -> CP_none
+              | Some (Stmt.Q_expr e) ->
+                CP_expr (Xquery.Eval.compile (Interp.compiler rt) e)
+              | Some (Stmt.Q_block b) -> CP_block (Interp.compile_block rt b));
+        }
+      in
+      (* closure-compile inside the compile span so [run] measures pure
+         execution; skipped when execution goes through the tree walker *)
+      if Xquery.Engine.plans s.eng then ignore (Lazy.force c.c_plan : cplan);
+      (* successful compiles only: a parse or static error above must
+         not count (the span still reports its duration) *)
+      Instr.bump (instr s) Instr.K.queries_compiled;
+      c)
+
+(* Plan cache around [compile], mirroring the engine's: keyed on the
+   program text, guarded by the fingerprint the entry was compiled
+   under. A failed compile counts as a miss but never as a compiled
+   query; the cache is bypassed entirely when plans are off. *)
+let fingerprint s =
+  ( Xquery.Engine.generation s.eng,
+    s.s_generation,
+    Xquery.Engine.optimizing s.eng,
+    Xquery.Engine.streaming s.eng,
+    Xquery.Engine.plans s.eng )
+
+let compile_cached s src =
+  match Hashtbl.find_opt s.cache src with
+  | Some e when Xquery.Engine.plans s.eng && e.ce_fingerprint = fingerprint s
+    ->
+    Instr.bump (instr s) Instr.K.plan_cache_hit;
+    e.ce_compiled
+  | _ when not (Xquery.Engine.plans s.eng) -> compile s src
+  | _ ->
+    Instr.bump (instr s) Instr.K.plan_cache_miss;
+    let c = compile s src in
+    if Hashtbl.length s.cache >= cache_cap then Hashtbl.reset s.cache;
+    Hashtbl.replace s.cache src
+      { ce_fingerprint = fingerprint s; ce_compiled = c };
+    c
 
 type exec_opts = {
   vars : (Qname.t * Item.seq) list;
@@ -282,9 +382,10 @@ let run ?(opts = default_exec_opts) c =
   let vars = opts.vars in
   let trace = match opts.trace with Some f -> f | None -> s.trace in
   (* route statement-level fn:trace of this program to the same sink,
-     and pick up the engine's current streaming mode *)
+     and pick up the engine's current streaming and plan modes *)
   Interp.set_trace c.c_runtime trace;
   Interp.set_streaming c.c_runtime (Xquery.Engine.streaming s.eng);
+  Interp.set_plans c.c_runtime (Xquery.Engine.plans s.eng);
   (* evaluate module variable declarations in order, over the session's
      persistent globals *)
   let ctx =
@@ -322,12 +423,19 @@ let run ?(opts = default_exec_opts) c =
       ctx c.c_vars
   in
   Ctx.set_globals c.c_registry (Ctx.fields ctx).Ctx.vars;
+  let plans = Xquery.Engine.plans s.eng in
   match c.c_body with
   | None -> []
-  | Some (Stmt.Q_expr e) -> Xquery.Eval.eval ctx e
-  | Some (Stmt.Q_block b) -> Interp.exec_block c.c_runtime ~vars b)
+  | Some (Stmt.Q_expr e) -> (
+    match (if plans then Lazy.force c.c_plan else CP_none) with
+    | CP_expr p -> p ctx
+    | _ -> Xquery.Eval.eval ctx e)
+  | Some (Stmt.Q_block b) -> (
+    match (if plans then Lazy.force c.c_plan else CP_none) with
+    | CP_block cb -> Interp.run_block c.c_runtime ~vars cb
+    | _ -> Interp.exec_block c.c_runtime ~vars b))
 
-let eval ?opts s src = run ?opts (compile s src)
+let eval ?opts s src = run ?opts (compile_cached s src)
 
 let eval_to_string ?opts s src =
   Xml_serialize.seq_to_string (eval ?opts s src)
@@ -337,7 +445,7 @@ type exec_result = { r_value : Item.seq; r_stats : Instr.stats }
 let exec ?(opts = default_exec_opts) s src =
   let i = instr s in
   let before = Instr.stats i in
-  let v = Instr.span i "query" (fun () -> run ~opts (compile s src)) in
+  let v = Instr.span i "query" (fun () -> run ~opts (compile_cached s src)) in
   { r_value = v; r_stats = Instr.since i before }
 
 (* ------------------------------------------------------------------ *)

@@ -17,8 +17,22 @@ val create : ?optimize:bool -> ?instr:Instr.t -> unit -> t
     or swap its sink at any time and already-wired components report
     into it. *)
 
+val with_engine : Xquery.Engine.t -> t
+(** Build a session around an existing engine (sharing its registry,
+    static context and instrumentation handle). Sessions over one engine
+    keep independent plan caches and procedure runtimes; registrations
+    that touch the shared registry invalidate across all of them through
+    the engine's generation. *)
+
 val engine : t -> Xquery.Engine.t
 val runtime : t -> Interp.runtime
+
+val invalidate_plans : t -> unit
+(** Flush the session's plan cache and compiled procedure bodies,
+    bumping the session generation (flushed entries count on
+    [plan.cache.invalidate]). Called automatically by every
+    registration ({!register_function}, {!register_function_cursor},
+    {!register_procedure}, {!register_module}) and by library loads. *)
 
 val instr : t -> Instr.t
 (** The handle given to {!create}. *)
@@ -80,7 +94,19 @@ type compiled
 
 val compile : t -> string -> compiled
 (** Parse an XQSE program and register its declarations against copies of
-    the session registry/runtime. *)
+    the session registry/runtime. When the engine executes plans
+    (see {!Xquery.Engine.plans}), the query body is closure-compiled
+    inside the [compile] span, so {!run} measures pure execution.
+    [queries.compiled] counts only successful compiles. *)
+
+val compile_cached : t -> string -> compiled
+(** {!compile} through the session's plan cache: a fingerprint-valid
+    entry for the same program text is returned without recompiling
+    (bumping [plan.cache.hit] and skipping the [compile] span entirely);
+    otherwise [plan.cache.miss] is bumped {e before} compiling, so
+    failed compiles are misses that never become plans. The fingerprint
+    covers the engine and session generations plus the
+    optimize/streaming/plans flags. Bypassed when plans are off. *)
 
 type exec_opts = {
   vars : (Qname.t * Item.seq) list;  (** external variable bindings *)
@@ -99,7 +125,8 @@ val run : ?opts:exec_opts -> compiled -> Item.seq
     empty sequence. *)
 
 val eval : ?opts:exec_opts -> t -> string -> Item.seq
-(** [compile] + [run]. *)
+(** {!compile_cached} + {!run}: repeated program texts skip compilation
+    entirely while the fingerprint holds. *)
 
 val eval_to_string : ?opts:exec_opts -> t -> string -> string
 

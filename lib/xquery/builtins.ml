@@ -33,6 +33,29 @@ let double_arg args n =
   | Some a -> (
     try Some (Atomic.to_double a) with Atomic.Cast_error m -> err "XPTY0004" m)
 
+(* The fn:subsequence window rule, shared with the streaming schedule
+   (Eval.streaming_subsequence) so both evaluators keep exactly the same
+   items. Per F&O, positions are tested in xs:double arithmetic: the
+   item at 1-based position [p] survives iff [p >= fn:round(start)] and,
+   when a length is given, [p < fn:round(start) + fn:round(length)].
+   fn:round is half-toward-+INF — [Float.floor (x +. 0.5)], not
+   [Float.round], which differs at negative halves — and NaN anywhere
+   makes every comparison false (an empty result), so positions are
+   never converted to int: no NaN/infinity/overflow undefined
+   behavior. *)
+let round_half_up x = Float.floor (x +. 0.5)
+
+let subsequence_window start len =
+  let s = round_half_up start in
+  let e =
+    match len with None -> Float.infinity | Some l -> s +. round_half_up l
+  in
+  (s, e)
+
+let subsequence_keep (s, e) p =
+  let p = float_of_int p in
+  p >= s && p < e
+
 (* XPath regex flavor is close enough to PCRE for the supported flags. *)
 let compile_regex pattern flags =
   let opts = ref [] in
@@ -388,18 +411,14 @@ let register_all reg =
       match double_arg args 1 with
       | None -> []
       | Some start ->
-        let start = int_of_float (Float.round start) in
-        List.filteri (fun i _ -> i + 1 >= start) (arg 0 args));
+        let w = subsequence_window start None in
+        List.filteri (fun i _ -> subsequence_keep w (i + 1)) (arg 0 args));
   fn "subsequence" 3 (fun _ args ->
       match (double_arg args 1, double_arg args 2) with
       | None, _ | _, None -> []
       | Some start, Some len ->
-        let start = int_of_float (Float.round start) in
-        let stop =
-          if len = Float.infinity then max_int
-          else start + int_of_float (Float.round len)
-        in
-        List.filteri (fun i _ -> i + 1 >= start && i + 1 < stop) (arg 0 args));
+        let w = subsequence_window start (Some len) in
+        List.filteri (fun i _ -> subsequence_keep w (i + 1)) (arg 0 args));
   fn "insert-before" 3 (fun _ args ->
       let seq = arg 0 args and pos = int_arg args 1 and ins = arg 2 args in
       let pos = max 1 pos in

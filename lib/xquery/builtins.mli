@@ -6,6 +6,15 @@
     aggregates, node functions, context functions, [fn:error] and
     [fn:trace], plus the [xs:TYPE(...)] constructor functions. *)
 
+val subsequence_window : float -> float option -> float * float
+(** [subsequence_window start len] is the (inclusive, exclusive)
+    position window of fn:subsequence in xs:double arithmetic, with
+    fn:round (half toward +INF) applied to both arguments. *)
+
+val subsequence_keep : float * float -> int -> bool
+(** [subsequence_keep window p] tests a 1-based position against the
+    window; NaN bounds reject every position (empty result). *)
+
 val register_all : Context.registry -> unit
 (** Register every builtin into a registry. Idempotent per registry only
     if called once — re-registering raises [err:XQST0034]. *)

@@ -1,14 +1,45 @@
 open Xdm
 
-type t = {
+type compiled_entry = {
+  e_fingerprint : int * bool * bool * bool;
+      (* (generation, optimize, streaming, plans) under which the entry
+         was compiled; a mismatch at lookup is a miss *)
+  e_compiled : compiled_rec;
+}
+
+and t = {
   st : Context.static;
   reg : Context.registry;
   mutable optimize : bool;
   mutable streaming : bool;
+  mutable plans : bool;
   mutable instr : Instr.t;
+  mutable generation : int;
+      (* bumped on every static-context change (function/namespace
+         registration) so cached plans compiled against the old context
+         can never be replayed *)
+  cache : (string, compiled_entry) Hashtbl.t;  (* query text → plan *)
   docs : (string * Node.t) list ref;
   colls : (string * Node.t list) list ref;
 }
+
+and compiled_rec = {
+  c_engine : t;
+  c_registry : Context.registry;
+  c_vars : Ast.var_decl list;  (* in declaration order *)
+  c_body : Ast.expr;
+  c_env : Purity.env;  (* for the evaluator's streaming gates *)
+  c_plan : Eval.plan Lazy.t;
+      (* the closure-compiled body; forced inside the compile span when
+         plans are enabled so the compile/run span split stays honest *)
+}
+
+(* Bounded cache: a workload of unbounded distinct query texts must not
+   retain every plan forever. Overflow flushes wholesale — eviction
+   policy is not worth the bookkeeping at this scale, and a flush is not
+   an invalidation (the static context did not change), so it does not
+   count on [plan.cache.invalidate]. *)
+let cache_cap = 256
 
 let create ?(optimize = true) ?(streaming = true) ?(instr = Instr.disabled) ()
     =
@@ -17,14 +48,28 @@ let create ?(optimize = true) ?(streaming = true) ?(instr = Instr.disabled) ()
     reg = Builtins.standard_registry ();
     optimize;
     streaming;
+    plans = true;
     instr;
+    generation = 0;
+    cache = Hashtbl.create 32;
     docs = ref [];
     colls = ref [];
   }
 
 let with_registry ?(optimize = true) ?(streaming = true)
     ?(instr = Instr.disabled) st reg =
-  { st; reg; optimize; streaming; instr; docs = ref []; colls = ref [] }
+  {
+    st;
+    reg;
+    optimize;
+    streaming;
+    plans = true;
+    instr;
+    generation = 0;
+    cache = Hashtbl.create 32;
+    docs = ref [];
+    colls = ref [];
+  }
 
 let static t = t.st
 let registry t = t.reg
@@ -32,14 +77,34 @@ let optimizing t = t.optimize
 let set_optimizing t b = t.optimize <- b
 let streaming t = t.streaming
 let set_streaming t b = t.streaming <- b
+let plans t = t.plans
+let set_plans t b = t.plans <- b
+let generation t = t.generation
 let instr t = t.instr
 let set_instr t i = t.instr <- i
-let declare_namespace t prefix uri = Context.declare_ns t.st prefix uri
+
+(* Any change to what queries compile against — registered functions,
+   namespace bindings — makes every cached plan stale. The generation
+   bump also covers plans cached outside the engine (Xqse.Session keys
+   its own cache on the engine generation). *)
+let invalidate_plans t =
+  t.generation <- t.generation + 1;
+  let n = Hashtbl.length t.cache in
+  if n > 0 then begin
+    Instr.bump t.instr ~n Instr.K.plan_cache_invalidate;
+    Hashtbl.reset t.cache
+  end
+
+let declare_namespace t prefix uri =
+  invalidate_plans t;
+  Context.declare_ns t.st prefix uri
 
 let register_external t ?side_effects name arity impl =
+  invalidate_plans t;
   Context.register_external t.reg ?side_effects name arity impl
 
 let register_external_cursor t ?side_effects name arity impl =
+  invalidate_plans t;
   Context.register_external_cursor t.reg ?side_effects name arity impl
 
 let register_doc t uri node = t.docs := (uri, node) :: !(t.docs)
@@ -83,13 +148,7 @@ let optimize_expr t ?where ?env e =
    and must gate identically in optimized and unoptimized engines. *)
 let purity_env t decls = Purity.env_for ~registry:t.reg decls
 
-type compiled = {
-  c_engine : t;
-  c_registry : Context.registry;
-  c_vars : Ast.var_decl list;  (* in declaration order *)
-  c_body : Ast.expr;
-  c_env : Purity.env;  (* for the evaluator's streaming gates *)
-}
+type compiled = compiled_rec
 
 (* The (effects, fallible, constructs) closure handed to the dynamic
    context so the evaluator can consult the compile-time purity
@@ -100,7 +159,6 @@ let purity_fn env e =
 
 let compile t src =
   Instr.span t.instr "compile" (fun () ->
-      Instr.bump t.instr Instr.K.queries_compiled;
       (* parse against a copy of the static context so per-query namespace
          declarations do not leak into the engine *)
       let st =
@@ -153,13 +211,25 @@ let compile t src =
             ())
         m.Ast.prolog;
       let body = optimize_expr t ~env m.Ast.body in
-      {
-        c_engine = t;
-        c_registry = reg;
-        c_vars = List.rev !vars;
-        c_body = body;
-        c_env = env;
-      })
+      let c =
+        {
+          c_engine = t;
+          c_registry = reg;
+          c_vars = List.rev !vars;
+          c_body = body;
+          c_env = env;
+          c_plan =
+            lazy
+              (Eval.compile (Eval.compiler ~purity:(purity_fn env) reg) body);
+        }
+      in
+      (* closure-compile inside the compile span so [run] measures pure
+         execution; skipped when the engine executes via the tree walker *)
+      if t.plans then ignore (Lazy.force c.c_plan : Eval.plan);
+      (* successful compiles only: a parse or static error above must
+         not count (the span still reports its duration) *)
+      Instr.bump t.instr Instr.K.queries_compiled;
+      c)
 
 type run_opts = {
   context_item : Item.t option;
@@ -222,9 +292,31 @@ let run ?(opts = default_run_opts) c =
         | Some item -> Context.with_focus ctx item ~pos:1 ~size:1
         | None -> ctx
       in
-      Eval.eval ctx c.c_body)
+      if c.c_engine.plans then (Lazy.force c.c_plan) ctx
+      else Eval.eval ctx c.c_body)
 
-let eval_string ?opts t src = run ?opts (compile t src)
+(* Plan cache around [compile]: keyed on the query text, guarded by the
+   fingerprint (generation + flags) the entry was compiled under. The
+   fingerprint is (re)computed after compilation so a mid-compile
+   generation bump can never be cached over. A failed compile counts as
+   a miss but never as a compiled query. *)
+let fingerprint t = (t.generation, t.optimize, t.streaming, t.plans)
+
+let compile_cached t src =
+  match Hashtbl.find_opt t.cache src with
+  | Some e when t.plans && e.e_fingerprint = fingerprint t ->
+    Instr.bump t.instr Instr.K.plan_cache_hit;
+    e.e_compiled
+  | _ when not t.plans -> compile t src
+  | _ ->
+    Instr.bump t.instr Instr.K.plan_cache_miss;
+    let c = compile t src in
+    if Hashtbl.length t.cache >= cache_cap then Hashtbl.reset t.cache;
+    Hashtbl.replace t.cache src
+      { e_fingerprint = fingerprint t; e_compiled = c };
+    c
+
+let eval_string ?opts t src = run ?opts (compile_cached t src)
 
 let eval_to_string ?opts t src =
   Xml_serialize.seq_to_string (eval_string ?opts t src)

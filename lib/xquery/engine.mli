@@ -47,6 +47,28 @@ val set_streaming : t -> bool -> unit
     off every [Eval.eval_cur] degenerates to eager evaluation; the
     differential corpus exercises both modes. *)
 
+val plans : t -> bool
+val set_plans : t -> bool -> unit
+(** Toggle closure-compiled execution (default on). With plans on,
+    {!run} executes the query's compiled plan and {!eval_string} serves
+    repeated query texts from the engine's plan cache (bumping
+    [plan.cache.hit]/[plan.cache.miss]); with plans off every run walks
+    the AST through [Eval.eval] and the cache is bypassed entirely.
+    Results are identical either way — the differential corpus compares
+    the two axes. *)
+
+val generation : t -> int
+(** Monotonic static-context generation: bumped by every registration
+    ({!register_external}, {!register_external_cursor},
+    {!declare_namespace}) and by {!invalidate_plans}. Part of the plan
+    cache fingerprint; session-level caches key on it too. *)
+
+val invalidate_plans : t -> unit
+(** Flush the plan cache and bump the generation (counting the flushed
+    entries on [plan.cache.invalidate]). Called automatically by every
+    registration; call it directly after mutating shared state behind
+    the engine's back. *)
+
 val instr : t -> Instr.t
 val set_instr : t -> Instr.t -> unit
 
@@ -104,9 +126,19 @@ type compiled
 
 val compile : t -> string -> compiled
 (** Parse a query (prolog + body), register its functions into a copy of
-    the base registry, optimize.
+    the base registry, optimize, and (when {!plans} is on) closure-
+    compile the body — all inside the [compile] span, so [run] measures
+    pure execution. [queries.compiled] counts only successful compiles.
     @raise Parser.Syntax_error / Lexer.Lex_error on bad syntax,
     Xdm.Item.Error on static errors. *)
+
+val compile_cached : t -> string -> compiled
+(** {!compile} through the engine's plan cache: a fingerprint-valid
+    entry for the same query text is returned without recompiling
+    (bumping [plan.cache.hit] and skipping the [compile] span
+    entirely); otherwise [plan.cache.miss] is bumped {e before}
+    compiling, so failed compiles are misses that never become plans.
+    Bypasses the cache when {!plans} is off. *)
 
 type run_opts = {
   context_item : Item.t option;

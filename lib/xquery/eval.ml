@@ -159,6 +159,124 @@ let general_pair_compare op a b =
     | c -> apply_op op c
     | exception Atomic.Cast_error msg -> err "XPTY0004" msg
 
+(* Shared scalar kernels over already-evaluated operands: the eager
+   evaluator, the closure compiler (stage 2, below) and the XQSE
+   interpreter's fast path for tiny statement expressions must agree
+   exactly, so the arithmetic/comparison/range rules live here once. *)
+
+let arith_seq op va vb =
+  match (va, vb) with
+  (* singleton non-untyped atoms skip the atomize walk; [numeric_of_
+     untyped] is the identity on everything but [Untyped] *)
+  | [ Item.Atomic a ], [ Item.Atomic b ]
+    when (match a with Atomic.Untyped _ -> false | _ -> true)
+         && (match b with Atomic.Untyped _ -> false | _ -> true) -> (
+    try [ Item.Atomic (Atomic.arith op a b) ]
+    with Atomic.Cast_error msg -> arith_error msg)
+  | _ -> (
+    match (Item.one_atom_opt va, Item.one_atom_opt vb) with
+    | None, _ | _, None -> []
+    | Some va, Some vb -> (
+      let va = numeric_of_untyped va and vb = numeric_of_untyped vb in
+      try [ Item.Atomic (Atomic.arith op va vb) ]
+      with Atomic.Cast_error msg -> arith_error msg))
+
+let neg_seq va =
+  match Item.one_atom_opt va with
+  | None -> []
+  | Some v -> (
+    try [ Item.Atomic (Atomic.negate (numeric_of_untyped v)) ]
+    with Atomic.Cast_error msg -> err "XPTY0004" msg)
+
+let value_cmp_seq op va vb =
+  match (va, vb) with
+  (* singleton atoms are what [one_atom_opt] would unwrap anyway *)
+  | [ Item.Atomic x ], [ Item.Atomic y ] ->
+    Item.bool (value_compare_atoms op x y)
+  | _ -> (
+    match (Item.one_atom_opt va, Item.one_atom_opt vb) with
+    | None, _ | _, None -> []
+    | Some x, Some y -> Item.bool (value_compare_atoms op x y))
+
+let general_cmp_seq op va vb =
+  let va = Item.atomize va and vb = Item.atomize vb in
+  Item.bool
+    (List.exists
+       (fun x -> List.exists (fun y -> general_pair_compare op x y) vb)
+       va)
+
+let node_comparison_seq na nb pred =
+  match (na, nb) with
+  | [], _ | _, [] -> []
+  | [ Item.Node x ], [ Item.Node y ] -> Item.bool (pred x y)
+  | _ -> Item.type_error "node comparison requires single nodes"
+
+let range_bounds_seq va vb =
+  match (Item.one_atom_opt va, Item.one_atom_opt vb) with
+  | None, _ | _, None -> None
+  | Some ia, Some ib ->
+    let to_int v =
+      match v with
+      | Atomic.Integer i -> i
+      | a -> (
+        try
+          match Atomic.cast_to a (Qname.xs "integer") with
+          | Atomic.Integer i -> i
+          | _ -> err "XPTY0004" "range bounds must be integers"
+        with Atomic.Cast_error m -> err "XPTY0004" m)
+    in
+    let lo = to_int ia and hi = to_int ib in
+    if lo > hi then None else Some (lo, hi)
+
+let range_list lo hi =
+  List.init (hi - lo + 1) (fun i -> Item.Atomic (Atomic.Integer (lo + i)))
+
+(* order by: compare one evaluated key pair under its spec, then the
+   stable multi-key sort over (tuple, keys) pairs *)
+let order_cmp_key (a, spec) (b, _) =
+  let c =
+    match (a, b) with
+    | None, None -> 0
+    | None, Some _ -> if spec.Ast.empty_least then -1 else 1
+    | Some _, None -> if spec.Ast.empty_least then 1 else -1
+    | Some x, Some y -> (
+      let x = match x with Atomic.Untyped s -> Atomic.String s | x -> x in
+      let y = match y with Atomic.Untyped s -> Atomic.String s | y -> y in
+      match (Atomic.is_nan x, Atomic.is_nan y) with
+      | true, true -> 0
+      | true, false -> if spec.Ast.empty_least then -1 else 1
+      | false, true -> if spec.Ast.empty_least then 1 else -1
+      | false, false -> (
+        try Atomic.compare_values x y
+        with Atomic.Cast_error msg -> err "XPTY0004" msg))
+  in
+  if spec.Ast.descending then -c else c
+
+let rec order_cmp_keys ka kb =
+  match (ka, kb) with
+  | [], [] -> 0
+  | a :: ka, b :: kb -> (
+    match order_cmp_key a b with 0 -> order_cmp_keys ka kb | c -> c)
+  | _ -> 0
+
+let order_sort keyed =
+  List.map fst
+    (List.stable_sort (fun (_, ka) (_, kb) -> order_cmp_keys ka kb) keyed)
+
+(* computed-constructor name rule over the evaluated name atom *)
+let name_spec_atom ~element a =
+  match a with
+  | Atomic.QName q -> q
+  | Atomic.String s | Atomic.Untyped s ->
+    if String.contains s ':' then
+      err "XQDY0074" (Printf.sprintf "cannot resolve prefixed name %S" s)
+    else Qname.local s
+  | a ->
+    ignore element;
+    err "XPTY0004"
+      (Printf.sprintf "invalid name value of type %s"
+         (Qname.to_string (Atomic.type_name a)))
+
 (* ------------------------------------------------------------------ *)
 (* The evaluator                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -228,39 +346,24 @@ let rec eval ctx (e : Ast.expr) : Item.seq =
   | Ast.Range (a, b) -> (
     match range_bounds ctx a b with
     | None -> []
-    | Some (lo, hi) ->
-      List.init (hi - lo + 1) (fun i -> Item.Atomic (Atomic.Integer (lo + i))))
-  | Ast.Arith (op, a, b) -> (
-    let va = Item.one_atom_opt (eval ctx a)
-    and vb = Item.one_atom_opt (eval ctx b) in
-    match (va, vb) with
-    | None, _ | _, None -> []
-    | Some va, Some vb -> (
-      let va = numeric_of_untyped va and vb = numeric_of_untyped vb in
-      try [ Item.Atomic (Atomic.arith op va vb) ]
-      with Atomic.Cast_error msg -> arith_error msg))
-  | Ast.Neg a -> (
-    match Item.one_atom_opt (eval ctx a) with
-    | None -> []
-    | Some v -> (
-      try [ Item.Atomic (Atomic.negate (numeric_of_untyped v)) ]
-      with Atomic.Cast_error msg -> err "XPTY0004" msg))
+    | Some (lo, hi) -> range_list lo hi)
+  | Ast.Arith (op, a, b) ->
+    let va = eval ctx a in
+    let vb = eval ctx b in
+    arith_seq op va vb
+  | Ast.Neg a -> neg_seq (eval ctx a)
   | Ast.And (a, b) ->
     Item.bool (ebv_cur (eval_cur ctx a) && ebv_cur (eval_cur ctx b))
   | Ast.Or (a, b) ->
     Item.bool (ebv_cur (eval_cur ctx a) || ebv_cur (eval_cur ctx b))
   | Ast.General_cmp (op, a, b) ->
-    let va = Item.atomize (eval ctx a) and vb = Item.atomize (eval ctx b) in
-    Item.bool
-      (List.exists
-         (fun x -> List.exists (fun y -> general_pair_compare op x y) vb)
-         va)
-  | Ast.Value_cmp (op, a, b) -> (
-    let va = Item.one_atom_opt (eval ctx a)
-    and vb = Item.one_atom_opt (eval ctx b) in
-    match (va, vb) with
-    | None, _ | _, None -> []
-    | Some x, Some y -> Item.bool (value_compare_atoms op x y))
+    let va = eval ctx a in
+    let vb = eval ctx b in
+    general_cmp_seq op va vb
+  | Ast.Value_cmp (op, a, b) ->
+    let va = eval ctx a in
+    let vb = eval ctx b in
+    value_cmp_seq op va vb
   | Ast.Node_is (a, b) -> node_comparison ctx a b (fun x y -> Node.is_same x y)
   | Ast.Node_before (a, b) ->
     node_comparison ctx a b (fun x y -> Node.doc_order x y < 0)
@@ -522,11 +625,9 @@ let rec eval ctx (e : Ast.expr) : Item.seq =
     eval ctx' ret
 
 and node_comparison ctx a b pred =
-  let na = eval ctx a and nb = eval ctx b in
-  match (na, nb) with
-  | [], _ | _, [] -> []
-  | [ Item.Node x ], [ Item.Node y ] -> Item.bool (pred x y)
-  | _ -> Item.type_error "node comparison requires single nodes"
+  let na = eval ctx a in
+  let nb = eval ctx b in
+  node_comparison_seq na nb pred
 
 and check_updating ctx =
   if not (Context.fields ctx).updating_ok then
@@ -535,18 +636,7 @@ and check_updating ctx =
 
 and eval_name_spec ctx ~element = function
   | Ast.Static_name qn -> qn
-  | Ast.Dynamic_name e -> (
-    match Item.one_atom (eval ctx e) with
-    | Atomic.QName q -> q
-    | Atomic.String s | Atomic.Untyped s ->
-      if String.contains s ':' then
-        err "XQDY0074" (Printf.sprintf "cannot resolve prefixed name %S" s)
-      else Qname.local s
-    | a ->
-      ignore element;
-      err "XPTY0004"
-        (Printf.sprintf "invalid name value of type %s"
-           (Qname.to_string (Atomic.type_name a))))
+  | Ast.Dynamic_name e -> name_spec_atom ~element (Item.one_atom (eval ctx e))
 
 (* Predicates: numeric singleton = positional test, otherwise EBV. *)
 and apply_predicates ctx preds items =
@@ -644,36 +734,7 @@ and eval_clauses ctx tuples = function
           (vars, keys))
         tuples
     in
-    let cmp_key (a, spec) (b, _) =
-      let c =
-        match (a, b) with
-        | None, None -> 0
-        | None, Some _ -> if spec.Ast.empty_least then -1 else 1
-        | Some _, None -> if spec.Ast.empty_least then 1 else -1
-        | Some x, Some y -> (
-          let x = match x with Atomic.Untyped s -> Atomic.String s | x -> x in
-          let y = match y with Atomic.Untyped s -> Atomic.String s | y -> y in
-          match (Atomic.is_nan x, Atomic.is_nan y) with
-          | true, true -> 0
-          | true, false -> if spec.Ast.empty_least then -1 else 1
-          | false, true -> if spec.Ast.empty_least then 1 else -1
-          | false, false -> (
-            try Atomic.compare_values x y
-            with Atomic.Cast_error msg -> err "XPTY0004" msg))
-      in
-      if spec.Ast.descending then -c else c
-    in
-    let rec cmp_keys ka kb =
-      match (ka, kb) with
-      | [], [] -> 0
-      | a :: ka, b :: kb -> (
-        match cmp_key a b with 0 -> cmp_keys ka kb | c -> c)
-      | _ -> 0
-    in
-    let sorted =
-      List.stable_sort (fun (_, ka) (_, kb) -> cmp_keys ka kb) keyed
-    in
-    eval_clauses ctx (List.map fst sorted) rest
+    eval_clauses ctx (order_sort keyed) rest
   | Ast.Join_clause j :: rest ->
     (* build side: hash join_source items by join_build_key *)
     let table = Hashtbl.create 64 in
@@ -852,23 +913,9 @@ and call ctx name arg_vals =
       | None -> result))
 
 and range_bounds ctx a b =
-  let ia = Item.one_atom_opt (eval ctx a)
-  and ib = Item.one_atom_opt (eval ctx b) in
-  match (ia, ib) with
-  | None, _ | _, None -> None
-  | Some ia, Some ib ->
-    let to_int v =
-      match v with
-      | Atomic.Integer i -> i
-      | a -> (
-        try
-          match Atomic.cast_to a (Qname.xs "integer") with
-          | Atomic.Integer i -> i
-          | _ -> err "XPTY0004" "range bounds must be integers"
-        with Atomic.Cast_error m -> err "XPTY0004" m)
-    in
-    let lo = to_int ia and hi = to_int ib in
-    if lo > hi then None else Some (lo, hi)
+  let va = eval ctx a in
+  let vb = eval ctx b in
+  range_bounds_seq va vb
 
 (* Shared tail of path evaluation: node/atomic homogeneity check and
    document-order sort. *)
@@ -1147,66 +1194,77 @@ and streaming_call ctx name args =
     | "not", [ e ] when is_builtin () ->
       Some (Item.bool (not (ebv_cur (eval_cur ctx e))))
     | "subsequence", [ e; starte ] when is_builtin () ->
-      Some (streaming_subsequence ctx e starte None)
+      Some
+        (streaming_subsequence ctx (eval_cur ctx e)
+           (fun () -> eval ctx starte)
+           None)
     | "subsequence", [ e; starte; lene ] when is_builtin () ->
-      Some (streaming_subsequence ctx e starte (Some lene))
+      Some
+        (streaming_subsequence ctx (eval_cur ctx e)
+           (fun () -> eval ctx starte)
+           (Some (fun () -> eval ctx lene)))
     | _ -> None
 
-(* fn:subsequence with the sequence argument streamed. The start/length
-   arguments are evaluated after opening the sequence cursor, matching
-   the eager left-to-right argument order; when the cursor is impure it
-   is materialized first (restoring the exact eager schedule), when pure
+(* fn:subsequence with the sequence argument streamed; shared between
+   the interpreted and compiled paths, so the cursor arrives already
+   opened and the start/length arguments arrive as thunks. The thunks
+   are forced after the cursor is opened, matching the eager
+   left-to-right argument order; when the cursor is impure it is
+   materialized first (restoring the exact eager schedule), when pure
    the pending pulls commute with those evaluations. Index arithmetic is
    byte-for-byte the eager builtin's. *)
-and streaming_subsequence ctx e starte lene =
-  let c = eval_cur ctx e in
+and streaming_subsequence ctx c startv lenv =
   let pre = if Cursor.is_pure c then None else Some (materialize ctx c) in
-  let dbl e' =
-    match Item.one_atom_opt (eval ctx e') with
+  let dbl v =
+    match Item.one_atom_opt (v ()) with
     | None -> None
     | Some a -> (
       try Some (Atomic.to_double a)
       with Atomic.Cast_error m -> err "XPTY0004" m)
   in
   let bounds =
-    match lene with
+    match lenv with
     | None -> (
-      match dbl starte with
+      match dbl startv with
       | None -> None
-      | Some s -> Some (int_of_float (Float.round s), max_int))
-    | Some le -> (
-      let sv = dbl starte in
-      let lv = dbl le in
+      | Some s -> Some (Builtins.subsequence_window s None))
+    | Some lv -> (
+      let sv = dbl startv in
+      let lv = dbl lv in
       match (sv, lv) with
       | None, _ | _, None -> None
-      | Some s, Some l ->
-        let start = int_of_float (Float.round s) in
-        let stop =
-          if l = Float.infinity then max_int
-          else start + int_of_float (Float.round l)
-        in
-        Some (start, stop))
+      | Some s, Some l -> Some (Builtins.subsequence_window s (Some l)))
   in
   match bounds with
   | None ->
     (match pre with None -> Cursor.abandon c | Some _ -> ());
     []
-  | Some (start, stop) -> (
+  | Some ((start, stop) as w) -> (
     match pre with
     | Some items ->
-      List.filteri (fun i _ -> i + 1 >= start && i + 1 < stop) items
+      List.filteri (fun i _ -> Builtins.subsequence_keep w (i + 1)) items
     | None ->
-      let rec go i acc =
-        if i + 1 >= stop then begin
-          Cursor.abandon c;
-          List.rev acc
-        end
-        else
-          match Cursor.next c with
-          | None -> List.rev acc
-          | Some x -> go (i + 1) (if i + 1 >= start then x :: acc else acc)
-      in
-      go 0 [])
+      if Float.is_nan start || Float.is_nan stop then begin
+        (* no position can pass a NaN bound: nothing to collect *)
+        Cursor.abandon c;
+        []
+      end
+      else
+        (* once the position reaches the exclusive upper bound no later
+           position can match either — safe to abandon *)
+        let rec go i acc =
+          if float_of_int (i + 1) >= stop then begin
+            Cursor.abandon c;
+            List.rev acc
+          end
+          else
+            match Cursor.next c with
+            | None -> List.rev acc
+            | Some x ->
+              go (i + 1)
+                (if Builtins.subsequence_keep w (i + 1) then x :: acc else acc)
+        in
+        go 0 [])
 
 (* Produce a cursor for [e]. The default arm evaluates eagerly and
    wraps the result — an of_list cursor is always pure, since its pulls
@@ -1267,3 +1325,937 @@ let eval_updating ctx e =
     err "XUST0001"
       "an update statement requires an updating expression (it returned a value)";
   pul
+
+(* ------------------------------------------------------------------ *)
+(* Stage 2: closure compilation                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [compile] walks an expression once and closes over everything the
+   tree-walking evaluator re-derives per evaluation: constructor
+   dispatch, name resolution against the registry, purity/streaming
+   gate verdicts and nested sub-plans. The resulting [plan] is a plain
+   closure [ctx -> seq] whose observable behaviour — items, effects,
+   errors, instrumentation counters, evaluation order — is identical to
+   [eval]; every arm below mirrors its [eval] arm line for line, with
+   the per-evaluation analysis hoisted to compile time.
+
+   What is fixed at compile time (and therefore part of the plan-cache
+   fingerprint maintained by Engine/Session): the registry contents for
+   names that resolve, and the purity environment. Both are sound to
+   freeze: [Context.register] rejects redefinition, so a name that
+   resolved at compile time cannot change, and a name that did *not*
+   resolve compiles to a runtime-lookup fallback so late registrations
+   (XQSE readonly procedures declared mid-block) still work and a name
+   that is never executed still raises XPST0017 only on execution.
+
+   What stays dynamic: the [streaming] flag is read from the context at
+   run time, so one cached plan serves both modes of the same engine;
+   variables, focus, documents and collections come from the context as
+   always. Update expressions compile to an interpreter escape hatch —
+   they run once per statement and gain nothing from staging. *)
+
+type plan = Context.dynamic -> Item.seq
+
+(* Sub-plan memo keyed on physical identity: an expression node needed
+   both eagerly and as a cursor (or shared after optimizer rewrites) is
+   compiled once per mode, which also bounds compilation of nested
+   [Seq_expr]/[Path] chains that would otherwise recompile subtrees
+   exponentially. *)
+module PhysTbl = Hashtbl.Make (struct
+  type t = Ast.expr
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type compiler = {
+  c_purity : Ast.expr -> bool * bool * bool;
+  c_registry : Context.registry;
+  c_eager : plan PhysTbl.t;
+  c_cur : (Context.dynamic -> Item.t Cursor.t) PhysTbl.t;
+  c_fns :
+    ( string * string * int,
+      Context.dynamic -> Item.seq list -> Item.seq )
+    Hashtbl.t;
+      (* per-(uri, local, arity) compiled user-function bodies; entries
+         are installed as forward references before the body compiles,
+         which ties the knot for (mutually) recursive functions *)
+}
+
+let compiler ?(purity = fun _ -> (true, true, true)) registry =
+  {
+    c_purity = purity;
+    c_registry = registry;
+    c_eager = PhysTbl.create 64;
+    c_cur = PhysTbl.create 16;
+    c_fns = Hashtbl.create 8;
+  }
+
+let rec compile cc e =
+  match PhysTbl.find_opt cc.c_eager e with
+  | Some p -> p
+  | None ->
+    let p = compile_expr cc e in
+    PhysTbl.replace cc.c_eager e p;
+    p
+
+and compile_cur cc e =
+  match PhysTbl.find_opt cc.c_cur e with
+  | Some p -> p
+  | None ->
+    let p = compile_cur_expr cc e in
+    PhysTbl.replace cc.c_cur e p;
+    p
+
+and compile_expr cc (e : Ast.expr) : plan =
+  match e with
+  | Ast.Literal a ->
+    let v = [ Item.Atomic a ] in
+    fun _ -> v
+  | Ast.Var q -> (
+    fun ctx ->
+      match Context.lookup_var ctx q with
+      | Some v -> v
+      | None ->
+        Item.raise_error (Qname.err "XPST0008")
+          (Printf.sprintf "undefined variable $%s" (Qname.to_string q)))
+  | Ast.Context_item -> (
+    fun ctx ->
+      match (Context.fields ctx).ctx_item with
+      | Some item -> [ item ]
+      | None -> err "XPDY0002" "the context item is not defined")
+  | Ast.Seq_expr es ->
+    let ps = List.map (compile cc) es in
+    fun ctx -> List.concat_map (fun p -> p ctx) ps
+  | Ast.Range (a, b) ->
+    let pa = compile cc a and pb = compile cc b in
+    fun ctx -> (
+      let va = pa ctx in
+      let vb = pb ctx in
+      match range_bounds_seq va vb with
+      | None -> []
+      | Some (lo, hi) -> range_list lo hi)
+  | Ast.Arith (op, a, b) ->
+    let pa = compile cc a and pb = compile cc b in
+    fun ctx ->
+      let va = pa ctx in
+      let vb = pb ctx in
+      arith_seq op va vb
+  | Ast.Neg a ->
+    let pa = compile cc a in
+    fun ctx -> neg_seq (pa ctx)
+  | Ast.And (a, b) ->
+    let ca = compile_cur cc a and cb = compile_cur cc b in
+    fun ctx -> Item.bool (ebv_cur (ca ctx) && ebv_cur (cb ctx))
+  | Ast.Or (a, b) ->
+    let ca = compile_cur cc a and cb = compile_cur cc b in
+    fun ctx -> Item.bool (ebv_cur (ca ctx) || ebv_cur (cb ctx))
+  | Ast.General_cmp (op, a, b) ->
+    let pa = compile cc a and pb = compile cc b in
+    fun ctx ->
+      let va = pa ctx in
+      let vb = pb ctx in
+      general_cmp_seq op va vb
+  | Ast.Value_cmp (op, a, b) ->
+    let pa = compile cc a and pb = compile cc b in
+    fun ctx ->
+      let va = pa ctx in
+      let vb = pb ctx in
+      value_cmp_seq op va vb
+  | Ast.Node_is (a, b) ->
+    compile_node_comparison cc a b (fun x y -> Node.is_same x y)
+  | Ast.Node_before (a, b) ->
+    compile_node_comparison cc a b (fun x y -> Node.doc_order x y < 0)
+  | Ast.Node_after (a, b) ->
+    compile_node_comparison cc a b (fun x y -> Node.doc_order x y > 0)
+  | Ast.Union (a, b) ->
+    let pa = compile cc a and pb = compile cc b in
+    fun ctx -> Item.doc_sort (pa ctx @ pb ctx)
+  | Ast.Intersect (a, b) ->
+    let pa = compile cc a and pb = compile cc b in
+    fun ctx ->
+      let nb = Item.nodes_only (pb ctx) in
+      Item.doc_sort
+        (List.filter
+           (function
+             | Item.Node n -> List.exists (Node.is_same n) nb
+             | Item.Atomic _ -> Item.type_error "intersect requires nodes")
+           (pa ctx))
+  | Ast.Except (a, b) ->
+    let pa = compile cc a and pb = compile cc b in
+    fun ctx ->
+      let nb = Item.nodes_only (pb ctx) in
+      Item.doc_sort
+        (List.filter
+           (function
+             | Item.Node n -> not (List.exists (Node.is_same n) nb)
+             | Item.Atomic _ -> Item.type_error "except requires nodes")
+           (pa ctx))
+  | Ast.Instance_of (a, ty) ->
+    let pa = compile cc a in
+    fun ctx -> Item.bool (Seqtype.matches ty (pa ctx))
+  | Ast.Treat_as (a, ty) ->
+    let pa = compile cc a in
+    fun ctx ->
+      let v = pa ctx in
+      if Seqtype.matches ty v then v
+      else
+        Item.raise_error (Qname.err "XPDY0050")
+          (Printf.sprintf "treat as %s failed" (Seqtype.to_string ty))
+  | Ast.Castable_as (a, ty, opt) -> (
+    let pa = compile cc a in
+    fun ctx ->
+      match Item.atomize (pa ctx) with
+      | [] -> Item.bool opt
+      | [ v ] -> Item.bool (Atomic.can_cast_to v ty)
+      | _ -> Item.bool false)
+  | Ast.Cast_as (a, ty, opt) -> (
+    let pa = compile cc a in
+    fun ctx ->
+      match Item.atomize (pa ctx) with
+      | [] ->
+        if opt then []
+        else err "XPTY0004" "cast of an empty sequence to a non-optional type"
+      | [ v ] -> (
+        try [ Item.Atomic (Atomic.cast_to v ty) ]
+        with Atomic.Cast_error msg -> err "FORG0001" msg)
+      | _ -> err "XPTY0004" "cast of a sequence of more than one item")
+  | Ast.If_expr (c, t, e2) ->
+    let ccond = compile_cur cc c in
+    let pt = compile cc t and pe = compile cc e2 in
+    fun ctx -> if ebv_cur (ccond ctx) then pt ctx else pe ctx
+  | Ast.Typeswitch (operand, cases, (dvar, default)) -> (
+    let pop = compile cc operand in
+    let ccases = List.map (fun c -> (c, compile cc c.Ast.case_return)) cases in
+    let pdef = compile cc default in
+    fun ctx ->
+      let v = pop ctx in
+      match
+        List.find_opt (fun (c, _) -> Seqtype.matches c.Ast.case_type v) ccases
+      with
+      | Some (c, pret) ->
+        let ctx =
+          match c.Ast.case_var with
+          | Some var -> Context.bind ctx var v
+          | None -> ctx
+        in
+        pret ctx
+      | None ->
+        let ctx =
+          match dvar with Some var -> Context.bind ctx var v | None -> ctx
+        in
+        pdef ctx)
+  | Ast.Flwor (clauses, ret) -> (
+    let cclauses = List.map (compile_clause cc) clauses in
+    let pret = compile cc ret in
+    let eager ctx =
+      let tuples =
+        List.fold_left
+          (fun tuples cl -> cl ctx tuples)
+          [ (Context.fields ctx).vars ]
+          cclauses
+      in
+      List.concat_map (fun vars -> pret (Context.with_vars ctx vars)) tuples
+    in
+    match compile_flwor_stream cc clauses ret with
+    | Some splan ->
+      fun ctx ->
+        if (Context.fields ctx).streaming then materialize ctx (splan ctx)
+        else eager ctx
+    | None -> eager)
+  | Ast.Quantified (quant, bindings, body) -> (
+    let cbody_cur = compile_cur cc body in
+    let cbindings =
+      List.map (fun (v, ty, src) -> (v, ty, compile cc src)) bindings
+    in
+    let eager ctx =
+      let rec go ctx = function
+        | [] -> ebv_cur (cbody_cur ctx)
+        | (v, ty, psrc) :: rest ->
+          let items = psrc ctx in
+          let items =
+            match ty with
+            | Some t ->
+              List.map
+                (fun i ->
+                  match Seqtype.check ~what:(Qname.to_string v) t [ i ] with
+                  | [ i' ] -> i'
+                  | _ -> i)
+                items
+            | None -> items
+          in
+          let test item = go (Context.bind ctx v [ item ]) rest in
+          (match quant with
+          | Ast.Some_q -> List.exists test items
+          | Ast.Every_q -> List.for_all test items)
+      in
+      Item.bool (go ctx cbindings)
+    in
+    match bindings with
+    | [ (v, None, src) ] ->
+      let csrc = compile_cur cc src in
+      fun ctx ->
+        if not (Context.fields ctx).streaming then eager ctx
+        else begin
+          let c = csrc ctx in
+          let test item =
+            ebv_cur (cbody_cur (Context.bind ctx v [ item ]))
+          in
+          if Cursor.is_pure c then
+            let rec go () =
+              match Cursor.next c with
+              | None -> (
+                match quant with Ast.Some_q -> false | Ast.Every_q -> true)
+              | Some item -> (
+                match (quant, test item) with
+                | Ast.Some_q, true ->
+                  Cursor.abandon c;
+                  true
+                | Ast.Every_q, false ->
+                  Cursor.abandon c;
+                  false
+                | _ -> go ())
+            in
+            Item.bool (go ())
+          else
+            let items = materialize ctx c in
+            Item.bool
+              (match quant with
+              | Ast.Some_q -> List.exists test items
+              | Ast.Every_q -> List.for_all test items)
+        end
+    | _ -> eager)
+  | Ast.Path (a, b) ->
+    let pa = compile cc a in
+    let pb = compile cc b in
+    let eager ctx = compile_path_over ctx (pa ctx) pb in
+    let eff, fall, cons = cc.c_purity b in
+    if eff || cons || mentions_last b then eager
+    else
+      let ca = compile_cur cc a in
+      fun ctx ->
+        if not (Context.fields ctx).streaming then eager ctx
+        else begin
+          let la = ca ctx in
+          if fall && not (Cursor.is_pure la) then
+            compile_path_over ctx (materialize ctx la) pb
+          else
+            let rec go i acc =
+              match Cursor.next la with
+              | None -> List.rev acc
+              | Some item ->
+                let r =
+                  pb (Context.with_focus ctx item ~pos:(i + 1) ~size:0)
+                in
+                go (i + 1) (List.rev_append r acc)
+            in
+            path_finish (go 0 [])
+        end
+  | Ast.Root_expr -> (
+    fun ctx ->
+      match (Context.fields ctx).ctx_item with
+      | Some (Item.Node n) -> [ Item.Node (Node.root n) ]
+      | Some (Item.Atomic _) -> err "XPTY0020" "the context item is not a node"
+      | None -> err "XPDY0002" "the context item is not defined")
+  | Ast.Step (axis, nt, preds) -> (
+    let cpreds = compile_predicates cc preds in
+    let rev = reverse_axis axis in
+    fun ctx ->
+      match (Context.fields ctx).ctx_item with
+      | Some (Item.Node n) ->
+        let candidates = axis_nodes axis n in
+        let matched =
+          List.filter (fun c -> nodetest_matches ~axis nt c) candidates
+        in
+        let filtered = cpreds ctx (List.map (fun n -> Item.Node n) matched) in
+        if rev then Item.doc_sort filtered else filtered
+      | Some (Item.Atomic _) -> err "XPTY0020" "the context item is not a node"
+      | None -> err "XPDY0002" "the context item is not defined")
+  | Ast.Filter (prim, preds) -> (
+    let cprim = compile cc prim in
+    let cpreds = compile_predicates cc preds in
+    let eager ctx = cpreds ctx (cprim ctx) in
+    match preds with
+    | [ Ast.Literal (Atomic.Integer k) ] when k >= 1 ->
+      let cprim_cur = compile_cur cc prim in
+      fun ctx ->
+        if not (Context.fields ctx).streaming then eager ctx
+        else begin
+          let c = cprim_cur ctx in
+          if not (Cursor.is_pure c) then cpreds ctx (materialize ctx c)
+          else
+            let rec go i =
+              match Cursor.next c with
+              | None -> []
+              | Some x ->
+                if i = k then begin
+                  Cursor.abandon c;
+                  [ x ]
+                end
+                else go (i + 1)
+            in
+            go 1
+        end
+    | _ -> eager)
+  | Ast.Call (name, args) ->
+    compile_streaming_call cc name args (compile_apply cc name args)
+  | Ast.Elem_ctor (name, attrs, contents) ->
+    let cattrs =
+      List.map
+        (fun (an, parts) ->
+          ( an,
+            List.map
+              (function
+                | Ast.Attr_str s -> `Str s
+                | Ast.Attr_expr e -> `Expr (compile cc e))
+              parts ))
+        attrs
+    in
+    let ccontents =
+      List.map
+        (function
+          | Ast.Content_text s -> `Text s
+          | Ast.Content_node e | Ast.Content_expr e -> `Expr (compile cc e))
+        contents
+    in
+    fun ctx ->
+      let el = Node.element name [] in
+      List.iter
+        (fun (an, parts) ->
+          let v =
+            String.concat ""
+              (List.map
+                 (function
+                   | `Str s -> s
+                   | `Expr p ->
+                     String.concat " "
+                       (List.map Atomic.to_string (Item.atomize (p ctx))))
+                 parts)
+          in
+          Node.set_attribute el an v)
+        cattrs;
+      List.iter
+        (function
+          | `Text s -> Node.append_child el (Node.text s)
+          | `Expr p -> attach_content el (p ctx))
+        ccontents;
+      merge_text_children el;
+      [ Item.Node el ]
+  | Ast.Comp_elem (name_spec, content) ->
+    let cname = compile_name_spec cc ~element:true name_spec in
+    let pc = compile cc content in
+    fun ctx ->
+      let name = cname ctx in
+      let items = pc ctx in
+      let el = Node.element name [] in
+      attach_content el items;
+      merge_text_children el;
+      [ Item.Node el ]
+  | Ast.Comp_attr (name_spec, content) ->
+    let cname = compile_name_spec cc ~element:false name_spec in
+    let pc = compile cc content in
+    fun ctx ->
+      let name = cname ctx in
+      let v =
+        String.concat " "
+          (List.map Atomic.to_string (Item.atomize (pc ctx)))
+      in
+      [ Item.Node (Node.attribute name v) ]
+  | Ast.Comp_text content -> (
+    let pc = compile cc content in
+    fun ctx ->
+      match Item.atomize (pc ctx) with
+      | [] -> []
+      | atoms ->
+        [ Item.Node
+            (Node.text (String.concat " " (List.map Atomic.to_string atoms)))
+        ])
+  | Ast.Comp_doc content ->
+    let pc = compile cc content in
+    fun ctx ->
+      let items = pc ctx in
+      let holder = Node.element (Qname.local "holder") [] in
+      attach_content holder items;
+      let children = Node.children holder in
+      List.iter Node.detach children;
+      [ Item.Node (Node.document children) ]
+  | Ast.Comp_comment content ->
+    let pc = compile cc content in
+    fun ctx ->
+      let s =
+        String.concat " "
+          (List.map Atomic.to_string (Item.atomize (pc ctx)))
+      in
+      [ Item.Node (Node.comment s) ]
+  | Ast.Comp_pi (name_spec, content) ->
+    let cname = compile_name_spec cc ~element:false name_spec in
+    let pc = compile cc content in
+    fun ctx ->
+      let name = cname ctx in
+      let s =
+        String.concat " "
+          (List.map Atomic.to_string (Item.atomize (pc ctx)))
+      in
+      [ Item.Node (Node.processing_instruction name.Qname.local s) ]
+  | ( Ast.Insert _ | Ast.Delete _ | Ast.Replace _ | Ast.Rename _
+    | Ast.Transform _ ) as u ->
+    (* update expressions run once per statement and accumulate into the
+       context's PUL — nothing to win by staging, so they keep the
+       tree-walking evaluator *)
+    fun ctx -> eval ctx u
+
+and compile_node_comparison cc a b pred =
+  let pa = compile cc a and pb = compile cc b in
+  fun ctx ->
+    let na = pa ctx in
+    let nb = pb ctx in
+    node_comparison_seq na nb pred
+
+and compile_name_spec cc ~element = function
+  | Ast.Static_name qn -> fun _ -> qn
+  | Ast.Dynamic_name e ->
+    let pe = compile cc e in
+    fun ctx -> name_spec_atom ~element (Item.one_atom (pe ctx))
+
+and compile_predicates cc preds =
+  let cps = List.map (compile cc) preds in
+  fun ctx items ->
+    List.fold_left
+      (fun items cpred ->
+        let size = List.length items in
+        List.filteri
+          (fun i item ->
+            let fctx = Context.with_focus ctx item ~pos:(i + 1) ~size in
+            match cpred fctx with
+            | [ Item.Atomic a ] when Atomic.is_numeric a ->
+              Float.equal (Atomic.to_double a) (float_of_int (i + 1))
+            | v -> Item.effective_boolean_value v)
+          items)
+      items cps
+
+and compile_path_over ctx left pb =
+  let size = List.length left in
+  path_finish
+    (List.concat
+       (List.mapi
+          (fun i item ->
+            pb (Context.with_focus ctx item ~pos:(i + 1) ~size))
+          left))
+
+and compile_clause cc = function
+  | Ast.For_clause bindings ->
+    let cbs = List.map (fun b -> (b, compile cc b.Ast.for_expr)) bindings in
+    fun ctx tuples ->
+      List.fold_left
+        (fun tuples (b, pexpr) ->
+          List.concat_map
+            (fun vars ->
+              let items = pexpr (Context.with_vars ctx vars) in
+              let items =
+                match b.Ast.for_type with
+                | Some ty ->
+                  List.concat_map
+                    (fun i ->
+                      Seqtype.check
+                        ~what:
+                          (Printf.sprintf "$%s"
+                             (Qname.to_string b.Ast.for_var))
+                        ty [ i ])
+                    items
+                | None -> items
+              in
+              List.mapi
+                (fun i item ->
+                  let vars = Qmap.add b.Ast.for_var [ item ] vars in
+                  match b.Ast.for_pos with
+                  | Some pv ->
+                    Qmap.add pv [ Item.Atomic (Atomic.Integer (i + 1)) ] vars
+                  | None -> vars)
+                items)
+            tuples)
+        tuples cbs
+  | Ast.Let_clause bindings ->
+    let cbs = List.map (fun b -> (b, compile cc b.Ast.let_expr)) bindings in
+    fun ctx tuples ->
+      List.fold_left
+        (fun tuples (b, pexpr) ->
+          List.map
+            (fun vars ->
+              let v = pexpr (Context.with_vars ctx vars) in
+              let v =
+                match b.Ast.let_type with
+                | Some ty ->
+                  Seqtype.check
+                    ~what:
+                      (Printf.sprintf "$%s" (Qname.to_string b.Ast.let_var))
+                    ty v
+                | None -> v
+              in
+              Qmap.add b.Ast.let_var v vars)
+            tuples)
+        tuples cbs
+  | Ast.Where_clause cond ->
+    let cw = compile_cur cc cond in
+    fun ctx tuples ->
+      List.filter
+        (fun vars -> ebv_cur (cw (Context.with_vars ctx vars)))
+        tuples
+  | Ast.Order_clause (_stable, specs) ->
+    let cspecs = List.map (fun spec -> (spec, compile cc spec.Ast.key)) specs in
+    fun ctx tuples ->
+      let keyed =
+        List.map
+          (fun vars ->
+            let keys =
+              List.map
+                (fun (spec, pk) ->
+                  (Item.one_atom_opt (pk (Context.with_vars ctx vars)), spec))
+                cspecs
+            in
+            (vars, keys))
+          tuples
+      in
+      order_sort keyed
+  | Ast.Join_clause j ->
+    let psrc = compile cc j.Ast.join_source in
+    let pbuild = compile cc j.Ast.join_build_key in
+    let pprobe = compile cc j.Ast.join_probe_key in
+    fun ctx tuples ->
+      let table = Hashtbl.create 64 in
+      let source_items = psrc ctx in
+      List.iter
+        (fun item ->
+          let kctx = Context.bind ctx j.Ast.join_var [ item ] in
+          match Item.one_atom_opt (pbuild kctx) with
+          | Some a ->
+            let key = Atomic.to_string a in
+            Hashtbl.replace table key
+              (match Hashtbl.find_opt table key with
+              | Some items -> item :: items
+              | None -> [ item ])
+          | None -> ())
+        source_items;
+      List.concat_map
+        (fun vars ->
+          let pctx = Context.with_vars ctx vars in
+          match Item.one_atom_opt (pprobe pctx) with
+          | Some a -> (
+            match Hashtbl.find_opt table (Atomic.to_string a) with
+            | Some matches ->
+              List.rev_map
+                (fun item -> Qmap.add j.Ast.join_var [ item ] vars)
+                matches
+            | None -> [])
+          | None -> [])
+        tuples
+
+(* The streaming-FLWOR gate of [flwor_cur], decided at compile time:
+   structural shape and purity verdicts are fixed per compile (the
+   purity environment is part of the cache fingerprint), only the
+   source cursor's runtime purity is left to the plan. Returns [None]
+   when the shape or verdicts reject streaming — the caller then uses
+   the eager plan unconditionally. *)
+and compile_flwor_stream cc clauses ret =
+  match clauses with
+  | Ast.For_clause [ b0 ] :: rest
+    when b0.Ast.for_type = None
+         && List.for_all
+              (function
+                | Ast.For_clause _ | Ast.Order_clause _ | Ast.Join_clause _ ->
+                  false
+                | Ast.Let_clause bs ->
+                  List.for_all (fun b -> b.Ast.let_type = None) bs
+                | Ast.Where_clause _ -> true)
+              rest ->
+    let stage_verdicts =
+      List.concat_map
+        (function
+          | Ast.Let_clause bs ->
+            List.map (fun b -> cc.c_purity b.Ast.let_expr) bs
+          | Ast.Where_clause w ->
+            let eff, fall, cons = cc.c_purity w in
+            [ (eff, fall || not (Purity.boolean_valued w), cons) ]
+          | _ -> [])
+        rest
+      @ [ cc.c_purity ret ]
+    in
+    if List.exists (fun (eff, _, cons) -> eff || cons) stage_verdicts then None
+    else begin
+      let fallible_stages =
+        List.length (List.filter (fun (_, fall, _) -> fall) stage_verdicts)
+      in
+      let csrc = compile_cur cc b0.Ast.for_expr in
+      let cstages =
+        List.map
+          (function
+            | Ast.Let_clause bs ->
+              `Let
+                (List.map
+                   (fun b -> (b.Ast.let_var, compile cc b.Ast.let_expr))
+                   bs)
+            | Ast.Where_clause w -> `Where (compile_cur cc w)
+            | _ -> assert false)
+          rest
+      in
+      let cret_cur = compile_cur cc ret in
+      Some
+        (fun ctx ->
+          let f = Context.fields ctx in
+          let c0 = csrc ctx in
+          if
+            fallible_stages > 1
+            || (fallible_stages = 1 && not (Cursor.is_pure c0))
+          then
+            (* same fallback as the interpreter: the source cursor is
+               already open, so finish on the eager clause schedule over
+               the materialized source *)
+            Cursor.of_list
+              (flwor_over_items ctx (materialize ctx c0) b0 rest ret)
+          else begin
+            let base = f.vars in
+            let idx = ref 0 and cur_ret = ref None in
+            let rec pull () =
+              match !cur_ret with
+              | Some rc -> (
+                match Cursor.next rc with
+                | Some _ as r -> r
+                | None ->
+                  cur_ret := None;
+                  pull ())
+              | None -> (
+                match Cursor.next c0 with
+                | None -> None
+                | Some item ->
+                  incr idx;
+                  let vars = Qmap.add b0.Ast.for_var [ item ] base in
+                  let vars =
+                    match b0.Ast.for_pos with
+                    | Some pv ->
+                      Qmap.add pv [ Item.Atomic (Atomic.Integer !idx) ] vars
+                    | None -> vars
+                  in
+                  stages vars cstages)
+            and stages vars = function
+              | [] ->
+                cur_ret := Some (cret_cur (Context.with_vars ctx vars));
+                pull ()
+              | `Let cbs :: more ->
+                let vars =
+                  List.fold_left
+                    (fun vars (v, pe) ->
+                      Qmap.add v (pe (Context.with_vars ctx vars)) vars)
+                    vars cbs
+                in
+                stages vars more
+              | `Where cw :: more ->
+                if ebv_cur (cw (Context.with_vars ctx vars)) then
+                  stages vars more
+                else pull ()
+            in
+            Cursor.make
+              ~pure:(Cursor.is_pure c0 && fallible_stages = 0)
+              ~cleanup:(fun () ->
+                (match !cur_ret with
+                | Some rc -> Cursor.abandon rc
+                | None -> ());
+                Cursor.abandon c0)
+              pull
+          end)
+    end
+  | _ -> None
+
+(* Compile-time interception of the sequence-cardinality builtins that
+   [streaming_call] handles: the name is resolved against the compile
+   registry (registration rejects redefinition, so the verdict cannot go
+   stale) and only the streaming flag is left to run time. *)
+and compile_streaming_call cc name args plain =
+  let is_builtin =
+    String.equal name.Qname.uri Qname.fn_ns
+    &&
+    match Context.find cc.c_registry name (List.length args) with
+    | Some { Context.fn_impl = Context.Builtin _; _ } -> true
+    | _ -> false
+  in
+  if not is_builtin then plain
+  else
+    let stream1 e f =
+      let ce = compile_cur cc e in
+      fun ctx ->
+        if (Context.fields ctx).streaming then f ctx (ce ctx) else plain ctx
+    in
+    match (name.Qname.local, args) with
+    | "exists", [ e ] -> stream1 e (fun _ c -> Item.bool (cursor_nonempty c))
+    | "empty", [ e ] ->
+      stream1 e (fun _ c -> Item.bool (not (cursor_nonempty c)))
+    | "head", [ e ] ->
+      stream1 e (fun _ c ->
+          match Cursor.next c with
+          | Some x ->
+            Cursor.abandon c;
+            [ x ]
+          | None ->
+            Cursor.close c;
+            [])
+    | "count", [ e ] ->
+      stream1 e (fun _ c ->
+          let rec go n =
+            match Cursor.next c with Some _ -> go (n + 1) | None -> n
+          in
+          Item.int (go 0))
+    | "boolean", [ e ] -> stream1 e (fun _ c -> Item.bool (ebv_cur c))
+    | "not", [ e ] -> stream1 e (fun _ c -> Item.bool (not (ebv_cur c)))
+    | "subsequence", [ e; starte ] ->
+      let cstart = compile cc starte in
+      stream1 e (fun ctx c ->
+          streaming_subsequence ctx c (fun () -> cstart ctx) None)
+    | "subsequence", [ e; starte; lene ] ->
+      let cstart = compile cc starte and clen = compile cc lene in
+      stream1 e (fun ctx c ->
+          streaming_subsequence ctx c
+            (fun () -> cstart ctx)
+            (Some (fun () -> clen ctx)))
+    | _ -> plain
+
+(* Function application with the callee resolved at compile time. A name
+   absent from the compile registry falls back to a runtime lookup: it
+   may be registered later (XQSE readonly procedures declared mid-block)
+   and an unknown name must keep raising XPST0017 only when actually
+   executed. *)
+and compile_apply cc name args =
+  let cargs = List.map (compile cc) args in
+  let eval_args ctx = List.map (fun p -> p ctx) cargs in
+  match Context.find cc.c_registry name (List.length args) with
+  | None -> fun ctx -> call ctx name (eval_args ctx)
+  | Some f -> (
+    match f.Context.fn_impl with
+    | Context.Builtin impl -> fun ctx -> impl ctx (eval_args ctx)
+    | Context.External impl -> fun ctx -> impl (eval_args ctx)
+    | Context.External_cursor impl ->
+      fun ctx ->
+        Cursor.to_list ~instr:(Context.fields ctx).instr
+          (impl (eval_args ctx))
+    | Context.User decl ->
+      let cfn = compile_user cc name decl in
+      fun ctx -> cfn ctx (eval_args ctx))
+
+(* Compile a user-defined function body once per (name, arity); the memo
+   entry is installed as a forward reference *before* the body compiles,
+   so recursive and mutually recursive functions tie back to their own
+   compiled plan instead of diverging. Mirrors [call]'s User arm exactly,
+   including the error order: parameter checks run before the
+   missing-body XPST0017. *)
+and compile_user cc name decl =
+  let key =
+    (name.Qname.uri, name.Qname.local, List.length decl.Ast.fd_params)
+  in
+  match Hashtbl.find_opt cc.c_fns key with
+  | Some f -> f
+  | None ->
+    let fwd =
+      ref (fun ctx arg_vals ->
+          ignore ctx;
+          ignore arg_vals;
+          assert false)
+    in
+    Hashtbl.replace cc.c_fns key (fun ctx arg_vals -> !fwd ctx arg_vals);
+    let params = decl.Ast.fd_params in
+    let cbody =
+      match decl.Ast.fd_body with
+      | Some b -> Some (compile cc b)
+      | None -> None
+    in
+    let impl ctx arg_vals =
+      let ctx = Context.deeper ctx in
+      let checked =
+        List.map2
+          (fun (pname, pty) v ->
+            let v =
+              match pty with
+              | Some ty ->
+                Seqtype.check
+                  ~what:
+                    (Printf.sprintf "argument $%s of %s"
+                       (Qname.to_string pname) (Qname.to_string name))
+                  ty v
+              | None -> v
+            in
+            (pname, v))
+          params arg_vals
+      in
+      let base = Context.globals (Context.fields ctx).registry in
+      let vars =
+        List.fold_left (fun m (n, v) -> Qmap.add n v m) base checked
+      in
+      match cbody with
+      | None ->
+        Item.raise_error (Qname.err "XPST0017")
+          (Printf.sprintf "external function %s has no implementation"
+             (Qname.to_string name))
+      | Some cbody ->
+        let fctx = Context.no_focus (Context.with_vars ctx vars) in
+        let result = cbody fctx in
+        (match decl.Ast.fd_return with
+        | Some ty ->
+          Seqtype.check
+            ~what:(Printf.sprintf "result of %s" (Qname.to_string name))
+            ty result
+        | None -> result)
+    in
+    fwd := impl;
+    Hashtbl.replace cc.c_fns key impl;
+    impl
+
+and compile_cur_expr cc e =
+  let eager = compile cc e in
+  match e with
+  | Ast.Seq_expr es ->
+    let total e' =
+      let eff, fall, _ = cc.c_purity e' in
+      (not eff) && not fall
+    in
+    let pure = List.for_all total es in
+    let ces = List.map (compile_cur cc) es in
+    fun ctx ->
+      if not (Context.fields ctx).streaming then Cursor.of_list (eager ctx)
+      else Cursor.chain ~pure (List.map (fun ce () -> ce ctx) ces)
+  | Ast.Range (a, b) ->
+    let pa = compile cc a and pb = compile cc b in
+    fun ctx ->
+      if not (Context.fields ctx).streaming then Cursor.of_list (eager ctx)
+      else (
+        let va = pa ctx in
+        let vb = pb ctx in
+        match range_bounds_seq va vb with
+        | None -> Cursor.empty ()
+        | Some (lo, hi) ->
+          let i = ref lo in
+          Cursor.make ~pure:true ~instr:(Context.fields ctx).instr (fun () ->
+              if !i > hi then None
+              else begin
+                let v = !i in
+                incr i;
+                Some (Item.Atomic (Atomic.Integer v))
+              end))
+  | Ast.If_expr (c, t, e2) ->
+    let ccond = compile_cur cc c in
+    let ct = compile_cur cc t and ce2 = compile_cur cc e2 in
+    fun ctx ->
+      if not (Context.fields ctx).streaming then Cursor.of_list (eager ctx)
+      else if ebv_cur (ccond ctx) then ct ctx
+      else ce2 ctx
+  | Ast.Call (name, args) -> (
+    match Context.find cc.c_registry name (List.length args) with
+    | Some { Context.fn_impl = Context.External_cursor impl; _ } ->
+      let cargs = List.map (compile cc) args in
+      fun ctx ->
+        if not (Context.fields ctx).streaming then Cursor.of_list (eager ctx)
+        else impl (List.map (fun p -> p ctx) cargs)
+    | _ -> fun ctx -> Cursor.of_list (eager ctx))
+  | Ast.Flwor (clauses, ret) -> (
+    match compile_flwor_stream cc clauses ret with
+    | Some splan ->
+      fun ctx ->
+        if not (Context.fields ctx).streaming then Cursor.of_list (eager ctx)
+        else splan ctx
+    | None -> fun ctx -> Cursor.of_list (eager ctx))
+  | _ -> fun ctx -> Cursor.of_list (eager ctx)

@@ -30,3 +30,47 @@ val eval_updating : Context.dynamic -> Ast.expr -> Update.t
     it).
     @raise Xdm.Item.Error [err:XUST0001]-style when the expression also
     returns a non-empty value. *)
+
+(** {1 Closure compilation}
+
+    Stage 2 of the two-stage pipeline: [compile] walks an expression
+    once and produces a plan — a plain closure over the dynamic context
+    — with constructor dispatch, registry lookups and purity/streaming
+    gate verdicts hoisted out of the per-evaluation path. Running a plan
+    is observably identical to {!eval} on the same context: same items,
+    effects, errors, instrumentation counters and evaluation order.
+
+    A compiler (and its plans) is valid for a fixed registry and purity
+    environment; Engine/Session key their plan caches on exactly that
+    pair (plus the flags) and recompile after any registration. The
+    [streaming] flag is read from the context at run time, so one plan
+    serves both modes. *)
+
+type plan = Context.dynamic -> Item.seq
+
+type compiler
+
+val compiler :
+  ?purity:(Ast.expr -> bool * bool * bool) -> Context.registry -> compiler
+(** A compilation unit over a registry snapshot. [purity] is the
+    compiled program's (effects, fallible, constructs) analysis —
+    conservative [(true, true, true)] by default, which disables the
+    streaming fast paths but stays correct. Sub-plans and compiled
+    user-function bodies are memoized per compiler, so compiling many
+    queries against one registry shares function plans. *)
+
+val compile : compiler -> Ast.expr -> plan
+
+val compile_cur :
+  compiler -> Ast.expr -> Context.dynamic -> Item.t Cursor.t
+(** Cursor-producing variant of {!compile}, mirroring {!eval_cur}. *)
+
+(** {1 Shared scalar kernels}
+
+    Single-source arithmetic/comparison rules over already-evaluated
+    operands, exported for the XQSE interpreter's fast path for tiny
+    statement expressions — all three paths (eager, compiled, XQSE) must
+    agree exactly. *)
+
+val arith_seq : Atomic.arith_op -> Item.seq -> Item.seq -> Item.seq
+val value_cmp_seq : Ast.comp_op -> Item.seq -> Item.seq -> Item.seq

@@ -154,6 +154,9 @@ wall-clock, masked here):
   $ xqse --stats -e '1 + 2 * 3' | sed -E 's/^(time\.[a-z.]+\.ms) +[0-9.]+$/\1 _/'
   7
   queries.compiled                     1
+  plan.cache.hit                       0
+  plan.cache.miss                      1
+  plan.cache.invalidate                0
   optimizer.folded                     2
   optimizer.inlined                    0
   optimizer.inlined.pure               0
@@ -202,6 +205,9 @@ prints the cumulative table (span times masked):
   XQSE interactive session. End input with ';;'. Declarations persist.
   xqse> 5
   xqse> queries.compiled                     1
+  plan.cache.hit                       0
+  plan.cache.miss                      1
+  plan.cache.invalidate                0
   optimizer.folded                     1
   optimizer.inlined                    0
   optimizer.inlined.pure               0

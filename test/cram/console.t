@@ -23,6 +23,9 @@ is accounted):
   $ aldsp-console -q 'count(profile:getProfile())' -q stats
   6
   queries.compiled                  1
+  plan.cache.hit                    0
+  plan.cache.miss                   1
+  plan.cache.invalidate             0
   optimizer.folded                  0
   optimizer.inlined                 0
   optimizer.inlined.pure            0
@@ -71,7 +74,7 @@ the same faults:
   $ aldsp-console --chaos-seed 7 --chaos-profile heavy \
   >   -q 'fn:count(profile:getProfile())' \
   >   -q 'resil:degradations()/string(@code)' \
-  >   -q 'stats' | sed -n '1,3p;20,25p'
+  >   -q 'stats' | sed -n '1,3p;23,28p'
   chaos: seed 7, profile heavy
   6
   RESX0003 RESX0003 RESX0003

@@ -48,7 +48,15 @@ let agree name src =
         Alcotest.failf
           "streaming changed program semantics (unoptimized):\n\
            %s\n  materializing: %s\n  streaming:     %s"
-          src (show mat_noopt) (show unopt))
+          src (show mat_noopt) (show unopt);
+      (* compiled vs interpreted: closure-compiled plans must be
+         invisible — same items, same errors *)
+      let interp = outcome xq_noplans src in
+      if interp <> opt then
+        Alcotest.failf
+          "closure compilation changed program semantics:\n\
+           %s\n  interpreted: %s\n  compiled:    %s"
+          src (show interp) (show opt))
 
 (* Session-level agreement: one shared session per mode (program
    declarations compile against copies, so corpus programs cannot leak
@@ -60,6 +68,15 @@ let session_nostream =
   lazy
     (let s = Xqse.Session.create () in
      Xqse.Session.set_streaming s false;
+     s)
+
+(* interpreted XQSE: plans off disables both the session plan cache and
+   the compiled statement path, so every program runs through the
+   tree-walking interpreter *)
+let session_noplans =
+  lazy
+    (let s = Xqse.Session.create () in
+     Xquery.Engine.set_plans (Xqse.Session.engine s) false;
      s)
 
 let agree_session name src =
@@ -76,7 +93,21 @@ let agree_session name src =
         Alcotest.failf
           "streaming changed program semantics (session layer):\n\
            %s\n  materializing: %s\n  streaming:     %s"
-          src (show mat) (show opt))
+          src (show mat) (show opt);
+      let interp = outcome (eval session_noplans) src in
+      if interp <> opt then
+        Alcotest.failf
+          "closure compilation changed program semantics (session layer):\n\
+           %s\n  interpreted: %s\n  compiled:    %s"
+          src (show interp) (show opt);
+      (* the first [opt] evaluation populated the plan cache — replaying
+         the same program must hit it and agree (warm vs cold) *)
+      let warm = outcome (eval session_opt) src in
+      if warm <> opt then
+        Alcotest.failf
+          "warm plan-cache replay changed program semantics:\n\
+           %s\n  cold: %s\n  warm: %s"
+          src (show opt) (show warm))
 
 let generated_tests =
   List.mapi (fun i src -> agree (Printf.sprintf "generated %03d" i) src) corpus
@@ -221,6 +252,24 @@ let meta_tests =
           (Printf.sprintf "%d/%d programs fire a purity-gated inline" n
              (List.length corpus))
           true (n >= 20));
+    case "generated programs exercise subsequence coercion corners" (fun () ->
+        (* the window-rule shapes must actually appear: fn:subsequence
+           calls overall, and the adversarial non-integer bounds (NaN,
+           infinities, fractional, out-of-int-range) in particular *)
+        let n = count_where (contains "subsequence(") corpus in
+        let adversarial =
+          count_where
+            (fun p ->
+              List.exists
+                (fun needle -> contains needle p)
+                [ "NaN"; "INF"; ".5"; ".25"; "1e18" ])
+            corpus
+        in
+        check_bool
+          (Printf.sprintf "%d/%d call subsequence, %d with adversarial bounds"
+             n (List.length corpus) adversarial)
+          true
+          (n >= 20 && adversarial >= 10));
     case "generated programs trigger focus-shift pushdown" (fun () ->
         let n =
           count_where

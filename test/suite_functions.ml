@@ -68,6 +68,34 @@ let sequence_fn_tests =
     q "reverse" "3 2 1" "reverse((1, 2, 3))";
     q "subsequence from" "3 4 5" "subsequence((1,2,3,4,5), 3)";
     q "subsequence with length" "2 3" "subsequence((1,2,3,4), 2, 2)";
+    (* the F&O window rule in xs:double arithmetic: fn:round the
+       arguments (half toward +INF), never convert positions to int *)
+    q "subsequence rounds start half up" "3 4 5"
+      "subsequence((1,2,3,4,5), 2.5)";
+    q "subsequence rounds start down below half" "2 3 4 5"
+      "subsequence((1,2,3,4,5), 2.4)";
+    q "subsequence negative half start rounds toward +INF" "1 2"
+      "subsequence((1,2,3,4,5), -1.5, 4)";
+    q "subsequence zero start keeps all" "1 2 3 4 5"
+      "subsequence((1,2,3,4,5), 0)";
+    q "subsequence negative start eats into length" "1"
+      "subsequence((1,2,3,4,5), -2, 4)";
+    q "subsequence NaN start is empty" ""
+      "string-join(for $i in subsequence((1,2,3,4,5), xs:double('NaN')) return string($i), ' ')";
+    q "subsequence NaN length is empty" ""
+      "string-join(for $i in subsequence((1,2,3,4,5), 2, xs:double('NaN')) return string($i), ' ')";
+    q "subsequence INF start is empty" ""
+      "string-join(for $i in subsequence((1,2,3,4,5), xs:double('INF')) return string($i), ' ')";
+    q "subsequence INF length keeps the tail" "1 2 3 4 5"
+      "subsequence((1,2,3,4,5), -5, xs:double('INF'))";
+    q "subsequence -INF start with INF length is empty (NaN bound)" ""
+      "string-join(for $i in subsequence((1,2,3,4,5), -xs:double('INF'), xs:double('INF')) return string($i), ' ')";
+    q "subsequence huge start does not overflow" ""
+      "string-join(for $i in subsequence((1,2,3,4,5), 1e18) return string($i), ' ')";
+    q "subsequence huge negative start with huge length is empty" ""
+      "string-join(for $i in subsequence((1,2,3,4,5), -1e18, 1e18) return string($i), ' ')";
+    q "subsequence huge length keeps the tail" "2 3 4 5"
+      "subsequence((1,2,3,4,5), 2, 1e18)";
     q "insert-before" "1 9 2" "insert-before((1, 2), 2, 9)";
     q "insert-before past end appends" "1 2 9" "insert-before((1, 2), 5, 9)";
     q "remove" "1 3" "remove((1, 2, 3), 2)";

@@ -128,8 +128,166 @@ let equivalence_tests =
           = Xqse.Session.eval_to_string off src);
     ]
 
+(* The session plan cache: repeated program texts must be served from
+   cache (hit, no compile span), and anything that changes what a plan
+   could have compiled against — a redefined function or procedure, a
+   library load, an optimizer/streaming toggle — must stop the stale
+   plan from being served. *)
+let plan_cache_tests =
+  let counter stats name =
+    match List.assoc_opt name stats.Instr.counters with Some n -> n | None -> 0
+  in
+  let make () =
+    let instr = Instr.create () in
+    Instr.enable instr;
+    let s = Xqse.Session.create ~instr () in
+    (s, instr)
+  in
+  let delta instr f =
+    let before = Instr.stats instr in
+    let v = f () in
+    (v, Instr.since instr before)
+  in
+  [
+    case "repeated text hits the cache and skips the compile span" (fun () ->
+        let s, instr = make () in
+        let v1, d1 = delta instr (fun () -> Xqse.Session.eval_to_string s "1 + 2") in
+        check_int "first run misses" 1 (counter d1 Instr.K.plan_cache_miss);
+        check_int "first run compiles" 1 (counter d1 Instr.K.queries_compiled);
+        let v2, d2 = delta instr (fun () -> Xqse.Session.eval_to_string s "1 + 2") in
+        check_string "same value" v1 v2;
+        check_int "second run hits" 1 (counter d2 Instr.K.plan_cache_hit);
+        check_int "second run does not miss" 0 (counter d2 Instr.K.plan_cache_miss);
+        check_int "second run does not compile" 0
+          (counter d2 Instr.K.queries_compiled);
+        (* [since] reports every known timer; the compile span must not
+           have accumulated any time on the cached run *)
+        check_bool "no time in the compile span" true
+          (match List.assoc_opt "compile" d2.Instr.timers with
+          | None -> true
+          | Some t -> t = 0.0));
+    case "a failed parse is a miss that never becomes a plan" (fun () ->
+        let s, instr = make () in
+        let run () =
+          match Xqse.Session.eval_to_string s "1 +" with
+          | _ -> Alcotest.fail "expected a syntax error"
+          | exception _ -> ()
+        in
+        let (), d1 = delta instr run in
+        check_int "miss recorded" 1 (counter d1 Instr.K.plan_cache_miss);
+        check_int "nothing compiled" 0 (counter d1 Instr.K.queries_compiled);
+        let (), d2 = delta instr run in
+        check_int "still a miss, not a cached failure" 1
+          (counter d2 Instr.K.plan_cache_miss);
+        check_int "never a hit" 0 (counter d2 Instr.K.plan_cache_hit));
+    case "installing a function invalidates plans that missed it" (fun () ->
+        (* the stale-resolution scenario: a plan compiled while h:f was
+           unknown must not be served once h:f exists (cached XPST0017
+           forever); registration flushes the cache *)
+        let s, instr = make () in
+        let name = Xdm.Qname.make ~uri:"urn:host" ~prefix:"h" "f" in
+        Xqse.Session.declare_namespace s "h" "urn:host";
+        ignore (Xqse.Session.eval_to_string s "1 + 2");
+        (match Xqse.Session.eval_to_string s "h:f()" with
+        | v -> Alcotest.failf "expected XPST0017, got %s" v
+        | exception Xdm.Item.Error { code; _ } ->
+          check_string "unknown before install" "XPST0017" code.Xdm.Qname.local);
+        let (), d =
+          delta instr (fun () ->
+              Xqse.Session.register_function s name 0 (fun _ -> Xdm.Item.int 7))
+        in
+        check_bool "cached plans flushed" true
+          (counter d Instr.K.plan_cache_invalidate >= 1);
+        let v, d2 = delta instr (fun () -> Xqse.Session.eval_to_string s "h:f()") in
+        check_string "resolves after install" "7" v;
+        check_int "recompiled, not served stale" 1
+          (counter d2 Instr.K.plan_cache_miss);
+        check_int "no stale hit" 0 (counter d2 Instr.K.plan_cache_hit));
+    case "installing a procedure invalidates plans that missed it" (fun () ->
+        let s, instr = make () in
+        let name = Xdm.Qname.make ~uri:"urn:host" ~prefix:"h" "p" in
+        Xqse.Session.declare_namespace s "h" "urn:host";
+        let prog = "{ return value h:p(); }" in
+        (match Xqse.Session.eval_to_string s prog with
+        | v -> Alcotest.failf "expected an unknown-call error, got %s" v
+        | exception Xdm.Item.Error _ -> ());
+        let (), d =
+          delta instr (fun () ->
+              Xqse.Session.register_procedure s name 0 (fun _ ->
+                  Xdm.Item.int 20))
+        in
+        check_bool "cached plans flushed" true
+          (counter d Instr.K.plan_cache_invalidate >= 1);
+        let v, d2 = delta instr (fun () -> Xqse.Session.eval_to_string s prog) in
+        check_string "resolves after install" "20" v;
+        check_int "recompiled" 1 (counter d2 Instr.K.plan_cache_miss);
+        check_int "no stale hit" 0 (counter d2 Instr.K.plan_cache_hit));
+    case "load_library invalidates cached plans" (fun () ->
+        let s, instr = make () in
+        ignore (Xqse.Session.eval_to_string s "1 + 2");
+        Xqse.Session.load_library s "declare variable $lv := 5;";
+        let _, d = delta instr (fun () -> Xqse.Session.eval_to_string s "1 + 2") in
+        check_int "recompiled after load" 1 (counter d Instr.K.plan_cache_miss));
+    case "streaming and optimizer toggles are fingerprint misses" (fun () ->
+        let s, instr = make () in
+        ignore (Xqse.Session.eval_to_string s "sum(1 to 9)");
+        Xqse.Session.set_streaming s false;
+        let v, d = delta instr (fun () -> Xqse.Session.eval_to_string s "sum(1 to 9)") in
+        check_string "same value materializing" "45" v;
+        check_int "streaming toggle misses" 1 (counter d Instr.K.plan_cache_miss);
+        Xquery.Engine.set_optimizing (Xqse.Session.engine s) false;
+        let v2, d2 =
+          delta instr (fun () -> Xqse.Session.eval_to_string s "sum(1 to 9)")
+        in
+        check_string "same value unoptimized" "45" v2;
+        check_int "optimizer toggle misses" 1 (counter d2 Instr.K.plan_cache_miss);
+        (* each miss re-stored the entry under the current fingerprint,
+           so replaying under it is a hit again *)
+        let _, d3 = delta instr (fun () -> Xqse.Session.eval_to_string s "sum(1 to 9)") in
+        check_int "steady state hits" 1 (counter d3 Instr.K.plan_cache_hit);
+        check_int "steady state does not recompile" 0
+          (counter d3 Instr.K.queries_compiled));
+    case "plans off bypasses the cache entirely" (fun () ->
+        let s, instr = make () in
+        Xquery.Engine.set_plans (Xqse.Session.engine s) false;
+        ignore (Xqse.Session.eval_to_string s "1 + 2");
+        let v, d = delta instr (fun () -> Xqse.Session.eval_to_string s "1 + 2") in
+        check_string "value" "3" v;
+        check_int "no hits" 0 (counter d Instr.K.plan_cache_hit);
+        check_int "no misses" 0 (counter d Instr.K.plan_cache_miss);
+        check_int "compiled each time" 1 (counter d Instr.K.queries_compiled));
+    case "two sessions over one engine keep separate caches" (fun () ->
+        let instr = Instr.create () in
+        Instr.enable instr;
+        let eng = Xquery.Engine.create ~instr () in
+        let a = Xqse.Session.with_engine eng in
+        let b = Xqse.Session.with_engine eng in
+        let delta f =
+          let before = Instr.stats instr in
+          let v = f () in
+          (v, Instr.since instr before)
+        in
+        ignore (Xqse.Session.eval_to_string a "2 * 3");
+        (* the other session must not be served session A's plan *)
+        let v, d = delta (fun () -> Xqse.Session.eval_to_string b "2 * 3") in
+        check_string "value" "6" v;
+        check_int "session B compiles its own plan" 1
+          (counter d Instr.K.plan_cache_miss);
+        check_int "no cross-session hit" 0 (counter d Instr.K.plan_cache_hit);
+        (* session-local state changes must not go stale across sessions:
+           a registration in A bumps the shared engine generation, so
+           B recompiles rather than serving its now-stale plan *)
+        let name = Xdm.Qname.make ~uri:"urn:host" ~prefix:"h" "g" in
+        Xqse.Session.declare_namespace a "h" "urn:host";
+        Xqse.Session.register_function a name 0 (fun _ -> Xdm.Item.int 7);
+        let _, d2 = delta (fun () -> Xqse.Session.eval_to_string b "2 * 3") in
+        check_int "B recompiles after A's registration" 1
+          (counter d2 Instr.K.plan_cache_miss));
+  ]
+
 let suites =
   [
     ("session.persistence", persistence_tests);
     ("session.opt-equivalence", equivalence_tests);
+    ("session.plan-cache", plan_cache_tests);
   ]

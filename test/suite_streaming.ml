@@ -206,8 +206,111 @@ let range_tests =
         check_string "value" "10" v);
   ]
 
+(* Cursor lifecycle laws, tested on the module directly: [abandon] and
+   [close] must be idempotent — a second abandon (or abandon after
+   close, or an abandon reentering from inside the drain) must not
+   re-run deferred effects, re-drain the producer, or double-bump the
+   laziness counters. Consumers like iterate-with-break abandon from
+   inside exception handlers, so double-abandon happens in practice. *)
+let cursor_lifecycle_tests =
+  let open Xdm in
+  (* an impure 1..n counter that records every pull and cleanup *)
+  let effectful ?instr n =
+    let pulls = ref 0 and cleanups = ref 0 in
+    let cur =
+      Cursor.make ?instr
+        ~cleanup:(fun () -> incr cleanups)
+        (fun () ->
+          if !pulls >= n then None
+          else begin
+            incr pulls;
+            Some !pulls
+          end)
+    in
+    (cur, pulls, cleanups)
+  in
+  [
+    case "abandon twice drains effects once" (fun () ->
+        let instr = Instr.create () in
+        Instr.enable instr;
+        let cur, pulls, cleanups = effectful ~instr 5 in
+        check_int "first item" 1 (Option.get (Cursor.next cur));
+        Cursor.abandon cur;
+        check_int "drained to the end" 5 !pulls;
+        check_int "cleanup ran" 1 !cleanups;
+        let after_first = counter (Instr.stats instr) Instr.K.stream_pulled in
+        Cursor.abandon cur;
+        check_int "second abandon pulls nothing" 5 !pulls;
+        check_int "cleanup still ran once" 1 !cleanups;
+        check_int "counters not double-bumped" after_first
+          (counter (Instr.stats instr) Instr.K.stream_pulled));
+    case "abandon twice on a pure cursor bumps early_exits once" (fun () ->
+        let instr = Instr.create () in
+        Instr.enable instr;
+        let cur = Cursor.make ~pure:true ~instr (fun () -> Some 1) in
+        Cursor.abandon cur;
+        Cursor.abandon cur;
+        check_int "one early exit" 1
+          (counter (Instr.stats instr) Instr.K.stream_early_exits));
+    case "close then abandon does not resurrect the drain" (fun () ->
+        let cur, pulls, cleanups = effectful 5 in
+        Cursor.close cur;
+        check_int "close ran cleanup" 1 !cleanups;
+        Cursor.abandon cur;
+        check_int "abandon after close pulls nothing" 0 !pulls;
+        check_int "cleanup still once" 1 !cleanups);
+    case "abandon reentering from inside the drain is a no-op" (fun () ->
+        (* a producer whose pending effect itself abandons the cursor —
+           the reentrant call must neither recurse nor reset state *)
+        let pulls = ref 0 and cleanups = ref 0 in
+        let rec cur =
+          lazy
+            (Cursor.make
+               ~cleanup:(fun () -> incr cleanups)
+               (fun () ->
+                 if !pulls >= 3 then None
+                 else begin
+                   incr pulls;
+                   Cursor.abandon (Lazy.force cur);
+                   Some !pulls
+                 end))
+        in
+        Cursor.abandon (Lazy.force cur);
+        check_int "drained exactly once to the end" 3 !pulls;
+        check_int "cleanup ran once" 1 !cleanups);
+    case "abandon during next leaves the cursor done" (fun () ->
+        let cur, pulls, _ = effectful 4 in
+        ignore (Cursor.next cur);
+        Cursor.abandon cur;
+        check_bool "next after abandon is exhausted" true
+          (Cursor.next cur = None);
+        check_int "no further pulls" 4 !pulls);
+    case "abandon propagates a deferred error exactly once" (fun () ->
+        (* eager evaluation would raise while producing item 3: the
+           drain must surface that error, and a second abandon must not
+           raise it again *)
+        let pulls = ref 0 in
+        let cur =
+          Cursor.make (fun () ->
+              incr pulls;
+              if !pulls >= 3 then
+                Item.raise_error (Qname.err "FORG0001") "deferred failure"
+              else Some !pulls)
+        in
+        (match Cursor.abandon cur with
+        | () -> Alcotest.fail "expected the drained error to propagate"
+        | exception Item.Error { code; _ } ->
+          check_string "error code" "FORG0001" code.Qname.local);
+        (* the failed drain closed the cursor: abandon and next are done *)
+        Cursor.abandon cur;
+        check_bool "cursor is exhausted after the failed drain" true
+          (Cursor.next cur = None);
+        check_int "producer not re-driven" 3 !pulls);
+  ]
+
 let suites =
   [
     ("streaming.early-exit", early_exit_tests);
     ("streaming.range", range_tests);
+    ("streaming.cursor-lifecycle", cursor_lifecycle_tests);
   ]

@@ -23,6 +23,14 @@ let xq_noopt_nostream src =
   let engine = Xquery.Engine.create ~optimize:false ~streaming:false () in
   Xdm.Xml_serialize.seq_to_string (Xquery.Engine.eval_string engine src)
 
+(* interpreted mode: closure compilation and the plan cache disabled —
+   every query walks the AST directly; the differential suites compare
+   it against the default compiled mode *)
+let xq_noplans src =
+  let engine = Xquery.Engine.create () in
+  Xquery.Engine.set_plans engine false;
+  Xdm.Xml_serialize.seq_to_string (Xquery.Engine.eval_string engine src)
+
 let xqse ?(vars = []) src =
   let session = Xqse.Session.create () in
   let opts = { Xqse.Session.default_exec_opts with vars } in

@@ -3,15 +3,19 @@
    every push; this tool makes the size and seed cheap to crank up).
 
    Every generated program is evaluated through the XQuery engine and
-   the XQSE session, each with the optimizer on and off, and — per MODE
-   — with the streaming cursor evaluator on and/or forced off. Any
-   disagreement in outcome (serialized result, or dynamic error code)
-   is reported and fails the run.
+   the XQSE session, each with the optimizer on and off, and — per
+   MODE/EVAL — with the streaming cursor evaluator on and/or forced off
+   and with closure-compiled plans on and/or off (the compiled axis also
+   replays every program through one shared warm-cache session, so cold
+   compile, warm cache hit and the tree-walking interpreter must all
+   agree). Any disagreement in outcome (serialized result, or dynamic
+   error code) is reported and fails the run.
 
-   Usage: corpus_check [SIZE] [SEED] [MODE]
-     defaults: 500 20260806 both
+   Usage: corpus_check [SIZE] [SEED] [MODE] [EVAL]
+     defaults: 500 20260806 both both
      MODE: streaming | materialize | both
-     (CORPUS_MODE in the environment sets the default MODE) *)
+     EVAL: compiled | interpreted | both
+     (CORPUS_MODE / CORPUS_EVAL in the environment set the defaults) *)
 
 open Core
 
@@ -31,10 +35,12 @@ let () =
   let seed =
     if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 20260806
   in
-  let mode =
-    if Array.length Sys.argv > 3 then Sys.argv.(3)
-    else Option.value (Sys.getenv_opt "CORPUS_MODE") ~default:"both"
+  let arg_or_env n env default =
+    if Array.length Sys.argv > n then Sys.argv.(n)
+    else Option.value (Sys.getenv_opt env) ~default
   in
+  let mode = arg_or_env 3 "CORPUS_MODE" "both" in
+  let eval = arg_or_env 4 "CORPUS_EVAL" "both" in
   let streaming_variants =
     match mode with
     | "streaming" -> [ true ]
@@ -45,36 +51,72 @@ let () =
         "unknown mode %S (expected streaming | materialize | both)\n" m;
       exit 2
   in
-  let corpus = Fixtures.Gen_xquery.corpus ~seed size in
-  let engine optimize streaming src =
-    Xquery.Engine.eval_to_string
-      (Xquery.Engine.create ~optimize ~streaming ())
-      src
+  let plan_variants =
+    match eval with
+    | "compiled" -> [ true ]
+    | "interpreted" -> [ false ]
+    | "both" -> [ true; false ]
+    | m ->
+      Printf.eprintf
+        "unknown eval %S (expected compiled | interpreted | both)\n" m;
+      exit 2
   in
-  let session optimize streaming =
+  let corpus = Fixtures.Gen_xquery.corpus ~seed size in
+  let engine optimize streaming plans src =
+    let e = Xquery.Engine.create ~optimize ~streaming () in
+    Xquery.Engine.set_plans e plans;
+    Xquery.Engine.eval_to_string e src
+  in
+  let session optimize streaming plans =
     let s = Xqse.Session.create ~optimize () in
     Xqse.Session.set_streaming s streaming;
+    Xquery.Engine.set_plans (Xqse.Session.engine s) plans;
     s
   in
-  let tag streaming = if streaming then "streaming" else "materializing" in
+  let tag streaming plans =
+    Printf.sprintf "%s, %s"
+      (if streaming then "streaming" else "materializing")
+      (if plans then "compiled" else "interpreted")
+  in
   (* shared sessions per layer: program declarations compile against
-     copies, so corpus programs cannot leak into each other *)
+     copies, so corpus programs cannot leak into each other — and on the
+     compiled axis the shared session doubles as the warm-cache replay
+     (the second evaluation of a program must hit its cached plan) *)
   let layers =
     List.concat_map
       (fun streaming ->
-        [
-          ( Printf.sprintf "optimized engine, %s" (tag streaming),
-            engine true streaming );
-          ( Printf.sprintf "unoptimized engine, %s" (tag streaming),
-            engine false streaming );
-          ( Printf.sprintf "optimized session, %s" (tag streaming),
-            Xqse.Session.eval_to_string (session true streaming) );
-          ( Printf.sprintf "unoptimized session, %s" (tag streaming),
-            Xqse.Session.eval_to_string (session false streaming) );
-        ])
+        List.concat_map
+          (fun plans ->
+            let t = tag streaming plans in
+            let warm s src =
+              let cold = Xqse.Session.eval_to_string s src in
+              if not plans then cold
+              else begin
+                let warm = Xqse.Session.eval_to_string s src in
+                if warm <> cold then
+                  failwith
+                    (Printf.sprintf
+                       "warm plan-cache replay diverged on %s: cold %S, warm %S"
+                       src cold warm);
+                warm
+              end
+            in
+            [
+              ( Printf.sprintf "optimized engine, %s" t,
+                engine true streaming plans );
+              ( Printf.sprintf "unoptimized engine, %s" t,
+                engine false streaming plans );
+              ( Printf.sprintf "optimized session, %s" t,
+                warm (session true streaming plans) );
+              ( Printf.sprintf "unoptimized session, %s" t,
+                warm (session false streaming plans) );
+            ])
+          plan_variants)
       streaming_variants
   in
-  let reference_layer = engine false (List.hd streaming_variants) in
+  let reference_layer =
+    engine false (List.hd streaming_variants) (List.hd plan_variants)
+  in
   let failures = ref 0 in
   List.iteri
     (fun i src ->
