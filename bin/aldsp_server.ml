@@ -1,0 +1,174 @@
+(* aldsp-server — drive the CustomerProfile dataspace with a pool of
+   concurrent worker domains under a seeded open-loop workload.
+
+     aldsp-server --workers 4 --jobs 200          # closed-loop burst
+     aldsp-server --rate 500 --jobs 1000          # open loop, 500 jobs/s
+     aldsp-server --chaos-seed 7 --stats          # under a fault plan
+     aldsp-server --smoke                         # CI: qps > 0, 0 errors *)
+
+open Core
+
+let parse_mix s =
+  match String.split_on_char ':' s with
+  | [ r; w; u ] -> (
+    match (int_of_string_opt r, int_of_string_opt w, int_of_string_opt u) with
+    | Some m_reads, Some m_scripts, Some m_submits
+      when m_reads >= 0 && m_scripts >= 0 && m_submits >= 0
+           && m_reads + m_scripts + m_submits > 0 ->
+      Some { Server.Workload.m_reads; m_scripts; m_submits }
+    | _ -> None)
+  | _ -> None
+
+let build_env ~customers ~instr ~chaos () =
+  let resilience =
+    match chaos with
+    | None -> None
+    | Some (seed, profile) ->
+      let ctl =
+        Resilience.Control.create
+          ~plan:(Resilience.Plan.make ~seed ~profile ())
+          ~instr ()
+      in
+      List.iter
+        (fun source ->
+          Resilience.Control.set_policy ctl ~source
+            (Resilience.Policy.make ~max_retries:2 ~backoff_ms:5. ~jitter_ms:2.
+               ()))
+        [ "db1"; "db2" ];
+      Resilience.Control.set_policy ctl ~source:"CreditRatingService"
+        (Resilience.Policy.make ~max_retries:2 ~backoff_ms:5. ~jitter_ms:2.
+           ~breaker:Resilience.Breaker.default_config ());
+      Resilience.Control.set_degradable ctl ~source:"CreditRatingService";
+      Some ctl
+  in
+  Fixtures.Customer_profile.make ~customers ~instr ?resilience ()
+
+let main workers jobs rate io_ms seed customers mix chaos_seed chaos_profile
+    stats smoke =
+  match parse_mix mix with
+  | None ->
+    `Error (false, Printf.sprintf "bad --mix %S (want READS:SCRIPTS:SUBMITS)" mix)
+  | Some mix ->
+    let instr = Instr.create () in
+    Instr.preregister instr;
+    Instr.enable instr;
+    let chaos =
+      match chaos_seed with
+      | None -> None
+      | Some s ->
+        Some (s, Option.value chaos_profile ~default:Resilience.Plan.Light)
+    in
+    let env = build_env ~customers ~instr ~chaos () in
+    let session = Aldsp.Dataspace.session env.Fixtures.Customer_profile.ds in
+    let work =
+      Server.Workload.jobs ~mix ?rate ?io_ms ~customers ~seed ~count:jobs env
+    in
+    let rp = Server.Pool.run ~workers ~session work in
+    let open Server.Pool in
+    Printf.printf "workers  %d\n" rp.r_workers;
+    Printf.printf "jobs     %d (%s)\n" rp.r_jobs
+      (String.concat ", "
+         (List.map (fun (k, n) -> Printf.sprintf "%s %d" k n) rp.r_by_kind));
+    Printf.printf "ok       %d\n" rp.r_ok;
+    Printf.printf "errors   %d\n" (rp.r_jobs - rp.r_ok);
+    Printf.printf "wall     %.1f ms\n" rp.r_wall_ms;
+    Printf.printf "qps      %.0f\n" rp.r_qps;
+    Printf.printf "latency  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms\n"
+      rp.r_latency.l_p50 rp.r_latency.l_p95 rp.r_latency.l_p99
+      rp.r_latency.l_max;
+    List.iter
+      (fun (label, msg) -> Printf.printf "error    %s: %s\n" label msg)
+      rp.r_errors;
+    if stats then begin
+      let st = Instr.stats instr in
+      print_newline ();
+      print_string (Instr.render st)
+    end;
+    if smoke then
+      if rp.r_qps > 0. && rp.r_ok = rp.r_jobs then begin
+        print_endline "smoke: OK";
+        `Ok ()
+      end
+      else `Error (false, "smoke failed: zero throughput or errors present")
+    else `Ok ()
+
+open Cmdliner
+
+let workers =
+  let doc = "Worker domains in the pool ($(docv) = 1 runs sequentially)." in
+  Arg.(value & opt int 2 & info [ "w"; "workers" ] ~docv:"N" ~doc)
+
+let jobs =
+  let doc = "Total jobs to run." in
+  Arg.(value & opt int 100 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let rate =
+  let doc =
+    "Open-loop arrival rate in jobs per second (Poisson arrivals); omitted, \
+     workers pull jobs back-to-back (closed loop)."
+  in
+  Arg.(value & opt (some float) None & info [ "rate" ] ~docv:"QPS" ~doc)
+
+let io_ms =
+  let doc =
+    "Simulated source round-trip per job in milliseconds (a real sleep): the \
+     wire latency remote sources would add, giving workers I/O to overlap."
+  in
+  Arg.(value & opt (some float) None & info [ "io-ms" ] ~docv:"MS" ~doc)
+
+let seed =
+  let doc = "Workload seed: the job mix, targets and arrivals replay from it." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let customers =
+  let doc = "Customers in the synthetic dataspace." in
+  Arg.(value & opt int 5 & info [ "customers" ] ~docv:"N" ~doc)
+
+let mix =
+  let doc = "Workload mix as READS:SCRIPTS:SUBMITS weights." in
+  Arg.(value & opt string "6:3:1" & info [ "mix" ] ~docv:"R:S:U" ~doc)
+
+let chaos_seed =
+  let doc = "Run the sources under a deterministic fault plan seeded with $(docv)." in
+  Arg.(value & opt (some int) None & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
+
+let chaos_profile =
+  let profile_conv =
+    let parse s =
+      match Resilience.Plan.profile_of_string s with
+      | Some p -> Ok p
+      | None ->
+        Error (`Msg (Printf.sprintf "unknown profile %S (calm|light|heavy)" s))
+    in
+    Arg.conv
+      ( parse,
+        fun fmt p ->
+          Format.pp_print_string fmt (Resilience.Plan.profile_to_string p) )
+  in
+  let doc = "Fault-plan intensity: $(b,calm), $(b,light) or $(b,heavy)." in
+  Arg.(
+    value
+    & opt (some profile_conv) None
+    & info [ "chaos-profile" ] ~docv:"PROFILE" ~doc)
+
+let stats =
+  let doc = "Print cumulative instrumentation counters after the run." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let smoke =
+  let doc =
+    "CI smoke contract: exit non-zero unless throughput is positive and every \
+     job succeeded."
+  in
+  Arg.(value & flag & info [ "smoke" ] ~doc)
+
+let cmd =
+  let doc = "concurrent load against the demo ALDSP dataspace" in
+  Cmd.v
+    (Cmd.info "aldsp-server" ~version:"1.0.0" ~doc)
+    Term.(
+      ret
+        (const main $ workers $ jobs $ rate $ io_ms $ seed $ customers $ mix
+       $ chaos_seed $ chaos_profile $ stats $ smoke))
+
+let () = exit (Cmd.eval cmd)

@@ -38,7 +38,11 @@ let run_program ~optimize ~stats ~trace ~ast ~explain ~libs source =
   else if explain then begin
     (* optimize (no execution) and report the rewritten program plus what
        the optimizer did to it *)
-    let session = Xqse.Session.create ~optimize () in
+    let session =
+      Xqse.Session.create
+        ~config:{ Xqse.Session.default_config with optimize }
+        ()
+    in
     List.iter (fun lib -> Xqse.Session.load_library session (read_file lib)) libs;
     let ex = Xqse.Session.explain session source in
     print_string ex.Xqse.Session.ex_program;
@@ -48,7 +52,11 @@ let run_program ~optimize ~stats ~trace ~ast ~explain ~libs source =
   end
   else begin
     let instr = make_instr ~stats ~trace in
-    let session = Xqse.Session.create ~optimize ~instr () in
+    let session =
+      Xqse.Session.create
+        ~config:{ Xqse.Session.default_config with optimize; instr }
+        ()
+    in
     List.iter (fun lib -> Xqse.Session.load_library session (read_file lib)) libs;
     let result = Xqse.Session.exec session source in
     print_endline (Xdm.Xml_serialize.seq_to_string result.Xqse.Session.r_value);
@@ -62,7 +70,11 @@ let repl ~optimize ~stats ~trace () =
   (* always record counters in a REPL so the [stats] command has data
      even without --stats; --stats additionally prints per-query deltas *)
   let instr = make_instr ~stats:true ~trace in
-  let session = Xqse.Session.create ~optimize ~instr () in
+  let session =
+      Xqse.Session.create
+        ~config:{ Xqse.Session.default_config with optimize; instr }
+        ()
+    in
   Printf.printf
     "XQSE interactive session. End input with ';;'. Declarations persist.\n";
   let buf = Buffer.create 256 in

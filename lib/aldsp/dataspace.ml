@@ -92,7 +92,10 @@ let create ?(optimize = true) ?(instr = Instr.disabled) ?resilience () =
   in
   let t =
     {
-      sess = Xqse.Session.create ~optimize ~instr ();
+      sess =
+        Xqse.Session.create
+          ~config:{ Xqse.Session.default_config with optimize; instr }
+          ();
       resil;
       svcs = [];
       dbs = Hashtbl.create 4;

@@ -16,6 +16,8 @@
       retry/backoff policies and circuit breakers
     - {!Fixtures} — the paper's worked scenarios (customer profile,
       employees) shared by examples, tests and benches
+    - {!Server} — the concurrent query server: worker-pool over domains,
+      read/write source lock, seeded open-loop workloads
     - {!Instr} — execution instrumentation (spans, counters, per-query
       stats) shared by every layer *)
 
@@ -29,3 +31,4 @@ module Sdo = Sdo
 module Aldsp = Aldsp
 module Resilience = Resilience
 module Fixtures = Fixtures
+module Server = Server

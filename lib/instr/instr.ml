@@ -12,31 +12,43 @@ type open_span = {
   sp_start : float;  (* absolute ms *)
 }
 
+(* Domain safety: a handle is shared by every component of a session —
+   and, under the server, by every worker domain running against the
+   shared dataspace. Counters and timers are atomics so concurrent bumps
+   never lose increments; the name->cell tables and first-seen order
+   lists are guarded by a per-handle mutex (cell *lookup* takes the lock,
+   the increment itself is lock-free on the atomic). The span stack is
+   inherently per-control-flow, so it lives in domain-local storage keyed
+   by handle id: two domains tracing through one handle each see their
+   own stack and can never corrupt the other's nesting. *)
 type t = {
   mutable on : bool;
   mutable sink : sink;
-  counters : (string, int ref) Hashtbl.t;
+  id : int;  (* key into each domain's local span-stack table *)
+  lock : Mutex.t;
+  counters : (string, int Atomic.t) Hashtbl.t;
   mutable counter_order : string list;  (* reverse first-seen *)
-  timers : (string, float ref) Hashtbl.t;
+  timers : (string, float Atomic.t) Hashtbl.t;
   mutable timer_order : string list;  (* reverse first-seen *)
-  mutable next_span : int;
-  mutable stack : open_span list;  (* innermost first *)
+  next_span : int Atomic.t;
   epoch : float;  (* absolute ms at creation; span start times are relative *)
   locked : bool;  (* the shared [disabled] handle must stay off *)
 }
 
 let now_ms () = Unix.gettimeofday () *. 1000.
+let next_id = Atomic.make 0
 
 let make ~locked sink =
   {
     on = false;
     sink;
+    id = Atomic.fetch_and_add next_id 1;
+    lock = Mutex.create ();
     counters = Hashtbl.create 32;
     counter_order = [];
     timers = Hashtbl.create 16;
     timer_order = [];
-    next_span = 0;
-    stack = [];
+    next_span = Atomic.make 0;
     epoch = now_ms ();
     locked;
   }
@@ -56,28 +68,45 @@ let sink t = t.sink
 let noting t = t.on && (match t.sink with Null -> false | Text _ | Json _ -> true)
 
 let counter t name =
-  match Hashtbl.find_opt t.counters name with
-  | Some r -> r
-  | None ->
-    let r = ref 0 in
-    Hashtbl.replace t.counters name r;
-    t.counter_order <- name :: t.counter_order;
-    r
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.counters name with
+      | Some r -> r
+      | None ->
+        let r = Atomic.make 0 in
+        Hashtbl.replace t.counters name r;
+        t.counter_order <- name :: t.counter_order;
+        r)
 
 let timer t name =
-  match Hashtbl.find_opt t.timers name with
-  | Some r -> r
-  | None ->
-    let r = ref 0. in
-    Hashtbl.replace t.timers name r;
-    t.timer_order <- name :: t.timer_order;
-    r
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.timers name with
+      | Some r -> r
+      | None ->
+        let r = Atomic.make 0. in
+        Hashtbl.replace t.timers name r;
+        t.timer_order <- name :: t.timer_order;
+        r)
+
+let rec atomic_add_float a d =
+  let cur = Atomic.get a in
+  if not (Atomic.compare_and_set a cur (cur +. d)) then atomic_add_float a d
 
 let bump t ?(n = 1) name =
-  if t.on then begin
-    let r = counter t name in
-    r := !r + n
-  end
+  if t.on then ignore (Atomic.fetch_and_add (counter t name) n)
+
+(* ---- span stacks (domain-local) ---- *)
+
+let stacks_key : (int, open_span list ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let stack t =
+  let tbl = Domain.DLS.get stacks_key in
+  match Hashtbl.find_opt tbl t.id with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace tbl t.id r;
+    r
 
 (* ---- emission ---- *)
 
@@ -97,7 +126,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let depth t = List.length t.stack
+let depth t = List.length !(stack t)
 
 let note t msg =
   if t.on then
@@ -140,23 +169,22 @@ let emit_span t sp dur =
 let span t ?(attrs = []) name f =
   if not t.on then f ()
   else begin
-    t.next_span <- t.next_span + 1;
+    let st = stack t in
     let sp =
       {
-        sp_id = t.next_span;
-        sp_parent = (match t.stack with [] -> 0 | s :: _ -> s.sp_id);
-        sp_depth = List.length t.stack;
+        sp_id = 1 + Atomic.fetch_and_add t.next_span 1;
+        sp_parent = (match !st with [] -> 0 | s :: _ -> s.sp_id);
+        sp_depth = List.length !st;
         sp_name = name;
         sp_attrs = attrs;
         sp_start = now_ms ();
       }
     in
-    t.stack <- sp :: t.stack;
+    st := sp :: !st;
     let finish () =
       let dur = now_ms () -. sp.sp_start in
-      (t.stack <- (match t.stack with _ :: rest -> rest | [] -> []));
-      let r = timer t name in
-      r := !r +. dur;
+      (st := (match !st with _ :: rest -> rest | [] -> []));
+      atomic_add_float (timer t name) dur;
       emit_span t sp dur
     in
     match f () with
@@ -175,10 +203,7 @@ let time t name f =
   if not t.on then f ()
   else begin
     let start = now_ms () in
-    let finish () =
-      let r = timer t name in
-      r := !r +. (now_ms () -. start)
-    in
+    let finish () = atomic_add_float (timer t name) (now_ms () -. start) in
     match f () with
     | v ->
       finish ();
@@ -196,12 +221,17 @@ type stats = {
 }
 
 let stats (t : t) =
-  {
-    counters =
-      List.rev_map (fun n -> (n, !(Hashtbl.find t.counters n))) t.counter_order;
-    timers =
-      List.rev_map (fun n -> (n, !(Hashtbl.find t.timers n))) t.timer_order;
-  }
+  Mutex.protect t.lock (fun () ->
+      {
+        counters =
+          List.rev_map
+            (fun n -> (n, Atomic.get (Hashtbl.find t.counters n)))
+            t.counter_order;
+        timers =
+          List.rev_map
+            (fun n -> (n, Atomic.get (Hashtbl.find t.timers n)))
+            t.timer_order;
+      })
 
 let since t (before : stats) =
   let cur = stats t in
@@ -222,9 +252,25 @@ let since t (before : stats) =
         cur.timers;
   }
 
+let add_stats (a : stats) (b : stats) =
+  let union names extra =
+    names @ List.filter (fun n -> not (List.mem n names)) extra
+  in
+  let cnames = union (List.map fst a.counters) (List.map fst b.counters) in
+  let tnames = union (List.map fst a.timers) (List.map fst b.timers) in
+  let get0 l n = match List.assoc_opt n l with Some v -> v | None -> 0 in
+  let get0f l n = match List.assoc_opt n l with Some v -> v | None -> 0. in
+  {
+    counters =
+      List.map (fun n -> (n, get0 a.counters n + get0 b.counters n)) cnames;
+    timers =
+      List.map (fun n -> (n, get0f a.timers n +. get0f b.timers n)) tnames;
+  }
+
 let reset (t : t) =
-  Hashtbl.iter (fun _ r -> r := 0) t.counters;
-  Hashtbl.iter (fun _ r -> r := 0.) t.timers
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.iter (fun _ r -> Atomic.set r 0) t.counters;
+      Hashtbl.iter (fun _ r -> Atomic.set r 0.) t.timers)
 
 let render ?(times = true) (s : stats) =
   let rows =
@@ -296,6 +342,12 @@ module K = struct
   let stream_pulled = "stream.pulled"
   let stream_materialized = "stream.materialized"
   let stream_early_exits = "stream.early_exits"
+
+  (* concurrent query server: jobs completed by the worker pool, jobs
+     that raised, and submits serialized behind the write lock *)
+  let server_jobs = "server.jobs"
+  let server_errors = "server.errors"
+  let server_submits = "server.submits"
 end
 
 let preregister t =
@@ -330,6 +382,9 @@ let preregister t =
       K.stream_pulled;
       K.stream_materialized;
       K.stream_early_exits;
+      K.server_jobs;
+      K.server_errors;
+      K.server_submits;
     ];
   (* the per-pass timers too, so the stats table has a stable shape even
      for runs where a pass never fired *)

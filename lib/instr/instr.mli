@@ -7,7 +7,14 @@
     and shared, so turning instrumentation on or swapping the sink
     affects components that were wired long before. A disabled handle is
     free on hot paths: every reporting entry point is guarded by a single
-    mutable boolean and allocates nothing when it is off. *)
+    mutable boolean and allocates nothing when it is off.
+
+    Handles are domain-safe: counters and timers are atomics (concurrent
+    {!bump}s from several worker domains never lose increments), the
+    name tables are mutex-guarded, and each domain tracing through a
+    shared handle keeps its own span stack in domain-local storage, so
+    span nesting is per-domain and cannot be corrupted by a concurrent
+    worker. *)
 
 type sink =
   | Null  (** discard everything (the default) *)
@@ -74,6 +81,10 @@ val since : t -> stats -> stats
 (** [since t before] is the delta between now and an earlier
     {!stats} snapshot — the per-query cost of whatever ran in between. *)
 
+val add_stats : stats -> stats -> stats
+(** Pointwise sum of two snapshots (union of names, missing = 0) — for
+    merging per-worker deltas into one fleet-wide table. *)
+
 val reset : t -> unit
 (** Zero every counter and timer (registrations are kept). *)
 
@@ -134,6 +145,13 @@ module K : sig
   val stream_pulled : string
   val stream_materialized : string
   val stream_early_exits : string
+
+  (** concurrent-server counters: jobs completed by the worker pool,
+      jobs that raised, and submits serialized behind the write lock *)
+
+  val server_jobs : string
+  val server_errors : string
+  val server_submits : string
 
   (** per-pass optimizer timer names, accumulated via {!time} *)
 

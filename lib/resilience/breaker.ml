@@ -14,6 +14,10 @@ let default_config = { failure_threshold = 5; cooldown_ms = 1000. }
 type t = {
   cfg : config;
   clock : Clock.t;
+  lock : Mutex.t;
+      (* transitions are read-modify-write on virtual time; concurrent
+         worker domains must see them atomically (e.g. exactly one
+         Half_open probe admitted after a cooldown) *)
   mutable state : state;
   mutable consecutive : int;
   mutable opened_at : float;
@@ -24,6 +28,7 @@ let create ?(config = default_config) clock =
   {
     cfg = config;
     clock;
+    lock = Mutex.create ();
     state = Closed;
     consecutive = 0;
     opened_at = 0.;
@@ -39,6 +44,7 @@ let state_to_string = function
   | Half_open -> "half-open"
 
 let allow t =
+  Mutex.protect t.lock @@ fun () ->
   match t.state with
   | Closed | Half_open -> true
   | Open ->
@@ -50,13 +56,15 @@ let allow t =
 
 (* pure peek: what [allow] would answer, without transitioning *)
 let would_allow t =
+  Mutex.protect t.lock @@ fun () ->
   match t.state with
   | Closed | Half_open -> true
   | Open -> Clock.now t.clock >= t.opened_at +. t.cfg.cooldown_ms
 
 let on_success t =
-  t.state <- Closed;
-  t.consecutive <- 0
+  Mutex.protect t.lock (fun () ->
+      t.state <- Closed;
+      t.consecutive <- 0)
 
 let trip t =
   t.state <- Open;
@@ -65,6 +73,7 @@ let trip t =
   t.trips <- t.trips + 1
 
 let on_failure t =
+  Mutex.protect t.lock @@ fun () ->
   match t.state with
   | Half_open ->
     (* failed probe: straight back to Open, cooldown restarts *)
@@ -79,4 +88,4 @@ let on_failure t =
     end
     else false
 
-let force_open t = trip t
+let force_open t = Mutex.protect t.lock (fun () -> trip t)

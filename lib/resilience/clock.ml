@@ -1,10 +1,18 @@
 (* Virtual time. Every component of the resilience layer — fault
    schedules, latency spikes, backoff waits, breaker cooldowns — reads
    and advances this clock instead of the wall clock, so a chaos run is
-   a pure function of its seed and replays exactly. *)
+   a pure function of its seed and replays exactly. The cell is atomic:
+   under the concurrent server the clock is shared by components guarded
+   by *different* mutexes (fault plans, breaker controls), so advances
+   must be lock-free-safe rather than rely on any one caller's lock. *)
 
-type t = { mutable now : float }
+type t = float Atomic.t
 
-let create ?(start = 0.) () = { now = start }
-let now t = t.now
-let advance t ms = if ms > 0. then t.now <- t.now +. ms
+let create ?(start = 0.) () = Atomic.make start
+let now t = Atomic.get t
+
+let rec advance t ms =
+  if ms > 0. then begin
+    let cur = Atomic.get t in
+    if not (Atomic.compare_and_set t cur (cur +. ms)) then advance t ms
+  end

@@ -29,6 +29,10 @@ type degradation = {
 
 type t = {
   clock : Clock.t;
+  lock : Mutex.t;
+      (* guards the tables, the degradation log and the jitter RNG —
+         everything here but the clock (atomic), the breakers and the
+         fault handles (own locks) *)
   jitter_rng : Rng.t;
   mutable plan : Plan.t option;
   mutable instr : Instr.t;
@@ -48,6 +52,7 @@ let create ?seed ?plan ?(instr = Instr.disabled) () =
   in
   {
     clock = Clock.create ();
+    lock = Mutex.create ();
     jitter_rng = Rng.make (seed lxor 0x5EED);
     plan;
     instr;
@@ -72,27 +77,33 @@ let reschedule t faults =
 let attach t faults =
   Faults.set_clock faults t.clock;
   reschedule t faults;
-  Hashtbl.replace t.faults (Faults.source faults) faults
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.replace t.faults (Faults.source faults) faults)
 
-let attached t = Hashtbl.fold (fun k _ acc -> k :: acc) t.faults []
+let attached t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) t.faults [])
 
 let set_plan t plan =
   t.plan <- plan;
   Hashtbl.iter (fun _ f -> reschedule t f) t.faults
 
 let set_policy t ~source policy =
-  Hashtbl.replace t.policies source policy;
-  match policy.Policy.breaker with
-  | Some config ->
-    Hashtbl.replace t.breakers source (Breaker.create ~config t.clock)
-  | None -> Hashtbl.remove t.breakers source
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.replace t.policies source policy;
+      match policy.Policy.breaker with
+      | Some config ->
+        Hashtbl.replace t.breakers source (Breaker.create ~config t.clock)
+      | None -> Hashtbl.remove t.breakers source)
 
 let policy t ~source =
-  match Hashtbl.find_opt t.policies source with
-  | Some p -> p
-  | None -> Policy.default
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.policies source with
+      | Some p -> p
+      | None -> Policy.default)
 
-let breaker t ~source = Hashtbl.find_opt t.breakers source
+let breaker t ~source =
+  Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.breakers source)
 let breaker_state t ~source = Option.map Breaker.state (breaker t ~source)
 
 let trip t ~source =
@@ -105,18 +116,24 @@ let trip t ~source =
 
 (* ---- degradation ---- *)
 
-let set_degradable t ~source = Hashtbl.replace t.degradable source ()
-let is_degradable t ~source = Hashtbl.mem t.degradable source
+let set_degradable t ~source =
+  Mutex.protect t.lock (fun () -> Hashtbl.replace t.degradable source ())
+
+let is_degradable t ~source =
+  Mutex.protect t.lock (fun () -> Hashtbl.mem t.degradable source)
 
 let note_degraded t ~source ~code ~message =
   Instr.bump t.instr Instr.K.resil_degraded;
-  t.degradations <-
-    { dg_source = source; dg_code = code; dg_message = message;
-      dg_at = Clock.now t.clock }
-    :: t.degradations
+  Mutex.protect t.lock (fun () ->
+      t.degradations <-
+        { dg_source = source; dg_code = code; dg_message = message;
+          dg_at = Clock.now t.clock }
+        :: t.degradations)
 
-let degradations t = List.rev t.degradations
-let clear_degradations t = t.degradations <- []
+let degradations t = Mutex.protect t.lock (fun () -> List.rev t.degradations)
+
+let clear_degradations t =
+  Mutex.protect t.lock (fun () -> t.degradations <- [])
 
 (* ---- the guard ---- *)
 
@@ -142,7 +159,7 @@ let guard t ~source f =
   (match br with
    | Some b when not (Breaker.allow b) -> reject t ~source
    | _ -> ());
-  let fl = Hashtbl.find_opt t.faults source in
+  let fl = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.faults source) in
   let timed_out t0 =
     match policy.Policy.timeout_ms with
     | Some tmo -> Clock.now t.clock -. t0 > tmo
@@ -184,7 +201,8 @@ let guard t ~source f =
               Policy.backoff policy ~attempt:n
               +.
               if policy.Policy.jitter_ms > 0. then
-                Rng.float t.jitter_rng policy.Policy.jitter_ms
+                Mutex.protect t.lock (fun () ->
+                    Rng.float t.jitter_rng policy.Policy.jitter_ms)
               else 0.
             in
             Clock.advance t.clock wait;

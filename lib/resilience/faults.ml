@@ -19,6 +19,11 @@ type verdict = { v_latency : float; v_fault : fault option }
 
 type t = {
   source : string;
+  lock : Mutex.t;
+      (* one consultation (cursor advance + schedule lookup + [last]
+         record) must be atomic under concurrent worker domains, or two
+         calls could claim the same schedule index / lose an injected
+         fault *)
   mutable clock : Clock.t;
   mutable schedule : Plan.schedule;
   mutable calls : int;        (* schedule cursor: statements + reads *)
@@ -35,6 +40,7 @@ type t = {
 let create ?clock ~source () =
   {
     source;
+    lock = Mutex.create ();
     clock = (match clock with Some c -> c | None -> Clock.create ());
     schedule = Plan.empty ~source;
     calls = 0;
@@ -57,7 +63,8 @@ let schedule t = t.schedule
 (* ---- legacy ad-hoc injection ---- *)
 
 let inject_next ?(transient = true) t message =
-  t.next <- Some { f_message = message; f_transient = transient }
+  Mutex.protect t.lock (fun () ->
+      t.next <- Some { f_message = message; f_transient = transient })
 
 let set_fail_every t n = t.every <- n
 let fail_every t = t.every
@@ -72,9 +79,10 @@ let record t f =
   Some f
 
 let take_last t =
-  let f = t.last in
-  t.last <- None;
-  f
+  Mutex.protect t.lock (fun () ->
+      let f = t.last in
+      t.last <- None;
+      f)
 
 let adhoc_fault t =
   match t.next with
@@ -118,6 +126,7 @@ let scheduled_fault t =
     | None -> None
 
 let on_call t kind =
+  Mutex.protect t.lock @@ fun () ->
   t.calls <- t.calls + 1;
   let latency =
     match List.assoc_opt t.calls t.schedule.Plan.s_spikes with
@@ -140,6 +149,7 @@ let on_call t kind =
    never by the retry guard, so they deliberately do not go through
    [record] — a stale [last] would misclassify a later genuine error *)
 let on_prepare t =
+  Mutex.protect t.lock @@ fun () ->
   t.prepares <- t.prepares + 1;
   if t.prepare_flag then
     Some { f_message = "injected prepare failure"; f_transient = true }
@@ -150,6 +160,7 @@ let on_prepare t =
   else None
 
 let on_commit t =
+  Mutex.protect t.lock @@ fun () ->
   t.commits <- t.commits + 1;
   if List.mem t.commits t.schedule.Plan.s_commits then
     Some

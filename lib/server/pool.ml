@@ -1,0 +1,140 @@
+type kind = Read | Script | Submit
+
+let kind_name = function
+  | Read -> "read"
+  | Script -> "script"
+  | Submit -> "submit"
+
+type job = {
+  j_kind : kind;
+  j_label : string;
+  j_arrival_ms : float;
+  j_run : Xqse.Session.t -> unit;
+}
+
+type latency = {
+  l_p50 : float;
+  l_p95 : float;
+  l_p99 : float;
+  l_max : float;
+  l_mean : float;
+}
+
+type report = {
+  r_workers : int;
+  r_jobs : int;
+  r_ok : int;
+  r_errors : (string * string) list;
+  r_wall_ms : float;
+  r_qps : float;
+  r_latency : latency;
+  r_by_kind : (string * int) list;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (q /. 100. *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let max_reported_errors = 32
+
+let run ?(workers = 1) ~session jobs =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let workers = max 1 workers in
+  let instr = Xqse.Session.instr session in
+  let lock = Sync.create () in
+  (* per-job slots: each index is written by exactly one worker *)
+  let lat = Array.make n 0. in
+  let ok = Array.make n false in
+  let err_m = Mutex.create () in
+  let errors = ref [] in
+  let next = Stdlib.Atomic.make 0 in
+  let open_loop = Array.exists (fun j -> j.j_arrival_ms > 0.) jobs in
+  (* fork the worker sessions up front, on this domain: forking reads
+     the template's registry and module tables, and doing it before any
+     worker runs keeps that a single-threaded affair *)
+  let sessions =
+    if workers = 1 then [| session |]
+    else begin
+      let cfg = Xqse.Session.config session in
+      Array.init workers (fun _ -> Xqse.Session.with_config session cfg)
+    end
+  in
+  let t0 = Unix.gettimeofday () in
+  let worker wsess =
+    let rec loop () =
+      let i = Stdlib.Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let j = jobs.(i) in
+        let arrive = t0 +. (j.j_arrival_ms /. 1000.) in
+        let rec wait () =
+          let now = Unix.gettimeofday () in
+          if now < arrive then begin
+            Unix.sleepf (Float.min 0.002 (arrive -. now));
+            wait ()
+          end
+        in
+        if open_loop then wait ();
+        (* open loop: latency from the scheduled arrival, so a backlog
+           shows up as latency; closed loop: pure service time *)
+        let start = if open_loop then arrive else Unix.gettimeofday () in
+        Instr.bump instr Instr.K.server_jobs;
+        (try
+           (match j.j_kind with
+           | Submit ->
+             Instr.bump instr Instr.K.server_submits;
+             Sync.with_write lock (fun () -> j.j_run wsess)
+           | Read | Script -> Sync.with_read lock (fun () -> j.j_run wsess));
+           ok.(i) <- true
+         with e ->
+           Instr.bump instr Instr.K.server_errors;
+           let msg = Printexc.to_string e in
+           Mutex.protect err_m (fun () ->
+               if List.length !errors < max_reported_errors then
+                 errors := (j.j_label, msg) :: !errors));
+        lat.(i) <- (Unix.gettimeofday () -. start) *. 1000.;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  if workers = 1 then worker sessions.(0)
+  else
+    Array.map (fun s -> Domain.spawn (fun () -> worker s)) sessions
+    |> Array.iter Domain.join;
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let sorted = Array.copy lat in
+  Array.sort compare sorted;
+  let mean =
+    if n = 0 then 0. else Array.fold_left ( +. ) 0. lat /. float_of_int n
+  in
+  let by_kind =
+    List.map
+      (fun k ->
+        ( kind_name k,
+          Array.fold_left
+            (fun acc j -> if j.j_kind = k then acc + 1 else acc)
+            0 jobs ))
+      [ Read; Script; Submit ]
+  in
+  {
+    r_workers = workers;
+    r_jobs = n;
+    r_ok = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 ok;
+    r_errors = List.rev !errors;
+    r_wall_ms = wall_ms;
+    r_qps = (if wall_ms > 0. then float_of_int n /. (wall_ms /. 1000.) else 0.);
+    r_latency =
+      {
+        l_p50 = percentile sorted 50.;
+        l_p95 = percentile sorted 95.;
+        l_p99 = percentile sorted 99.;
+        l_max = (if n = 0 then 0. else sorted.(n - 1));
+        l_mean = mean;
+      };
+    r_by_kind = by_kind;
+  }

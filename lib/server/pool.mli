@@ -1,0 +1,66 @@
+(** The concurrent query server: a pool of worker domains draining a
+    job list against per-worker session forks of one template session.
+
+    Each worker gets its own {!Xqse.Session.with_config} fork (own plan
+    cache, own procedure runtime, shared host state), so the only
+    shared mutable surface is the dataspace's sources — and access to
+    those is serialized by a {!Sync} read/write lock: [Read] and
+    [Script] jobs run under the shared read side, [Submit] jobs under
+    the exclusive write side. Submits are therefore snapshot-consistent
+    with respect to reads (a reader never sees half a changeset).
+
+    With [workers = 1] no domain is spawned and jobs run in list order
+    on the calling domain — a deterministic baseline the tests diff
+    concurrent runs against.
+
+    Jobs carry open-loop arrival offsets: a job whose [j_arrival_ms] is
+    positive is not started before that offset from run start, and its
+    latency is measured from the {e scheduled} arrival — queueing delay
+    under an overloaded pool counts, as in any open-loop harness. When
+    every offset is [0.] the run is closed-loop and latency is pure
+    service time. *)
+
+type kind = Read | Script | Submit
+
+val kind_name : kind -> string
+(** ["read"], ["script"], ["submit"]. *)
+
+type job = {
+  j_kind : kind;
+  j_label : string;  (** for error reports *)
+  j_arrival_ms : float;  (** open-loop arrival offset; [0.] = immediate *)
+  j_run : Xqse.Session.t -> unit;
+      (** receives the worker's session fork; submit jobs typically
+          ignore it and drive the shared dataspace directly *)
+}
+
+type latency = {
+  l_p50 : float;
+  l_p95 : float;
+  l_p99 : float;
+  l_max : float;
+  l_mean : float;
+}
+(** Milliseconds. *)
+
+type report = {
+  r_workers : int;
+  r_jobs : int;  (** jobs attempted *)
+  r_ok : int;  (** jobs that completed without raising *)
+  r_errors : (string * string) list;  (** (label, message), capped *)
+  r_wall_ms : float;
+  r_qps : float;  (** completed jobs per wall-clock second *)
+  r_latency : latency;
+  r_by_kind : (string * int) list;  (** job count per {!kind_name} *)
+}
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] is the nearest-rank [q]-th percentile of a
+    sorted array ([0.] when empty). *)
+
+val run : ?workers:int -> session:Xqse.Session.t -> job list -> report
+(** Drain [jobs] with [workers] domains (default [1]) forked from
+    [session]. Bumps [server.jobs] / [server.errors] /
+    [server.submits] on the session's instrumentation handle. Job
+    exceptions are caught, counted and reported — one bad job never
+    takes down the pool. *)

@@ -1,0 +1,63 @@
+type t = {
+  m : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable active_readers : int;
+  mutable writer : bool;
+  mutable waiting_writers : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    active_readers = 0;
+    writer = false;
+    waiting_writers = 0;
+  }
+
+let read_lock t =
+  Mutex.lock t.m;
+  (* waiting_writers in the guard is the writer preference: a reader
+     arriving behind a queued writer waits even though the lock is
+     readable right now *)
+  while t.writer || t.waiting_writers > 0 do
+    Condition.wait t.can_read t.m
+  done;
+  t.active_readers <- t.active_readers + 1;
+  Mutex.unlock t.m
+
+let read_unlock t =
+  Mutex.lock t.m;
+  t.active_readers <- t.active_readers - 1;
+  if t.active_readers = 0 then Condition.signal t.can_write;
+  Mutex.unlock t.m
+
+let write_lock t =
+  Mutex.lock t.m;
+  t.waiting_writers <- t.waiting_writers + 1;
+  while t.writer || t.active_readers > 0 do
+    Condition.wait t.can_write t.m
+  done;
+  t.waiting_writers <- t.waiting_writers - 1;
+  t.writer <- true;
+  Mutex.unlock t.m
+
+let write_unlock t =
+  Mutex.lock t.m;
+  t.writer <- false;
+  (* wake both sides; the guards sort out who actually proceeds *)
+  Condition.signal t.can_write;
+  Condition.broadcast t.can_read;
+  Mutex.unlock t.m
+
+let with_read t f =
+  read_lock t;
+  Fun.protect ~finally:(fun () -> read_unlock t) f
+
+let with_write t f =
+  write_lock t;
+  Fun.protect ~finally:(fun () -> write_unlock t) f
+
+let readers t = Mutex.protect t.m (fun () -> t.active_readers)

@@ -1,0 +1,27 @@
+(** Writer-preferring read/write lock.
+
+    The server's concurrency story in one primitive: reads (queries,
+    XQSE scripts) share the lock, submits take it exclusively. Because
+    a submit excludes every reader, a read that is in flight when a
+    submit arrives either completed against the pre-submit state or
+    starts after the commit — it can never observe a half-applied
+    changeset, which is the snapshot-consistency guarantee the paper's
+    platform gets from its relational sources' transactions.
+
+    Writer preference: once a writer is waiting, new readers queue
+    behind it, so a steady read load cannot starve submits. *)
+
+type t
+
+val create : unit -> t
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Run [f] holding a shared read lock. Re-raises [f]'s exceptions
+    after releasing. *)
+
+val with_write : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the exclusive write lock. Re-raises [f]'s
+    exceptions after releasing. *)
+
+val readers : t -> int
+(** Number of threads currently inside {!with_read} (diagnostic). *)

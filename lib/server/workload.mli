@@ -1,0 +1,37 @@
+(** Seeded workload generation over the CustomerProfile scenario.
+
+    Builds a deterministic open-loop job mix for {!Pool.run}: Figure 3
+    read methods ([getProfile] / [getProfileById]), XQSE script shapes
+    from the paper's use cases (iterate over profiles, while-loop
+    polling, conditional accumulation), and chaos-style submits that
+    read customer 007's profile, mutate fields spanning both databases
+    through the SDO changeset, and submit. The whole list — kinds,
+    targets, arrival times — is a pure function of [seed], so a run
+    replays exactly. *)
+
+type mix = { m_reads : int; m_scripts : int; m_submits : int }
+(** Relative weights; a zero weight drops that kind entirely. *)
+
+val default_mix : mix
+(** 6 : 3 : 1 — read-mostly, as the paper's platform sees in service
+    front-ends. *)
+
+val jobs :
+  ?mix:mix ->
+  ?rate:float ->
+  ?io_ms:float ->
+  ?customers:int ->
+  seed:int ->
+  count:int ->
+  Fixtures.Customer_profile.env ->
+  Pool.job list
+(** [count] jobs against [env]. [customers] (default [3]) must match
+    the [?customers] the env was built with so by-id reads hit.
+    [rate] > 0 spaces arrivals as a Poisson process of that many jobs
+    per second (open loop); omitted, all arrivals are immediate
+    (closed loop). [io_ms] sleeps that long inside every job — the
+    simulated wire round-trip of remote sources, which the in-memory
+    substrate otherwise lacks; with it the workload is latency-bound
+    and the pool has real I/O to overlap across workers. Read and script jobs evaluate on the worker's
+    session fork; submit jobs drive [env]'s dataspace directly (the
+    pool runs them under the exclusive write lock). *)

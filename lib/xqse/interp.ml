@@ -870,6 +870,55 @@ let declare_procedure rt proc =
       (List.length proc.p_params)
       (fun args -> run_procedure rt proc args)
 
+(* Flatten the runtime chain's procedures (innermost declaration wins)
+   into a fresh parentless runtime over [reg]. The fork shares no
+   mutable state with the source — its own flags, compilation unit and
+   compiled-block memos — so a worker domain can run against it while
+   the source keeps serving. Readonly procedures re-home their function
+   registration in [reg]: the entry copied in from the source's registry
+   closes over the *source* runtime (and would race on its plan memos),
+   so it is replaced by one closing over the fork. *)
+let fork_runtime ?(trace = fun _ -> ()) ?instr src reg =
+  let instr = match instr with Some i -> i | None -> src.instr in
+  let fresh =
+    {
+      reg;
+      procs = Hashtbl.create 16;
+      parent = None;
+      trace;
+      instr;
+      streaming = src.streaming;
+      plans = src.plans;
+      purity = src.purity;
+      comp = None;
+      cblocks = [];
+    }
+  in
+  let rec collect rt =
+    Hashtbl.iter
+      (fun key p ->
+        if not (Hashtbl.mem fresh.procs key) then Hashtbl.add fresh.procs key p)
+      rt.procs;
+    Option.iter collect rt.parent
+  in
+  collect src;
+  Hashtbl.iter
+    (fun _ p ->
+      if p.p_readonly then begin
+        let arity = List.length p.p_params in
+        Xquery.Context.unregister reg p.p_name arity;
+        let purity =
+          match p.p_impl with
+          | P_block body -> Some (procedure_verdict reg body)
+          | P_external _ -> None
+        in
+        Xquery.Context.register_external reg ~side_effects:false ?purity
+          p.p_name arity
+          (fun args -> run_procedure fresh p args)
+      end)
+    fresh.procs;
+  fresh
+
 let finish = function
   | Returned v -> v
   | Normal -> []

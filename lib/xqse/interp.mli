@@ -37,6 +37,21 @@ val create_runtime :
     parent's handle (or {!Instr.disabled} without a parent); every
     executed statement bumps the [xqse.statements] counter on it. *)
 
+val fork_runtime :
+  ?trace:(string -> unit) ->
+  ?instr:Instr.t ->
+  runtime ->
+  Xquery.Context.registry ->
+  runtime
+(** [fork_runtime src reg] is a fresh parentless runtime over [reg]
+    carrying every procedure visible from [src] (innermost declaration
+    wins) and [src]'s current flags and purity environment, but none of
+    its mutable state — a worker can execute against the fork while the
+    source keeps serving. [reg] should be a copy of [src]'s registry:
+    readonly procedures get their function entry re-registered in it so
+    the closure captures the fork (the copied entry would otherwise call
+    back into [src]). *)
+
 val registry : runtime -> Xquery.Context.registry
 val set_trace : runtime -> (string -> unit) -> unit
 val instr : runtime -> Instr.t

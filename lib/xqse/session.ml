@@ -1,16 +1,34 @@
 open Xdm
 module Ctx = Xquery.Context
 
+type config = {
+  optimize : bool;
+  streaming : bool;
+  plans : bool;
+  instr : Instr.t;
+  trace : (string -> unit) option;
+}
+
+let default_config =
+  {
+    optimize = true;
+    streaming = true;
+    plans = true;
+    instr = Instr.disabled;
+    trace = None;
+  }
+
 type t = {
   eng : Xquery.Engine.t;
   rt : Interp.runtime;
   mutable trace : string -> unit;
   modules : (string, string) Hashtbl.t;  (* module uri -> source *)
   loaded_modules : (string, unit) Hashtbl.t;
-  mutable s_generation : int;
+  s_generation : int Stdlib.Atomic.t;
       (* bumped on every session-level static-context change (procedure
          or module registration, library load); part of the plan-cache
          fingerprint alongside the engine's generation *)
+  cache_lock : Mutex.t;  (* guards [cache] *)
   cache : (string, cache_entry) Hashtbl.t;  (* program text → plan *)
 }
 
@@ -55,34 +73,108 @@ let with_engine eng =
     trace;
     modules = Hashtbl.create 8;
     loaded_modules = Hashtbl.create 8;
-    s_generation = 0;
+    s_generation = Stdlib.Atomic.make 0;
+    cache_lock = Mutex.create ();
     cache = Hashtbl.create 32;
   }
 
-let create ?(optimize = true) ?(instr = Instr.disabled) () =
-  with_engine (Xquery.Engine.create ~optimize ~instr ())
+let create ?optimize ?instr ?config () =
+  let cfg = Option.value config ~default:default_config in
+  (* the legacy labelled arguments override the record so existing
+     [create ~optimize ~instr ()] call sites keep their meaning *)
+  let cfg =
+    match optimize with Some b -> { cfg with optimize = b } | None -> cfg
+  in
+  let cfg = match instr with Some i -> { cfg with instr = i } | None -> cfg in
+  let eng =
+    Xquery.Engine.create ~optimize:cfg.optimize ~streaming:cfg.streaming
+      ~instr:cfg.instr ()
+  in
+  Xquery.Engine.set_plans eng cfg.plans;
+  let s = with_engine eng in
+  Interp.set_streaming s.rt cfg.streaming;
+  Interp.set_plans s.rt cfg.plans;
+  (match cfg.trace with
+  | Some f ->
+    s.trace <- f;
+    Interp.set_trace s.rt f
+  | None -> ());
+  s
 
 let engine s = s.eng
 let runtime s = s.rt
 let instr s = Xquery.Engine.instr s.eng
 let streaming s = Xquery.Engine.streaming s.eng
 
+let config s =
+  {
+    optimize = Xquery.Engine.optimizing s.eng;
+    streaming = Xquery.Engine.streaming s.eng;
+    plans = Xquery.Engine.plans s.eng;
+    instr = Xquery.Engine.instr s.eng;
+    trace = Some s.trace;
+  }
+
+(* Deprecated mutator shims — prefer an immutable {!config} at creation
+   (or {!with_config} for a differently-configured fork): a session
+   whose flags never move underneath it can be handed to a worker
+   without aliasing surprises. *)
 let set_streaming s b =
   Xquery.Engine.set_streaming s.eng b;
   Interp.set_streaming s.rt b
+
+let set_plans s b =
+  Xquery.Engine.set_plans s.eng b;
+  Interp.set_plans s.rt b
+
+(* Fork: an independent session over copies of everything the source
+   accreted (registrations, procedures, loaded libraries, modules,
+   documents), configured by [cfg]. Shares no mutable state with the
+   source — each side's registrations, plan caches and globals evolve
+   independently — so per-worker sessions forked off one prepared
+   template are safe to drive from separate domains while the template's
+   external functions (e.g. a dataspace's reads) execute against the
+   shared backing sources. *)
+let with_config s (cfg : config) =
+  let eng =
+    Xquery.Engine.fork ~optimize:cfg.optimize ~streaming:cfg.streaming
+      ~plans:cfg.plans ~instr:cfg.instr s.eng
+  in
+  let trace =
+    match cfg.trace with
+    | Some f -> f
+    | None -> fun m -> Instr.note cfg.instr ("trace: " ^ m)
+  in
+  let rt =
+    Interp.fork_runtime ~trace ~instr:cfg.instr s.rt
+      (Xquery.Engine.registry eng)
+  in
+  Interp.set_streaming rt cfg.streaming;
+  Interp.set_plans rt cfg.plans;
+  {
+    eng;
+    rt;
+    trace;
+    modules = Hashtbl.copy s.modules;
+    loaded_modules = Hashtbl.copy s.loaded_modules;
+    s_generation = Stdlib.Atomic.make (Stdlib.Atomic.get s.s_generation);
+    cache_lock = Mutex.create ();
+    cache = Hashtbl.create 32;
+  }
 
 (* Any session-level change to what programs compile against makes every
    cached program plan stale: bump the generation, drop the session
    runtime's compiled procedure bodies, and flush the cache (counting
    the flushed entries, like the engine does). *)
 let invalidate_plans s =
-  s.s_generation <- s.s_generation + 1;
+  Stdlib.Atomic.incr s.s_generation;
   Interp.invalidate_plans s.rt;
-  let n = Hashtbl.length s.cache in
-  if n > 0 then begin
-    Instr.bump (instr s) ~n Instr.K.plan_cache_invalidate;
-    Hashtbl.reset s.cache
-  end
+  Mutex.protect s.cache_lock (fun () ->
+      let n = Hashtbl.length s.cache in
+      if n > 0 then begin
+        Instr.bump (instr s) ~n Instr.K.plan_cache_invalidate;
+        Hashtbl.reset s.cache
+      end)
 
 let declare_namespace s prefix uri = Xquery.Engine.declare_namespace s.eng prefix uri
 
@@ -90,13 +182,16 @@ let set_trace s f =
   s.trace <- f;
   Interp.set_trace s.rt f
 
+(* Mutate-then-invalidate (like the engine's registrations): the change
+   lands before the generations move, so a compile racing it can never
+   cache a pre-change snapshot under the post-change fingerprint. *)
 let register_function s ?side_effects name arity impl =
-  invalidate_plans s;
-  Xquery.Engine.register_external s.eng ?side_effects name arity impl
+  Xquery.Engine.register_external s.eng ?side_effects name arity impl;
+  invalidate_plans s
 
 let register_function_cursor s ?side_effects name arity impl =
-  invalidate_plans s;
-  Xquery.Engine.register_external_cursor s.eng ?side_effects name arity impl
+  Xquery.Engine.register_external_cursor s.eng ?side_effects name arity impl;
+  invalidate_plans s
 
 let register_procedure s ?(readonly = false) ?params ?return name arity impl =
   let params =
@@ -104,11 +199,6 @@ let register_procedure s ?(readonly = false) ?params ?return name arity impl =
     | Some ps -> ps
     | None -> List.init arity (fun i -> (Qname.local (Printf.sprintf "p%d" i), None))
   in
-  invalidate_plans s;
-  (* a readonly procedure also registers as a function in the registry
-     shared with the engine (and with sibling sessions over the same
-     engine) — their cached plans must go stale too *)
-  Xquery.Engine.invalidate_plans s.eng;
   Interp.declare_procedure s.rt
     {
       Interp.p_name = name;
@@ -116,7 +206,12 @@ let register_procedure s ?(readonly = false) ?params ?return name arity impl =
       p_return = return;
       p_readonly = readonly;
       p_impl = Interp.P_external impl;
-    }
+    };
+  invalidate_plans s;
+  (* a readonly procedure also registers as a function in the registry
+     shared with the engine (and with sibling sessions over the same
+     engine) — their cached plans must go stale too *)
+  Xquery.Engine.invalidate_plans s.eng
 
 (* ------------------------------------------------------------------ *)
 (* Statement-level optimization: optimize the XQuery expressions inside
@@ -255,17 +350,20 @@ and load_library s src =
       "a library program must not have a query body"
   | None -> ());
   resolve_imports s prog;
-  (* a library installs functions straight into the engine's registry
-     (below), bypassing [Engine.register_external] — invalidate both
-     cache layers explicitly. When this runs mid-compile (an import
-     resolving lazily), the caller's fingerprint is computed after
-     compilation, so the bumped generations are what gets cached. *)
-  invalidate_plans s;
-  Xquery.Engine.invalidate_plans s.eng;
+  (* a library installs functions straight into the engine's registry,
+     bypassing [Engine.register_external] — invalidate both cache layers
+     explicitly, *after* the install (mutate-then-bump, like every other
+     registration). When this runs mid-compile (an import resolving
+     lazily), the caller captures its fingerprint after import
+     resolution, so the bumped generations are what gets cached. *)
   ignore
     (install_declarations s (Xquery.Engine.registry s.eng) s.rt prog
       : Xquery.Purity.env);
-  (* library variable declarations evaluate now and persist as globals *)
+  invalidate_plans s;
+  Xquery.Engine.invalidate_plans s.eng;
+  (* library variable declarations evaluate now and persist as globals;
+     after the invalidation, so an initializer calling a just-installed
+     readonly procedure compiles against the post-install registry *)
   if prog.Stmt.prog_variables <> [] then begin
     let reg = Xquery.Engine.registry s.eng in
     let ctx = Ctx.make_dynamic ~trace:s.trace ~instr:(instr s) reg in
@@ -297,13 +395,29 @@ and load_library s src =
   end
 
 let register_module s uri src =
-  invalidate_plans s;
-  Hashtbl.replace s.modules uri src
+  Hashtbl.replace s.modules uri src;
+  invalidate_plans s
 
-let compile s src =
+(* Plan-cache fingerprint, mirroring the engine's: both generations plus
+   every flag that changes what a compile produces. *)
+let fingerprint s =
+  ( Xquery.Engine.generation s.eng,
+    Stdlib.Atomic.get s.s_generation,
+    Xquery.Engine.optimizing s.eng,
+    Xquery.Engine.streaming s.eng,
+    Xquery.Engine.plans s.eng )
+
+(* Returns the fingerprint observed when the registry was snapshotted —
+   after import resolution (a mid-compile library load bumps both
+   generations first, so the entry caches under the post-load context it
+   actually compiled against), before the registry copy (a registration
+   landing later invalidates the fingerprint and the caller skips the
+   insert). *)
+let compile_fp s src =
   Instr.span (instr s) "compile" (fun () ->
       let prog = Parse.parse_program (fresh_static s) src in
       resolve_imports s prog;
+      let fp = fingerprint s in
       let reg = Ctx.copy_registry (Xquery.Engine.registry s.eng) in
       let rt = Interp.create_runtime ~trace:s.trace ~parent:s.rt reg in
       let env = install_declarations s reg rt prog in
@@ -341,21 +455,22 @@ let compile s src =
       (* successful compiles only: a parse or static error above must
          not count (the span still reports its duration) *)
       Instr.bump (instr s) Instr.K.queries_compiled;
-      c)
+      (fp, c))
+
+let compile s src = snd (compile_fp s src)
 
 (* Plan cache around [compile], mirroring the engine's: keyed on the
    program text, guarded by the fingerprint the entry was compiled
-   under. A failed compile counts as a miss but never as a compiled
-   query; the cache is bypassed entirely when plans are off. *)
-let fingerprint s =
-  ( Xquery.Engine.generation s.eng,
-    s.s_generation,
-    Xquery.Engine.optimizing s.eng,
-    Xquery.Engine.streaming s.eng,
-    Xquery.Engine.plans s.eng )
-
+   under; the insert is skipped when a registration raced the compile
+   (the fingerprint moved after the registry snapshot), so a stale plan
+   is returned at most once and never cached. A failed compile counts
+   as a miss but never as a compiled query; the cache is bypassed
+   entirely when plans are off. *)
 let compile_cached s src =
-  match Hashtbl.find_opt s.cache src with
+  let cached =
+    Mutex.protect s.cache_lock (fun () -> Hashtbl.find_opt s.cache src)
+  in
+  match cached with
   | Some e when Xquery.Engine.plans s.eng && e.ce_fingerprint = fingerprint s
     ->
     Instr.bump (instr s) Instr.K.plan_cache_hit;
@@ -363,10 +478,12 @@ let compile_cached s src =
   | _ when not (Xquery.Engine.plans s.eng) -> compile s src
   | _ ->
     Instr.bump (instr s) Instr.K.plan_cache_miss;
-    let c = compile s src in
-    if Hashtbl.length s.cache >= cache_cap then Hashtbl.reset s.cache;
-    Hashtbl.replace s.cache src
-      { ce_fingerprint = fingerprint s; ce_compiled = c };
+    let fp, c = compile_fp s src in
+    Mutex.protect s.cache_lock (fun () ->
+        if fp = fingerprint s then begin
+          if Hashtbl.length s.cache >= cache_cap then Hashtbl.reset s.cache;
+          Hashtbl.replace s.cache src { ce_fingerprint = fp; ce_compiled = c }
+        end);
     c
 
 type exec_opts = {

@@ -10,12 +10,52 @@ open Xdm
 
 type t
 
-val create : ?optimize:bool -> ?instr:Instr.t -> unit -> t
-(** [instr] (default {!Instr.disabled}) is the session's instrumentation
-    handle, shared with its engine, its XQSE runtime, and every program
-    compiled in it. The handle identity is fixed at creation — enable it
-    or swap its sink at any time and already-wired components report
-    into it. *)
+type config = {
+  optimize : bool;  (** run the rewrite optimizer (default [true]) *)
+  streaming : bool;
+      (** pull-based cursor evaluation where the gates allow (default
+          [true]); off forces eager materialization everywhere *)
+  plans : bool;
+      (** closure-compiled execution + plan caching (default [true]);
+          off walks ASTs through the tree interpreter *)
+  instr : Instr.t;  (** instrumentation handle (default {!Instr.disabled}) *)
+  trace : (string -> unit) option;
+      (** [fn:trace] destination; [None] notes into [instr]'s sink *)
+}
+(** Everything configurable about a session, as one immutable value: fix
+    it at {!create}, read it back with {!config}, or fork a
+    differently-configured independent session with {!with_config} — no
+    mutator calls to sequence, so a session can be handed to a worker
+    domain without another thread's setter changing its behavior
+    mid-flight. *)
+
+val default_config : config
+(** All defaults ([optimize]/[streaming]/[plans] on, {!Instr.disabled},
+    trace into the instrumentation sink). Build variations as
+    [{ default_config with streaming = false }]. *)
+
+val create : ?optimize:bool -> ?instr:Instr.t -> ?config:config -> unit -> t
+(** A fresh session configured by [config] (default {!default_config}).
+    The legacy labelled arguments override the record's fields where
+    given (they predate [config]; prefer the record in new code).
+    [config.instr] is the session's instrumentation handle, shared with
+    its engine, its XQSE runtime, and every program compiled in it. The
+    handle identity is fixed at creation — enable it or swap its sink at
+    any time and already-wired components report into it. *)
+
+val config : t -> config
+(** The session's current configuration (trace is always [Some]: the
+    session's installed destination). *)
+
+val with_config : t -> config -> t
+(** [with_config s cfg] is an independent session configured by [cfg]
+    over copies of everything [s] accreted — registered functions and
+    procedures, loaded libraries, modules, documents, globals. Neither
+    session sees the other's subsequent registrations, plan caches or
+    global-variable updates, so forked sessions are safe to drive from
+    separate worker domains (the host state captured inside registered
+    external functions — e.g. a dataspace's sources — stays shared; the
+    server serializes access to it). *)
 
 val with_engine : Xquery.Engine.t -> t
 (** Build a session around an existing engine (sharing its registry,
@@ -38,12 +78,26 @@ val instr : t -> Instr.t
 (** The handle given to {!create}. *)
 
 val streaming : t -> bool
+
 val set_streaming : t -> bool -> unit
 (** Toggle the streaming (pull-based cursor) evaluator for both XQuery
     expressions and XQSE [iterate] loops in subsequently run programs.
     Default on; results are identical either way — turning it off forces
     eager materialization everywhere (the differential corpus exercises
-    both modes). *)
+    both modes).
+
+    Deprecated shim: prefer fixing [streaming] in the {!config} record at
+    creation, or {!with_config} for a differently-configured fork —
+    mutating a session another domain is executing against is a race. *)
+
+val set_plans : t -> bool -> unit
+(** Toggle closure-compiled execution + plan caching (see
+    {!Xquery.Engine.set_plans}) on the session's engine and runtime
+    together.
+
+    Deprecated shim: prefer fixing [plans] in the {!config} record at
+    creation, or {!with_config} — same aliasing caveat as
+    {!set_streaming}. *)
 
 val declare_namespace : t -> string -> string -> unit
 val set_trace : t -> (string -> unit) -> unit

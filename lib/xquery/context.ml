@@ -108,6 +108,17 @@ let find r name arity =
   | None -> None
   | Some fs -> List.find_opt (fun f -> f.fn_arity = arity) fs
 
+let unregister r name arity =
+  r.table <-
+    Qmap.update name
+      (function
+        | None -> None
+        | Some fs -> (
+          match List.filter (fun f -> f.fn_arity <> arity) fs with
+          | [] -> None
+          | fs -> Some fs))
+      r.table
+
 let register r f =
   (match find r f.fn_name f.fn_arity with
   | Some _ ->

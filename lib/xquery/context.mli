@@ -71,6 +71,11 @@ val copy_registry : registry -> registry
 val register : registry -> func -> unit
 (** @raise Xdm.Item.Error [err:XQST0034] on duplicate name/arity. *)
 
+val unregister : registry -> Qname.t -> int -> unit
+(** Remove the function of that name/arity if present (no-op otherwise) —
+    for re-homing a registration whose closure must capture a different
+    runtime (see [Xqse.Interp.fork_runtime]). *)
+
 val register_builtin :
   registry ->
   ?side_effects:bool ->

@@ -14,10 +14,12 @@ and t = {
   mutable streaming : bool;
   mutable plans : bool;
   mutable instr : Instr.t;
-  mutable generation : int;
+  generation : int Stdlib.Atomic.t;
       (* bumped on every static-context change (function/namespace
          registration) so cached plans compiled against the old context
-         can never be replayed *)
+         can never be replayed; atomic so a registration racing a warm
+         lookup on another domain is globally ordered against it *)
+  cache_lock : Mutex.t;  (* guards [cache] (lookups, inserts, flushes) *)
   cache : (string, compiled_entry) Hashtbl.t;  (* query text → plan *)
   docs : (string * Node.t) list ref;
   colls : (string * Node.t list) list ref;
@@ -50,7 +52,8 @@ let create ?(optimize = true) ?(streaming = true) ?(instr = Instr.disabled) ()
     streaming;
     plans = true;
     instr;
-    generation = 0;
+    generation = Stdlib.Atomic.make 0;
+    cache_lock = Mutex.create ();
     cache = Hashtbl.create 32;
     docs = ref [];
     colls = ref [];
@@ -65,10 +68,36 @@ let with_registry ?(optimize = true) ?(streaming = true)
     streaming;
     plans = true;
     instr;
-    generation = 0;
+    generation = Stdlib.Atomic.make 0;
+    cache_lock = Mutex.create ();
     cache = Hashtbl.create 32;
     docs = ref [];
     colls = ref [];
+  }
+
+(* An independent engine seeded from [t]: copies of the static context,
+   registry (persistent maps — O(1) and fully decoupled), documents and
+   collections, with a fresh plan cache. Registrations on either side
+   are invisible to the other; [Session.with_config] forks workers
+   through this so domains never share engine-level mutable state. *)
+let fork ?optimize ?streaming ?plans ?instr t =
+  {
+    st =
+      {
+        Context.namespaces = t.st.Context.namespaces;
+        default_elem_ns = t.st.Context.default_elem_ns;
+        default_fun_ns = t.st.Context.default_fun_ns;
+      };
+    reg = Context.copy_registry t.reg;
+    optimize = Option.value optimize ~default:t.optimize;
+    streaming = Option.value streaming ~default:t.streaming;
+    plans = Option.value plans ~default:t.plans;
+    instr = (match instr with Some i -> i | None -> t.instr);
+    generation = Stdlib.Atomic.make (Stdlib.Atomic.get t.generation);
+    cache_lock = Mutex.create ();
+    cache = Hashtbl.create 32;
+    docs = ref !(t.docs);
+    colls = ref !(t.colls);
   }
 
 let static t = t.st
@@ -79,33 +108,43 @@ let streaming t = t.streaming
 let set_streaming t b = t.streaming <- b
 let plans t = t.plans
 let set_plans t b = t.plans <- b
-let generation t = t.generation
+let generation t = Stdlib.Atomic.get t.generation
 let instr t = t.instr
 let set_instr t i = t.instr <- i
 
 (* Any change to what queries compile against — registered functions,
    namespace bindings — makes every cached plan stale. The generation
    bump also covers plans cached outside the engine (Xqse.Session keys
-   its own cache on the engine generation). *)
+   its own cache on the engine generation). The bump happens before the
+   flush: a concurrent lookup either sees the old generation (and its
+   entry, which was valid under it) or the new one (and misses). *)
 let invalidate_plans t =
-  t.generation <- t.generation + 1;
-  let n = Hashtbl.length t.cache in
-  if n > 0 then begin
-    Instr.bump t.instr ~n Instr.K.plan_cache_invalidate;
-    Hashtbl.reset t.cache
-  end
+  Stdlib.Atomic.incr t.generation;
+  Mutex.protect t.cache_lock (fun () ->
+      let n = Hashtbl.length t.cache in
+      if n > 0 then begin
+        Instr.bump t.instr ~n Instr.K.plan_cache_invalidate;
+        Hashtbl.reset t.cache
+      end)
 
+(* Mutate-then-bump: the registry/static change lands before the
+   generation moves, so a compile racing the registration either
+   fingerprints the old generation (its entry — fresh or stale — is
+   invalidated by the bump at its next lookup) or the new one (in which
+   case the bump, and therefore the mutation, happened before its
+   registry snapshot). Bump-first would allow the inverse: a stale
+   registry snapshot cached under the new generation. *)
 let declare_namespace t prefix uri =
-  invalidate_plans t;
-  Context.declare_ns t.st prefix uri
+  Context.declare_ns t.st prefix uri;
+  invalidate_plans t
 
 let register_external t ?side_effects name arity impl =
-  invalidate_plans t;
-  Context.register_external t.reg ?side_effects name arity impl
+  Context.register_external t.reg ?side_effects name arity impl;
+  invalidate_plans t
 
 let register_external_cursor t ?side_effects name arity impl =
-  invalidate_plans t;
-  Context.register_external_cursor t.reg ?side_effects name arity impl
+  Context.register_external_cursor t.reg ?side_effects name arity impl;
+  invalidate_plans t
 
 let register_doc t uri node = t.docs := (uri, node) :: !(t.docs)
 let register_collection t uri nodes = t.colls := (uri, nodes) :: !(t.colls)
@@ -157,7 +196,18 @@ let purity_fn env e =
   let v = Purity.analyze env e in
   (v.Purity.effects, v.Purity.fallible, v.Purity.constructs)
 
-let compile t src =
+(* Plan-cache fingerprint: the generation plus every flag that changes
+   what a compile produces. Captured at the moment the registry is
+   copied (see [compile_fp]) so an entry is cached under exactly the
+   context it was compiled against. *)
+let fingerprint t = (Stdlib.Atomic.get t.generation, t.optimize, t.streaming, t.plans)
+
+(* [compile_fp] additionally returns the fingerprint observed when the
+   registry was snapshotted: if a registration lands mid-compile, the
+   returned fingerprint is stale against the engine's current one and
+   the caller must not cache the plan (it was compiled against the
+   pre-registration registry). *)
+let compile_fp t src =
   Instr.span t.instr "compile" (fun () ->
       (* parse against a copy of the static context so per-query namespace
          declarations do not leak into the engine *)
@@ -169,6 +219,7 @@ let compile t src =
         }
       in
       let m = Parser.parse_module st src in
+      let fp = fingerprint t in
       let reg = Context.copy_registry t.reg in
       (* collect the module's function declarations first: the purity
          environment must see all of them (mutual recursion) before any
@@ -229,7 +280,9 @@ let compile t src =
       (* successful compiles only: a parse or static error above must
          not count (the span still reports its duration) *)
       Instr.bump t.instr Instr.K.queries_compiled;
-      c)
+      (fp, c))
+
+let compile t src = snd (compile_fp t src)
 
 type run_opts = {
   context_item : Item.t option;
@@ -297,23 +350,30 @@ let run ?(opts = default_run_opts) c =
 
 (* Plan cache around [compile]: keyed on the query text, guarded by the
    fingerprint (generation + flags) the entry was compiled under. The
-   fingerprint is (re)computed after compilation so a mid-compile
-   generation bump can never be cached over. A failed compile counts as
+   entry is inserted under the fingerprint captured when the compile
+   snapshotted the registry, and only if the engine's fingerprint is
+   {e still} that value at insert time — a registration racing the
+   compile (same domain via a re-entrant callback, or another domain)
+   bumps the generation first, the insert is skipped, and the stale
+   plan is returned once but never cached. A failed compile counts as
    a miss but never as a compiled query. *)
-let fingerprint t = (t.generation, t.optimize, t.streaming, t.plans)
-
 let compile_cached t src =
-  match Hashtbl.find_opt t.cache src with
+  let cached =
+    Mutex.protect t.cache_lock (fun () -> Hashtbl.find_opt t.cache src)
+  in
+  match cached with
   | Some e when t.plans && e.e_fingerprint = fingerprint t ->
     Instr.bump t.instr Instr.K.plan_cache_hit;
     e.e_compiled
   | _ when not t.plans -> compile t src
   | _ ->
     Instr.bump t.instr Instr.K.plan_cache_miss;
-    let c = compile t src in
-    if Hashtbl.length t.cache >= cache_cap then Hashtbl.reset t.cache;
-    Hashtbl.replace t.cache src
-      { e_fingerprint = fingerprint t; e_compiled = c };
+    let fp, c = compile_fp t src in
+    Mutex.protect t.cache_lock (fun () ->
+        if fp = fingerprint t then begin
+          if Hashtbl.length t.cache >= cache_cap then Hashtbl.reset t.cache;
+          Hashtbl.replace t.cache src { e_fingerprint = fp; e_compiled = c }
+        end);
     c
 
 let eval_string ?opts t src = run ?opts (compile_cached t src)

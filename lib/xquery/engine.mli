@@ -36,6 +36,20 @@ val with_registry :
 (** Build an engine around an existing static context and registry
     (shared with other components, e.g. the XQSE interpreter). *)
 
+val fork :
+  ?optimize:bool ->
+  ?streaming:bool ->
+  ?plans:bool ->
+  ?instr:Instr.t ->
+  t ->
+  t
+(** An independent engine seeded from an existing one: copies of its
+    static context, registry, documents and collections, a fresh plan
+    cache, and the given flag overrides (defaulting to the source's
+    current values). Registrations on either engine are invisible to
+    the other — this is how a worker gets its own engine over a shared
+    dataspace's registrations. *)
+
 val static : t -> Context.static
 val registry : t -> Context.registry
 val optimizing : t -> bool

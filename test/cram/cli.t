@@ -181,6 +181,9 @@ wall-clock, masked here):
   stream.pulled                        0
   stream.materialized                  0
   stream.early_exits                   0
+  server.jobs                          0
+  server.errors                        0
+  server.submits                       0
   time.optimizer.fold.ms _
   time.optimizer.normalize.ms _
   time.optimizer.inline.ms _
@@ -232,6 +235,9 @@ prints the cumulative table (span times masked):
   stream.pulled                        0
   stream.materialized                  0
   stream.early_exits                   0
+  server.jobs                          0
+  server.errors                        0
+  server.submits                       0
   time.optimizer.fold.ms _
   time.optimizer.normalize.ms _
   time.optimizer.inline.ms _

@@ -50,6 +50,9 @@ is accounted):
   stream.pulled                    62
   stream.materialized              62
   stream.early_exits                0
+  server.jobs                       0
+  server.errors                     0
+  server.submits                    0
 
 The lineage view explains update decomposition:
 

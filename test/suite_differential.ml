@@ -66,18 +66,18 @@ let session_noopt = lazy (Xqse.Session.create ~optimize:false ())
 
 let session_nostream =
   lazy
-    (let s = Xqse.Session.create () in
-     Xqse.Session.set_streaming s false;
-     s)
+    (Xqse.Session.create
+       ~config:{ Xqse.Session.default_config with streaming = false }
+       ())
 
 (* interpreted XQSE: plans off disables both the session plan cache and
    the compiled statement path, so every program runs through the
    tree-walking interpreter *)
 let session_noplans =
   lazy
-    (let s = Xqse.Session.create () in
-     Xquery.Engine.set_plans (Xqse.Session.engine s) false;
-     s)
+    (Xqse.Session.create
+       ~config:{ Xqse.Session.default_config with plans = false }
+       ())
 
 let agree_session name src =
   case name (fun () ->

@@ -337,10 +337,72 @@ let platform_counter_tests =
           (counter (Instr.stats instr) Instr.K.ws_calls > 0));
   ]
 
+let domain_tests =
+  [
+    case "an increment storm from two domains loses nothing" (fun () ->
+        (* the counters are atomics: 2 x 200k concurrent bumps (plus
+           interleaved multi-increments and a timer) must land exactly *)
+        let instr = Instr.create () in
+        Instr.enable instr;
+        let storm () =
+          for i = 1 to 200_000 do
+            Instr.bump instr "storm.count";
+            if i mod 1000 = 0 then begin
+              Instr.bump ~n:5 instr "storm.batch";
+              Instr.time instr "storm.ms" (fun () -> ())
+            end
+          done
+        in
+        let d = Domain.spawn storm in
+        storm ();
+        Domain.join d;
+        let st = Instr.stats instr in
+        let c name =
+          Option.value ~default:0 (List.assoc_opt name st.Instr.counters)
+        in
+        check_int "storm.count" 400_000 (c "storm.count");
+        check_int "storm.batch" 2_000 (c "storm.batch");
+        check_bool "storm.ms timer exists and is sane" true
+          (match List.assoc_opt "storm.ms" st.Instr.timers with
+          | Some t -> t >= 0.
+          | None -> false));
+    case "spans stay balanced per domain" (fun () ->
+        (* each domain gets its own span stack: concurrent spans must
+           not corrupt each other's nesting *)
+        let instr = Instr.create () in
+        Instr.enable instr;
+        let spin () =
+          for _ = 1 to 1_000 do
+            Instr.span instr "work" (fun () ->
+                Instr.span instr "inner" (fun () -> ()))
+          done
+        in
+        let d = Domain.spawn spin in
+        spin ();
+        Domain.join d;
+        let st = Instr.stats instr in
+        check_bool "span timer accumulated" true
+          (List.mem_assoc "work" st.Instr.timers
+          && List.mem_assoc "inner" st.Instr.timers));
+    case "add_stats merges two workers' deltas" (fun () ->
+        let a = { Instr.counters = [ ("x", 1); ("y", 2) ]; timers = [ ("t", 1.) ] }
+        and b = { Instr.counters = [ ("y", 3); ("z", 4) ]; timers = [ ("t", 2.) ] } in
+        let m = Instr.add_stats a b in
+        let c name =
+          Option.value ~default:0 (List.assoc_opt name m.Instr.counters)
+        in
+        check_int "x" 1 (c "x");
+        check_int "y" 5 (c "y");
+        check_int "z" 4 (c "z");
+        check_bool "t" true
+          (List.assoc_opt "t" m.Instr.timers = Some 3.));
+  ]
+
 let suites =
   [
     ("instr.handle", handle_tests);
     ("instr.spans", span_tests);
+    ("instr.domains", domain_tests);
     ("instr.engine-counters", engine_counter_tests);
     ("instr.platform-counters", platform_counter_tests);
   ]

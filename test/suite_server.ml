@@ -1,0 +1,279 @@
+(* The concurrent query server: worker-pool correctness under
+   deterministic seeds, snapshot-read isolation between concurrent
+   reads and submits, and the cross-database atomicity invariant under
+   chaos with multiple workers. *)
+
+open Core
+open Util
+module FC = Fixtures.Customer_profile
+module R = Relational
+module Pool = Server.Pool
+module Workload = Server.Workload
+
+let value_at tbl pk col =
+  match R.Table.find_pk tbl pk with
+  | Some row -> R.Table.get row tbl col
+  | None -> R.Value.Null
+
+(* the two cells every submit rewrites as a matched pair, one per
+   database — 007's last name in db1, card 900001's brand in db2 *)
+let lastname env = value_at env.FC.customer [ R.Value.Text "007" ] "LAST_NAME"
+
+let brand env =
+  value_at env.FC.credit_card [ R.Value.Int 900001 ] "CC_BRAND"
+
+let text = function R.Value.Text s -> s | v -> R.Value.to_string v
+
+let suffix ~prefix s =
+  let pl = String.length prefix in
+  if String.length s > pl && String.sub s 0 pl = prefix then
+    Some (String.sub s pl (String.length s - pl))
+  else None
+
+(* a consistent pair is (Name<k>, BRAND<k>) for one k, or the seeded
+   baseline on both sides — anything else is a torn read or a partial
+   commit *)
+let pair_consistent ~baseline (ln, br) =
+  baseline = (ln, br)
+  ||
+  match (suffix ~prefix:"Name" ln, suffix ~prefix:"BRAND" br) with
+  | Some k1, Some k2 -> k1 = k2
+  | _ -> false
+
+let submit_pair env k =
+  let dg = FC.get_profile_by_id env "007" in
+  Sdo.set_leaf dg 1 [ ("LAST_NAME", 1) ] (Printf.sprintf "Name%d" k);
+  Sdo.set_leaf dg 1
+    [ ("CreditCards", 1); ("CREDIT_CARD", 1); ("BRAND", 1) ]
+    (Printf.sprintf "BRAND%d" k);
+  (Aldsp.Dataspace.submit env.FC.ds env.FC.svc dg).Aldsp.Dataspace.sr_committed
+
+let pair_query =
+  {|let $p := profile:getProfileById("007")
+    return fn:concat($p/LAST_NAME, "|",
+                     ($p/CreditCards/CREDIT_CARD)[1]/BRAND)|}
+
+let split_pair s =
+  match String.index_opt s '|' with
+  | Some i ->
+    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> (s, "")
+
+let pool_tests =
+  [
+    case "percentiles are nearest-rank" (fun () ->
+        let a = Array.init 100 (fun i -> float_of_int (i + 1)) in
+        check_bool "p50" true (Pool.percentile a 50. = 50.);
+        check_bool "p95" true (Pool.percentile a 95. = 95.);
+        check_bool "p99" true (Pool.percentile a 99. = 99.);
+        check_bool "empty" true (Pool.percentile [||] 50. = 0.));
+    case "sequential pool drains every job in order" (fun () ->
+        let env = FC.make ~customers:2 () in
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        let order = ref [] in
+        let job i =
+          {
+            Pool.j_kind = Pool.Read;
+            j_label = Printf.sprintf "j%d" i;
+            j_arrival_ms = 0.;
+            j_run = (fun _ -> order := i :: !order);
+          }
+        in
+        let rp = Pool.run ~workers:1 ~session:sess (List.init 5 job) in
+        check_int "all ok" 5 rp.Pool.r_ok;
+        check_bool "list order" true (List.rev !order = [ 0; 1; 2; 3; 4 ]));
+    case "job exceptions are counted, not fatal" (fun () ->
+        let env = FC.make ~customers:1 () in
+        let instr = Instr.create () in
+        Instr.enable instr;
+        let template = Aldsp.Dataspace.session env.FC.ds in
+        let sess =
+          Xqse.Session.with_config template
+            { (Xqse.Session.config template) with instr }
+        in
+        let boom =
+          {
+            Pool.j_kind = Pool.Script;
+            j_label = "boom";
+            j_arrival_ms = 0.;
+            j_run = (fun _ -> failwith "boom");
+          }
+        and fine =
+          {
+            Pool.j_kind = Pool.Read;
+            j_label = "fine";
+            j_arrival_ms = 0.;
+            j_run =
+              (fun s -> ignore (Xqse.Session.eval s "count(profile:getProfile())"));
+          }
+        in
+        let rp = Pool.run ~workers:1 ~session:sess [ boom; fine; boom ] in
+        check_int "ok" 1 rp.Pool.r_ok;
+        check_int "errors reported" 2 (List.length rp.Pool.r_errors);
+        let st = Instr.stats instr in
+        let c name =
+          Option.value ~default:0 (List.assoc_opt name st.Instr.counters)
+        in
+        check_int "server.jobs" 3 (c Instr.K.server_jobs);
+        check_int "server.errors" 2 (c Instr.K.server_errors));
+    case "workload is a pure function of its seed" (fun () ->
+        let env = FC.make ~customers:3 () in
+        let sig_of js =
+          List.map
+            (fun j -> (j.Pool.j_label, j.Pool.j_kind, j.Pool.j_arrival_ms))
+            js
+        in
+        let a = Workload.jobs ~rate:500. ~seed:11 ~count:60 env in
+        let b = Workload.jobs ~rate:500. ~seed:11 ~count:60 env in
+        let c = Workload.jobs ~rate:500. ~seed:12 ~count:60 env in
+        check_bool "same seed, same jobs" true (sig_of a = sig_of b);
+        check_bool "different seed, different jobs" true (sig_of a <> sig_of c));
+    case "concurrent workload run completes clean and counts add up"
+      (fun () ->
+        let instr = Instr.create () in
+        Instr.preregister instr;
+        Instr.enable instr;
+        let env = FC.make ~customers:3 ~instr () in
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        let jobs = Workload.jobs ~customers:3 ~seed:5 ~count:60 env in
+        let rp = Pool.run ~workers:3 ~session:sess jobs in
+        check_int "all ok" 60 rp.Pool.r_ok;
+        check_bool "throughput positive" true (rp.Pool.r_qps > 0.);
+        check_int "kinds partition the jobs" 60
+          (List.fold_left (fun a (_, n) -> a + n) 0 rp.Pool.r_by_kind);
+        let st = Instr.stats instr in
+        let c name =
+          Option.value ~default:0 (List.assoc_opt name st.Instr.counters)
+        in
+        check_int "server.jobs counted across domains" 60
+          (c Instr.K.server_jobs);
+        check_int "no server errors" 0 (c Instr.K.server_errors);
+        check_int "submits counted" (List.assoc "submit" rp.Pool.r_by_kind)
+          (c Instr.K.server_submits));
+  ]
+
+let isolation_tests =
+  [
+    case "readers never see half a cross-database submit" (fun () ->
+        (* submits rewrite (LAST_NAME, BRAND) as a matched pair; every
+           concurrent read of 007's profile must see one submit's pair
+           (or the baseline), never a mix *)
+        let env = FC.make ~customers:2 () in
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        let baseline =
+          split_pair (Xqse.Session.eval_to_string sess pair_query)
+        in
+        let n = 40 in
+        let results = Array.make n ("", "") in
+        let job i =
+          if i mod 4 = 3 then
+            {
+              Pool.j_kind = Pool.Submit;
+              j_label = Printf.sprintf "submit#%d" i;
+              j_arrival_ms = 0.;
+              j_run =
+                (fun _ ->
+                  if not (submit_pair env i) then failwith "submit aborted");
+            }
+          else
+            {
+              Pool.j_kind = Pool.Read;
+              j_label = Printf.sprintf "read#%d" i;
+              j_arrival_ms = 0.;
+              j_run =
+                (fun s ->
+                  results.(i) <-
+                    split_pair (Xqse.Session.eval_to_string s pair_query));
+            }
+        in
+        let rp = Pool.run ~workers:4 ~session:sess (List.init n job) in
+        check_int "all ok" n rp.Pool.r_ok;
+        Array.iteri
+          (fun i (ln, br) ->
+            if (ln, br) <> ("", "") && not (pair_consistent ~baseline (ln, br))
+            then
+              Alcotest.failf "read %d saw a torn pair: %s | %s" i ln br)
+          results;
+        (* and the sources themselves hold a matched pair *)
+        check_bool "sources consistent after the storm" true
+          (pair_consistent ~baseline (text (lastname env), text (brand env))));
+    case "chaos with concurrent workers leaves zero partial commits"
+      (fun () ->
+        (* the suite_resilience atomicity invariant, now with 3 worker
+           domains racing reads against faulting submits: whatever
+           aborts, the (db1, db2) pair must stay matched *)
+        let instr = Instr.create () in
+        Instr.preregister instr;
+        Instr.enable instr;
+        let ctl =
+          Resilience.Control.create
+            ~plan:(Resilience.Plan.make ~seed:7 ~profile:Resilience.Plan.Heavy ())
+            ~instr ()
+        in
+        List.iter
+          (fun source ->
+            Resilience.Control.set_policy ctl ~source
+              (Resilience.Policy.make ~max_retries:2 ~backoff_ms:5.
+                 ~jitter_ms:2. ()))
+          [ "db1"; "db2" ];
+        Resilience.Control.set_policy ctl ~source:"CreditRatingService"
+          (Resilience.Policy.make ~max_retries:2 ~backoff_ms:5. ~jitter_ms:2.
+             ~breaker:
+               { Resilience.Breaker.failure_threshold = 4; cooldown_ms = 400. }
+             ());
+        Resilience.Control.set_degradable ctl ~source:"CreditRatingService";
+        let env = FC.make ~customers:2 ~seed:7 ~instr ~resilience:ctl () in
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        let baseline = (text (lastname env), text (brand env)) in
+        let violations = ref [] in
+        let vmutex = Mutex.create () in
+        let job i =
+          if i mod 3 = 2 then
+            {
+              Pool.j_kind = Pool.Submit;
+              j_label = Printf.sprintf "submit#%d" i;
+              j_arrival_ms = 0.;
+              j_run =
+                (fun _ ->
+                  (* aborts are expected under chaos; partial commits
+                     are not. The pair check runs while we still hold
+                     the exclusive write lock. *)
+                  (try ignore (submit_pair env i) with _ -> ());
+                  let pair = (text (lastname env), text (brand env)) in
+                  if not (pair_consistent ~baseline pair) then
+                    Mutex.protect vmutex (fun () ->
+                        violations :=
+                          Printf.sprintf "after submit#%d: %s | %s" i
+                            (fst pair) (snd pair)
+                          :: !violations));
+            }
+          else
+            {
+              Pool.j_kind = Pool.Read;
+              j_label = Printf.sprintf "read#%d" i;
+              j_arrival_ms = 0.;
+              j_run =
+                (fun s ->
+                  match Xqse.Session.eval_to_string s pair_query with
+                  | result ->
+                    let pair = split_pair result in
+                    if not (pair_consistent ~baseline pair) then
+                      Mutex.protect vmutex (fun () ->
+                          violations :=
+                            Printf.sprintf "read#%d tore: %s" i result
+                            :: !violations)
+                  | exception _ -> () (* chaos: reads may fail *));
+            }
+        in
+        let rp = Pool.run ~workers:3 ~session:sess (List.init 45 job) in
+        check_int "every job drained" 45 rp.Pool.r_jobs;
+        check_string "zero partial commits" ""
+          (String.concat "; " !violations);
+        check_bool "final pair matched" true
+          (pair_consistent ~baseline (text (lastname env), text (brand env))));
+  ]
+
+let suites =
+  [
+    ("server.pool", pool_tests); ("server.isolation", isolation_tests);
+  ]

@@ -285,9 +285,110 @@ let plan_cache_tests =
           (counter d2 Instr.K.plan_cache_miss));
   ]
 
+(* The config record: one immutable value carrying everything the old
+   mutator calls set, with with_config as the concurrent-safe way to get
+   a differently-configured (or identically-configured) session. *)
+let config_tests =
+  let counter stats name =
+    match List.assoc_opt name stats.Instr.counters with Some n -> n | None -> 0
+  in
+  [
+    case "create ~config round-trips through config" (fun () ->
+        let cfg = { Xqse.Session.default_config with streaming = false } in
+        let s = Xqse.Session.create ~config:cfg () in
+        let got = Xqse.Session.config s in
+        check_bool "streaming off" false got.Xqse.Session.streaming;
+        check_bool "plans on" true got.Xqse.Session.plans;
+        check_bool "optimize on" true got.Xqse.Session.optimize;
+        check_bool "session agrees" false (Xqse.Session.streaming s));
+    case "deprecated shims keep working and show up in config" (fun () ->
+        let s = Xqse.Session.create () in
+        Xqse.Session.set_streaming s false;
+        Xqse.Session.set_plans s false;
+        let got = Xqse.Session.config s in
+        check_bool "set_streaming lands" false got.Xqse.Session.streaming;
+        check_bool "set_plans lands" false got.Xqse.Session.plans;
+        check_string "still evaluates" "6" (Xqse.Session.eval_to_string s "2*3"));
+    case "with_config forks are independent both ways" (fun () ->
+        let a = Xqse.Session.create () in
+        Xqse.Session.load_library a "declare variable $base := 10;";
+        let b = Xqse.Session.with_config a (Xqse.Session.config a) in
+        check_string "fork sees pre-fork library" "10"
+          (Xqse.Session.eval_to_string b "$base");
+        (* post-fork registrations stay on their side *)
+        let na = Xdm.Qname.make ~uri:"urn:a" ~prefix:"qa" "f" in
+        Xqse.Session.declare_namespace a "qa" "urn:a";
+        Xqse.Session.register_function a na 0 (fun _ -> Xdm.Item.int 1);
+        let nb = Xdm.Qname.make ~uri:"urn:b" ~prefix:"qb" "g" in
+        Xqse.Session.declare_namespace b "qb" "urn:b";
+        Xqse.Session.register_function b nb 0 (fun _ -> Xdm.Item.int 2);
+        check_string "a's function in a" "1"
+          (Xqse.Session.eval_to_string a "qa:f()");
+        check_string "b's function in b" "2"
+          (Xqse.Session.eval_to_string b "qb:g()");
+        (* the other side has neither the function nor even the prefix *)
+        (match Xqse.Session.eval_to_string b "qa:f()" with
+        | v -> Alcotest.failf "fork saw post-fork registration: %s" v
+        | exception (Xdm.Item.Error _ | Xquery.Parser.Syntax_error _) -> ());
+        match Xqse.Session.eval_to_string a "qb:g()" with
+        | v -> Alcotest.failf "source saw fork registration: %s" v
+        | exception (Xdm.Item.Error _ | Xquery.Parser.Syntax_error _) -> ());
+    case "with_config re-homes XQSE procedures onto the fork" (fun () ->
+        (* a readonly procedure registered before the fork must execute
+           against the fork's runtime, not call back into the source *)
+        let a = Xqse.Session.create () in
+        Xqse.Session.load_library a
+          {|declare variable $scale := 3;
+            declare readonly procedure local:triple($x as xs:integer) as xs:integer {
+              return value $x * $scale;
+            };|};
+        let b =
+          Xqse.Session.with_config a
+            { (Xqse.Session.config a) with streaming = false }
+        in
+        check_string "procedure runs in the fork" "12"
+          (Xqse.Session.eval_to_string b "local:triple(4)");
+        check_string "and still in the source" "12"
+          (Xqse.Session.eval_to_string a "local:triple(4)"));
+    case "registrations racing warm lookups never serve stale plans"
+      (fun () ->
+        (* the regression the atomic generation + fingerprint-guarded
+           insert exist for: one domain hammers a cached program while
+           another keeps invalidating; after the dust settles the next
+           registration must be visible immediately *)
+        let instr = Instr.create () in
+        Instr.enable instr;
+        let s = Xqse.Session.create ~instr () in
+        let stop = Stdlib.Atomic.make false in
+        let invalidator =
+          Domain.spawn (fun () ->
+              while not (Stdlib.Atomic.get stop) do
+                Xqse.Session.invalidate_plans s
+              done)
+        in
+        for _ = 1 to 2_000 do
+          check_string "value stays right under races" "6"
+            (Xqse.Session.eval_to_string s "2 * 3")
+        done;
+        Stdlib.Atomic.set stop true;
+        Domain.join invalidator;
+        let st = Instr.stats instr in
+        check_bool "invalidations were observed" true
+          (counter st Instr.K.plan_cache_invalidate >= 1);
+        (* the registration that used to lose the race *)
+        let name = Xdm.Qname.make ~uri:"urn:late" ~prefix:"lt" "f" in
+        Xqse.Session.declare_namespace s "lt" "urn:late";
+        Xqse.Session.register_function s name 0 (fun _ -> Xdm.Item.int 99);
+        check_string "post-race registration resolves" "99"
+          (Xqse.Session.eval_to_string s "lt:f()");
+        check_string "warm text still correct" "6"
+          (Xqse.Session.eval_to_string s "2 * 3"));
+  ]
+
 let suites =
   [
     ("session.persistence", persistence_tests);
     ("session.opt-equivalence", equivalence_tests);
     ("session.plan-cache", plan_cache_tests);
+    ("session.config", config_tests);
   ]

@@ -26,8 +26,13 @@ let make_env ~streaming =
   let instr = Instr.create () in
   Instr.enable instr;
   let env = FE.make ~employees:rows ~instr () in
-  let sess = Aldsp.Dataspace.session env.FE.ds in
-  Xqse.Session.set_streaming sess streaming;
+  let ds_sess = Aldsp.Dataspace.session env.FE.ds in
+  (* a config fork of the dataspace session: same sources and instr,
+     streaming fixed immutably for this environment *)
+  let sess =
+    Xqse.Session.with_config ds_sess
+      { (Xqse.Session.config ds_sess) with streaming }
+  in
   (sess, instr)
 
 let streaming_env = lazy (make_env ~streaming:true)

@@ -68,10 +68,9 @@ let () =
     Xquery.Engine.eval_to_string e src
   in
   let session optimize streaming plans =
-    let s = Xqse.Session.create ~optimize () in
-    Xqse.Session.set_streaming s streaming;
-    Xquery.Engine.set_plans (Xqse.Session.engine s) plans;
-    s
+    Xqse.Session.create
+      ~config:{ Xqse.Session.default_config with optimize; streaming; plans }
+      ()
   in
   let tag streaming plans =
     Printf.sprintf "%s, %s"
