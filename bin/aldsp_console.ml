@@ -71,6 +71,14 @@ let eval_and_print ds src =
     (* cumulative counters for the whole console session *)
     print_string
       (Instr.render ~times:false (Instr.stats (Aldsp.Dataspace.instr ds)))
+  else if String.trim src = "cache" then (
+    match Aldsp.Dataspace.result_cache ds with
+    | None -> print_endline "result cache: off (start with --cache)"
+    | Some h ->
+      let store = Cache.store h in
+      Printf.printf "result cache: on — %d entries, generation %d\n"
+        (Cache.Store.size store)
+        (Cache.Store.generation store))
   else
     match Xqse.Session.eval (Aldsp.Dataspace.session ds) src with
     | result -> print_endline (Xdm.Xml_serialize.seq_to_string result)
@@ -107,7 +115,7 @@ let interactive ds =
   in
   loop ()
 
-let main catalog queries lineage chaos_seed chaos_profile =
+let main catalog queries lineage chaos_seed chaos_profile cache =
   let chaos =
     match (chaos_seed, chaos_profile) with
     | None, None -> None
@@ -117,6 +125,7 @@ let main catalog queries lineage chaos_seed chaos_profile =
           Option.value profile ~default:Resilience.Plan.Light )
   in
   let ds = build_dataspace ?chaos () in
+  if cache then ignore (Aldsp.Dataspace.enable_result_cache ds);
   if catalog then print_string (Aldsp.Dataspace.describe ds);
   (match lineage with
   | Some name -> (
@@ -170,11 +179,20 @@ let chaos_profile =
     & opt (some profile_conv) None
     & info [ "chaos-profile" ] ~docv:"PROFILE" ~doc)
 
+let cache =
+  let doc =
+    "Enable the lineage-invalidated result cache for the session; the \
+     $(b,cache) console command shows its state and $(b,stats) its counters."
+  in
+  Arg.(value & flag & info [ "cache" ] ~doc)
+
 let cmd =
   let doc = "explore the demo ALDSP dataspace" in
   Cmd.v
     (Cmd.info "aldsp-console" ~version:"1.0.0" ~doc)
     Term.(
-      ret (const main $ catalog $ queries $ lineage $ chaos_seed $ chaos_profile))
+      ret
+        (const main $ catalog $ queries $ lineage $ chaos_seed $ chaos_profile
+       $ cache))
 
 let () = exit (Cmd.eval cmd)

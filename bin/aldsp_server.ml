@@ -4,6 +4,7 @@
      aldsp-server --workers 4 --jobs 200          # closed-loop burst
      aldsp-server --rate 500 --jobs 1000          # open loop, 500 jobs/s
      aldsp-server --chaos-seed 7 --stats          # under a fault plan
+     aldsp-server --cache --stats                 # with the result cache
      aldsp-server --smoke                         # CI: qps > 0, 0 errors *)
 
 open Core
@@ -44,7 +45,7 @@ let build_env ~customers ~instr ~chaos () =
   Fixtures.Customer_profile.make ~customers ~instr ?resilience ()
 
 let main workers jobs rate io_ms seed customers mix chaos_seed chaos_profile
-    stats smoke =
+    cache stats smoke =
   match parse_mix mix with
   | None ->
     `Error (false, Printf.sprintf "bad --mix %S (want READS:SCRIPTS:SUBMITS)" mix)
@@ -59,6 +60,9 @@ let main workers jobs rate io_ms seed customers mix chaos_seed chaos_profile
         Some (s, Option.value chaos_profile ~default:Resilience.Plan.Light)
     in
     let env = build_env ~customers ~instr ~chaos () in
+    if cache then
+      ignore
+        (Aldsp.Dataspace.enable_result_cache env.Fixtures.Customer_profile.ds);
     let session = Aldsp.Dataspace.session env.Fixtures.Customer_profile.ds in
     let work =
       Server.Workload.jobs ~mix ?rate ?io_ms ~customers ~seed ~count:jobs env
@@ -76,6 +80,26 @@ let main workers jobs rate io_ms seed customers mix chaos_seed chaos_profile
     Printf.printf "latency  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms\n"
       rp.r_latency.l_p50 rp.r_latency.l_p95 rp.r_latency.l_p99
       rp.r_latency.l_max;
+    List.iter
+      (fun w ->
+        Printf.printf
+          "window   +%-6.0fms jobs %-4d p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n"
+          w.w_from_ms w.w_jobs w.w_latency.l_p50 w.w_latency.l_p95
+          w.w_latency.l_p99)
+      rp.r_trajectory;
+    if cache then begin
+      let c name =
+        Option.value ~default:0
+          (List.assoc_opt name (Instr.stats instr).Instr.counters)
+      in
+      let hits = c Instr.K.cache_hit and misses = c Instr.K.cache_miss in
+      let rate =
+        if hits + misses = 0 then 0.
+        else 100. *. float_of_int hits /. float_of_int (hits + misses)
+      in
+      Printf.printf "cache    hit %d  miss %d  evict %d  bypass %d  (%.0f%% hits)\n"
+        hits misses (c Instr.K.cache_evict) (c Instr.K.cache_bypass) rate
+    end;
     List.iter
       (fun (label, msg) -> Printf.printf "error    %s: %s\n" label msg)
       rp.r_errors;
@@ -151,6 +175,14 @@ let chaos_profile =
     & opt (some profile_conv) None
     & info [ "chaos-profile" ] ~docv:"PROFILE" ~doc)
 
+let cache =
+  let doc =
+    "Enable the lineage-invalidated result cache: pure reads are served from \
+     materialized prior results and submits evict exactly the entries whose \
+     lineage touches the written tables."
+  in
+  Arg.(value & flag & info [ "cache" ] ~doc)
+
 let stats =
   let doc = "Print cumulative instrumentation counters after the run." in
   Arg.(value & flag & info [ "stats" ] ~doc)
@@ -169,6 +201,6 @@ let cmd =
     Term.(
       ret
         (const main $ workers $ jobs $ rate $ io_ms $ seed $ customers $ mix
-       $ chaos_seed $ chaos_profile $ stats $ smoke))
+       $ chaos_seed $ chaos_profile $ cache $ stats $ smoke))
 
 let () = exit (Cmd.eval cmd)

@@ -29,6 +29,11 @@ type t = {
   read_sources : (string, string) Hashtbl.t;  (* service -> raw XQSE source *)
   overrides : (string, override) Hashtbl.t;
   lineage_in_progress : (string, unit) Hashtbl.t;  (* cycle guard *)
+  mutable ds_cache : Cache.handle option;
+      (* the result cache for pure data-service reads; [None] = off *)
+  cacheable_memo : (string * string * int, Cache.footprint option) Hashtbl.t;
+      (* memoized cacheability/footprint per (uri, local, arity); reset
+         when caching is (re-)enabled *)
 }
 
 and override =
@@ -104,6 +109,8 @@ let create ?(optimize = true) ?(instr = Instr.disabled) ?resilience () =
       read_sources = Hashtbl.create 8;
       overrides = Hashtbl.create 4;
       lineage_in_progress = Hashtbl.create 4;
+      ds_cache = None;
+      cacheable_memo = Hashtbl.create 32;
     }
   in
   Xqse.Session.declare_namespace t.sess "catalog" catalog_ns;
@@ -148,6 +155,56 @@ let describe t =
   String.concat "\n" (List.map Data_service.describe t.svcs)
 
 let lookup_table t ~db ~table = R.Database.table (database t db) table
+
+(* ------------------------------------------------------------------ *)
+(* Result cache plumbing                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* the verdict vouched for every source read registration: effect-free
+   (a read mutates nothing observable), fallible (sources fail, chaos
+   injects), constructing (each call builds fresh row/response XML) *)
+let source_read_purity = (false, true, true)
+
+(* every (db, table) pair a lineage block was derived from, nested
+   blocks included — the invalidation footprint of a cached result *)
+let rec block_tables (b : Lineage.block) acc =
+  List.fold_left
+    (fun acc (c : Lineage.child) -> block_tables c.Lineage.c_block acc)
+    ((b.Lineage.b_db, b.Lineage.b_table) :: acc)
+    b.Lineage.b_children
+
+let lineage_tables blk = List.sort_uniq compare (block_tables blk [])
+
+let invalidate_cache_tables t tables =
+  match t.ds_cache with
+  | Some h when tables <> [] ->
+    ignore (Cache.invalidate h ~instr:(instr t) tables : int)
+  | _ -> ()
+
+let flush_cache t =
+  match t.ds_cache with Some h -> Cache.flush h | None -> ()
+
+(* the exact write set of a decomposition plan: the tables its
+   statements touch, nothing more — so a submit decomposed onto ORDER
+   leaves CUSTOMER-only cache entries alone *)
+let plan_tables (plan : Decompose.plan) =
+  List.sort_uniq compare
+    (List.map
+       (fun (s : Decompose.step) ->
+         ( s.Decompose.step_db,
+           match s.Decompose.step_dml with
+           | R.Database.Insert { table; _ }
+           | R.Database.Update { table; _ }
+           | R.Database.Delete { table; _ } -> table ))
+       plan)
+
+(* wrap a write procedure so the tables it targets are evicted whatever
+   happens: without a surrounding transaction a mid-list failure leaves
+   the rows already written, so the eviction must not depend on a clean
+   exit *)
+let invalidating t tables impl args =
+  Fun.protect ~finally:(fun () -> invalidate_cache_tables t tables)
+    (fun () -> impl args)
 
 (* ------------------------------------------------------------------ *)
 (* The source-call boundary                                            *)
@@ -255,7 +312,8 @@ let register_database t db =
         let fn local = Qname.make ~uri:ns local in
         (* --- read function:  t:TABLE() as element(TABLE)* --- *)
         let read_name = fn tname in
-        Xqse.Session.register_function_cursor t.sess read_name 0 (fun _ ->
+        Xqse.Session.register_function_cursor t.sess read_name 0
+          ~purity:source_read_purity (fun _ ->
             guarded_read_cur t ~source:db_name (fun () ->
                 R.Database.read_check db;
                 scan_to_cursor tbl));
@@ -273,7 +331,7 @@ let register_database t db =
         Xqse.Session.register_procedure t.sess create_name 1
           ~params:[ (Qname.local "rows", Some (elem_seqtype tname)) ]
           ~return:(elem_seqtype (tname ^ "_KEY"))
-          (fun args ->
+          (invalidating t [ (db_name, tname) ] (fun args ->
             let rows = one_table_arg ("create" ^ tname) args in
             List.map
               (fun node ->
@@ -310,7 +368,7 @@ let register_database t db =
                        schema.R.Table.primary_key)
                 in
                 Item.Node key_el)
-              rows);
+              rows));
         Data_service.add_method svc
           {
             Data_service.m_name = create_name;
@@ -322,7 +380,7 @@ let register_database t db =
         let update_name = fn ("update" ^ tname) in
         Xqse.Session.register_procedure t.sess update_name 1
           ~params:[ (Qname.local "rows", Some (elem_seqtype tname)) ]
-          (fun args ->
+          (invalidating t [ (db_name, tname) ] (fun args ->
             let rows = one_table_arg ("update" ^ tname) args in
             List.iter
               (fun node ->
@@ -347,7 +405,7 @@ let register_database t db =
                        R.Database.exec db
                          (R.Database.Update { table = tname; set; where }))))
               rows;
-            []);
+            []));
         Data_service.add_method svc
           {
             Data_service.m_name = update_name;
@@ -359,7 +417,7 @@ let register_database t db =
         let delete_name = fn ("delete" ^ tname) in
         Xqse.Session.register_procedure t.sess delete_name 1
           ~params:[ (Qname.local "rows", Some (elem_seqtype tname)) ]
-          (fun args ->
+          (invalidating t [ (db_name, tname) ] (fun args ->
             let rows = one_table_arg ("delete" ^ tname) args in
             List.iter
               (fun node ->
@@ -378,7 +436,7 @@ let register_database t db =
                        R.Database.exec db
                          (R.Database.Delete { table = tname; where }))))
               rows;
-            []);
+            []));
         Data_service.add_method svc
           {
             Data_service.m_name = delete_name;
@@ -414,7 +472,8 @@ let register_database t db =
           let nav_name =
             Qname.make ~uri:(table_ns db_name parent_name) ("get" ^ child_name)
           in
-          Xqse.Session.register_function_cursor t.sess nav_name 1 (fun args ->
+          Xqse.Session.register_function_cursor t.sess nav_name 1
+            ~purity:source_read_purity (fun args ->
               match args with
               | [ [ Item.Node parent_row ] ] ->
                 let pred =
@@ -455,7 +514,8 @@ let register_database t db =
           let nav_back =
             Qname.make ~uri:(table_ns db_name child_name) ("get" ^ parent_name)
           in
-          Xqse.Session.register_function_cursor t.sess nav_back 1 (fun args ->
+          Xqse.Session.register_function_cursor t.sess nav_back 1
+            ~purity:source_read_purity (fun args ->
               match args with
               | [ [ Item.Node child_row ] ] ->
                 let pairs = Rowxml.xml_to_pairs tbl child_row in
@@ -514,7 +574,8 @@ let register_web_service t ws =
   List.iter
     (fun (op : Webservice.operation) ->
       let fname = Qname.make ~uri:ns op.Webservice.op_name in
-      Xqse.Session.register_function t.sess fname 1 (fun args ->
+      Xqse.Session.register_function t.sess fname 1 ~purity:source_read_purity
+        (fun args ->
           match args with
           | [ [ Item.Node request ] ] ->
             degrade_on_error t ~source:ws_name (fun () ->
@@ -646,6 +707,90 @@ and resolve_source_fn t current_name (q : Qname.t) =
       | Error _ -> None)
     | None -> None)
 
+(* ------------------------------------------------------------------ *)
+(* Result-cache admission metadata                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Is a call to (name, arity) cacheable, and over which tables? The
+   admission policy, in decreasing specificity:
+
+   - physical reads and navigations (the [source_fns] table) are pure by
+     construction and footprint exactly the table they scan;
+   - a logical service's [Read_function] methods qualify when the purity
+     analysis finds the function effect-free *and* the service's lineage
+     is analyzable — the footprint is every table the lineage touches;
+   - everything else (CUD procedures, library/web-service functions,
+     catalog and resilience introspection, user helpers) is refused.
+
+   Web-service operations are deliberately uncacheable on their own: a
+   ws response has no table footprint, so nothing would ever evict it.
+   They still appear *inside* cached logical reads — coherently, because
+   the simulated services are deterministic and a degraded response
+   blocks admission via the epoch guard. *)
+let footprint_of t (q : Qname.t) arity =
+  let key = (q.Qname.uri, q.Qname.local, arity) in
+  match Hashtbl.find_opt t.cacheable_memo key with
+  | Some r -> r
+  | None ->
+    let result =
+      match Hashtbl.find_opt t.source_fns (q.Qname.uri, q.Qname.local) with
+      | Some (Lineage.Read_fn { db; table }) -> Some [ (db, table) ]
+      | Some (Lineage.Nav_fn { db; table; _ }) -> Some [ (db, table) ]
+      | Some (Lineage.Logical_fn blk) -> Some (lineage_tables blk)
+      | None -> (
+        let owner =
+          List.find_opt
+            (fun (s : Data_service.t) ->
+              s.Data_service.ds_namespace = q.Qname.uri
+              && List.exists
+                   (fun (m : Data_service.ds_method) ->
+                     m.Data_service.m_name.Qname.local = q.Qname.local
+                     && m.Data_service.m_kind = Data_service.Read_function)
+                   s.Data_service.ds_methods)
+            t.svcs
+        in
+        match owner with
+        | None -> None
+        | Some svc -> (
+          let registry =
+            Xquery.Engine.registry (Xqse.Session.engine t.sess)
+          in
+          let env = Xquery.Purity.env_for ~registry [] in
+          match Xquery.Purity.lookup env q arity with
+          | Some v when not v.Xquery.Purity.effects -> (
+            match lineage_of t svc with
+            | Ok blk -> (
+              match lineage_tables blk with [] -> None | fp -> Some fp)
+            | Error _ -> None)
+          | _ -> None))
+    in
+    Hashtbl.replace t.cacheable_memo key result;
+    result
+
+let enable_result_cache ?cap t =
+  match t.ds_cache with
+  | Some h -> h
+  | None ->
+    Hashtbl.reset t.cacheable_memo;
+    let h =
+      Cache.create ?cap
+        {
+          Cache.m_footprint = (fun q arity -> footprint_of t q arity);
+          m_epoch =
+            (fun () ->
+              List.length (Resilience.Control.degradations t.resil));
+        }
+    in
+    t.ds_cache <- Some h;
+    Xqse.Session.set_result_cache t.sess (Some h);
+    h
+
+let disable_result_cache t =
+  t.ds_cache <- None;
+  Xqse.Session.set_result_cache t.sess None
+
+let result_cache t = t.ds_cache
+
 let rec create_entity_service t ~name ~namespace ~shape ~methods ?primary_read
     ?(dependencies = []) ?(generate_cud = true) source =
   Xqse.Session.load_library t.sess source;
@@ -695,6 +840,7 @@ and generate_cud_methods t svc =
         Item.raise_error
           (Qname.make ~uri:ns (what ^ "Error"))
           (Option.value ~default:"update aborted" outcome.Decompose.reason)
+      else invalidate_cache_tables t (plan_tables plan)
     in
     let key_elem node =
       (* <Shape_KEY> with the primary-key leaf elements of the root row *)
@@ -794,7 +940,8 @@ and generate_cud_methods t svc =
               | _ -> None)
             (Node.children obj)
         in
-        Xqse.Session.register_function t.sess nav_name 1 (fun args ->
+        Xqse.Session.register_function t.sess nav_name 1
+          ~purity:source_read_purity (fun args ->
             match args with
             | [ [ Item.Node obj ] ] ->
               let tbl =
@@ -919,6 +1066,11 @@ let default_submit t svc policy dg =
     List.iter (fun stmt -> Log.debug (fun m -> m "plan: %s" stmt)) sql;
     let outcome = Decompose.execute ~db_of:(fun n -> database t n) plan in
     Instr.bump (instr t) ~n:outcome.Decompose.statements Instr.K.sdo_statements;
+    (* evict after the commit, never before: a read racing the submit
+       may cache the pre-image until the data actually changes, but once
+       the commit lands the write set's entries must be gone *)
+    if outcome.Decompose.committed then
+      invalidate_cache_tables t (plan_tables plan);
     (match outcome.Decompose.reason with
     | Some reason when not outcome.Decompose.committed ->
       Log.info (fun m ->
@@ -957,9 +1109,21 @@ let submit t svc ?(policy = Occ.Updated_values) ?(validate = false) dg =
   if validate then validate_against_shape svc dg;
   match Hashtbl.find_opt t.overrides svc.Data_service.ds_name with
   | Some f ->
-    f t
-      { ur_service = svc; ur_datagraph = dg; ur_policy = policy }
-      ~default:(fun () -> default_submit t svc policy dg)
+    let r =
+      f t
+        { ur_service = svc; ur_datagraph = dg; ur_policy = policy }
+        ~default:(fun () -> default_submit t svc policy dg)
+    in
+    (* an override's write set is opaque — its writes through registered
+       CUD procedures self-invalidate, but a custom closure may have
+       touched anything: evict the service's whole lineage footprint,
+       or drop everything when the lineage is unknown *)
+    if r.sr_committed then begin
+      match lineage_of t svc with
+      | Ok blk -> invalidate_cache_tables t (lineage_tables blk)
+      | Error _ -> flush_cache t
+    end;
+    r
   | None -> default_submit t svc policy dg
 
 (* explain: per-method optimizer report — re-parse the service source,

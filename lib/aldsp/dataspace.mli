@@ -115,6 +115,31 @@ val resil_ns : string
     returns one [<Degradation source code at>] element per degraded
     read, oldest first (prefix [resil] is pre-declared). *)
 
+(** {1 Result cache}
+
+    A lineage-invalidated cache for pure data-service reads
+    ({!Cache}): calls to physical reads/navigations and to effect-free
+    logical read methods are keyed on (function, arguments, session
+    fingerprint) and served from materialized prior results; a
+    committed submit evicts exactly the entries whose lineage touches
+    the tables it wrote. Degraded reads are never admitted. *)
+
+val enable_result_cache : ?cap:int -> t -> Cache.handle
+(** Switch the result cache on (idempotent — returns the existing
+    handle when already enabled) and install it into the dataspace's
+    session, so subsequent reads are served through it and
+    {!Xqse.Session.with_config} forks of the session share its store.
+    [cap] (default 256) bounds the entry count. Enable after source and
+    service registration: cacheability verdicts are memoized. *)
+
+val disable_result_cache : t -> unit
+val result_cache : t -> Cache.handle option
+
+val footprint_of : t -> Qname.t -> int -> Cache.footprint option
+(** The admission verdict for calls to [(name, arity)]: [Some tables]
+    when cacheable (pure read with known lineage), [None] otherwise.
+    Exposed for the cache test suites and the differential oracle. *)
+
 (** {1 Client API (Figure 4)} *)
 
 val call : t -> Qname.t -> Item.seq list -> Item.seq

@@ -1,0 +1,86 @@
+(** Lineage-invalidated result cache for pure data-service reads.
+
+    A {!handle} wraps one domain-safe {!Store.t} (mutex-protected map
+    from call key to materialized result) plus the dataspace-supplied
+    {!meta} closures that decide what is cacheable and whether the
+    world was degraded while a result was produced. Sessions {!bind}
+    the handle with their config fingerprint to get a {!bound} view
+    whose every key embeds the fingerprint — two sessions with
+    different engine generations or evaluation flags can share the
+    store without ever sharing an entry.
+
+    Coherence rests on three guards:
+
+    - {b admission}: only calls the dataspace vouches for (pure
+      data-service read functions with known lineage) enter; everything
+      else runs through untouched and counts as [cache.bypass].
+    - {b generation}: {!invalidate} bumps the store generation before
+      evicting, and a miss only admits its result if the generation it
+      read before evaluating still stands — a submit that lands
+      mid-evaluation silently discards the (possibly pre-image) result.
+    - {b epoch}: a result computed while the degradation log grew is
+      refused admission, so a degraded (partially sourced) read can
+      never be replayed as the cached truth.
+
+    Node-typed results are deep-copied both into and out of the store:
+    XDM nodes are mutable, and a cached tree must never alias one a
+    consumer can update. *)
+
+type footprint = (string * string) list
+(** The (database, table) pairs a cached result was derived from. *)
+
+type meta = {
+  m_footprint : Xdm.Qname.t -> int -> footprint option;
+      (** [m_footprint name arity] is [Some fp] when calls to the
+          function are cacheable — pure, lineage-known — with [fp] the
+          source tables the result depends on, [None] otherwise. *)
+  m_epoch : unit -> int;
+      (** Monotone degradation epoch; a result is only admitted when
+          the epoch did not move while it was being computed. *)
+}
+
+(** The shared store: call key -> materialized result + footprint. *)
+module Store : sig
+  type t
+
+  val create : ?cap:int -> unit -> t
+  (** [cap] (default 256) bounds the entry count; inserting into a
+      full store flushes it wholesale, like the plan cache. *)
+
+  val generation : t -> int
+  val size : t -> int
+  val flush : t -> unit
+
+  val invalidate : t -> footprint -> int
+  (** Bump the generation, then evict exactly the entries whose
+      footprint intersects the written tables. Returns the number of
+      entries evicted. *)
+end
+
+type handle
+(** A store plus the dataspace's cacheability metadata. *)
+
+val create : ?cap:int -> meta -> handle
+val store : handle -> Store.t
+
+val invalidate : handle -> ?instr:Instr.t -> footprint -> int
+(** {!Store.invalidate} on the handle's store, bumping [cache.evict]
+    once per evicted entry on [instr]. *)
+
+val flush : handle -> unit
+
+type bound
+(** A handle bound to one session's config fingerprint and
+    instrumentation — the view evaluation threads through the dynamic
+    context. *)
+
+val bind : handle -> fingerprint:string -> instr:Instr.t -> bound
+
+val through :
+  bound -> Xdm.Qname.t -> Xdm.Item.seq list -> (unit -> Xdm.Item.seq) ->
+  Xdm.Item.seq
+(** [through b name args run] serves the call from the cache when a
+    coherent entry exists ([cache.hit]), otherwise runs [run] and
+    admits the result when the admission guards allow ([cache.miss],
+    or [cache.bypass] when the call is uncacheable or admission is
+    refused). *)

@@ -18,10 +18,13 @@
       employees) shared by examples, tests and benches
     - {!Server} — the concurrent query server: worker-pool over domains,
       read/write source lock, seeded open-loop workloads
+    - {!Cache} — the lineage-invalidated result cache for pure
+      data-service reads
     - {!Instr} — execution instrumentation (spans, counters, per-query
       stats) shared by every layer *)
 
 module Instr = Instr
+module Cache = Cache
 module Xdm = Xdm
 module Xquery = Xquery
 module Xqse = Xqse

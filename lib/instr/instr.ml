@@ -348,6 +348,18 @@ module K = struct
   let server_jobs = "server.jobs"
   let server_errors = "server.errors"
   let server_submits = "server.submits"
+
+  (* result cache: [hit]s are served from a materialized prior result,
+     [miss]es run the function and (when still coherent) admit it,
+     [evict] counts entries removed by lineage-driven invalidation (a
+     wholesale capacity flush is not an evict), and [bypass] counts
+     uncacheable or admission-refused calls — impure/unknown functions,
+     results produced under a degradation, or a store generation that
+     moved mid-evaluation *)
+  let cache_hit = "cache.hit"
+  let cache_miss = "cache.miss"
+  let cache_evict = "cache.evict"
+  let cache_bypass = "cache.bypass"
 end
 
 let preregister t =
@@ -385,6 +397,10 @@ let preregister t =
       K.server_jobs;
       K.server_errors;
       K.server_submits;
+      K.cache_hit;
+      K.cache_miss;
+      K.cache_evict;
+      K.cache_bypass;
     ];
   (* the per-pass timers too, so the stats table has a stable shape even
      for runs where a pass never fired *)

@@ -153,6 +153,17 @@ module K : sig
   val server_errors : string
   val server_submits : string
 
+  (** result-cache counters: [cache_hit] reads served from a
+      materialized prior result, [cache_miss] calls that ran the
+      function, [cache_evict] entries removed by lineage-driven
+      invalidation, [cache_bypass] calls that could not be cached or
+      whose result was refused admission *)
+
+  val cache_hit : string
+  val cache_miss : string
+  val cache_evict : string
+  val cache_bypass : string
+
   (** per-pass optimizer timer names, accumulated via {!time} *)
 
   val t_optimizer_fold : string

@@ -20,6 +20,8 @@ type latency = {
   l_mean : float;
 }
 
+type window = { w_from_ms : float; w_jobs : int; w_latency : latency }
+
 type report = {
   r_workers : int;
   r_jobs : int;
@@ -29,6 +31,7 @@ type report = {
   r_qps : float;
   r_latency : latency;
   r_by_kind : (string * int) list;
+  r_trajectory : window list;
 }
 
 let percentile sorted q =
@@ -39,9 +42,55 @@ let percentile sorted q =
     sorted.(max 0 (min (n - 1) (rank - 1)))
   end
 
+let latency_of samples =
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let mean =
+    if n = 0 then 0. else Array.fold_left ( +. ) 0. sorted /. float_of_int n
+  in
+  {
+    l_p50 = percentile sorted 50.;
+    l_p95 = percentile sorted 95.;
+    l_p99 = percentile sorted 99.;
+    l_max = (if n = 0 then 0. else sorted.(n - 1));
+    l_mean = mean;
+  }
+
+(* bucket open-loop latencies by scheduled arrival: the percentile
+   trajectory over time is what a sustained-rate run is actually for —
+   a closed-loop summary hides a growing backlog behind one number *)
+let trajectory ~window_ms jobs lat =
+  if window_ms <= 0. || Array.length jobs = 0 then []
+  else begin
+    let last =
+      Array.fold_left (fun acc j -> Float.max acc j.j_arrival_ms) 0. jobs
+    in
+    let windows = 1 + int_of_float (last /. window_ms) in
+    List.filter_map
+      (fun w ->
+        let lo = float_of_int w *. window_ms in
+        let hi = lo +. window_ms in
+        let samples =
+          Array.to_seq jobs
+          |> Seq.mapi (fun i j -> (j.j_arrival_ms, lat.(i)))
+          |> Seq.filter (fun (a, _) -> a >= lo && a < hi)
+          |> Seq.map snd |> Array.of_seq
+        in
+        if Array.length samples = 0 then None
+        else
+          Some
+            {
+              w_from_ms = lo;
+              w_jobs = Array.length samples;
+              w_latency = latency_of samples;
+            })
+      (List.init windows Fun.id)
+  end
+
 let max_reported_errors = 32
 
-let run ?(workers = 1) ~session jobs =
+let run ?(workers = 1) ?(window_ms = 250.) ~session jobs =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
   let workers = max 1 workers in
@@ -107,11 +156,6 @@ let run ?(workers = 1) ~session jobs =
     Array.map (fun s -> Domain.spawn (fun () -> worker s)) sessions
     |> Array.iter Domain.join;
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
-  let sorted = Array.copy lat in
-  Array.sort compare sorted;
-  let mean =
-    if n = 0 then 0. else Array.fold_left ( +. ) 0. lat /. float_of_int n
-  in
   let by_kind =
     List.map
       (fun k ->
@@ -128,13 +172,7 @@ let run ?(workers = 1) ~session jobs =
     r_errors = List.rev !errors;
     r_wall_ms = wall_ms;
     r_qps = (if wall_ms > 0. then float_of_int n /. (wall_ms /. 1000.) else 0.);
-    r_latency =
-      {
-        l_p50 = percentile sorted 50.;
-        l_p95 = percentile sorted 95.;
-        l_p99 = percentile sorted 99.;
-        l_max = (if n = 0 then 0. else sorted.(n - 1));
-        l_mean = mean;
-      };
+    r_latency = latency_of lat;
     r_by_kind = by_kind;
+    r_trajectory = (if open_loop then trajectory ~window_ms jobs lat else []);
   }

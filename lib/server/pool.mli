@@ -43,6 +43,11 @@ type latency = {
 }
 (** Milliseconds. *)
 
+type window = { w_from_ms : float; w_jobs : int; w_latency : latency }
+(** One slice of an open-loop run: the jobs whose scheduled arrival
+    fell in [[w_from_ms, w_from_ms + window)], with their latency
+    percentiles. *)
+
 type report = {
   r_workers : int;
   r_jobs : int;  (** jobs attempted *)
@@ -52,15 +57,25 @@ type report = {
   r_qps : float;  (** completed jobs per wall-clock second *)
   r_latency : latency;
   r_by_kind : (string * int) list;  (** job count per {!kind_name} *)
+  r_trajectory : window list;
+      (** the latency trajectory over arrival time — how p50/p95/p99
+          evolve as a sustained-rate run progresses, which a single
+          whole-run percentile cannot show (a pool slowly falling
+          behind its arrival rate looks fine in the aggregate and
+          catastrophic in the last window). Empty for closed-loop
+          runs (every arrival at [0.]). *)
 }
 
 val percentile : float array -> float -> float
 (** [percentile sorted q] is the nearest-rank [q]-th percentile of a
     sorted array ([0.] when empty). *)
 
-val run : ?workers:int -> session:Xqse.Session.t -> job list -> report
+val run :
+  ?workers:int -> ?window_ms:float -> session:Xqse.Session.t -> job list ->
+  report
 (** Drain [jobs] with [workers] domains (default [1]) forked from
     [session]. Bumps [server.jobs] / [server.errors] /
     [server.submits] on the session's instrumentation handle. Job
     exceptions are caught, counted and reported — one bad job never
-    takes down the pool. *)
+    takes down the pool. [window_ms] (default [250.]) sets the
+    trajectory bucket width for open-loop runs. *)

@@ -27,6 +27,10 @@ type runtime = {
       (* (effects, fallible, constructs) — the compile-time purity
          verdicts the streaming evaluator gates on; conservative
          (all true) until the session installs a real environment *)
+  mutable cache : unit -> Cache.bound option;
+      (* result-cache view supplier, re-invoked per evaluation context
+         so every key carries the session's *current* fingerprint; the
+         session installs it, sub-runtimes inherit it *)
   mutable comp : Xquery.Eval.compiler option;
       (* lazily-built compilation unit over [reg], shared by every block
          and procedure compiled under this runtime so user-function
@@ -70,6 +74,9 @@ let create_runtime ?(trace = fun _ -> ()) ?instr ?parent reg =
   let purity =
     match parent with Some p -> p.purity | None -> fun _ -> (true, true, true)
   in
+  let cache =
+    match parent with Some p -> p.cache | None -> fun () -> None
+  in
   {
     reg;
     procs = Hashtbl.create 16;
@@ -79,6 +86,7 @@ let create_runtime ?(trace = fun _ -> ()) ?instr ?parent reg =
     streaming;
     plans;
     purity;
+    cache;
     comp = None;
     cblocks = [];
   }
@@ -91,6 +99,7 @@ let set_streaming rt b = rt.streaming <- b
 let plans rt = rt.plans
 let set_plans rt b = rt.plans <- b
 let set_purity rt f = rt.purity <- f
+let set_cache rt f = rt.cache <- f
 
 (* Drop every compiled plan held by this runtime. The session calls this
    whenever the registry underneath changes (function or procedure
@@ -129,7 +138,7 @@ let rec find_procedure rt (name : Qname.t) arity =
 let make_state rt bindings =
   let ctx0 =
     Xquery.Context.make_dynamic ~trace:rt.trace ~instr:rt.instr
-      ~streaming:rt.streaming ~purity:rt.purity rt.reg
+      ~streaming:rt.streaming ~purity:rt.purity ?cache:(rt.cache ()) rt.reg
   in
   { rt; frames = []; bindings; ctx0 }
 
@@ -162,7 +171,8 @@ let scope_vars st =
 let eval_ctx st =
   let ctx =
     Xquery.Context.make_dynamic ~trace:st.rt.trace ~instr:st.rt.instr
-      ~streaming:st.rt.streaming ~purity:st.rt.purity st.rt.reg
+      ~streaming:st.rt.streaming ~purity:st.rt.purity
+      ?cache:(st.rt.cache ()) st.rt.reg
   in
   let globals = Xquery.Context.globals st.rt.reg in
   let vars =
@@ -890,6 +900,7 @@ let fork_runtime ?(trace = fun _ -> ()) ?instr src reg =
       streaming = src.streaming;
       plans = src.plans;
       purity = src.purity;
+      cache = (fun () -> None);
       comp = None;
       cblocks = [];
     }

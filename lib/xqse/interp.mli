@@ -89,6 +89,13 @@ val set_purity : runtime -> (Xquery.Ast.expr -> bool * bool * bool) -> unit
     Defaults to the parent's, or all-[true] (fully conservative) without
     a parent. *)
 
+val set_cache : runtime -> (unit -> Cache.bound option) -> unit
+(** Install the result-cache view supplier threaded into every
+    evaluation context. A supplier (re-invoked per context) rather than
+    a value so keys always carry the session's current fingerprint.
+    Defaults to the parent's, or [fun () -> None]; {!fork_runtime}
+    resets it — the forked session installs its own. *)
+
 val declare_procedure : runtime -> procedure -> unit
 (** Add a procedure. Readonly procedures are additionally registered as
     functions in the registry so XQuery expressions can call them (paper

@@ -7,6 +7,10 @@ type config = {
   plans : bool;
   instr : Instr.t;
   trace : (string -> unit) option;
+  result_cache : Cache.handle option;
+      (* shared result-cache store; identically-configured forks land on
+         the same keys and share entries, differently-configured ones
+         get disjoint keys via the fingerprint prefix *)
 }
 
 let default_config =
@@ -16,6 +20,7 @@ let default_config =
     plans = true;
     instr = Instr.disabled;
     trace = None;
+    result_cache = None;
   }
 
 type t = {
@@ -30,6 +35,8 @@ type t = {
          fingerprint alongside the engine's generation *)
   cache_lock : Mutex.t;  (* guards [cache] *)
   cache : (string, cache_entry) Hashtbl.t;  (* program text → plan *)
+  mutable result_cache : Cache.handle option;
+      (* data-service result cache (lib/cache); [None] = caching off *)
 }
 
 and compiled = {
@@ -76,7 +83,34 @@ let with_engine eng =
     s_generation = Stdlib.Atomic.make 0;
     cache_lock = Mutex.create ();
     cache = Hashtbl.create 32;
+    result_cache = None;
   }
+
+let instr_of s = Xquery.Engine.instr s.eng
+
+(* Result-cache binding: the store is shared, the keys are not — every
+   key is prefixed with the session's *current* fingerprint, so a
+   registration (either generation) or a flag difference moves a session
+   onto fresh keys while identically-configured forks keep sharing. *)
+let fingerprint_string s =
+  Printf.sprintf "%d.%d.%b.%b.%b"
+    (Xquery.Engine.generation s.eng)
+    (Stdlib.Atomic.get s.s_generation)
+    (Xquery.Engine.optimizing s.eng)
+    (Xquery.Engine.streaming s.eng)
+    (Xquery.Engine.plans s.eng)
+
+let cache_bound s =
+  Option.map
+    (fun h ->
+      Cache.bind h ~fingerprint:(fingerprint_string s) ~instr:(instr_of s))
+    s.result_cache
+
+let set_result_cache s h =
+  s.result_cache <- h;
+  Interp.set_cache s.rt (fun () -> cache_bound s)
+
+let result_cache s = s.result_cache
 
 let create ?optimize ?instr ?config () =
   let cfg = Option.value config ~default:default_config in
@@ -99,6 +133,7 @@ let create ?optimize ?instr ?config () =
     s.trace <- f;
     Interp.set_trace s.rt f
   | None -> ());
+  set_result_cache s cfg.result_cache;
   s
 
 let engine s = s.eng
@@ -113,6 +148,7 @@ let config s =
     plans = Xquery.Engine.plans s.eng;
     instr = Xquery.Engine.instr s.eng;
     trace = Some s.trace;
+    result_cache = s.result_cache;
   }
 
 (* Deprecated mutator shims — prefer an immutable {!config} at creation
@@ -151,16 +187,21 @@ let with_config s (cfg : config) =
   in
   Interp.set_streaming rt cfg.streaming;
   Interp.set_plans rt cfg.plans;
-  {
-    eng;
-    rt;
-    trace;
-    modules = Hashtbl.copy s.modules;
-    loaded_modules = Hashtbl.copy s.loaded_modules;
-    s_generation = Stdlib.Atomic.make (Stdlib.Atomic.get s.s_generation);
-    cache_lock = Mutex.create ();
-    cache = Hashtbl.create 32;
-  }
+  let fork =
+    {
+      eng;
+      rt;
+      trace;
+      modules = Hashtbl.copy s.modules;
+      loaded_modules = Hashtbl.copy s.loaded_modules;
+      s_generation = Stdlib.Atomic.make (Stdlib.Atomic.get s.s_generation);
+      cache_lock = Mutex.create ();
+      cache = Hashtbl.create 32;
+      result_cache = None;
+    }
+  in
+  set_result_cache fork cfg.result_cache;
+  fork
 
 (* Any session-level change to what programs compile against makes every
    cached program plan stale: bump the generation, drop the session
@@ -185,12 +226,13 @@ let set_trace s f =
 (* Mutate-then-invalidate (like the engine's registrations): the change
    lands before the generations move, so a compile racing it can never
    cache a pre-change snapshot under the post-change fingerprint. *)
-let register_function s ?side_effects name arity impl =
-  Xquery.Engine.register_external s.eng ?side_effects name arity impl;
+let register_function s ?side_effects ?purity name arity impl =
+  Xquery.Engine.register_external s.eng ?side_effects ?purity name arity impl;
   invalidate_plans s
 
-let register_function_cursor s ?side_effects name arity impl =
-  Xquery.Engine.register_external_cursor s.eng ?side_effects name arity impl;
+let register_function_cursor s ?side_effects ?purity name arity impl =
+  Xquery.Engine.register_external_cursor s.eng ?side_effects ?purity name arity
+    impl;
   invalidate_plans s
 
 let register_procedure s ?(readonly = false) ?params ?return name arity impl =
@@ -508,7 +550,8 @@ let run ?(opts = default_exec_opts) c =
   let ctx =
     Ctx.make_dynamic ~trace ~instr:(instr s)
       ~streaming:(Xquery.Engine.streaming s.eng)
-      ~purity:(Xquery.Engine.purity_fn c.c_env) c.c_registry
+      ~purity:(Xquery.Engine.purity_fn c.c_env) ?cache:(cache_bound s)
+      c.c_registry
   in
   let ctx = Ctx.with_vars ctx (Ctx.globals c.c_registry) in
   let ctx = Ctx.bind_many ctx vars in
@@ -643,6 +686,7 @@ let call s name args =
   | None ->
     let ctx =
       Ctx.make_dynamic ~trace:s.trace ~instr:(instr s)
+        ?cache:(cache_bound s)
         (Xquery.Engine.registry s.eng)
     in
     Xquery.Eval.call ctx name args

@@ -21,6 +21,12 @@ type config = {
   instr : Instr.t;  (** instrumentation handle (default {!Instr.disabled}) *)
   trace : (string -> unit) option;
       (** [fn:trace] destination; [None] notes into [instr]'s sink *)
+  result_cache : Cache.handle option;
+      (** data-service result cache (default [None] = off). The handle's
+          store is shareable: identically-configured forks (e.g. the
+          server's per-worker sessions) share entries, while the
+          fingerprint prefix keeps differently-configured sessions on
+          disjoint keys. *)
 }
 (** Everything configurable about a session, as one immutable value: fix
     it at {!create}, read it back with {!config}, or fork a
@@ -99,18 +105,38 @@ val set_plans : t -> bool -> unit
     creation, or {!with_config} — same aliasing caveat as
     {!set_streaming}. *)
 
+val set_result_cache : t -> Cache.handle option -> unit
+(** Install (or remove) the session's result cache. A mutator by
+    necessity — the dataspace enables caching on an already-built
+    session — but safe to call before handing the session to workers:
+    {!with_config} forks inherit whatever [config] carries at fork
+    time. *)
+
+val result_cache : t -> Cache.handle option
+
 val declare_namespace : t -> string -> string -> unit
 val set_trace : t -> (string -> unit) -> unit
 (** Where [fn:trace] output goes for subsequently compiled programs
     (default: a note in the instrumentation trace). *)
 
 val register_function :
-  t -> ?side_effects:bool -> Qname.t -> int -> (Item.seq list -> Item.seq) -> unit
-(** Register a host function (callable from XQuery expressions). *)
+  t ->
+  ?side_effects:bool ->
+  ?purity:bool * bool * bool ->
+  Qname.t ->
+  int ->
+  (Item.seq list -> Item.seq) ->
+  unit
+(** Register a host function (callable from XQuery expressions).
+    [purity] is the caller-vouched (effects, fallible, constructs)
+    verdict — the dataspace passes [(false, true, true)] for its source
+    reads so purity analysis, optimizer rewrites and result-cache
+    admission can see through them; omitted means unknown (impure). *)
 
 val register_function_cursor :
   t ->
   ?side_effects:bool ->
+  ?purity:bool * bool * bool ->
   Qname.t ->
   int ->
   (Item.seq list -> Item.t Cursor.t) ->

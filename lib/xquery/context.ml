@@ -96,6 +96,9 @@ and dynamic_fields = {
       (* (effects, fallible, constructs) of an expression under the
          compiled program's purity environment; the default is the
          conservative (true, true, true) *)
+  cache : Cache.bound option;
+      (* result-cache view bound to the session's config fingerprint;
+         [None] = caching disabled, calls run untouched *)
 }
 
 let create_registry () = { table = Qmap.empty; globals = Qmap.empty }
@@ -181,7 +184,8 @@ let fold r ~init ~f =
 let fields d = d.f
 
 let make_dynamic ?(trace = fun _ -> ()) ?(instr = Instr.disabled)
-    ?(streaming = true) ?(purity = fun _ -> (true, true, true)) registry =
+    ?(streaming = true) ?(purity = fun _ -> (true, true, true)) ?cache registry
+    =
   {
     f =
       {
@@ -199,6 +203,7 @@ let make_dynamic ?(trace = fun _ -> ()) ?(instr = Instr.disabled)
         instr;
         streaming;
         purity;
+        cache;
       };
   }
 

@@ -137,6 +137,9 @@ type dynamic_fields = {
       (** (effects, fallible, constructs) under the compiled program's
           purity environment; conservative [(true, true, true)] by
           default *)
+  cache : Cache.bound option;
+      (** result-cache view bound to the session's config fingerprint;
+          [None] disables caching *)
 }
 
 val fields : dynamic -> dynamic_fields
@@ -146,6 +149,7 @@ val make_dynamic :
   ?instr:Instr.t ->
   ?streaming:bool ->
   ?purity:(Ast.expr -> bool * bool * bool) ->
+  ?cache:Cache.bound ->
   registry ->
   dynamic
 

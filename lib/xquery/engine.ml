@@ -138,12 +138,12 @@ let declare_namespace t prefix uri =
   Context.declare_ns t.st prefix uri;
   invalidate_plans t
 
-let register_external t ?side_effects name arity impl =
-  Context.register_external t.reg ?side_effects name arity impl;
+let register_external t ?side_effects ?purity name arity impl =
+  Context.register_external t.reg ?side_effects ?purity name arity impl;
   invalidate_plans t
 
-let register_external_cursor t ?side_effects name arity impl =
-  Context.register_external_cursor t.reg ?side_effects name arity impl;
+let register_external_cursor t ?side_effects ?purity name arity impl =
+  Context.register_external_cursor t.reg ?side_effects ?purity name arity impl;
   invalidate_plans t
 
 let register_doc t uri node = t.docs := (uri, node) :: !(t.docs)

@@ -112,15 +112,20 @@ val declare_namespace : t -> string -> string -> unit
 val register_external :
   t ->
   ?side_effects:bool ->
+  ?purity:bool * bool * bool ->
   Qname.t ->
   int ->
   (Item.seq list -> Item.seq) ->
   unit
-(** Register a host function into the engine's base registry. *)
+(** Register a host function into the engine's base registry. [purity]
+    is the caller-vouched (effects, fallible, constructs) verdict for
+    the optimizer's purity-gated rewrites and result-cache admission;
+    omitted means unknown, treated as impure. *)
 
 val register_external_cursor :
   t ->
   ?side_effects:bool ->
+  ?purity:bool * bool * bool ->
   Qname.t ->
   int ->
   (Item.seq list -> Item.t Cursor.t) ->

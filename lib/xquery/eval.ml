@@ -868,13 +868,23 @@ and call ctx name arg_vals =
     Item.raise_error (Qname.err "XPST0017")
       (Printf.sprintf "unknown function %s/%d" (Qname.to_string name) arity)
   | Some f -> (
-    match f.Context.fn_impl with
-    | Context.Builtin impl -> impl ctx arg_vals
-    | Context.External impl -> impl arg_vals
-    | Context.External_cursor impl ->
-      Cursor.to_list ~instr:fields.instr (impl arg_vals)
-    | Context.User decl ->
-      let ctx = Context.deeper ctx in
+    let run () = invoke ctx fields name f arg_vals in
+    match (fields.cache, f.Context.fn_impl) with
+    | ( Some b,
+        (Context.User _ | Context.External _ | Context.External_cursor _) ) ->
+      (* the result cache only ever sees host/user functions: builtins
+         are language primitives, never data-service reads *)
+      Cache.through b name arg_vals run
+    | _ -> run ())
+
+and invoke ctx fields name f arg_vals =
+  match f.Context.fn_impl with
+  | Context.Builtin impl -> impl ctx arg_vals
+  | Context.External impl -> impl arg_vals
+  | Context.External_cursor impl ->
+    Cursor.to_list ~instr:fields.instr (impl arg_vals)
+  | Context.User decl ->
+    let ctx = Context.deeper ctx in
       let params = decl.Ast.fd_params in
       let checked =
         List.map2
@@ -910,7 +920,7 @@ and call ctx name arg_vals =
         Seqtype.check
           ~what:(Printf.sprintf "result of %s" (Qname.to_string name))
           ty result
-      | None -> result))
+      | None -> result)
 
 and range_bounds ctx a b =
   let va = eval ctx a in
@@ -2124,19 +2134,26 @@ and compile_streaming_call cc name args plain =
 and compile_apply cc name args =
   let cargs = List.map (compile cc) args in
   let eval_args ctx = List.map (fun p -> p ctx) cargs in
+  (* mirror [call]: host/user callees route through the session result
+     cache when one is bound; builtins skip the lookup entirely *)
+  let via_cache k ctx =
+    let arg_vals = eval_args ctx in
+    match (Context.fields ctx).cache with
+    | Some b -> Cache.through b name arg_vals (fun () -> k ctx arg_vals)
+    | None -> k ctx arg_vals
+  in
   match Context.find cc.c_registry name (List.length args) with
   | None -> fun ctx -> call ctx name (eval_args ctx)
   | Some f -> (
     match f.Context.fn_impl with
     | Context.Builtin impl -> fun ctx -> impl ctx (eval_args ctx)
-    | Context.External impl -> fun ctx -> impl (eval_args ctx)
+    | Context.External impl -> via_cache (fun _ arg_vals -> impl arg_vals)
     | Context.External_cursor impl ->
-      fun ctx ->
-        Cursor.to_list ~instr:(Context.fields ctx).instr
-          (impl (eval_args ctx))
+      via_cache (fun ctx arg_vals ->
+          Cursor.to_list ~instr:(Context.fields ctx).instr (impl arg_vals))
     | Context.User decl ->
       let cfn = compile_user cc name decl in
-      fun ctx -> cfn ctx (eval_args ctx))
+      via_cache (fun ctx arg_vals -> cfn ctx arg_vals))
 
 (* Compile a user-defined function body once per (name, arity); the memo
    entry is installed as a forward reference *before* the body compiles,

@@ -184,6 +184,10 @@ wall-clock, masked here):
   server.jobs                          0
   server.errors                        0
   server.submits                       0
+  cache.hit                            0
+  cache.miss                           0
+  cache.evict                          0
+  cache.bypass                         0
   time.optimizer.fold.ms _
   time.optimizer.normalize.ms _
   time.optimizer.inline.ms _
@@ -238,6 +242,10 @@ prints the cumulative table (span times masked):
   server.jobs                          0
   server.errors                        0
   server.submits                       0
+  cache.hit                            0
+  cache.miss                           0
+  cache.evict                          0
+  cache.bypass                         0
   time.optimizer.fold.ms _
   time.optimizer.normalize.ms _
   time.optimizer.inline.ms _

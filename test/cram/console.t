@@ -53,6 +53,10 @@ is accounted):
   server.jobs                       0
   server.errors                     0
   server.submits                    0
+  cache.hit                         0
+  cache.miss                        0
+  cache.evict                       0
+  cache.bypass                      0
 
 The lineage view explains update decomposition:
 

@@ -1,0 +1,270 @@
+(* The lineage-invalidated result cache: admission verdicts, counter
+   pinning, invalidation precision (a submit decomposed onto ORDERS
+   must not evict CUSTOMER-only entries), degraded reads never
+   admitted, and fingerprint isolation across with_config forks and
+   registry generation bumps. *)
+
+open Core
+open Util
+module FC = Fixtures.Customer_profile
+
+let counter instr name =
+  Option.value ~default:0
+    (List.assoc_opt name (Instr.stats instr).Instr.counters)
+
+let contains s sub =
+  let n = String.length sub and l = String.length s in
+  let rec go i = i + n <= l && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* a second logical service whose lineage touches CUSTOMER only — the
+   probe for invalidation precision: submits onto other tables must
+   leave its entries alone *)
+let customers_ns = "ld:Customers"
+
+let customers_source =
+  {|
+declare namespace ns2 = "ld:Customers";
+declare namespace cus = "ld:db1/CUSTOMER";
+
+declare function ns2:getCustomer() as element(ns2:Customer)* {
+  for $c in cus:CUSTOMER()
+  return <ns2:Customer>
+    <CID>{fn:data($c/CID)}</CID>
+    <LAST_NAME>{fn:data($c/LAST_NAME)}</LAST_NAME>
+  </ns2:Customer>
+};
+|}
+
+let add_customers_service env =
+  let svc =
+    Aldsp.Dataspace.create_entity_service env.FC.ds ~name:"Customers"
+      ~namespace:customers_ns
+      ~shape:
+        {
+          Xdm.Schema.name = Xdm.Qname.make ~uri:customers_ns "Customer";
+          type_def =
+            Xdm.Schema.complex
+              [
+                Xdm.Schema.particle (Xdm.Qname.local "CID")
+                  (Xdm.Schema.simple (Xdm.Qname.xs "string"));
+                Xdm.Schema.particle (Xdm.Qname.local "LAST_NAME")
+                  (Xdm.Schema.simple (Xdm.Qname.xs "string"));
+              ];
+        }
+      ~methods:[ ("getCustomer", Aldsp.Data_service.Read_function) ]
+      ~generate_cud:false customers_source
+  in
+  Xqse.Session.declare_namespace
+    (Aldsp.Dataspace.session env.FC.ds)
+    "c2" customers_ns;
+  svc
+
+let cq = "c2:getCustomer()"
+
+let admission_tests =
+  [
+    case "footprint verdicts: reads cacheable, procedures and ws ops not"
+      (fun () ->
+        let env = FC.make ~customers:1 () in
+        ignore (add_customers_service env);
+        ignore (Aldsp.Dataspace.enable_result_cache env.FC.ds);
+        let fp u l n =
+          Aldsp.Dataspace.footprint_of env.FC.ds (Xdm.Qname.make ~uri:u l) n
+        in
+        check_bool "physical read maps to its table" true
+          (fp "ld:db1/CUSTOMER" "CUSTOMER" 0 = Some [ ("db1", "CUSTOMER") ]);
+        check_bool "logical read spans its whole lineage" true
+          (fp "ld:CustomerProfile" "getProfile" 0
+          = Some
+              [ ("db1", "CUSTOMER"); ("db1", "ORDERS"); ("db2", "CREDIT_CARD") ]);
+        check_bool "customers-only logical read" true
+          (fp customers_ns "getCustomer" 0 = Some [ ("db1", "CUSTOMER") ]);
+        check_bool "ws operation has no footprint, never cacheable" true
+          (fp "urn:creditrating" "getCreditRating" 1 = None);
+        check_bool "physical procedure never cacheable" true
+          (fp "ld:db1/CUSTOMER" "createCUSTOMER" 1 = None));
+    case "counters pin across miss, hit, evict, bypass" (fun () ->
+        let instr = Instr.create () in
+        Instr.preregister instr;
+        Instr.enable instr;
+        let env = FC.make ~customers:1 ~instr () in
+        ignore (add_customers_service env);
+        let h = Aldsp.Dataspace.enable_result_cache env.FC.ds in
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        (* one read admits two entries: the logical getCustomer call and
+           the physical cus:CUSTOMER() read beneath it *)
+        let r1 = Xqse.Session.eval_to_string sess cq in
+        check_int "cold read misses twice" 2 (counter instr Instr.K.cache_miss);
+        check_int "no hits yet" 0 (counter instr Instr.K.cache_hit);
+        check_int "two entries" 2 (Cache.Store.size (Cache.store h));
+        (* the warm read hits the outer entry and short-circuits the
+           inner read entirely: exactly one hit *)
+        let r2 = Xqse.Session.eval_to_string sess cq in
+        check_string "hit replays the miss byte for byte" r1 r2;
+        check_int "one hit" 1 (counter instr Instr.K.cache_hit);
+        check_int "still two misses" 2 (counter instr Instr.K.cache_miss);
+        check_int "lineage eviction evicts both entries" 2
+          (Cache.invalidate h ~instr [ ("db1", "CUSTOMER") ]);
+        check_int "evicts counted" 2 (counter instr Instr.K.cache_evict);
+        check_int "store emptied" 0 (Cache.Store.size (Cache.store h));
+        ignore (Xqse.Session.eval_to_string sess cq);
+        check_int "evicted entries miss again" 4
+          (counter instr Instr.K.cache_miss);
+        let ws =
+          {|crs:getCreditRating(<crs:getCreditRating><crs:lastName>X</crs:lastName><crs:ssn>1</crs:ssn></crs:getCreditRating>)|}
+        in
+        ignore (Xqse.Session.eval_to_string sess ws);
+        ignore (Xqse.Session.eval_to_string sess ws);
+        check_int "footprint-free reads bypass every time" 2
+          (counter instr Instr.K.cache_bypass);
+        check_int "bypass admits nothing" 2 (Cache.Store.size (Cache.store h)));
+    case "degraded reads are never admitted" (fun () ->
+        let instr = Instr.create () in
+        Instr.preregister instr;
+        Instr.enable instr;
+        let ctl = Resilience.Control.create ~instr () in
+        Resilience.Control.set_policy ctl ~source:"CreditRatingService"
+          (Resilience.Policy.make
+             ~breaker:
+               {
+                 Resilience.Breaker.failure_threshold = 1;
+                 cooldown_ms = 1_000_000.;
+               }
+             ());
+        Resilience.Control.set_degradable ctl ~source:"CreditRatingService";
+        let env = FC.make ~customers:1 ~instr ~resilience:ctl () in
+        let h = Aldsp.Dataspace.enable_result_cache env.FC.ds in
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        Resilience.Control.trip ctl ~source:"CreditRatingService";
+        let q = "profile:getProfile()" in
+        let r1 = Xqse.Session.eval_to_string sess q in
+        check_bool "the read degraded" true
+          (Resilience.Control.degradations ctl <> []);
+        check_bool "no rating in the degraded result" false
+          (contains r1 "<CreditRating>");
+        let size1 = Cache.Store.size (Cache.store h) in
+        let m1 = counter instr Instr.K.cache_miss in
+        let r2 = Xqse.Session.eval_to_string sess q in
+        check_string "degraded replay is deterministic" r1 r2;
+        check_bool "degraded read misses again — it was refused" true
+          (counter instr Instr.K.cache_miss > m1);
+        check_int "no degraded entry ever admitted" size1
+          (Cache.Store.size (Cache.store h)));
+  ]
+
+let invalidation_tests =
+  [
+    case "submit onto ORDERS does not evict CUSTOMER-only entries"
+      (fun () ->
+        let instr = Instr.create () in
+        Instr.preregister instr;
+        Instr.enable instr;
+        let env = FC.make ~customers:2 ~instr () in
+        ignore (add_customers_service env);
+        ignore (Aldsp.Dataspace.enable_result_cache env.FC.ds);
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        ignore (Xqse.Session.eval_to_string sess cq);
+        (* populate profile entries, then rewrite one order's STATUS —
+           the change decomposes onto db1/ORDERS alone *)
+        let dg = FC.get_profile_by_id env "007" in
+        Sdo.set_leaf dg 1
+          [ ("Orders", 1); ("ORDERS", 1); ("STATUS", 1) ]
+          "SHIPPED";
+        let sr = Aldsp.Dataspace.submit env.FC.ds env.FC.svc dg in
+        check_bool "order submit committed" true sr.Aldsp.Dataspace.sr_committed;
+        check_bool "the submit evicted profile entries" true
+          (counter instr Instr.K.cache_evict > 0);
+        let h0 = counter instr Instr.K.cache_hit in
+        let m0 = counter instr Instr.K.cache_miss in
+        ignore (Xqse.Session.eval_to_string sess cq);
+        check_int "customer-only entry survived: hit" (h0 + 1)
+          (counter instr Instr.K.cache_hit);
+        check_int "customer-only entry survived: no miss" m0
+          (counter instr Instr.K.cache_miss);
+        (* the evicted profile read re-reads the sources, not the cache *)
+        let status =
+          Xqse.Session.eval_to_string sess
+            {|(profile:getProfileById("007")/Orders/ORDERS)[1]/STATUS|}
+        in
+        check_bool "fresh read sees the committed STATUS" true
+          (contains status "SHIPPED");
+        (* a CUSTOMER submit, by contrast, does evict the probe entry *)
+        let dg2 = FC.get_profile_by_id env "007" in
+        Sdo.set_leaf dg2 1 [ ("LAST_NAME", 1) ] "Moneypenny";
+        let sr2 = Aldsp.Dataspace.submit env.FC.ds env.FC.svc dg2 in
+        check_bool "customer submit committed" true
+          sr2.Aldsp.Dataspace.sr_committed;
+        let m1 = counter instr Instr.K.cache_miss in
+        let after = Xqse.Session.eval_to_string sess cq in
+        (* both CUSTOMER entries — logical and physical — were evicted *)
+        check_int "customer entries evicted: fresh misses" (m1 + 2)
+          (counter instr Instr.K.cache_miss);
+        check_bool "fresh read sees the committed LAST_NAME" true
+          (contains after "Moneypenny"));
+  ]
+
+let fingerprint_tests =
+  [
+    case "with_config forks share entries under one fingerprint" (fun () ->
+        let instr = Instr.create () in
+        Instr.preregister instr;
+        Instr.enable instr;
+        let env = FC.make ~customers:1 ~instr () in
+        ignore (add_customers_service env);
+        ignore (Aldsp.Dataspace.enable_result_cache env.FC.ds);
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        let r0 = Xqse.Session.eval_to_string sess cq in
+        check_int "base misses" 2 (counter instr Instr.K.cache_miss);
+        (* an identically-configured fork (a pool worker) lands on the
+           same fingerprint and shares the warm entry *)
+        let same = Xqse.Session.with_config sess (Xqse.Session.config sess) in
+        let r1 = Xqse.Session.eval_to_string same cq in
+        check_string "fork reads the shared entry" r0 r1;
+        check_int "fork hit" 1 (counter instr Instr.K.cache_hit);
+        check_int "fork added no miss" 2 (counter instr Instr.K.cache_miss);
+        (* a differently-configured fork moves to a fresh fingerprint:
+           no cross-config hit, same result recomputed *)
+        let noopt =
+          Xqse.Session.with_config sess
+            { (Xqse.Session.config sess) with Xqse.Session.optimize = false }
+        in
+        let r2 = Xqse.Session.eval_to_string noopt cq in
+        check_string "unoptimized fork recomputes the same result" r0 r2;
+        check_int "unoptimized fork missed" 4 (counter instr Instr.K.cache_miss);
+        check_int "both fingerprints admitted" 4
+          (Cache.Store.size
+             (Cache.store
+                (Option.get (Aldsp.Dataspace.result_cache env.FC.ds)))));
+    case "a registration bump strands the old fingerprint's entries"
+      (fun () ->
+        let instr = Instr.create () in
+        Instr.preregister instr;
+        Instr.enable instr;
+        let env = FC.make ~customers:1 ~instr () in
+        ignore (add_customers_service env);
+        let h = Aldsp.Dataspace.enable_result_cache env.FC.ds in
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        ignore (Xqse.Session.eval_to_string sess cq);
+        ignore (Xqse.Session.eval_to_string sess cq);
+        check_int "warm before the bump" 1 (counter instr Instr.K.cache_hit);
+        (* registering anything bumps the session generation: the next
+           read keys under a fresh fingerprint and recomputes *)
+        Xqse.Session.register_function sess
+          (Xdm.Qname.make ~uri:"urn:test" "ping")
+          0
+          (fun _ -> []);
+        ignore (Xqse.Session.eval_to_string sess cq);
+        check_int "post-bump read misses" 4 (counter instr Instr.K.cache_miss);
+        check_int "no stale cross-generation hit" 1
+          (counter instr Instr.K.cache_hit);
+        check_int "old entries stranded, new ones admitted" 4
+          (Cache.Store.size (Cache.store h)));
+  ]
+
+let suites =
+  [
+    ("cache.admission", admission_tests);
+    ("cache.invalidation", invalidation_tests);
+    ("cache.fingerprint", fingerprint_tests);
+  ]

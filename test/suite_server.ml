@@ -116,6 +116,32 @@ let pool_tests =
         in
         check_int "server.jobs" 3 (c Instr.K.server_jobs);
         check_int "server.errors" 2 (c Instr.K.server_errors));
+    case "open-loop runs report a latency trajectory" (fun () ->
+        let env = FC.make ~customers:2 () in
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        let noop i arrival =
+          {
+            Pool.j_kind = Pool.Read;
+            j_label = Printf.sprintf "j%d" i;
+            j_arrival_ms = arrival;
+            j_run = ignore;
+          }
+        in
+        (* 20 arrivals spread over ~95 ms, bucketed into 25 ms windows *)
+        let jobs = List.init 20 (fun i -> noop i (float_of_int i *. 5.)) in
+        let rp = Pool.run ~workers:2 ~window_ms:25. ~session:sess jobs in
+        check_bool "trajectory present" true (rp.Pool.r_trajectory <> []);
+        check_int "windows partition the jobs" 20
+          (List.fold_left
+             (fun acc w -> acc + w.Pool.w_jobs)
+             0 rp.Pool.r_trajectory);
+        check_bool "windows are ordered" true
+          (let froms = List.map (fun w -> w.Pool.w_from_ms) rp.Pool.r_trajectory in
+           froms = List.sort compare froms);
+        (* closed loop: no arrivals, no trajectory *)
+        let closed = List.init 5 (fun i -> noop i 0.) in
+        let rp2 = Pool.run ~workers:1 ~session:sess closed in
+        check_bool "closed loop has none" true (rp2.Pool.r_trajectory = []));
     case "workload is a pure function of its seed" (fun () ->
         let env = FC.make ~customers:3 () in
         let sig_of js =
@@ -273,7 +299,152 @@ let isolation_tests =
           (pair_consistent ~baseline (text (lastname env), text (brand env))));
   ]
 
+let cache_tests =
+  [
+    case "4 workers: reads racing submits never serve a stale cached pair"
+      (fun () ->
+        (* the isolation storm again, now with the result cache on: a
+           read served from cache after a submit committed would surface
+           the pre-submit pair — lineage eviction must prevent it *)
+        let instr = Instr.create () in
+        Instr.preregister instr;
+        Instr.enable instr;
+        let env = FC.make ~customers:2 ~instr () in
+        ignore (Aldsp.Dataspace.enable_result_cache env.FC.ds);
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        let baseline =
+          split_pair (Xqse.Session.eval_to_string sess pair_query)
+        in
+        (* warm the cache so the racing reads start from hot entries *)
+        ignore (Xqse.Session.eval_to_string sess pair_query);
+        let n = 40 in
+        let results = Array.make n ("", "") in
+        let job i =
+          if i mod 4 = 3 then
+            {
+              Pool.j_kind = Pool.Submit;
+              j_label = Printf.sprintf "submit#%d" i;
+              j_arrival_ms = 0.;
+              j_run =
+                (fun _ ->
+                  if not (submit_pair env i) then failwith "submit aborted");
+            }
+          else
+            {
+              Pool.j_kind = Pool.Read;
+              j_label = Printf.sprintf "read#%d" i;
+              j_arrival_ms = 0.;
+              j_run =
+                (fun s ->
+                  results.(i) <-
+                    split_pair (Xqse.Session.eval_to_string s pair_query));
+            }
+        in
+        let rp = Pool.run ~workers:4 ~session:sess (List.init n job) in
+        check_int "all ok" n rp.Pool.r_ok;
+        Array.iteri
+          (fun i (ln, br) ->
+            if (ln, br) <> ("", "") && not (pair_consistent ~baseline (ln, br))
+            then
+              Alcotest.failf "read %d saw a stale or torn pair: %s | %s" i ln
+                br)
+          results;
+        (* the decisive coherence check: a read through the warm cache
+           agrees with the sources after every submit has committed *)
+        let final = split_pair (Xqse.Session.eval_to_string sess pair_query) in
+        check_bool "cached read agrees with the sources" true
+          (final = (text (lastname env), text (brand env)));
+        let st = Instr.stats instr in
+        let c name =
+          Option.value ~default:0 (List.assoc_opt name st.Instr.counters)
+        in
+        check_bool "the cache actually served hits" true
+          (c Instr.K.cache_hit > 0);
+        check_bool "the submits actually evicted" true
+          (c Instr.K.cache_evict > 0));
+    case "chaos with workers and cache enabled leaves zero partial commits"
+      (fun () ->
+        (* the atomicity invariant must survive the cache too: faulting
+           submits may abort mid-plan, and whatever they managed to
+           write must still evict before any cached read replays *)
+        let instr = Instr.create () in
+        Instr.preregister instr;
+        Instr.enable instr;
+        let ctl =
+          Resilience.Control.create
+            ~plan:(Resilience.Plan.make ~seed:7 ~profile:Resilience.Plan.Heavy ())
+            ~instr ()
+        in
+        List.iter
+          (fun source ->
+            Resilience.Control.set_policy ctl ~source
+              (Resilience.Policy.make ~max_retries:2 ~backoff_ms:5.
+                 ~jitter_ms:2. ()))
+          [ "db1"; "db2" ];
+        Resilience.Control.set_policy ctl ~source:"CreditRatingService"
+          (Resilience.Policy.make ~max_retries:2 ~backoff_ms:5. ~jitter_ms:2.
+             ~breaker:
+               { Resilience.Breaker.failure_threshold = 4; cooldown_ms = 400. }
+             ());
+        Resilience.Control.set_degradable ctl ~source:"CreditRatingService";
+        let env = FC.make ~customers:2 ~seed:7 ~instr ~resilience:ctl () in
+        ignore (Aldsp.Dataspace.enable_result_cache env.FC.ds);
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        let baseline = (text (lastname env), text (brand env)) in
+        let violations = ref [] in
+        let vmutex = Mutex.create () in
+        let job i =
+          if i mod 3 = 2 then
+            {
+              Pool.j_kind = Pool.Submit;
+              j_label = Printf.sprintf "submit#%d" i;
+              j_arrival_ms = 0.;
+              j_run =
+                (fun _ ->
+                  (try ignore (submit_pair env i) with _ -> ());
+                  let pair = (text (lastname env), text (brand env)) in
+                  if not (pair_consistent ~baseline pair) then
+                    Mutex.protect vmutex (fun () ->
+                        violations :=
+                          Printf.sprintf "after submit#%d: %s | %s" i
+                            (fst pair) (snd pair)
+                          :: !violations));
+            }
+          else
+            {
+              Pool.j_kind = Pool.Read;
+              j_label = Printf.sprintf "read#%d" i;
+              j_arrival_ms = 0.;
+              j_run =
+                (fun s ->
+                  match Xqse.Session.eval_to_string s pair_query with
+                  | result ->
+                    let pair = split_pair result in
+                    if not (pair_consistent ~baseline pair) then
+                      Mutex.protect vmutex (fun () ->
+                          violations :=
+                            Printf.sprintf "read#%d tore: %s" i result
+                            :: !violations)
+                  | exception _ -> () (* chaos: reads may fail *));
+            }
+        in
+        let rp = Pool.run ~workers:4 ~session:sess (List.init 45 job) in
+        check_int "every job drained" 45 rp.Pool.r_jobs;
+        check_string "zero partial commits" ""
+          (String.concat "; " !violations);
+        check_bool "final pair matched" true
+          (pair_consistent ~baseline (text (lastname env), text (brand env)));
+        (* once the plan quiets down the cached view must re-agree with
+           the sources (reads may still degrade, never go stale) *)
+        (match Xqse.Session.eval_to_string sess pair_query with
+        | result ->
+          check_bool "post-chaos cached read agrees with the sources" true
+            (pair_consistent ~baseline (split_pair result))
+        | exception _ -> ()));
+  ]
+
 let suites =
   [
     ("server.pool", pool_tests); ("server.isolation", isolation_tests);
+    ("server.cache", cache_tests);
   ]

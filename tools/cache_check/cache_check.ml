@@ -1,0 +1,148 @@
+(* Differential cache oracle: replay seeded interleavings of cacheable
+   reads and decomposed submits against two identical dataspaces — one
+   with the result cache on, one with it off — and fail on any byte
+   difference between the two sides (a stale or corrupted cached read)
+   or any divergence in submit outcomes. Every schedule is a pure
+   function of its seed. Usage: cache_check [RUNS] [BASE_SEED] [OPS] *)
+
+open Core
+module FC = Fixtures.Customer_profile
+module Det = Fixtures.Det
+
+let pair_query =
+  {|let $p := profile:getProfileById("007")
+    return fn:concat($p/LAST_NAME, "|",
+                     ($p/CreditCards/CREDIT_CARD)[1]/BRAND)|}
+
+type op =
+  | Read of string * string  (* label, query *)
+  | Submit of string * (string * int) list * string  (* cid, path, value *)
+
+(* one seeded schedule: mostly reads over a few hot entities, with
+   submits interleaved that decompose onto CUSTOMER, CREDIT_CARD or
+   ORDERS — exercising every eviction footprint the fixture has *)
+let schedule ~seed ~ops =
+  let rng = Det.make seed in
+  List.init ops (fun i ->
+      let roll = Det.int rng 100 in
+      if roll < 65 then
+        match Det.int rng 4 with
+        | 0 -> Read ("pair", pair_query)
+        | 1 ->
+          let cid = Det.pick rng [ "007"; "C1"; "C2"; "C3" ] in
+          Read
+            ( "profile:" ^ cid,
+              Printf.sprintf {|profile:getProfileById("%s")|} cid )
+        | 2 -> Read ("count", "fn:count(profile:getProfile())")
+        | _ -> Read ("all", "profile:getProfile()")
+      else
+        match Det.int rng 3 with
+        | 0 ->
+          let cid = Det.pick rng [ "007"; "C1"; "C2"; "C3" ] in
+          Submit
+            (cid, [ ("LAST_NAME", 1) ], Printf.sprintf "Name%d_%d" seed i)
+        | 1 ->
+          Submit
+            ( "007",
+              [ ("CreditCards", 1); ("CREDIT_CARD", 1); ("BRAND", 1) ],
+              Printf.sprintf "BRAND%d_%d" seed i )
+        | _ ->
+          Submit
+            ( "007",
+              [ ("Orders", 1); ("ORDERS", 1); ("STATUS", 1) ],
+              Det.pick rng [ "OPEN"; "SHIPPED"; "CLOSED" ] ))
+
+let apply_read env q = Xqse.Session.eval_to_string (Aldsp.Dataspace.session env.FC.ds) q
+
+let apply_submit env cid path value =
+  let dg = FC.get_profile_by_id env cid in
+  Sdo.set_leaf dg 1 path value;
+  (Aldsp.Dataspace.submit env.FC.ds env.FC.svc dg).Aldsp.Dataspace.sr_committed
+
+type run_result = {
+  r_violations : string list;
+  r_reads : int;
+  r_submits : int;
+  r_hits : int;
+  r_evicts : int;
+}
+
+let run ~seed ~ops =
+  let env_off = FC.make ~customers:3 () in
+  let instr = Instr.create () in
+  Instr.preregister instr;
+  Instr.enable instr;
+  let env_on = FC.make ~customers:3 ~instr () in
+  ignore (Aldsp.Dataspace.enable_result_cache env_on.FC.ds);
+  let violations = ref [] and reads = ref 0 and submits = ref 0 in
+  List.iteri
+    (fun i op ->
+      match op with
+      | Read (label, q) ->
+        incr reads;
+        let off = apply_read env_off q and on = apply_read env_on q in
+        if off <> on then
+          violations :=
+            Printf.sprintf "seed %d op %d (%s): cached read diverged" seed i
+              label
+            :: !violations
+      | Submit (cid, path, value) ->
+        incr submits;
+        let off = apply_submit env_off cid path value in
+        let on = apply_submit env_on cid path value in
+        if off <> on then
+          violations :=
+            Printf.sprintf "seed %d op %d: submit outcomes diverged (%b/%b)"
+              seed i off on
+            :: !violations)
+    (schedule ~seed ~ops);
+  (* closing sweep: the full materialized view must agree byte for byte *)
+  let off = apply_read env_off "profile:getProfile()" in
+  let on = apply_read env_on "profile:getProfile()" in
+  if off <> on then
+    violations :=
+      Printf.sprintf "seed %d: final sweep diverged" seed :: !violations;
+  let c name =
+    Option.value ~default:0
+      (List.assoc_opt name (Instr.stats instr).Instr.counters)
+  in
+  {
+    r_violations = List.rev !violations;
+    r_reads = !reads;
+    r_submits = !submits;
+    r_hits = c Instr.K.cache_hit;
+    r_evicts = c Instr.K.cache_evict;
+  }
+
+let () =
+  let runs = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 100 in
+  let base = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1 in
+  let ops = if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 30 in
+  Printf.printf "cache_check: %d runs, seeds %d..%d, %d ops each\n%!" runs base
+    (base + runs - 1) ops;
+  let violations = ref 0 in
+  let reads = ref 0 and submits = ref 0 and hits = ref 0 and evicts = ref 0 in
+  for seed = base to base + runs - 1 do
+    let r = run ~seed ~ops in
+    List.iter
+      (fun v ->
+        incr violations;
+        print_endline ("STALE " ^ v))
+      r.r_violations;
+    reads := !reads + r.r_reads;
+    submits := !submits + r.r_submits;
+    hits := !hits + r.r_hits;
+    evicts := !evicts + r.r_evicts
+  done;
+  Printf.printf "totals: %d reads, %d submits, %d cache hits, %d evictions\n"
+    !reads !submits !hits !evicts;
+  (* a run that never hits the cache proves nothing — fail it too *)
+  if !violations = 0 && !hits > 0 then begin
+    Printf.printf "cache_check: PASS (0 stale reads, cache exercised)\n";
+    exit 0
+  end
+  else begin
+    Printf.printf "cache_check: FAIL (%d divergences, %d hits)\n" !violations
+      !hits;
+    exit 1
+  end
