@@ -627,6 +627,96 @@ let report () =
     rp.r_trajectory;
   record "serve.openloop.qps" rp.r_qps;
 
+  section "OVERLOAD: open-loop storm at 3x capacity, shedding off vs on";
+  (* same latency-bound mix, offered at three times the measured
+     single-worker closed-loop capacity, with a 250 ms end-to-end
+     deadline. Without shedding every job is served late (deadlines
+     expire in the queue, p99-of-accepted explodes); with the CoDel
+     delay target on, excess load is rejected at admission for ~zero
+     service cost and the accepted jobs keep their latency. The
+     cross-database pair check after each run pins zero partial
+     commits under overload. *)
+  let overload_capacity =
+    let env = FC.make ~customers:5 () in
+    let session = Aldsp.Dataspace.session env.FC.ds in
+    let jobs =
+      Server.Workload.jobs ~io_ms:2. ~customers:5 ~seed:44 ~count:80 env
+    in
+    (Server.Pool.run ~workers:1 ~session jobs).r_qps
+  in
+  let overload_rate = 3. *. overload_capacity in
+  Printf.printf "capacity %.0f qps (1 worker, closed loop) -> offering %.0f\n"
+    overload_capacity overload_rate;
+  record "overload.capacity.qps" overload_capacity;
+  let pair env =
+    let value tbl pk col =
+      match Relational.Table.find_pk tbl pk with
+      | Some row -> Relational.Value.to_string (Relational.Table.get row tbl col)
+      | None -> "<missing>"
+    in
+    ( value env.FC.customer [ Relational.Value.Text "007" ] "LAST_NAME",
+      value env.FC.credit_card [ Relational.Value.Int 900001 ] "CC_BRAND" )
+  in
+  let pair_consistent ~baseline (ln, br) =
+    let suffix ~prefix s =
+      let pl = String.length prefix in
+      if String.length s > pl && String.sub s 0 pl = prefix then
+        Some (String.sub s pl (String.length s - pl))
+      else None
+    in
+    baseline = (ln, br)
+    ||
+    match (suffix ~prefix:"Name" ln, suffix ~prefix:"BRAND" br) with
+    | Some k1, Some k2 -> k1 = k2
+    | _ -> false
+  in
+  Printf.printf "%-8s %-5s %9s %9s %6s %8s %12s %6s\n" "workers" "shed"
+    "goodput" "accepted" "shed" "expired" "acc-p99ms" "pair";
+  List.iter
+    (fun workers ->
+      List.iter
+        (fun shed_on ->
+          let env = FC.make ~customers:5 () in
+          let session = Aldsp.Dataspace.session env.FC.ds in
+          let baseline = pair env in
+          let jobs =
+            Server.Workload.jobs ~io_ms:2. ~rate:overload_rate ~customers:5
+              ~seed:45 ~count:240 env
+          in
+          let overload =
+            {
+              no_overload with
+              o_deadline_ms = Some 250.;
+              o_shed =
+                (if shed_on then
+                   Some { sp_queue_bound = None; sp_delay_target_ms = Some 50. }
+                 else None);
+            }
+          in
+          let rp = Server.Pool.run ~workers ~overload ~session jobs in
+          let consistent = pair_consistent ~baseline (pair env) in
+          assert consistent;
+          Printf.printf "%-8d %-5s %9.0f %9d %6d %8d %12.2f %6s\n" workers
+            (if shed_on then "on" else "off")
+            rp.r_goodput rp.r_accepted rp.r_shed rp.r_expired
+            rp.r_accepted_latency.l_p99
+            (if consistent then "ok" else "TORN");
+          let m name v =
+            record
+              (Printf.sprintf "overload.workers=%d.shed=%s.%s" workers
+                 (if shed_on then "on" else "off")
+                 name)
+              v
+          in
+          m "goodput.qps" rp.r_goodput;
+          m "accepted" (float_of_int rp.r_accepted);
+          m "shed" (float_of_int rp.r_shed);
+          m "expired" (float_of_int rp.r_expired);
+          m "accepted_p99_ms" rp.r_accepted_latency.l_p99;
+          m "pair_consistent" (if consistent then 1. else 0.))
+        [ false; true ])
+    [ 1; 4 ];
+
   section "CACHE: lineage-invalidated result cache";
   (* warm-hit speedup on the hot read: the same getProfileById call,
      recomputed every time vs served from the cache *)

@@ -71,6 +71,20 @@ let eval_and_print ds src =
     (* cumulative counters for the whole console session *)
     print_string
       (Instr.render ~times:false (Instr.stats (Aldsp.Dataspace.instr ds)))
+  else if String.trim src = "breakers" then (
+    let ctl = Aldsp.Dataspace.resilience ds in
+    match List.sort compare (Resilience.Control.attached ctl) with
+    | [] ->
+      print_endline "breakers: no sources attached (start with --chaos-seed)"
+    | sources ->
+      List.iter
+        (fun source ->
+          match Resilience.Control.breaker_state ctl ~source with
+          | Some st ->
+            Printf.printf "%-20s %s\n" source
+              (Resilience.Breaker.state_to_string st)
+          | None -> Printf.printf "%-20s no breaker\n" source)
+        sources)
   else if String.trim src = "cache" then (
     match Aldsp.Dataspace.result_cache ds with
     | None -> print_endline "result cache: off (start with --cache)"

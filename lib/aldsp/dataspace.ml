@@ -228,10 +228,30 @@ let guarded t ~source ~on_native f =
     raise_resil_error ~source code message
   | e -> on_native e
 
+(* Overload brownout: while the server's pressure signal is asserted,
+   a degradable source degrades *proactively* — the call is skipped
+   outright, saving its full service cost, and the degradation is noted
+   exactly like a fault-driven degrade. The note moves the degradation
+   epoch, so the PR 8 result cache refuses admission to anything
+   evaluated under brownout (warm entries admitted before the brownout
+   keep serving — they short-circuit above this boundary). *)
+let browned_out t ~source =
+  Resilience.Control.in_brownout t.resil
+  && Resilience.Control.is_degradable t.resil ~source
+
+let note_brownout t ~source =
+  Log.info (fun m -> m "browned-out read of %s skipped" source);
+  Resilience.Control.note_degraded t.resil ~source ~code:"BROWNOUT"
+    ~message:"read degraded proactively under overload pressure"
+
 (* degradable sources degrade to an empty sequence plus a degradation
    report instead of failing the read *)
 let degrade_on_error t ~source call =
   if not (Resilience.Control.is_degradable t.resil ~source) then call ()
+  else if browned_out t ~source then begin
+    note_brownout t ~source;
+    []
+  end
   else
     try call ()
     with Item.Error { code; message; _ } ->
@@ -257,6 +277,10 @@ let guarded_read_cur t ~source f =
   in
   if not (Resilience.Control.is_degradable t.resil ~source) then
     open_guarded ()
+  else if browned_out t ~source then begin
+    note_brownout t ~source;
+    Cursor.empty ()
+  end
   else
     try open_guarded ()
     with Item.Error { code; message; _ } ->
@@ -1019,6 +1043,18 @@ let default_submit t svc policy dg =
     ~attrs:[ ("service", svc.Data_service.ds_name) ]
   @@ fun () ->
   Instr.bump (instr t) Instr.K.sdo_submits;
+  (* a submit whose request budget already died fails before planning,
+     the wire round-trip, or any statement — cheap refusal, and the
+     only deadline check a submit ever makes: once execution reaches
+     XA prepare the commit path runs exempt (never kill a write
+     mid-commit) *)
+  (match Resilience.Deadline.current () with
+  | Some d when Resilience.Deadline.expired d ->
+    raise_resil_error ~source:svc.Data_service.ds_name
+      Resilience.Control.Deadline_exceeded
+      (Printf.sprintf "request budget of %.0fms exhausted before submit"
+         (Resilience.Deadline.budget_ms d))
+  | None | Some _ -> ());
   (* strict admission: a submit is never served degraded. If any source
      this service depends on has an open breaker, fail now — before any
      statement runs anywhere — with the stable code. *)

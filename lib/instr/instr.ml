@@ -94,6 +94,11 @@ let rec atomic_add_float a d =
 let bump t ?(n = 1) name =
   if t.on then ignore (Atomic.fetch_and_add (counter t name) n)
 
+(* Accumulate an externally-measured duration into a named timer — for
+   spans whose clock is not this process's wall clock (e.g. a request's
+   consumed deadline budget, part virtual, part wall). *)
+let add_ms t name ms = if t.on then atomic_add_float (timer t name) ms
+
 (* ---- span stacks (domain-local) ---- *)
 
 let stacks_key : (int, open_span list ref) Hashtbl.t Domain.DLS.key =
@@ -349,6 +354,17 @@ module K = struct
   let server_errors = "server.errors"
   let server_submits = "server.submits"
 
+  (* overload protection: requests shed at admission (RESX0006),
+     requests whose end-to-end budget expired (RESX0005), and brownout
+     transitions of the pressure signal; [t_deadline_budget] accumulates
+     the budget each deadlined request actually consumed (virtual +
+     wall ms, via [add_ms]) *)
+  let overload_shed = "overload.shed"
+  let overload_expired = "overload.expired"
+  let overload_brownout_entered = "overload.brownout.entered"
+  let overload_brownout_exited = "overload.brownout.exited"
+  let t_deadline_budget = "deadline.budget"
+
   (* result cache: [hit]s are served from a materialized prior result,
      [miss]es run the function and (when still coherent) admit it,
      [evict] counts entries removed by lineage-driven invalidation (a
@@ -397,6 +413,10 @@ let preregister t =
       K.server_jobs;
       K.server_errors;
       K.server_submits;
+      K.overload_shed;
+      K.overload_expired;
+      K.overload_brownout_entered;
+      K.overload_brownout_exited;
       K.cache_hit;
       K.cache_miss;
       K.cache_evict;
@@ -412,4 +432,5 @@ let preregister t =
       K.t_optimizer_inline;
       K.t_optimizer_join;
       K.t_optimizer_push;
+      K.t_deadline_budget;
     ]

@@ -67,6 +67,12 @@ val time : t -> string -> (unit -> 'a) -> 'a
     (e.g. one optimizer pass per fixpoint iteration) where a span per
     entry would drown the trace. When disabled this is exactly [f ()]. *)
 
+val add_ms : t -> string -> float -> unit
+(** Accumulate an externally-measured duration into a named timer — for
+    spans whose clock is not this process's wall clock (e.g. a request's
+    consumed deadline budget, part virtual, part wall). No-op when
+    disabled. *)
+
 (** {1 Snapshots} *)
 
 type stats = {
@@ -153,6 +159,16 @@ module K : sig
   val server_errors : string
   val server_submits : string
 
+  (** overload-protection counters: requests shed at admission
+      ([RESX0006]), requests whose end-to-end deadline expired
+      ([RESX0005]), and brownout entry/exit transitions of the pool's
+      pressure signal *)
+
+  val overload_shed : string
+  val overload_expired : string
+  val overload_brownout_entered : string
+  val overload_brownout_exited : string
+
   (** result-cache counters: [cache_hit] reads served from a
       materialized prior result, [cache_miss] calls that ran the
       function, [cache_evict] entries removed by lineage-driven
@@ -171,6 +187,10 @@ module K : sig
   val t_optimizer_inline : string
   val t_optimizer_join : string
   val t_optimizer_push : string
+
+  val t_deadline_budget : string
+  (** accumulated budget (virtual + wall ms) consumed by deadlined
+      requests, reported via {!add_ms} *)
 end
 
 val preregister : t -> unit

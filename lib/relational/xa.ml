@@ -27,6 +27,12 @@ let run_traced participants work =
           emit (Begin (Database.name db)))
         participants;
       let v = work () in
+      (* from the first prepare vote on, the round runs exempt from the
+         ambient request deadline: a prepared participant must reach a
+         commit-or-rollback decision, and killing the coordinator here
+         on client impatience would manufacture the very partial commit
+         2PC exists to prevent *)
+      Resilience.Deadline.exempt @@ fun () ->
       (* phase 1: every participant votes — all emit a Prepare_* event
          before the coordinator decides, as a real 2PC round would *)
       let failures =

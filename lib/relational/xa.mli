@@ -4,7 +4,12 @@
     affected relational sources when they can participate in 2PC (paper
     section II.C). The coordinator begins a local transaction on every
     participant, runs the work, then prepares each participant (which may
-    fail via injection) and commits all or rolls back all. *)
+    fail via injection) and commits all or rolls back all.
+
+    The prepare and commit phases run {!Resilience.Deadline.exempt}:
+    once the first participant votes, the round reaches its
+    commit-or-rollback decision regardless of the requesting client's
+    end-to-end deadline — a write is never killed mid-commit. *)
 
 type outcome =
   | Committed

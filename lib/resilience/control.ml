@@ -3,12 +3,19 @@
    fault handles and degradable annotations. [guard] is the single
    enforcement point wrapped around every source call. *)
 
-type code = Timeout | Circuit_open | Retries_exhausted
+type code =
+  | Timeout
+  | Circuit_open
+  | Retries_exhausted
+  | Deadline_exceeded
+  | Overloaded
 
 let code_name = function
   | Timeout -> "RESX0001"
   | Circuit_open -> "RESX0002"
   | Retries_exhausted -> "RESX0003"
+  | Deadline_exceeded -> "RESX0005"
+  | Overloaded -> "RESX0006"
 
 exception Error of { source : string; code : code; message : string }
 
@@ -41,6 +48,9 @@ type t = {
   faults : (string, Faults.t) Hashtbl.t;
   degradable : (string, unit) Hashtbl.t;
   mutable degradations : degradation list;  (* newest first *)
+  brownout : bool Atomic.t;
+      (* overload pressure: while set, degradable reads degrade
+         *proactively* (dataspace skips the source call entirely) *)
 }
 
 let create ?seed ?plan ?(instr = Instr.disabled) () =
@@ -61,6 +71,7 @@ let create ?seed ?plan ?(instr = Instr.disabled) () =
     faults = Hashtbl.create 8;
     degradable = Hashtbl.create 4;
     degradations = [];
+    brownout = Atomic.make false;
   }
 
 let clock t = t.clock
@@ -135,6 +146,21 @@ let degradations t = Mutex.protect t.lock (fun () -> List.rev t.degradations)
 let clear_degradations t =
   Mutex.protect t.lock (fun () -> t.degradations <- [])
 
+(* ---- brownout ---- *)
+
+(* Transition counters are bumped here — whoever flips the flag (the
+   pool's pressure signal, a test, a console demo), entry/exit stays
+   observable in one place. Idempotent: re-asserting the current state
+   neither bumps nor transitions. *)
+let set_brownout t on =
+  let was = Atomic.exchange t.brownout on in
+  if was <> on then
+    Instr.bump t.instr
+      (if on then Instr.K.overload_brownout_entered
+       else Instr.K.overload_brownout_exited)
+
+let in_brownout t = Atomic.get t.brownout
+
 (* ---- the guard ---- *)
 
 let breaker_failure t = function
@@ -153,13 +179,38 @@ let check_strict t ~source =
   | Some b when not (Breaker.would_allow b) -> reject t ~source
   | _ -> ()
 
+(* The ambient request deadline caps every guarded call: an expired
+   request fails fast (before the breaker would even admit it, so a shed
+   request cannot consume a half-open probe), and after any attempt —
+   success included — a blown budget is a failure: the client already
+   gave up. Deadline expiry is client impatience, not a source-health
+   signal, so it never feeds the breaker. *)
+let fail_deadline t ~source d =
+  Instr.bump t.instr Instr.K.overload_expired;
+  raise
+    (Error
+       { source; code = Deadline_exceeded;
+         message =
+           Printf.sprintf "request budget of %.0fms exhausted (%.0fms elapsed)"
+             (Deadline.budget_ms d) (Deadline.elapsed_ms d) })
+
 let guard t ~source f =
   let policy = policy t ~source in
+  let deadline = Deadline.current () in
+  let check_deadline () =
+    match deadline with
+    | Some d when Deadline.expired d -> fail_deadline t ~source d
+    | _ -> ()
+  in
+  check_deadline ();
   let br = breaker t ~source in
   (match br with
    | Some b when not (Breaker.allow b) -> reject t ~source
    | _ -> ());
   let fl = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.faults source) in
+  (* effective per-attempt timeout: min(policy timeout, remaining
+     budget) — whichever bound the attempt actually blew names the error
+     (RESX0001 for the policy, RESX0005 for the request budget) *)
   let timed_out t0 =
     match policy.Policy.timeout_ms with
     | Some tmo -> Clock.now t.clock -. t0 > tmo
@@ -185,6 +236,7 @@ let guard t ~source f =
       if timed_out t0 then fail_timeout t0
       else begin
         (match br with Some b -> Breaker.on_success b | None -> ());
+        check_deadline ();
         v
       end
     | exception e ->
@@ -196,6 +248,9 @@ let guard t ~source f =
         match injected with
         | Some { Faults.f_transient = true; f_message } ->
           if n < policy.Policy.max_retries then begin
+            (* no retry on a dead budget: the backoff plus another
+               attempt can only waste a worker the client abandoned *)
+            check_deadline ();
             Instr.bump t.instr Instr.K.resil_retries;
             let wait =
               Policy.backoff policy ~attempt:n
@@ -206,6 +261,8 @@ let guard t ~source f =
               else 0.
             in
             Clock.advance t.clock wait;
+            (* the backoff itself may have spent what was left *)
+            check_deadline ();
             attempt (n + 1)
           end
           else begin

@@ -10,6 +10,10 @@ type code =
   | Circuit_open       (** [RESX0002] — breaker rejected the call *)
   | Retries_exhausted  (** [RESX0003] — transient failures outlived the
                            retry budget *)
+  | Deadline_exceeded  (** [RESX0005] — the end-to-end request budget
+                           ({!Deadline}) ran out *)
+  | Overloaded         (** [RESX0006] — shed at admission by the server
+                           pool's load-shedding policy *)
 
 val code_name : code -> string
 (** The stable error code, e.g. ["RESX0002"] — surfaced to XQSE
@@ -62,6 +66,15 @@ val degradations : t -> degradation list
 
 val clear_degradations : t -> unit
 
+val set_brownout : t -> bool -> unit
+(** Assert or clear overload brownout. While set, the dataspace degrades
+    {e degradable} reads proactively (the source is not called at all;
+    warm cache hits still serve, short-circuiting before the boundary).
+    Transitions bump [overload.brownout.entered] / [.exited];
+    re-asserting the current state is a no-op. *)
+
+val in_brownout : t -> bool
+
 val guard : t -> source:string -> (unit -> 'a) -> 'a
 (** Run a source call under the source's policy: breaker admission,
     bounded retry with exponential backoff + seeded jitter for
@@ -69,7 +82,17 @@ val guard : t -> source:string -> (unit -> 'a) -> 'a
     Raises {!Error} for timeout / open-circuit / retries-exhausted;
     genuine (non-injected) failures pass through untouched and do not
     feed the breaker. Under the default policy this is a transparent
-    pass-through. *)
+    pass-through.
+
+    The ambient {!Deadline} additionally caps every guarded call: an
+    already-expired request fails fast with [Deadline_exceeded]
+    ({e before} breaker admission, so it cannot consume a half-open
+    probe), a blown budget after any attempt — success included — is
+    [Deadline_exceeded], and retries stop the moment the budget dies.
+    The effective per-attempt bound is therefore
+    [min(policy timeout, remaining budget)], with the error naming
+    whichever bound was actually hit. Deadline expiry never feeds the
+    breaker: it is client impatience, not a source-health signal. *)
 
 val check_strict : t -> source:string -> unit
 (** Strict admission for SDO submit: raises {!Error} with

@@ -9,6 +9,7 @@ type job = {
   j_kind : kind;
   j_label : string;
   j_arrival_ms : float;
+  j_deadline_ms : float option;
   j_run : Xqse.Session.t -> unit;
 }
 
@@ -22,14 +23,41 @@ type latency = {
 
 type window = { w_from_ms : float; w_jobs : int; w_latency : latency }
 
+type shed_policy = {
+  sp_queue_bound : int option;
+  sp_delay_target_ms : float option;
+}
+
+type brownout = {
+  b_enter_ms : float;
+  b_exit_ms : float;
+  b_apply : bool -> unit;
+}
+
+type overload = {
+  o_deadline_ms : float option;
+  o_shed : shed_policy option;
+  o_brownout : brownout option;
+  o_clock : Resilience.Clock.t option;
+}
+
+let no_overload =
+  { o_deadline_ms = None; o_shed = None; o_brownout = None; o_clock = None }
+
 type report = {
   r_workers : int;
   r_jobs : int;
   r_ok : int;
+  r_accepted : int;
+  r_shed : int;
+  r_expired : int;
   r_errors : (string * string) list;
+  r_error_kinds : (string * int) list;
   r_wall_ms : float;
   r_qps : float;
+  r_goodput : float;
   r_latency : latency;
+  r_accepted_latency : latency;
   r_by_kind : (string * int) list;
   r_trajectory : window list;
 }
@@ -90,7 +118,67 @@ let trajectory ~window_ms jobs lat =
 
 let max_reported_errors = 32
 
-let run ?(workers = 1) ?(window_ms = 250.) ~session jobs =
+(* stable-code classification of a job failure: RESX000x codes surface
+   whether the exception crossed the XQSE error surface (Item.Error in
+   the err: namespace) or came straight from the resilience layer *)
+let error_kind = function
+  | Xdm.Item.Error { code; _ }
+    when code.Xdm.Qname.uri = Xdm.Qname.err_ns
+         && String.length code.Xdm.Qname.local >= 4
+         && String.sub code.Xdm.Qname.local 0 4 = "RESX" ->
+    code.Xdm.Qname.local
+  | Resilience.Control.Error { code; _ } -> Resilience.Control.code_name code
+  | _ -> "other"
+
+(* human-readable failure text for the report: structured errors print
+   their code and message, everything else falls back to Printexc *)
+let error_message = function
+  | Xdm.Item.Error { code; message; _ } ->
+    Printf.sprintf "%s: %s" (Xdm.Qname.to_string code) message
+  | Resilience.Control.Error { source; code; message } ->
+    Printf.sprintf "err:%s at %s: %s"
+      (Resilience.Control.code_name code)
+      source message
+  | e -> Printexc.to_string e
+
+(* queueing-delay EWMA — the pool's pressure signal. One shared cell,
+   updated at every dequeue; crossing [b_enter_ms] switches brownout on,
+   falling below [b_exit_ms] switches it off (hysteresis: exit below
+   enter, so the signal doesn't flap around one threshold). *)
+type pressure = {
+  pr_lock : Mutex.t;
+  mutable pr_ewma : float;
+  mutable pr_primed : bool;
+  mutable pr_active : bool;
+}
+
+let ewma_alpha = 0.2
+
+let observe_pressure pr bo delay_ms =
+  match bo with
+  | None -> ()
+  | Some bo ->
+    let transition =
+      Mutex.protect pr.pr_lock (fun () ->
+          pr.pr_ewma <-
+            (if pr.pr_primed then
+               (ewma_alpha *. delay_ms) +. ((1. -. ewma_alpha) *. pr.pr_ewma)
+             else delay_ms);
+          pr.pr_primed <- true;
+          if (not pr.pr_active) && pr.pr_ewma > bo.b_enter_ms then begin
+            pr.pr_active <- true;
+            Some true
+          end
+          else if pr.pr_active && pr.pr_ewma < bo.b_exit_ms then begin
+            pr.pr_active <- false;
+            Some false
+          end
+          else None)
+    in
+    (match transition with Some on -> bo.b_apply on | None -> ())
+
+let run ?(workers = 1) ?(window_ms = 250.) ?(overload = no_overload) ~session
+    jobs =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
   let workers = max 1 workers in
@@ -99,10 +187,25 @@ let run ?(workers = 1) ?(window_ms = 250.) ~session jobs =
   (* per-job slots: each index is written by exactly one worker *)
   let lat = Array.make n 0. in
   let ok = Array.make n false in
+  let accepted = Array.make n false in
+  let shed = Array.make n false in
+  let expired = Array.make n false in
   let err_m = Mutex.create () in
   let errors = ref [] in
+  let kinds : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let next = Stdlib.Atomic.make 0 in
   let open_loop = Array.exists (fun j -> j.j_arrival_ms > 0.) jobs in
+  let pressure =
+    { pr_lock = Mutex.create (); pr_ewma = 0.; pr_primed = false;
+      pr_active = false }
+  in
+  let record_failure label kind msg =
+    Mutex.protect err_m (fun () ->
+        Hashtbl.replace kinds kind
+          (1 + Option.value (Hashtbl.find_opt kinds kind) ~default:0);
+        if List.length !errors < max_reported_errors then
+          errors := (label, msg) :: !errors)
+  in
   (* fork the worker sessions up front, on this domain: forking reads
      the template's registry and module tables, and doing it before any
      worker runs keeps that a single-threaded affair *)
@@ -114,6 +217,17 @@ let run ?(workers = 1) ?(window_ms = 250.) ~session jobs =
     end
   in
   let t0 = Unix.gettimeofday () in
+  (* admission backlog of job [i] at run-relative [now_ms]: how many of
+     the jobs from [i] on have already arrived (arrivals are generated
+     nondecreasing, so the scan stops at the first future arrival; cost
+     is O(backlog), which is exactly what a real queue-length probe
+     costs) *)
+  let backlog_from i now_ms =
+    let rec count k =
+      if k < n && jobs.(k).j_arrival_ms <= now_ms then count (k + 1) else k - i
+    in
+    count i
+  in
   let worker wsess =
     let rec loop () =
       let i = Stdlib.Atomic.fetch_and_add next 1 in
@@ -130,21 +244,96 @@ let run ?(workers = 1) ?(window_ms = 250.) ~session jobs =
         if open_loop then wait ();
         (* open loop: latency from the scheduled arrival, so a backlog
            shows up as latency; closed loop: pure service time *)
-        let start = if open_loop then arrive else Unix.gettimeofday () in
+        let now = Unix.gettimeofday () in
+        let start = if open_loop then arrive else now in
+        let qdelay_ms = if open_loop then (now -. arrive) *. 1000. else 0. in
+        observe_pressure pressure overload.o_brownout qdelay_ms;
         Instr.bump instr Instr.K.server_jobs;
-        (try
-           (match j.j_kind with
-           | Submit ->
-             Instr.bump instr Instr.K.server_submits;
-             Sync.with_write lock (fun () -> j.j_run wsess)
-           | Read | Script -> Sync.with_read lock (fun () -> j.j_run wsess));
-           ok.(i) <- true
-         with e ->
-           Instr.bump instr Instr.K.server_errors;
-           let msg = Printexc.to_string e in
-           Mutex.protect err_m (fun () ->
-               if List.length !errors < max_reported_errors then
-                 errors := (j.j_label, msg) :: !errors));
+        let budget =
+          match j.j_deadline_ms with
+          | Some _ as b -> b
+          | None -> overload.o_deadline_ms
+        in
+        (* admission: a request whose whole budget died in the queue is
+           expired (RESX0005); an over-bound or over-delay-target queue
+           sheds from the head (RESX0006). Both cost ~zero service time:
+           the job body never runs. *)
+        let verdict =
+          match budget with
+          | Some b when qdelay_ms >= b -> `Expired b
+          | _ -> (
+            match overload.o_shed with
+            | None -> `Admit
+            | Some sp ->
+              let over_bound =
+                match sp.sp_queue_bound with
+                | Some bound ->
+                  backlog_from i ((now -. t0) *. 1000.) > bound
+                | None -> false
+              in
+              let over_target =
+                match sp.sp_delay_target_ms with
+                | Some target -> qdelay_ms > target
+                | None -> false
+              in
+              if over_bound then
+                `Shed
+                  (Printf.sprintf "queue depth over bound %d"
+                     (Option.get sp.sp_queue_bound))
+              else if over_target then
+                `Shed
+                  (Printf.sprintf
+                     "queueing delay %.1fms over target %.0fms" qdelay_ms
+                     (Option.get sp.sp_delay_target_ms))
+              else `Admit)
+        in
+        (match verdict with
+        | `Expired b ->
+          expired.(i) <- true;
+          Instr.bump instr Instr.K.overload_expired;
+          record_failure j.j_label "RESX0005"
+            (Printf.sprintf
+               "err:RESX0005 deadline of %.0fms exhausted after %.1fms in \
+                queue"
+               b qdelay_ms)
+        | `Shed why ->
+          shed.(i) <- true;
+          Instr.bump instr Instr.K.overload_shed;
+          record_failure j.j_label "RESX0006"
+            (Printf.sprintf "err:RESX0006 shed at admission: %s" why)
+        | `Admit ->
+          accepted.(i) <- true;
+          let run_job () =
+            match j.j_kind with
+            | Submit ->
+              Instr.bump instr Instr.K.server_submits;
+              Sync.with_write lock (fun () -> j.j_run wsess)
+            | Read | Script -> Sync.with_read lock (fun () -> j.j_run wsess)
+          in
+          let run_deadlined () =
+            match budget with
+            | None -> run_job ()
+            | Some b ->
+              (* the queue already spent [qdelay_ms] of the budget; the
+                 service gets what is left, on the hybrid virtual+wall
+                 clock, and the consumed span lands in the
+                 [deadline.budget] timer *)
+              let d =
+                Resilience.Deadline.start ?clock:overload.o_clock
+                  ~budget_ms:(b -. qdelay_ms) ()
+              in
+              Fun.protect
+                ~finally:(fun () ->
+                  Instr.add_ms instr Instr.K.t_deadline_budget
+                    (qdelay_ms +. Resilience.Deadline.elapsed_ms d))
+                (fun () -> Resilience.Deadline.with_deadline d run_job)
+          in
+          (try
+             run_deadlined ();
+             ok.(i) <- true
+           with e ->
+             Instr.bump instr Instr.K.server_errors;
+             record_failure j.j_label (error_kind e) (error_message e)));
         lat.(i) <- (Unix.gettimeofday () -. start) *. 1000.;
         loop ()
       end
@@ -155,7 +344,15 @@ let run ?(workers = 1) ?(window_ms = 250.) ~session jobs =
   else
     Array.map (fun s -> Domain.spawn (fun () -> worker s)) sessions
     |> Array.iter Domain.join;
+  (* the run is over, the queue is empty: pressure has cleared by
+     definition, so a still-active brownout restores on the way out *)
+  (match overload.o_brownout with
+  | Some bo when pressure.pr_active ->
+    pressure.pr_active <- false;
+    bo.b_apply false
+  | _ -> ());
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let count a = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 a in
   let by_kind =
     List.map
       (fun k ->
@@ -165,14 +362,29 @@ let run ?(workers = 1) ?(window_ms = 250.) ~session jobs =
             0 jobs ))
       [ Read; Script; Submit ]
   in
+  let mask m =
+    Array.of_seq
+      (Seq.filter_map
+         (fun i -> if m.(i) then Some lat.(i) else None)
+         (Seq.init n Fun.id))
+  in
+  let n_ok = count ok in
   {
     r_workers = workers;
     r_jobs = n;
-    r_ok = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 ok;
+    r_ok = n_ok;
+    r_accepted = count accepted;
+    r_shed = count shed;
+    r_expired = count expired;
     r_errors = List.rev !errors;
+    r_error_kinds =
+      List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds []);
     r_wall_ms = wall_ms;
     r_qps = (if wall_ms > 0. then float_of_int n /. (wall_ms /. 1000.) else 0.);
+    r_goodput =
+      (if wall_ms > 0. then float_of_int n_ok /. (wall_ms /. 1000.) else 0.);
     r_latency = latency_of lat;
+    r_accepted_latency = latency_of (mask accepted);
     r_by_kind = by_kind;
     r_trajectory = (if open_loop then trajectory ~window_ms jobs lat else []);
   }

@@ -75,7 +75,8 @@ let submit_job env k _sess =
 
 (* --- mix -------------------------------------------------------------- *)
 
-let jobs ?(mix = default_mix) ?rate ?io_ms ?(customers = 3) ~seed ~count env =
+let jobs ?(mix = default_mix) ?rate ?io_ms ?deadline_ms ?(customers = 3) ~seed
+    ~count env =
   let with_io f sess =
     (* the in-memory substrate answers in microseconds; real ALDSP
        sources are a network hop away. The optional sleep puts that
@@ -124,6 +125,7 @@ let jobs ?(mix = default_mix) ?rate ?io_ms ?(customers = 3) ~seed ~count env =
           Pool.j_kind = Pool.Read;
           j_label = Printf.sprintf "read#%d:%s" i label;
           j_arrival_ms;
+          j_deadline_ms = deadline_ms;
           j_run = with_io (eval_job text);
         }
       | Pool.Script ->
@@ -132,6 +134,7 @@ let jobs ?(mix = default_mix) ?rate ?io_ms ?(customers = 3) ~seed ~count env =
           Pool.j_kind = Pool.Script;
           j_label = Printf.sprintf "script#%d:%s" i label;
           j_arrival_ms;
+          j_deadline_ms = deadline_ms;
           j_run = with_io (eval_job text);
         }
       | Pool.Submit ->
@@ -139,5 +142,6 @@ let jobs ?(mix = default_mix) ?rate ?io_ms ?(customers = 3) ~seed ~count env =
           Pool.j_kind = Pool.Submit;
           j_label = Printf.sprintf "submit#%d" i;
           j_arrival_ms;
+          j_deadline_ms = deadline_ms;
           j_run = with_io (submit_job env i);
         })

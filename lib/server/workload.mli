@@ -20,6 +20,7 @@ val jobs :
   ?mix:mix ->
   ?rate:float ->
   ?io_ms:float ->
+  ?deadline_ms:float ->
   ?customers:int ->
   seed:int ->
   count:int ->
@@ -32,6 +33,9 @@ val jobs :
     (closed loop). [io_ms] sleeps that long inside every job — the
     simulated wire round-trip of remote sources, which the in-memory
     substrate otherwise lacks; with it the workload is latency-bound
-    and the pool has real I/O to overlap across workers. Read and script jobs evaluate on the worker's
-    session fork; submit jobs drive [env]'s dataspace directly (the
-    pool runs them under the exclusive write lock). *)
+    and the pool has real I/O to overlap across workers.
+    [deadline_ms] stamps every job with that end-to-end budget
+    (omitted, jobs inherit the pool default, if any). Read and script
+    jobs evaluate on the worker's session fork; submit jobs drive
+    [env]'s dataspace directly (the pool runs them under the exclusive
+    write lock). *)

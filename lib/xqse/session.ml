@@ -151,17 +151,20 @@ let config s =
     result_cache = s.result_cache;
   }
 
-(* Deprecated mutator shims — prefer an immutable {!config} at creation
-   (or {!with_config} for a differently-configured fork): a session
-   whose flags never move underneath it can be handed to a worker
-   without aliasing surprises. *)
-let set_streaming s b =
-  Xquery.Engine.set_streaming s.eng b;
-  Interp.set_streaming s.rt b
+(* The PR 7 mutator shims are gone: a session whose flags never move
+   underneath it can be handed to a worker without aliasing surprises,
+   and every caller migrated to the immutable config long ago. The
+   stubs stay one release so an out-of-tree caller gets a pointed
+   message instead of an unbound-value error. *)
+let removed name =
+  invalid_arg
+    (Printf.sprintf
+       "Xqse.Session.%s was removed: set the flag in the config record at \
+        create, or fork a reconfigured session with with_config"
+       name)
 
-let set_plans s b =
-  Xquery.Engine.set_plans s.eng b;
-  Interp.set_plans s.rt b
+let set_streaming _ _ = (removed "set_streaming" : unit)
+let set_plans _ _ = (removed "set_plans" : unit)
 
 (* Fork: an independent session over copies of everything the source
    accreted (registrations, procedures, loaded libraries, modules,
@@ -535,8 +538,24 @@ type exec_opts = {
 
 let default_exec_opts = { vars = []; trace = None }
 
+(* An expired ambient request deadline fails the program before any
+   statement runs, with the same stable code the resilience guard uses
+   at the source boundary — so a request whose budget died between
+   admission and execution costs nothing and is XQSE-catchable. *)
+let check_deadline () =
+  match Resilience.Deadline.current () with
+  | Some d when Resilience.Deadline.expired d ->
+    Item.raise_error (Qname.err "RESX0005")
+      (Printf.sprintf
+         "request budget of %.0fms exhausted before execution (%.0fms \
+          elapsed)"
+         (Resilience.Deadline.budget_ms d)
+         (Resilience.Deadline.elapsed_ms d))
+  | None | Some _ -> ()
+
 let run ?(opts = default_exec_opts) c =
   let s = c.c_session in
+  check_deadline ();
   Instr.span (instr s) "run" (fun () ->
   let vars = opts.vars in
   let trace = match opts.trace with Some f -> f | None -> s.trace in

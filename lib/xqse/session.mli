@@ -86,24 +86,16 @@ val instr : t -> Instr.t
 val streaming : t -> bool
 
 val set_streaming : t -> bool -> unit
-(** Toggle the streaming (pull-based cursor) evaluator for both XQuery
-    expressions and XQSE [iterate] loops in subsequently run programs.
-    Default on; results are identical either way — turning it off forces
-    eager materialization everywhere (the differential corpus exercises
-    both modes).
-
-    Deprecated shim: prefer fixing [streaming] in the {!config} record at
-    creation, or {!with_config} for a differently-configured fork —
-    mutating a session another domain is executing against is a race. *)
+(** Removed (the PR 7 deprecated shim): mutating a session another
+    domain is executing against is a race. Set [streaming] in the
+    {!config} record at creation, or use {!with_config} for a
+    differently-configured fork.
+    @raise Invalid_argument always, naming the replacement. *)
 
 val set_plans : t -> bool -> unit
-(** Toggle closure-compiled execution + plan caching (see
-    {!Xquery.Engine.set_plans}) on the session's engine and runtime
-    together.
-
-    Deprecated shim: prefer fixing [plans] in the {!config} record at
-    creation, or {!with_config} — same aliasing caveat as
-    {!set_streaming}. *)
+(** Removed, like {!set_streaming}: set [plans] in the {!config} record
+    at creation, or use {!with_config}.
+    @raise Invalid_argument always, naming the replacement. *)
 
 val set_result_cache : t -> Cache.handle option -> unit
 (** Install (or remove) the session's result cache. A mutator by
@@ -202,7 +194,13 @@ val default_exec_opts : exec_opts
 val run : ?opts:exec_opts -> compiled -> Item.seq
 (** Execute a compiled program: evaluate its global variables, then its
     query body (expression or block). Programs without a body return the
-    empty sequence. *)
+    empty sequence.
+
+    When the calling domain carries an already-expired
+    {!Resilience.Deadline}, execution fails fast with [err:RESX0005]
+    before any statement runs — the server pool installs that deadline
+    around each request, and {!Resilience.Control.guard} enforces the
+    remaining budget at every source call below. *)
 
 val eval : ?opts:exec_opts -> t -> string -> Item.seq
 (** {!compile_cached} + {!run}: repeated program texts skip compilation

@@ -184,6 +184,10 @@ wall-clock, masked here):
   server.jobs                          0
   server.errors                        0
   server.submits                       0
+  overload.shed                        0
+  overload.expired                     0
+  overload.brownout.entered            0
+  overload.brownout.exited             0
   cache.hit                            0
   cache.miss                           0
   cache.evict                          0
@@ -193,6 +197,7 @@ wall-clock, masked here):
   time.optimizer.inline.ms _
   time.optimizer.join.ms _
   time.optimizer.push.ms _
+  time.deadline.budget.ms _
   time.compile.ms _
   time.run.ms _
   time.query.ms _
@@ -242,6 +247,10 @@ prints the cumulative table (span times masked):
   server.jobs                          0
   server.errors                        0
   server.submits                       0
+  overload.shed                        0
+  overload.expired                     0
+  overload.brownout.entered            0
+  overload.brownout.exited             0
   cache.hit                            0
   cache.miss                           0
   cache.evict                          0
@@ -251,6 +260,7 @@ prints the cumulative table (span times masked):
   time.optimizer.inline.ms _
   time.optimizer.join.ms _
   time.optimizer.push.ms _
+  time.deadline.budget.ms _
   time.compile.ms _
   time.run.ms _
   time.query.ms _

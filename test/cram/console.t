@@ -22,41 +22,45 @@ is accounted):
 
   $ aldsp-console -q 'count(profile:getProfile())' -q stats
   6
-  queries.compiled                  1
-  plan.cache.hit                    0
-  plan.cache.miss                   1
-  plan.cache.invalidate             0
-  optimizer.folded                  0
-  optimizer.inlined                 0
-  optimizer.inlined.pure            0
-  optimizer.joins                   0
-  optimizer.pushed                  0
-  optimizer.pushed.shifted          0
-  sql.generated                     0
-  sql.executed                      0
-  rows.scanned                     62
-  rows.fetched                     62
-  ws.calls                          6
-  ws.faults                         0
-  xqse.statements                   0
-  sdo.submits                       0
-  sdo.statements                    0
-  resil.retries                     0
-  resil.timeouts                    0
-  resil.breaker.trips               0
-  resil.breaker.rejected            0
-  resil.degraded                    0
-  resil.faults.injected             0
-  stream.pulled                    62
-  stream.materialized              62
-  stream.early_exits                0
-  server.jobs                       0
-  server.errors                     0
-  server.submits                    0
-  cache.hit                         0
-  cache.miss                        0
-  cache.evict                       0
-  cache.bypass                      0
+  queries.compiled                   1
+  plan.cache.hit                     0
+  plan.cache.miss                    1
+  plan.cache.invalidate              0
+  optimizer.folded                   0
+  optimizer.inlined                  0
+  optimizer.inlined.pure             0
+  optimizer.joins                    0
+  optimizer.pushed                   0
+  optimizer.pushed.shifted           0
+  sql.generated                      0
+  sql.executed                       0
+  rows.scanned                      62
+  rows.fetched                      62
+  ws.calls                           6
+  ws.faults                          0
+  xqse.statements                    0
+  sdo.submits                        0
+  sdo.statements                     0
+  resil.retries                      0
+  resil.timeouts                     0
+  resil.breaker.trips                0
+  resil.breaker.rejected             0
+  resil.degraded                     0
+  resil.faults.injected              0
+  stream.pulled                     62
+  stream.materialized               62
+  stream.early_exits                 0
+  server.jobs                        0
+  server.errors                      0
+  server.submits                     0
+  overload.shed                      0
+  overload.expired                   0
+  overload.brownout.entered          0
+  overload.brownout.exited           0
+  cache.hit                          0
+  cache.miss                         0
+  cache.evict                        0
+  cache.bypass                       0
 
 The lineage view explains update decomposition:
 
@@ -85,9 +89,27 @@ the same faults:
   chaos: seed 7, profile heavy
   6
   RESX0003 RESX0003 RESX0003
-  resil.retries                     6
-  resil.timeouts                    0
-  resil.breaker.trips               0
-  resil.breaker.rejected            0
-  resil.degraded                    3
-  resil.faults.injected             9
+  resil.retries                      6
+  resil.timeouts                     0
+  resil.breaker.trips                0
+  resil.breaker.rejected             0
+  resil.degraded                     3
+  resil.faults.injected              9
+
+The breakers command surfaces per-source circuit state (only the
+credit-rating service carries a breaker in the demo policy set):
+
+  $ aldsp-console --chaos-seed 1 -q breakers
+  chaos: seed 1, profile light
+  CreditRatingService  closed
+  db1                  no breaker
+  db2                  no breaker
+  hr                   no breaker
+
+Without a fault plan no policies are installed, so no breakers either:
+
+  $ aldsp-console -q breakers
+  CreditRatingService  no breaker
+  db1                  no breaker
+  db2                  no breaker
+  hr                   no breaker

@@ -322,6 +322,138 @@ let guard_tests =
           (Res.Control.breaker_state ctl ~source:"src" = Some Res.Breaker.Open));
   ]
 
+(* End-to-end request deadlines: the ambient budget installed by the
+   server pool, enforced at every guarded source call. Virtual-clock
+   driven, so every expiry here is deterministic. *)
+let deadline_tests =
+  let setup ?policy () =
+    let instr = fresh_instr () in
+    let ctl = Res.Control.create ~instr () in
+    let f = Res.Faults.create ~source:"src" () in
+    Res.Control.attach ctl f;
+    (match policy with
+    | Some p -> Res.Control.set_policy ctl ~source:"src" p
+    | None -> ());
+    (ctl, f, instr)
+  in
+  [
+    case "budget drains on the virtual clock" (fun () ->
+        let clock = Res.Clock.create () in
+        let d = Res.Deadline.start ~clock ~budget_ms:100. () in
+        check_bool "fresh" false (Res.Deadline.expired d);
+        Res.Clock.advance clock 60.;
+        check_bool "remaining in (30,45)" true
+          (let r = Res.Deadline.remaining_ms d in
+           r > 30. && r <= 40.);
+        Res.Clock.advance clock 50.;
+        check_bool "expired" true (Res.Deadline.expired d);
+        check_bool "remaining clamps at zero" true
+          (Res.Deadline.remaining_ms d = 0.));
+    case "with_deadline installs, restores and nests" (fun () ->
+        check_bool "ambient starts empty" true (Res.Deadline.current () = None);
+        let d = Res.Deadline.start ~budget_ms:1000. () in
+        Res.Deadline.with_deadline d (fun () ->
+            check_bool "installed" true (Res.Deadline.current () = Some d);
+            let inner = Res.Deadline.start ~budget_ms:5. () in
+            Res.Deadline.with_deadline inner (fun () ->
+                check_bool "inner shadows" true
+                  (Res.Deadline.current () = Some inner));
+            check_bool "outer restored" true
+              (Res.Deadline.current () = Some d);
+            Res.Deadline.exempt (fun () ->
+                check_bool "exempt clears" true
+                  (Res.Deadline.current () = None));
+            check_bool "restored after exempt" true
+              (Res.Deadline.current () = Some d));
+        check_bool "ambient empty again" true (Res.Deadline.current () = None));
+    case "guard fails fast on an exhausted budget" (fun () ->
+        let ctl, _, instr = setup () in
+        let clock = Res.Control.clock ctl in
+        let d = Res.Deadline.start ~clock ~budget_ms:20. () in
+        Res.Clock.advance clock 30.;
+        let ran = ref false in
+        (match
+           Res.Deadline.with_deadline d (fun () ->
+               Res.Control.guard ctl ~source:"src" (fun () -> ran := true))
+         with
+        | _ -> Alcotest.fail "expected deadline failure"
+        | exception Res.Control.Error { code; source; _ } ->
+          check_string "code" "RESX0005" (Res.Control.code_name code);
+          check_string "source" "src" source);
+        check_bool "work never started" false !ran;
+        check_int "counted" 1 (counter instr Instr.K.overload_expired));
+    case "remaining budget caps a slow call below the policy timeout"
+      (fun () ->
+        (* policy timeout 500 ms, but only 50 ms of budget remains: the
+           call's virtual 80 ms must fail the request even though the
+           per-call policy alone would have allowed it *)
+        let ctl, _, _ =
+          setup ~policy:(Res.Policy.make ~timeout_ms:500. ()) ()
+        in
+        let clock = Res.Control.clock ctl in
+        let d = Res.Deadline.start ~clock ~budget_ms:50. () in
+        match
+          Res.Deadline.with_deadline d (fun () ->
+              Res.Control.guard ctl ~source:"src" (fun () ->
+                  Res.Clock.advance clock 80.;
+                  "slow"))
+        with
+        | _ -> Alcotest.fail "expected deadline failure"
+        | exception Res.Control.Error { code; _ } ->
+          check_string "code" "RESX0005" (Res.Control.code_name code));
+    case "deadline cuts a retry loop short" (fun () ->
+        (* every attempt faults; with 3 retries allowed the policy alone
+           would exhaust as RESX0003, but the budget dies during backoff
+           first *)
+        let ctl, f, instr =
+          setup
+            ~policy:(Res.Policy.make ~max_retries:3 ~backoff_ms:40. ())
+            ()
+        in
+        Res.Faults.set_fail_every f (Some 1);
+        let d =
+          Res.Deadline.start ~clock:(Res.Control.clock ctl) ~budget_ms:60. ()
+        in
+        let consult () =
+          match (Res.Faults.on_call f Res.Faults.Statement).v_fault with
+          | Some fl -> failwith fl.Res.Faults.f_message
+          | None -> "ok"
+        in
+        (match
+           Res.Deadline.with_deadline d (fun () ->
+               Res.Control.guard ctl ~source:"src" consult)
+         with
+        | _ -> Alcotest.fail "expected deadline failure"
+        | exception Res.Control.Error { code; _ } ->
+          check_string "code" "RESX0005" (Res.Control.code_name code));
+        check_bool "fewer retries than the policy allows" true
+          (counter instr Instr.K.resil_retries < 3));
+    case "exempt shields XA-style work from an expired budget" (fun () ->
+        let ctl, _, _ = setup () in
+        let clock = Res.Control.clock ctl in
+        let d = Res.Deadline.start ~clock ~budget_ms:10. () in
+        Res.Clock.advance clock 50.;
+        let v =
+          Res.Deadline.with_deadline d (fun () ->
+              Res.Deadline.exempt (fun () ->
+                  Res.Control.guard ctl ~source:"src" (fun () -> "committed")))
+        in
+        check_string "ran to completion" "committed" v);
+    case "brownout transitions bump counters once per edge" (fun () ->
+        let instr = fresh_instr () in
+        let ctl = Res.Control.create ~instr () in
+        check_bool "starts clear" false (Res.Control.in_brownout ctl);
+        Res.Control.set_brownout ctl true;
+        Res.Control.set_brownout ctl true;
+        check_bool "in brownout" true (Res.Control.in_brownout ctl);
+        Res.Control.set_brownout ctl false;
+        Res.Control.set_brownout ctl false;
+        check_int "entered once" 1
+          (counter instr Instr.K.overload_brownout_entered);
+        check_int "exited once" 1
+          (counter instr Instr.K.overload_brownout_exited));
+  ]
+
 let dataspace_tests =
   [
     case "transient db fault on a read is retried to success" (fun () ->
@@ -638,6 +770,7 @@ let suites =
     ("resilience faults", fault_tests);
     ("resilience breaker", breaker_tests);
     ("resilience guard", guard_tests);
+    ("resilience deadline", deadline_tests);
     ("resilience dataspace", dataspace_tests);
     ("resilience uc4", uc4_tests);
     ("resilience xa", xa_tests);

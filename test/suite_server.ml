@@ -76,6 +76,7 @@ let pool_tests =
             Pool.j_kind = Pool.Read;
             j_label = Printf.sprintf "j%d" i;
             j_arrival_ms = 0.;
+            j_deadline_ms = None;
             j_run = (fun _ -> order := i :: !order);
           }
         in
@@ -96,6 +97,7 @@ let pool_tests =
             Pool.j_kind = Pool.Script;
             j_label = "boom";
             j_arrival_ms = 0.;
+            j_deadline_ms = None;
             j_run = (fun _ -> failwith "boom");
           }
         and fine =
@@ -103,6 +105,7 @@ let pool_tests =
             Pool.j_kind = Pool.Read;
             j_label = "fine";
             j_arrival_ms = 0.;
+            j_deadline_ms = None;
             j_run =
               (fun s -> ignore (Xqse.Session.eval s "count(profile:getProfile())"));
           }
@@ -124,6 +127,7 @@ let pool_tests =
             Pool.j_kind = Pool.Read;
             j_label = Printf.sprintf "j%d" i;
             j_arrival_ms = arrival;
+            j_deadline_ms = None;
             j_run = ignore;
           }
         in
@@ -197,6 +201,7 @@ let isolation_tests =
               Pool.j_kind = Pool.Submit;
               j_label = Printf.sprintf "submit#%d" i;
               j_arrival_ms = 0.;
+              j_deadline_ms = None;
               j_run =
                 (fun _ ->
                   if not (submit_pair env i) then failwith "submit aborted");
@@ -206,6 +211,7 @@ let isolation_tests =
               Pool.j_kind = Pool.Read;
               j_label = Printf.sprintf "read#%d" i;
               j_arrival_ms = 0.;
+              j_deadline_ms = None;
               j_run =
                 (fun s ->
                   results.(i) <-
@@ -259,6 +265,7 @@ let isolation_tests =
               Pool.j_kind = Pool.Submit;
               j_label = Printf.sprintf "submit#%d" i;
               j_arrival_ms = 0.;
+              j_deadline_ms = None;
               j_run =
                 (fun _ ->
                   (* aborts are expected under chaos; partial commits
@@ -278,6 +285,7 @@ let isolation_tests =
               Pool.j_kind = Pool.Read;
               j_label = Printf.sprintf "read#%d" i;
               j_arrival_ms = 0.;
+              j_deadline_ms = None;
               j_run =
                 (fun s ->
                   match Xqse.Session.eval_to_string s pair_query with
@@ -325,6 +333,7 @@ let cache_tests =
               Pool.j_kind = Pool.Submit;
               j_label = Printf.sprintf "submit#%d" i;
               j_arrival_ms = 0.;
+              j_deadline_ms = None;
               j_run =
                 (fun _ ->
                   if not (submit_pair env i) then failwith "submit aborted");
@@ -334,6 +343,7 @@ let cache_tests =
               Pool.j_kind = Pool.Read;
               j_label = Printf.sprintf "read#%d" i;
               j_arrival_ms = 0.;
+              j_deadline_ms = None;
               j_run =
                 (fun s ->
                   results.(i) <-
@@ -399,6 +409,7 @@ let cache_tests =
               Pool.j_kind = Pool.Submit;
               j_label = Printf.sprintf "submit#%d" i;
               j_arrival_ms = 0.;
+              j_deadline_ms = None;
               j_run =
                 (fun _ ->
                   (try ignore (submit_pair env i) with _ -> ());
@@ -415,6 +426,7 @@ let cache_tests =
               Pool.j_kind = Pool.Read;
               j_label = Printf.sprintf "read#%d" i;
               j_arrival_ms = 0.;
+              j_deadline_ms = None;
               j_run =
                 (fun s ->
                   match Xqse.Session.eval_to_string s pair_query with
@@ -443,8 +455,308 @@ let cache_tests =
         | exception _ -> ()));
   ]
 
+(* The trajectory slicer's edges, driven directly through the exposed
+   Pool.trajectory (run calls it with measured latencies). *)
+let trajectory_tests =
+  let noop_at arrival =
+    {
+      Pool.j_kind = Pool.Read;
+      j_label = "t";
+      j_arrival_ms = arrival;
+      j_deadline_ms = None;
+      j_run = ignore;
+    }
+  in
+  let windows arrivals =
+    let jobs = Array.of_list (List.map noop_at arrivals) in
+    let lat = Array.map (fun j -> j.Pool.j_arrival_ms +. 1.) jobs in
+    Pool.trajectory ~window_ms:25. jobs lat
+  in
+  [
+    case "an arrival exactly on a boundary opens the next window" (fun () ->
+        let ws = windows [ 0.; 24.9; 25.; 50. ] in
+        check_int "three windows" 3 (List.length ws);
+        check_bool "froms" true
+          (List.map (fun w -> w.Pool.w_from_ms) ws = [ 0.; 25.; 50. ]);
+        check_bool "counts" true
+          (List.map (fun w -> w.Pool.w_jobs) ws = [ 2; 1; 1 ]));
+    case "interior and trailing empty windows are dropped" (fun () ->
+        let ws = windows [ 0.; 100. ] in
+        check_int "only populated windows" 2 (List.length ws);
+        check_bool "froms skip the gap" true
+          (List.map (fun w -> w.Pool.w_from_ms) ws = [ 0.; 100. ]));
+    case "a single-job run is one window, bucket-floored" (fun () ->
+        match windows [ 10. ] with
+        | [ w ] ->
+          check_bool "floored to the window start" true (w.Pool.w_from_ms = 0.);
+          check_int "one job" 1 w.Pool.w_jobs;
+          check_bool "its latency is the whole distribution" true
+            (w.Pool.w_latency.Pool.l_p50 = 11.
+            && w.Pool.w_latency.Pool.l_max = 11.)
+        | ws -> Alcotest.failf "expected one window, got %d" (List.length ws));
+  ]
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let counter instr name =
+  match List.assoc_opt name (Instr.stats instr).Instr.counters with
+  | Some v -> v
+  | None -> 0
+
+let overload_tests =
+  [
+    case "3x-capacity storm with deadlines and shedding stays bounded"
+      (fun () ->
+        (* measure the single-worker closed-loop ceiling, then offer
+           three times that. Shedding must keep the accepted p99 within
+           the deadline, refuse with stable codes only, hold goodput
+           near the ceiling, and leave the cross-database pair matched *)
+        let capacity =
+          let env = FC.make ~customers:3 () in
+          let sess = Aldsp.Dataspace.session env.FC.ds in
+          let warmup = Workload.jobs ~io_ms:2. ~customers:3 ~seed:21 ~count:60 env in
+          (Pool.run ~workers:1 ~session:sess warmup).Pool.r_qps
+        in
+        let env = FC.make ~customers:3 () in
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        let baseline = (text (lastname env), text (brand env)) in
+        let jobs =
+          Workload.jobs ~io_ms:2. ~rate:(3. *. capacity) ~customers:3 ~seed:22
+            ~count:150 env
+        in
+        let overload =
+          {
+            Pool.no_overload with
+            o_deadline_ms = Some 250.;
+            o_shed =
+              Some { Pool.sp_queue_bound = None; sp_delay_target_ms = Some 50. };
+          }
+        in
+        let rp = Pool.run ~workers:1 ~overload ~session:sess jobs in
+        check_int "admission accounts for every job" rp.Pool.r_jobs
+          (rp.Pool.r_accepted + rp.Pool.r_shed + rp.Pool.r_expired);
+        check_bool "the storm actually shed" true (rp.Pool.r_shed > 0);
+        check_bool "accepted p99 within the deadline" true
+          (rp.Pool.r_accepted_latency.Pool.l_p99 <= 250.);
+        check_bool "refusals carry stable codes only" true
+          (rp.Pool.r_error_kinds <> []
+          && List.for_all
+               (fun (k, _) -> k = "RESX0005" || k = "RESX0006")
+               rp.Pool.r_error_kinds);
+        (* nominal runs land within a few percent of the ceiling; the
+           pinned bound leaves margin for loaded CI machines *)
+        if rp.Pool.r_goodput < 0.8 *. capacity then
+          Alcotest.failf
+            "goodput %.0f below 80%% of the %.0f qps ceiling (accepted %d \
+             shed %d expired %d ok %d wall %.0fms)"
+            rp.Pool.r_goodput capacity rp.Pool.r_accepted rp.Pool.r_shed
+            rp.Pool.r_expired rp.Pool.r_ok rp.Pool.r_wall_ms;
+        check_int "every accepted job succeeded" rp.Pool.r_accepted
+          rp.Pool.r_ok;
+        check_bool "zero partial commits" true
+          (pair_consistent ~baseline (text (lastname env), text (brand env))));
+    case "without shedding a dead budget expires in the queue as RESX0005"
+      (fun () ->
+        let env = FC.make ~customers:2 () in
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        let jobs =
+          Workload.jobs ~io_ms:2. ~rate:2000. ~deadline_ms:40. ~customers:2
+            ~seed:23 ~count:80 env
+        in
+        let rp = Pool.run ~workers:1 ~session:sess jobs in
+        check_bool "some budgets died waiting" true (rp.Pool.r_expired > 0);
+        check_bool "reported as RESX0005" true
+          (List.mem_assoc "RESX0005" rp.Pool.r_error_kinds);
+        check_int "nothing shed without a policy" 0 rp.Pool.r_shed;
+        check_int "expired + accepted = jobs" rp.Pool.r_jobs
+          (rp.Pool.r_accepted + rp.Pool.r_expired));
+    case "brownout enters under pressure and always exits" (fun () ->
+        let instr = Instr.create () in
+        Instr.preregister instr;
+        Instr.enable instr;
+        let ctl = Resilience.Control.create ~instr () in
+        Resilience.Control.set_degradable ctl ~source:"CreditRatingService";
+        let env = FC.make ~customers:2 ~instr ~resilience:ctl () in
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        let jobs =
+          Workload.jobs ~io_ms:2. ~rate:1500. ~customers:2 ~seed:24 ~count:80
+            env
+        in
+        let overload =
+          {
+            Pool.no_overload with
+            o_brownout =
+              Some
+                {
+                  Pool.b_enter_ms = 10.;
+                  b_exit_ms = 2.;
+                  b_apply = Resilience.Control.set_brownout ctl;
+                };
+            o_clock = Some (Resilience.Control.clock ctl);
+          }
+        in
+        let rp = Pool.run ~workers:1 ~overload ~session:sess jobs in
+        check_int "all drained" 80 rp.Pool.r_jobs;
+        check_bool "entered at least once" true
+          (counter instr Instr.K.overload_brownout_entered >= 1);
+        check_int "every entry was exited"
+          (counter instr Instr.K.overload_brownout_entered)
+          (counter instr Instr.K.overload_brownout_exited);
+        check_bool "control cleared after the run" false
+          (Resilience.Control.in_brownout ctl);
+        check_bool "reads actually degraded while browned out" true
+          (counter instr Instr.K.resil_degraded > 0));
+    case "brownout prefers warm cache hits and never caches degraded reads"
+      (fun () ->
+        let make_env () =
+          let instr = Instr.create () in
+          Instr.preregister instr;
+          Instr.enable instr;
+          let ctl = Resilience.Control.create ~instr () in
+          Resilience.Control.set_degradable ctl ~source:"CreditRatingService";
+          let env = FC.make ~customers:3 ~instr ~resilience:ctl () in
+          ignore (Aldsp.Dataspace.enable_result_cache env.FC.ds);
+          (env, ctl, instr)
+        in
+        let q = {|profile:getProfileById("007")|} in
+        (* phase 1: an entry admitted before the brownout keeps serving
+           — the warm hit short-circuits before the degradable source,
+           so the client still gets the full (rated) profile *)
+        let env, ctl, instr = make_env () in
+        let eval () =
+          Xqse.Session.eval_to_string (Aldsp.Dataspace.session env.FC.ds) q
+        in
+        let full = eval () in
+        check_bool "baseline carries the rating" true
+          (contains full "CreditRating");
+        Resilience.Control.set_brownout ctl true;
+        let hits0 = counter instr Instr.K.cache_hit in
+        check_string "warm entry short-circuits the degraded source" full
+          (eval ());
+        check_bool "served from cache" true
+          (counter instr Instr.K.cache_hit > hits0);
+        (* phase 2: a genuinely cold read under brownout degrades — and
+           the degraded result must never be admitted to the cache *)
+        let env, ctl, instr = make_env () in
+        let eval () =
+          Xqse.Session.eval_to_string (Aldsp.Dataspace.session env.FC.ds) q
+        in
+        Resilience.Control.set_brownout ctl true;
+        let cold = eval () in
+        if contains cold "CreditRating" then
+          Alcotest.failf "cold read not degraded under brownout: %s"
+            (String.sub cold 0 (min 300 (String.length cold)));
+        ignore (instr : Instr.t);
+        check_bool "degraded replay still degraded" false
+          (contains (eval ()) "CreditRating");
+        Resilience.Control.set_brownout ctl false;
+        (* the decisive check: were any degraded result admitted, this
+           post-brownout eval would serve it and still lack the rating *)
+        check_bool "full result restored after brownout" true
+          (contains (eval ()) "CreditRating"));
+    case "chaos storm with overload protection leaves zero partial commits"
+      (fun () ->
+        (* the isolation-suite chaos invariant with every overload
+           defense armed at once: whatever is shed, expired or aborted,
+           the (db1, db2) pair stays matched — a submit that entered XA
+           prepare runs to completion exempt from its budget *)
+        let instr = Instr.create () in
+        Instr.preregister instr;
+        Instr.enable instr;
+        let ctl =
+          Resilience.Control.create
+            ~plan:(Resilience.Plan.make ~seed:7 ~profile:Resilience.Plan.Heavy ())
+            ~instr ()
+        in
+        List.iter
+          (fun source ->
+            Resilience.Control.set_policy ctl ~source
+              (Resilience.Policy.make ~max_retries:2 ~backoff_ms:5.
+                 ~jitter_ms:2. ()))
+          [ "db1"; "db2" ];
+        Resilience.Control.set_policy ctl ~source:"CreditRatingService"
+          (Resilience.Policy.make ~max_retries:2 ~backoff_ms:5. ~jitter_ms:2.
+             ~breaker:
+               { Resilience.Breaker.failure_threshold = 4; cooldown_ms = 400. }
+             ());
+        Resilience.Control.set_degradable ctl ~source:"CreditRatingService";
+        let env = FC.make ~customers:2 ~seed:7 ~instr ~resilience:ctl () in
+        let sess = Aldsp.Dataspace.session env.FC.ds in
+        let baseline = (text (lastname env), text (brand env)) in
+        let violations = ref [] in
+        let vmutex = Mutex.create () in
+        let job i =
+          let arrival = float_of_int i *. 1. in
+          if i mod 3 = 2 then
+            {
+              Pool.j_kind = Pool.Submit;
+              j_label = Printf.sprintf "submit#%d" i;
+              j_arrival_ms = arrival;
+              j_deadline_ms = None;
+              j_run =
+                (fun _ ->
+                  (try ignore (submit_pair env i) with _ -> ());
+                  let pair = (text (lastname env), text (brand env)) in
+                  if not (pair_consistent ~baseline pair) then
+                    Mutex.protect vmutex (fun () ->
+                        violations :=
+                          Printf.sprintf "after submit#%d: %s | %s" i
+                            (fst pair) (snd pair)
+                          :: !violations));
+            }
+          else
+            {
+              Pool.j_kind = Pool.Read;
+              j_label = Printf.sprintf "read#%d" i;
+              j_arrival_ms = arrival;
+              j_deadline_ms = None;
+              j_run =
+                (fun s ->
+                  match Xqse.Session.eval_to_string s pair_query with
+                  | result ->
+                    let pair = split_pair result in
+                    if not (pair_consistent ~baseline pair) then
+                      Mutex.protect vmutex (fun () ->
+                          violations :=
+                            Printf.sprintf "read#%d tore: %s" i result
+                            :: !violations)
+                  | exception _ -> () (* chaos and expiry: reads may fail *));
+            }
+        in
+        let overload =
+          {
+            Pool.o_deadline_ms = Some 200.;
+            o_shed =
+              Some
+                { Pool.sp_queue_bound = Some 8; sp_delay_target_ms = Some 50. };
+            o_brownout =
+              Some
+                {
+                  Pool.b_enter_ms = 15.;
+                  b_exit_ms = 3.;
+                  b_apply = Resilience.Control.set_brownout ctl;
+                };
+            o_clock = Some (Resilience.Control.clock ctl);
+          }
+        in
+        let rp = Pool.run ~workers:3 ~overload ~session:sess (List.init 45 job) in
+        check_int "every job accounted for" 45
+          (rp.Pool.r_accepted + rp.Pool.r_shed + rp.Pool.r_expired);
+        check_string "zero partial commits" ""
+          (String.concat "; " !violations);
+        check_bool "final pair matched" true
+          (pair_consistent ~baseline (text (lastname env), text (brand env)));
+        check_bool "brownout cleared" false (Resilience.Control.in_brownout ctl));
+  ]
+
 let suites =
   [
-    ("server.pool", pool_tests); ("server.isolation", isolation_tests);
-    ("server.cache", cache_tests);
+    ("server.pool", pool_tests); ("server.trajectory", trajectory_tests);
+    ("server.overload", overload_tests);
+    ("server.isolation", isolation_tests); ("server.cache", cache_tests);
   ]

@@ -231,7 +231,7 @@ let plan_cache_tests =
     case "streaming and optimizer toggles are fingerprint misses" (fun () ->
         let s, instr = make () in
         ignore (Xqse.Session.eval_to_string s "sum(1 to 9)");
-        Xqse.Session.set_streaming s false;
+        Xquery.Engine.set_streaming (Xqse.Session.engine s) false;
         let v, d = delta instr (fun () -> Xqse.Session.eval_to_string s "sum(1 to 9)") in
         check_string "same value materializing" "45" v;
         check_int "streaming toggle misses" 1 (counter d Instr.K.plan_cache_miss);
@@ -301,13 +301,29 @@ let config_tests =
         check_bool "plans on" true got.Xqse.Session.plans;
         check_bool "optimize on" true got.Xqse.Session.optimize;
         check_bool "session agrees" false (Xqse.Session.streaming s));
-    case "deprecated shims keep working and show up in config" (fun () ->
+    case "removed mutator shims raise, naming the replacement" (fun () ->
+        (* the PR 7 deprecated shims are gone: mutating a session another
+           domain is executing against is a race, and nothing in-tree
+           called them. The error message is pinned so callers migrating
+           old code are told exactly what to use instead. *)
         let s = Xqse.Session.create () in
-        Xqse.Session.set_streaming s false;
-        Xqse.Session.set_plans s false;
+        let expect name f =
+          match f () with
+          | () -> Alcotest.failf "%s did not raise" name
+          | exception Invalid_argument msg ->
+            check_string name
+              (Printf.sprintf
+                 "Xqse.Session.%s was removed: set the flag in the config \
+                  record at create, or fork a reconfigured session with \
+                  with_config" name)
+              msg
+        in
+        expect "set_streaming" (fun () -> Xqse.Session.set_streaming s false);
+        expect "set_plans" (fun () -> Xqse.Session.set_plans s false);
+        (* the session is untouched by the failed calls *)
         let got = Xqse.Session.config s in
-        check_bool "set_streaming lands" false got.Xqse.Session.streaming;
-        check_bool "set_plans lands" false got.Xqse.Session.plans;
+        check_bool "streaming unchanged" true got.Xqse.Session.streaming;
+        check_bool "plans unchanged" true got.Xqse.Session.plans;
         check_string "still evaluates" "6" (Xqse.Session.eval_to_string s "2*3"));
     case "with_config forks are independent both ways" (fun () ->
         let a = Xqse.Session.create () in
