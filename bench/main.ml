@@ -627,6 +627,58 @@ let report () =
     rp.r_trajectory;
   record "serve.openloop.qps" rp.r_qps;
 
+  (* mixed read/write: the MVCC acceptance gate. A background writer
+     stream with 40 ms of write-side wire time runs alongside cheap
+     reads; under the retired pool-wide lock every reader queued behind
+     the submit in flight, dragging read p99 up to submit latency.
+     With versioned tables readers run against pinned snapshots and the
+     submit's per-table locks never touch them: reader p99 with the
+     writer streaming must stay within 2x of the read-only baseline. *)
+  Printf.printf "\nmixed: 4 workers, reads at 1 ms RTT, submits at 40 ms RTT\n";
+  let read_p99 rp =
+    match List.assoc_opt "read" rp.r_kind_latency with
+    | Some l -> l.l_p99
+    | None -> rp.r_accepted_latency.l_p99
+  in
+  let baseline_p99 =
+    let env = FC.make ~customers:5 () in
+    let session = Aldsp.Dataspace.session env.FC.ds in
+    let jobs =
+      Server.Workload.jobs
+        ~mix:{ Server.Workload.m_reads = 1; m_scripts = 0; m_submits = 0 }
+        ~io_ms:1. ~customers:5 ~seed:45 ~count:160 env
+    in
+    let rp = Server.Pool.run ~workers:4 ~session jobs in
+    assert (rp.r_ok = rp.r_jobs);
+    rp.r_latency.l_p99
+  in
+  let mixed =
+    let env = FC.make ~customers:5 () in
+    let session = Aldsp.Dataspace.session env.FC.ds in
+    let jobs =
+      Server.Workload.jobs
+        ~mix:{ Server.Workload.m_reads = 8; m_scripts = 0; m_submits = 2 }
+        ~io_ms:1. ~submit_io_ms:40. ~customers:5 ~seed:45 ~count:160 env
+    in
+    let rp = Server.Pool.run ~workers:4 ~session jobs in
+    assert (rp.r_ok = rp.r_jobs);
+    rp
+  in
+  let mixed_read_p99 = read_p99 mixed in
+  let mixed_submit_p99 =
+    match List.assoc_opt "submit" mixed.r_kind_latency with
+    | Some l -> l.l_p99
+    | None -> 0.
+  in
+  Printf.printf "%-28s %9.2f ms\n" "read-only p99" baseline_p99;
+  Printf.printf "%-28s %9.2f ms\n" "read p99 with writer" mixed_read_p99;
+  Printf.printf "%-28s %9.2f ms\n" "submit p99" mixed_submit_p99;
+  Printf.printf "%-28s %9.2fx (gate: <= 2x)\n" "reader inflation"
+    (if baseline_p99 > 0. then mixed_read_p99 /. baseline_p99 else 0.);
+  record "serve.mixed.readonly.read_p99_ms" baseline_p99;
+  record "serve.mixed.withwriter.read_p99_ms" mixed_read_p99;
+  record "serve.mixed.withwriter.submit_p99_ms" mixed_submit_p99;
+
   section "OVERLOAD: open-loop storm at 3x capacity, shedding off vs on";
   (* same latency-bound mix, offered at three times the measured
      single-worker closed-loop capacity, with a 250 ms end-to-end

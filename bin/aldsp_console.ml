@@ -85,6 +85,24 @@ let eval_and_print ds src =
               (Resilience.Breaker.state_to_string st)
           | None -> Printf.printf "%-20s no breaker\n" source)
         sources)
+  else if String.trim src = "tables" then
+    (* per-table MVCC state: published version, live (pinned) version
+       count, and the write lock's holder/waiters *)
+    List.iter
+      (fun db ->
+        List.iter
+          (fun tbl ->
+            let holder, waiters = Relational.Table.lock_info tbl in
+            Printf.printf "%-16s v%-3d live %d  lock %s waiters %d\n"
+              (Relational.Database.name db ^ "." ^ Relational.Table.name tbl)
+              (Relational.Table.current_version tbl)
+              (Relational.Table.live_versions tbl)
+              (match holder with
+              | None -> "free"
+              | Some id -> Printf.sprintf "held(domain %d)" id)
+              waiters)
+          (Relational.Database.tables db))
+      (Aldsp.Dataspace.databases ds)
   else if String.trim src = "cache" then (
     match Aldsp.Dataspace.result_cache ds with
     | None -> print_endline "result cache: off (start with --cache)"

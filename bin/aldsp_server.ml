@@ -89,18 +89,19 @@ let pair_consistent ~baseline (ln, br) =
 (* measure single-worker closed-loop capacity on a throwaway env (same
    mix and io cost, no chaos), so --overload-factor can offer a
    calibrated multiple of it *)
-let measure_capacity ~mix ~io_ms ~customers ~seed ~jobs =
+let measure_capacity ~mix ~io_ms ~submit_io_ms ~customers ~seed ~jobs =
   let instr = Instr.create () in
   let env = build_env ~customers ~instr ~chaos:None () in
   let session = Aldsp.Dataspace.session env.Fixtures.Customer_profile.ds in
   let work =
-    Server.Workload.jobs ~mix ?io_ms ~customers ~seed:(seed + 1)
+    Server.Workload.jobs ~mix ?io_ms ?submit_io_ms ~customers ~seed:(seed + 1)
       ~count:(min 80 (max 40 jobs)) env
   in
   (Server.Pool.run ~workers:1 ~session work).Server.Pool.r_qps
 
-let main workers jobs rate io_ms seed customers mix chaos_seed chaos_profile
-    cache stats smoke deadline_ms queue_bound shed brownout overload_factor =
+let main workers jobs rate io_ms submit_io_ms seed customers mix chaos_seed
+    chaos_profile cache stats smoke deadline_ms queue_bound shed brownout
+    overload_factor read_p99_bound =
   match (parse_mix mix, Option.map parse_brownout brownout) with
   | None, _ ->
     `Error (false, Printf.sprintf "bad --mix %S (want READS:SCRIPTS:SUBMITS)" mix)
@@ -134,7 +135,9 @@ let main workers jobs rate io_ms seed customers mix chaos_seed chaos_profile
     let capacity, rate =
       match overload_factor with
       | Some f when f > 0. ->
-        let cap = measure_capacity ~mix ~io_ms ~customers ~seed ~jobs in
+        let cap =
+          measure_capacity ~mix ~io_ms ~submit_io_ms ~customers ~seed ~jobs
+        in
         (Some cap, Some (f *. cap))
       | _ -> (None, rate)
     in
@@ -169,7 +172,8 @@ let main workers jobs rate io_ms seed customers mix chaos_seed chaos_profile
     in
     let baseline = source_pair env in
     let work =
-      Server.Workload.jobs ~mix ?rate ?io_ms ~customers ~seed ~count:jobs env
+      Server.Workload.jobs ~mix ?rate ?io_ms ?submit_io_ms ~customers ~seed
+        ~count:jobs env
     in
     let rp = Server.Pool.run ~workers ~overload ~session work in
     let open Server.Pool in
@@ -188,6 +192,16 @@ let main workers jobs rate io_ms seed customers mix chaos_seed chaos_profile
     Printf.printf "latency  p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms\n"
       rp.r_latency.l_p50 rp.r_latency.l_p95 rp.r_latency.l_p99
       rp.r_latency.l_max;
+    (* per-kind breakdown — the MVCC headline is read p99 staying flat
+       while a submit stream runs; one kind alone would just repeat the
+       aggregate line *)
+    if List.length rp.r_kind_latency > 1 then
+      List.iter
+        (fun (k, l) ->
+          Printf.printf
+            "%-8s p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms\n" k
+            l.l_p50 l.l_p95 l.l_p99 l.l_max)
+        rp.r_kind_latency;
     if overload_on then begin
       Printf.printf "overload accepted %d  shed %d  expired %d  goodput %.0f qps\n"
         rp.r_accepted rp.r_shed rp.r_expired rp.r_goodput;
@@ -243,6 +257,21 @@ let main workers jobs rate io_ms seed customers mix chaos_seed chaos_profile
       expect "zero throughput" (rp.r_qps > 0.);
       expect "partial commit: cross-database pair torn"
         (pair_consistent ~baseline (source_pair env));
+      (match read_p99_bound with
+      | Some bound ->
+        (* the MVCC contract: a submit stream with heavy write-side I/O
+           (--submit-io-ms) must not drag reader tail latency up to
+           submit latency the way the retired pool-wide lock did *)
+        let read_p99 =
+          match List.assoc_opt "read" rp.r_kind_latency with
+          | Some l -> l.l_p99
+          | None -> 0.
+        in
+        expect
+          (Printf.sprintf "read p99 %.1fms over the %.0fms bound" read_p99
+             bound)
+          (read_p99 <= bound)
+      | None -> ());
       if overload_on then begin
         expect "goodput is zero" (rp.r_goodput > 0.);
         if chaos = None then
@@ -287,6 +316,14 @@ let io_ms =
      wire latency remote sources would add, giving workers I/O to overlap."
   in
   Arg.(value & opt (some float) None & info [ "io-ms" ] ~docv:"MS" ~doc)
+
+let submit_io_ms =
+  let doc =
+    "Simulated round-trip for submit jobs only, overriding --io-ms for them: \
+     a writer stream with heavier wire time than reads — under the per-table \
+     MVCC locks it slows only conflicting submits, never readers."
+  in
+  Arg.(value & opt (some float) None & info [ "submit-io-ms" ] ~docv:"MS" ~doc)
 
 let seed =
   let doc = "Workload seed: the job mix, targets and arrivals replay from it." in
@@ -393,14 +430,26 @@ let overload_factor =
     & opt (some float) None
     & info [ "overload-factor" ] ~docv:"F" ~doc)
 
+let read_p99_bound =
+  let doc =
+    "With --smoke: fail unless read-job p99 stays at or under $(docv) ms. \
+     Paired with --submit-io-ms it pins the MVCC payoff — a background \
+     writer stream must not inflate reader tail latency."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "read-p99-bound" ] ~docv:"MS" ~doc)
+
 let cmd =
   let doc = "concurrent load against the demo ALDSP dataspace" in
   Cmd.v
     (Cmd.info "aldsp-server" ~version:"1.0.0" ~doc)
     Term.(
       ret
-        (const main $ workers $ jobs $ rate $ io_ms $ seed $ customers $ mix
-       $ chaos_seed $ chaos_profile $ cache $ stats $ smoke $ deadline_ms
-       $ queue_bound $ shed $ brownout $ overload_factor))
+        (const main $ workers $ jobs $ rate $ io_ms $ submit_io_ms $ seed
+       $ customers $ mix $ chaos_seed $ chaos_profile $ cache $ stats $ smoke
+       $ deadline_ms $ queue_bound $ shed $ brownout $ overload_factor
+       $ read_p99_bound))
 
 let () = exit (Cmd.eval cmd)

@@ -139,10 +139,33 @@ let create ?(optimize = true) ?(instr = Instr.disabled) ?resilience () =
                (Qname.make ~uri:resil_ns "Degradation")
                [ Node.text d.Resilience.Control.dg_message ]))
         (Resilience.Control.degradations resil));
+  (* every query entry (Session.run / call) pins an MVCC snapshot of
+     all registered source tables, so a query's reads — including
+     cross-table and cross-database joins — resolve against one
+     consistent version cut regardless of concurrent submits. The table
+     list is read at query start, so later register_database calls are
+     covered. *)
+  Xqse.Session.set_snapshot_scope t.sess
+    (Some
+       {
+         Xqse.Session.scope =
+           (fun f ->
+             let tables =
+               Hashtbl.fold
+                 (fun _ db acc -> R.Database.tables db @ acc)
+                 t.dbs []
+             in
+             R.Table.with_snapshot tables f);
+       });
   t
 
 let session t = t.sess
 let instr t = Xqse.Session.instr t.sess
+
+let databases t =
+  List.sort
+    (fun a b -> String.compare (R.Database.name a) (R.Database.name b))
+    (Hashtbl.fold (fun _ db acc -> db :: acc) t.dbs [])
 let resilience t = t.resil
 let services t = t.svcs
 let find_service t name = List.find_opt (fun s -> s.Data_service.ds_name = name) t.svcs
@@ -803,6 +826,20 @@ let enable_result_cache ?cap t =
           m_epoch =
             (fun () ->
               List.length (Resilience.Control.degradations t.resil));
+          m_version =
+            (fun (db, table) ->
+              (* the caller's read view (ambient snapshot when pinned,
+                 else published head, -1 for an uncommitted working
+                 store): the cache keys entries by it, so a reader on
+                 an older snapshot never shares an entry with one at
+                 head — and admission re-reads it to notice a publish
+                 that landed while the result was being computed *)
+              match Hashtbl.find_opt t.dbs db with
+              | None -> -1
+              | Some d -> (
+                match R.Database.table d table with
+                | tbl -> R.Table.view_version tbl
+                | exception _ -> -1));
         }
     in
     t.ds_cache <- Some h;

@@ -43,6 +43,10 @@ val find_service : t -> string -> Data_service.t option
 val database : t -> string -> Relational.Database.t
 (** @raise Not_found for unknown databases. *)
 
+val databases : t -> Relational.Database.t list
+(** Every registered database, sorted by name (for the console's
+    per-table MVCC report). *)
+
 val describe : t -> string
 (** Design-view dump of every service (Figures 1-2 stand-in). *)
 

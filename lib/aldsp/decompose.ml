@@ -452,6 +452,61 @@ type outcome = {
   reason : string option;
 }
 
+(* The write lockset of a plan: every (db, table) the plan writes, plus
+   the FK neighbors whose state the statements' constraint checks read —
+   tables referenced by an inserting table (the insert validates the
+   parent row exists) and tables referencing a deleting table (the
+   delete validates nothing points at the victims). Locking the
+   neighbors makes those checks race-free without serializing against
+   writers of unrelated tables. Unknown tables are skipped — the
+   executor will produce the proper statement error. *)
+let lockset ~db_of plan =
+  let add acc key = if List.mem key acc then acc else key :: acc in
+  let tbl_opt dbn tn =
+    match db_of dbn with
+    | db -> ( try Some (R.Database.table db tn) with R.Database.Db_error _ -> None)
+    | exception _ -> None
+  in
+  let locks =
+    List.fold_left
+      (fun acc s ->
+        let tn =
+          match s.step_dml with
+          | R.Database.Insert { table; _ }
+          | R.Database.Update { table; _ }
+          | R.Database.Delete { table; _ } -> table
+        in
+        match tbl_opt s.step_db tn with
+        | None -> acc
+        | Some tbl -> (
+          let acc = add acc (s.step_db, tn) in
+          match s.step_dml with
+          | R.Database.Insert _ ->
+            List.fold_left
+              (fun acc (fk : R.Table.foreign_key) ->
+                match tbl_opt s.step_db fk.R.Table.fk_ref_table with
+                | Some _ -> add acc (s.step_db, fk.R.Table.fk_ref_table)
+                | None -> acc)
+              acc
+              (R.Table.schema tbl).R.Table.foreign_keys
+          | R.Database.Delete _ ->
+            List.fold_left
+              (fun acc other ->
+                if
+                  List.exists
+                    (fun (fk : R.Table.foreign_key) ->
+                      fk.R.Table.fk_ref_table = tn)
+                    (R.Table.schema other).R.Table.foreign_keys
+                then add acc (s.step_db, R.Table.name other)
+                else acc)
+              acc
+              (R.Database.tables (db_of s.step_db))
+          | R.Database.Update _ -> acc))
+      [] plan
+  in
+  (* the deadlock-avoiding total order: sorted by (db name, table name) *)
+  List.sort compare locks
+
 let execute ~db_of plan =
   if plan = [] then { committed = true; statements = 0; reason = None }
   else begin
@@ -459,6 +514,21 @@ let execute ~db_of plan =
       List.sort_uniq String.compare (List.map (fun s -> s.step_db) plan)
     in
     let dbs = List.map db_of db_names in
+    (* acquire the per-table write locks in the global order before the
+       XA round begins; every concurrent submit sorts its lockset the
+       same way, so two submits can never hold-and-wait in a cycle.
+       Disjoint locksets proceed in parallel. *)
+    let lock_tbls =
+      List.filter_map
+        (fun (dbn, tn) ->
+          try Some (R.Database.table (db_of dbn) tn)
+          with R.Database.Db_error _ -> None)
+        (lockset ~db_of plan)
+    in
+    List.iter R.Table.lock_write lock_tbls;
+    Fun.protect
+      ~finally:(fun () -> List.iter R.Table.unlock_write (List.rev lock_tbls))
+    @@ fun () ->
     let count = ref 0 in
     match
       R.Xa.run dbs (fun () ->

@@ -68,8 +68,19 @@ type outcome = {
   reason : string option;  (** rollback reason *)
 }
 
+val lockset :
+  db_of:(string -> Relational.Database.t) ->
+  plan ->
+  (string * string) list
+(** The per-table write locks the plan must hold: every (db, table) it
+    writes plus the FK neighbors its constraint checks read — parents
+    of inserting tables, referencing tables of deleting tables — sorted
+    in the deadlock-avoiding total order (db name, then table name). *)
+
 val execute : db_of:(string -> Relational.Database.t) -> plan -> outcome
-(** Run the plan inside one XA transaction across the involved databases.
-    A conditioned UPDATE/DELETE that affects no row is an optimistic-
-    concurrency conflict: the transaction aborts and every source rolls
-    back. *)
+(** Acquire the plan's {!lockset} in order, then run the plan inside
+    one XA transaction across the involved databases; the new table
+    versions publish atomically at commit and the locks are released.
+    Submits with disjoint locksets execute concurrently. A conditioned
+    UPDATE/DELETE that affects no row is an optimistic-concurrency
+    conflict: the transaction aborts and every source rolls back. *)

@@ -1,16 +1,27 @@
 (* The result cache. Same discipline as the plan cache (DESIGN §14):
-   a mutex-protected table with an atomic generation, capacity handled
-   by wholesale flush, and inserts guarded by the generation observed
-   before the work started. The new ingredient is the footprint index:
-   every entry carries the (db, table) pairs its value was derived
-   from, so an SDO submit evicts exactly the entries it could have
-   changed. *)
+   a mutex-protected table, capacity handled by wholesale flush, and
+   inserts guarded against mid-flight writes. The footprint index is
+   the cache's own ingredient: every entry carries the (db, table)
+   pairs its value was derived from, so an SDO submit evicts exactly
+   the entries it could have changed.
+
+   Coherence is keyed to MVCC table versions, not a global generation:
+   every entry's key embeds the version vector of its footprint tables
+   as seen by the reader's view (ambient snapshot or published head),
+   so readers at different versions never share an entry, and a miss
+   only admits its result (under the store lock, atomic with any
+   concurrent invalidate sweep) if that vector still stands. A submit
+   to unrelated tables mid-evaluation no longer costs the admission —
+   only a publish to a table the result was actually derived from
+   does. The generation counter remains as a monotone invalidation
+   clock for observability. *)
 
 type footprint = (string * string) list
 
 type meta = {
   m_footprint : Xdm.Qname.t -> int -> footprint option;
   m_epoch : unit -> int;
+  m_version : string * string -> int;
 }
 
 module Store = struct
@@ -43,14 +54,17 @@ module Store = struct
     Mutex.protect t.lock (fun () ->
         Option.map (fun e -> e.e_value) (Hashtbl.find_opt t.entries key))
 
-  (* Insert only if the generation the caller observed before
-     evaluating still stands: an invalidation that landed mid-flight
-     may have targeted exactly this entry's tables, and the computed
-     value may predate the write. Capacity overflow flushes wholesale —
-     that is housekeeping, not invalidation, and is not an evict. *)
-  let add t ~if_generation ~key ~footprint value =
+  (* Insert only if [verify] still holds under the store lock — the
+     caller passes a closure re-reading the published versions of the
+     footprint tables, so a publish that landed mid-evaluation (whose
+     invalidate sweep may already have run and missed this entry)
+     refuses the possibly-pre-image value. Running [verify] under the
+     lock makes check-and-insert atomic with respect to the sweep.
+     Capacity overflow flushes wholesale — that is housekeeping, not
+     invalidation, and is not an evict. *)
+  let add t ~verify ~key ~footprint value =
     Mutex.protect t.lock (fun () ->
-        if Atomic.get t.generation = if_generation then begin
+        if verify () then begin
           if
             Hashtbl.length t.entries >= t.cap
             && not (Hashtbl.mem t.entries key)
@@ -64,9 +78,10 @@ module Store = struct
     List.exists (fun src -> List.mem src written) fp
 
   let invalidate t written =
-    (* generation first: a concurrent miss that already read the old
-       generation will find it moved at admission time and drop its
-       result, so no pre-write value can slip in after the evict scan *)
+    (* the generation is an observability clock now: admission is
+       guarded by the footprint tables' published versions (which the
+       triggering submit bumped before this sweep runs), not by this
+       counter *)
     Atomic.incr t.generation;
     Mutex.protect t.lock (fun () ->
         let doomed =
@@ -148,21 +163,47 @@ let through b name args run =
     Instr.bump b.b_instr Instr.K.cache_bypass;
     run ()
   | Some footprint -> (
-    let store = b.b_handle.h_store in
-    let k = key b name args in
-    match Store.find store k with
-    | Some value ->
-      Instr.bump b.b_instr Instr.K.cache_hit;
-      detach value
-    | None ->
-      Instr.bump b.b_instr Instr.K.cache_miss;
-      let g0 = Store.generation store in
-      let e0 = b.b_handle.h_meta.m_epoch () in
-      let value = run () in
-      if b.b_handle.h_meta.m_epoch () = e0 then
-        ignore (Store.add store ~if_generation:g0 ~key:k ~footprint (detach value))
-      else
-        (* the degradation log grew while this ran: the value may be a
-           partial read and must not become the cached truth *)
-        Instr.bump b.b_instr Instr.K.cache_bypass;
-      value)
+    (* the version vector of the caller's read view over the footprint
+       tables. It goes into the key, so a hit is coherent by
+       construction: a reader pinned to an older snapshot can neither
+       serve nor admit an entry for a different cut, and two MVCC
+       readers at different versions never share an entry — the tear
+       the old version-blind keys allowed. *)
+    let versions =
+      List.map (fun src -> (src, b.b_handle.h_meta.m_version src)) footprint
+    in
+    if List.exists (fun (_, v) -> v < 0) versions then begin
+      (* an uncommitted view (this domain holds a write lock with
+         pending changes): no version to key by, stay out of the cache *)
+      Instr.bump b.b_instr Instr.K.cache_bypass;
+      run ()
+    end
+    else
+      let store = b.b_handle.h_store in
+      let k =
+        key b name args ^ "|v:"
+        ^ String.concat "," (List.map (fun (_, v) -> string_of_int v) versions)
+      in
+      match Store.find store k with
+      | Some value ->
+        Instr.bump b.b_instr Instr.K.cache_hit;
+        detach value
+      | None ->
+        Instr.bump b.b_instr Instr.K.cache_miss;
+        (* within one query the ambient snapshot pins the view, so the
+           vector cannot move mid-run; the re-check under the store lock
+           guards the unpinned paths (direct session use, no dataspace) *)
+        let verify () =
+          List.for_all
+            (fun (src, v) -> b.b_handle.h_meta.m_version src = v)
+            versions
+        in
+        let e0 = b.b_handle.h_meta.m_epoch () in
+        let value = run () in
+        if b.b_handle.h_meta.m_epoch () = e0 then
+          ignore (Store.add store ~verify ~key:k ~footprint (detach value))
+        else
+          (* the degradation log grew while this ran: the value may be a
+             partial read and must not become the cached truth *)
+          Instr.bump b.b_instr Instr.K.cache_bypass;
+        value)

@@ -14,10 +14,19 @@
     - {b admission}: only calls the dataspace vouches for (pure
       data-service read functions with known lineage) enter; everything
       else runs through untouched and counts as [cache.bypass].
-    - {b generation}: {!invalidate} bumps the store generation before
-      evicting, and a miss only admits its result if the generation it
-      read before evaluating still stands — a submit that lands
-      mid-evaluation silently discards the (possibly pre-image) result.
+    - {b version}: the caller's MVCC view of every footprint table —
+      the ambient snapshot's pinned version when one is installed, else
+      the published head — is part of the entry key, so a hit is
+      coherent by construction: a reader pinned to an older snapshot
+      never serves (or pollutes) an entry computed at head, and vice
+      versa. A view with no version yet (the domain holds a write lock
+      with uncommitted changes, reported as a negative version)
+      bypasses the cache entirely. Admission additionally re-reads the
+      vector under the store lock (atomic with {!invalidate}'s sweep),
+      so on the unpinned path a submit that publishes to one of the
+      result's own tables mid-evaluation silently discards the
+      (possibly pre-image) result, while submits to unrelated tables
+      cost nothing.
     - {b epoch}: a result computed while the degradation log grew is
       refused admission, so a degraded (partially sourced) read can
       never be replayed as the cached truth.
@@ -37,6 +46,15 @@ type meta = {
   m_epoch : unit -> int;
       (** Monotone degradation epoch; a result is only admitted when
           the epoch did not move while it was being computed. *)
+  m_version : string * string -> int;
+      (** [m_version (db, table)] is the MVCC version of the calling
+          domain's read view ({!Relational.Table.view_version}): the
+          ambient snapshot's pinned version when one covers the table,
+          else the published head, or negative when the domain holds
+          the table's write lock with uncommitted changes. The vector
+          over the footprint is part of the entry key; admission also
+          re-reads it under the store lock. Return a negative constant
+          for unknown tables (forces bypass). *)
 }
 
 (** The shared store: call key -> materialized result + footprint. *)
@@ -48,6 +66,10 @@ module Store : sig
       full store flushes it wholesale, like the plan cache. *)
 
   val generation : t -> int
+  (** Monotone count of {!invalidate} calls — an observability clock
+      (the console prints it); admission is guarded by table versions,
+      not by this counter. *)
+
   val size : t -> int
   val flush : t -> unit
 

@@ -354,6 +354,14 @@ module K = struct
   let server_errors = "server.errors"
   let server_submits = "server.submits"
 
+  (* MVCC storage: live table versions (gauge: +1 at publish, -1 at
+     collection), versions collected after their last unpin, write
+     locks acquired, and acquisitions that found the lock held *)
+  let mvcc_versions_live = "mvcc.versions.live"
+  let mvcc_versions_collected = "mvcc.versions.collected"
+  let mvcc_lock_acquired = "mvcc.lock.acquired"
+  let mvcc_lock_contended = "mvcc.lock.contended"
+
   (* overload protection: requests shed at admission (RESX0006),
      requests whose end-to-end budget expired (RESX0005), and brownout
      transitions of the pressure signal; [t_deadline_budget] accumulates
@@ -413,6 +421,10 @@ let preregister t =
       K.server_jobs;
       K.server_errors;
       K.server_submits;
+      K.mvcc_versions_live;
+      K.mvcc_versions_collected;
+      K.mvcc_lock_acquired;
+      K.mvcc_lock_contended;
       K.overload_shed;
       K.overload_expired;
       K.overload_brownout_entered;

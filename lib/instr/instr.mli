@@ -153,11 +153,22 @@ module K : sig
   val stream_early_exits : string
 
   (** concurrent-server counters: jobs completed by the worker pool,
-      jobs that raised, and submits serialized behind the write lock *)
+      jobs that raised, and submit jobs executed *)
 
   val server_jobs : string
   val server_errors : string
   val server_submits : string
+
+  (** MVCC storage counters: table versions currently live (a gauge —
+      published heads plus superseded versions still pinned by a
+      snapshot or open cursor), versions garbage-collected after their
+      last unpin, per-table write locks acquired, and acquisitions that
+      had to wait because another domain held the lock *)
+
+  val mvcc_versions_live : string
+  val mvcc_versions_collected : string
+  val mvcc_lock_acquired : string
+  val mvcc_lock_contended : string
 
   (** overload-protection counters: requests shed at admission
       ([RESX0006]), requests whose end-to-end deadline expired

@@ -25,7 +25,11 @@ type t = {
   tbls : (string, Table.t) Hashtbl.t;
   mutable order : string list;  (* table creation order *)
   mutable log : string list;  (* newest first *)
-  mutable tx : (unit -> unit) list option;  (* undo actions, newest first *)
+  (* open transaction: the tables it has written, each tagged with
+     whether the transaction acquired the write lock itself (a
+     coordinator like Decompose pre-acquires ordered locksets, in which
+     case the lock is not ours to release) *)
+  mutable tx : (Table.t * bool) list option;
   faults : Resilience.Faults.t;  (* all failure injection lives here *)
   mutable instr : Instr.t;
 }
@@ -67,8 +71,21 @@ let sql_log t = List.rev t.log
 let clear_log t = t.log <- []
 let log_size t = List.length t.log
 
-let record_undo t undo =
-  match t.tx with Some us -> t.tx <- Some (undo :: us) | None -> ()
+(* A statement's target table joins the open transaction on first
+   write: lock it (unless a coordinator already holds it for us) so the
+   changes accumulate in the table's working store until commit. Locks
+   are taken lazily in statement order — concurrent multi-table writers
+   must pre-acquire their locksets in the global (db, table) order, as
+   {!Decompose.execute} does. *)
+let ensure_tx_table t tbl =
+  match t.tx with
+  | None -> ()
+  | Some entries ->
+    if not (List.exists (fun (tb, _) -> tb == tbl) entries) then begin
+      let owned = not (Table.holds_write tbl) in
+      if owned then Table.lock_write tbl;
+      t.tx <- Some ((tbl, owned) :: entries)
+    end
 
 let faults t = t.faults
 
@@ -138,48 +155,64 @@ let exec t dml =
   consult t Resilience.Faults.Statement;
   Instr.bump t.instr Instr.K.sql_executed;
   let sql = dml_to_sql dml in
-  let affected =
+  let tn =
+    match dml with
+    | Insert { table; _ } | Update { table; _ } | Delete { table; _ } -> table
+  in
+  let tbl = table t tn in
+  let run () =
     try
       match dml with
       | Insert { table = tn; columns; values } ->
-        let tbl = table t tn in
         if List.length columns <> List.length values then
           raise (Db_error (Printf.sprintf "%s: INSERT arity mismatch" tn));
         let row = Table.insert_named tbl (List.combine columns values) in
         check_fk_insert t tbl row;
-        let pk = Table.pk_of_row tbl row in
-        record_undo t (fun () ->
-            ignore
-              (Table.delete_rows tbl
-                 (Pred.conj
-                    (List.map2 Pred.eq (Table.schema tbl).Table.primary_key pk))));
         1
-      | Update { table = tn; set; where } ->
-        let tbl = table t tn in
-        let olds, news = Table.update_rows tbl where set in
-        record_undo t (fun () ->
-            List.iter
-              (fun row -> ignore (Table.delete_rows tbl
-                 (Pred.conj
-                    (List.map2 Pred.eq (Table.schema tbl).Table.primary_key
-                       (Table.pk_of_row tbl row)))))
-              news;
-            List.iter (fun row -> Table.insert tbl row) olds);
+      | Update { set; where; _ } ->
+        let _olds, news = Table.update_rows tbl where set in
         List.length news
-      | Delete { table = tn; where } ->
-        let tbl = table t tn in
+      | Delete { where; _ } ->
         let victims = Table.select tbl where in
         check_fk_delete t tbl victims;
         let removed = Table.delete_rows tbl where in
-        record_undo t (fun () ->
-            List.iter (fun row -> Table.insert tbl row) removed);
         List.length removed
     with Table.Constraint_violation msg -> raise (Db_error msg)
+  in
+  let affected =
+    match t.tx with
+    | Some _ ->
+      (* changes accumulate in the table's working store until commit *)
+      ensure_tx_table t tbl;
+      run ()
+    | None ->
+      if Table.holds_write tbl then
+        (* a caller-held lock coordinates publication *)
+        run ()
+      else begin
+        (* single-statement transaction: lock, apply, publish on
+           success — a mid-statement failure (FK violation included)
+           leaves the published version untouched *)
+        Table.lock_write tbl;
+        Fun.protect
+          ~finally:(fun () -> Table.unlock_write tbl)
+          (fun () ->
+            match run () with
+            | n ->
+              Table.commit_write tbl;
+              n
+            | exception e ->
+              Table.discard_write tbl;
+              raise e)
+      end
   in
   t.log <- sql :: t.log;
   affected
 
 let select t tn pred = Table.select (table t tn) pred
+
+let with_snapshot t f = Table.with_snapshot (tables t) f
+
 let in_tx t = t.tx <> None
 
 let begin_tx t =
@@ -189,23 +222,35 @@ let begin_tx t =
 let commit t =
   match t.tx with
   | None -> raise (Db_error (t.db_name ^ ": no open transaction"))
-  | Some _ -> (
-    (* an injected commit fault leaves the transaction open: a prepared
-       participant stays prepared and the coordinator may retry *)
+  | Some entries -> (
+    (* an injected commit fault leaves the transaction open — working
+       stores and locks intact: a prepared participant stays prepared
+       and the coordinator may retry *)
     match Resilience.Faults.on_commit t.faults with
     | Some f ->
       Instr.bump t.instr Instr.K.resil_injected;
       raise
         (Db_error
            (Printf.sprintf "%s: %s" t.db_name f.Resilience.Faults.f_message))
-    | None -> t.tx <- None)
+    | None ->
+      (* publish every written table's new version atomically with
+         respect to snapshot capture (the lock is reentrant, so an XA
+         coordinator can hold it across all participants) *)
+      Table.publish_all (fun () ->
+          List.iter (fun (tb, _) -> Table.commit_write tb) entries);
+      List.iter (fun (tb, owned) -> if owned then Table.unlock_write tb) entries;
+      t.tx <- None)
 
 let rollback t =
   match t.tx with
   | None -> raise (Db_error (t.db_name ^ ": no open transaction"))
-  | Some undos ->
+  | Some entries ->
+    List.iter
+      (fun (tb, owned) ->
+        Table.discard_write tb;
+        if owned then Table.unlock_write tb)
+      entries;
     t.tx <- None;
-    List.iter (fun undo -> undo ()) undos;
     t.log <- Printf.sprintf "ROLLBACK -- %s" t.db_name :: t.log
 
 let prepare_fault t =

@@ -1,6 +1,7 @@
 (** A named database: tables, DML execution with SQL logging, local
-    transactions with undo, foreign-key enforcement, and the failure-
-    injection hooks used by the XA tests and benches. *)
+    transactions over the tables' MVCC working stores, foreign-key
+    enforcement, and the failure-injection hooks used by the XA tests
+    and benches. *)
 
 type dml =
   | Insert of { table : string; columns : string list; values : Value.t list }
@@ -33,12 +34,19 @@ val catalog : t -> Table.schema list
 
 val exec : t -> dml -> int
 (** Execute one statement: returns the number of affected rows, appends
-    the SQL text to the log, records undo when inside a transaction, and
-    enforces foreign keys.
+    the SQL text to the log, and enforces foreign keys. Inside a
+    transaction the changes accumulate in the target table's working
+    store (the statement locks the table on first write); outside one
+    the statement runs as its own lock–apply–publish transaction, so a
+    failure leaves the published version untouched.
     @raise Db_error (wrapping constraint violations) on failure. *)
 
 val select : t -> string -> Pred.t -> Table.row list
 (** Query rows (not logged — reads are served to the engine directly). *)
+
+val with_snapshot : t -> (unit -> 'a) -> 'a
+(** Run [f] with an ambient snapshot pinning every table of this
+    database at one consistent cut (see {!Table.with_snapshot}). *)
 
 val read_check : t -> unit
 (** Consult the fault state for a query-path read (the dataspace calls
@@ -58,7 +66,9 @@ val begin_tx : t -> unit
 (** @raise Db_error if a transaction is already open. *)
 
 val commit : t -> unit
-(** An injected commit fault raises [Db_error] but leaves the
+(** Publish every written table's new version (atomically with respect
+    to snapshot capture) and release the locks this transaction took.
+    An injected commit fault raises [Db_error] but leaves the
     transaction open: a prepared participant stays prepared, so the XA
     coordinator can retry the commit. *)
 

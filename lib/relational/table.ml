@@ -17,14 +17,55 @@ type row = Value.t array
 
 exception Constraint_violation of string
 
+(* Persistent row store keyed on the primary key. Polymorphic compare
+   on [Value.t list] gives the same key identity the old Hashtbl store
+   had and the same ascending-pk iteration order the old sorted scan
+   produced. *)
+module PkMap = Map.Make (struct
+  type t = Value.t list
+
+  let compare = compare
+end)
+
+(* The versioned store: rows plus the secondary indexes (key values ->
+   pk list). Indexes live inside the store so a reader pinned to an
+   older version keeps a consistent plan. All maps are persistent —
+   versions share structure, so publishing one copies nothing. *)
+type store = {
+  s_rows : row PkMap.t;
+  s_sec : (string list * Value.t list list PkMap.t) list;
+}
+
+type version = {
+  v_id : int;
+  v_store : store;
+  (* pk-sorted row array, built on first scan of this version. Atomic
+     so concurrent first scans race benignly (both build, one wins). *)
+  v_scan : row array option Atomic.t;
+}
+
+(* per-version GC accounting: a version is collected when it has been
+   superseded by a newer publish and nothing (snapshot or cursor) pins
+   it anymore *)
+type vmeta = { mutable pins : int; mutable superseded : bool }
+
 type t = {
   schema : schema;
   indices : (string, int) Hashtbl.t;
-  rows : (Value.t list, row) Hashtbl.t;
-  (* secondary hash indexes: column list -> (key values -> pk list) *)
-  mutable sec_indexes : (string list * (Value.t list, Value.t list list) Hashtbl.t) list;
+  uid : int;  (* process-unique id, the ambient-snapshot key *)
+  m : Mutex.t;  (* guards writer/waiters/vmeta/published swap *)
+  cond : Condition.t;
+  mutable writer : int option;  (* holder Domain.id *)
+  mutable waiters : int;
+  mutable published : version;
+  mutable working : store option;  (* holder-private, uncommitted *)
+  mutable next_vid : int;
+  vmeta : (int, vmeta) Hashtbl.t;
   mutable instr : Instr.t;
 }
+
+let next_uid = Atomic.make 0
+let self_id () = (Domain.self () :> int)
 
 let create schema =
   if schema.primary_key = [] then
@@ -41,11 +82,24 @@ let create schema =
           (Printf.sprintf "table %s: unknown primary key column %s"
              schema.tbl_name k))
     schema.primary_key;
+  let v0 =
+    { v_id = 0; v_store = { s_rows = PkMap.empty; s_sec = [] };
+      v_scan = Atomic.make None }
+  in
+  let vmeta = Hashtbl.create 4 in
+  Hashtbl.replace vmeta 0 { pins = 0; superseded = false };
   {
     schema;
     indices;
-    rows = Hashtbl.create 64;
-    sec_indexes = [];
+    uid = Atomic.fetch_and_add next_uid 1;
+    m = Mutex.create ();
+    cond = Condition.create ();
+    writer = None;
+    waiters = 0;
+    published = v0;
+    working = None;
+    next_vid = 1;
+    vmeta;
     instr = Instr.disabled;
   }
 
@@ -60,7 +114,240 @@ let col_index t col =
 
 let get row t col = row.(col_index t col)
 let pk_of_row t row = List.map (fun k -> get row t k) t.schema.primary_key
-let row_count t = Hashtbl.length t.rows
+
+(* ---- the global publish lock (reentrant) ----
+
+   Multi-table commits publish every new version inside it, and
+   snapshot capture reads the published heads inside it, so a captured
+   version vector can never straddle a commit. *)
+
+let pub_m = Mutex.create ()
+let pub_cond = Condition.create ()
+let pub_holder = ref (-1)
+let pub_depth = ref 0
+
+let publish_all f =
+  let self = self_id () in
+  Mutex.lock pub_m;
+  if !pub_holder = self then incr pub_depth
+  else begin
+    while !pub_depth > 0 do
+      Condition.wait pub_cond pub_m
+    done;
+    pub_holder := self;
+    pub_depth := 1
+  end;
+  Mutex.unlock pub_m;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock pub_m;
+      decr pub_depth;
+      if !pub_depth = 0 then begin
+        pub_holder := -1;
+        Condition.broadcast pub_cond
+      end;
+      Mutex.unlock pub_m)
+    f
+
+(* ---- version pinning and collection (all under t.m) ---- *)
+
+let collect_locked t vid =
+  Hashtbl.remove t.vmeta vid;
+  Instr.bump t.instr ~n:(-1) Instr.K.mvcc_versions_live;
+  Instr.bump t.instr Instr.K.mvcc_versions_collected
+
+let pin_locked t v =
+  match Hashtbl.find_opt t.vmeta v.v_id with
+  | Some m -> m.pins <- m.pins + 1
+  | None -> ()
+
+let pin t v =
+  Mutex.lock t.m;
+  pin_locked t v;
+  Mutex.unlock t.m
+
+let unpin t v =
+  Mutex.lock t.m;
+  (match Hashtbl.find_opt t.vmeta v.v_id with
+  | Some m ->
+    m.pins <- m.pins - 1;
+    if m.pins <= 0 && m.superseded then collect_locked t v.v_id
+  | None -> ());
+  Mutex.unlock t.m
+
+(* pin the published head, atomically with respect to publish swaps *)
+let pin_published t =
+  Mutex.lock t.m;
+  let v = t.published in
+  pin_locked t v;
+  Mutex.unlock t.m;
+  v
+
+(* ---- ambient snapshots (domain-local) ---- *)
+
+type snapshot = { sn_entries : (int, t * version) Hashtbl.t }
+
+let ambient_key : snapshot option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let snapshot tables =
+  publish_all (fun () ->
+      let h = Hashtbl.create 16 in
+      List.iter
+        (fun t ->
+          if not (Hashtbl.mem h t.uid) then
+            Hashtbl.add h t.uid (t, pin_published t))
+        tables;
+      { sn_entries = h })
+
+let release snap =
+  Hashtbl.iter (fun _ (t, v) -> unpin t v) snap.sn_entries
+
+let in_snapshot () = !(Domain.DLS.get ambient_key) <> None
+
+let with_snapshot tables f =
+  let slot = Domain.DLS.get ambient_key in
+  match !slot with
+  | Some _ -> f ()  (* nested query: reuse the outer snapshot *)
+  | None ->
+    let snap = snapshot tables in
+    slot := Some snap;
+    Fun.protect
+      ~finally:(fun () ->
+        slot := None;
+        release snap)
+      f
+
+(* ---- write locking ---- *)
+
+let lock_write t =
+  Mutex.lock t.m;
+  if t.writer <> None then Instr.bump t.instr Instr.K.mvcc_lock_contended;
+  t.waiters <- t.waiters + 1;
+  while t.writer <> None do
+    Condition.wait t.cond t.m
+  done;
+  t.waiters <- t.waiters - 1;
+  t.writer <- Some (self_id ());
+  Mutex.unlock t.m;
+  Instr.bump t.instr Instr.K.mvcc_lock_acquired
+
+let holds_write t = t.writer = Some (self_id ())
+
+let unlock_write t =
+  Mutex.lock t.m;
+  t.working <- None;
+  t.writer <- None;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.m
+
+let discard_write t = t.working <- None
+
+let commit_write t =
+  if not (holds_write t) then
+    invalid_arg (t.schema.tbl_name ^ ": commit_write without the write lock");
+  match t.working with
+  | None -> ()
+  | Some s when s == t.published.v_store -> t.working <- None
+  | Some s ->
+    publish_all (fun () ->
+        Mutex.lock t.m;
+        let old = t.published in
+        let vid = t.next_vid in
+        t.next_vid <- vid + 1;
+        let v = { v_id = vid; v_store = s; v_scan = Atomic.make None } in
+        Hashtbl.replace t.vmeta vid { pins = 0; superseded = false };
+        Instr.bump t.instr Instr.K.mvcc_versions_live;
+        t.published <- v;
+        t.working <- None;
+        (match Hashtbl.find_opt t.vmeta old.v_id with
+        | Some m ->
+          m.superseded <- true;
+          if m.pins <= 0 then collect_locked t old.v_id
+        | None -> ());
+        Mutex.unlock t.m;
+        (* read-your-own-writes: if this domain's ambient snapshot pins
+           the table, advance its pin to the version just published *)
+        match !(Domain.DLS.get ambient_key) with
+        | Some snap -> (
+          match Hashtbl.find_opt snap.sn_entries t.uid with
+          | Some (_, oldpin) ->
+            pin t v;
+            Hashtbl.replace snap.sn_entries t.uid (t, v);
+            unpin t oldpin
+          | None -> ())
+        | None -> ())
+
+(* ---- read views ----
+
+   Priority: a domain holding the write lock sees its own working store
+   (read-your-own-writes for FK checks and multi-statement submits);
+   otherwise the ambient snapshot's pinned version if one is installed;
+   otherwise the published head. *)
+
+let view t =
+  if holds_write t then
+    match t.working with Some s -> s | None -> t.published.v_store
+  else
+    match !(Domain.DLS.get ambient_key) with
+    | Some snap -> (
+      match Hashtbl.find_opt snap.sn_entries t.uid with
+      | Some (_, v) -> v.v_store
+      | None -> t.published.v_store)
+    | None -> t.published.v_store
+
+(* the version identity of [view]: what the current domain's reads
+   resolve to. A held write lock with a working store is an uncommitted
+   view with no version yet — report -1 so version-keyed consumers (the
+   result cache) bypass rather than tag uncommitted data with a
+   published version. *)
+let view_version t =
+  if holds_write t then
+    match t.working with Some _ -> -1 | None -> t.published.v_id
+  else
+    match !(Domain.DLS.get ambient_key) with
+    | Some snap -> (
+      match Hashtbl.find_opt snap.sn_entries t.uid with
+      | Some (_, v) -> v.v_id
+      | None -> t.published.v_id)
+    | None -> t.published.v_id
+
+let snapshot_find_pk snap t pk =
+  let s =
+    match Hashtbl.find_opt snap.sn_entries t.uid with
+    | Some (_, v) -> v.v_store
+    | None -> t.published.v_store
+  in
+  PkMap.find_opt pk s.s_rows
+
+let row_count t = PkMap.cardinal (view t).s_rows
+let find_pk t pk = PkMap.find_opt pk (view t).s_rows
+
+(* ---- mutation plumbing ----
+
+   [mutate t f] applies the pure store transform [f]. Under a held
+   write lock (a Database transaction or a pre-locked XA submit) the
+   result becomes the working store, published later by
+   [commit_write]. Otherwise the statement auto-commits: lock, apply,
+   publish, unlock — a failing transform leaves the table untouched. *)
+
+let mutate t f =
+  if holds_write t then begin
+    let s = match t.working with Some s -> s | None -> t.published.v_store in
+    let s', r = f s in
+    t.working <- Some s';
+    r
+  end
+  else begin
+    lock_write t;
+    Fun.protect
+      ~finally:(fun () -> unlock_write t)
+      (fun () ->
+        let s', r = f t.published.v_store in
+        t.working <- Some s';
+        commit_write t;
+        r)
+  end
 
 let check_row t row =
   if Array.length row <> List.length t.schema.columns then
@@ -85,66 +372,85 @@ let check_row t row =
                 (Value.type_name c.col_type))))
     t.schema.columns
 
-(* ---- secondary index maintenance ---- *)
+(* ---- secondary index maintenance (persistent) ---- *)
 
 let index_key t cols row = List.map (fun c -> get row t c) cols
 
-let index_add t row =
+let sec_add t row sec =
   let pk = pk_of_row t row in
-  List.iter
-    (fun (cols, tbl) ->
+  List.map
+    (fun (cols, m) ->
       let key = index_key t cols row in
-      Hashtbl.replace tbl key
-        (pk :: (match Hashtbl.find_opt tbl key with Some l -> l | None -> [])))
-    t.sec_indexes
+      let l = match PkMap.find_opt key m with Some l -> l | None -> [] in
+      (cols, PkMap.add key (pk :: l) m))
+    sec
 
-let index_remove t row =
+let sec_remove t row sec =
   let pk = pk_of_row t row in
-  List.iter
-    (fun (cols, tbl) ->
+  List.map
+    (fun (cols, m) ->
       let key = index_key t cols row in
-      match Hashtbl.find_opt tbl key with
+      match PkMap.find_opt key m with
       | Some l -> (
         match List.filter (fun p -> p <> pk) l with
-        | [] -> Hashtbl.remove tbl key
-        | l' -> Hashtbl.replace tbl key l')
-      | None -> ())
-    t.sec_indexes
+        | [] -> (cols, PkMap.remove key m)
+        | l' -> (cols, PkMap.add key l' m))
+      | None -> (cols, m))
+    sec
+
+let store_add t s row =
+  {
+    s_rows = PkMap.add (pk_of_row t row) row s.s_rows;
+    s_sec = sec_add t row s.s_sec;
+  }
+
+let store_remove t s row =
+  {
+    s_rows = PkMap.remove (pk_of_row t row) s.s_rows;
+    s_sec = sec_remove t row s.s_sec;
+  }
 
 let create_index t cols =
   List.iter
     (fun c ->
       if not (Hashtbl.mem t.indices c) then
-        invalid_arg (Printf.sprintf "%s: unknown index column %s" t.schema.tbl_name c))
+        invalid_arg
+          (Printf.sprintf "%s: unknown index column %s" t.schema.tbl_name c))
     cols;
-  if not (List.exists (fun (cs, _) -> cs = cols) t.sec_indexes) then begin
-    let tbl = Hashtbl.create 64 in
-    Hashtbl.iter
-      (fun pk row ->
-        let key = List.map (fun c -> get row t c) cols in
-        Hashtbl.replace tbl key
-          (pk :: (match Hashtbl.find_opt tbl key with Some l -> l | None -> [])))
-      t.rows;
-    t.sec_indexes <- (cols, tbl) :: t.sec_indexes
-  end
+  mutate t (fun s ->
+      if List.exists (fun (cs, _) -> cs = cols) s.s_sec then (s, ())
+      else begin
+        let m =
+          PkMap.fold
+            (fun pk row m ->
+              let key = index_key t cols row in
+              let l =
+                match PkMap.find_opt key m with Some l -> l | None -> []
+              in
+              PkMap.add key (pk :: l) m)
+            s.s_rows PkMap.empty
+        in
+        ({ s with s_sec = (cols, m) :: s.s_sec }, ())
+      end)
 
-let drop_indexes t = t.sec_indexes <- []
-let indexed_columns t = List.map fst t.sec_indexes
+let drop_indexes t = mutate t (fun s -> ({ s with s_sec = [] }, ()))
+let indexed_columns t = List.map fst (view t).s_sec
 
-let insert t row =
+let store_insert t s row =
   check_row t row;
   let pk = pk_of_row t row in
   if List.exists (Value.equal Value.Null) pk then
     raise
       (Constraint_violation
          (Printf.sprintf "%s: NULL in primary key" t.schema.tbl_name));
-  if Hashtbl.mem t.rows pk then
+  if PkMap.mem pk s.s_rows then
     raise
       (Constraint_violation
          (Printf.sprintf "%s: duplicate primary key (%s)" t.schema.tbl_name
             (String.concat ", " (List.map Value.to_string pk))));
-  Hashtbl.replace t.rows pk row;
-  index_add t row
+  store_add t s row
+
+let insert t row = mutate t (fun s -> (store_insert t s row, ()))
 
 let insert_named t pairs =
   let row =
@@ -166,35 +472,69 @@ let insert_named t pairs =
   insert t row;
   row
 
-let find_pk t pk = Hashtbl.find_opt t.rows pk
+(* ---- reads ---- *)
 
-let scan_rows t =
-  let all = Hashtbl.fold (fun _ row acc -> row :: acc) t.rows [] in
-  List.sort
-    (fun a b -> compare (pk_of_row t a) (pk_of_row t b))
-    all
+let scan_array v =
+  match Atomic.get v.v_scan with
+  | Some a -> a
+  | None ->
+    let a = Array.of_seq (Seq.map snd (PkMap.to_seq v.v_store.s_rows)) in
+    Atomic.set v.v_scan (Some a);
+    a
+
+let store_rows s = List.map snd (PkMap.bindings s.s_rows)
 
 let scan t =
-  let rows = scan_rows t in
+  let rows = store_rows (view t) in
   Instr.bump t.instr ~n:(List.length rows) Instr.K.rows_scanned;
   Instr.bump t.instr ~n:(List.length rows) Instr.K.rows_fetched;
   rows
 
-(* Cursor variant: the row set is snapshotted at open (rows are
-   immutable arrays — updates replace, never mutate, so a snapshot
-   stays consistent), and [rows.scanned]/[rows.fetched] count actual
-   pulls rather than the full table size. Pulls are pure: the snapshot
-   is taken, nothing left to run can raise. *)
+(* Resolve the read view for a cursor: a writer scanning its own
+   working store materializes it (rare — only mid-transaction reads);
+   every other open pins the resolved version so GC leaves it alone
+   until the cursor is done, and the cursor walks the version's row
+   array directly — no per-open row copy. *)
+type cursor_view = Cv_store of store | Cv_version of version
+
+let cursor_view t =
+  if holds_write t && t.working <> None then Cv_store (Option.get t.working)
+  else
+    match !(Domain.DLS.get ambient_key) with
+    | Some snap -> (
+      match Hashtbl.find_opt snap.sn_entries t.uid with
+      | Some (_, v) ->
+        pin t v;
+        Cv_version v
+      | None -> Cv_version (pin_published t))
+    | None -> Cv_version (pin_published t)
+
 let scan_cursor t =
-  let rest = ref (scan_rows t) in
-  Xdm.Cursor.make ~pure:true ~instr:t.instr (fun () ->
-      match !rest with
-      | [] -> None
-      | row :: tl ->
-        rest := tl;
-        Instr.bump t.instr Instr.K.rows_scanned;
-        Instr.bump t.instr Instr.K.rows_fetched;
-        Some row)
+  match cursor_view t with
+  | Cv_store s ->
+    let rest = ref (store_rows s) in
+    Xdm.Cursor.make ~pure:true ~instr:t.instr (fun () ->
+        match !rest with
+        | [] -> None
+        | row :: tl ->
+          rest := tl;
+          Instr.bump t.instr Instr.K.rows_scanned;
+          Instr.bump t.instr Instr.K.rows_fetched;
+          Some row)
+  | Cv_version v ->
+    let arr = scan_array v in
+    let i = ref 0 in
+    Xdm.Cursor.make ~pure:true ~instr:t.instr
+      ~cleanup:(fun () -> unpin t v)
+      (fun () ->
+        if !i >= Array.length arr then None
+        else begin
+          let row = arr.(!i) in
+          incr i;
+          Instr.bump t.instr Instr.K.rows_scanned;
+          Instr.bump t.instr Instr.K.rows_fetched;
+          Some row
+        end)
 
 (* columns constrained by equality in a conjunctive prefix of the
    predicate *)
@@ -203,85 +543,55 @@ let rec eq_bindings = function
   | Pred.And (a, b) -> eq_bindings a @ eq_bindings b
   | _ -> []
 
-let select t pred =
+(* index-probe candidates, or None when no index covers the predicate *)
+let probe t s pred =
   let eqs = eq_bindings pred in
-  let candidates =
-    List.find_map
-      (fun (cols, tbl) ->
-        match
-          List.fold_left
-            (fun acc c ->
-              match (acc, List.assoc_opt c eqs) with
-              | Some key, Some v -> Some (v :: key)
-              | _ -> None)
-            (Some []) (List.rev cols)
-        with
-        | Some key -> (
-          match Hashtbl.find_opt tbl key with
-          | Some pks -> Some (List.filter_map (Hashtbl.find_opt t.rows) pks)
-          | None -> Some [])
-        | None -> None)
-      t.sec_indexes
-  in
+  List.find_map
+    (fun (cols, m) ->
+      match
+        List.fold_left
+          (fun acc c ->
+            match (acc, List.assoc_opt c eqs) with
+            | Some key, Some v -> Some (v :: key)
+            | _ -> None)
+          (Some []) (List.rev cols)
+      with
+      | Some key -> (
+        match PkMap.find_opt key m with
+        | Some pks ->
+          Some
+            (List.sort
+               (fun a b -> compare (pk_of_row t a) (pk_of_row t b))
+               (List.filter_map
+                  (fun pk -> PkMap.find_opt pk s.s_rows)
+                  pks))
+        | None -> Some [])
+      | None -> None)
+    s.s_sec
+
+let store_select t s pred =
   let result =
-    match candidates with
+    match probe t s pred with
     | Some rows ->
       (* index probe: only the candidate rows are examined *)
       Instr.bump t.instr ~n:(List.length rows) Instr.K.rows_scanned;
-      List.filter (fun row -> Pred.eval ~get:(fun c -> get row t c) pred)
-        (List.sort (fun a b -> compare (pk_of_row t a) (pk_of_row t b)) rows)
+      List.filter (fun row -> Pred.eval ~get:(fun c -> get row t c) pred) rows
     | None ->
-      Instr.bump t.instr ~n:(Hashtbl.length t.rows) Instr.K.rows_scanned;
+      Instr.bump t.instr ~n:(PkMap.cardinal s.s_rows) Instr.K.rows_scanned;
       List.filter
         (fun row -> Pred.eval ~get:(fun c -> get row t c) pred)
-        (scan_rows t)
+        (store_rows s)
   in
   Instr.bump t.instr ~n:(List.length result) Instr.K.rows_fetched;
   result
 
-(* Cursor variant of [select]: candidates are snapshotted at open (index
-   probe or full scan, same plan choice as [select]); each pull examines
+let select t pred = store_select t (view t) pred
+
+(* Cursor variant of [select]: the plan choice (index probe vs full
+   scan) happens at open against the pinned version; each pull examines
    candidates until one satisfies the predicate, bumping [rows.scanned]
    per candidate examined and [rows.fetched] per row produced. *)
 let select_cursor t pred =
-  let eqs = eq_bindings pred in
-  let candidates =
-    List.find_map
-      (fun (cols, tbl) ->
-        match
-          List.fold_left
-            (fun acc c ->
-              match (acc, List.assoc_opt c eqs) with
-              | Some key, Some v -> Some (v :: key)
-              | _ -> None)
-            (Some []) (List.rev cols)
-        with
-        | Some key -> (
-          match Hashtbl.find_opt tbl key with
-          | Some pks -> Some (List.filter_map (Hashtbl.find_opt t.rows) pks)
-          | None -> Some [])
-        | None -> None)
-      t.sec_indexes
-  in
-  let rest =
-    ref
-      (match candidates with
-      | Some rows ->
-        List.sort (fun a b -> compare (pk_of_row t a) (pk_of_row t b)) rows
-      | None -> scan_rows t)
-  in
-  let rec pull () =
-    match !rest with
-    | [] -> None
-    | row :: tl ->
-      rest := tl;
-      Instr.bump t.instr Instr.K.rows_scanned;
-      if Pred.eval ~get:(fun c -> get row t c) pred then begin
-        Instr.bump t.instr Instr.K.rows_fetched;
-        Some row
-      end
-      else pull ()
-  in
   (* pulls are pure only when the predicate cannot raise mid-stream,
      i.e. every column it mentions resolves against the schema *)
   let rec cols = function
@@ -290,13 +600,56 @@ let select_cursor t pred =
     | Pred.And (a, b) | Pred.Or (a, b) -> cols a @ cols b
     | Pred.Not a -> cols a
   in
-  let pure =
-    List.for_all (fun c -> Hashtbl.mem t.indices c) (cols pred)
+  let pure = List.for_all (fun c -> Hashtbl.mem t.indices c) (cols pred) in
+  let pull_of_list rest () =
+    let rec go () =
+      match !rest with
+      | [] -> None
+      | row :: tl ->
+        rest := tl;
+        Instr.bump t.instr Instr.K.rows_scanned;
+        if Pred.eval ~get:(fun c -> get row t c) pred then begin
+          Instr.bump t.instr Instr.K.rows_fetched;
+          Some row
+        end
+        else go ()
+    in
+    go ()
   in
-  Xdm.Cursor.make ~pure ~instr:t.instr pull
+  match cursor_view t with
+  | Cv_store s ->
+    let rest =
+      ref (match probe t s pred with Some rows -> rows | None -> store_rows s)
+    in
+    Xdm.Cursor.make ~pure ~instr:t.instr (pull_of_list rest)
+  | Cv_version v -> (
+    let cleanup () = unpin t v in
+    match probe t v.v_store pred with
+    | Some rows ->
+      let rest = ref rows in
+      Xdm.Cursor.make ~pure ~instr:t.instr ~cleanup (pull_of_list rest)
+    | None ->
+      (* full scan: walk the version's row array in place *)
+      let arr = scan_array v in
+      let i = ref 0 in
+      let rec pull () =
+        if !i >= Array.length arr then None
+        else begin
+          let row = arr.(!i) in
+          incr i;
+          Instr.bump t.instr Instr.K.rows_scanned;
+          if Pred.eval ~get:(fun c -> get row t c) pred then begin
+            Instr.bump t.instr Instr.K.rows_fetched;
+            Some row
+          end
+          else pull ()
+        end
+      in
+      Xdm.Cursor.make ~pure ~instr:t.instr ~cleanup pull)
 
-let update_rows t pred set =
-  (* validate set columns *)
+(* ---- writes ---- *)
+
+let store_update t s pred set =
   List.iter
     (fun (col, _) ->
       if not (Hashtbl.mem t.indices col) then
@@ -304,7 +657,7 @@ let update_rows t pred set =
           (Constraint_violation
              (Printf.sprintf "%s: unknown column %s" t.schema.tbl_name col)))
     set;
-  let matching = select t pred in
+  let matching = store_select t s pred in
   let olds = List.map Array.copy matching in
   let news =
     List.map
@@ -315,7 +668,7 @@ let update_rows t pred set =
         updated)
       matching
   in
-  (* validate the re-keying up front so a collision leaves the table
+  (* validate the re-keying up front so a collision leaves the store
      untouched *)
   let old_pks = List.map (pk_of_row t) matching in
   let seen = Hashtbl.create 8 in
@@ -332,34 +685,42 @@ let update_rows t pred set =
              (Printf.sprintf "%s: duplicate primary key after update"
                 t.schema.tbl_name));
       Hashtbl.add seen pk ();
-      if (not (List.mem pk old_pks)) && Hashtbl.mem t.rows pk then
+      if (not (List.mem pk old_pks)) && PkMap.mem pk s.s_rows then
         raise
           (Constraint_violation
              (Printf.sprintf "%s: primary key update collides with row (%s)"
                 t.schema.tbl_name
                 (String.concat ", " (List.map Value.to_string pk)))))
     news;
-  List.iter
-    (fun row ->
-      index_remove t row;
-      Hashtbl.remove t.rows (pk_of_row t row))
-    matching;
-  List.iter
-    (fun row ->
-      Hashtbl.replace t.rows (pk_of_row t row) row;
-      index_add t row)
-    news;
-  (olds, news)
+  let s = List.fold_left (fun s row -> store_remove t s row) s matching in
+  let s = List.fold_left (fun s row -> store_add t s row) s news in
+  (s, (olds, news))
+
+let update_rows t pred set = mutate t (fun s -> store_update t s pred set)
 
 let delete_rows t pred =
-  let matching = select t pred in
-  List.iter
-    (fun row ->
-      index_remove t row;
-      Hashtbl.remove t.rows (pk_of_row t row))
-    matching;
-  matching
+  mutate t (fun s ->
+      let matching = store_select t s pred in
+      let s =
+        List.fold_left (fun s row -> store_remove t s row) s matching
+      in
+      (s, matching))
 
 let clear t =
-  Hashtbl.reset t.rows;
-  List.iter (fun (_, tbl) -> Hashtbl.reset tbl) t.sec_indexes
+  mutate t (fun s ->
+      ( {
+          s_rows = PkMap.empty;
+          s_sec = List.map (fun (cols, _) -> (cols, PkMap.empty)) s.s_sec;
+        },
+        () ))
+
+(* ---- introspection ---- *)
+
+let current_version t = t.published.v_id
+let live_versions t = Hashtbl.length t.vmeta
+
+let lock_info t =
+  Mutex.lock t.m;
+  let r = (t.writer, t.waiters) in
+  Mutex.unlock t.m;
+  r

@@ -54,17 +54,22 @@ let run_traced participants work =
       | [] ->
         (* phase 2: commit. A prepared participant must eventually
            commit, so injected commit faults are retried (the plan never
-           schedules more than two in a row). *)
-        List.iter
-          (fun db ->
-            let rec commit_retry attempts =
-              match Database.commit db with
-              | () -> emit (Commit (Database.name db))
-              | exception Database.Db_error _ when attempts < 8 ->
-                commit_retry (attempts + 1)
-            in
-            commit_retry 0)
-          participants;
+           schedules more than two in a row). The whole phase runs under
+           the global publish lock so the new versions of every
+           participant become visible as one cut — a concurrent
+           snapshot sees the entire cross-database changeset or none of
+           it. *)
+        Table.publish_all (fun () ->
+            List.iter
+              (fun db ->
+                let rec commit_retry attempts =
+                  match Database.commit db with
+                  | () -> emit (Commit (Database.name db))
+                  | exception Database.Db_error _ when attempts < 8 ->
+                    commit_retry (attempts + 1)
+                in
+                commit_retry 0)
+              participants);
         Ok v
     with
     | Database.Db_error msg ->

@@ -59,6 +59,7 @@ type report = {
   r_latency : latency;
   r_accepted_latency : latency;
   r_by_kind : (string * int) list;
+  r_kind_latency : (string * latency) list;
   r_trajectory : window list;
 }
 
@@ -183,7 +184,6 @@ let run ?(workers = 1) ?(window_ms = 250.) ?(overload = no_overload) ~session
   let n = Array.length jobs in
   let workers = max 1 workers in
   let instr = Xqse.Session.instr session in
-  let lock = Sync.create () in
   (* per-job slots: each index is written by exactly one worker *)
   let lat = Array.make n 0. in
   let ok = Array.make n false in
@@ -303,12 +303,15 @@ let run ?(workers = 1) ?(window_ms = 250.) ?(overload = no_overload) ~session
             (Printf.sprintf "err:RESX0006 shed at admission: %s" why)
         | `Admit ->
           accepted.(i) <- true;
+          (* no pool-level lock: reads run against pinned MVCC snapshots
+             and submits take per-table write locks below (publication is
+             atomic at commit), so the pool never serializes jobs — a
+             submit in flight no longer excludes every reader *)
           let run_job () =
-            match j.j_kind with
-            | Submit ->
-              Instr.bump instr Instr.K.server_submits;
-              Sync.with_write lock (fun () -> j.j_run wsess)
-            | Read | Script -> Sync.with_read lock (fun () -> j.j_run wsess)
+            (match j.j_kind with
+            | Submit -> Instr.bump instr Instr.K.server_submits
+            | Read | Script -> ());
+            j.j_run wsess
           in
           let run_deadlined () =
             match budget with
@@ -386,5 +389,15 @@ let run ?(workers = 1) ?(window_ms = 250.) ?(overload = no_overload) ~session
     r_latency = latency_of lat;
     r_accepted_latency = latency_of (mask accepted);
     r_by_kind = by_kind;
+    r_kind_latency =
+      List.filter_map
+        (fun k ->
+          let m =
+            Array.mapi (fun i a -> a && jobs.(i).j_kind = k) accepted
+          in
+          let samples = mask m in
+          if Array.length samples = 0 then None
+          else Some (kind_name k, latency_of samples))
+        [ Read; Script; Submit ];
     r_trajectory = (if open_loop then trajectory ~window_ms jobs lat else []);
   }

@@ -3,11 +3,13 @@
 
     Each worker gets its own {!Xqse.Session.with_config} fork (own plan
     cache, own procedure runtime, shared host state), so the only
-    shared mutable surface is the dataspace's sources — and access to
-    those is serialized by a {!Sync} read/write lock: [Read] and
-    [Script] jobs run under the shared read side, [Submit] jobs under
-    the exclusive write side. Submits are therefore snapshot-consistent
-    with respect to reads (a reader never sees half a changeset).
+    shared mutable surface is the dataspace's sources — and those are
+    safe to hit concurrently: every query runs against a pinned MVCC
+    snapshot of the source tables and every submit takes per-table
+    write locks and publishes its new versions atomically at commit
+    (see {!Relational.Table}). The pool itself holds no lock around
+    jobs; a reader never sees half a changeset, and a submit in flight
+    no longer excludes readers of unrelated (or even the same) tables.
 
     With [workers = 1] no domain is spawned and jobs run in list order
     on the calling domain — a deterministic baseline the tests diff
@@ -118,6 +120,11 @@ type report = {
           time-to-rejection *)
   r_accepted_latency : latency;  (** over admitted jobs only *)
   r_by_kind : (string * int) list;  (** job count per {!kind_name} *)
+  r_kind_latency : (string * latency) list;
+      (** accepted-job latency per {!kind_name} (kinds with no accepted
+          jobs are omitted) — the mixed-workload headline: with MVCC
+          snapshots a background submit stream must not drag read p99
+          up to submit latency *)
   r_trajectory : window list;
       (** the latency trajectory over arrival time — how p50/p95/p99
           evolve as a sustained-rate run progresses, which a single

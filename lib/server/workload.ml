@@ -64,24 +64,32 @@ let script_texts customers rng =
 
 let submit_job env k _sess =
   (* the Figure 4 update: read 007's profile, change fields that land
-     in both databases, submit the changeset *)
-  let dg = FC.get_profile_by_id env "007" in
-  Sdo.set_leaf dg 1 [ ("LAST_NAME", 1) ] (Printf.sprintf "Name%d" k);
-  Sdo.set_leaf dg 1
-    [ ("CreditCards", 1); ("CREDIT_CARD", 1); ("BRAND", 1) ]
-    (Printf.sprintf "BRAND%d" k);
-  let res = Aldsp.Dataspace.submit env.FC.ds env.FC.svc dg in
-  if not res.Aldsp.Dataspace.sr_committed then failwith "submit aborted"
+     in both databases, submit the changeset. Concurrent submits to the
+     same customer race at the optimistic-concurrency check (the read
+     runs against a snapshot, unlocked, and a rival's commit between
+     read and write makes the conditioned UPDATE match nothing) — so,
+     like any OCC client, re-read and retry on conflict. *)
+  let rec attempt tries =
+    let dg = FC.get_profile_by_id env "007" in
+    Sdo.set_leaf dg 1 [ ("LAST_NAME", 1) ] (Printf.sprintf "Name%d" k);
+    Sdo.set_leaf dg 1
+      [ ("CreditCards", 1); ("CREDIT_CARD", 1); ("BRAND", 1) ]
+      (Printf.sprintf "BRAND%d" k);
+    let res = Aldsp.Dataspace.submit env.FC.ds env.FC.svc dg in
+    if not res.Aldsp.Dataspace.sr_committed then
+      if tries > 1 then attempt (tries - 1) else failwith "submit aborted"
+  in
+  attempt 10
 
 (* --- mix -------------------------------------------------------------- *)
 
-let jobs ?(mix = default_mix) ?rate ?io_ms ?deadline_ms ?(customers = 3) ~seed
-    ~count env =
-  let with_io f sess =
+let jobs ?(mix = default_mix) ?rate ?io_ms ?submit_io_ms ?deadline_ms
+    ?(customers = 3) ~seed ~count env =
+  let with_io ?ms f sess =
     (* the in-memory substrate answers in microseconds; real ALDSP
        sources are a network hop away. The optional sleep puts that
        wire time back, giving worker domains real I/O to overlap. *)
-    (match io_ms with
+    (match (match ms with Some _ -> ms | None -> io_ms) with
     | Some ms when ms > 0. -> Unix.sleepf (ms /. 1000.)
     | _ -> ());
     f sess
@@ -143,5 +151,5 @@ let jobs ?(mix = default_mix) ?rate ?io_ms ?deadline_ms ?(customers = 3) ~seed
           j_label = Printf.sprintf "submit#%d" i;
           j_arrival_ms;
           j_deadline_ms = deadline_ms;
-          j_run = with_io (submit_job env i);
+          j_run = with_io ?ms:submit_io_ms (submit_job env i);
         })

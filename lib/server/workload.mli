@@ -20,6 +20,7 @@ val jobs :
   ?mix:mix ->
   ?rate:float ->
   ?io_ms:float ->
+  ?submit_io_ms:float ->
   ?deadline_ms:float ->
   ?customers:int ->
   seed:int ->
@@ -34,8 +35,11 @@ val jobs :
     simulated wire round-trip of remote sources, which the in-memory
     substrate otherwise lacks; with it the workload is latency-bound
     and the pool has real I/O to overlap across workers.
-    [deadline_ms] stamps every job with that end-to-end budget
-    (omitted, jobs inherit the pool default, if any). Read and script
-    jobs evaluate on the worker's session fork; submit jobs drive
-    [env]'s dataspace directly (the pool runs them under the exclusive
-    write lock). *)
+    [submit_io_ms] overrides [io_ms] for submit jobs only — a writer
+    stream with heavier wire time than reads, the shape that used to
+    inflate reader tail latency under the retired pool-wide lock and
+    must not under MVCC. [deadline_ms] stamps every job with that
+    end-to-end budget (omitted, jobs inherit the pool default, if
+    any). Read and script jobs evaluate on the worker's session fork;
+    submit jobs drive [env]'s dataspace directly, taking the per-table
+    write locks of their update plan. *)

@@ -23,10 +23,18 @@ let default_config =
     result_cache = None;
   }
 
+(* An ambient read-context wrapper installed by the data layer: the
+   dataspace registers a scope that pins a consistent snapshot of every
+   source table for the duration of a query (see
+   [Relational.Table.with_snapshot]). Polymorphic so it wraps both
+   value- and cursor-producing entry points. *)
+type snapshot_scope = { scope : 'a. (unit -> 'a) -> 'a }
+
 type t = {
   eng : Xquery.Engine.t;
   rt : Interp.runtime;
   mutable trace : string -> unit;
+  mutable snapshot_scope : snapshot_scope option;
   modules : (string, string) Hashtbl.t;  (* module uri -> source *)
   loaded_modules : (string, unit) Hashtbl.t;
   s_generation : int Stdlib.Atomic.t;
@@ -78,6 +86,7 @@ let with_engine eng =
     eng;
     rt;
     trace;
+    snapshot_scope = None;
     modules = Hashtbl.create 8;
     loaded_modules = Hashtbl.create 8;
     s_generation = Stdlib.Atomic.make 0;
@@ -195,6 +204,7 @@ let with_config s (cfg : config) =
       eng;
       rt;
       trace;
+      snapshot_scope = s.snapshot_scope;
       modules = Hashtbl.copy s.modules;
       loaded_modules = Hashtbl.copy s.loaded_modules;
       s_generation = Stdlib.Atomic.make (Stdlib.Atomic.get s.s_generation);
@@ -553,9 +563,18 @@ let check_deadline () =
          (Resilience.Deadline.elapsed_ms d))
   | None | Some _ -> ()
 
+let set_snapshot_scope s scope = s.snapshot_scope <- scope
+
+(* every query entry point runs inside the installed snapshot scope so
+   all its source reads resolve against one consistent version cut;
+   nested entries reuse the outer snapshot (the scope is reentrant) *)
+let in_scope s f =
+  match s.snapshot_scope with None -> f () | Some { scope } -> scope f
+
 let run ?(opts = default_exec_opts) c =
   let s = c.c_session in
   check_deadline ();
+  in_scope s @@ fun () ->
   Instr.span (instr s) "run" (fun () ->
   let vars = opts.vars in
   let trace = match opts.trace with Some f -> f | None -> s.trace in
@@ -700,6 +719,7 @@ let explain s src =
   { ex_program = Pretty.program prog; ex_stats = !total; ex_log = List.rev !log }
 
 let call s name args =
+  in_scope s @@ fun () ->
   match Interp.find_procedure s.rt name (List.length args) with
   | Some _ -> Interp.call_procedure s.rt name args
   | None ->

@@ -106,6 +106,20 @@ val set_result_cache : t -> Cache.handle option -> unit
 
 val result_cache : t -> Cache.handle option
 
+type snapshot_scope = { scope : 'a. (unit -> 'a) -> 'a }
+(** An ambient read-context wrapper: applied around every {!run},
+    {!eval} and {!call} so all source reads of one query resolve
+    against a single consistent cut. The data layer registers one that
+    installs a pinned MVCC snapshot of every source table (see
+    [Relational.Table.with_snapshot]); it must be reentrant — a nested
+    query entry runs inside the outer scope unchanged. *)
+
+val set_snapshot_scope : t -> snapshot_scope option -> unit
+(** Install (or remove) the session's snapshot scope. Like
+    {!set_result_cache}, a mutator by necessity (the dataspace wires it
+    onto an already-built session); {!with_config} forks inherit the
+    scope installed at fork time. *)
+
 val declare_namespace : t -> string -> string -> unit
 val set_trace : t -> (string -> unit) -> unit
 (** Where [fn:trace] output goes for subsequently compiled programs

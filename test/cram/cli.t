@@ -184,6 +184,10 @@ wall-clock, masked here):
   server.jobs                          0
   server.errors                        0
   server.submits                       0
+  mvcc.versions.live                   0
+  mvcc.versions.collected              0
+  mvcc.lock.acquired                   0
+  mvcc.lock.contended                  0
   overload.shed                        0
   overload.expired                     0
   overload.brownout.entered            0
@@ -247,6 +251,10 @@ prints the cumulative table (span times masked):
   server.jobs                          0
   server.errors                        0
   server.submits                       0
+  mvcc.versions.live                   0
+  mvcc.versions.collected              0
+  mvcc.lock.acquired                   0
+  mvcc.lock.contended                  0
   overload.shed                        0
   overload.expired                     0
   overload.brownout.entered            0

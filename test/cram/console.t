@@ -53,6 +53,10 @@ is accounted):
   server.jobs                        0
   server.errors                      0
   server.submits                     0
+  mvcc.versions.live                 0
+  mvcc.versions.collected            1
+  mvcc.lock.acquired                 1
+  mvcc.lock.contended                0
   overload.shed                      0
   overload.expired                   0
   overload.brownout.entered          0
@@ -113,3 +117,27 @@ Without a fault plan no policies are installed, so no breakers either:
   db1                  no breaker
   db2                  no breaker
   hr                   no breaker
+
+The tables command reports per-table MVCC state: the published version
+(every fixture insert after registration publishes one), how many
+versions are still pinned live, and the write lock — always free here,
+since the console is single-threaded:
+
+  $ aldsp-console -q tables
+  db1.CUSTOMER     v6   live 1  lock free waiters 0
+  db1.ORDERS       v15  live 1  lock free waiters 0
+  db2.CREDIT_CARD  v7   live 1  lock free waiters 0
+  hr.EMPLOYEE      v5   live 1  lock free waiters 0
+
+A committed update publishes a new version of exactly the table its
+statement wrote:
+
+  $ aldsp-console \
+  >   -q '{ customer:updateCUSTOMER(<CUSTOMER><CID>007</CID><LAST_NAME>Moneypenny</LAST_NAME></CUSTOMER>); }' \
+  >   -q tables
+  
+  db1.CUSTOMER     v7   live 1  lock free waiters 0
+  db1.ORDERS       v15  live 1  lock free waiters 0
+  db2.CREDIT_CARD  v7   live 1  lock free waiters 0
+  hr.EMPLOYEE      v5   live 1  lock free waiters 0
+

@@ -342,11 +342,125 @@ let xa_tests =
         | Error _ -> (fa || fb) && counts = (0, 0));
   ]
 
+(* The MVCC version lifecycle at the table grain: cursors pin the
+   version current when they opened, superseded versions collect as
+   soon as nothing pins them, and transactions publish exactly one new
+   version per written table. *)
+let mvcc_tests =
+  [
+    case "a cursor pins its version across commits; exhausting collects it"
+      (fun () ->
+        let db, people, _ = mk_db () in
+        let instr = Core.Instr.create () in
+        Core.Instr.preregister instr;
+        Core.Instr.enable instr;
+        Database.set_instr db instr;
+        let v0 = Table.current_version people in
+        let cur = Table.scan_cursor people in
+        let first = Option.get (Xdm.Cursor.next cur) in
+        (* five commits supersede the pinned version five times over;
+           only the cursor's version and the head stay live — the
+           intermediate versions collect at the moment each is
+           superseded *)
+        for i = 1 to 5 do
+          ignore
+            (Database.exec db
+               (Update
+                  {
+                    table = "PEOPLE";
+                    set = [ ("AGE", Value.Int (40 + i)) ];
+                    where = Pred.eq "ID" (Value.Int 1);
+                  }))
+        done;
+        check_int "head moved five versions" (v0 + 5)
+          (Table.current_version people);
+        check_int "live versions bounded to pinned + head" 2
+          (Table.live_versions people);
+        (* the cursor still walks its pinned version: Ann's age is the
+           original 34, not any of the five committed updates *)
+        check_bool "pinned row unchanged" true
+          (Table.get first people "AGE" = Value.Int 34);
+        let rec drain () =
+          match Xdm.Cursor.next cur with Some _ -> drain () | None -> ()
+        in
+        drain ();
+        check_int "exhausting the cursor collects its version" 1
+          (Table.live_versions people);
+        let c name =
+          Option.value ~default:0
+            (List.assoc_opt name (Core.Instr.stats instr).Core.Instr.counters)
+        in
+        check_bool "collections counted" true
+          (c Core.Instr.K.mvcc_versions_collected >= 5);
+        (* the gauge tracks published versions only — the birth version
+           predates the publish lifecycle, so all five publishes have
+           been matched by five collections and the gauge is back to 0 *)
+        check_int "live gauge balanced after the drain" 0
+          (c Core.Instr.K.mvcc_versions_live));
+    case "rollback discards the working store and publishes nothing"
+      (fun () ->
+        let db, people, _ = mk_db () in
+        let v0 = Table.current_version people in
+        Database.begin_tx db;
+        ignore
+          (Database.exec db
+             (Insert
+                {
+                  table = "PEOPLE";
+                  columns = [ "ID"; "NAME" ];
+                  values = [ Value.Int 9; Value.Text "Zoe" ];
+                }));
+        Database.rollback db;
+        check_int "no version published" v0 (Table.current_version people);
+        check_int "row count untouched" 2 (Table.row_count people);
+        check_bool "write lock released" true
+          (fst (Table.lock_info people) = None));
+    case "a transaction publishes one version per written table" (fun () ->
+        let db, people, _ = mk_db () in
+        let v0 = Table.current_version people in
+        Database.begin_tx db;
+        for i = 0 to 2 do
+          ignore
+            (Database.exec db
+               (Insert
+                  {
+                    table = "PEOPLE";
+                    columns = [ "ID"; "NAME" ];
+                    values = [ Value.Int (20 + i); Value.Text "New" ];
+                  }))
+        done;
+        check_int "nothing published before commit" v0
+          (Table.current_version people);
+        Database.commit db;
+        check_int "three statements, one version" (v0 + 1)
+          (Table.current_version people);
+        check_int "no stray live versions" 1 (Table.live_versions people));
+    case "an auto-commit statement that fails publishes nothing" (fun () ->
+        let db, _, pets = mk_db () in
+        let v0 = Table.current_version pets in
+        (match
+           Database.exec db
+             (Insert
+                {
+                  table = "PETS";
+                  columns = [ "PID"; "OWNER" ];
+                  values = [ Value.Int 77; Value.Int 99 ];
+                })
+         with
+        | _ -> Alcotest.fail "fk violation not raised"
+        | exception Database.Db_error _ -> ());
+        check_int "no version published" v0 (Table.current_version pets);
+        check_int "the violating row is not there" 1 (Table.row_count pets);
+        check_bool "write lock released" true
+          (fst (Table.lock_info pets) = None));
+  ]
+
 let suites =
   [
     ("relational.value", value_tests);
     ("relational.pred", pred_tests);
     ("relational.table", table_tests);
+    ("relational.mvcc", mvcc_tests);
     ("relational.database", database_tests);
     ("relational.xa", xa_tests);
   ]
